@@ -1,0 +1,30 @@
+//! E3b — the type-i clique baseline's cost (NP-complete, small n only).
+
+use be2d_bench::standard_config;
+use be2d_strings2d::{typed_similarity, SimilarityType};
+use be2d_workload::scene_from_seed;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_clique(c: &mut Criterion) {
+    let mut group = c.benchmark_group("typed_clique");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    for ty in [SimilarityType::Type2, SimilarityType::Type1, SimilarityType::Type0] {
+        for n in [4usize, 8, 12, 16, 20] {
+            let q = scene_from_seed(&standard_config(n), 1000 + n as u64);
+            let d = scene_from_seed(&standard_config(n), 2000 + n as u64);
+            group.bench_with_input(
+                BenchmarkId::new(ty.to_string(), n),
+                &(q, d),
+                |b, (q, d)| {
+                    b.iter(|| black_box(typed_similarity(black_box(q), black_box(d), ty).matched));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clique);
+criterion_main!(benches);

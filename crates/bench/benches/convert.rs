@@ -1,0 +1,24 @@
+//! E8 — Algorithm 1 construction cost: O(n log n) time, O(n) space.
+
+use be2d_bench::standard_config;
+use be2d_core::convert_scene;
+use be2d_workload::scene_from_seed;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_convert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convert_scene");
+    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    for n in [16usize, 64, 256, 1024, 4096, 16384] {
+        let scene = scene_from_seed(&standard_config(n), n as u64);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scene, |b, scene| {
+            b.iter(|| black_box(convert_scene(black_box(scene))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convert);
+criterion_main!(benches);

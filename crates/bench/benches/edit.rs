@@ -1,0 +1,44 @@
+//! E6 — incremental object insertion vs full reconversion (§3.2).
+
+use be2d_bench::standard_config;
+use be2d_core::SymbolicImage;
+use be2d_geometry::{ObjectClass, Rect};
+use be2d_workload::scene_from_seed;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_edit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("object_insert");
+    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    let class = ObjectClass::new("Znew");
+    let mbr = Rect::new(501, 777, 123, 456).expect("rect");
+    for n in [16usize, 128, 1024, 4096] {
+        let scene = scene_from_seed(&standard_config(n), n as u64);
+        let base = SymbolicImage::from_scene(&scene);
+        group.bench_with_input(BenchmarkId::new("incremental", n), &base, |b, base| {
+            b.iter_batched(
+                || base.clone(),
+                |mut img| {
+                    img.add_object(&class, mbr).expect("fits");
+                    black_box(img)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("reconvert", n), &scene, |b, scene| {
+            b.iter_batched(
+                || scene.clone(),
+                |mut s| {
+                    s.add(class.clone(), mbr).expect("fits");
+                    black_box(SymbolicImage::from_scene(&s))
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edit);
+criterion_main!(benches);

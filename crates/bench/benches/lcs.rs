@@ -1,0 +1,53 @@
+//! E3a — modified LCS cost over the (m, n) grid: the paper's O(mn).
+
+use be2d_bench::standard_config;
+use be2d_core::{be_lcs_length, convert_scene, BeString2D};
+use be2d_workload::scene_from_seed;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn strings(n: usize, seed: u64) -> BeString2D {
+    convert_scene(&scene_from_seed(&standard_config(n), seed))
+}
+
+fn bench_lcs_square(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lcs_m_equals_n");
+    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    for n in [8usize, 16, 32, 64, 128, 256, 512] {
+        let q = strings(n, 10 + n as u64);
+        let d = strings(n, 20 + n as u64);
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(q, d), |b, (q, d)| {
+            b.iter(|| {
+                black_box(
+                    be_lcs_length(black_box(q.x()), black_box(d.x()))
+                        + be_lcs_length(black_box(q.y()), black_box(d.y())),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lcs_fixed_query(c: &mut Criterion) {
+    // m fixed (query sketch), n growing (database image): linear in n
+    let mut group = c.benchmark_group("lcs_fixed_query_m8");
+    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    let q = strings(8, 5);
+    for n in [8usize, 32, 128, 512] {
+        let d = strings(n, 30 + n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &d, |b, d| {
+            b.iter(|| {
+                black_box(
+                    be_lcs_length(black_box(q.x()), black_box(d.x()))
+                        + be_lcs_length(black_box(q.y()), black_box(d.y())),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lcs_square, bench_lcs_fixed_query);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Dummy-object suppression** — what happens to scores if the LCS
+//!    may chain dummies (the rule the paper's Algorithm 2 adds)?
+//!    We approximate "no rule" by comparing against the plain LCS over
+//!    the same strings, computed by a reference implementation here.
+//! 2. **ε-counting** — similarity with dummies counted vs boundary-only.
+//! 3. **Normalisation** — query coverage vs Dice on partial queries.
+
+use be2d_bench::table_row;
+use be2d_core::{
+    convert_scene, similarity_with, BeString, LcsTable, Normalization, SimilarityConfig,
+};
+use be2d_workload::{scene_from_seed, SceneConfig};
+
+/// Reference *unmodified* LCS length (no consecutive-dummy rule) — the
+/// textbook algorithm, for the ablation only.
+fn plain_lcs(a: &BeString, b: &BeString) -> usize {
+    let (x, y) = (a.symbols(), b.symbols());
+    let cols = y.len() + 1;
+    let mut w = vec![0usize; (x.len() + 1) * cols];
+    for i in 1..=x.len() {
+        for j in 1..=y.len() {
+            w[i * cols + j] = if x[i - 1] == y[j - 1] {
+                w[(i - 1) * cols + (j - 1)] + 1
+            } else {
+                w[(i - 1) * cols + j].max(w[i * cols + (j - 1)])
+            };
+        }
+    }
+    w[x.len() * cols + y.len()]
+}
+
+fn main() {
+    println!("=== Ablations ===\n");
+    println!("-- 1. consecutive-dummy rule (unrelated image pairs, x-axis) --");
+    let widths = [6, 12, 12, 12];
+    println!(
+        "{}",
+        table_row(
+            &["n".into(), "modified".into(), "plain LCS".into(), "inflation".into()],
+            &widths
+        )
+    );
+    for n in [4usize, 8, 16, 32] {
+        let cfg = SceneConfig { objects: n, classes: 6, ..SceneConfig::default() };
+        // disjoint class alphabets would need distinct configs; instead
+        // compare structurally unrelated seeds
+        let a = convert_scene(&scene_from_seed(&cfg, 1111 + n as u64));
+        let b = convert_scene(&scene_from_seed(&cfg, 9999 + n as u64));
+        let modified = LcsTable::build(a.x(), b.x()).length();
+        let plain = plain_lcs(a.x(), b.x());
+        let row = [
+            n.to_string(),
+            modified.to_string(),
+            plain.to_string(),
+            format!("+{:.0}%", 100.0 * (plain as f64 - modified as f64) / modified as f64),
+        ];
+        println!("{}", table_row(&row, &widths));
+        assert!(plain >= modified);
+    }
+    println!("\nWithout the rule, chained free-space dummies inflate the match length");
+    println!("between unrelated images — the modified algorithm suppresses exactly that.");
+
+    println!("\n-- 2+3. similarity configuration on a 50%-subset query --");
+    let cfg = SceneConfig { objects: 8, classes: 8, ..SceneConfig::default() };
+    let scene = scene_from_seed(&cfg, 77);
+    let mut half = be2d_geometry::Scene::new(scene.width(), scene.height()).expect("frame");
+    for o in scene.objects().iter().take(4) {
+        half.add(o.class().clone(), o.mbr()).expect("fits");
+    }
+    let (q, d) = (convert_scene(&half), convert_scene(&scene));
+
+    let widths = [18, 16, 9];
+    println!(
+        "{}",
+        table_row(&["normalisation".into(), "count dummies?".into(), "score".into()], &widths)
+    );
+    for norm in [Normalization::QueryCoverage, Normalization::TargetCoverage, Normalization::Dice]
+    {
+        for count_dummies in [true, false] {
+            let cfg = SimilarityConfig {
+                normalization: norm,
+                count_dummies,
+                ..SimilarityConfig::default()
+            };
+            let sim = similarity_with(&q, &d, &cfg);
+            let row = [
+                norm.to_string(),
+                count_dummies.to_string(),
+                format!("{:.3}", sim.score),
+            ];
+            println!("{}", table_row(&row, &widths));
+        }
+    }
+    println!("\nQuery-coverage treats the subset as fully matched (recall-style);");
+    println!("Dice splits the difference; boundary-only counting removes the");
+    println!("free-space contribution. The library default is Dice over all symbols.");
+}

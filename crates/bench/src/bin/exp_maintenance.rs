@@ -1,0 +1,47 @@
+//! E6 — §3.2 incremental maintenance cost: inserting one object into a
+//! stored image via binary search vs re-running the full conversion.
+
+use be2d_bench::{fmt_duration, median_time, standard_config, table_row};
+use be2d_core::SymbolicImage;
+use be2d_geometry::{ObjectClass, Rect};
+use be2d_workload::scene_from_seed;
+use std::hint::black_box;
+
+fn main() {
+    println!("=== E6: incremental insert vs full reconversion ===\n");
+    let widths = [6, 14, 14, 10];
+    let header = ["n", "incremental", "reconvert", "speedup"];
+    println!("{}", table_row(&header.map(String::from), &widths));
+
+    for n in [16usize, 64, 256, 1024, 4096] {
+        let scene = scene_from_seed(&standard_config(n), n as u64);
+        let base = SymbolicImage::from_scene(&scene);
+        let class = ObjectClass::new("Znew");
+        let mbr = Rect::new(501, 777, 123, 456).expect("rect");
+
+        let incremental = median_time(20, || {
+            let mut img = base.clone();
+            img.add_object(&class, mbr).expect("fits");
+            black_box(&img);
+        });
+
+        let reconvert = median_time(20, || {
+            let mut bigger = scene.clone();
+            bigger.add(class.clone(), mbr).expect("fits");
+            black_box(SymbolicImage::from_scene(&bigger));
+        });
+
+        let speedup = reconvert.as_nanos() as f64 / incremental.as_nanos().max(1) as f64;
+        let row = [
+            n.to_string(),
+            fmt_duration(incremental),
+            fmt_duration(reconvert),
+            format!("{speedup:.1}x"),
+        ];
+        println!("{}", table_row(&row, &widths));
+    }
+    println!("\nBoth are linear-ish (the splice is O(n)), but the incremental path");
+    println!("avoids the O(n log n) re-sort and the full object scan, as §3.2 claims.");
+    println!("(The measured incremental cost includes cloning the stored image; in a");
+    println!("database the edit happens in place and is cheaper still.)");
+}

@@ -1,0 +1,106 @@
+//! E9 — retrieval robustness under recognition noise.
+//!
+//! The paper assumes a perfect segmentation front end. This experiment
+//! injects the classic fault classes — salt-and-pepper pixel noise and
+//! boundary erosion — into rendered corpus images, re-recognises the
+//! objects, and queries the clean-index database with the *noisy*
+//! recognitions. The graded LCS similarity should degrade gracefully
+//! where an exact-match scheme would fall off a cliff.
+
+use be2d_bench::table_row;
+use be2d_db::{ImageDatabase, QueryOptions};
+use be2d_imaging::{
+    erode_boundaries, extract_scene, render_scene, salt_and_pepper, ClassPalette, NoiseRng,
+    Shape,
+};
+use be2d_workload::metrics::{mean, reciprocal_rank};
+use be2d_workload::{Corpus, CorpusConfig, ImageId, Placement, SceneConfig};
+use std::collections::HashSet;
+
+fn main() {
+    println!("=== E9: retrieval under recognition noise (120-image corpus) ===\n");
+    let corpus = Corpus::generate(
+        &CorpusConfig {
+            images: 120,
+            scene: SceneConfig {
+                width: 96,
+                height: 96,
+                objects: 5,
+                classes: 4,
+                min_size: 8,
+                max_size: 24,
+                placement: Placement::NonOverlapping,
+            },
+        },
+        31,
+    );
+    let mut db = ImageDatabase::new();
+    for (id, scene) in corpus.iter() {
+        db.insert_scene(&id.to_string(), scene).expect("insert");
+    }
+
+    let widths = [24, 10, 12, 12, 12];
+    let header = ["fault level", "queries", "MRR", "top-1", "objects kept"];
+    println!("{}", table_row(&header.map(String::from), &widths));
+
+    // (label, salt/pepper p, erosion rounds, whole-object dropout p)
+    for (label, p_saltpepper, erode_rounds, p_dropout) in [
+        ("clean", 0.0, 0usize, 0.0),
+        ("mild (jitter 1-2px)", 0.002, 2, 0.0),
+        ("moderate (+dropout .15)", 0.005, 3, 0.15),
+        ("heavy (+dropout .3)", 0.010, 5, 0.30),
+        ("severe (+dropout .5)", 0.020, 8, 0.50),
+    ] {
+        let mut rrs = Vec::new();
+        let mut top1 = 0usize;
+        let mut kept_ratio = Vec::new();
+        let queries = 30usize;
+        for qi in 0..queries {
+            let source = ImageId((qi * 7 + 1) % corpus.len());
+            let scene = corpus.scene(source).expect("scene");
+
+            // render, corrupt, re-recognise
+            let mut palette = ClassPalette::new();
+            let mut raster = render_scene(scene, &mut palette, Shape::Rectangle);
+            let mut rng = NoiseRng::new(1000 + qi as u64);
+            // whole-object dropout: the recogniser misses some objects
+            for obj in scene {
+                if rng.chance(p_dropout) {
+                    let m = obj.mbr();
+                    raster
+                        .fill_rect(
+                            m.x_begin() as usize,
+                            m.x_end() as usize,
+                            m.y_begin() as usize,
+                            m.y_end() as usize,
+                            0,
+                        )
+                        .expect("in frame");
+                }
+            }
+            salt_and_pepper(&mut raster, p_saltpepper, palette.len() as u32, &mut rng);
+            for _ in 0..erode_rounds {
+                erode_boundaries(&mut raster, 0.7, &mut rng);
+            }
+            let noisy = extract_scene(&raster, &palette, 6).expect("extraction");
+            kept_ratio.push(noisy.len() as f64 / scene.len() as f64);
+
+            let hits = db.search_scene(&noisy, &QueryOptions::default().with_top_k(None));
+            let ranked: Vec<ImageId> = hits.iter().map(|h| ImageId(h.id.index())).collect();
+            let relevant: HashSet<ImageId> = [source].into_iter().collect();
+            rrs.push(reciprocal_rank(&ranked, &relevant));
+            top1 += usize::from(ranked.first() == Some(&source));
+        }
+        let row = [
+            label.to_string(),
+            queries.to_string(),
+            format!("{:.3}", mean(&rrs)),
+            format!("{}/{}", top1, queries),
+            format!("{:.2}", mean(&kept_ratio)),
+        ];
+        println!("{}", table_row(&row, &widths));
+    }
+    println!("\nRecognition faults shrink MBRs, split objects and spawn speckles; the");
+    println!("min-area filter plus the graded LCS keep retrieval useful well past the");
+    println!("point where every exact relation has been perturbed.");
+}

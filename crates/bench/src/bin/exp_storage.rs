@@ -1,0 +1,63 @@
+//! E2 — storage cost table (§3.1 bounds + §2 cutting blow-up).
+//!
+//! For each n, reports per-axis (x) symbol/segment counts:
+//! BE-string best/average/worst case, 2-D string, 2D B-string, and the
+//! G-/C-string cutting models on random and adversarial scenes.
+//!
+//! Paper claims regenerated: BE ∈ [2n+1, 4n+1] (O(n)); G-string O(n²)
+//! worst case; C-string ≤ G-string but still superlinear on adversarial
+//! input.
+
+use be2d_bench::{best_case_scene, overlap_pile_scene, standard_config, table_row, worst_case_scene};
+use be2d_core::convert_scene;
+use be2d_strings2d::{BString, CString, GString, TwoDString};
+use be2d_workload::scene_from_seed;
+
+fn main() {
+    println!("=== E2: storage units per model (x-axis; averages over 10 seeds) ===\n");
+    let widths = [5, 7, 8, 8, 8, 7, 9, 9, 9, 9];
+    let header = [
+        "n", "BE-min", "BE-avg", "BE-max", "4n+1", "2-D", "B-str", "G-rand", "G-pile", "C-pile",
+    ];
+    println!("{}", table_row(&header.map(String::from), &widths));
+
+    for n in [2usize, 4, 8, 16, 32, 64, 128, 256, 512] {
+        let mut be_sum = 0usize;
+        let mut g_sum = 0usize;
+        let mut b_sum = 0usize;
+        let mut two_d_sum = 0usize;
+        let seeds = 10u64;
+        for seed in 0..seeds {
+            let scene = scene_from_seed(&standard_config(n), seed * 31 + n as u64);
+            be_sum += convert_scene(&scene).x().len();
+            g_sum += GString::from_scene(&scene).x().len();
+            b_sum += BString::from_scene(&scene).symbol_count() / 2;
+            two_d_sum += TwoDString::from_scene(&scene).symbol_count() / 2;
+        }
+        let be_best = convert_scene(&best_case_scene(n)).x().len();
+        let be_worst = convert_scene(&worst_case_scene(n)).x().len();
+        let pile = overlap_pile_scene(n);
+        let g_pile = GString::from_scene(&pile).x().len();
+        let c_pile = CString::from_scene(&pile).x().len();
+
+        let row = [
+            n.to_string(),
+            be_best.to_string(),
+            format!("{:.0}", be_sum as f64 / seeds as f64),
+            be_worst.to_string(),
+            (4 * n + 1).to_string(),
+            (two_d_sum / seeds as usize).to_string(),
+            (b_sum / seeds as usize).to_string(),
+            (g_sum / seeds as usize).to_string(),
+            g_pile.to_string(),
+            c_pile.to_string(),
+        ];
+        println!("{}", table_row(&row, &widths));
+
+        assert_eq!(be_best, 2 * n + 1, "§3.1 best case");
+        assert_eq!(be_worst, 4 * n + 1, "§3.1 worst case");
+        assert!(g_pile >= n * n, "G-string worst case is quadratic");
+    }
+    println!("\nBE-string stays within [2n+1, 4n+1] everywhere; the G-string pile");
+    println!("column grows quadratically, the C-string cuts strictly less.");
+}

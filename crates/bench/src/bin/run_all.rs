@@ -1,0 +1,40 @@
+//! Runs every experiment binary in sequence — regenerates all numbers
+//! recorded in EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p be2d-bench --bin run_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for name in [
+        "exp_figure1",
+        "exp_storage",
+        "exp_matching",
+        "exp_retrieval",
+        "exp_transform",
+        "exp_maintenance",
+        "exp_throughput",
+        "exp_ablation",
+        "exp_lcs_gap",
+        "exp_noise",
+    ] {
+        println!("\n################ {name} ################\n");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("cannot launch {name}: {e}"));
+        if !status.success() {
+            failed.push(name);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall experiments completed");
+    } else {
+        eprintln!("\nfailed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

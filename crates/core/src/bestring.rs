@@ -1,0 +1,429 @@
+//! The 2D BE-string representation: validated symbol sequences.
+
+use crate::{BeStringError, BeSymbol, Boundary};
+use be2d_geometry::ObjectClass;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A one-axis BE-string: the projection of a symbolic picture onto the x-
+/// or y-axis (§3.1 of the paper).
+///
+/// A valid BE-string satisfies three invariants, enforced by
+/// [`BeString::new`]:
+///
+/// 1. **No two adjacent dummies.** One dummy is sufficient to witness that
+///    two boundary projections are distinct; the conversion algorithm never
+///    emits two in a row, and the modified LCS relies on this.
+/// 2. **Begin/end balance.** Every class has equally many begin and end
+///    symbols, and in every prefix the number of `C_e` symbols never
+///    exceeds the number of `C_b` symbols for any class `C` — any string
+///    produced from real MBRs has this shape.
+/// 3. **Non-emptiness.** The string of an *empty* image is the single dummy
+///    `E` (the whole axis is free space), never the empty sequence.
+///
+/// For an image with `n` objects the length is between `2n + 1` and
+/// `4n + 1` symbols — the paper's O(n) storage bound, which
+/// [`BeString::len`] lets experiments verify directly.
+///
+/// # Example
+///
+/// ```
+/// use be2d_core::BeString;
+///
+/// let s: BeString = "E A_b E B_b E A_e C_b E C_e E B_e E".parse()?;
+/// assert_eq!(s.len(), 12);
+/// assert_eq!(s.object_count(), 3);
+/// # Ok::<(), be2d_core::BeStringError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BeString {
+    symbols: Vec<BeSymbol>,
+}
+
+impl BeString {
+    /// Creates a BE-string from a symbol sequence, validating the
+    /// invariants listed in the type documentation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BeStringError::InvalidString`] when any invariant is
+    /// violated.
+    pub fn new(symbols: Vec<BeSymbol>) -> Result<Self, BeStringError> {
+        Self::validate(&symbols)?;
+        Ok(BeString { symbols })
+    }
+
+    /// Creates a BE-string without validation.
+    ///
+    /// Only for use by the conversion and transform code in this crate,
+    /// which construct strings that are valid by construction; debug builds
+    /// still assert the invariants.
+    pub(crate) fn from_symbols_unchecked(symbols: Vec<BeSymbol>) -> Self {
+        debug_assert!(Self::validate(&symbols).is_ok(), "unchecked BE-string invalid");
+        BeString { symbols }
+    }
+
+    /// The BE-string of an empty axis: a single dummy.
+    #[must_use]
+    pub fn empty_axis() -> Self {
+        BeString { symbols: vec![BeSymbol::Dummy] }
+    }
+
+    fn validate(symbols: &[BeSymbol]) -> Result<(), BeStringError> {
+        if symbols.is_empty() {
+            return Err(BeStringError::InvalidString {
+                reason: "empty symbol sequence (an empty axis is the single dummy E)".into(),
+            });
+        }
+        let mut balance: HashMap<&ObjectClass, i64> = HashMap::new();
+        let mut prev_dummy = false;
+        for s in symbols {
+            match s {
+                BeSymbol::Dummy => {
+                    if prev_dummy {
+                        return Err(BeStringError::InvalidString {
+                            reason: "two adjacent dummy objects".into(),
+                        });
+                    }
+                    prev_dummy = true;
+                }
+                BeSymbol::Bound { class, boundary } => {
+                    prev_dummy = false;
+                    let e = balance.entry(class).or_insert(0);
+                    match boundary {
+                        Boundary::Begin => *e += 1,
+                        Boundary::End => {
+                            *e -= 1;
+                            if *e < 0 {
+                                return Err(BeStringError::InvalidString {
+                                    reason: format!(
+                                        "end boundary of class {class} before its begin"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((class, _)) = balance.iter().find(|(_, v)| **v != 0) {
+            return Err(BeStringError::InvalidString {
+                reason: format!("unbalanced begin/end symbols for class {class}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// The symbols in order.
+    #[must_use]
+    pub fn symbols(&self) -> &[BeSymbol] {
+        &self.symbols
+    }
+
+    /// Number of symbols, **including** dummies (the paper's storage unit).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the string contains no symbols. Always `false` for valid
+    /// strings (the empty axis is one dummy) — provided for API
+    /// completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Number of boundary (non-dummy) symbols: `2n` for `n` objects.
+    #[must_use]
+    pub fn boundary_count(&self) -> usize {
+        self.symbols.iter().filter(|s| s.is_boundary()).count()
+    }
+
+    /// Number of dummy symbols.
+    #[must_use]
+    pub fn dummy_count(&self) -> usize {
+        self.symbols.iter().filter(|s| s.is_dummy()).count()
+    }
+
+    /// Number of objects represented (`boundary_count / 2`).
+    #[must_use]
+    pub fn object_count(&self) -> usize {
+        self.boundary_count() / 2
+    }
+
+    /// Iterates over the symbols.
+    pub fn iter(&self) -> std::slice::Iter<'_, BeSymbol> {
+        self.symbols.iter()
+    }
+
+    /// The mirrored string: symbols reversed and begin/end boundaries
+    /// swapped.
+    ///
+    /// This is the paper's §4 string reversal: mirroring an axis
+    /// (`x ↦ X_max − x`) reverses the order of the boundary events and
+    /// turns every begin boundary into an end boundary and vice versa,
+    /// while free-space dummies keep their relative positions. The result
+    /// is exactly the BE-string of the mirrored image, which the property
+    /// tests in `be2d-core::transform` verify.
+    ///
+    /// ```
+    /// use be2d_core::BeString;
+    /// let s: BeString = "E A_b A_e B_b E B_e".parse()?;
+    /// assert_eq!(s.mirrored().to_string(), "B_b E B_e A_b A_e E");
+    /// assert_eq!(s.mirrored().mirrored(), s);
+    /// # Ok::<(), be2d_core::BeStringError>(())
+    /// ```
+    #[must_use]
+    pub fn mirrored(&self) -> BeString {
+        let symbols = self.symbols.iter().rev().map(BeSymbol::flipped).collect();
+        BeString::from_symbols_unchecked(symbols)
+    }
+
+    /// The multiset of classes appearing in the string, with object counts.
+    #[must_use]
+    pub fn class_counts(&self) -> HashMap<ObjectClass, usize> {
+        let mut counts = HashMap::new();
+        for s in &self.symbols {
+            if let BeSymbol::Bound { class, boundary: Boundary::Begin } = s {
+                *counts.entry(class.clone()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+}
+
+impl fmt::Display for BeString {
+    /// Space-separated token rendering, e.g. `E A_b E B_b E A_e C_b E`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.symbols.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for BeString {
+    type Err = BeStringError;
+
+    /// Parses the space-separated token rendering produced by `Display`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let symbols = s
+            .split_whitespace()
+            .map(BeSymbol::parse_token)
+            .collect::<Result<Vec<_>, _>>()?;
+        BeString::new(symbols)
+    }
+}
+
+impl<'a> IntoIterator for &'a BeString {
+    type Item = &'a BeSymbol;
+    type IntoIter = std::slice::Iter<'a, BeSymbol>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.symbols.iter()
+    }
+}
+
+/// A full 2D BE-string: the pair `(u, v)` of axis strings (§3.1).
+///
+/// # Example
+///
+/// ```
+/// use be2d_core::BeString2D;
+///
+/// let s = BeString2D::parse(
+///     "E A_b E B_b E A_e C_b E C_e E B_e E",
+///     "E B_b E A_b E B_e C_b E C_e E A_e E",
+/// )?;
+/// assert_eq!(s.x().object_count(), 3);
+/// assert_eq!(s.y().object_count(), 3);
+/// # Ok::<(), be2d_core::BeStringError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BeString2D {
+    x: BeString,
+    y: BeString,
+}
+
+impl BeString2D {
+    /// Combines two axis strings into a 2D BE-string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BeStringError::InvalidString`] when the two axes disagree
+    /// on the multiset of object classes — both projections must describe
+    /// the same set of objects.
+    pub fn new(x: BeString, y: BeString) -> Result<Self, BeStringError> {
+        if x.class_counts() != y.class_counts() {
+            return Err(BeStringError::InvalidString {
+                reason: "x and y strings describe different object multisets".into(),
+            });
+        }
+        Ok(BeString2D { x, y })
+    }
+
+    pub(crate) fn new_unchecked(x: BeString, y: BeString) -> Self {
+        debug_assert_eq!(x.class_counts(), y.class_counts());
+        BeString2D { x, y }
+    }
+
+    /// Parses both axis strings from their textual renderings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and validation errors.
+    pub fn parse(x: &str, y: &str) -> Result<Self, BeStringError> {
+        BeString2D::new(x.parse()?, y.parse()?)
+    }
+
+    /// The x-axis string (the paper's `u`).
+    #[must_use]
+    pub fn x(&self) -> &BeString {
+        &self.x
+    }
+
+    /// The y-axis string (the paper's `v`).
+    #[must_use]
+    pub fn y(&self) -> &BeString {
+        &self.y
+    }
+
+    /// Number of objects represented.
+    #[must_use]
+    pub fn object_count(&self) -> usize {
+        self.x.object_count()
+    }
+
+    /// Total storage units (symbols over both axes).
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.x.len() + self.y.len()
+    }
+
+    /// Class multiset of the represented objects.
+    #[must_use]
+    pub fn class_counts(&self) -> HashMap<ObjectClass, usize> {
+        self.x.class_counts()
+    }
+}
+
+impl fmt::Display for BeString2D {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(token: &str) -> BeSymbol {
+        BeSymbol::parse_token(token).unwrap()
+    }
+
+    #[test]
+    fn valid_string_parses() {
+        let s: BeString = "E A_b E A_e E".parse().unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.boundary_count(), 2);
+        assert_eq!(s.dummy_count(), 3);
+        assert_eq!(s.object_count(), 1);
+    }
+
+    #[test]
+    fn rejects_adjacent_dummies() {
+        let err = BeString::new(vec![BeSymbol::Dummy, BeSymbol::Dummy]);
+        assert!(matches!(err, Err(BeStringError::InvalidString { .. })));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(BeString::new(vec![]).is_err());
+        assert!("".parse::<BeString>().is_err());
+    }
+
+    #[test]
+    fn rejects_unbalanced() {
+        assert!("A_b".parse::<BeString>().is_err());
+        assert!("A_e A_b".parse::<BeString>().is_err(), "end before begin");
+        assert!("A_b A_e A_e".parse::<BeString>().is_err());
+        assert!("A_b B_e".parse::<BeString>().is_err());
+    }
+
+    #[test]
+    fn accepts_same_class_nesting_and_chains() {
+        // two objects of class A: [0,10] and [2,5]
+        assert!("A_b E A_b E A_e E A_e".parse::<BeString>().is_ok());
+        // meeting chain A[0,5], A[5,9]
+        assert!("A_b E A_e A_b E A_e".parse::<BeString>().is_ok());
+    }
+
+    #[test]
+    fn empty_axis_is_single_dummy() {
+        let s = BeString::empty_axis();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.object_count(), 0);
+        assert_eq!(s.to_string(), "E");
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let text = "E A_b E B_b E A_e C_b E C_e E B_e E";
+        let s: BeString = text.parse().unwrap();
+        assert_eq!(s.to_string(), text);
+        let again: BeString = s.to_string().parse().unwrap();
+        assert_eq!(again, s);
+    }
+
+    #[test]
+    fn mirrored_is_involution_and_flips() {
+        let s: BeString = "E A_b E B_b E A_e C_b E C_e E B_e E".parse().unwrap();
+        let m = s.mirrored();
+        assert_eq!(m.to_string(), "E B_b E C_b E C_e A_b E B_e E A_e E");
+        assert_eq!(m.mirrored(), s);
+        assert_eq!(m.len(), s.len());
+        assert_eq!(m.object_count(), s.object_count());
+    }
+
+    #[test]
+    fn class_counts() {
+        let s: BeString = "A_b E A_b E A_e E A_e B_b E B_e".parse().unwrap();
+        let counts = s.class_counts();
+        assert_eq!(counts[&ObjectClass::new("A")], 2);
+        assert_eq!(counts[&ObjectClass::new("B")], 1);
+        assert_eq!(counts.len(), 2);
+    }
+
+    #[test]
+    fn iteration_yields_symbols() {
+        let s: BeString = "E A_b A_e".parse().unwrap();
+        let v: Vec<_> = s.iter().cloned().collect();
+        assert_eq!(v, vec![BeSymbol::Dummy, sym("A_b"), sym("A_e")]);
+        let v2: Vec<_> = (&s).into_iter().cloned().collect();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn bestring2d_requires_matching_classes() {
+        let x: BeString = "A_b E A_e".parse().unwrap();
+        let y_ok: BeString = "E A_b A_e E".parse().unwrap();
+        let y_bad: BeString = "B_b E B_e".parse().unwrap();
+        assert!(BeString2D::new(x.clone(), y_ok).is_ok());
+        assert!(BeString2D::new(x, y_bad).is_err());
+    }
+
+    #[test]
+    fn bestring2d_accessors_and_display() {
+        let s = BeString2D::parse("A_b E A_e", "E A_b A_e E").unwrap();
+        assert_eq!(s.object_count(), 1);
+        assert_eq!(s.total_len(), 7);
+        assert_eq!(s.to_string(), "(A_b E A_e, E A_b A_e E)");
+        assert_eq!(s.class_counts()[&ObjectClass::new("A")], 1);
+    }
+}

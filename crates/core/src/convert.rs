@@ -1,0 +1,165 @@
+//! Algorithm 1 — `Convert_2D_Be_String`: scene → 2D BE-string.
+//!
+//! The paper's Algorithm 1 takes the object identifiers and MBR boundary
+//! coordinate arrays of an image and produces the `(u, v)` string pair. The
+//! implementation lives in [`SymbolicImage`]; this module is the thin
+//! public face plus the conversion contract tests, including the Figure 1
+//! worked example of §3.1.
+
+use crate::{BeString, BeString2D, SymbolicImage};
+use be2d_geometry::Scene;
+
+/// Converts a scene into its 2D BE-string (Algorithm 1 end-to-end).
+///
+/// Sorting the `2n` boundary events per axis dominates the cost:
+/// O(n log n) time and O(n) space; every other step is a linear scan,
+/// matching the complexity analysis of §3.2.
+///
+/// # Example
+///
+/// The worked example of §3.1 (Figure 1):
+///
+/// ```
+/// use be2d_core::convert_scene;
+/// use be2d_geometry::SceneBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let scene = SceneBuilder::new(100, 100)
+///     .object("A", (10, 50, 25, 85))
+///     .object("B", (30, 90, 5, 45))
+///     .object("C", (50, 70, 45, 65))
+///     .build()?;
+/// let s = convert_scene(&scene);
+/// assert_eq!(s.x().to_string(), "E A_b E B_b E A_e C_b E C_e E B_e E");
+/// assert_eq!(s.y().to_string(), "E B_b E A_b E B_e C_b E C_e E A_e E");
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn convert_scene(scene: &Scene) -> BeString2D {
+    SymbolicImage::from_scene(scene).to_be_string_2d()
+}
+
+/// Converts only the x-axis projection of a scene.
+#[must_use]
+pub fn convert_scene_x(scene: &Scene) -> BeString {
+    SymbolicImage::from_scene(scene).x().to_be_string()
+}
+
+/// Converts only the y-axis projection of a scene.
+#[must_use]
+pub fn convert_scene_y(scene: &Scene) -> BeString {
+    SymbolicImage::from_scene(scene).y().to_be_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use be2d_geometry::{ObjectClass, Rect, SceneBuilder};
+
+    /// The three-object image of Figure 1, with coordinates chosen to
+    /// reproduce §3.1's description exactly: on x, `A_e` and `C_b` project
+    /// to the same location; on y, `B_e` and `C_b` coincide; every other
+    /// adjacent pair is distinct, and free space borders all four edges.
+    fn figure1() -> be2d_geometry::Scene {
+        SceneBuilder::new(100, 100)
+            .object("A", (10, 50, 25, 85))
+            .object("B", (30, 90, 5, 45))
+            .object("C", (50, 70, 45, 65))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure1_worked_example() {
+        let s = convert_scene(&figure1());
+        // (u, v) = (EA_b EB_b EA_e C_b EC_e EB_e E, EB_b EA_b EB_e C_b EC_e EA_e E)
+        assert_eq!(s.x().to_string(), "E A_b E B_b E A_e C_b E C_e E B_e E");
+        assert_eq!(s.y().to_string(), "E B_b E A_b E B_e C_b E C_e E A_e E");
+        // d3 on x is the null string (A_e and C_b coincide); similarly on y.
+        assert_eq!(s.x().dummy_count(), 6);
+        assert_eq!(s.y().dummy_count(), 6);
+    }
+
+    #[test]
+    fn empty_scene_is_single_dummy_per_axis() {
+        let scene = be2d_geometry::Scene::new(10, 10).unwrap();
+        let s = convert_scene(&scene);
+        assert_eq!(s.x().to_string(), "E");
+        assert_eq!(s.y().to_string(), "E");
+        assert_eq!(s.total_len(), 2);
+    }
+
+    #[test]
+    fn single_object_with_margins() {
+        let scene = SceneBuilder::new(10, 10).object("A", (2, 5, 0, 10)).build().unwrap();
+        let s = convert_scene(&scene);
+        assert_eq!(s.x().to_string(), "E A_b E A_e E");
+        assert_eq!(s.y().to_string(), "A_b E A_e");
+    }
+
+    #[test]
+    fn axis_helpers_match_full_conversion() {
+        let scene = figure1();
+        let s = convert_scene(&scene);
+        assert_eq!(&convert_scene_x(&scene), s.x());
+        assert_eq!(&convert_scene_y(&scene), s.y());
+    }
+
+    #[test]
+    fn storage_bounds_hold_for_dense_grid() {
+        // Worst case: all boundaries distinct, margins everywhere -> 4n+1.
+        let mut scene = be2d_geometry::Scene::new(1000, 1000).unwrap();
+        for i in 0..10 {
+            let base = 1 + i * 90;
+            scene
+                .add(ObjectClass::new("X"), Rect::new(base, base + 40, base, base + 40).unwrap())
+                .unwrap();
+        }
+        let s = convert_scene(&scene);
+        assert_eq!(s.x().len(), 4 * 10 + 1);
+        assert_eq!(s.y().len(), 4 * 10 + 1);
+    }
+
+    #[test]
+    fn storage_lower_bound_for_identical_stack() {
+        // Best case: identical whole-frame objects -> 2n+1.
+        let mut scene = be2d_geometry::Scene::new(100, 100).unwrap();
+        for _ in 0..7 {
+            scene.add(ObjectClass::new("A"), Rect::new(0, 100, 0, 100).unwrap()).unwrap();
+        }
+        let s = convert_scene(&scene);
+        assert_eq!(s.x().len(), 2 * 7 + 1);
+        assert_eq!(s.y().len(), 2 * 7 + 1);
+    }
+
+    #[test]
+    fn duplicate_classes_are_represented_individually() {
+        let scene = SceneBuilder::new(100, 100)
+            .object("A", (0, 10, 0, 10))
+            .object("A", (20, 30, 20, 30))
+            .build()
+            .unwrap();
+        let s = convert_scene(&scene);
+        assert_eq!(s.x().to_string(), "A_b E A_e E A_b E A_e E");
+        assert_eq!(s.object_count(), 2);
+    }
+
+    #[test]
+    fn conversion_is_translation_sensitive_but_order_preserving() {
+        // The model captures relative order, not absolute positions —
+        // translating objects without changing boundary order and edge gaps
+        // yields the identical string.
+        let a = SceneBuilder::new(100, 100)
+            .object("A", (10, 20, 10, 20))
+            .object("B", (30, 40, 30, 40))
+            .build()
+            .unwrap();
+        let b = SceneBuilder::new(100, 100)
+            .object("A", (5, 25, 15, 22))
+            .object("B", (40, 60, 35, 50))
+            .build()
+            .unwrap();
+        assert_eq!(convert_scene(&a), convert_scene(&b));
+    }
+}

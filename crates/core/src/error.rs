@@ -1,0 +1,107 @@
+//! Error type for BE-string construction, parsing and editing.
+
+use be2d_geometry::GeometryError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the BE-string model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BeStringError {
+    /// A geometric precondition failed (propagated from `be2d-geometry`).
+    Geometry(GeometryError),
+    /// A symbol sequence violates a BE-string invariant.
+    ///
+    /// The invariants are: no two adjacent dummy objects, per-class
+    /// begin/end balance, and non-emptiness.
+    InvalidString {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// A textual BE-string failed to parse.
+    Parse {
+        /// The offending token.
+        token: String,
+    },
+    /// An edit addressed an object (class + boundary coordinates) that the
+    /// string does not contain.
+    ObjectNotFound {
+        /// Class name of the missing object.
+        class: String,
+        /// The begin coordinate that was searched for.
+        begin: i64,
+        /// The end coordinate that was searched for.
+        end: i64,
+    },
+    /// An edit would place a boundary outside the string's frame extent.
+    OutOfExtent {
+        /// The offending coordinate.
+        coord: i64,
+        /// The frame extent on this axis.
+        extent: i64,
+    },
+}
+
+impl fmt::Display for BeStringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BeStringError::Geometry(e) => write!(f, "geometry error: {e}"),
+            BeStringError::InvalidString { reason } => {
+                write!(f, "invalid BE-string: {reason}")
+            }
+            BeStringError::Parse { token } => write!(f, "cannot parse BE-string token {token:?}"),
+            BeStringError::ObjectNotFound { class, begin, end } => {
+                write!(f, "object {class} with boundaries [{begin}, {end}) not found")
+            }
+            BeStringError::OutOfExtent { coord, extent } => {
+                write!(f, "coordinate {coord} outside frame extent [0, {extent}]")
+            }
+        }
+    }
+}
+
+impl Error for BeStringError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BeStringError::Geometry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeometryError> for BeStringError {
+    fn from(e: GeometryError) -> Self {
+        BeStringError::Geometry(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = BeStringError::from(GeometryError::NegativeCoordinate { value: -3 });
+        assert!(e.to_string().contains("geometry error"));
+        assert!(e.source().is_some());
+
+        let e = BeStringError::InvalidString { reason: "two adjacent dummies".into() };
+        assert!(e.to_string().contains("two adjacent dummies"));
+        assert!(e.source().is_none());
+
+        let e = BeStringError::ObjectNotFound { class: "A".into(), begin: 1, end: 5 };
+        assert_eq!(e.to_string(), "object A with boundaries [1, 5) not found");
+
+        let e = BeStringError::OutOfExtent { coord: 12, extent: 10 };
+        assert!(e.to_string().contains("outside frame extent"));
+
+        let e = BeStringError::Parse { token: "??".into() };
+        assert!(e.to_string().contains("??"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BeStringError>();
+    }
+}

@@ -1,0 +1,539 @@
+//! Algorithms 2 and 3 — the modified Longest Common Subsequence on
+//! BE-strings.
+//!
+//! The paper's key retrieval insight (§4): *"The LCS string implies that,
+//! in query image and database image, all the spatial relationships of
+//! every two objects in LCS string are the same."* Finding an LCS between
+//! two BE-strings therefore measures how many objects-plus-relations the
+//! two images share — in O(mn), where the classic 2-D string family needs
+//! a maximum-clique search (NP-complete).
+//!
+//! Two modifications distinguish this from the textbook LCS:
+//!
+//! 1. **No consecutive dummies.** One dummy object suffices to witness
+//!    "these boundaries are distinct"; letting the LCS pick two in a row
+//!    would inflate scores with meaningless free-space matches. The DP
+//!    table stores *signed* lengths: `w[i][j] < 0` records that the LCS
+//!    realised at `(i, j)` ends with a dummy, and a diagonal ε–ε match is
+//!    admitted only when `w[i-1][j-1] ≥ 0`.
+//! 2. **No direction matrix.** The classic algorithm keeps a second matrix
+//!    of back-pointers; Algorithm 2 evaluates the left/up inheritance
+//!    *before* the diagonal and Algorithm 3 re-infers the path from the
+//!    length table alone.
+
+use crate::{BeString, BeSymbol};
+
+/// The signed LCS length-inference table `W` of Algorithm 2.
+///
+/// Row `i`/column `j` correspond to the length-`i`/`j` prefixes of the
+/// query/database strings; `|w[i][j]|` is the LCS length of those prefixes
+/// and the sign records whether that LCS ends with a dummy object.
+///
+/// # Example
+///
+/// ```
+/// use be2d_core::{BeString, LcsTable};
+///
+/// let q: BeString = "E A_b E A_e E".parse()?;
+/// let d: BeString = "E A_b E B_b E A_e E B_e E".parse()?;
+/// let table = LcsTable::build(&q, &d);
+/// assert_eq!(table.length(), 5); // all of q embeds in d
+/// # Ok::<(), be2d_core::BeStringError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LcsTable {
+    /// Row-major `(m+1) × (n+1)` signed length table.
+    w: Vec<i32>,
+    /// Number of columns (`n + 1`).
+    cols: usize,
+    /// Query symbols (needed to print the LCS string).
+    query: Vec<BeSymbol>,
+}
+
+impl LcsTable {
+    /// Runs Algorithm 2 (`2D_Be_LCS_Length`) on one axis pair.
+    ///
+    /// Time and space are O(mn) in the string lengths; for images with
+    /// `m`/`n` objects the strings have at most `4m+1` / `4n+1` symbols,
+    /// so this is O(mn) in the object counts too — the complexity the
+    /// paper claims.
+    #[must_use]
+    pub fn build(query: &BeString, database: &BeString) -> LcsTable {
+        let q = query.symbols();
+        let d = database.symbols();
+        let (m, n) = (q.len(), d.len());
+        let cols = n + 1;
+        // Lines 7–11: first row and column initialised to zero.
+        let mut w = vec![0i32; (m + 1) * cols];
+        for i in 1..=m {
+            let qi = &q[i - 1];
+            let qi_is_dummy = qi.is_dummy();
+            for j in 1..=n {
+                let up = w[(i - 1) * cols + j];
+                let left = w[i * cols + (j - 1)];
+                // Lines 16–19: inherit the neighbour with the larger
+                // absolute value, preferring up on ties.
+                let mut cell = if up.abs() >= left.abs() { up } else { left };
+                // Line 21: a match may extend the diagonal only when the
+                // symbols agree and (for dummies) the diagonal LCS does not
+                // already end with a dummy.
+                let diag = w[(i - 1) * cols + (j - 1)];
+                if qi == &d[j - 1] && (!qi_is_dummy || diag >= 0) {
+                    // Lines 23–24: follow the diagonal only when strictly
+                    // longer than the inherited value.
+                    let candidate = diag.abs() + 1;
+                    if candidate > cell.abs() {
+                        // Lines 25–26: negative sign marks "ends with ε".
+                        cell = if qi_is_dummy { -candidate } else { candidate };
+                    }
+                }
+                w[i * cols + j] = cell;
+            }
+        }
+        LcsTable { w, cols, query: q.to_vec() }
+    }
+
+    /// The LCS length `|w[m][n]|`.
+    #[must_use]
+    pub fn length(&self) -> usize {
+        self.w.last().map_or(0, |v| v.unsigned_abs() as usize)
+    }
+
+    /// Raw signed cell value (row `i`, column `j`). Exposed for the
+    /// algorithm-shape tests and the demo's table visualisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices exceed the table dimensions.
+    #[must_use]
+    pub fn cell(&self, i: usize, j: usize) -> i32 {
+        assert!(j < self.cols && i * self.cols + j < self.w.len(), "cell index out of range");
+        self.w[i * self.cols + j]
+    }
+
+    /// Number of rows (`m + 1`).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.w.len() / self.cols
+    }
+
+    /// Number of columns (`n + 1`).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reconstructs one LCS string — Algorithm 3 (`Print_2D_Be_LCS`),
+    /// iteratively.
+    ///
+    /// Walks from `w[m][n]`: when the absolute value equals the upper
+    /// cell's the path came from above; else when it equals the left
+    /// cell's it came from the left; otherwise the cell was set by a
+    /// diagonal match and its query symbol belongs to the LCS.
+    #[must_use]
+    pub fn lcs_string(&self) -> Vec<BeSymbol> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (self.rows() - 1, self.cols - 1);
+        while i > 0 && j > 0 {
+            let here = self.cell(i, j).abs();
+            if here == self.cell(i - 1, j).abs() {
+                i -= 1;
+            } else if here == self.cell(i, j - 1).abs() {
+                j -= 1;
+            } else {
+                out.push(self.query[i - 1].clone());
+                i -= 1;
+                j -= 1;
+            }
+        }
+        out.reverse();
+        out
+    }
+
+    /// Reconstructs the LCS with the paper's literal recursion (Algorithm
+    /// 3). Provided to cross-check the iterative version; both always
+    /// produce identical output (property-tested).
+    #[must_use]
+    pub fn lcs_string_recursive(&self) -> Vec<BeSymbol> {
+        fn rec(t: &LcsTable, i: usize, j: usize, out: &mut Vec<BeSymbol>) {
+            if i == 0 || j == 0 {
+                return;
+            }
+            if t.cell(i, j).abs() == t.cell(i - 1, j).abs() {
+                rec(t, i - 1, j, out);
+            } else if t.cell(i, j).abs() == t.cell(i, j - 1).abs() {
+                rec(t, i, j - 1, out);
+            } else {
+                rec(t, i - 1, j - 1, out);
+                out.push(t.query[i - 1].clone());
+            }
+        }
+        let mut out = Vec::new();
+        rec(self, self.rows() - 1, self.cols - 1, &mut out);
+        out
+    }
+
+    /// Number of boundary (non-dummy) symbols in the reconstructed LCS —
+    /// the "objects and relations actually shared" count used by the
+    /// boundary-only similarity normalisation.
+    #[must_use]
+    pub fn boundary_length(&self) -> usize {
+        self.lcs_string().iter().filter(|s| s.is_boundary()).count()
+    }
+
+    /// Renders the signed inference table for inspection — the exact `W`
+    /// of the paper's Algorithm 2, with negative entries marking cells
+    /// whose canonical LCS ends in a dummy object.
+    ///
+    /// Intended for teaching/debugging on small strings; the output is
+    /// `(m+1) × (n+1)` cells wide, so keep inputs short.
+    #[must_use]
+    pub fn render(&self, database: &BeString) -> String {
+        let mut out = String::new();
+        // header row: database symbols
+        out.push_str(&format!("{:>6}{:>5}", "", "-"));
+        for d in database.symbols() {
+            out.push_str(&format!("{:>5}", d.to_string()));
+        }
+        out.push('\n');
+        for i in 0..self.rows() {
+            let label =
+                if i == 0 { "-".to_owned() } else { self.query[i - 1].to_string() };
+            out.push_str(&format!("{label:>6}"));
+            for j in 0..self.cols {
+                out.push_str(&format!("{:>5}", self.cell(i, j)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Convenience wrapper: LCS length of two BE-strings (Algorithm 2).
+///
+/// ```
+/// use be2d_core::{be_lcs_length, BeString};
+///
+/// let a: BeString = "E A_b E A_e E".parse()?;
+/// let b: BeString = "A_b E A_e".parse()?;
+/// assert_eq!(be_lcs_length(&a, &b), 3);
+/// # Ok::<(), be2d_core::BeStringError>(())
+/// ```
+#[must_use]
+pub fn be_lcs_length(query: &BeString, database: &BeString) -> usize {
+    LcsTable::build(query, database).length()
+}
+
+/// Exact reference for the constrained LCS problem the paper's Algorithm
+/// 2 targets: the longest common subsequence **with no two consecutive
+/// dummy objects**, computed by dynamic programming over the state
+/// `(i, j, last-symbol-was-ε)`.
+///
+/// Algorithm 2 tracks the ε-tail with a *sign bit on a single canonical
+/// value per cell*, which can under-approximate: when a cell's maximal
+/// LCS ends in ε but an equally long one ends in a boundary symbol, the
+/// signed table remembers only one of them and may refuse a later ε
+/// extension that the other would have allowed. This reference keeps
+/// both states, so
+/// `LcsTable::build(q, d).length() <= exact_constrained_lcs_length(q, d)`
+/// always holds (property-tested), and the `exp_lcs_gap` experiment
+/// measures how often and how far the heuristic falls short in practice.
+///
+/// O(mn) time and space, like Algorithm 2, with a 2× constant factor.
+///
+/// # Example
+///
+/// ```
+/// use be2d_core::{exact_constrained_lcs_length, be_lcs_length, BeString};
+///
+/// let a: BeString = "E A_b E A_e E".parse()?;
+/// let b: BeString = "E A_b E A_e E".parse()?;
+/// assert_eq!(exact_constrained_lcs_length(&a, &b), 5);
+/// assert!(be_lcs_length(&a, &b) <= exact_constrained_lcs_length(&a, &b));
+/// # Ok::<(), be2d_core::BeStringError>(())
+/// ```
+#[must_use]
+pub fn exact_constrained_lcs_length(query: &BeString, database: &BeString) -> usize {
+    let q = query.symbols();
+    let d = database.symbols();
+    let (m, n) = (q.len(), d.len());
+    let cols = n + 1;
+    const NEG: i32 = i32::MIN / 2; // "state unreachable" sentinel
+    // best[k][i][j]: longest constrained common subsequence of the
+    // prefixes whose last picked symbol is a boundary (k = 0) or a dummy
+    // (k = 1); the empty subsequence counts as boundary-tailed.
+    let mut bound = vec![0i32; (m + 1) * cols];
+    let mut dummy = vec![NEG; (m + 1) * cols];
+    for i in 1..=m {
+        let qi = &q[i - 1];
+        let qi_is_dummy = qi.is_dummy();
+        for j in 1..=n {
+            let here = i * cols + j;
+            let up = (i - 1) * cols + j;
+            let left = i * cols + (j - 1);
+            let diag = (i - 1) * cols + (j - 1);
+            let mut b = bound[up].max(bound[left]);
+            let mut e = dummy[up].max(dummy[left]);
+            if qi == &d[j - 1] {
+                if qi_is_dummy {
+                    // extending with ε requires a boundary-tailed LCS
+                    if bound[diag] >= 0 {
+                        e = e.max(bound[diag] + 1);
+                    }
+                } else {
+                    // boundary symbols extend either tail state
+                    b = b.max(bound[diag].max(dummy[diag]) + 1);
+                }
+            }
+            bound[here] = b;
+            dummy[here] = e;
+        }
+    }
+    let last = m * cols + n;
+    bound[last].max(dummy[last]).max(0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Boundary;
+
+    fn s(text: &str) -> BeString {
+        text.parse().unwrap()
+    }
+
+    fn is_subsequence(needle: &[BeSymbol], hay: &[BeSymbol]) -> bool {
+        let mut it = hay.iter();
+        needle.iter().all(|n| it.any(|h| h == n))
+    }
+
+    #[test]
+    fn identical_strings_match_fully() {
+        let a = s("E A_b E B_b E A_e C_b E C_e E B_e E");
+        let t = LcsTable::build(&a, &a);
+        assert_eq!(t.length(), a.len());
+        assert_eq!(t.lcs_string(), a.symbols());
+    }
+
+    #[test]
+    fn disjoint_alphabets_share_only_dummies() {
+        let a = s("E A_b E A_e E");
+        let b = s("E B_b E B_e E");
+        // Only single (non-consecutive) dummies can match; the best common
+        // subsequence alternates at most around boundary symbols, and with
+        // no shared boundary symbol only one dummy can ever be picked.
+        assert_eq!(be_lcs_length(&a, &b), 1);
+    }
+
+    #[test]
+    fn dummy_only_match_cannot_chain() {
+        let a = s("E A_b E A_e E B_b E B_e E");
+        let b = s("E C_b E C_e E D_b E D_e E");
+        // five dummies on each side, but consecutive dummy picks are
+        // forbidden, and with no boundary symbol in between the LCS is 1.
+        assert_eq!(be_lcs_length(&a, &b), 1);
+    }
+
+    #[test]
+    fn dummies_may_alternate_with_boundaries() {
+        let a = s("E A_b E A_e E");
+        let b = s("E A_b E A_e E");
+        assert_eq!(be_lcs_length(&a, &b), 5, "E A_b E A_e E is a legal LCS");
+    }
+
+    #[test]
+    fn partial_object_overlap() {
+        // Query: A and B with a gap. Database: A, C, B.
+        let q = s("E A_b E A_e E B_b E B_e E");
+        let d = s("E A_b E A_e C_b E C_e E B_b E B_e E");
+        let t = LcsTable::build(&q, &d);
+        // whole query embeds: every query symbol appears in order in d
+        assert_eq!(t.length(), q.len());
+        assert!(is_subsequence(&t.lcs_string(), d.symbols()));
+    }
+
+    #[test]
+    fn relation_change_reduces_score() {
+        // same objects, different relation (B left of A vs A left of B)
+        let q = s("E A_b E A_e E B_b E B_e E");
+        let d = s("E B_b E B_e E A_b E A_e E");
+        let len = be_lcs_length(&q, &d);
+        assert!(len < q.len(), "different order must not match fully");
+        // A's pair or B's pair still matches with interleaved dummies:
+        // E A_b E A_e E (5)
+        assert_eq!(len, 5);
+    }
+
+    #[test]
+    fn lengths_symmetric() {
+        let q = s("E A_b E B_b E A_e C_b E C_e E B_e E");
+        let d = s("E B_b E A_b E B_e C_b E C_e E A_e E");
+        assert_eq!(be_lcs_length(&q, &d), be_lcs_length(&d, &q));
+    }
+
+    #[test]
+    fn length_bounded_by_shorter_string() {
+        let q = s("E A_b E A_e E");
+        let d = s("E A_b E B_b E A_e C_b E C_e E B_e E");
+        assert!(be_lcs_length(&q, &d) <= q.len().min(d.len()));
+    }
+
+    #[test]
+    fn reconstruction_matches_reported_length_and_is_common() {
+        let q = s("E A_b E B_b E A_e C_b E C_e E B_e E");
+        let d = s("E B_b E A_b E B_e C_b E C_e E A_e E");
+        let t = LcsTable::build(&q, &d);
+        let lcs = t.lcs_string();
+        assert_eq!(lcs.len(), t.length());
+        assert!(is_subsequence(&lcs, q.symbols()));
+        assert!(is_subsequence(&lcs, d.symbols()));
+    }
+
+    #[test]
+    fn reconstruction_never_has_adjacent_dummies() {
+        let q = s("E A_b E B_b E A_e C_b E C_e E B_e E");
+        let d = s("E C_b E C_e E A_b E A_e E B_b E B_e E");
+        let lcs = LcsTable::build(&q, &d).lcs_string();
+        assert!(
+            lcs.windows(2).all(|w| !(w[0].is_dummy() && w[1].is_dummy())),
+            "no two consecutive dummies: {lcs:?}"
+        );
+    }
+
+    #[test]
+    fn recursive_and_iterative_reconstruction_agree() {
+        let pairs = [
+            ("E A_b E A_e E", "E A_b E A_e E"),
+            ("E A_b E B_b E A_e C_b E C_e E B_e E", "E B_b E A_b E B_e C_b E C_e E A_e E"),
+            ("A_b E A_e", "E A_b E A_e E"),
+            ("E A_b E A_e E", "E B_b E B_e E"),
+        ];
+        for (a, b) in pairs {
+            let t = LcsTable::build(&s(a), &s(b));
+            assert_eq!(t.lcs_string(), t.lcs_string_recursive(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn table_shape_matches_paper() {
+        // strings of an m-object image have ≤ 4m+1 symbols; the table is
+        // (len_q + 1) × (len_d + 1).
+        let q = s("E A_b E A_e E");
+        let d = s("E A_b E B_b E A_e C_b E C_e E B_e E");
+        let t = LcsTable::build(&q, &d);
+        assert_eq!(t.rows(), q.len() + 1);
+        assert_eq!(t.cols(), d.len() + 1);
+        // first row/column all zero
+        for i in 0..t.rows() {
+            assert_eq!(t.cell(i, 0), 0);
+        }
+        for j in 0..t.cols() {
+            assert_eq!(t.cell(0, j), 0);
+        }
+    }
+
+    #[test]
+    fn sign_tracks_dummy_tail() {
+        let q = s("A_b E A_e");
+        let d = s("A_b E A_e");
+        let t = LcsTable::build(&q, &d);
+        // cell (2,2): LCS of "A_b E" and "A_b E" = "A_b E", ends with ε -> negative
+        assert_eq!(t.cell(2, 2), -2);
+        // cell (3,3): full match length 3, ends with boundary -> positive
+        assert_eq!(t.cell(3, 3), 3);
+    }
+
+    #[test]
+    fn boundary_length_excludes_dummies() {
+        let q = s("E A_b E A_e E");
+        let t = LcsTable::build(&q, &q);
+        assert_eq!(t.length(), 5);
+        assert_eq!(t.boundary_length(), 2);
+    }
+
+    #[test]
+    fn empty_axis_queries() {
+        let e = BeString::empty_axis();
+        let d = s("E A_b E A_e E");
+        assert_eq!(be_lcs_length(&e, &d), 1, "the single dummy matches");
+        assert_eq!(be_lcs_length(&e, &e), 1);
+    }
+
+    #[test]
+    fn mirrored_pair_keeps_palindromic_score() {
+        // mirroring both strings preserves LCS length
+        let q = s("E A_b E B_b E A_e C_b E C_e E B_e E");
+        let d = s("E B_b E A_b E B_e C_b E C_e E A_e E");
+        assert_eq!(
+            be_lcs_length(&q, &d),
+            be_lcs_length(&q.mirrored(), &d.mirrored()),
+            "mirroring is a bijection on common subsequences"
+        );
+    }
+
+    #[test]
+    fn render_shows_table_with_signs() {
+        let q = s("A_b E A_e");
+        let t = LcsTable::build(&q, &q);
+        let rendered = t.render(&q);
+        // header + 4 rows
+        assert_eq!(rendered.lines().count(), 5);
+        assert!(rendered.contains("A_b"));
+        assert!(rendered.contains("-2"), "negative dummy-tail cell visible");
+        assert!(rendered.lines().last().expect("rows").trim_end().ends_with('3'));
+    }
+
+    #[test]
+    fn exact_reference_matches_known_cases() {
+        let cases = [
+            ("E A_b E A_e E", "E A_b E A_e E", 5),
+            ("E A_b E A_e E", "E B_b E B_e E", 1),
+            ("A_b E A_e", "A_b E A_e", 3),
+            ("E A_b E A_e E B_b E B_e E", "E C_b E C_e E D_b E D_e E", 1),
+        ];
+        for (a, b, expected) in cases {
+            assert_eq!(exact_constrained_lcs_length(&s(a), &s(b)), expected, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn exact_reference_dominates_paper_dp() {
+        let strings = [
+            "E A_b E A_e E",
+            "E A_b E B_b E A_e C_b E C_e E B_e E",
+            "E B_b E A_b E B_e C_b E C_e E A_e E",
+            "A_b E A_e B_b E B_e",
+            "E C_b E C_e E A_b E A_e E B_b E B_e E",
+        ];
+        for a in &strings {
+            for b in &strings {
+                let paper = be_lcs_length(&s(a), &s(b));
+                let exact = exact_constrained_lcs_length(&s(a), &s(b));
+                assert!(paper <= exact, "{a} vs {b}: paper {paper} > exact {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_reference_is_symmetric_and_bounded() {
+        let a = s("E A_b E B_b E A_e C_b E C_e E B_e E");
+        let b = s("E C_b E C_e E A_b E A_e E B_b E B_e E");
+        assert_eq!(
+            exact_constrained_lcs_length(&a, &b),
+            exact_constrained_lcs_length(&b, &a)
+        );
+        assert!(exact_constrained_lcs_length(&a, &b) <= a.len().min(b.len()));
+        assert_eq!(exact_constrained_lcs_length(&a, &a), a.len());
+    }
+
+    #[test]
+    fn same_class_begin_end_are_distinct_symbols() {
+        let q = s("A_b E A_e");
+        let d = s("E A_b E A_e E");
+        let t = LcsTable::build(&q, &d);
+        assert_eq!(t.length(), 3);
+        let lcs = t.lcs_string();
+        assert_eq!(lcs[0].boundary(), Some(Boundary::Begin));
+        assert_eq!(lcs[2].boundary(), Some(Boundary::End));
+    }
+}

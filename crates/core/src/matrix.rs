@@ -1,0 +1,178 @@
+//! Corpus-level similarity analysis: pairwise matrices and threshold
+//! clustering.
+//!
+//! Retrieval ranks one query against a database; collection management
+//! tasks (near-duplicate detection, corpus browsing) instead need *all*
+//! pairwise similarities. These helpers compute the symmetric similarity
+//! matrix under a [`SimilarityConfig`] and group images whose similarity
+//! exceeds a threshold into connected components.
+
+use crate::{similarity_with, BeString2D, SimilarityConfig};
+
+/// Computes the symmetric pairwise similarity matrix of a collection.
+///
+/// `matrix[i][j]` is the configured similarity of images `i` and `j`;
+/// the diagonal is 1. O(k²) similarity evaluations for `k` images, each
+/// O(mn) — fine for collection-management scale (thousands), not for
+/// web scale.
+///
+/// Note: symmetry is only guaranteed under symmetric configurations
+/// (the default Dice normalisation); with `QueryCoverage` the matrix is
+/// intentionally asymmetric and both triangles are computed.
+///
+/// # Example
+///
+/// ```
+/// use be2d_core::{convert_scene, similarity_matrix, SimilarityConfig};
+/// use be2d_geometry::SceneBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = convert_scene(&SceneBuilder::new(10, 10).object("A", (0, 5, 0, 5)).build()?);
+/// let b = convert_scene(&SceneBuilder::new(10, 10).object("B", (0, 5, 0, 5)).build()?);
+/// let m = similarity_matrix(&[a.clone(), a, b], &SimilarityConfig::default());
+/// assert_eq!(m[0][1], 1.0);
+/// assert!(m[0][2] < 0.8);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn similarity_matrix(items: &[BeString2D], cfg: &SimilarityConfig) -> Vec<Vec<f64>> {
+    let k = items.len();
+    let mut m = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        m[i][i] = 1.0;
+        for j in (i + 1)..k {
+            let s = similarity_with(&items[i], &items[j], cfg).score;
+            m[i][j] = s;
+            m[j][i] = similarity_with(&items[j], &items[i], cfg).score;
+        }
+    }
+    m
+}
+
+/// Groups indices into connected components of the graph whose edges are
+/// pairs with `matrix[i][j] >= threshold` (in either direction).
+///
+/// Returns clusters sorted by smallest member, singletons included —
+/// with a high threshold this is near-duplicate detection.
+///
+/// # Panics
+///
+/// Panics when the matrix is not square.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // both triangles of the matrix are read
+pub fn threshold_clusters(matrix: &[Vec<f64>], threshold: f64) -> Vec<Vec<usize>> {
+    let k = matrix.len();
+    for row in matrix {
+        assert_eq!(row.len(), k, "similarity matrix must be square");
+    }
+    let mut parent: Vec<usize> = (0..k).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if matrix[i][j] >= threshold || matrix[j][i] >= threshold {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[rj] = ri;
+                }
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for i in 0..k {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(i);
+    }
+    groups.into_values().collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::type_complexity)] // terse MBR tuples keep test fixtures readable
+mod tests {
+    use super::*;
+    use crate::convert_scene;
+    use be2d_geometry::SceneBuilder;
+
+    fn strings() -> Vec<BeString2D> {
+        let mk = |objs: &[(&str, (i64, i64, i64, i64))]| {
+            let mut b = SceneBuilder::new(100, 100);
+            for (n, m) in objs {
+                b = b.object(n, *m);
+            }
+            convert_scene(&b.build().unwrap())
+        };
+        vec![
+            mk(&[("A", (0, 20, 0, 20)), ("B", (40, 70, 40, 70))]), // 0
+            mk(&[("A", (2, 22, 1, 21)), ("B", (41, 69, 42, 71))]), // 1: near-dup of 0
+            mk(&[("Z", (10, 90, 10, 90))]),                        // 2: unrelated
+            mk(&[("A", (0, 20, 0, 20)), ("B", (40, 70, 40, 70))]), // 3: exact dup of 0
+        ]
+    }
+
+    #[test]
+    fn matrix_shape_and_diagonal() {
+        let m = similarity_matrix(&strings(), &SimilarityConfig::default());
+        assert_eq!(m.len(), 4);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row.len(), 4);
+            assert_eq!(row[i], 1.0);
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric_under_dice() {
+        let m = similarity_matrix(&strings(), &SimilarityConfig::default());
+        for (i, row) in m.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_score_one() {
+        let m = similarity_matrix(&strings(), &SimilarityConfig::default());
+        assert_eq!(m[0][3], 1.0);
+        assert!(m[0][1] > 0.8, "near-duplicate scores high: {}", m[0][1]);
+        assert!(m[0][2] < 0.5, "unrelated scores low: {}", m[0][2]);
+    }
+
+    #[test]
+    fn clustering_finds_duplicate_group() {
+        let m = similarity_matrix(&strings(), &SimilarityConfig::default());
+        let clusters = threshold_clusters(&m, 0.85);
+        assert!(clusters.contains(&vec![0, 1, 3]), "clusters: {clusters:?}");
+        assert!(clusters.contains(&vec![2]));
+    }
+
+    #[test]
+    fn threshold_extremes() {
+        let m = similarity_matrix(&strings(), &SimilarityConfig::default());
+        // everything connects at threshold 0
+        assert_eq!(threshold_clusters(&m, 0.0).len(), 1);
+        // nothing connects above 1
+        assert_eq!(threshold_clusters(&m, 1.1).len(), 4);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let m = similarity_matrix(&[], &SimilarityConfig::default());
+        assert!(m.is_empty());
+        assert!(threshold_clusters(&m, 0.5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_matrix_panics() {
+        let _ = threshold_clusters(&[vec![1.0, 0.5]], 0.5);
+    }
+}

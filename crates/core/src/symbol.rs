@@ -1,0 +1,252 @@
+//! BE-string symbols: boundary markers and the dummy object.
+
+use crate::BeStringError;
+use be2d_geometry::ObjectClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which MBR boundary of an object a symbol denotes.
+///
+/// The 2D B-string of Lee et al. introduced representing an object by two
+/// symbols — one for each MBR boundary — and the 2D BE-string keeps that
+/// encoding (§3.1 of the paper: "they present an object by its MBR
+/// boundaries and need nothing to be cut").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Boundary {
+    /// The begin (left/bottom) boundary — the paper's `x_b` / `y_b`.
+    Begin,
+    /// The end (right/top) boundary — the paper's `x_e` / `y_e`.
+    End,
+}
+
+impl Boundary {
+    /// The opposite boundary. Mirroring an axis swaps begins and ends,
+    /// which is how the symbolic D4 transforms work.
+    #[must_use]
+    pub const fn flipped(self) -> Boundary {
+        match self {
+            Boundary::Begin => Boundary::End,
+            Boundary::End => Boundary::Begin,
+        }
+    }
+
+    /// The suffix used in the textual rendering (`_b` / `_e`).
+    #[must_use]
+    pub const fn suffix(self) -> &'static str {
+        match self {
+            Boundary::Begin => "b",
+            Boundary::End => "e",
+        }
+    }
+}
+
+impl fmt::Display for Boundary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// One symbol of a BE-string.
+///
+/// A BE-string is a sequence over two kinds of symbols (§3.1):
+///
+/// * **boundary symbols** — the begin or end boundary of an object of some
+///   class, written `A_b` / `A_e`;
+/// * the **dummy object** `E` (ε) — "not a real object in the original
+///   image; it can be specified as any size of space". A dummy between two
+///   boundary symbols states that their projections are *distinct*; the
+///   absence of a dummy states they are *identical*. This replaces every
+///   spatial operator of the earlier 2-D string models.
+///
+/// Symbol equality (used by the LCS matching) is class + boundary identity;
+/// all dummies are equal to each other.
+///
+/// # Example
+///
+/// ```
+/// use be2d_core::{BeSymbol, Boundary};
+/// use be2d_geometry::ObjectClass;
+///
+/// let a_begin = BeSymbol::begin(ObjectClass::new("A"));
+/// assert!(a_begin.is_boundary());
+/// assert_eq!(a_begin.to_string(), "A_b");
+/// assert_eq!(BeSymbol::Dummy.to_string(), "E");
+/// assert_ne!(a_begin, BeSymbol::end(ObjectClass::new("A")));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BeSymbol {
+    /// The dummy object ε: a witness that adjacent boundary projections
+    /// differ (or that free space borders the image frame).
+    Dummy,
+    /// A begin/end boundary of an object of the given class.
+    Bound {
+        /// The object's class.
+        class: ObjectClass,
+        /// Which of the two MBR boundaries this symbol marks.
+        boundary: Boundary,
+    },
+}
+
+impl BeSymbol {
+    /// Convenience constructor for a begin boundary symbol.
+    #[must_use]
+    pub const fn begin(class: ObjectClass) -> Self {
+        BeSymbol::Bound { class, boundary: Boundary::Begin }
+    }
+
+    /// Convenience constructor for an end boundary symbol.
+    #[must_use]
+    pub const fn end(class: ObjectClass) -> Self {
+        BeSymbol::Bound { class, boundary: Boundary::End }
+    }
+
+    /// Whether this is the dummy object ε.
+    #[must_use]
+    pub const fn is_dummy(&self) -> bool {
+        matches!(self, BeSymbol::Dummy)
+    }
+
+    /// Whether this is a boundary symbol.
+    #[must_use]
+    pub const fn is_boundary(&self) -> bool {
+        matches!(self, BeSymbol::Bound { .. })
+    }
+
+    /// The class of a boundary symbol, or `None` for the dummy.
+    #[must_use]
+    pub fn class(&self) -> Option<&ObjectClass> {
+        match self {
+            BeSymbol::Dummy => None,
+            BeSymbol::Bound { class, .. } => Some(class),
+        }
+    }
+
+    /// The boundary kind of a boundary symbol, or `None` for the dummy.
+    #[must_use]
+    pub fn boundary(&self) -> Option<Boundary> {
+        match self {
+            BeSymbol::Dummy => None,
+            BeSymbol::Bound { boundary, .. } => Some(*boundary),
+        }
+    }
+
+    /// The symbol with begin/end swapped; the dummy is unchanged.
+    ///
+    /// This is the per-symbol half of the string-reversal transforms of §4.
+    #[must_use]
+    pub fn flipped(&self) -> BeSymbol {
+        match self {
+            BeSymbol::Dummy => BeSymbol::Dummy,
+            BeSymbol::Bound { class, boundary } => {
+                BeSymbol::Bound { class: class.clone(), boundary: boundary.flipped() }
+            }
+        }
+    }
+
+    /// Parses one space-separated token of the textual rendering.
+    ///
+    /// `"E"` is the dummy; `"<name>_b"` / `"<name>_e"` are boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BeStringError::Parse`] for malformed tokens.
+    pub fn parse_token(token: &str) -> Result<Self, BeStringError> {
+        if token == "E" {
+            return Ok(BeSymbol::Dummy);
+        }
+        let (name, suffix) = token
+            .rsplit_once('_')
+            .ok_or_else(|| BeStringError::Parse { token: token.to_owned() })?;
+        let boundary = match suffix {
+            "b" => Boundary::Begin,
+            "e" => Boundary::End,
+            _ => return Err(BeStringError::Parse { token: token.to_owned() }),
+        };
+        let class = ObjectClass::try_new(name)
+            .map_err(|_| BeStringError::Parse { token: token.to_owned() })?;
+        Ok(BeSymbol::Bound { class, boundary })
+    }
+}
+
+impl fmt::Display for BeSymbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BeSymbol::Dummy => f.write_str("E"),
+            BeSymbol::Bound { class, boundary } => write!(f, "{class}_{boundary}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(name: &str) -> ObjectClass {
+        ObjectClass::new(name)
+    }
+
+    #[test]
+    fn boundary_flip_is_involution() {
+        assert_eq!(Boundary::Begin.flipped(), Boundary::End);
+        assert_eq!(Boundary::End.flipped(), Boundary::Begin);
+        assert_eq!(Boundary::Begin.flipped().flipped(), Boundary::Begin);
+    }
+
+    #[test]
+    fn symbol_constructors_and_accessors() {
+        let b = BeSymbol::begin(class("A"));
+        assert!(b.is_boundary());
+        assert!(!b.is_dummy());
+        assert_eq!(b.class().unwrap().name(), "A");
+        assert_eq!(b.boundary(), Some(Boundary::Begin));
+
+        assert!(BeSymbol::Dummy.is_dummy());
+        assert_eq!(BeSymbol::Dummy.class(), None);
+        assert_eq!(BeSymbol::Dummy.boundary(), None);
+    }
+
+    #[test]
+    fn symbol_equality_is_class_and_boundary() {
+        assert_eq!(BeSymbol::begin(class("A")), BeSymbol::begin(class("A")));
+        assert_ne!(BeSymbol::begin(class("A")), BeSymbol::end(class("A")));
+        assert_ne!(BeSymbol::begin(class("A")), BeSymbol::begin(class("B")));
+        assert_eq!(BeSymbol::Dummy, BeSymbol::Dummy);
+        assert_ne!(BeSymbol::Dummy, BeSymbol::begin(class("A")));
+    }
+
+    #[test]
+    fn symbol_flip() {
+        let b = BeSymbol::begin(class("A"));
+        assert_eq!(b.flipped(), BeSymbol::end(class("A")));
+        assert_eq!(b.flipped().flipped(), b);
+        assert_eq!(BeSymbol::Dummy.flipped(), BeSymbol::Dummy);
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for s in [
+            BeSymbol::Dummy,
+            BeSymbol::begin(class("A")),
+            BeSymbol::end(class("A")),
+            BeSymbol::begin(class("house2")),
+        ] {
+            let text = s.to_string();
+            assert_eq!(BeSymbol::parse_token(&text).unwrap(), s, "token {text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "A", "A_x", "_b", "E_b_"] {
+            assert!(BeSymbol::parse_token(bad).is_err(), "should reject {bad:?}");
+        }
+        // "E_b" would need class "E" which is reserved
+        assert!(BeSymbol::parse_token("E_b").is_err());
+    }
+
+    #[test]
+    fn display_examples() {
+        assert_eq!(BeSymbol::end(class("car")).to_string(), "car_e");
+        assert_eq!(Boundary::Begin.to_string(), "b");
+    }
+}

@@ -1,0 +1,153 @@
+//! §4 — rotation and reflection retrieval by string reversal.
+//!
+//! The paper: *"For the similarity retrieval of rotation and reflection,
+//! our approaches only need to reverse the string then apply the
+//! similarity retrieval and evaluation […] This process does not need any
+//! conversion of spatial operators."* The earlier 2-D string variants must
+//! rewrite every spatial operator through a conversion table (cf. Chien,
+//! 1998); the BE-string has no operators, so a mirror is literally the
+//! reversed string with begin/end roles swapped.
+//!
+//! The derivation, with the frame `W × H`, origin bottom-left:
+//!
+//! | transform        | new x-string      | new y-string      |
+//! |------------------|-------------------|-------------------|
+//! | identity         | `u`               | `v`               |
+//! | rotate 90° cw    | `v`               | `rev(u)`          |
+//! | rotate 180°      | `rev(u)`          | `rev(v)`          |
+//! | rotate 270° cw   | `rev(v)`          | `u`               |
+//! | reflect x-axis   | `u`               | `rev(v)`          |
+//! | reflect y-axis   | `rev(u)`          | `v`               |
+//! | transpose        | `v`               | `u`               |
+//! | anti-transpose   | `rev(v)`          | `rev(u)`          |
+//!
+//! where `rev` is [`BeString::mirrored`]: reverse the symbols and swap
+//! `_b`/`_e`. The property tests at the bottom verify that this table
+//! commutes with the geometric [`Transform`](be2d_geometry::Transform) action on scenes for every
+//! group element — the central §4 correctness claim.
+
+use crate::BeString2D;
+use be2d_geometry::Transform;
+
+/// Applies a D4 transform to a 2D BE-string by string reversal (§4).
+///
+/// O(m) in the string length — no geometry, no operator conversion.
+///
+/// # Example
+///
+/// ```
+/// use be2d_core::{convert_scene, transformed};
+/// use be2d_geometry::{SceneBuilder, Transform};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let scene = SceneBuilder::new(100, 50).object("A", (10, 30, 5, 20)).build()?;
+/// let symbolic = transformed(&convert_scene(&scene), Transform::Rotate90);
+/// let geometric = convert_scene(&scene.transformed(Transform::Rotate90));
+/// assert_eq!(symbolic, geometric);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn transformed(s: &BeString2D, t: Transform) -> BeString2D {
+    let (x, y) = (s.x(), s.y());
+    let (nx, ny) = match t {
+        Transform::Identity => (x.clone(), y.clone()),
+        Transform::Rotate90 => (y.clone(), x.mirrored()),
+        Transform::Rotate180 => (x.mirrored(), y.mirrored()),
+        Transform::Rotate270 => (y.mirrored(), x.clone()),
+        Transform::ReflectX => (x.clone(), y.mirrored()),
+        Transform::ReflectY => (x.mirrored(), y.clone()),
+        Transform::Transpose => (y.clone(), x.clone()),
+        Transform::AntiTranspose => (y.mirrored(), x.mirrored()),
+    };
+    BeString2D::new_unchecked(nx, ny)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{convert_scene, SymbolicImage};
+    use be2d_geometry::{Scene, SceneBuilder};
+
+    fn scenes() -> Vec<Scene> {
+        vec![
+            // asymmetric three-object scene (Figure 1)
+            SceneBuilder::new(100, 100)
+                .object("A", (10, 50, 25, 85))
+                .object("B", (30, 90, 5, 45))
+                .object("C", (50, 70, 45, 65))
+                .build()
+                .unwrap(),
+            // non-square frame
+            SceneBuilder::new(120, 40)
+                .object("A", (0, 30, 0, 40))
+                .object("B", (30, 120, 10, 25))
+                .build()
+                .unwrap(),
+            // shared boundaries and duplicate classes
+            SceneBuilder::new(60, 60)
+                .object("A", (0, 20, 0, 20))
+                .object("A", (20, 40, 20, 40))
+                .object("B", (20, 40, 0, 20))
+                .build()
+                .unwrap(),
+            // empty scene
+            Scene::new(10, 10).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn symbolic_transform_commutes_with_geometric() {
+        for scene in scenes() {
+            let s = convert_scene(&scene);
+            for t in Transform::ALL {
+                let symbolic = transformed(&s, t);
+                let geometric = convert_scene(&scene.transformed(t));
+                assert_eq!(symbolic, geometric, "transform {t} on\n{scene}");
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_image_transform_commutes_with_geometric() {
+        for scene in scenes() {
+            let img = SymbolicImage::from_scene(&scene);
+            for t in Transform::ALL {
+                let symbolic = img.transformed(t);
+                let geometric = SymbolicImage::from_scene(&scene.transformed(t));
+                assert_eq!(symbolic, geometric, "transform {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_composition_matches_group() {
+        let s = convert_scene(&scenes()[0]);
+        for a in Transform::ALL {
+            for b in Transform::ALL {
+                let seq = transformed(&transformed(&s, a), b);
+                let comp = transformed(&s, a.then(b));
+                assert_eq!(seq, comp, "{a} then {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_then_inverse_is_identity() {
+        let s = convert_scene(&scenes()[0]);
+        for t in Transform::ALL {
+            assert_eq!(transformed(&transformed(&s, t), t.inverse()), s, "{t}");
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_length_and_objects() {
+        let s = convert_scene(&scenes()[0]);
+        for t in Transform::ALL {
+            let r = transformed(&s, t);
+            assert_eq!(r.total_len(), s.total_len(), "{t}");
+            assert_eq!(r.object_count(), s.object_count(), "{t}");
+            assert_eq!(r.class_counts(), s.class_counts(), "{t}");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Property-based tests of the 2D BE-string model invariants.
+//!
+//! Every paper-level guarantee is exercised on randomised scenes:
+//! storage bounds (§3.1), conversion/maintenance agreement (§3.2), the
+//! modified-LCS contracts (§4), and the transform-commutation law (§4).
+
+use be2d_core::{
+    be_lcs_length, convert_scene, exact_constrained_lcs_length, similarity, similarity_with,
+    transformed, BeString, BeSymbol, LcsTable, Normalization, SimilarityConfig, SymbolicImage,
+};
+use be2d_geometry::{ObjectClass, Rect, Scene, Transform};
+use proptest::prelude::*;
+
+const CLASS_NAMES: [&str; 6] = ["A", "B", "C", "D", "F", "G"];
+
+fn arb_rect(w: i64, h: i64) -> impl Strategy<Value = Rect> {
+    (0..w, 0..h).prop_flat_map(move |(xb, yb)| {
+        (1..=w - xb, 1..=h - yb)
+            .prop_map(move |(xw, yw)| Rect::new(xb, xb + xw, yb, yb + yw).expect("non-empty"))
+    })
+}
+
+fn arb_scene(max_objects: usize) -> impl Strategy<Value = Scene> {
+    (8i64..100, 8i64..100).prop_flat_map(move |(w, h)| {
+        prop::collection::vec((arb_rect(w, h), 0..CLASS_NAMES.len()), 0..max_objects).prop_map(
+            move |objs| {
+                let mut scene = Scene::new(w, h).expect("positive frame");
+                for (rect, class_idx) in objs {
+                    scene
+                        .add(ObjectClass::new(CLASS_NAMES[class_idx]), rect)
+                        .expect("rect generated in-frame");
+                }
+                scene
+            },
+        )
+    })
+}
+
+fn is_subsequence(needle: &[BeSymbol], hay: &[BeSymbol]) -> bool {
+    let mut it = hay.iter();
+    needle.iter().all(|n| it.any(|h| h == n))
+}
+
+proptest! {
+    /// §3.1: per-axis storage is between 2n+1 and 4n+1 symbols.
+    #[test]
+    fn storage_bounds(scene in arb_scene(12)) {
+        let n = scene.len();
+        let s = convert_scene(&scene);
+        for axis in [s.x(), s.y()] {
+            if n == 0 {
+                prop_assert_eq!(axis.len(), 1);
+            } else {
+                prop_assert!(axis.len() > 2 * n, "len {} < 2n+1", axis.len());
+                prop_assert!(axis.len() <= 4 * n + 1, "len {} > 4n+1", axis.len());
+            }
+            prop_assert_eq!(axis.object_count(), n);
+            // revalidate through the checked constructor
+            prop_assert!(BeString::new(axis.symbols().to_vec()).is_ok());
+        }
+    }
+
+    /// Conversion output survives the textual round-trip.
+    #[test]
+    fn display_parse_roundtrip(scene in arb_scene(10)) {
+        let s = convert_scene(&scene);
+        let x: BeString = s.x().to_string().parse().expect("parse back");
+        let y: BeString = s.y().to_string().parse().expect("parse back");
+        prop_assert_eq!(&x, s.x());
+        prop_assert_eq!(&y, s.y());
+    }
+
+    /// §3.2: inserting the objects one at a time through the annotated
+    /// string produces exactly the batch conversion.
+    #[test]
+    fn incremental_equals_batch(scene in arb_scene(10)) {
+        let batch = SymbolicImage::from_scene(&scene);
+        let mut incremental = SymbolicImage::empty(scene.width(), scene.height())
+            .expect("valid frame");
+        for obj in &scene {
+            incremental.add_object(obj.class(), obj.mbr()).expect("fits");
+        }
+        prop_assert_eq!(&batch, &incremental);
+        prop_assert_eq!(batch.to_be_string_2d(), incremental.to_be_string_2d());
+    }
+
+    /// §3.2: removing every object again (in arbitrary order) restores the
+    /// empty picture, with a valid string at every intermediate step.
+    #[test]
+    fn remove_all_restores_empty(scene in arb_scene(8), seed in any::<u64>()) {
+        let mut img = SymbolicImage::from_scene(&scene);
+        let mut objs: Vec<_> = scene.iter().cloned().collect();
+        // deterministic shuffle from the seed
+        let mut state = seed;
+        for i in (1..objs.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            objs.swap(i, j);
+        }
+        for obj in objs {
+            img.remove_object(obj.class(), obj.mbr()).expect("object present");
+            let s = img.to_be_string_2d();
+            prop_assert!(BeString::new(s.x().symbols().to_vec()).is_ok());
+            prop_assert!(BeString::new(s.y().symbols().to_vec()).is_ok());
+        }
+        prop_assert_eq!(img.object_count(), 0);
+    }
+
+    /// §4 LCS: length contracts — identity, symmetry, upper bound.
+    #[test]
+    fn lcs_length_contracts(a in arb_scene(8), b in arb_scene(8)) {
+        let sa = convert_scene(&a);
+        let sb = convert_scene(&b);
+        let (qa, qb) = (sa.x(), sb.x());
+        prop_assert_eq!(be_lcs_length(qa, qa), qa.len(), "self LCS is the string itself");
+        prop_assert_eq!(be_lcs_length(qa, qb), be_lcs_length(qb, qa), "symmetry");
+        prop_assert!(be_lcs_length(qa, qb) <= qa.len().min(qb.len()), "bounded");
+    }
+
+    /// §4 LCS: the reconstructed string is a common subsequence of both
+    /// inputs, has the reported length, and never contains two adjacent
+    /// dummy objects; the recursive and iterative reconstructions agree.
+    #[test]
+    fn lcs_reconstruction_contracts(a in arb_scene(8), b in arb_scene(8)) {
+        for (qa, qb) in [
+            (convert_scene(&a).x().clone(), convert_scene(&b).x().clone()),
+            (convert_scene(&a).y().clone(), convert_scene(&b).y().clone()),
+        ] {
+            let t = LcsTable::build(&qa, &qb);
+            let lcs = t.lcs_string();
+            prop_assert_eq!(lcs.len(), t.length());
+            prop_assert!(is_subsequence(&lcs, qa.symbols()));
+            prop_assert!(is_subsequence(&lcs, qb.symbols()));
+            prop_assert!(
+                lcs.windows(2).all(|w| !(w[0].is_dummy() && w[1].is_dummy())),
+                "adjacent dummies in {:?}", lcs
+            );
+            prop_assert_eq!(t.lcs_string_recursive(), lcs);
+        }
+    }
+
+    /// §4 LCS: Algorithm 2's signed-table heuristic never *exceeds* the
+    /// exact constrained LCS, and both agree on self-matches.
+    #[test]
+    fn paper_dp_bounded_by_exact_reference(a in arb_scene(8), b in arb_scene(8)) {
+        let sa = convert_scene(&a);
+        let sb = convert_scene(&b);
+        for (qa, qb) in [(sa.x(), sb.x()), (sa.y(), sb.y())] {
+            let paper = be_lcs_length(qa, qb);
+            let exact = exact_constrained_lcs_length(qa, qb);
+            prop_assert!(paper <= exact, "paper {} > exact {}", paper, exact);
+            prop_assert_eq!(exact_constrained_lcs_length(qa, qa), qa.len());
+        }
+    }
+
+    /// §4: similarity scores live in [0, 1]; self-similarity is 1.
+    #[test]
+    fn similarity_contracts(a in arb_scene(8), b in arb_scene(8)) {
+        let sa = convert_scene(&a);
+        let sb = convert_scene(&b);
+        let sim = similarity(&sa, &sb);
+        prop_assert!((0.0..=1.0).contains(&sim.score), "score {}", sim.score);
+        prop_assert!((similarity(&sa, &sa).score - 1.0).abs() < 1e-12);
+        // Dice is symmetric
+        let sim_rev = similarity(&sb, &sa);
+        prop_assert!((sim.score - sim_rev.score).abs() < 1e-12);
+        // query coverage of a string against itself is also 1
+        let cfg = SimilarityConfig {
+            normalization: Normalization::QueryCoverage,
+            ..SimilarityConfig::default()
+        };
+        prop_assert!((similarity_with(&sb, &sb, &cfg).score - 1.0).abs() < 1e-12);
+    }
+
+    /// §4: a query made of a subset of the image's objects reaches full
+    /// query coverage — the partial-match behaviour the paper claims.
+    #[test]
+    fn subset_query_full_coverage(scene in arb_scene(8), keep in any::<u64>()) {
+        prop_assume!(!scene.is_empty());
+        let mut query_scene = Scene::new(scene.width(), scene.height()).expect("frame");
+        for (i, obj) in scene.iter().enumerate() {
+            if keep & (1 << (i % 64)) != 0 {
+                query_scene.add(obj.class().clone(), obj.mbr()).expect("fits");
+            }
+        }
+        // keep at least one object to avoid the trivial case
+        prop_assume!(!query_scene.is_empty());
+        let cfg = SimilarityConfig {
+            normalization: Normalization::QueryCoverage,
+            count_dummies: false,
+            ..SimilarityConfig::default()
+        };
+        let sim = similarity_with(
+            &convert_scene(&query_scene),
+            &convert_scene(&scene),
+            &cfg,
+        );
+        prop_assert!(
+            (sim.score - 1.0).abs() < 1e-12,
+            "subset query should be fully covered, got {} (x {}, y {})",
+            sim.score, sim.x.score, sim.y.score
+        );
+    }
+
+    /// §4: symbolic transforms commute with geometric transforms for all
+    /// eight group elements, on arbitrary scenes.
+    #[test]
+    fn transform_commutes(scene in arb_scene(8)) {
+        let s = convert_scene(&scene);
+        for t in Transform::ALL {
+            let symbolic = transformed(&s, t);
+            let geometric = convert_scene(&scene.transformed(t));
+            prop_assert_eq!(&symbolic, &geometric, "transform {}", t);
+        }
+    }
+
+    /// §4: transforming both query and target by the same element leaves
+    /// the similarity score unchanged (the group action is a similarity
+    /// isometry).
+    #[test]
+    fn transform_is_similarity_isometry(a in arb_scene(6), b in arb_scene(6)) {
+        let sa = convert_scene(&a);
+        let sb = convert_scene(&b);
+        let base = similarity(&sa, &sb).score;
+        for t in Transform::ALL {
+            let moved = similarity(&transformed(&sa, t), &transformed(&sb, t)).score;
+            prop_assert!((base - moved).abs() < 1e-12, "{}: {} vs {}", t, base, moved);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Serde round-trips for every serialisable public type in `be2d-core` —
+//! the contract the database persistence layer builds on.
+
+use be2d_core::{
+    convert_scene, similarity, AnnotatedBeString, BeString, BeString2D, BeSymbol, Boundary,
+    SimilarityConfig, SymbolicImage,
+};
+use be2d_geometry::{ObjectClass, SceneBuilder};
+
+fn figure1() -> be2d_geometry::Scene {
+    SceneBuilder::new(100, 100)
+        .object("A", (10, 50, 25, 85))
+        .object("B", (30, 90, 5, 45))
+        .object("C", (50, 70, 45, 65))
+        .build()
+        .unwrap()
+}
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialise");
+    serde_json::from_str(&json).expect("deserialise")
+}
+
+#[test]
+fn symbols_roundtrip() {
+    for symbol in [
+        BeSymbol::Dummy,
+        BeSymbol::begin(ObjectClass::new("A")),
+        BeSymbol::end(ObjectClass::new("house2")),
+    ] {
+        assert_eq!(roundtrip(&symbol), symbol);
+    }
+    assert_eq!(roundtrip(&Boundary::Begin), Boundary::Begin);
+}
+
+#[test]
+fn bestrings_roundtrip() {
+    let s = convert_scene(&figure1());
+    let x: BeString = s.x().clone();
+    assert_eq!(roundtrip(&x), x);
+    let full: BeString2D = s.clone();
+    assert_eq!(roundtrip(&full), full);
+}
+
+#[test]
+fn annotated_forms_roundtrip() {
+    let img = SymbolicImage::from_scene(&figure1());
+    assert_eq!(roundtrip(&img), img);
+    let axis: AnnotatedBeString = img.x().clone();
+    assert_eq!(roundtrip(&axis), axis);
+    // the materialised view survives the round trip too
+    assert_eq!(roundtrip(&img).to_be_string_2d(), img.to_be_string_2d());
+}
+
+#[test]
+fn similarity_results_roundtrip() {
+    let s = convert_scene(&figure1());
+    let sim = similarity(&s, &s);
+    let back = roundtrip(&sim);
+    assert_eq!(back.score, sim.score);
+    assert_eq!(back.x.lcs_len, sim.x.lcs_len);
+    assert_eq!(roundtrip(&SimilarityConfig::default()), SimilarityConfig::default());
+}
+
+#[test]
+fn geometry_types_roundtrip() {
+    let scene = figure1();
+    assert_eq!(roundtrip(&scene), scene);
+    let rect = scene.objects()[0].mbr();
+    assert_eq!(roundtrip(&rect), rect);
+    let class = scene.objects()[0].class().clone();
+    assert_eq!(roundtrip(&class), class);
+    use be2d_geometry::Transform;
+    for t in Transform::ALL {
+        assert_eq!(roundtrip(&t), t);
+    }
+}
+
+#[test]
+fn tampered_json_is_rejected() {
+    // deserialisation revalidates nothing fancy, but malformed structures
+    // must error rather than panic
+    assert!(serde_json::from_str::<BeString>("{\"symbols\": 3}").is_err());
+    assert!(serde_json::from_str::<SymbolicImage>("[1, 2, 3]").is_err());
+}

@@ -1,0 +1,675 @@
+//! The image database proper.
+
+use crate::{
+    CandidateSource, ClassIndex, ClassSignature, DbError, PrefilterMode, QueryOptions, SearchHit,
+};
+use be2d_core::{
+    similarity_with, transformed, BeString2D, Similarity, SymbolicImage,
+};
+use be2d_geometry::{ObjectClass, Rect, Scene, Transform};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// Stable identifier of a record in one database.
+///
+/// Ids are assigned by insertion order and never reused after removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct RecordId(pub usize);
+
+impl RecordId {
+    /// The raw index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rec{}", self.0)
+    }
+}
+
+/// One stored image: its symbolic picture plus retrieval metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImageRecord {
+    /// Stable id.
+    pub id: RecordId,
+    /// User-assigned name.
+    pub name: String,
+    /// The coordinate-annotated 2D BE-string (§3.2 stored form).
+    pub symbolic: SymbolicImage,
+    /// Class signature for prefiltering.
+    pub signature: ClassSignature,
+}
+
+impl ImageRecord {
+    fn classes(&self) -> Vec<ObjectClass> {
+        self.symbolic.to_be_string_2d().class_counts().into_keys().collect()
+    }
+
+    fn refresh_signature(&mut self) {
+        self.signature = ClassSignature::from_classes(self.classes().iter());
+    }
+}
+
+/// An in-memory image database of 2D BE-strings.
+///
+/// See the crate docs for an end-to-end example. All query entry points
+/// are `&self` — scans never mutate — so a database wrapped in your
+/// favourite shared-state primitive serves concurrent readers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ImageDatabase {
+    records: Vec<Option<ImageRecord>>,
+    index: ClassIndex,
+}
+
+impl ImageDatabase {
+    /// Creates an empty database.
+    #[must_use]
+    pub fn new() -> Self {
+        ImageDatabase::default()
+    }
+
+    /// Number of live records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Whether the database holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Indexes a scene: converts it with Algorithm 1 and stores the
+    /// annotated string pair.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for validated scenes; the `Result` reserves
+    /// room for storage backends with real failure modes.
+    pub fn insert_scene(&mut self, name: &str, scene: &Scene) -> Result<RecordId, DbError> {
+        self.insert_symbolic(name, SymbolicImage::from_scene(scene))
+    }
+
+    /// Stores an already-converted symbolic picture.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; see [`insert_scene`](Self::insert_scene).
+    pub fn insert_symbolic(
+        &mut self,
+        name: &str,
+        symbolic: SymbolicImage,
+    ) -> Result<RecordId, DbError> {
+        let id = RecordId(self.records.len());
+        let mut record = ImageRecord {
+            id,
+            name: name.to_owned(),
+            symbolic,
+            signature: ClassSignature::default(),
+        };
+        record.refresh_signature();
+        self.index.insert_record(id, record.classes());
+        self.records.push(Some(record));
+        Ok(id)
+    }
+
+    /// Removes a record, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownRecord`] for dead or out-of-range ids.
+    pub fn remove(&mut self, id: RecordId) -> Result<ImageRecord, DbError> {
+        let record = self
+            .records
+            .get_mut(id.index())
+            .and_then(Option::take)
+            .ok_or(DbError::UnknownRecord { id: id.index() })?;
+        self.index.remove_record(id);
+        Ok(record)
+    }
+
+    /// Looks up a record.
+    #[must_use]
+    pub fn get(&self, id: RecordId) -> Option<&ImageRecord> {
+        self.records.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Iterates live records in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &ImageRecord> {
+        self.records.iter().filter_map(Option::as_ref)
+    }
+
+    /// Adds one object to a stored image **incrementally** (§3.2): binary
+    /// search finds the boundary positions, no reconversion happens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownRecord`] for dead ids or a BE-string
+    /// error when the MBR does not fit the image frame.
+    pub fn add_object(
+        &mut self,
+        id: RecordId,
+        class: &ObjectClass,
+        mbr: Rect,
+    ) -> Result<(), DbError> {
+        let record = self
+            .records
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
+            .ok_or(DbError::UnknownRecord { id: id.index() })?;
+        record.symbolic.add_object(class, mbr)?;
+        record.refresh_signature();
+        self.index.add_class(id, class.clone());
+        Ok(())
+    }
+
+    /// Drops one object from a stored image incrementally (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownRecord`] for dead ids or
+    /// [`BeStringError::ObjectNotFound`](be2d_core::BeStringError) when
+    /// the object is absent.
+    pub fn remove_object(
+        &mut self,
+        id: RecordId,
+        class: &ObjectClass,
+        mbr: Rect,
+    ) -> Result<(), DbError> {
+        let record = self
+            .records
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
+            .ok_or(DbError::UnknownRecord { id: id.index() })?;
+        record.symbolic.remove_object(class, mbr)?;
+        record.refresh_signature();
+        // drop the posting only when the last object of the class went
+        if !record.classes().contains(class) {
+            self.index.remove_class(id, class);
+        }
+        Ok(())
+    }
+
+    /// Searches with a query scene (converted on the fly).
+    #[must_use]
+    pub fn search_scene(&self, query: &Scene, options: &QueryOptions) -> Vec<SearchHit> {
+        self.search(&be2d_core::convert_scene(query), options)
+    }
+
+    /// Searches with textual BE-strings (the `Display` rendering, e.g.
+    /// `"E A_b E A_e E"`), for ad-hoc queries from a console or config.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BeStringError`](be2d_core::BeStringError) when either
+    /// string fails to parse or the axes disagree on their object sets.
+    pub fn search_text(
+        &self,
+        u: &str,
+        v: &str,
+        options: &QueryOptions,
+    ) -> Result<Vec<SearchHit>, DbError> {
+        let query = BeString2D::parse(u, v).map_err(DbError::from)?;
+        Ok(self.search(&query, options))
+    }
+
+    /// Searches with a prepared 2D BE-string query.
+    ///
+    /// Every candidate surviving the prefilter is scored with the
+    /// modified-LCS similarity for each transform in
+    /// `options.transforms`; results are ranked by score (ties broken by
+    /// id for determinism), floored at `min_score` and truncated to
+    /// `top_k`.
+    #[must_use]
+    pub fn search(&self, query: &BeString2D, options: &QueryOptions) -> Vec<SearchHit> {
+        // Pre-transform the query once per transform (strings are small;
+        // candidates are many).
+        type QueryVariants = Vec<(Transform, BeString2D)>;
+        let query_variants: QueryVariants = if options.transforms.is_empty() {
+            vec![(Transform::Identity, query.clone())]
+        } else {
+            options.transforms.iter().map(|&t| (t, transformed(query, t))).collect()
+        };
+        let query_classes: Vec<ObjectClass> = query.class_counts().into_keys().collect();
+        let query_sig = ClassSignature::from_classes(query_classes.iter());
+
+        let candidates: Vec<&ImageRecord> = match (options.candidates, options.prefilter) {
+            // the inverted index produces the candidate set directly;
+            // class-free queries fall back to a full scan
+            (CandidateSource::ClassIndex, prefilter)
+                if prefilter != PrefilterMode::None && !query_classes.is_empty() =>
+            {
+                let ids = match prefilter {
+                    PrefilterMode::AnyClass => self.index.candidates_any(&query_classes),
+                    PrefilterMode::AllClasses => self.index.candidates_all(&query_classes),
+                    PrefilterMode::None => unreachable!("guarded above"),
+                };
+                ids.into_iter().filter_map(|id| self.get(id)).collect()
+            }
+            _ => self
+                .iter()
+                .filter(|r| match options.prefilter {
+                    PrefilterMode::None => true,
+                    PrefilterMode::AnyClass => r.signature.shares_any(&query_sig),
+                    PrefilterMode::AllClasses => r.signature.covers(&query_sig),
+                })
+                .collect(),
+        };
+
+        let score_one = |record: &ImageRecord| -> SearchHit {
+            let target = record.symbolic.to_be_string_2d();
+            let (transform, similarity) = query_variants
+                .iter()
+                .map(|(t, q)| (*t, similarity_with(q, &target, &options.config)))
+                .max_by(|a, b| {
+                    a.1.score.total_cmp(&b.1.score)
+                })
+                .expect("at least one transform");
+            SearchHit {
+                id: record.id,
+                name: record.name.clone(),
+                score: similarity.score,
+                transform,
+                similarity,
+            }
+        };
+
+        let mut hits: Vec<SearchHit> = if options.parallel && candidates.len() >= 32 {
+            let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(16);
+            let chunk = candidates.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = candidates
+                    .chunks(chunk)
+                    .map(|part| scope.spawn(move || part.iter().map(|r| score_one(r)).collect::<Vec<_>>()))
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("scorer panicked")).collect()
+            })
+        } else {
+            candidates.into_iter().map(score_one).collect()
+        };
+
+        hits.retain(|h| h.score >= options.min_score);
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id)));
+        if let Some(k) = options.top_k {
+            hits.truncate(k);
+        }
+        hits
+    }
+
+    /// Serialises the database to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Persist`] when serde fails.
+    pub fn to_json(&self) -> Result<String, DbError> {
+        serde_json::to_string(self).map_err(|e| DbError::Persist { reason: e.to_string() })
+    }
+
+    /// Restores a database from [`to_json`](Self::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Persist`] when the JSON is malformed.
+    pub fn from_json(json: &str) -> Result<Self, DbError> {
+        serde_json::from_str(json).map_err(|e| DbError::Persist { reason: e.to_string() })
+    }
+
+    /// Saves the database to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation and I/O errors.
+    pub fn save(&self, path: &Path) -> Result<(), DbError> {
+        std::fs::write(path, self.to_json()?).map_err(DbError::from)
+    }
+
+    /// Loads a database from a file written by [`save`](Self::save).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialisation errors.
+    pub fn load(path: &Path) -> Result<Self, DbError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// Evaluates the similarity between a query and one specific record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownRecord`] for dead ids.
+    pub fn similarity_to(
+        &self,
+        query: &BeString2D,
+        id: RecordId,
+        options: &QueryOptions,
+    ) -> Result<Similarity, DbError> {
+        let record = self.get(id).ok_or(DbError::UnknownRecord { id: id.index() })?;
+        let target = record.symbolic.to_be_string_2d();
+        Ok(similarity_with(query, &target, &options.config))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::type_complexity)] // terse MBR tuples keep test fixtures readable
+mod tests {
+    use super::*;
+    use be2d_geometry::SceneBuilder;
+
+    fn scene(objs: &[(&str, (i64, i64, i64, i64))]) -> Scene {
+        let mut b = SceneBuilder::new(100, 100);
+        for (n, m) in objs {
+            b = b.object(n, *m);
+        }
+        b.build().unwrap()
+    }
+
+    fn sample_db() -> (ImageDatabase, RecordId, RecordId, RecordId) {
+        let mut db = ImageDatabase::new();
+        let a = db
+            .insert_scene("ab", &scene(&[("A", (10, 30, 10, 30)), ("B", (50, 80, 50, 80))]))
+            .unwrap();
+        let b = db
+            .insert_scene("ba", &scene(&[("B", (10, 30, 10, 30)), ("A", (50, 80, 50, 80))]))
+            .unwrap();
+        let c = db.insert_scene("z", &scene(&[("Z", (20, 60, 20, 60))])).unwrap();
+        (db, a, b, c)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let (mut db, a, _, _) = sample_db();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.get(a).unwrap().name, "ab");
+        let removed = db.remove(a).unwrap();
+        assert_eq!(removed.name, "ab");
+        assert_eq!(db.len(), 2);
+        assert!(db.get(a).is_none());
+        assert!(db.remove(a).is_err(), "double remove");
+        assert!(db.remove(RecordId(99)).is_err());
+        // ids are not reused
+        let d = db.insert_scene("d", &scene(&[("A", (0, 5, 0, 5))])).unwrap();
+        assert_eq!(d, RecordId(3));
+    }
+
+    #[test]
+    fn exact_search_ranks_identical_first() {
+        let (db, a, _, _) = sample_db();
+        let hits = db.search_scene(
+            &scene(&[("A", (10, 30, 10, 30)), ("B", (50, 80, 50, 80))]),
+            &QueryOptions::default(),
+        );
+        assert_eq!(hits[0].id, a);
+        assert!((hits[0].score - 1.0).abs() < 1e-12);
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn prefilter_excludes_unrelated_classes() {
+        let (db, _, _, c) = sample_db();
+        let query = scene(&[("A", (10, 30, 10, 30))]);
+        let none = db.search_scene(
+            &query,
+            &QueryOptions { prefilter: PrefilterMode::None, top_k: None, ..Default::default() },
+        );
+        let any = db.search_scene(
+            &query,
+            &QueryOptions {
+                prefilter: PrefilterMode::AnyClass,
+                top_k: None,
+                ..Default::default()
+            },
+        );
+        assert_eq!(none.len(), 3);
+        assert_eq!(any.len(), 2, "record z shares no class");
+        assert!(!any.iter().any(|h| h.id == c));
+    }
+
+    #[test]
+    fn all_classes_prefilter() {
+        let (db, a, b, _) = sample_db();
+        let query = scene(&[("A", (0, 9, 0, 9)), ("B", (10, 19, 10, 19))]);
+        let hits = db.search_scene(
+            &query,
+            &QueryOptions {
+                prefilter: PrefilterMode::AllClasses,
+                top_k: None,
+                ..Default::default()
+            },
+        );
+        let ids: Vec<_> = hits.iter().map(|h| h.id).collect();
+        assert!(ids.contains(&a) && ids.contains(&b));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn min_score_and_top_k() {
+        let (db, _, _, _) = sample_db();
+        let query = scene(&[("A", (10, 30, 10, 30)), ("B", (50, 80, 50, 80))]);
+        let opts = QueryOptions {
+            min_score: 0.99,
+            prefilter: PrefilterMode::None,
+            ..Default::default()
+        };
+        assert_eq!(db.search_scene(&query, &opts).len(), 1);
+        let opts = QueryOptions { top_k: Some(2), prefilter: PrefilterMode::None, ..Default::default() };
+        assert_eq!(db.search_scene(&query, &opts).len(), 2);
+    }
+
+    #[test]
+    fn transform_invariant_search_finds_rotated_image() {
+        let mut db = ImageDatabase::new();
+        let base = scene(&[("A", (10, 40, 20, 60)), ("B", (50, 90, 40, 95))]);
+        let rotated = base.transformed(Transform::Rotate90);
+        let id = db.insert_scene("rotated", &rotated).unwrap();
+
+        // plain search scores below 1; invariant search hits exactly
+        let plain = db.search_scene(&base, &QueryOptions::default());
+        assert!(plain[0].score < 1.0);
+        let inv = db.search_scene(&base, &QueryOptions::transform_invariant());
+        assert_eq!(inv[0].id, id);
+        assert!((inv[0].score - 1.0).abs() < 1e-12);
+        assert_eq!(inv[0].transform, Transform::Rotate90);
+    }
+
+    #[test]
+    fn incremental_add_remove_object_matches_reindexing() {
+        let (mut db, a, _, _) = sample_db();
+        let extra = Rect::new(0, 9, 0, 9).unwrap();
+        db.add_object(a, &ObjectClass::new("X"), extra).unwrap();
+
+        let mut fresh = ImageDatabase::new();
+        let fresh_id = fresh
+            .insert_scene(
+                "ab",
+                &scene(&[
+                    ("A", (10, 30, 10, 30)),
+                    ("B", (50, 80, 50, 80)),
+                    ("X", (0, 9, 0, 9)),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(
+            db.get(a).unwrap().symbolic.to_be_string_2d(),
+            fresh.get(fresh_id).unwrap().symbolic.to_be_string_2d()
+        );
+
+        db.remove_object(a, &ObjectClass::new("X"), extra).unwrap();
+        assert_eq!(db.get(a).unwrap().symbolic.object_count(), 2);
+        assert!(db.remove_object(a, &ObjectClass::new("X"), extra).is_err());
+        assert!(db.add_object(RecordId(99), &ObjectClass::new("X"), extra).is_err());
+    }
+
+    #[test]
+    fn signature_updates_with_edits() {
+        let (mut db, a, _, _) = sample_db();
+        let q = scene(&[("X", (0, 9, 0, 9))]);
+        let before = db.search_scene(&q, &QueryOptions::default());
+        assert!(before.iter().all(|h| h.id != a), "A record lacks class X");
+        db.add_object(a, &ObjectClass::new("X"), Rect::new(0, 9, 0, 9).unwrap()).unwrap();
+        let after = db.search_scene(&q, &QueryOptions::default());
+        assert!(after.iter().any(|h| h.id == a));
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let mut db = ImageDatabase::new();
+        for i in 0..64i64 {
+            let s = scene(&[
+                ("A", (i % 10, i % 10 + 20, 0, 30)),
+                ("B", (40, 80, i % 20 + 5, i % 20 + 40)),
+            ]);
+            db.insert_scene(&format!("img{i}"), &s).unwrap();
+        }
+        let query = scene(&[("A", (5, 25, 0, 30)), ("B", (40, 80, 10, 45))]);
+        let serial = db.search_scene(&query, &QueryOptions { parallel: false, top_k: None, ..Default::default() });
+        let parallel = db.search_scene(&query, &QueryOptions { parallel: true, top_k: None, ..Default::default() });
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.id, p.id);
+            assert!((s.score - p.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn index_and_scan_candidates_agree() {
+        let mut db = ImageDatabase::new();
+        for i in 0..40i64 {
+            let class_a = ["A", "B", "C", "D"][(i % 4) as usize];
+            let class_b = ["X", "Y"][(i % 2) as usize];
+            let s = scene(&[
+                (class_a, (0, 10 + i % 7, 0, 10)),
+                (class_b, (30, 60, 30, 60 + i % 5)),
+            ]);
+            db.insert_scene(&format!("img{i}"), &s).unwrap();
+        }
+        // remove a few records and edit one so index maintenance is covered
+        db.remove(RecordId(5)).unwrap();
+        db.remove(RecordId(17)).unwrap();
+        db.add_object(RecordId(3), &ObjectClass::new("Q"), Rect::new(70, 80, 70, 80).unwrap())
+            .unwrap();
+
+        let query = scene(&[("A", (0, 12, 0, 10)), ("X", (30, 60, 30, 62))]);
+        for prefilter in [PrefilterMode::AnyClass, PrefilterMode::AllClasses] {
+            let scan = db.search_scene(
+                &query,
+                &QueryOptions {
+                    prefilter,
+                    candidates: CandidateSource::Scan,
+                    top_k: None,
+                    ..Default::default()
+                },
+            );
+            let index = db.search_scene(
+                &query,
+                &QueryOptions {
+                    prefilter,
+                    candidates: CandidateSource::ClassIndex,
+                    top_k: None,
+                    ..Default::default()
+                },
+            );
+            // the index is exact; the signature scan may admit extra
+            // candidates via hash collisions — but with these class names
+            // there are none, so results must be identical
+            assert_eq!(scan.len(), index.len(), "{prefilter}");
+            for (a, b) in scan.iter().zip(&index) {
+                assert_eq!(a.id, b.id, "{prefilter}");
+                assert!((a.score - b.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn index_source_empty_query_falls_back_to_scan() {
+        let (db, _, _, _) = sample_db();
+        let empty = Scene::new(10, 10).unwrap();
+        let hits = db.search_scene(
+            &empty,
+            &QueryOptions {
+                candidates: CandidateSource::ClassIndex,
+                top_k: None,
+                min_score: -1.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(hits.len(), 3, "class-free query matches all records");
+    }
+
+    #[test]
+    fn index_reflects_object_removal() {
+        let mut db = ImageDatabase::new();
+        let id = db
+            .insert_scene("two-of-a", &scene(&[("A", (0, 5, 0, 5)), ("A", (10, 15, 10, 15))]))
+            .unwrap();
+        let q = scene(&[("A", (0, 5, 0, 5))]);
+        let opts = QueryOptions {
+            candidates: CandidateSource::ClassIndex,
+            ..QueryOptions::default()
+        };
+        db.remove_object(id, &ObjectClass::new("A"), Rect::new(0, 5, 0, 5).unwrap()).unwrap();
+        assert_eq!(db.search_scene(&q, &opts).len(), 1, "one A remains indexed");
+        db.remove_object(id, &ObjectClass::new("A"), Rect::new(10, 15, 10, 15).unwrap())
+            .unwrap();
+        assert!(db.search_scene(&q, &opts).is_empty(), "last A drops the posting");
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let (db, _, _, _) = sample_db();
+        let json = db.to_json().unwrap();
+        let back = ImageDatabase::from_json(&json).unwrap();
+        assert_eq!(db, back);
+        assert!(ImageDatabase::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn save_load_file() {
+        let (db, _, _, _) = sample_db();
+        let path = std::env::temp_dir().join("be2d_db_test.json");
+        db.save(&path).unwrap();
+        let back = ImageDatabase::load(&path).unwrap();
+        assert_eq!(db, back);
+        std::fs::remove_file(&path).ok();
+        assert!(ImageDatabase::load(Path::new("/nonexistent/x.json")).is_err());
+    }
+
+    #[test]
+    fn similarity_to_specific_record() {
+        let (db, a, _, _) = sample_db();
+        let q = be2d_core::convert_scene(&scene(&[("A", (10, 30, 10, 30))]));
+        let sim = db.similarity_to(&q, a, &QueryOptions::default()).unwrap();
+        assert!(sim.score > 0.0 && sim.score < 1.0);
+        assert!(db.similarity_to(&q, RecordId(99), &QueryOptions::default()).is_err());
+    }
+
+    #[test]
+    fn search_text_parses_and_matches() {
+        let (db, a, _, _) = sample_db();
+        // the exact strings of record "ab"
+        let target = db.get(a).unwrap().symbolic.to_be_string_2d();
+        let hits = db
+            .search_text(&target.x().to_string(), &target.y().to_string(), &QueryOptions::default())
+            .unwrap();
+        assert_eq!(hits[0].id, a);
+        assert!((hits[0].score - 1.0).abs() < 1e-12);
+        assert!(db.search_text("not a string", "E", &QueryOptions::default()).is_err());
+        assert!(
+            db.search_text("A_b E A_e", "B_b E B_e", &QueryOptions::default()).is_err(),
+            "mismatched axes rejected"
+        );
+    }
+
+    #[test]
+    fn empty_database_search() {
+        let db = ImageDatabase::new();
+        assert!(db.is_empty());
+        let hits = db.search_scene(&scene(&[("A", (0, 5, 0, 5))]), &QueryOptions::default());
+        assert!(hits.is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the image database.
+
+use be2d_core::BeStringError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by database operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DbError {
+    /// A record id did not resolve to a live record.
+    UnknownRecord {
+        /// The raw id value.
+        id: usize,
+    },
+    /// A BE-string operation failed (propagated from `be2d-core`).
+    BeString(BeStringError),
+    /// Persistence (de)serialisation failed.
+    Persist {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A spatial-pattern sketch failed to parse or compile (see
+    /// [`sketch`](crate::sketch)).
+    Sketch {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// File I/O failed during save/load.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownRecord { id } => write!(f, "unknown record id {id}"),
+            DbError::BeString(e) => write!(f, "BE-string error: {e}"),
+            DbError::Persist { reason } => write!(f, "persistence error: {reason}"),
+            DbError::Sketch { reason } => write!(f, "sketch error: {reason}"),
+            DbError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl Error for DbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DbError::BeString(e) => Some(e),
+            DbError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BeStringError> for DbError {
+    fn from(e: BeStringError) -> Self {
+        DbError::BeString(e)
+    }
+}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = DbError::UnknownRecord { id: 3 };
+        assert_eq!(e.to_string(), "unknown record id 3");
+        assert!(e.source().is_none());
+
+        let e = DbError::from(BeStringError::OutOfExtent { coord: 5, extent: 3 });
+        assert!(e.to_string().contains("BE-string"));
+        assert!(e.source().is_some());
+
+        let e = DbError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+
+        let e = DbError::Persist { reason: "bad json".into() };
+        assert!(e.to_string().contains("bad json"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # be2d-db — the image database
+//!
+//! The storage and retrieval layer the paper's §3.2/§4 describe: images
+//! are stored as coordinate-annotated 2D BE-strings
+//! ([`SymbolicImage`](be2d_core::SymbolicImage)), maintained
+//! incrementally, and queried by the modified-LCS similarity with
+//! optional rotation/reflection invariance.
+//!
+//! * [`ImageDatabase`] — insert/remove images, add/drop single objects in
+//!   place (§3.2), ranked [`search`](ImageDatabase::search);
+//! * [`QueryOptions`] — top-k, score floor, candidate prefiltering by
+//!   64-bit class signatures, D4 transform set, parallel scan;
+//! * [`SearchHit`] — per-result score, best transform and the full
+//!   per-axis similarity breakdown;
+//! * JSON persistence ([`ImageDatabase::to_json`] /
+//!   [`ImageDatabase::from_json`]).
+//!
+//! # Example
+//!
+//! ```
+//! use be2d_db::{ImageDatabase, QueryOptions};
+//! use be2d_geometry::SceneBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut db = ImageDatabase::new();
+//! let a = SceneBuilder::new(100, 100)
+//!     .object("A", (10, 40, 10, 40))
+//!     .object("B", (50, 90, 50, 90))
+//!     .build()?;
+//! let b = SceneBuilder::new(100, 100).object("Z", (0, 50, 0, 50)).build()?;
+//! db.insert_scene("two-objects", &a)?;
+//! db.insert_scene("other", &b)?;
+//!
+//! let hits = db.search_scene(&a, &QueryOptions::default());
+//! assert_eq!(hits[0].name, "two-objects");
+//! assert!((hits[0].score - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod database;
+mod error;
+mod index;
+mod query;
+mod shared;
+mod signature;
+/// Spatial-pattern sketches: textual queries compiled to scenes.
+pub mod sketch;
+
+pub use database::{ImageDatabase, ImageRecord, RecordId};
+pub use error::DbError;
+pub use index::ClassIndex;
+pub use query::{CandidateSource, PrefilterMode, QueryOptions, SearchHit};
+pub use shared::SharedImageDatabase;
+pub use signature::ClassSignature;

@@ -1,0 +1,166 @@
+//! Query options and search results.
+
+use be2d_core::{Similarity, SimilarityConfig};
+use be2d_geometry::Transform;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::database::RecordId;
+
+/// Candidate prefiltering policy applied before scoring (see
+/// [`ClassSignature`](crate::ClassSignature)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PrefilterMode {
+    /// Score every record.
+    None,
+    /// Keep records that (may) share at least one class with the query.
+    /// Default: a record sharing no class can only score via free-space
+    /// dummies, which is never a useful hit.
+    #[default]
+    AnyClass,
+    /// Keep records whose class set (likely) covers the whole query class
+    /// set — for "find images containing all of these icons" queries.
+    AllClasses,
+}
+
+impl fmt::Display for PrefilterMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefilterMode::None => f.write_str("none"),
+            PrefilterMode::AnyClass => f.write_str("any-class"),
+            PrefilterMode::AllClasses => f.write_str("all-classes"),
+        }
+    }
+}
+
+/// How the candidate set for a search is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CandidateSource {
+    /// Scan all records, applying the [`PrefilterMode`] via the per-record
+    /// 64-bit class signature (O(records) with a tiny constant). Default.
+    #[default]
+    Scan,
+    /// Generate candidates from the inverted
+    /// [`ClassIndex`](crate::ClassIndex) posting lists — exact and
+    /// sub-linear when the query classes are selective. Falls back to a
+    /// full scan for class-free queries.
+    ClassIndex,
+}
+
+impl fmt::Display for CandidateSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CandidateSource::Scan => f.write_str("scan"),
+            CandidateSource::ClassIndex => f.write_str("class-index"),
+        }
+    }
+}
+
+/// Parameters of one similarity search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryOptions {
+    /// Keep at most this many results (`None` = all).
+    pub top_k: Option<usize>,
+    /// Drop results scoring below this floor.
+    pub min_score: f64,
+    /// Transforms to try for each record; the best-scoring one wins. Use
+    /// [`Transform::ALL`] (or [`Transform::PAPER_SET`]) for
+    /// rotation/reflection-invariant retrieval (§4).
+    pub transforms: Vec<Transform>,
+    /// Similarity evaluation configuration.
+    pub config: SimilarityConfig,
+    /// Candidate prefiltering policy.
+    pub prefilter: PrefilterMode,
+    /// How candidates are produced (signature scan vs inverted index).
+    pub candidates: CandidateSource,
+    /// Scan record chunks on multiple threads.
+    pub parallel: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            top_k: Some(10),
+            min_score: 0.0,
+            transforms: vec![Transform::Identity],
+            config: SimilarityConfig::default(),
+            prefilter: PrefilterMode::default(),
+            candidates: CandidateSource::default(),
+            parallel: false,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Preset for rotation/reflection-invariant retrieval over the
+    /// paper's transform set.
+    #[must_use]
+    pub fn transform_invariant() -> Self {
+        QueryOptions { transforms: Transform::PAPER_SET.to_vec(), ..QueryOptions::default() }
+    }
+
+    /// Returns a copy with a different `top_k`.
+    #[must_use]
+    pub fn with_top_k(mut self, k: Option<usize>) -> Self {
+        self.top_k = k;
+        self
+    }
+}
+
+/// One ranked search result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchHit {
+    /// Stable record id.
+    pub id: RecordId,
+    /// The record's user-assigned name.
+    pub name: String,
+    /// Combined similarity score in `[0, 1]`.
+    pub score: f64,
+    /// The query transform that achieved the score.
+    pub transform: Transform,
+    /// Full per-axis evaluation breakdown.
+    pub similarity: Similarity,
+}
+
+impl fmt::Display for SearchHit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}): {:.4} via {}", self.name, self.id, self.score, self.transform)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let o = QueryOptions::default();
+        assert_eq!(o.top_k, Some(10));
+        assert_eq!(o.transforms, vec![Transform::Identity]);
+        assert_eq!(o.prefilter, PrefilterMode::AnyClass);
+        assert!(!o.parallel);
+    }
+
+    #[test]
+    fn transform_invariant_preset() {
+        let o = QueryOptions::transform_invariant();
+        assert_eq!(o.transforms.len(), 6);
+        assert!(o.transforms.contains(&Transform::Rotate180));
+    }
+
+    #[test]
+    fn with_top_k() {
+        let o = QueryOptions::default().with_top_k(None);
+        assert_eq!(o.top_k, None);
+    }
+
+    #[test]
+    fn prefilter_display() {
+        assert_eq!(PrefilterMode::None.to_string(), "none");
+        assert_eq!(PrefilterMode::AnyClass.to_string(), "any-class");
+        assert_eq!(PrefilterMode::AllClasses.to_string(), "all-classes");
+        assert_eq!(CandidateSource::Scan.to_string(), "scan");
+        assert_eq!(CandidateSource::ClassIndex.to_string(), "class-index");
+        assert_eq!(CandidateSource::default(), CandidateSource::Scan);
+    }
+}

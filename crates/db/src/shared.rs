@@ -1,0 +1,237 @@
+//! A thread-safe database handle for concurrent readers and writers.
+//!
+//! [`ImageDatabase`] itself is a plain value: queries take `&self` and
+//! edits take `&mut self`. This wrapper packages the obvious production
+//! deployment — many query threads, occasional maintenance writes —
+//! behind a `parking_lot` read-write lock, so searches proceed in
+//! parallel and §3.2 edits serialise briefly.
+
+use crate::{DbError, ImageDatabase, QueryOptions, RecordId, SearchHit};
+use be2d_core::{BeString2D, SymbolicImage};
+use be2d_geometry::{ObjectClass, Rect, Scene};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A cheaply clonable, thread-safe handle to an [`ImageDatabase`].
+///
+/// All search methods take a read lock (concurrent); all mutation
+/// methods take the write lock (exclusive). Clones share the same
+/// underlying database.
+///
+/// # Example
+///
+/// ```
+/// use be2d_db::{SharedImageDatabase, QueryOptions};
+/// use be2d_geometry::SceneBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let db = SharedImageDatabase::new();
+/// let scene = SceneBuilder::new(10, 10).object("A", (1, 5, 1, 5)).build()?;
+/// db.insert_scene("one", &scene)?;
+///
+/// let reader = db.clone();
+/// let handle = std::thread::spawn(move || {
+///     reader.search_scene(&scene, &QueryOptions::default()).len()
+/// });
+/// assert_eq!(handle.join().expect("reader thread"), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedImageDatabase {
+    inner: Arc<RwLock<ImageDatabase>>,
+}
+
+impl SharedImageDatabase {
+    /// Creates an empty shared database.
+    #[must_use]
+    pub fn new() -> Self {
+        SharedImageDatabase::default()
+    }
+
+    /// Wraps an existing database.
+    #[must_use]
+    pub fn from_database(db: ImageDatabase) -> Self {
+        SharedImageDatabase { inner: Arc::new(RwLock::new(db)) }
+    }
+
+    /// Number of live records (read lock).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the database is empty (read lock).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Indexes a scene (write lock). See
+    /// [`ImageDatabase::insert_scene`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DbError`] from the underlying insert.
+    pub fn insert_scene(&self, name: &str, scene: &Scene) -> Result<RecordId, DbError> {
+        self.inner.write().insert_scene(name, scene)
+    }
+
+    /// Stores a pre-converted symbolic picture (write lock).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DbError`] from the underlying insert.
+    pub fn insert_symbolic(&self, name: &str, img: SymbolicImage) -> Result<RecordId, DbError> {
+        self.inner.write().insert_symbolic(name, img)
+    }
+
+    /// Removes a record (write lock).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownRecord`] for dead ids.
+    pub fn remove(&self, id: RecordId) -> Result<(), DbError> {
+        self.inner.write().remove(id).map(|_| ())
+    }
+
+    /// Incremental §3.2 object insertion (write lock).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying error; the record is unchanged on error.
+    pub fn add_object(
+        &self,
+        id: RecordId,
+        class: &ObjectClass,
+        mbr: Rect,
+    ) -> Result<(), DbError> {
+        self.inner.write().add_object(id, class, mbr)
+    }
+
+    /// Incremental §3.2 object removal (write lock).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying error; the record is unchanged on error.
+    pub fn remove_object(
+        &self,
+        id: RecordId,
+        class: &ObjectClass,
+        mbr: Rect,
+    ) -> Result<(), DbError> {
+        self.inner.write().remove_object(id, class, mbr)
+    }
+
+    /// Ranked similarity search with a scene query (read lock,
+    /// concurrent).
+    #[must_use]
+    pub fn search_scene(&self, query: &Scene, options: &QueryOptions) -> Vec<SearchHit> {
+        self.inner.read().search_scene(query, options)
+    }
+
+    /// Ranked similarity search with a prepared BE-string query (read
+    /// lock, concurrent).
+    #[must_use]
+    pub fn search(&self, query: &BeString2D, options: &QueryOptions) -> Vec<SearchHit> {
+        self.inner.read().search(query, options)
+    }
+
+    /// Snapshot of the current database state (read lock + clone).
+    #[must_use]
+    pub fn snapshot(&self) -> ImageDatabase {
+        self.inner.read().clone()
+    }
+
+    /// Runs a closure with shared read access — for multi-call read
+    /// sequences that must observe one consistent state.
+    pub fn with_read<R>(&self, f: impl FnOnce(&ImageDatabase) -> R) -> R {
+        f(&self.inner.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use be2d_geometry::SceneBuilder;
+
+    fn scene(x: i64) -> Scene {
+        SceneBuilder::new(100, 100)
+            .object("A", (x, x + 10, 10, 20))
+            .object("B", (50, 90, 50, 90))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let db = SharedImageDatabase::new();
+        assert!(db.is_empty());
+        let other = db.clone();
+        db.insert_scene("one", &scene(0)).unwrap();
+        assert_eq!(other.len(), 1);
+        let snap = other.snapshot();
+        assert_eq!(snap.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_with_writer() {
+        let db = SharedImageDatabase::new();
+        for i in 0..20 {
+            db.insert_scene(&format!("img{i}"), &scene(i)).unwrap();
+        }
+        let query = scene(3);
+        std::thread::scope(|s| {
+            // readers hammer searches while a writer inserts and removes
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let db = db.clone();
+                let query = query.clone();
+                handles.push(s.spawn(move || {
+                    let mut total = 0usize;
+                    for _ in 0..50 {
+                        total += db.search_scene(&query, &QueryOptions::default()).len();
+                    }
+                    total
+                }));
+            }
+            let writer = db.clone();
+            s.spawn(move || {
+                for i in 20..40 {
+                    let id = writer.insert_scene(&format!("img{i}"), &scene(i % 30)).unwrap();
+                    if i % 3 == 0 {
+                        writer.remove(id).unwrap();
+                    }
+                }
+            });
+            for h in handles {
+                assert!(h.join().expect("reader") > 0);
+            }
+        });
+        assert!(db.len() >= 20, "writer inserts survived");
+    }
+
+    #[test]
+    fn with_read_sees_consistent_state() {
+        let db = SharedImageDatabase::new();
+        db.insert_scene("one", &scene(0)).unwrap();
+        let (len, hit_count) = db.with_read(|inner| {
+            (inner.len(), inner.search_scene(&scene(0), &QueryOptions::default()).len())
+        });
+        assert_eq!(len, 1);
+        assert_eq!(hit_count, 1);
+    }
+
+    #[test]
+    fn edit_errors_propagate() {
+        let db = SharedImageDatabase::new();
+        assert!(db.remove(RecordId(5)).is_err());
+        let id = db.insert_scene("one", &scene(0)).unwrap();
+        assert!(db
+            .add_object(id, &ObjectClass::new("Z"), Rect::new(0, 500, 0, 5).unwrap())
+            .is_err());
+        assert!(db
+            .remove_object(id, &ObjectClass::new("Z"), Rect::new(0, 5, 0, 5).unwrap())
+            .is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! 64-bit class signatures for candidate prefiltering.
+//!
+//! Before paying the O(mn) LCS per database image, the search can discard
+//! images that cannot share objects with the query: each image keeps a
+//! 64-bit Bloom-style signature of its class set. Collisions only ever
+//! *admit* extra candidates (false positives) — they never reject a
+//! genuine one — so prefiltering is lossless for the supported modes.
+
+use be2d_geometry::ObjectClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Bloom-style one-bit-per-class signature of an image's class set.
+///
+/// # Example
+///
+/// ```
+/// use be2d_db::ClassSignature;
+/// use be2d_geometry::ObjectClass;
+///
+/// let mut a = ClassSignature::default();
+/// a.insert(&ObjectClass::new("car"));
+/// let mut q = ClassSignature::default();
+/// q.insert(&ObjectClass::new("car"));
+/// q.insert(&ObjectClass::new("tree"));
+/// assert!(a.shares_any(&q));
+/// assert!(!a.covers(&q), "image lacks tree (modulo collisions)");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ClassSignature(u64);
+
+impl ClassSignature {
+    /// Builds the signature of an iterator of classes.
+    #[must_use]
+    pub fn from_classes<'a, I: IntoIterator<Item = &'a ObjectClass>>(classes: I) -> Self {
+        let mut s = ClassSignature::default();
+        for c in classes {
+            s.insert(c);
+        }
+        s
+    }
+
+    /// Adds a class to the signature.
+    pub fn insert(&mut self, class: &ObjectClass) {
+        self.0 |= 1 << (Self::bit(class) % 64);
+    }
+
+    fn bit(class: &ObjectClass) -> u64 {
+        // FNV-1a over the class name: deterministic across runs/platforms
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in class.name().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Whether any query class bit also appears here (possible shared
+    /// class — may be a false positive, never a false negative).
+    #[must_use]
+    pub const fn shares_any(&self, query: &ClassSignature) -> bool {
+        query.0 == 0 || self.0 & query.0 != 0
+    }
+
+    /// Whether every query class bit appears here (superset check with
+    /// the same one-sided error).
+    #[must_use]
+    pub const fn covers(&self, query: &ClassSignature) -> bool {
+        self.0 & query.0 == query.0
+    }
+
+    /// The raw bits (for diagnostics).
+    #[must_use]
+    pub const fn bits(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ClassSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(n: &str) -> ObjectClass {
+        ObjectClass::new(n)
+    }
+
+    #[test]
+    fn insert_and_share() {
+        let a = ClassSignature::from_classes([&class("A"), &class("B")]);
+        let b = ClassSignature::from_classes([&class("B"), &class("C")]);
+        let c = ClassSignature::from_classes([&class("D")]);
+        assert!(a.shares_any(&b));
+        // D may collide with A/B under the 64-bit hash, but these names
+        // are chosen collision-free for the test
+        assert!(!a.shares_any(&c) || ClassSignature::from_classes([&class("D")]).bits() & a.bits() != 0);
+    }
+
+    #[test]
+    fn covers_is_superset() {
+        let image = ClassSignature::from_classes([&class("A"), &class("B"), &class("C")]);
+        let q1 = ClassSignature::from_classes([&class("A"), &class("C")]);
+        let q2 = ClassSignature::from_classes([&class("A"), &class("Z9")]);
+        assert!(image.covers(&q1));
+        // may only fail to reject on a hash collision; check directly
+        if !image.covers(&q2) {
+            assert!(q2.bits() & !image.bits() != 0);
+        }
+    }
+
+    #[test]
+    fn empty_query_matches_everything() {
+        let empty = ClassSignature::default();
+        let image = ClassSignature::from_classes([&class("A")]);
+        assert!(image.shares_any(&empty));
+        assert!(image.covers(&empty));
+        assert!(empty.covers(&empty));
+    }
+
+    #[test]
+    fn deterministic_and_displayable() {
+        let a = ClassSignature::from_classes([&class("house")]);
+        let b = ClassSignature::from_classes([&class("house")]);
+        assert_eq!(a, b);
+        assert_eq!(a.to_string().len(), 16);
+    }
+
+    #[test]
+    fn no_false_negatives_for_shared_class() {
+        // fundamental Bloom property: same class -> same bit
+        for name in ["A", "B", "tree", "car", "x1", "x2", "x3"] {
+            let img = ClassSignature::from_classes([&class(name)]);
+            let q = ClassSignature::from_classes([&class(name)]);
+            assert!(img.shares_any(&q), "{name}");
+            assert!(img.covers(&q), "{name}");
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Spatial-pattern sketches: the paper's motivating query style —
+//! *"find all images which icon A locates at the left side and icon B
+//! locates at the right"* (§1) — as a tiny textual language compiled to
+//! a query scene.
+//!
+//! Grammar (constraints separated by `;` or `,`):
+//!
+//! ```text
+//! sketch     := constraint ((";" | ",") constraint)*
+//! constraint := name relation name
+//! relation   := "left-of" | "right-of" | "above" | "below"
+//!             | "inside" | "contains" | "overlaps"
+//! ```
+//!
+//! The compiler places each named icon on an abstract grid: ordering
+//! constraints become topological ranks per axis, nesting shrinks the
+//! child into the parent, and `overlaps` stretches one icon into the
+//! other. The produced [`Scene`](be2d_geometry::Scene) is *verified* against every constraint
+//! before it is returned — an unsatisfiable or cyclic sketch is an
+//! error, never a silently wrong query.
+
+use crate::DbError;
+use be2d_geometry::{ObjectClass, Rect, Scene};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A spatial relation usable in a sketch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SketchRelation {
+    /// `a left-of b`: a's x-extent ends before b's begins.
+    LeftOf,
+    /// `a right-of b`: mirror of `left-of`.
+    RightOf,
+    /// `a above b`: a's y-extent begins after b's ends.
+    Above,
+    /// `a below b`: mirror of `above`.
+    Below,
+    /// `a inside b`: a's MBR strictly within b's.
+    Inside,
+    /// `a contains b`: mirror of `inside`.
+    Contains,
+    /// `a overlaps b`: MBRs share area without nesting.
+    Overlaps,
+}
+
+impl SketchRelation {
+    fn parse(token: &str) -> Option<SketchRelation> {
+        match token {
+            "left-of" => Some(SketchRelation::LeftOf),
+            "right-of" => Some(SketchRelation::RightOf),
+            "above" => Some(SketchRelation::Above),
+            "below" => Some(SketchRelation::Below),
+            "inside" => Some(SketchRelation::Inside),
+            "contains" => Some(SketchRelation::Contains),
+            "overlaps" => Some(SketchRelation::Overlaps),
+            _ => None,
+        }
+    }
+
+    /// Rewrites mirrored relations to their canonical partner with
+    /// swapped operands.
+    fn canonical(self, a: usize, b: usize) -> (CanonicalRelation, usize, usize) {
+        match self {
+            SketchRelation::LeftOf => (CanonicalRelation::Before(Axis::X), a, b),
+            SketchRelation::RightOf => (CanonicalRelation::Before(Axis::X), b, a),
+            SketchRelation::Below => (CanonicalRelation::Before(Axis::Y), a, b),
+            SketchRelation::Above => (CanonicalRelation::Before(Axis::Y), b, a),
+            SketchRelation::Inside => (CanonicalRelation::Inside, a, b),
+            SketchRelation::Contains => (CanonicalRelation::Inside, b, a),
+            SketchRelation::Overlaps => (CanonicalRelation::Overlaps, a, b),
+        }
+    }
+}
+
+impl fmt::Display for SketchRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SketchRelation::LeftOf => "left-of",
+            SketchRelation::RightOf => "right-of",
+            SketchRelation::Above => "above",
+            SketchRelation::Below => "below",
+            SketchRelation::Inside => "inside",
+            SketchRelation::Contains => "contains",
+            SketchRelation::Overlaps => "overlaps",
+        };
+        f.write_str(name)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    X,
+    Y,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CanonicalRelation {
+    Before(Axis),
+    Inside,
+    Overlaps,
+}
+
+/// A parsed spatial-pattern sketch.
+///
+/// # Example
+///
+/// ```
+/// use be2d_db::sketch::Sketch;
+///
+/// # fn main() -> Result<(), be2d_db::DbError> {
+/// let sketch = Sketch::parse("car left-of tree; tree left-of house; car below roof")?;
+/// let scene = sketch.to_scene()?;
+/// assert_eq!(scene.len(), 4, "car, tree, house, roof placed once each");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sketch {
+    names: Vec<String>,
+    constraints: Vec<(usize, SketchRelation, usize)>,
+}
+
+impl Sketch {
+    /// Parses the textual sketch language.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Persist`]-style parse errors (wrapped in
+    /// [`DbError::Sketch`]) for malformed constraints, unknown relations
+    /// or invalid icon names.
+    pub fn parse(text: &str) -> Result<Sketch, DbError> {
+        let mut names: Vec<String> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut constraints = Vec::new();
+        let intern = |name: &str,
+                          names: &mut Vec<String>,
+                          index: &mut HashMap<String, usize>|
+         -> Result<usize, DbError> {
+            ObjectClass::try_new(name).map_err(|_| DbError::Sketch {
+                reason: format!("invalid icon name {name:?}"),
+            })?;
+            Ok(*index.entry(name.to_owned()).or_insert_with(|| {
+                names.push(name.to_owned());
+                names.len() - 1
+            }))
+        };
+        for clause in text.split([';', ',']) {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = clause.split_whitespace().collect();
+            let [a, rel, b] = parts[..] else {
+                return Err(DbError::Sketch {
+                    reason: format!("expected `icon relation icon`, got {clause:?}"),
+                });
+            };
+            let relation = SketchRelation::parse(rel).ok_or_else(|| DbError::Sketch {
+                reason: format!("unknown relation {rel:?}"),
+            })?;
+            let ia = intern(a, &mut names, &mut index)?;
+            let ib = intern(b, &mut names, &mut index)?;
+            if ia == ib {
+                return Err(DbError::Sketch {
+                    reason: format!("icon {a:?} cannot relate to itself"),
+                });
+            }
+            constraints.push((ia, relation, ib));
+        }
+        if names.is_empty() {
+            return Err(DbError::Sketch { reason: "empty sketch".into() });
+        }
+        Ok(Sketch { names, constraints })
+    }
+
+    /// Icon names in first-mention order.
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The parsed constraints.
+    pub fn constraints(&self) -> impl Iterator<Item = (&str, SketchRelation, &str)> {
+        self.constraints
+            .iter()
+            .map(|&(a, r, b)| (self.names[a].as_str(), r, self.names[b].as_str()))
+    }
+
+    /// Compiles the sketch into a concrete query scene and verifies every
+    /// constraint against the placed MBRs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Sketch`] when ordering constraints are cyclic
+    /// or the constraint set is not satisfied by the grid placement
+    /// (e.g. contradictory nesting).
+    pub fn to_scene(&self) -> Result<Scene, DbError> {
+        let n = self.names.len();
+        // canonicalise
+        let canonical: Vec<(CanonicalRelation, usize, usize)> = self
+            .constraints
+            .iter()
+            .map(|&(a, r, b)| r.canonical(a, b))
+            .collect();
+
+        // 1. ordering ranks per axis via longest-path topological order
+        let x_rank = Self::ranks(n, canonical.iter().filter_map(|&(r, a, b)| match r {
+            CanonicalRelation::Before(Axis::X) => Some((a, b)),
+            _ => None,
+        }))
+        .ok_or_else(|| DbError::Sketch { reason: "cyclic left-of/right-of constraints".into() })?;
+        let y_rank = Self::ranks(n, canonical.iter().filter_map(|&(r, a, b)| match r {
+            CanonicalRelation::Before(Axis::Y) => Some((a, b)),
+            _ => None,
+        }))
+        .ok_or_else(|| DbError::Sketch { reason: "cyclic above/below constraints".into() })?;
+
+        // 2. base grid placement: cell 40, icon 32, gap 8
+        const CELL: i64 = 40;
+        const SIZE: i64 = 32;
+        let mut boxes: Vec<(i64, i64, i64, i64)> = (0..n)
+            .map(|i| {
+                let (xr, yr) = (x_rank[i] as i64, y_rank[i] as i64);
+                (xr * CELL + 4, xr * CELL + 4 + SIZE, yr * CELL + 4, yr * CELL + 4 + SIZE)
+            })
+            .collect();
+
+        // 3. nesting: shrink children into parents, deepest-first; apply
+        // repeatedly so chains (a inside b inside c) converge
+        for _ in 0..n {
+            for &(r, a, b) in &canonical {
+                if r == CanonicalRelation::Inside {
+                    let parent = boxes[b];
+                    let margin = 3;
+                    let child = (
+                        parent.0 + margin,
+                        parent.1 - margin,
+                        parent.2 + margin,
+                        parent.3 - margin,
+                    );
+                    if child.0 < child.1 && child.2 < child.3 {
+                        boxes[a] = child;
+                    }
+                }
+            }
+        }
+
+        // 4. overlap: pin `a` onto `b`, offset by a quarter of b's size —
+        // a proper partial overlap with all four boundaries distinct
+        for &(r, a, b) in &canonical {
+            if r == CanonicalRelation::Overlaps {
+                let bb = boxes[b];
+                let (dx, dy) = ((bb.1 - bb.0) / 4, (bb.3 - bb.2) / 4);
+                boxes[a] = (bb.0 + dx.max(1), bb.1 + dx.max(1), bb.2 + dy.max(1), bb.3 + dy.max(1));
+            }
+        }
+
+        // 5. normalise into the positive quadrant and build the scene
+        let min_x = boxes.iter().map(|b| b.0).min().unwrap_or(0).min(0);
+        let min_y = boxes.iter().map(|b| b.2).min().unwrap_or(0).min(0);
+        let max_x = boxes.iter().map(|b| b.1).max().unwrap_or(1) - min_x;
+        let max_y = boxes.iter().map(|b| b.3).max().unwrap_or(1) - min_y;
+        let mut scene = Scene::new(max_x + 8, max_y + 8)
+            .map_err(|e| DbError::Sketch { reason: e.to_string() })?;
+        for (i, b) in boxes.iter().enumerate() {
+            let rect = Rect::new(b.0 - min_x + 4, b.1 - min_x + 4, b.2 - min_y + 4, b.3 - min_y + 4)
+                .map_err(|e| DbError::Sketch { reason: e.to_string() })?;
+            scene
+                .add(
+                    ObjectClass::try_new(&self.names[i])
+                        .map_err(|e| DbError::Sketch { reason: e.to_string() })?,
+                    rect,
+                )
+                .map_err(|e| DbError::Sketch { reason: e.to_string() })?;
+        }
+
+        // 6. verify every original constraint on the placed MBRs
+        for &(a, r, b) in &self.constraints {
+            let (ra, rb) = (scene.objects()[a].mbr(), scene.objects()[b].mbr());
+            let ok = match r {
+                SketchRelation::LeftOf => ra.x_end() <= rb.x_begin(),
+                SketchRelation::RightOf => rb.x_end() <= ra.x_begin(),
+                SketchRelation::Below => ra.y_end() <= rb.y_begin(),
+                SketchRelation::Above => rb.y_end() <= ra.y_begin(),
+                SketchRelation::Inside => rb.contains(&ra) && ra != rb,
+                SketchRelation::Contains => ra.contains(&rb) && ra != rb,
+                SketchRelation::Overlaps => {
+                    ra.overlaps(&rb) && !ra.contains(&rb) && !rb.contains(&ra)
+                }
+            };
+            if !ok {
+                return Err(DbError::Sketch {
+                    reason: format!(
+                        "unsatisfiable constraint: {} {} {}",
+                        self.names[a], r, self.names[b]
+                    ),
+                });
+            }
+        }
+        Ok(scene)
+    }
+
+    /// Longest-path ranks of a DAG given by `edges` (a before b), or
+    /// `None` on a cycle.
+    fn ranks(n: usize, edges: impl Iterator<Item = (usize, usize)>) -> Option<Vec<usize>> {
+        let mut adj: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut indeg = vec![0usize; n];
+        for (a, b) in edges {
+            adj.entry(a).or_default().push(b);
+            indeg[b] += 1;
+        }
+        let mut rank = vec![0usize; n];
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &w in adj.get(&v).map_or(&[][..], Vec::as_slice) {
+                rank[w] = rank[w].max(rank[v] + 1);
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        (seen == n).then_some(rank)
+    }
+}
+
+impl fmt::Display for Sketch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let clauses: Vec<String> = self
+            .constraints
+            .iter()
+            .map(|&(a, r, b)| format!("{} {} {}", self.names[a], r, self.names[b]))
+            .collect();
+        f.write_str(&clauses.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use be2d_geometry::AllenRelation;
+
+    #[test]
+    fn parse_basics() {
+        let s = Sketch::parse("A left-of B; B left-of C").unwrap();
+        assert_eq!(s.names(), ["A", "B", "C"]);
+        assert_eq!(s.constraints().count(), 2);
+        assert_eq!(s.to_string(), "A left-of B; B left-of C");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Sketch::parse("").is_err());
+        assert!(Sketch::parse("A nextto B").is_err());
+        assert!(Sketch::parse("A left-of").is_err());
+        assert!(Sketch::parse("A left-of A").is_err());
+        assert!(Sketch::parse("E left-of B").is_err(), "reserved name");
+    }
+
+    #[test]
+    fn ordering_constraints_hold() {
+        let scene =
+            Sketch::parse("A left-of B, B left-of C, A below C").unwrap().to_scene().unwrap();
+        let m = |i: usize| scene.objects()[i].mbr();
+        assert!(m(0).x_end() <= m(1).x_begin());
+        assert!(m(1).x_end() <= m(2).x_begin());
+        assert!(m(0).y_end() <= m(2).y_begin());
+    }
+
+    #[test]
+    fn mirrored_relations() {
+        let scene = Sketch::parse("A right-of B; A above B").unwrap().to_scene().unwrap();
+        let m = |i: usize| scene.objects()[i].mbr();
+        assert!(m(1).x_end() <= m(0).x_begin());
+        assert!(m(1).y_end() <= m(0).y_begin());
+    }
+
+    #[test]
+    fn nesting_constraints_hold() {
+        let scene =
+            Sketch::parse("A inside B; B inside C").unwrap().to_scene().unwrap();
+        let m = |i: usize| scene.objects()[i].mbr();
+        assert!(m(1).contains(&m(0)));
+        assert!(m(2).contains(&m(1)));
+        assert_eq!(m(2).x().allen_relation(&m(1).x()), AllenRelation::Contains);
+    }
+
+    #[test]
+    fn contains_is_inside_mirrored() {
+        let scene = Sketch::parse("A contains B").unwrap().to_scene().unwrap();
+        assert!(scene.objects()[0].mbr().contains(&scene.objects()[1].mbr()));
+    }
+
+    #[test]
+    fn overlap_constraint_holds() {
+        let scene = Sketch::parse("A overlaps B; A left-of C").unwrap().to_scene().unwrap();
+        let (a, b) = (scene.objects()[0].mbr(), scene.objects()[1].mbr());
+        assert!(a.overlaps(&b));
+        assert!(!a.contains(&b) && !b.contains(&a));
+    }
+
+    #[test]
+    fn cyclic_ordering_is_an_error() {
+        let err = Sketch::parse("A left-of B; B left-of A").unwrap().to_scene();
+        assert!(matches!(err, Err(DbError::Sketch { .. })));
+        let err = Sketch::parse("A below B; B below C; C below A").unwrap().to_scene();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn paper_intro_query_end_to_end() {
+        use crate::{ImageDatabase, QueryOptions};
+        use be2d_geometry::SceneBuilder;
+        // "find all images which icon A locates at the left side and
+        // icon B locates at the right"
+        let query = Sketch::parse("A left-of B").unwrap().to_scene().unwrap();
+
+        let mut db = ImageDatabase::new();
+        db.insert_scene(
+            "a-left-b",
+            &SceneBuilder::new(100, 100)
+                .object("A", (5, 25, 40, 60))
+                .object("B", (60, 85, 40, 60))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert_scene(
+            "b-left-a",
+            &SceneBuilder::new(100, 100)
+                .object("B", (5, 25, 40, 60))
+                .object("A", (60, 85, 40, 60))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let hits = db.search_scene(&query, &QueryOptions::default());
+        assert_eq!(hits[0].name, "a-left-b");
+        assert!(hits[0].score > hits[1].score);
+    }
+}

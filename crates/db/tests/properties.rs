@@ -1,0 +1,164 @@
+//! Stateful property tests of the image database: random operation
+//! sequences must keep every access path consistent.
+
+use be2d_core::SymbolicImage;
+use be2d_db::{CandidateSource, ImageDatabase, PrefilterMode, QueryOptions, RecordId};
+use be2d_geometry::{ObjectClass, Rect, Scene};
+use proptest::prelude::*;
+
+const CLASS_NAMES: [&str; 5] = ["A", "B", "C", "D", "F"];
+const FRAME: i64 = 64;
+
+/// One step of the stateful test.
+#[derive(Debug, Clone)]
+enum Op {
+    InsertImage { objects: Vec<(usize, i64, i64, i64, i64)> },
+    RemoveImage { slot: usize },
+    AddObject { slot: usize, class: usize, rect: (i64, i64, i64, i64) },
+    RemoveObject { slot: usize },
+}
+
+fn arb_rect_tuple() -> impl Strategy<Value = (i64, i64, i64, i64)> {
+    (0..FRAME - 1, 0..FRAME - 1).prop_flat_map(|(xb, yb)| {
+        (1..=FRAME - xb, 1..=FRAME - yb)
+            .prop_map(move |(w, h)| (xb, xb + w, yb, yb + h))
+    })
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        prop::collection::vec(
+            (0..CLASS_NAMES.len(), arb_rect_tuple()).prop_map(|(c, (a, b, d, e))| (c, a, b, d, e)),
+            0..5
+        )
+        .prop_map(|objects| Op::InsertImage { objects }),
+        (0usize..24).prop_map(|slot| Op::RemoveImage { slot }),
+        (0usize..24, 0..CLASS_NAMES.len(), arb_rect_tuple())
+            .prop_map(|(slot, class, rect)| Op::AddObject { slot, class, rect }),
+        (0usize..24).prop_map(|slot| Op::RemoveObject { slot }),
+    ]
+}
+
+/// A shadow model: the set of live (RecordId, Scene) pairs maintained by
+/// plain re-computation.
+#[derive(Default)]
+struct Model {
+    live: Vec<(RecordId, Scene)>,
+}
+
+impl Model {
+    fn scene_of(&mut self, slot: usize) -> Option<&mut (RecordId, Scene)> {
+        if self.live.is_empty() {
+            None
+        } else {
+            let i = slot % self.live.len();
+            self.live.get_mut(i)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any operation sequence: every live record's symbolic picture
+    /// equals the batch conversion of its shadow scene, dead records stay
+    /// dead, and the scan/index search paths agree.
+    #[test]
+    fn database_stays_consistent(ops in prop::collection::vec(arb_op(), 1..24)) {
+        let mut db = ImageDatabase::new();
+        let mut model = Model::default();
+        let mut removed: Vec<RecordId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::InsertImage { objects } => {
+                    let mut scene = Scene::new(FRAME, FRAME).expect("frame");
+                    for (c, xb, xe, yb, ye) in objects {
+                        scene
+                            .add(
+                                ObjectClass::new(CLASS_NAMES[c]),
+                                Rect::new(xb, xe, yb, ye).expect("rect"),
+                            )
+                            .expect("fits");
+                    }
+                    let id = db.insert_scene("img", &scene).expect("insert");
+                    model.live.push((id, scene));
+                }
+                Op::RemoveImage { slot } => {
+                    if let Some(&(id, _)) = model.scene_of(slot).map(|p| &*p) {
+                        db.remove(id).expect("live record removable");
+                        model.live.retain(|(i, _)| *i != id);
+                        removed.push(id);
+                    }
+                }
+                Op::AddObject { slot, class, rect } => {
+                    if let Some((id, scene)) = model.scene_of(slot) {
+                        let class = ObjectClass::new(CLASS_NAMES[class]);
+                        let rect = Rect::new(rect.0, rect.1, rect.2, rect.3).expect("rect");
+                        db.add_object(*id, &class, rect).expect("add");
+                        scene.add(class, rect).expect("fits");
+                    }
+                }
+                Op::RemoveObject { slot } => {
+                    if let Some((id, scene)) = model.scene_of(slot) {
+                        if !scene.is_empty() {
+                            let target = scene.objects()[0].clone();
+                            db.remove_object(*id, target.class(), target.mbr())
+                                .expect("object present");
+                            scene.remove(be2d_geometry::ObjectId(0)).expect("present");
+                        }
+                    }
+                }
+            }
+
+            // invariant: every live record equals its shadow conversion
+            for (id, scene) in &model.live {
+                let record = db.get(*id).expect("live record");
+                prop_assert_eq!(&record.symbolic, &SymbolicImage::from_scene(scene));
+            }
+            // invariant: removed ids stay dead
+            for id in &removed {
+                prop_assert!(db.get(*id).is_none());
+            }
+            prop_assert_eq!(db.len(), model.live.len());
+        }
+
+        // final: scan and index search paths agree for a class query
+        let query = {
+            let mut s = Scene::new(FRAME, FRAME).expect("frame");
+            s.add(ObjectClass::new("A"), Rect::new(0, 10, 0, 10).expect("rect"))
+                .expect("fits");
+            s
+        };
+        for prefilter in [PrefilterMode::AnyClass, PrefilterMode::AllClasses] {
+            let scan = db.search_scene(
+                &query,
+                &QueryOptions {
+                    prefilter,
+                    candidates: CandidateSource::Scan,
+                    top_k: None,
+                    ..QueryOptions::default()
+                },
+            );
+            let index = db.search_scene(
+                &query,
+                &QueryOptions {
+                    prefilter,
+                    candidates: CandidateSource::ClassIndex,
+                    top_k: None,
+                    ..QueryOptions::default()
+                },
+            );
+            prop_assert_eq!(scan.len(), index.len());
+            for (a, b) in scan.iter().zip(&index) {
+                prop_assert_eq!(a.id, b.id);
+                prop_assert!((a.score - b.score).abs() < 1e-12);
+            }
+        }
+
+        // final: persistence roundtrip preserves everything
+        let json = db.to_json().expect("serialise");
+        let back = ImageDatabase::from_json(&json).expect("deserialise");
+        prop_assert_eq!(db, back);
+    }
+}

@@ -1,0 +1,111 @@
+//! A deliberately tiny `--key value` argument parser (no external CLI
+//! dependency needed for a demo binary).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The first positional token (subcommand).
+    pub command: String,
+    /// `--key value` pairs; bare `--flag`s map to `"true"`.
+    pub options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when no subcommand is present or an option key
+    /// is malformed.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+        let mut it = raw.into_iter().peekable();
+        let command = it.next().ok_or("missing subcommand; try `help`")?;
+        if command.starts_with("--") {
+            return Err(format!("expected subcommand before option {command}"));
+        }
+        let mut options = HashMap::new();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got {tok:?}"))?;
+            if key.is_empty() {
+                return Err("empty option name".into());
+            }
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked"),
+                _ => "true".to_owned(),
+            };
+            options.insert(key.to_owned(), value);
+        }
+        Ok(Args { command, options })
+    }
+
+    /// String option with a default.
+    #[must_use]
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map_or(default, String::as_str)
+    }
+
+    /// Parsed numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+        }
+    }
+
+    /// Whether a bare flag was passed.
+    #[must_use]
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).is_some_and(|v| v == "true")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        Args::parse(tokens.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = parse(&["gen", "--images", "20", "--out", "x.json", "--verbose"]).unwrap();
+        assert_eq!(a.command, "gen");
+        assert_eq!(a.get_or("out", "-"), "x.json");
+        assert_eq!(a.get_num("images", 0usize).unwrap(), 20);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&["show"]).unwrap();
+        assert_eq!(a.get_or("db", "demo.json"), "demo.json");
+        assert_eq!(a.get_num("id", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--oops"]).is_err());
+        assert!(parse(&["gen", "images"]).is_err());
+        assert!(parse(&["gen", "--"]).is_err());
+        let a = parse(&["gen", "--images", "abc"]).unwrap();
+        assert!(a.get_num("images", 0usize).is_err());
+    }
+
+    #[test]
+    fn flag_followed_by_option() {
+        let a = parse(&["query", "--invariant", "--id", "3"]).unwrap();
+        assert!(a.flag("invariant"));
+        assert_eq!(a.get_num("id", 0usize).unwrap(), 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! Demo bundles: named scenes persisted to JSON, with the database
+//! rebuilt on load.
+//!
+//! The database itself stores only symbolic pictures; the demo also wants
+//! to *draw* the images, so the bundle keeps the geometric scenes and
+//! reconverts on load (conversion is O(n log n) per image — instant at
+//! demo scale).
+
+use be2d_db::{DbError, ImageDatabase, RecordId};
+use be2d_geometry::Scene;
+use be2d_workload::{Corpus, CorpusConfig, Placement, SceneConfig};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A persisted demo corpus: named scenes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bundle {
+    /// Named scenes in record-id order.
+    pub scenes: Vec<(String, Scene)>,
+}
+
+impl Bundle {
+    /// Generates a bundle of random scenes.
+    #[must_use]
+    pub fn generate(images: usize, objects: usize, classes: usize, seed: u64) -> Bundle {
+        let cfg = CorpusConfig {
+            images,
+            scene: SceneConfig {
+                objects,
+                classes,
+                placement: Placement::NonOverlapping,
+                width: 64,
+                height: 48,
+                min_size: 4,
+                max_size: 16,
+            },
+        };
+        let corpus = Corpus::generate(&cfg, seed);
+        let scenes = corpus
+            .iter()
+            .map(|(id, scene)| (format!("image-{}", id.index()), scene.clone()))
+            .collect();
+        Bundle { scenes }
+    }
+
+    /// Number of images in the bundle.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scenes.len()
+    }
+
+    /// Whether the bundle is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scenes.is_empty()
+    }
+
+    /// The scene stored under a record id.
+    #[must_use]
+    pub fn scene(&self, id: RecordId) -> Option<&Scene> {
+        self.scenes.get(id.index()).map(|(_, s)| s)
+    }
+
+    /// Builds the image database for the bundle (ids align with scene
+    /// positions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates database insertion errors.
+    pub fn build_database(&self) -> Result<ImageDatabase, DbError> {
+        let mut db = ImageDatabase::new();
+        for (name, scene) in &self.scenes {
+            db.insert_scene(name, scene)?;
+        }
+        Ok(db)
+    }
+
+    /// Saves the bundle as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation and I/O errors.
+    pub fn save(&self, path: &Path) -> Result<(), DbError> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| DbError::Persist { reason: e.to_string() })?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads a bundle from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialisation errors.
+    pub fn load(path: &Path) -> Result<Bundle, DbError> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(|e| DbError::Persist { reason: e.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = Bundle::generate(5, 6, 4, 9);
+        let b = Bundle::generate(5, 6, 4, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+        assert_eq!(a.scenes[0].1.len(), 6);
+    }
+
+    #[test]
+    fn database_ids_align_with_scenes() {
+        let bundle = Bundle::generate(4, 5, 3, 1);
+        let db = bundle.build_database().unwrap();
+        assert_eq!(db.len(), 4);
+        for i in 0..4 {
+            let id = RecordId(i);
+            assert_eq!(db.get(id).unwrap().name, bundle.scenes[i].0);
+            assert_eq!(
+                db.get(id).unwrap().symbolic.object_count(),
+                bundle.scene(id).unwrap().len()
+            );
+        }
+        assert!(bundle.scene(RecordId(9)).is_none());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let bundle = Bundle::generate(3, 4, 3, 2);
+        let path = std::env::temp_dir().join("be2d_demo_bundle_test.json");
+        bundle.save(&path).unwrap();
+        let back = Bundle::load(&path).unwrap();
+        assert_eq!(bundle, back);
+        std::fs::remove_file(&path).ok();
+        assert!(Bundle::load(Path::new("/nonexistent/b.json")).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Terminal rendering: scenes, result tables, BE-string dumps and LCS
+//! alignments.
+
+use be2d_core::{BeString, BeString2D, LcsTable};
+use be2d_db::SearchHit;
+use be2d_geometry::Scene;
+use be2d_imaging::scene_ascii;
+
+/// Renders a scene as a bordered ASCII panel with a title.
+#[must_use]
+pub fn scene_panel(title: &str, scene: &Scene) -> String {
+    let art = scene_ascii(scene);
+    let width = scene.width() as usize;
+    let mut out = String::new();
+    out.push_str(&format!("┌─ {} {}┐\n", title, "─".repeat(width.saturating_sub(title.len() + 2))));
+    for line in art.lines() {
+        out.push_str(&format!("│{line}│\n"));
+    }
+    out.push_str(&format!("└{}┘\n", "─".repeat(width)));
+    out
+}
+
+/// Renders the `(u, v)` string pair of an image.
+#[must_use]
+pub fn bestring_dump(s: &BeString2D) -> String {
+    format!("u (x-axis): {}\nv (y-axis): {}\n", s.x(), s.y())
+}
+
+/// Formats a ranked result table.
+#[must_use]
+pub fn result_table(hits: &[SearchHit]) -> String {
+    let mut out = String::new();
+    out.push_str("rank  score   transform       x-LCS  y-LCS  name\n");
+    out.push_str("----  ------  --------------  -----  -----  ----------------\n");
+    for (i, h) in hits.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>4}  {:.4}  {:<14}  {:>5}  {:>5}  {}\n",
+            i + 1,
+            h.score,
+            h.transform.to_string(),
+            h.similarity.x.lcs_len,
+            h.similarity.y.lcs_len,
+            h.name,
+        ));
+    }
+    if hits.is_empty() {
+        out.push_str("(no results)\n");
+    }
+    out
+}
+
+/// Shows the LCS between two axis strings: both inputs and the matched
+/// subsequence (Algorithm 3 output).
+#[must_use]
+pub fn lcs_alignment(axis: &str, query: &BeString, target: &BeString) -> String {
+    let table = LcsTable::build(query, target);
+    let lcs = table.lcs_string();
+    let rendered: Vec<String> = lcs.iter().map(ToString::to_string).collect();
+    format!(
+        "{axis}-axis LCS (length {}):\n  query : {}\n  target: {}\n  common: {}\n",
+        table.length(),
+        query,
+        target,
+        rendered.join(" "),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use be2d_core::convert_scene;
+    use be2d_db::{ImageDatabase, QueryOptions};
+    use be2d_geometry::SceneBuilder;
+
+    fn demo_scene() -> Scene {
+        SceneBuilder::new(20, 10)
+            .object("A", (1, 5, 1, 5))
+            .object("B", (8, 16, 3, 9))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn scene_panel_has_border_and_content() {
+        let p = scene_panel("test", &demo_scene());
+        assert!(p.starts_with("┌─ test "));
+        assert!(p.contains('a'));
+        assert!(p.contains('b'));
+        assert!(p.trim_end().ends_with('┘'));
+        // 10 content rows + top + bottom
+        assert_eq!(p.lines().count(), 12);
+    }
+
+    #[test]
+    fn bestring_dump_contains_both_axes() {
+        let d = bestring_dump(&convert_scene(&demo_scene()));
+        assert!(d.contains("u (x-axis): E A_b E A_e E B_b E B_e E"));
+        assert!(d.contains("v (y-axis):"));
+    }
+
+    #[test]
+    fn result_table_formats_hits() {
+        let mut db = ImageDatabase::new();
+        db.insert_scene("one", &demo_scene()).unwrap();
+        let hits = db.search_scene(&demo_scene(), &QueryOptions::default());
+        let t = result_table(&hits);
+        assert!(t.contains("one"));
+        assert!(t.contains("1.0000"));
+        assert!(t.contains("identity"));
+        assert!(result_table(&[]).contains("(no results)"));
+    }
+
+    #[test]
+    fn lcs_alignment_shows_common_string() {
+        let s = convert_scene(&demo_scene());
+        let a = lcs_alignment("x", s.x(), s.x());
+        assert!(a.contains("x-axis LCS (length 9)"));
+        assert!(a.contains("common: E A_b E A_e E B_b E B_e E"));
+    }
+}

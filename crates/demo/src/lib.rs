@@ -1,0 +1,19 @@
+//! # be2d-demo — the §5 visualized retrieval system, in a terminal
+//!
+//! The paper demonstrates the 2D BE-string model with a GUI retrieval
+//! system (§5, shown only as screenshots). This crate reproduces that
+//! workflow end to end on synthetic corpora:
+//!
+//! * [`bundle`] — a demo *bundle*: named scenes persisted as JSON, from
+//!   which the image database is rebuilt on load;
+//! * [`display`] — ASCII scene rendering, ranked-result tables, BE-string
+//!   dumps and LCS alignment views;
+//! * the `be2d-demo` binary — `gen`, `show`, `query` and `walkthrough`
+//!   subcommands (see `be2d-demo help`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod bundle;
+pub mod display;

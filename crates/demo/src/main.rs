@@ -1,0 +1,267 @@
+//! `be2d-demo` — the terminal visualized retrieval system (§5 of the
+//! paper, reproduced on synthetic corpora).
+//!
+//! ```text
+//! be2d-demo gen        --out demo.json [--images 12] [--objects 6] [--classes 4] [--seed 42]
+//! be2d-demo show       --db demo.json --id 0
+//! be2d-demo query      --db demo.json --source 0 [--kind exact|drop:K|jitter:D|rot90|rot180|rot270|flipx|flipy]
+//!                      [--invariant] [--top 5] [--seed 7]
+//! be2d-demo walkthrough [--seed 42]
+//! be2d-demo help
+//! ```
+
+use be2d_core::convert_scene;
+use be2d_db::QueryOptions;
+use be2d_demo::args::Args;
+use be2d_demo::bundle::Bundle;
+use be2d_demo::display::{bestring_dump, lcs_alignment, result_table, scene_panel};
+use be2d_geometry::Transform;
+use be2d_workload::{derive_query, Corpus, ImageId, QueryKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "gen" => cmd_gen(&args),
+        "show" => cmd_show(&args),
+        "query" => cmd_query(&args),
+        "search" => cmd_search(&args),
+        "explain" => cmd_explain(&args),
+        "walkthrough" => cmd_walkthrough(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}; try `help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+be2d-demo — visualized similarity retrieval on 2D BE-strings
+
+subcommands:
+  gen          generate a demo corpus   (--out FILE --images N --objects M --classes C --seed S)
+  show         display one image        (--db FILE --id K)
+  query        run a similarity search  (--db FILE --source K --kind KIND --invariant --top N --seed S)
+  search       search by spatial pattern (--db FILE --pattern \"C0 left-of C1\" --top N)
+  explain      show the Algorithm 2 DP table for two images (--db FILE --query K --target J)
+  walkthrough  scripted end-to-end demonstration (--seed S)
+  help         this text
+
+query kinds: exact, drop:K (keep K objects), jitter:D (move by ±D),
+             rot90, rot180, rot270, flipx, flipy
+pattern relations: left-of right-of above below inside contains overlaps";
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let images = args.get_num("images", 12usize)?;
+    let objects = args.get_num("objects", 6usize)?;
+    let classes = args.get_num("classes", 4usize)?;
+    let seed = args.get_num("seed", 42u64)?;
+    let out = args.get_or("out", "demo.json");
+    let bundle = Bundle::generate(images, objects, classes, seed);
+    bundle.save(Path::new(out)).map_err(|e| e.to_string())?;
+    println!("wrote {images} images ({objects} objects each) to {out}");
+    Ok(())
+}
+
+fn load_bundle(args: &Args) -> Result<Bundle, String> {
+    let db = args.get_or("db", "demo.json");
+    Bundle::load(Path::new(db)).map_err(|e| format!("cannot load {db}: {e}"))
+}
+
+fn cmd_show(args: &Args) -> Result<(), String> {
+    let bundle = load_bundle(args)?;
+    let id = args.get_num("id", 0usize)?;
+    let (name, scene) =
+        bundle.scenes.get(id).ok_or_else(|| format!("no image with id {id}"))?;
+    print!("{}", scene_panel(name, scene));
+    print!("{}", bestring_dump(&convert_scene(scene)));
+    Ok(())
+}
+
+fn parse_kind(kind: &str) -> Result<QueryKind, String> {
+    if let Some(k) = kind.strip_prefix("drop:") {
+        return Ok(QueryKind::DropObjects {
+            keep: k.parse().map_err(|_| format!("bad drop count {k:?}"))?,
+        });
+    }
+    if let Some(d) = kind.strip_prefix("jitter:") {
+        return Ok(QueryKind::Jitter {
+            max_delta: d.parse().map_err(|_| format!("bad jitter delta {d:?}"))?,
+        });
+    }
+    match kind {
+        "exact" => Ok(QueryKind::Exact),
+        "rot90" => Ok(QueryKind::Transformed(Transform::Rotate90)),
+        "rot180" => Ok(QueryKind::Transformed(Transform::Rotate180)),
+        "rot270" => Ok(QueryKind::Transformed(Transform::Rotate270)),
+        "flipx" => Ok(QueryKind::Transformed(Transform::ReflectX)),
+        "flipy" => Ok(QueryKind::Transformed(Transform::ReflectY)),
+        other => Err(format!("unknown query kind {other:?}")),
+    }
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let bundle = load_bundle(args)?;
+    let source = args.get_num("source", 0usize)?;
+    let kind = parse_kind(args.get_or("kind", "exact"))?;
+    let top = args.get_num("top", 5usize)?;
+    let seed = args.get_num("seed", 7u64)?;
+    if source >= bundle.len() {
+        return Err(format!("no image with id {source}"));
+    }
+
+    let corpus =
+        Corpus::from_scenes(bundle.scenes.iter().map(|(_, s)| s.clone()).collect());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let query = derive_query(&corpus, ImageId(source), kind, &mut rng);
+
+    let db = bundle.build_database().map_err(|e| e.to_string())?;
+    let mut options = if args.flag("invariant") {
+        QueryOptions::transform_invariant()
+    } else {
+        QueryOptions::default()
+    };
+    options.top_k = Some(top);
+    let hits = db.search_scene(&query.scene, &options);
+
+    print!("{}", scene_panel(&format!("query ({kind})", kind = query.kind), &query.scene));
+    println!();
+    print!("{}", result_table(&hits));
+    if let Some(best) = hits.first() {
+        if let Some(target_scene) = bundle.scene(best.id) {
+            println!();
+            print!("{}", scene_panel(&format!("best match: {}", best.name), target_scene));
+            let q = convert_scene(&query.scene);
+            let t = convert_scene(target_scene);
+            println!();
+            print!("{}", lcs_alignment("x", q.x(), t.x()));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_search(args: &Args) -> Result<(), String> {
+    let bundle = load_bundle(args)?;
+    let pattern = args.get_or("pattern", "");
+    if pattern.is_empty() {
+        return Err("missing --pattern, e.g. --pattern \"C0 left-of C1\"".into());
+    }
+    let top = args.get_num("top", 5usize)?;
+    let sketch = be2d_db::sketch::Sketch::parse(pattern).map_err(|e| e.to_string())?;
+    let query = sketch.to_scene().map_err(|e| e.to_string())?;
+    let db = bundle.build_database().map_err(|e| e.to_string())?;
+    print!("{}", scene_panel(&format!("pattern: {sketch}"), &query));
+    println!();
+    let hits = db.search_scene(&query, &QueryOptions::default().with_top_k(Some(top)));
+    print!("{}", result_table(&hits));
+    Ok(())
+}
+
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let bundle = load_bundle(args)?;
+    let qi = args.get_num("query", 0usize)?;
+    let ti = args.get_num("target", 1usize)?;
+    let get = |i: usize| {
+        bundle.scenes.get(i).ok_or_else(|| format!("no image with id {i}"))
+    };
+    let (qname, qscene) = get(qi)?;
+    let (tname, tscene) = get(ti)?;
+    let q = convert_scene(qscene);
+    let t = convert_scene(tscene);
+
+    println!("query  {qname}: u = {}", q.x());
+    println!("target {tname}: u = {}", t.x());
+    println!("\nAlgorithm 2 signed inference table W (x-axis):");
+    println!("(negative entries: the canonical LCS at that cell ends with a dummy)\n");
+    let table = be2d_core::LcsTable::build(q.x(), t.x());
+    if q.x().len() > 24 || t.x().len() > 24 {
+        println!("(strings too long to render; lengths {} x {})", q.x().len(), t.x().len());
+    } else {
+        print!("{}", table.render(t.x()));
+    }
+    println!();
+    print!("{}", lcs_alignment("x", q.x(), t.x()));
+    println!();
+    print!("{}", lcs_alignment("y", q.y(), t.y()));
+    let sim = be2d_core::similarity(&q, &t);
+    println!(
+        "\nsimilarity: {:.4} (x {:.4}, y {:.4})",
+        sim.score, sim.x.score, sim.y.score
+    );
+    Ok(())
+}
+
+fn cmd_walkthrough(args: &Args) -> Result<(), String> {
+    let seed = args.get_num("seed", 42u64)?;
+    println!("== 2D BE-string visualized retrieval walkthrough ==\n");
+    let bundle = Bundle::generate(8, 5, 4, seed);
+    let db = bundle.build_database().map_err(|e| e.to_string())?;
+    println!("indexed {} images\n", db.len());
+
+    let (name, scene) = &bundle.scenes[0];
+    print!("{}", scene_panel(name, scene));
+    print!("{}", bestring_dump(&convert_scene(scene)));
+
+    println!("\n-- exact query --");
+    let hits = db.search_scene(scene, &QueryOptions::default());
+    print!("{}", result_table(&hits));
+
+    println!("\n-- partial query (drop to 2 objects) --");
+    let corpus =
+        Corpus::from_scenes(bundle.scenes.iter().map(|(_, s)| s.clone()).collect());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let partial =
+        derive_query(&corpus, ImageId(0), QueryKind::DropObjects { keep: 2 }, &mut rng);
+    let hits = db.search_scene(&partial.scene, &QueryOptions::default());
+    print!("{}", result_table(&hits));
+
+    println!("\n-- rotated query (90° cw), transform-invariant search --");
+    let rotated = scene.transformed(Transform::Rotate90);
+    let hits = db.search_scene(&rotated, &QueryOptions::transform_invariant());
+    print!("{}", result_table(&hits));
+
+    println!("\n-- spatial-pattern search: \"C0 left-of C1\" --");
+    let sketch =
+        be2d_db::sketch::Sketch::parse("C0 left-of C1").map_err(|e| e.to_string())?;
+    let pattern = sketch.to_scene().map_err(|e| e.to_string())?;
+    let hits = db.search_scene(&pattern, &QueryOptions::default().with_top_k(Some(3)));
+    print!("{}", result_table(&hits));
+
+    println!("\n-- near-duplicate scan over the corpus --");
+    let strings: Vec<_> = bundle
+        .scenes
+        .iter()
+        .map(|(_, s)| be2d_core::convert_scene(s))
+        .collect();
+    let matrix = be2d_core::similarity_matrix(&strings, &Default::default());
+    let clusters = be2d_core::threshold_clusters(&matrix, 0.85);
+    let dups: Vec<_> = clusters.iter().filter(|c| c.len() > 1).collect();
+    if dups.is_empty() {
+        println!("no near-duplicates above 0.85 (corpus of independent scenes)");
+    } else {
+        for c in dups {
+            println!("duplicate group: {c:?}");
+        }
+    }
+
+    println!("\nwalkthrough complete");
+    Ok(())
+}

@@ -1,0 +1,229 @@
+//! End-to-end tests of the `be2d-demo` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn demo() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_be2d-demo"))
+}
+
+fn temp_bundle(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("be2d_demo_cli_{name}.json"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = demo().arg("help").output().expect("run binary");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("walkthrough"));
+    assert!(text.contains("query"));
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = demo().arg("frobnicate").output().expect("run binary");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn missing_bundle_fails_cleanly() {
+    let out = demo()
+        .args(["show", "--db", "/nonexistent/demo.json"])
+        .output()
+        .expect("run binary");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot load"));
+}
+
+#[test]
+fn gen_show_query_pipeline() {
+    let path = temp_bundle("pipeline");
+    let out = demo()
+        .args(["gen", "--out", path.to_str().unwrap(), "--images", "6", "--seed", "5"])
+        .output()
+        .expect("run binary");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = demo()
+        .args(["show", "--db", path.to_str().unwrap(), "--id", "0"])
+        .output()
+        .expect("run binary");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("image-0"));
+    assert!(text.contains("u (x-axis):"));
+
+    let out = demo()
+        .args([
+            "query",
+            "--db",
+            path.to_str().unwrap(),
+            "--source",
+            "0",
+            "--kind",
+            "exact",
+        ])
+        .output()
+        .expect("run binary");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("rank"), "table header present");
+    assert!(text.contains("image-0"), "source image retrieved");
+    assert!(text.contains("1.0000"), "exact query scores 1");
+    assert!(text.contains("-axis LCS"), "alignment shown");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn rotated_query_with_invariance_recovers_source() {
+    let path = temp_bundle("rot");
+    assert!(demo()
+        .args(["gen", "--out", path.to_str().unwrap(), "--images", "5", "--seed", "11"])
+        .status()
+        .expect("run binary")
+        .success());
+
+    let out = demo()
+        .args([
+            "query",
+            "--db",
+            path.to_str().unwrap(),
+            "--source",
+            "2",
+            "--kind",
+            "rot90",
+            "--invariant",
+            "--top",
+            "3",
+        ])
+        .output()
+        .expect("run binary");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let first_rank_line = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("1 "))
+        .expect("has a top result");
+    assert!(first_rank_line.contains("image-2"), "top hit is the source: {first_rank_line}");
+    assert!(first_rank_line.contains("1.0000"));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn explain_renders_dp_table() {
+    let path = temp_bundle("explain");
+    assert!(demo()
+        .args([
+            "gen",
+            "--out",
+            path.to_str().unwrap(),
+            "--images",
+            "4",
+            "--objects",
+            "2",
+            "--seed",
+            "2"
+        ])
+        .status()
+        .expect("run binary")
+        .success());
+    let out = demo()
+        .args([
+            "explain",
+            "--db",
+            path.to_str().unwrap(),
+            "--query",
+            "0",
+            "--target",
+            "1",
+        ])
+        .output()
+        .expect("run binary");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Algorithm 2 signed inference table"));
+    assert!(text.contains("similarity:"));
+    assert!(text.contains("x-axis LCS"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn walkthrough_runs_end_to_end() {
+    let out = demo().args(["walkthrough", "--seed", "42"]).output().expect("run binary");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("indexed 8 images"));
+    assert!(text.contains("exact query"));
+    assert!(text.contains("rotated query"));
+    assert!(text.contains("spatial-pattern search"));
+    assert!(text.contains("near-duplicate scan"));
+    assert!(text.contains("walkthrough complete"));
+}
+
+#[test]
+fn pattern_search() {
+    let path = temp_bundle("pattern");
+    assert!(demo()
+        .args(["gen", "--out", path.to_str().unwrap(), "--images", "8", "--seed", "3"])
+        .status()
+        .expect("run binary")
+        .success());
+    let out = demo()
+        .args([
+            "search",
+            "--db",
+            path.to_str().unwrap(),
+            "--pattern",
+            "C0 left-of C1",
+        ])
+        .output()
+        .expect("run binary");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("pattern: C0 left-of C1"));
+    assert!(text.contains("rank"));
+
+    // malformed patterns fail cleanly
+    let out = demo()
+        .args(["search", "--db", path.to_str().unwrap(), "--pattern", "C0 nextto C1"])
+        .output()
+        .expect("run binary");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown relation"));
+
+    let out = demo()
+        .args(["search", "--db", path.to_str().unwrap()])
+        .output()
+        .expect("run binary");
+    assert!(!out.status.success());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn query_kind_validation() {
+    let path = temp_bundle("kinds");
+    assert!(demo()
+        .args(["gen", "--out", path.to_str().unwrap(), "--images", "3", "--seed", "1"])
+        .status()
+        .expect("run binary")
+        .success());
+    let out = demo()
+        .args([
+            "query",
+            "--db",
+            path.to_str().unwrap(),
+            "--source",
+            "0",
+            "--kind",
+            "bogus",
+        ])
+        .output()
+        .expect("run binary");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown query kind"));
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,118 @@
+//! Error type for geometric construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating geometric values.
+///
+/// Every fallible constructor in this crate returns `Result<_, GeometryError>`
+/// so that invalid geometry (degenerate rectangles, objects outside the image
+/// frame, …) is rejected at the boundary instead of corrupting the symbolic
+/// representations downstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeometryError {
+    /// An interval was constructed with `begin >= end`.
+    ///
+    /// The BE-string model represents an object by its begin and end
+    /// boundaries; a zero- or negative-width extent has no begin/end order
+    /// and is rejected.
+    EmptyInterval {
+        /// The offending begin coordinate.
+        begin: i64,
+        /// The offending end coordinate.
+        end: i64,
+    },
+    /// A coordinate was negative. Scenes live in the first quadrant with the
+    /// frame origin at `(0, 0)`.
+    NegativeCoordinate {
+        /// The offending coordinate value.
+        value: i64,
+    },
+    /// An image frame was constructed with a non-positive dimension.
+    EmptyFrame {
+        /// Frame width.
+        width: i64,
+        /// Frame height.
+        height: i64,
+    },
+    /// An object's MBR does not fit inside the scene's image frame.
+    OutOfFrame {
+        /// The offending rectangle, formatted for display.
+        rect: String,
+        /// Frame width.
+        width: i64,
+        /// Frame height.
+        height: i64,
+    },
+    /// An object class name was empty or contained reserved characters.
+    ///
+    /// The single reserved symbol is `E` (the dummy object ε of the paper)
+    /// plus whitespace and the `_b`/`_e` boundary-suffix separator used by
+    /// the textual BE-string rendering.
+    InvalidClassName {
+        /// The rejected name.
+        name: String,
+    },
+    /// An [`ObjectId`](crate::ObjectId) referenced an object that is not in
+    /// the scene.
+    UnknownObject {
+        /// The raw id value.
+        id: usize,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::EmptyInterval { begin, end } => {
+                write!(f, "empty interval: begin {begin} must be < end {end}")
+            }
+            GeometryError::NegativeCoordinate { value } => {
+                write!(f, "negative coordinate {value} outside the first quadrant")
+            }
+            GeometryError::EmptyFrame { width, height } => {
+                write!(f, "image frame {width}x{height} must have positive dimensions")
+            }
+            GeometryError::OutOfFrame { rect, width, height } => {
+                write!(f, "rectangle {rect} does not fit in {width}x{height} frame")
+            }
+            GeometryError::InvalidClassName { name } => {
+                write!(f, "invalid object class name {name:?}")
+            }
+            GeometryError::UnknownObject { id } => {
+                write!(f, "unknown object id {id}")
+            }
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_ish() {
+        let variants = [
+            GeometryError::EmptyInterval { begin: 3, end: 3 },
+            GeometryError::NegativeCoordinate { value: -1 },
+            GeometryError::EmptyFrame { width: 0, height: 5 },
+            GeometryError::OutOfFrame { rect: "[0,9]x[0,9]".into(), width: 5, height: 5 },
+            GeometryError::InvalidClassName { name: "E".into() },
+            GeometryError::UnknownObject { id: 42 },
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'), "no trailing punctuation: {s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeometryError>();
+    }
+}

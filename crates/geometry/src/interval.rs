@@ -1,0 +1,211 @@
+//! Half-open 1-D intervals — the projections of MBRs onto an axis.
+
+use crate::{AllenRelation, GeometryError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A non-empty interval `[begin, end)` on one axis.
+///
+/// An icon object's MBR projects to one `Interval` per axis; the BE-string
+/// model (§3 of the paper) represents the object *only* by these begin and
+/// end boundaries. Intervals are always non-empty (`begin < end`): a
+/// degenerate extent has no distinguishable begin/end boundary pair and is
+/// rejected by [`Interval::new`].
+///
+/// # Example
+///
+/// ```
+/// use be2d_geometry::Interval;
+///
+/// # fn main() -> Result<(), be2d_geometry::GeometryError> {
+/// let i = Interval::new(2, 7)?;
+/// assert_eq!(i.length(), 5);
+/// assert!(i.contains_point(2) && !i.contains_point(7));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    begin: i64,
+    end: i64,
+}
+
+impl Interval {
+    /// Creates the interval `[begin, end)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::EmptyInterval`] when `begin >= end`.
+    pub fn new(begin: i64, end: i64) -> Result<Self, GeometryError> {
+        if begin >= end {
+            return Err(GeometryError::EmptyInterval { begin, end });
+        }
+        Ok(Interval { begin, end })
+    }
+
+    /// The begin boundary coordinate.
+    #[must_use]
+    pub const fn begin(&self) -> i64 {
+        self.begin
+    }
+
+    /// The end boundary coordinate.
+    #[must_use]
+    pub const fn end(&self) -> i64 {
+        self.end
+    }
+
+    /// Length of the interval (`end - begin`), always positive.
+    #[must_use]
+    pub const fn length(&self) -> i64 {
+        self.end - self.begin
+    }
+
+    /// Midpoint, rounded towards the begin boundary.
+    ///
+    /// Used by the Chang 2-D string baseline, which reduces objects to their
+    /// centroid before projecting.
+    #[must_use]
+    pub const fn midpoint(&self) -> i64 {
+        self.begin + (self.end - self.begin) / 2
+    }
+
+    /// Whether `x` lies inside `[begin, end)`.
+    #[must_use]
+    pub const fn contains_point(&self, x: i64) -> bool {
+        self.begin <= x && x < self.end
+    }
+
+    /// Whether `other` lies entirely inside `self` (boundaries may touch).
+    #[must_use]
+    pub const fn contains(&self, other: &Interval) -> bool {
+        self.begin <= other.begin && other.end <= self.end
+    }
+
+    /// Whether the two intervals share at least one point.
+    #[must_use]
+    pub const fn overlaps(&self, other: &Interval) -> bool {
+        self.begin < other.end && other.begin < self.end
+    }
+
+    /// Intersection of two intervals, or `None` when they are disjoint.
+    #[must_use]
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let begin = self.begin.max(other.begin);
+        let end = self.end.min(other.end);
+        Interval::new(begin, end).ok()
+    }
+
+    /// Translates the interval by `delta`.
+    #[must_use]
+    pub fn translated(&self, delta: i64) -> Interval {
+        Interval { begin: self.begin + delta, end: self.end + delta }
+    }
+
+    /// Mirrors the interval inside `[0, extent]`: the image-frame reflection
+    /// used by the D4 transforms (`x ↦ extent - x` swaps and negates the
+    /// boundaries).
+    ///
+    /// ```
+    /// use be2d_geometry::Interval;
+    /// # fn main() -> Result<(), be2d_geometry::GeometryError> {
+    /// let i = Interval::new(2, 5)?;
+    /// assert_eq!(i.mirrored(10), Interval::new(5, 8)?);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn mirrored(&self, extent: i64) -> Interval {
+        Interval { begin: extent - self.end, end: extent - self.begin }
+    }
+
+    /// The Allen relation `self R other` between the two intervals.
+    ///
+    /// This is the full thirteen-relation classification used by the 2-D
+    /// string family baselines (G-/C-string rank tables); the BE-string model
+    /// itself never needs it, which is precisely the paper's point.
+    #[must_use]
+    pub fn allen_relation(&self, other: &Interval) -> AllenRelation {
+        AllenRelation::classify(self, other)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.begin, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(b: i64, e: i64) -> Interval {
+        Interval::new(b, e).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            Interval::new(5, 5),
+            Err(GeometryError::EmptyInterval { begin: 5, end: 5 })
+        ));
+        assert!(Interval::new(6, 5).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let i = iv(-3, 4);
+        assert_eq!(i.begin(), -3);
+        assert_eq!(i.end(), 4);
+        assert_eq!(i.length(), 7);
+        assert_eq!(i.midpoint(), 0);
+    }
+
+    #[test]
+    fn containment_point() {
+        let i = iv(2, 7);
+        assert!(i.contains_point(2));
+        assert!(i.contains_point(6));
+        assert!(!i.contains_point(7));
+        assert!(!i.contains_point(1));
+    }
+
+    #[test]
+    fn containment_interval() {
+        assert!(iv(0, 10).contains(&iv(0, 10)));
+        assert!(iv(0, 10).contains(&iv(3, 7)));
+        assert!(iv(0, 10).contains(&iv(0, 5)));
+        assert!(!iv(0, 10).contains(&iv(-1, 5)));
+        assert!(!iv(3, 7).contains(&iv(0, 10)));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_open_at_touch() {
+        assert!(iv(0, 5).overlaps(&iv(4, 9)));
+        assert!(iv(4, 9).overlaps(&iv(0, 5)));
+        // meeting at a boundary shares no point in half-open semantics
+        assert!(!iv(0, 5).overlaps(&iv(5, 9)));
+    }
+
+    #[test]
+    fn intersection() {
+        assert_eq!(iv(0, 5).intersection(&iv(3, 9)), Some(iv(3, 5)));
+        assert_eq!(iv(0, 5).intersection(&iv(5, 9)), None);
+        assert_eq!(iv(0, 5).intersection(&iv(7, 9)), None);
+        assert_eq!(iv(0, 10).intersection(&iv(2, 4)), Some(iv(2, 4)));
+    }
+
+    #[test]
+    fn translate_and_mirror_roundtrip() {
+        let i = iv(2, 5);
+        assert_eq!(i.translated(3).translated(-3), i);
+        assert_eq!(i.mirrored(10).mirrored(10), i);
+        assert_eq!(i.mirrored(10), iv(5, 8));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(iv(1, 2).to_string(), "[1, 2)");
+    }
+}

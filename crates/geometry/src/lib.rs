@@ -1,0 +1,55 @@
+//! Geometric substrate for the 2D BE-string image indexing system.
+//!
+//! This crate provides the vocabulary every other crate in the workspace
+//! builds on:
+//!
+//! * [`Point`] and [`Interval`] — integer coordinates and 1-D extents;
+//! * [`Rect`] — the *minimum bounding rectangle* (MBR) of an icon object;
+//! * [`ObjectClass`] and [`SceneObject`] — symbolic icon objects;
+//! * [`Scene`] — a validated set of icon objects inside an image frame,
+//!   the input to the BE-string conversion algorithm of the paper;
+//! * [`AllenRelation`] — Allen's thirteen interval relations, used by the
+//!   2-D string family baselines to categorise spatial relationships;
+//! * [`Transform`] — the dihedral group `D4` (rotations by 90/180/270° and
+//!   the axis reflections) acting on scenes, mirroring §4/§5 of the paper.
+//!
+//! The paper this workspace reproduces is *"Image Indexing and Similarity
+//! Retrieval Based on A New Spatial Relation Model"* (Ying-Hong Wang, 2001).
+//! Everything here is deliberately simple, exact (integer) geometry: the
+//! spatial-relation model only ever inspects boundary coordinate *order*,
+//! never distances, so `i64` coordinates lose nothing.
+//!
+//! # Example
+//!
+//! ```
+//! use be2d_geometry::{Scene, Rect, ObjectClass};
+//!
+//! # fn main() -> Result<(), be2d_geometry::GeometryError> {
+//! let mut scene = Scene::new(100, 100)?;
+//! scene.add(ObjectClass::new("A"), Rect::new(10, 50, 25, 85)?)?;
+//! scene.add(ObjectClass::new("B"), Rect::new(30, 90, 5, 45)?)?;
+//! assert_eq!(scene.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod interval;
+mod object;
+mod point;
+mod rect;
+mod relation;
+mod scene;
+mod transform;
+
+pub use error::GeometryError;
+pub use interval::Interval;
+pub use object::{ObjectClass, ObjectId, SceneObject};
+pub use point::Point;
+pub use rect::Rect;
+pub use relation::{AllenRelation, OrthogonalRelation, RelationCategory};
+pub use scene::{Scene, SceneBuilder};
+pub use transform::Transform;

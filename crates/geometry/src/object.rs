@@ -1,0 +1,223 @@
+//! Icon object identity: classes, ids, and placed objects.
+
+use crate::{GeometryError, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// The symbolic *class* of an icon object (the paper's `V` alphabet — "A",
+/// "B", "house", "car", …).
+///
+/// Spatial-relation models of the 2-D string family match objects by class:
+/// two objects of the same class are interchangeable for retrieval purposes.
+/// Class names are validated once at construction: they must be non-empty,
+/// must not contain whitespace or `_`, and must not be the reserved dummy
+/// symbol `E` (ε) used by BE-strings.
+///
+/// Cloning is cheap (`Arc<str>` internally).
+///
+/// # Example
+///
+/// ```
+/// use be2d_geometry::ObjectClass;
+///
+/// let a = ObjectClass::new("A");
+/// assert_eq!(a.name(), "A");
+/// assert_eq!(a, ObjectClass::new("A"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ObjectClass(Arc<str>);
+
+impl ObjectClass {
+    /// Creates a class, panicking on invalid names.
+    ///
+    /// This is the ergonomic constructor for literals; use
+    /// [`ObjectClass::try_new`] for untrusted input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is empty, is the reserved dummy symbol `E`, or
+    /// contains whitespace or `_`.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        ObjectClass::try_new(name).expect("invalid object class name")
+    }
+
+    /// Creates a class, validating the name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::InvalidClassName`] for empty names, the
+    /// reserved dummy symbol `E`, or names containing whitespace or `_`.
+    pub fn try_new(name: &str) -> Result<Self, GeometryError> {
+        let invalid = name.is_empty()
+            || name == "E"
+            || name.chars().any(|c| c.is_whitespace() || c == '_');
+        if invalid {
+            return Err(GeometryError::InvalidClassName { name: name.to_owned() });
+        }
+        Ok(ObjectClass(Arc::from(name)))
+    }
+
+    /// The class name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for ObjectClass {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A stable identifier of one object *within one scene*.
+///
+/// Ids are dense indices assigned by [`Scene`](crate::Scene) in insertion
+/// order; they distinguish multiple objects of the same class (the class is
+/// what retrieval matches on, the id is what editing operations address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ObjectId(pub usize);
+
+impl ObjectId {
+    /// The raw index value.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An icon object placed in a scene: a class plus its MBR.
+///
+/// # Example
+///
+/// ```
+/// use be2d_geometry::{SceneObject, ObjectClass, ObjectId, Rect};
+///
+/// # fn main() -> Result<(), be2d_geometry::GeometryError> {
+/// let obj = SceneObject::new(ObjectId(0), ObjectClass::new("car"), Rect::new(0, 4, 0, 2)?);
+/// assert_eq!(obj.class().name(), "car");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SceneObject {
+    id: ObjectId,
+    class: ObjectClass,
+    mbr: Rect,
+}
+
+impl SceneObject {
+    /// Creates a placed object.
+    #[must_use]
+    pub const fn new(id: ObjectId, class: ObjectClass, mbr: Rect) -> Self {
+        SceneObject { id, class, mbr }
+    }
+
+    /// The object's scene-local id.
+    #[must_use]
+    pub const fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The object's class.
+    #[must_use]
+    pub const fn class(&self) -> &ObjectClass {
+        &self.class
+    }
+
+    /// The object's MBR.
+    #[must_use]
+    pub const fn mbr(&self) -> Rect {
+        self.mbr
+    }
+
+    /// Returns a copy with a different MBR (used by scene editing).
+    #[must_use]
+    pub fn with_mbr(&self, mbr: Rect) -> SceneObject {
+        SceneObject { id: self.id, class: self.class.clone(), mbr }
+    }
+
+    /// Returns a copy with a different id (used when re-indexing scenes).
+    #[must_use]
+    pub fn with_id(&self, id: ObjectId) -> SceneObject {
+        SceneObject { id, class: self.class.clone(), mbr: self.mbr }
+    }
+}
+
+impl fmt::Display for SceneObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{} at {}", self.class, self.id, self.mbr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_validation() {
+        assert!(ObjectClass::try_new("A").is_ok());
+        assert!(ObjectClass::try_new("house2").is_ok());
+        assert!(ObjectClass::try_new("").is_err());
+        assert!(ObjectClass::try_new("E").is_err(), "dummy symbol is reserved");
+        assert!(ObjectClass::try_new("a b").is_err());
+        assert!(ObjectClass::try_new("a_b").is_err());
+        // E as a substring is fine, only the bare symbol is reserved
+        assert!(ObjectClass::try_new("Engine").is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid object class name")]
+    fn class_new_panics_on_invalid() {
+        let _ = ObjectClass::new("E");
+    }
+
+    #[test]
+    fn class_equality_and_display() {
+        let a = ObjectClass::new("A");
+        let a2 = a.clone();
+        assert_eq!(a, a2);
+        assert_eq!(a.to_string(), "A");
+        assert_eq!(a.as_ref(), "A");
+        assert_ne!(ObjectClass::new("A"), ObjectClass::new("B"));
+    }
+
+    #[test]
+    fn object_accessors() {
+        let r = Rect::new(0, 2, 0, 3).unwrap();
+        let o = SceneObject::new(ObjectId(7), ObjectClass::new("X"), r);
+        assert_eq!(o.id(), ObjectId(7));
+        assert_eq!(o.id().index(), 7);
+        assert_eq!(o.class().name(), "X");
+        assert_eq!(o.mbr(), r);
+        assert_eq!(o.to_string(), "X#7 at [0, 2)x[0, 3)");
+    }
+
+    #[test]
+    fn with_mbr_and_with_id() {
+        let o = SceneObject::new(
+            ObjectId(0),
+            ObjectClass::new("X"),
+            Rect::new(0, 1, 0, 1).unwrap(),
+        );
+        let r2 = Rect::new(5, 9, 5, 9).unwrap();
+        assert_eq!(o.with_mbr(r2).mbr(), r2);
+        assert_eq!(o.with_id(ObjectId(3)).id(), ObjectId(3));
+    }
+}

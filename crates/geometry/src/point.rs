@@ -1,0 +1,122 @@
+//! Integer points in the image plane.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in the image plane with integer coordinates.
+///
+/// The coordinate system follows the paper's convention: the origin is the
+/// bottom-left corner of the image frame, `x` grows rightwards and `y`
+/// grows upwards. All spatial-relation reasoning in the workspace depends
+/// only on coordinate *order*, so exact integer arithmetic suffices.
+///
+/// # Example
+///
+/// ```
+/// use be2d_geometry::Point;
+///
+/// let p = Point::new(3, 4);
+/// assert_eq!(p.x, 3);
+/// assert_eq!(p.y, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate (grows rightwards).
+    pub x: i64,
+    /// Vertical coordinate (grows upwards).
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a new point.
+    ///
+    /// ```
+    /// use be2d_geometry::Point;
+    /// assert_eq!(Point::new(1, 2), Point { x: 1, y: 2 });
+    /// ```
+    #[must_use]
+    pub const fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)` — the bottom-left corner of every image frame.
+    pub const ORIGIN: Point = Point::new(0, 0);
+
+    /// Component-wise translation by `(dx, dy)`.
+    ///
+    /// ```
+    /// use be2d_geometry::Point;
+    /// assert_eq!(Point::new(1, 2).translated(3, -1), Point::new(4, 1));
+    /// ```
+    #[must_use]
+    pub const fn translated(self, dx: i64, dy: i64) -> Self {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Manhattan (L1) distance to `other`; useful for jitter workloads.
+    ///
+    /// ```
+    /// use be2d_geometry::Point;
+    /// assert_eq!(Point::new(0, 0).manhattan_distance(Point::new(3, 4)), 7);
+    /// ```
+    #[must_use]
+    pub const fn manhattan_distance(self, other: Point) -> i64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    fn from((x, y): (i64, i64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = Point::new(-2, 9);
+        assert_eq!(p.x, -2);
+        assert_eq!(p.y, 9);
+        assert_eq!(Point::default(), Point::ORIGIN);
+    }
+
+    #[test]
+    fn translation_composes() {
+        let p = Point::new(1, 1);
+        assert_eq!(p.translated(2, 3).translated(-2, -3), p);
+    }
+
+    #[test]
+    fn manhattan_distance_is_symmetric() {
+        let a = Point::new(5, -7);
+        let b = Point::new(-1, 2);
+        assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
+        assert_eq!(a.manhattan_distance(a), 0);
+    }
+
+    #[test]
+    fn display_formats_as_tuple() {
+        assert_eq!(Point::new(3, 4).to_string(), "(3, 4)");
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (7, 8).into();
+        assert_eq!(p, Point::new(7, 8));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Point::new(1, 9) < Point::new(2, 0));
+        assert!(Point::new(1, 1) < Point::new(1, 2));
+    }
+}

@@ -1,0 +1,261 @@
+//! Axis-aligned rectangles — the MBRs of icon objects.
+
+use crate::{GeometryError, Interval, OrthogonalRelation, Point};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle `[x_begin, x_end) × [y_begin, y_end)` — the
+/// *minimum bounding rectangle* (MBR) of an icon object.
+///
+/// The 2D BE-string model (§3 of the paper) represents an object purely by
+/// the four boundary coordinates of its MBR, so `Rect` is the complete
+/// geometric description of an object as far as the model is concerned.
+/// Rectangles are always non-degenerate in both axes.
+///
+/// # Example
+///
+/// ```
+/// use be2d_geometry::Rect;
+///
+/// # fn main() -> Result<(), be2d_geometry::GeometryError> {
+/// let r = Rect::new(10, 50, 25, 85)?;
+/// assert_eq!(r.width(), 40);
+/// assert_eq!(r.height(), 60);
+/// assert_eq!(r.area(), 2400);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    x: Interval,
+    y: Interval,
+}
+
+impl Rect {
+    /// Creates a rectangle from its four boundary coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::EmptyInterval`] when `x_begin >= x_end` or
+    /// `y_begin >= y_end`.
+    pub fn new(x_begin: i64, x_end: i64, y_begin: i64, y_end: i64) -> Result<Self, GeometryError> {
+        Ok(Rect { x: Interval::new(x_begin, x_end)?, y: Interval::new(y_begin, y_end)? })
+    }
+
+    /// Creates a rectangle from per-axis intervals.
+    #[must_use]
+    pub const fn from_intervals(x: Interval, y: Interval) -> Self {
+        Rect { x, y }
+    }
+
+    /// Creates the rectangle spanning two corner points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::EmptyInterval`] when the points agree on
+    /// either coordinate.
+    pub fn from_corners(a: Point, b: Point) -> Result<Self, GeometryError> {
+        Rect::new(a.x.min(b.x), a.x.max(b.x), a.y.min(b.y), a.y.max(b.y))
+    }
+
+    /// Projection on the x-axis.
+    #[must_use]
+    pub const fn x(&self) -> Interval {
+        self.x
+    }
+
+    /// Projection on the y-axis.
+    #[must_use]
+    pub const fn y(&self) -> Interval {
+        self.y
+    }
+
+    /// Begin boundary on the x-axis (the paper's `x_b`).
+    #[must_use]
+    pub const fn x_begin(&self) -> i64 {
+        self.x.begin()
+    }
+
+    /// End boundary on the x-axis (the paper's `x_e`).
+    #[must_use]
+    pub const fn x_end(&self) -> i64 {
+        self.x.end()
+    }
+
+    /// Begin boundary on the y-axis (the paper's `y_b`).
+    #[must_use]
+    pub const fn y_begin(&self) -> i64 {
+        self.y.begin()
+    }
+
+    /// End boundary on the y-axis (the paper's `y_e`).
+    #[must_use]
+    pub const fn y_end(&self) -> i64 {
+        self.y.end()
+    }
+
+    /// Width (`x_end - x_begin`), always positive.
+    #[must_use]
+    pub const fn width(&self) -> i64 {
+        self.x.length()
+    }
+
+    /// Height (`y_end - y_begin`), always positive.
+    #[must_use]
+    pub const fn height(&self) -> i64 {
+        self.y.length()
+    }
+
+    /// Area of the rectangle.
+    #[must_use]
+    pub const fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// Centroid, rounded towards the begin boundaries.
+    #[must_use]
+    pub const fn centroid(&self) -> Point {
+        Point::new(self.x.midpoint(), self.y.midpoint())
+    }
+
+    /// Whether `p` lies inside the rectangle (half-open on both axes).
+    #[must_use]
+    pub const fn contains_point(&self, p: Point) -> bool {
+        self.x.contains_point(p.x) && self.y.contains_point(p.y)
+    }
+
+    /// Whether `other` lies entirely inside `self` (boundaries may touch).
+    #[must_use]
+    pub const fn contains(&self, other: &Rect) -> bool {
+        self.x.contains(&other.x) && self.y.contains(&other.y)
+    }
+
+    /// Whether the two rectangles share at least one point.
+    #[must_use]
+    pub const fn overlaps(&self, other: &Rect) -> bool {
+        self.x.overlaps(&other.x) && self.y.overlaps(&other.y)
+    }
+
+    /// Intersection rectangle, or `None` when disjoint.
+    #[must_use]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        Some(Rect { x: self.x.intersection(&other.x)?, y: self.y.intersection(&other.y)? })
+    }
+
+    /// Smallest rectangle containing both operands (their joint MBR).
+    #[must_use]
+    pub fn union_mbr(&self, other: &Rect) -> Rect {
+        Rect {
+            x: Interval::new(
+                self.x.begin().min(other.x.begin()),
+                self.x.end().max(other.x.end()),
+            )
+            .expect("union of non-empty intervals is non-empty"),
+            y: Interval::new(
+                self.y.begin().min(other.y.begin()),
+                self.y.end().max(other.y.end()),
+            )
+            .expect("union of non-empty intervals is non-empty"),
+        }
+    }
+
+    /// Translates the rectangle by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(&self, dx: i64, dy: i64) -> Rect {
+        Rect { x: self.x.translated(dx), y: self.y.translated(dy) }
+    }
+
+    /// The orthogonal (per-axis Allen) relation `self R other`.
+    #[must_use]
+    pub fn orthogonal_relation(&self, other: &Rect) -> OrthogonalRelation {
+        OrthogonalRelation::new(self.x.allen_relation(&other.x), self.y.allen_relation(&other.y))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AllenRelation;
+
+    fn rect(xb: i64, xe: i64, yb: i64, ye: i64) -> Rect {
+        Rect::new(xb, xe, yb, ye).unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(Rect::new(0, 0, 0, 5).is_err());
+        assert!(Rect::new(0, 5, 5, 5).is_err());
+        assert!(Rect::new(5, 0, 0, 5).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let r = rect(1, 4, 2, 8);
+        assert_eq!((r.x_begin(), r.x_end(), r.y_begin(), r.y_end()), (1, 4, 2, 8));
+        assert_eq!(r.width(), 3);
+        assert_eq!(r.height(), 6);
+        assert_eq!(r.area(), 18);
+        assert_eq!(r.centroid(), Point::new(2, 5));
+    }
+
+    #[test]
+    fn from_corners_normalises() {
+        let r = Rect::from_corners(Point::new(4, 8), Point::new(1, 2)).unwrap();
+        assert_eq!(r, rect(1, 4, 2, 8));
+        assert!(Rect::from_corners(Point::new(1, 1), Point::new(1, 5)).is_err());
+    }
+
+    #[test]
+    fn containment_and_overlap() {
+        let outer = rect(0, 10, 0, 10);
+        let inner = rect(2, 5, 3, 7);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.overlaps(&inner));
+        assert!(outer.contains_point(Point::new(0, 0)));
+        assert!(!outer.contains_point(Point::new(10, 5)));
+
+        let left = rect(0, 5, 0, 5);
+        let right = rect(5, 9, 0, 5);
+        assert!(!left.overlaps(&right), "touching rectangles share no point");
+        // overlap requires both axes to overlap
+        let diag = rect(6, 9, 6, 9);
+        assert!(!left.overlaps(&diag));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = rect(0, 6, 0, 6);
+        let b = rect(4, 9, 3, 9);
+        assert_eq!(a.intersection(&b), Some(rect(4, 6, 3, 6)));
+        assert_eq!(a.union_mbr(&b), rect(0, 9, 0, 9));
+        let c = rect(7, 9, 0, 2);
+        assert_eq!(a.intersection(&c), None);
+    }
+
+    #[test]
+    fn translation_roundtrip() {
+        let r = rect(1, 3, 2, 4);
+        assert_eq!(r.translated(5, -1).translated(-5, 1), r);
+    }
+
+    #[test]
+    fn orthogonal_relation_matches_axes() {
+        let a = rect(0, 5, 10, 20);
+        let b = rect(5, 9, 12, 18);
+        let rel = a.orthogonal_relation(&b);
+        assert_eq!(rel.x, AllenRelation::Meets);
+        assert_eq!(rel.y, AllenRelation::Contains);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(rect(1, 2, 3, 4).to_string(), "[1, 2)x[3, 4)");
+    }
+}

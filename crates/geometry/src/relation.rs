@@ -1,0 +1,462 @@
+//! Allen's thirteen interval relations and the category lattice used by the
+//! 2-D string family similarity types.
+//!
+//! The BE-string model of the paper deliberately avoids explicit spatial
+//! operators; this module exists to implement the *baselines* (2-D string,
+//! 2D G-/C-/B-string with type-0/1/2 similarity) against which the paper
+//! positions itself, and to give workloads a ground-truth notion of "the
+//! spatial relation between two objects changed".
+
+use crate::Interval;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Allen's thirteen qualitative relations between two non-empty intervals.
+///
+/// Named from the perspective `A R B`. The seven "positive" relations plus
+/// six inverses cover every possible configuration of two intervals exactly
+/// once, which the exhaustiveness property test in this module checks.
+///
+/// # Example
+///
+/// ```
+/// use be2d_geometry::{AllenRelation, Interval};
+///
+/// # fn main() -> Result<(), be2d_geometry::GeometryError> {
+/// let a = Interval::new(0, 5)?;
+/// let b = Interval::new(5, 9)?;
+/// assert_eq!(AllenRelation::classify(&a, &b), AllenRelation::Meets);
+/// assert_eq!(AllenRelation::classify(&b, &a), AllenRelation::MetBy);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AllenRelation {
+    /// `A` ends strictly before `B` begins (`A < B` in 2-D string notation).
+    Before,
+    /// `A` ends exactly where `B` begins (`A | B`, the "edge to edge" operator).
+    Meets,
+    /// `A` begins before `B`, they overlap, `A` ends inside `B` (`A / B`).
+    Overlaps,
+    /// `A` begins with `B` but ends inside it (`A [ B` with shorter `A`).
+    Starts,
+    /// `A` lies strictly inside `B` (`A % B`).
+    During,
+    /// `A` ends with `B` but begins inside it (`A ] B` with shorter `A`).
+    Finishes,
+    /// `A` and `B` have identical boundaries (`A = B`).
+    Equal,
+    /// Inverse of [`Starts`](AllenRelation::Starts): same begin, `A` longer.
+    StartedBy,
+    /// Inverse of [`During`](AllenRelation::During): `B` strictly inside `A`.
+    Contains,
+    /// Inverse of [`Finishes`](AllenRelation::Finishes): same end, `A` longer.
+    FinishedBy,
+    /// Inverse of [`Overlaps`](AllenRelation::Overlaps).
+    OverlappedBy,
+    /// Inverse of [`Meets`](AllenRelation::Meets).
+    MetBy,
+    /// Inverse of [`Before`](AllenRelation::Before).
+    After,
+}
+
+impl AllenRelation {
+    /// All thirteen relations, in a fixed canonical order.
+    pub const ALL: [AllenRelation; 13] = [
+        AllenRelation::Before,
+        AllenRelation::Meets,
+        AllenRelation::Overlaps,
+        AllenRelation::Starts,
+        AllenRelation::During,
+        AllenRelation::Finishes,
+        AllenRelation::Equal,
+        AllenRelation::StartedBy,
+        AllenRelation::Contains,
+        AllenRelation::FinishedBy,
+        AllenRelation::OverlappedBy,
+        AllenRelation::MetBy,
+        AllenRelation::After,
+    ];
+
+    /// Classifies the relation `a R b`.
+    #[must_use]
+    pub fn classify(a: &Interval, b: &Interval) -> AllenRelation {
+        use std::cmp::Ordering::*;
+        match (a.begin().cmp(&b.begin()), a.end().cmp(&b.end())) {
+            (Equal, Equal) => AllenRelation::Equal,
+            (Equal, Less) => AllenRelation::Starts,
+            (Equal, Greater) => AllenRelation::StartedBy,
+            (Less, Equal) => AllenRelation::FinishedBy,
+            (Greater, Equal) => AllenRelation::Finishes,
+            (Less, Less) => {
+                if a.end() < b.begin() {
+                    AllenRelation::Before
+                } else if a.end() == b.begin() {
+                    AllenRelation::Meets
+                } else {
+                    AllenRelation::Overlaps
+                }
+            }
+            (Greater, Greater) => {
+                if b.end() < a.begin() {
+                    AllenRelation::After
+                } else if b.end() == a.begin() {
+                    AllenRelation::MetBy
+                } else {
+                    AllenRelation::OverlappedBy
+                }
+            }
+            (Less, Greater) => AllenRelation::Contains,
+            (Greater, Less) => AllenRelation::During,
+        }
+    }
+
+    /// The inverse relation: `a R b` iff `b R⁻¹ a`.
+    ///
+    /// ```
+    /// use be2d_geometry::AllenRelation;
+    /// assert_eq!(AllenRelation::Before.inverse(), AllenRelation::After);
+    /// assert_eq!(AllenRelation::Equal.inverse(), AllenRelation::Equal);
+    /// ```
+    #[must_use]
+    pub const fn inverse(self) -> AllenRelation {
+        match self {
+            AllenRelation::Before => AllenRelation::After,
+            AllenRelation::Meets => AllenRelation::MetBy,
+            AllenRelation::Overlaps => AllenRelation::OverlappedBy,
+            AllenRelation::Starts => AllenRelation::StartedBy,
+            AllenRelation::During => AllenRelation::Contains,
+            AllenRelation::Finishes => AllenRelation::FinishedBy,
+            AllenRelation::Equal => AllenRelation::Equal,
+            AllenRelation::StartedBy => AllenRelation::Starts,
+            AllenRelation::Contains => AllenRelation::During,
+            AllenRelation::FinishedBy => AllenRelation::Finishes,
+            AllenRelation::OverlappedBy => AllenRelation::Overlaps,
+            AllenRelation::MetBy => AllenRelation::Meets,
+            AllenRelation::After => AllenRelation::Before,
+        }
+    }
+
+    /// The reversal of the relation under coordinate mirroring
+    /// (`x ↦ extent − x`). Mirroring swaps begins with ends, so e.g.
+    /// `Before` stays… `After`? No — mirroring reverses the axis direction,
+    /// mapping `A before B` to `A after B`, `A starts B` to `A finishes B`.
+    ///
+    /// ```
+    /// use be2d_geometry::AllenRelation;
+    /// assert_eq!(AllenRelation::Starts.mirrored(), AllenRelation::Finishes);
+    /// assert_eq!(AllenRelation::Meets.mirrored(), AllenRelation::MetBy);
+    /// ```
+    #[must_use]
+    pub const fn mirrored(self) -> AllenRelation {
+        match self {
+            AllenRelation::Before => AllenRelation::After,
+            AllenRelation::After => AllenRelation::Before,
+            AllenRelation::Meets => AllenRelation::MetBy,
+            AllenRelation::MetBy => AllenRelation::Meets,
+            AllenRelation::Overlaps => AllenRelation::OverlappedBy,
+            AllenRelation::OverlappedBy => AllenRelation::Overlaps,
+            AllenRelation::Starts => AllenRelation::Finishes,
+            AllenRelation::Finishes => AllenRelation::Starts,
+            AllenRelation::StartedBy => AllenRelation::FinishedBy,
+            AllenRelation::FinishedBy => AllenRelation::StartedBy,
+            AllenRelation::During => AllenRelation::During,
+            AllenRelation::Contains => AllenRelation::Contains,
+            AllenRelation::Equal => AllenRelation::Equal,
+        }
+    }
+
+    /// The coarse category of the relation — the grouping the type-0/1
+    /// similarity constraints of the 2-D string family are defined on.
+    #[must_use]
+    pub const fn category(self) -> RelationCategory {
+        match self {
+            AllenRelation::Before | AllenRelation::Meets => RelationCategory::DisjointBefore,
+            AllenRelation::After | AllenRelation::MetBy => RelationCategory::DisjointAfter,
+            AllenRelation::Overlaps => RelationCategory::PartialOverlapLeft,
+            AllenRelation::OverlappedBy => RelationCategory::PartialOverlapRight,
+            AllenRelation::Starts | AllenRelation::During | AllenRelation::Finishes => {
+                RelationCategory::Inside
+            }
+            AllenRelation::StartedBy | AllenRelation::Contains | AllenRelation::FinishedBy => {
+                RelationCategory::Containing
+            }
+            AllenRelation::Equal => RelationCategory::Same,
+        }
+    }
+
+    /// The classic 2-D string family operator glyph for this relation, as
+    /// used in the G-/C-string literature (`<`, `|`, `/`, `[`, `%`, `]`, `=`
+    /// and their `*`-marked inverses).
+    #[must_use]
+    pub const fn operator_glyph(self) -> &'static str {
+        match self {
+            AllenRelation::Before => "<",
+            AllenRelation::Meets => "|",
+            AllenRelation::Overlaps => "/",
+            AllenRelation::Starts => "[",
+            AllenRelation::During => "%",
+            AllenRelation::Finishes => "]",
+            AllenRelation::Equal => "=",
+            AllenRelation::StartedBy => "[*",
+            AllenRelation::Contains => "%*",
+            AllenRelation::FinishedBy => "]*",
+            AllenRelation::OverlappedBy => "/*",
+            AllenRelation::MetBy => "|*",
+            AllenRelation::After => "<*",
+        }
+    }
+
+    /// Whether the two interval projections share at least one point.
+    #[must_use]
+    pub const fn is_overlapping(self) -> bool {
+        !matches!(self, AllenRelation::Before | AllenRelation::After)
+            && !matches!(self, AllenRelation::Meets | AllenRelation::MetBy)
+    }
+}
+
+impl fmt::Display for AllenRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AllenRelation::Before => "before",
+            AllenRelation::Meets => "meets",
+            AllenRelation::Overlaps => "overlaps",
+            AllenRelation::Starts => "starts",
+            AllenRelation::During => "during",
+            AllenRelation::Finishes => "finishes",
+            AllenRelation::Equal => "equal",
+            AllenRelation::StartedBy => "started-by",
+            AllenRelation::Contains => "contains",
+            AllenRelation::FinishedBy => "finished-by",
+            AllenRelation::OverlappedBy => "overlapped-by",
+            AllenRelation::MetBy => "met-by",
+            AllenRelation::After => "after",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Coarse categories of interval relations.
+///
+/// The type-1 similarity constraint of the 2-D string family requires the
+/// *category* pair of two objects to agree between query and database image;
+/// type-2 requires the exact [`AllenRelation`] pair. See
+/// `be2d-strings2d::typed` for the full constraint definitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RelationCategory {
+    /// Strictly or edge-adjacently before.
+    DisjointBefore,
+    /// Strictly or edge-adjacently after.
+    DisjointAfter,
+    /// Proper partial overlap with `A` entering from the left.
+    PartialOverlapLeft,
+    /// Proper partial overlap with `A` entering from the right.
+    PartialOverlapRight,
+    /// `A` inside `B` (sharing at most one boundary).
+    Inside,
+    /// `A` containing `B` (sharing at most one boundary).
+    Containing,
+    /// Identical projections.
+    Same,
+}
+
+impl RelationCategory {
+    /// All seven categories in canonical order.
+    pub const ALL: [RelationCategory; 7] = [
+        RelationCategory::DisjointBefore,
+        RelationCategory::DisjointAfter,
+        RelationCategory::PartialOverlapLeft,
+        RelationCategory::PartialOverlapRight,
+        RelationCategory::Inside,
+        RelationCategory::Containing,
+        RelationCategory::Same,
+    ];
+
+    /// Whether this category keeps the projections disjoint.
+    #[must_use]
+    pub const fn is_disjoint(self) -> bool {
+        matches!(self, RelationCategory::DisjointBefore | RelationCategory::DisjointAfter)
+    }
+}
+
+impl fmt::Display for RelationCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RelationCategory::DisjointBefore => "disjoint-before",
+            RelationCategory::DisjointAfter => "disjoint-after",
+            RelationCategory::PartialOverlapLeft => "overlap-left",
+            RelationCategory::PartialOverlapRight => "overlap-right",
+            RelationCategory::Inside => "inside",
+            RelationCategory::Containing => "containing",
+            RelationCategory::Same => "same",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The pair of Allen relations between two objects along the x- and y-axes.
+///
+/// This "orthogonal relation" is the unit of comparison in the type-0/1/2
+/// similarity framework of the related work (§2 of the paper): two images
+/// agree on an object pair when their orthogonal relations satisfy the
+/// type-i constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OrthogonalRelation {
+    /// Relation of the x-axis projections.
+    pub x: AllenRelation,
+    /// Relation of the y-axis projections.
+    pub y: AllenRelation,
+}
+
+impl OrthogonalRelation {
+    /// Creates an orthogonal relation from per-axis relations.
+    #[must_use]
+    pub const fn new(x: AllenRelation, y: AllenRelation) -> Self {
+        OrthogonalRelation { x, y }
+    }
+
+    /// The inverse pair (`b R a` from `a R b`).
+    #[must_use]
+    pub const fn inverse(self) -> Self {
+        OrthogonalRelation { x: self.x.inverse(), y: self.y.inverse() }
+    }
+
+    /// Category pair, the unit of type-1 comparison.
+    #[must_use]
+    pub const fn categories(self) -> (RelationCategory, RelationCategory) {
+        (self.x.category(), self.y.category())
+    }
+}
+
+impl fmt::Display for OrthogonalRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(x: {}, y: {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interval;
+
+    fn iv(b: i64, e: i64) -> Interval {
+        Interval::new(b, e).unwrap()
+    }
+
+    #[test]
+    fn classify_all_thirteen() {
+        let b = iv(10, 20);
+        let cases = [
+            (iv(0, 5), AllenRelation::Before),
+            (iv(0, 10), AllenRelation::Meets),
+            (iv(5, 15), AllenRelation::Overlaps),
+            (iv(10, 15), AllenRelation::Starts),
+            (iv(12, 18), AllenRelation::During),
+            (iv(15, 20), AllenRelation::Finishes),
+            (iv(10, 20), AllenRelation::Equal),
+            (iv(10, 25), AllenRelation::StartedBy),
+            (iv(5, 25), AllenRelation::Contains),
+            (iv(5, 20), AllenRelation::FinishedBy),
+            (iv(15, 25), AllenRelation::OverlappedBy),
+            (iv(20, 25), AllenRelation::MetBy),
+            (iv(25, 30), AllenRelation::After),
+        ];
+        for (a, expected) in cases {
+            assert_eq!(AllenRelation::classify(&a, &b), expected, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn inverse_is_involution_and_consistent_with_classify() {
+        let b = iv(10, 20);
+        for a_begin in 0..30 {
+            for a_end in (a_begin + 1)..=30 {
+                let a = iv(a_begin, a_end);
+                let r = AllenRelation::classify(&a, &b);
+                assert_eq!(r.inverse(), AllenRelation::classify(&b, &a));
+                assert_eq!(r.inverse().inverse(), r);
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_is_involution_and_consistent_with_geometry() {
+        let extent = 40;
+        let b = iv(10, 20);
+        for a_begin in 0..30 {
+            for a_end in (a_begin + 1)..=30 {
+                let a = iv(a_begin, a_end);
+                let r = AllenRelation::classify(&a, &b);
+                let rm = AllenRelation::classify(&a.mirrored(extent), &b.mirrored(extent));
+                assert_eq!(r.mirrored(), rm, "a={a} b={b}");
+                assert_eq!(r.mirrored().mirrored(), r);
+            }
+        }
+    }
+
+    #[test]
+    fn all_covers_every_configuration_exactly_once() {
+        use std::collections::HashSet;
+        let b = iv(10, 20);
+        let mut seen = HashSet::new();
+        for a_begin in 0..=30 {
+            for a_end in (a_begin + 1)..=31 {
+                seen.insert(AllenRelation::classify(&iv(a_begin, a_end), &b));
+            }
+        }
+        assert_eq!(seen.len(), 13);
+        for r in AllenRelation::ALL {
+            assert!(seen.contains(&r));
+        }
+    }
+
+    #[test]
+    fn categories_group_sensibly() {
+        assert_eq!(AllenRelation::Before.category(), RelationCategory::DisjointBefore);
+        assert_eq!(AllenRelation::Meets.category(), RelationCategory::DisjointBefore);
+        assert_eq!(AllenRelation::During.category(), RelationCategory::Inside);
+        assert_eq!(AllenRelation::Contains.category(), RelationCategory::Containing);
+        assert_eq!(AllenRelation::Equal.category(), RelationCategory::Same);
+        assert!(AllenRelation::Before.category().is_disjoint());
+        assert!(!AllenRelation::Overlaps.category().is_disjoint());
+    }
+
+    #[test]
+    fn glyphs_are_distinct() {
+        use std::collections::HashSet;
+        let glyphs: HashSet<_> = AllenRelation::ALL.iter().map(|r| r.operator_glyph()).collect();
+        assert_eq!(glyphs.len(), 13);
+    }
+
+    #[test]
+    fn is_overlapping_matches_interval_overlap() {
+        let b = iv(10, 20);
+        for a_begin in 0..30 {
+            for a_end in (a_begin + 1)..=30 {
+                let a = iv(a_begin, a_end);
+                assert_eq!(
+                    AllenRelation::classify(&a, &b).is_overlapping(),
+                    a.overlaps(&b),
+                    "a={a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn orthogonal_relation_inverse() {
+        let r = OrthogonalRelation::new(AllenRelation::Before, AllenRelation::During);
+        let inv = r.inverse();
+        assert_eq!(inv.x, AllenRelation::After);
+        assert_eq!(inv.y, AllenRelation::Contains);
+        assert_eq!(inv.inverse(), r);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AllenRelation::OverlappedBy.to_string(), "overlapped-by");
+        assert_eq!(RelationCategory::Same.to_string(), "same");
+        let o = OrthogonalRelation::new(AllenRelation::Equal, AllenRelation::Meets);
+        assert_eq!(o.to_string(), "(x: equal, y: meets)");
+    }
+}

@@ -1,0 +1,385 @@
+//! Scenes: validated sets of icon objects inside an image frame.
+
+use crate::{GeometryError, ObjectClass, ObjectId, Rect, SceneObject, Transform};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A symbolic image: an image frame of known size plus the icon objects
+/// (class + MBR) recognised in it.
+///
+/// This is exactly the input the paper's Algorithm 1 assumes: *"we have
+/// abstracted all objects and their MBR coordinates from that image"*
+/// (§3.2). The frame size corresponds to the paper's `X_max`/`Y_max`,
+/// needed to decide whether leading/trailing dummy objects are emitted.
+///
+/// Objects keep dense [`ObjectId`]s in insertion order. Removing an object
+/// re-indexes subsequent ids (scene edits are rare and scenes are small, so
+/// clarity beats constant-time removal here).
+///
+/// # Example
+///
+/// ```
+/// use be2d_geometry::{Scene, Rect, ObjectClass};
+///
+/// # fn main() -> Result<(), be2d_geometry::GeometryError> {
+/// let mut scene = Scene::new(100, 100)?;
+/// let a = scene.add(ObjectClass::new("A"), Rect::new(10, 50, 25, 85)?)?;
+/// assert_eq!(scene.object(a).unwrap().class().name(), "A");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scene {
+    width: i64,
+    height: i64,
+    objects: Vec<SceneObject>,
+}
+
+impl Scene {
+    /// Creates an empty scene with the given frame size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::EmptyFrame`] when either dimension is not
+    /// positive.
+    pub fn new(width: i64, height: i64) -> Result<Self, GeometryError> {
+        if width <= 0 || height <= 0 {
+            return Err(GeometryError::EmptyFrame { width, height });
+        }
+        Ok(Scene { width, height, objects: Vec::new() })
+    }
+
+    /// Frame width (the paper's `X_max`).
+    #[must_use]
+    pub const fn width(&self) -> i64 {
+        self.width
+    }
+
+    /// Frame height (the paper's `Y_max`).
+    #[must_use]
+    pub const fn height(&self) -> i64 {
+        self.height
+    }
+
+    /// Number of objects in the scene.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the scene has no objects.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Adds an object, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::OutOfFrame`] when the MBR does not fit the
+    /// frame.
+    pub fn add(&mut self, class: ObjectClass, mbr: Rect) -> Result<ObjectId, GeometryError> {
+        self.check_fits(&mbr)?;
+        let id = ObjectId(self.objects.len());
+        self.objects.push(SceneObject::new(id, class, mbr));
+        Ok(id)
+    }
+
+    /// Removes an object by id, re-indexing the ids of later objects.
+    ///
+    /// Returns the removed object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::UnknownObject`] for ids not in the scene.
+    pub fn remove(&mut self, id: ObjectId) -> Result<SceneObject, GeometryError> {
+        if id.index() >= self.objects.len() {
+            return Err(GeometryError::UnknownObject { id: id.index() });
+        }
+        let removed = self.objects.remove(id.index());
+        for (i, obj) in self.objects.iter_mut().enumerate().skip(id.index()) {
+            *obj = obj.with_id(ObjectId(i));
+        }
+        Ok(removed)
+    }
+
+    /// Looks up an object by id.
+    #[must_use]
+    pub fn object(&self, id: ObjectId) -> Option<&SceneObject> {
+        self.objects.get(id.index())
+    }
+
+    /// Iterates over the objects in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, SceneObject> {
+        self.objects.iter()
+    }
+
+    /// All objects as a slice, in id order.
+    #[must_use]
+    pub fn objects(&self) -> &[SceneObject] {
+        &self.objects
+    }
+
+    /// The set of distinct classes present, in sorted order.
+    #[must_use]
+    pub fn classes(&self) -> Vec<ObjectClass> {
+        let set: BTreeSet<_> = self.objects.iter().map(|o| o.class().clone()).collect();
+        set.into_iter().collect()
+    }
+
+    /// Number of objects of the given class.
+    #[must_use]
+    pub fn count_class(&self, class: &ObjectClass) -> usize {
+        self.objects.iter().filter(|o| o.class() == class).count()
+    }
+
+    /// Applies a D4 transform, producing the transformed scene.
+    ///
+    /// Rotations by 90°/270° swap the frame dimensions. This is the
+    /// geometric side of the paper's §4 rotation/reflection retrieval; the
+    /// symbolic side (string reversal) lives in `be2d-core` and is
+    /// property-tested to commute with this method.
+    #[must_use]
+    pub fn transformed(&self, t: Transform) -> Scene {
+        let (w, h) = (self.width, self.height);
+        let (nw, nh) = if t.swaps_axes() { (h, w) } else { (w, h) };
+        let objects = self
+            .objects
+            .iter()
+            .map(|o| o.with_mbr(t.apply_rect(o.mbr(), w, h)))
+            .collect();
+        Scene { width: nw, height: nh, objects }
+    }
+
+    /// Translates every object by `(dx, dy)` if the result still fits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::OutOfFrame`] (without modifying the scene)
+    /// if any translated MBR would leave the frame.
+    pub fn translate_all(&mut self, dx: i64, dy: i64) -> Result<(), GeometryError> {
+        let moved: Vec<SceneObject> =
+            self.objects.iter().map(|o| o.with_mbr(o.mbr().translated(dx, dy))).collect();
+        for o in &moved {
+            self.check_fits(&o.mbr())?;
+        }
+        self.objects = moved;
+        Ok(())
+    }
+
+    /// Replaces the MBR of an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::UnknownObject`] for unknown ids and
+    /// [`GeometryError::OutOfFrame`] when the new MBR does not fit.
+    pub fn set_mbr(&mut self, id: ObjectId, mbr: Rect) -> Result<(), GeometryError> {
+        self.check_fits(&mbr)?;
+        match self.objects.get_mut(id.index()) {
+            Some(obj) => {
+                *obj = obj.with_mbr(mbr);
+                Ok(())
+            }
+            None => Err(GeometryError::UnknownObject { id: id.index() }),
+        }
+    }
+
+    fn check_fits(&self, mbr: &Rect) -> Result<(), GeometryError> {
+        let fits = mbr.x_begin() >= 0
+            && mbr.y_begin() >= 0
+            && mbr.x_end() <= self.width
+            && mbr.y_end() <= self.height;
+        if fits {
+            Ok(())
+        } else {
+            Err(GeometryError::OutOfFrame {
+                rect: mbr.to_string(),
+                width: self.width,
+                height: self.height,
+            })
+        }
+    }
+}
+
+impl fmt::Display for Scene {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scene {}x{} ({} objects)", self.width, self.height, self.objects.len())?;
+        for o in &self.objects {
+            writeln!(f, "  {o}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Scene {
+    type Item = &'a SceneObject;
+    type IntoIter = std::slice::Iter<'a, SceneObject>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.objects.iter()
+    }
+}
+
+/// Fluent builder for scenes, convenient in tests and examples.
+///
+/// # Example
+///
+/// ```
+/// use be2d_geometry::SceneBuilder;
+///
+/// # fn main() -> Result<(), be2d_geometry::GeometryError> {
+/// let scene = SceneBuilder::new(100, 100)
+///     .object("A", (10, 50, 25, 85))
+///     .object("B", (30, 90, 5, 45))
+///     .build()?;
+/// assert_eq!(scene.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SceneBuilder {
+    width: i64,
+    height: i64,
+    objects: Vec<(String, (i64, i64, i64, i64))>,
+}
+
+impl SceneBuilder {
+    /// Starts a builder for a `width × height` frame.
+    #[must_use]
+    pub fn new(width: i64, height: i64) -> Self {
+        SceneBuilder { width, height, objects: Vec::new() }
+    }
+
+    /// Queues an object with class `name` and MBR
+    /// `(x_begin, x_end, y_begin, y_end)`.
+    #[must_use]
+    pub fn object(mut self, name: &str, mbr: (i64, i64, i64, i64)) -> Self {
+        self.objects.push((name.to_owned(), mbr));
+        self
+    }
+
+    /// Validates and builds the scene.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any validation error from frame, class-name, rectangle or
+    /// fit checks.
+    pub fn build(self) -> Result<Scene, GeometryError> {
+        let mut scene = Scene::new(self.width, self.height)?;
+        for (name, (xb, xe, yb, ye)) in self.objects {
+            let class = ObjectClass::try_new(&name)?;
+            scene.add(class, Rect::new(xb, xe, yb, ye)?)?;
+        }
+        Ok(scene)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_scene() -> Scene {
+        SceneBuilder::new(100, 100)
+            .object("A", (10, 50, 25, 85))
+            .object("B", (30, 90, 5, 45))
+            .object("C", (50, 70, 45, 65))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn frame_validation() {
+        assert!(Scene::new(0, 10).is_err());
+        assert!(Scene::new(10, -1).is_err());
+        assert!(Scene::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = Scene::new(10, 10).unwrap();
+        assert!(s.is_empty());
+        let id = s.add(ObjectClass::new("A"), Rect::new(1, 3, 1, 3).unwrap()).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.object(id).unwrap().class().name(), "A");
+        assert!(s.object(ObjectId(5)).is_none());
+    }
+
+    #[test]
+    fn rejects_out_of_frame() {
+        let mut s = Scene::new(10, 10).unwrap();
+        let err = s.add(ObjectClass::new("A"), Rect::new(5, 12, 0, 5).unwrap());
+        assert!(matches!(err, Err(GeometryError::OutOfFrame { .. })));
+        let err = s.add(ObjectClass::new("A"), Rect::new(-1, 3, 0, 5).unwrap());
+        assert!(matches!(err, Err(GeometryError::OutOfFrame { .. })));
+        // boundary-touching fits
+        assert!(s.add(ObjectClass::new("A"), Rect::new(0, 10, 0, 10).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn remove_reindexes() {
+        let mut s = demo_scene();
+        let removed = s.remove(ObjectId(1)).unwrap();
+        assert_eq!(removed.class().name(), "B");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.object(ObjectId(0)).unwrap().class().name(), "A");
+        assert_eq!(s.object(ObjectId(1)).unwrap().class().name(), "C");
+        assert_eq!(s.object(ObjectId(1)).unwrap().id(), ObjectId(1));
+        assert!(s.remove(ObjectId(9)).is_err());
+    }
+
+    #[test]
+    fn classes_sorted_and_counted() {
+        let mut s = demo_scene();
+        s.add(ObjectClass::new("A"), Rect::new(0, 5, 0, 5).unwrap()).unwrap();
+        let names: Vec<_> = s.classes().iter().map(|c| c.name().to_owned()).collect();
+        assert_eq!(names, ["A", "B", "C"]);
+        assert_eq!(s.count_class(&ObjectClass::new("A")), 2);
+        assert_eq!(s.count_class(&ObjectClass::new("Z")), 0);
+    }
+
+    #[test]
+    fn translate_all_checks_before_mutating() {
+        let mut s = demo_scene();
+        let before = s.clone();
+        assert!(s.translate_all(50, 0).is_err(), "B would leave the frame");
+        assert_eq!(s, before, "failed translation must not mutate");
+        assert!(s.translate_all(5, 5).is_ok());
+        assert_eq!(s.object(ObjectId(0)).unwrap().mbr().x_begin(), 15);
+    }
+
+    #[test]
+    fn set_mbr() {
+        let mut s = demo_scene();
+        let r = Rect::new(0, 5, 0, 5).unwrap();
+        s.set_mbr(ObjectId(2), r).unwrap();
+        assert_eq!(s.object(ObjectId(2)).unwrap().mbr(), r);
+        assert!(s.set_mbr(ObjectId(9), r).is_err());
+        assert!(s.set_mbr(ObjectId(0), Rect::new(0, 101, 0, 5).unwrap()).is_err());
+    }
+
+    #[test]
+    fn iteration() {
+        let s = demo_scene();
+        let by_iter: Vec<_> = s.iter().map(|o| o.class().name().to_owned()).collect();
+        let by_into: Vec<_> = (&s).into_iter().map(|o| o.class().name().to_owned()).collect();
+        assert_eq!(by_iter, ["A", "B", "C"]);
+        assert_eq!(by_iter, by_into);
+    }
+
+    #[test]
+    fn display_lists_objects() {
+        let text = demo_scene().to_string();
+        assert!(text.contains("scene 100x100 (3 objects)"));
+        assert!(text.contains("A#0"));
+        assert!(text.contains("C#2"));
+    }
+
+    #[test]
+    fn builder_propagates_errors() {
+        assert!(SceneBuilder::new(10, 10).object("E", (0, 1, 0, 1)).build().is_err());
+        assert!(SceneBuilder::new(10, 10).object("A", (0, 0, 0, 1)).build().is_err());
+        assert!(SceneBuilder::new(10, 10).object("A", (0, 11, 0, 1)).build().is_err());
+    }
+}

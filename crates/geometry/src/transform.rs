@@ -1,0 +1,328 @@
+//! The dihedral group D4 acting on image frames.
+//!
+//! §4 of the paper claims that the similarity retrieval of the 90/180/270°
+//! clockwise rotations and the x-/y-axis reflections of an image reduces to
+//! *string reversal* on the 2D BE-string. This module provides the
+//! geometric side of that claim: the eight symmetries of the rectangle,
+//! applied exactly to points and MBRs. `be2d-core` implements the symbolic
+//! side and property-tests that the two commute.
+
+use crate::{Point, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A symmetry of the image frame: one of the eight elements of the dihedral
+/// group D4.
+///
+/// Rotations are **clockwise** (the paper's convention) in the math-style
+/// coordinate system (origin bottom-left, y up). The two diagonal
+/// reflections complete the group so that composition is closed; the paper
+/// only discusses the six non-trivial axis-aligned elements, which are the
+/// rotations plus [`ReflectX`](Transform::ReflectX) /
+/// [`ReflectY`](Transform::ReflectY).
+///
+/// # Example
+///
+/// ```
+/// use be2d_geometry::{Transform, Point};
+///
+/// // Rotating the bottom-left region of a 100x50 frame 90° clockwise
+/// // lands it in the top-left of the new 50x100 frame.
+/// let p = Transform::Rotate90.apply_point(Point::new(10, 5), 100, 50);
+/// assert_eq!(p, Point::new(5, 90));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub enum Transform {
+    /// The identity: no change.
+    #[default]
+    Identity,
+    /// 90° clockwise rotation; swaps the frame dimensions.
+    Rotate90,
+    /// 180° rotation.
+    Rotate180,
+    /// 270° clockwise (= 90° counter-clockwise) rotation; swaps dimensions.
+    Rotate270,
+    /// Reflection about the x-axis (vertical flip, `y ↦ H − y`).
+    ReflectX,
+    /// Reflection about the y-axis (horizontal flip, `x ↦ W − x`).
+    ReflectY,
+    /// Reflection about the main diagonal (`(x, y) ↦ (y, x)`); swaps dims.
+    Transpose,
+    /// Reflection about the anti-diagonal; swaps dimensions.
+    AntiTranspose,
+}
+
+impl Transform {
+    /// All eight group elements.
+    pub const ALL: [Transform; 8] = [
+        Transform::Identity,
+        Transform::Rotate90,
+        Transform::Rotate180,
+        Transform::Rotate270,
+        Transform::ReflectX,
+        Transform::ReflectY,
+        Transform::Transpose,
+        Transform::AntiTranspose,
+    ];
+
+    /// The six non-identity elements the paper discusses (three rotations,
+    /// two axis reflections) plus identity — i.e. `ALL` without the diagonal
+    /// reflections.
+    pub const PAPER_SET: [Transform; 6] = [
+        Transform::Identity,
+        Transform::Rotate90,
+        Transform::Rotate180,
+        Transform::Rotate270,
+        Transform::ReflectX,
+        Transform::ReflectY,
+    ];
+
+    /// Whether this element exchanges the x- and y-axes (and therefore the
+    /// frame dimensions).
+    #[must_use]
+    pub const fn swaps_axes(self) -> bool {
+        matches!(
+            self,
+            Transform::Rotate90
+                | Transform::Rotate270
+                | Transform::Transpose
+                | Transform::AntiTranspose
+        )
+    }
+
+    /// Decomposes into `(k, f)` such that the element equals "reflect about
+    /// the y-axis `f` times, then rotate `k × 90°` clockwise".
+    const fn to_kf(self) -> (u8, bool) {
+        match self {
+            Transform::Identity => (0, false),
+            Transform::Rotate90 => (1, false),
+            Transform::Rotate180 => (2, false),
+            Transform::Rotate270 => (3, false),
+            Transform::ReflectY => (0, true),
+            Transform::Transpose => (1, true),
+            Transform::ReflectX => (2, true),
+            Transform::AntiTranspose => (3, true),
+        }
+    }
+
+    const fn from_kf(k: u8, f: bool) -> Transform {
+        match (k % 4, f) {
+            (0, false) => Transform::Identity,
+            (1, false) => Transform::Rotate90,
+            (2, false) => Transform::Rotate180,
+            (_, false) => Transform::Rotate270,
+            (0, true) => Transform::ReflectY,
+            (1, true) => Transform::Transpose,
+            (2, true) => Transform::ReflectX,
+            (_, true) => Transform::AntiTranspose,
+        }
+    }
+
+    /// Group composition: the element equivalent to applying `self` first
+    /// and `next` second.
+    ///
+    /// ```
+    /// use be2d_geometry::Transform;
+    /// assert_eq!(Transform::Rotate90.then(Transform::Rotate90), Transform::Rotate180);
+    /// assert_eq!(Transform::ReflectX.then(Transform::ReflectX), Transform::Identity);
+    /// ```
+    #[must_use]
+    pub const fn then(self, next: Transform) -> Transform {
+        let (k1, f1) = self.to_kf();
+        let (k2, f2) = next.to_kf();
+        // next ∘ self = r^k2 s^f2 r^k1 s^f1 = r^(k2 ± k1) s^(f1 xor f2),
+        // using s r = r⁻¹ s.
+        let k1_adj = if f2 { 4 - k1 } else { k1 };
+        Transform::from_kf((k2 + k1_adj) % 4, f1 ^ f2)
+    }
+
+    /// The inverse element.
+    ///
+    /// ```
+    /// use be2d_geometry::Transform;
+    /// assert_eq!(Transform::Rotate90.inverse(), Transform::Rotate270);
+    /// assert_eq!(Transform::Transpose.inverse(), Transform::Transpose);
+    /// ```
+    #[must_use]
+    pub const fn inverse(self) -> Transform {
+        let (k, f) = self.to_kf();
+        if f {
+            self // reflections are involutions
+        } else {
+            Transform::from_kf((4 - k) % 4, false)
+        }
+    }
+
+    /// Applies the transform to a point of a `width × height` frame.
+    ///
+    /// The result lives in the transformed frame (dimensions swapped when
+    /// [`swaps_axes`](Transform::swaps_axes) is true).
+    #[must_use]
+    pub const fn apply_point(self, p: Point, width: i64, height: i64) -> Point {
+        let (x, y) = (p.x, p.y);
+        match self {
+            Transform::Identity => Point::new(x, y),
+            Transform::Rotate90 => Point::new(y, width - x),
+            Transform::Rotate180 => Point::new(width - x, height - y),
+            Transform::Rotate270 => Point::new(height - y, x),
+            Transform::ReflectX => Point::new(x, height - y),
+            Transform::ReflectY => Point::new(width - x, y),
+            Transform::Transpose => Point::new(y, x),
+            Transform::AntiTranspose => Point::new(height - y, width - x),
+        }
+    }
+
+    /// Applies the transform to an MBR of a `width × height` frame.
+    #[must_use]
+    pub fn apply_rect(self, r: Rect, width: i64, height: i64) -> Rect {
+        let (x, y) = (r.x(), r.y());
+        match self {
+            Transform::Identity => r,
+            Transform::Rotate90 => Rect::from_intervals(y, x.mirrored(width)),
+            Transform::Rotate180 => Rect::from_intervals(x.mirrored(width), y.mirrored(height)),
+            Transform::Rotate270 => Rect::from_intervals(y.mirrored(height), x),
+            Transform::ReflectX => Rect::from_intervals(x, y.mirrored(height)),
+            Transform::ReflectY => Rect::from_intervals(x.mirrored(width), y),
+            Transform::Transpose => Rect::from_intervals(y, x),
+            Transform::AntiTranspose => {
+                Rect::from_intervals(y.mirrored(height), x.mirrored(width))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Transform::Identity => "identity",
+            Transform::Rotate90 => "rotate-90",
+            Transform::Rotate180 => "rotate-180",
+            Transform::Rotate270 => "rotate-270",
+            Transform::ReflectX => "reflect-x",
+            Transform::ReflectY => "reflect-y",
+            Transform::Transpose => "transpose",
+            Transform::AntiTranspose => "anti-transpose",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Applies `t` to a rect and also returns the transformed frame size.
+    fn apply(t: Transform, r: Rect, w: i64, h: i64) -> (Rect, i64, i64) {
+        let out = t.apply_rect(r, w, h);
+        let (nw, nh) = if t.swaps_axes() { (h, w) } else { (w, h) };
+        (out, nw, nh)
+    }
+
+    fn sample_rect() -> Rect {
+        Rect::new(10, 30, 5, 15).unwrap()
+    }
+
+    #[test]
+    fn rotate90_moves_corners_correctly() {
+        // 100x50 frame; object near bottom-left ends near top-left.
+        let (r, nw, nh) = apply(Transform::Rotate90, sample_rect(), 100, 50);
+        assert_eq!((nw, nh), (50, 100));
+        assert_eq!(r, Rect::new(5, 15, 70, 90).unwrap());
+    }
+
+    #[test]
+    fn apply_point_stays_in_new_frame() {
+        let (w, h) = (100, 50);
+        for t in Transform::ALL {
+            let (nw, nh) = if t.swaps_axes() { (h, w) } else { (w, h) };
+            for p in [Point::new(0, 0), Point::new(100, 50), Point::new(37, 12)] {
+                let q = t.apply_point(p, w, h);
+                assert!(q.x >= 0 && q.x <= nw && q.y >= 0 && q.y <= nh, "{t}: {p} -> {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let (w, h) = (100, 50);
+        let r = sample_rect();
+        for a in Transform::ALL {
+            for b in Transform::ALL {
+                let (r1, w1, h1) = apply(a, r, w, h);
+                let (r2, _, _) = apply(b, r1, w1, h1);
+                let (rc, _, _) = apply(a.then(b), r, w, h);
+                assert_eq!(r2, rc, "{a} then {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_undoes() {
+        let (w, h) = (100, 50);
+        let r = sample_rect();
+        for t in Transform::ALL {
+            let (r1, w1, h1) = apply(t, r, w, h);
+            let (r2, w2, h2) = apply(t.inverse(), r1, w1, h1);
+            assert_eq!((r2, w2, h2), (r, w, h), "{t}");
+            assert_eq!(t.then(t.inverse()), Transform::Identity);
+            assert_eq!(t.inverse().then(t), Transform::Identity);
+        }
+    }
+
+    #[test]
+    fn rotation_powers() {
+        use Transform::*;
+        assert_eq!(Rotate90.then(Rotate90), Rotate180);
+        assert_eq!(Rotate90.then(Rotate180), Rotate270);
+        assert_eq!(Rotate90.then(Rotate270), Identity);
+        assert_eq!(Rotate180.then(Rotate180), Identity);
+    }
+
+    #[test]
+    fn reflections_are_involutions() {
+        use Transform::*;
+        for t in [ReflectX, ReflectY, Transpose, AntiTranspose] {
+            assert_eq!(t.then(t), Identity, "{t}");
+            assert_eq!(t.inverse(), t);
+        }
+    }
+
+    #[test]
+    fn two_axis_reflections_compose_to_rotation() {
+        use Transform::*;
+        assert_eq!(ReflectX.then(ReflectY), Rotate180);
+        assert_eq!(ReflectY.then(ReflectX), Rotate180);
+        assert_eq!(Transpose.then(AntiTranspose), Rotate180);
+    }
+
+    #[test]
+    fn group_is_closed_and_has_unique_elements() {
+        use std::collections::HashSet;
+        let all: HashSet<_> = Transform::ALL.into_iter().collect();
+        assert_eq!(all.len(), 8);
+        for a in Transform::ALL {
+            for b in Transform::ALL {
+                assert!(all.contains(&a.then(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_set_is_subset_without_diagonals() {
+        assert_eq!(Transform::PAPER_SET.len(), 6);
+        assert!(!Transform::PAPER_SET.contains(&Transform::Transpose));
+        assert!(!Transform::PAPER_SET.contains(&Transform::AntiTranspose));
+    }
+
+    #[test]
+    fn default_is_identity() {
+        assert_eq!(Transform::default(), Transform::Identity);
+    }
+
+    #[test]
+    fn display_names_are_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = Transform::ALL.iter().map(|t| t.to_string()).collect();
+        assert_eq!(names.len(), 8);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the geometric substrate: Allen-relation
+//! algebra and the D4 group action.
+
+use be2d_geometry::{AllenRelation, Interval, Point, Rect, Transform};
+use proptest::prelude::*;
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0i64..200, 1i64..60).prop_map(|(b, len)| Interval::new(b, b + len).expect("non-empty"))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_interval(), arb_interval()).prop_map(|(x, y)| Rect::from_intervals(x, y))
+}
+
+proptest! {
+    /// classify is antisymmetric through `inverse` and consistent with
+    /// the interval predicates.
+    #[test]
+    fn allen_classify_laws(a in arb_interval(), b in arb_interval()) {
+        let r = AllenRelation::classify(&a, &b);
+        prop_assert_eq!(r.inverse(), AllenRelation::classify(&b, &a));
+        prop_assert_eq!(r.inverse().inverse(), r);
+        prop_assert_eq!(r.is_overlapping(), a.overlaps(&b));
+        prop_assert_eq!(r == AllenRelation::Equal, a == b);
+        // category is stable under double mirroring
+        prop_assert_eq!(r.mirrored().mirrored(), r);
+    }
+
+    /// Mirroring inside a common extent maps the relation through
+    /// `mirrored`.
+    #[test]
+    fn allen_mirror_matches_geometry(a in arb_interval(), b in arb_interval()) {
+        let extent = a.end().max(b.end()) + 10;
+        let rm = AllenRelation::classify(&a.mirrored(extent), &b.mirrored(extent));
+        prop_assert_eq!(AllenRelation::classify(&a, &b).mirrored(), rm);
+    }
+
+    /// Interval set algebra: intersection is the largest common
+    /// subinterval; union MBR contains both.
+    #[test]
+    fn interval_lattice(a in arb_interval(), b in arb_interval()) {
+        match a.intersection(&b) {
+            Some(i) => {
+                prop_assert!(a.contains(&i) && b.contains(&i));
+                prop_assert!(a.overlaps(&b));
+                prop_assert_eq!(i.length() <= a.length().min(b.length()), true);
+            }
+            None => prop_assert!(!a.overlaps(&b)),
+        }
+    }
+
+    /// The D4 action on rectangles: group composition, inverse, identity,
+    /// and frame preservation.
+    #[test]
+    fn d4_group_action(r in arb_rect(), a in 0usize..8, b in 0usize..8) {
+        let (w, h) = (300i64, 300i64);
+        prop_assume!(r.x_end() <= w && r.y_end() <= h);
+        let (ta, tb) = (Transform::ALL[a], Transform::ALL[b]);
+
+        // composition
+        let step = tb.apply_rect(
+            ta.apply_rect(r, w, h),
+            if ta.swaps_axes() { h } else { w },
+            if ta.swaps_axes() { w } else { h },
+        );
+        let composed = ta.then(tb).apply_rect(r, w, h);
+        prop_assert_eq!(step, composed);
+
+        // inverse
+        let (w1, h1) = if ta.swaps_axes() { (h, w) } else { (w, h) };
+        prop_assert_eq!(ta.inverse().apply_rect(ta.apply_rect(r, w, h), w1, h1), r);
+
+        // area and fit preservation
+        let out = ta.apply_rect(r, w, h);
+        prop_assert_eq!(out.area(), r.area());
+        prop_assert!(out.x_begin() >= 0 && out.x_end() <= w1);
+        prop_assert!(out.y_begin() >= 0 && out.y_end() <= h1);
+    }
+
+    /// Point and rect transforms agree: the transformed rect is the MBR
+    /// of the transformed corner points.
+    #[test]
+    fn point_rect_transform_agreement(r in arb_rect(), a in 0usize..8) {
+        let (w, h) = (300i64, 300i64);
+        prop_assume!(r.x_end() <= w && r.y_end() <= h);
+        let t = Transform::ALL[a];
+        let corners = [
+            Point::new(r.x_begin(), r.y_begin()),
+            Point::new(r.x_end(), r.y_begin()),
+            Point::new(r.x_begin(), r.y_end()),
+            Point::new(r.x_end(), r.y_end()),
+        ];
+        let moved: Vec<Point> = corners.iter().map(|&p| t.apply_point(p, w, h)).collect();
+        let xs: Vec<i64> = moved.iter().map(|p| p.x).collect();
+        let ys: Vec<i64> = moved.iter().map(|p| p.y).collect();
+        let mbr = Rect::new(
+            *xs.iter().min().expect("4 corners"),
+            *xs.iter().max().expect("4 corners"),
+            *ys.iter().min().expect("4 corners"),
+            *ys.iter().max().expect("4 corners"),
+        )
+        .expect("non-degenerate");
+        prop_assert_eq!(mbr, t.apply_rect(r, w, h));
+    }
+
+    /// Orthogonal relations of transformed rect pairs stay consistent:
+    /// the 180° rotation mirrors both axes.
+    #[test]
+    fn rotate180_mirrors_orthogonal_relation(a in arb_rect(), b in arb_rect()) {
+        let (w, h) = (300i64, 300i64);
+        prop_assume!(a.x_end() <= w && a.y_end() <= h && b.x_end() <= w && b.y_end() <= h);
+        let t = Transform::Rotate180;
+        let before = a.orthogonal_relation(&b);
+        let after = t.apply_rect(a, w, h).orthogonal_relation(&t.apply_rect(b, w, h));
+        prop_assert_eq!(after.x, before.x.mirrored());
+        prop_assert_eq!(after.y, before.y.mirrored());
+    }
+}

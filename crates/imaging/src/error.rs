@@ -1,0 +1,77 @@
+//! Error type for the imaging substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while rendering or extracting rasters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ImagingError {
+    /// A raster was constructed with a zero dimension.
+    EmptyRaster {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// A pixel access was out of bounds.
+    OutOfBounds {
+        /// Pixel x.
+        x: usize,
+        /// Pixel y.
+        y: usize,
+        /// Raster width.
+        width: usize,
+        /// Raster height.
+        height: usize,
+    },
+    /// A raster contained a class id missing from the palette.
+    UnknownClassId {
+        /// The offending id.
+        id: u32,
+    },
+    /// Extraction produced an object that failed scene validation.
+    InvalidExtraction {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ImagingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImagingError::EmptyRaster { width, height } => {
+                write!(f, "raster dimensions {width}x{height} must be positive")
+            }
+            ImagingError::OutOfBounds { x, y, width, height } => {
+                write!(f, "pixel ({x}, {y}) outside {width}x{height} raster")
+            }
+            ImagingError::UnknownClassId { id } => {
+                write!(f, "class id {id} not present in the palette")
+            }
+            ImagingError::InvalidExtraction { reason } => {
+                write!(f, "extraction produced invalid scene: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ImagingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let variants = [
+            ImagingError::EmptyRaster { width: 0, height: 4 },
+            ImagingError::OutOfBounds { x: 9, y: 9, width: 4, height: 4 },
+            ImagingError::UnknownClassId { id: 7 },
+            ImagingError::InvalidExtraction { reason: "x".into() },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Connected-component labeling and MBR extraction — the "object
+//! recognition" stage feeding Algorithm 1.
+
+use crate::{ClassPalette, ImagingError, Raster};
+use be2d_geometry::{Rect, Scene};
+
+/// One recognised component: a maximal 4-connected region of pixels
+/// sharing a class id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// The raster class id of the region.
+    pub class_id: u32,
+    /// Number of pixels in the region.
+    pub area: usize,
+    /// Pixel bounding box as `(x_begin, x_end, y_begin, y_end)`,
+    /// half-open — directly usable as an MBR.
+    pub bbox: (i64, i64, i64, i64),
+}
+
+/// Labels all 4-connected same-class components of the raster with a
+/// union–find pass, returning them sorted by `(class_id, bbox)`.
+///
+/// Components smaller than `min_area` pixels are dropped (speckle
+/// suppression, mirroring what any real recogniser does).
+#[must_use]
+pub fn extract_components(raster: &Raster, min_area: usize) -> Vec<Component> {
+    let (w, h) = (raster.width(), raster.height());
+    let pixels = raster.pixels();
+    // union-find over pixel indices
+    let mut parent: Vec<u32> = (0..(w * h) as u32).collect();
+
+    fn find(parent: &mut [u32], mut i: u32) -> u32 {
+        while parent[i as usize] != i {
+            parent[i as usize] = parent[parent[i as usize] as usize]; // path halving
+            i = parent[i as usize];
+        }
+        i
+    }
+    fn union(parent: &mut [u32], a: u32, b: u32) {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[rb as usize] = ra;
+        }
+    }
+
+    for y in 0..h {
+        for x in 0..w {
+            let i = y * w + x;
+            let id = pixels[i];
+            if id == 0 {
+                continue;
+            }
+            if x + 1 < w && pixels[i + 1] == id {
+                union(&mut parent, i as u32, (i + 1) as u32);
+            }
+            if y + 1 < h && pixels[i + w] == id {
+                union(&mut parent, i as u32, (i + w) as u32);
+            }
+        }
+    }
+
+    use std::collections::HashMap;
+    let mut comps: HashMap<u32, Component> = HashMap::new();
+    for y in 0..h {
+        for x in 0..w {
+            let i = y * w + x;
+            let id = pixels[i];
+            if id == 0 {
+                continue;
+            }
+            let root = find(&mut parent, i as u32);
+            let (xi, yi) = (x as i64, y as i64);
+            comps
+                .entry(root)
+                .and_modify(|c| {
+                    c.area += 1;
+                    c.bbox.0 = c.bbox.0.min(xi);
+                    c.bbox.1 = c.bbox.1.max(xi + 1);
+                    c.bbox.2 = c.bbox.2.min(yi);
+                    c.bbox.3 = c.bbox.3.max(yi + 1);
+                })
+                .or_insert(Component { class_id: id, area: 1, bbox: (xi, xi + 1, yi, yi + 1) });
+        }
+    }
+    let mut out: Vec<Component> =
+        comps.into_values().filter(|c| c.area >= min_area).collect();
+    out.sort_by_key(|c| (c.class_id, c.bbox));
+    out
+}
+
+/// Recognises the scene in a raster: connected components become objects
+/// with their pixel-bounding-box MBRs. The palette translates class ids
+/// back to [`ObjectClass`](be2d_geometry::ObjectClass) names.
+///
+/// This is the substitute for the paper's assumed segmentation front end;
+/// together with [`render_scene`](crate::render_scene) it closes the
+/// render → recognise → convert loop that the integration tests verify.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::UnknownClassId`] when a pixel id is missing
+/// from the palette, or [`ImagingError::InvalidExtraction`] when scene
+/// assembly fails.
+pub fn extract_scene(
+    raster: &Raster,
+    palette: &ClassPalette,
+    min_area: usize,
+) -> Result<Scene, ImagingError> {
+    let mut scene = Scene::new(raster.width() as i64, raster.height() as i64)
+        .map_err(|e| ImagingError::InvalidExtraction { reason: e.to_string() })?;
+    for comp in extract_components(raster, min_area) {
+        let class = palette
+            .class_of(comp.class_id)
+            .ok_or(ImagingError::UnknownClassId { id: comp.class_id })?;
+        let (xb, xe, yb, ye) = comp.bbox;
+        let mbr = Rect::new(xb, xe, yb, ye)
+            .map_err(|e| ImagingError::InvalidExtraction { reason: e.to_string() })?;
+        scene
+            .add(class.clone(), mbr)
+            .map_err(|e| ImagingError::InvalidExtraction { reason: e.to_string() })?;
+    }
+    Ok(scene)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use be2d_geometry::ObjectClass;
+
+    #[test]
+    fn single_block() {
+        let mut r = Raster::new(10, 10).unwrap();
+        r.fill_rect(2, 6, 3, 8, 1).unwrap();
+        let comps = extract_components(&r, 1);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].class_id, 1);
+        assert_eq!(comps[0].area, 4 * 5);
+        assert_eq!(comps[0].bbox, (2, 6, 3, 8));
+    }
+
+    #[test]
+    fn two_blocks_same_class_disconnected() {
+        let mut r = Raster::new(10, 10).unwrap();
+        r.fill_rect(0, 3, 0, 3, 1).unwrap();
+        r.fill_rect(6, 9, 6, 9, 1).unwrap();
+        let comps = extract_components(&r, 1);
+        assert_eq!(comps.len(), 2, "disconnected regions are separate objects");
+    }
+
+    #[test]
+    fn touching_blocks_same_class_merge() {
+        let mut r = Raster::new(10, 10).unwrap();
+        r.fill_rect(0, 3, 0, 3, 1).unwrap();
+        r.fill_rect(3, 6, 0, 3, 1).unwrap();
+        let comps = extract_components(&r, 1);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].bbox, (0, 6, 0, 3));
+    }
+
+    #[test]
+    fn diagonal_touch_does_not_merge() {
+        let mut r = Raster::new(4, 4).unwrap();
+        r.set(0, 0, 1).unwrap();
+        r.set(1, 1, 1).unwrap();
+        assert_eq!(extract_components(&r, 1).len(), 2, "4-connectivity");
+    }
+
+    #[test]
+    fn different_classes_do_not_merge() {
+        let mut r = Raster::new(10, 4).unwrap();
+        r.fill_rect(0, 5, 0, 4, 1).unwrap();
+        r.fill_rect(5, 10, 0, 4, 2).unwrap();
+        let comps = extract_components(&r, 1);
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn min_area_filters_speckles() {
+        let mut r = Raster::new(10, 10).unwrap();
+        r.fill_rect(0, 5, 0, 5, 1).unwrap();
+        r.set(9, 9, 1).unwrap();
+        assert_eq!(extract_components(&r, 2).len(), 1);
+        assert_eq!(extract_components(&r, 1).len(), 2);
+    }
+
+    #[test]
+    fn l_shape_bbox_covers_whole_component() {
+        let mut r = Raster::new(10, 10).unwrap();
+        r.fill_rect(0, 2, 0, 8, 1).unwrap();
+        r.fill_rect(0, 8, 0, 2, 1).unwrap();
+        let comps = extract_components(&r, 1);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].bbox, (0, 8, 0, 8));
+        assert_eq!(comps[0].area, 2 * 8 + 8 * 2 - 4);
+    }
+
+    #[test]
+    fn extract_scene_translates_classes() {
+        let mut palette = ClassPalette::new();
+        let id_a = palette.id_for(&ObjectClass::new("A"));
+        let id_b = palette.id_for(&ObjectClass::new("B"));
+        let mut r = Raster::new(20, 20).unwrap();
+        r.fill_rect(1, 5, 1, 5, id_a).unwrap();
+        r.fill_rect(10, 15, 10, 18, id_b).unwrap();
+        let scene = extract_scene(&r, &palette, 1).unwrap();
+        assert_eq!(scene.len(), 2);
+        let names: Vec<_> =
+            scene.iter().map(|o| o.class().name().to_owned()).collect();
+        assert_eq!(names, ["A", "B"]);
+        assert_eq!(scene.objects()[1].mbr(), Rect::new(10, 15, 10, 18).unwrap());
+    }
+
+    #[test]
+    fn extract_scene_unknown_id_fails() {
+        let palette = ClassPalette::new();
+        let mut r = Raster::new(5, 5).unwrap();
+        r.set(0, 0, 3).unwrap();
+        assert!(matches!(
+            extract_scene(&r, &palette, 1),
+            Err(ImagingError::UnknownClassId { id: 3 })
+        ));
+    }
+
+    #[test]
+    fn empty_raster_gives_empty_scene() {
+        let palette = ClassPalette::new();
+        let r = Raster::new(5, 5).unwrap();
+        let scene = extract_scene(&r, &palette, 1).unwrap();
+        assert!(scene.is_empty());
+        assert_eq!(scene.width(), 5);
+    }
+}

@@ -1,0 +1,190 @@
+//! Recognition-noise injection: simulates an imperfect segmentation
+//! front end.
+//!
+//! The paper assumes perfect object/MBR abstraction; any real recogniser
+//! mislabels pixels, drops small objects and jitters boundaries. This
+//! module injects exactly those fault classes into rasters so the
+//! robustness experiment (E9, `exp_noise`) can measure how retrieval
+//! quality degrades with recognition quality — and how much the
+//! `min_area` speckle filter recovers.
+
+use crate::Raster;
+
+/// A deterministic splitmix64 stream; keeps this crate free of external
+/// RNG dependencies while staying reproducible.
+#[derive(Debug, Clone)]
+pub struct NoiseRng {
+    state: u64,
+}
+
+impl NoiseRng {
+    /// Creates a stream from a seed.
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        NoiseRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Flips each background pixel to a random known class id with
+/// probability `p` (salt noise), and each object pixel to background with
+/// probability `p` (pepper noise).
+///
+/// `max_class_id` is the highest id that may be produced by salt noise
+/// (use the palette size).
+pub fn salt_and_pepper(raster: &mut Raster, p: f64, max_class_id: u32, rng: &mut NoiseRng) {
+    if max_class_id == 0 {
+        return;
+    }
+    for y in 0..raster.height() {
+        for x in 0..raster.width() {
+            let current = raster.get(x, y).expect("in range");
+            if rng.chance(p) {
+                let new = if current == 0 {
+                    rng.below(u64::from(max_class_id)) as u32 + 1
+                } else {
+                    0
+                };
+                raster.set(x, y, new).expect("in range");
+            }
+        }
+    }
+}
+
+/// Erodes object boundaries: every object pixel with at least one
+/// background 4-neighbour is cleared with probability `p` — boundary
+/// jitter that perturbs extracted MBRs by a pixel or two.
+pub fn erode_boundaries(raster: &mut Raster, p: f64, rng: &mut NoiseRng) {
+    let (w, h) = (raster.width(), raster.height());
+    let mut to_clear = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let id = raster.get(x, y).expect("in range");
+            if id == 0 {
+                continue;
+            }
+            let on_boundary = [
+                (x.wrapping_sub(1), y),
+                (x + 1, y),
+                (x, y.wrapping_sub(1)),
+                (x, y + 1),
+            ]
+            .into_iter()
+            .any(|(nx, ny)| nx >= w || ny >= h || raster.get(nx, ny).expect("in range") == 0);
+            if on_boundary && rng.chance(p) {
+                to_clear.push((x, y));
+            }
+        }
+    }
+    for (x, y) in to_clear {
+        raster.set(x, y, 0).expect("in range");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_raster() -> Raster {
+        let mut r = Raster::new(32, 32).unwrap();
+        r.fill_rect(8, 24, 8, 24, 1).unwrap();
+        r
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = NoiseRng::new(7);
+        let mut b = NoiseRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = NoiseRng::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_bounded() {
+        let mut rng = NoiseRng::new(1);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = NoiseRng::new(2);
+        assert!((0..100).all(|_| !rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn zero_probability_changes_nothing() {
+        let mut r = block_raster();
+        let before = r.clone();
+        let mut rng = NoiseRng::new(3);
+        salt_and_pepper(&mut r, 0.0, 4, &mut rng);
+        erode_boundaries(&mut r, 0.0, &mut rng);
+        assert_eq!(r, before);
+    }
+
+    #[test]
+    fn salt_and_pepper_flips_roughly_p_fraction() {
+        let mut r = block_raster();
+        let before = r.clone();
+        let mut rng = NoiseRng::new(4);
+        salt_and_pepper(&mut r, 0.1, 4, &mut rng);
+        let changed = (0..32)
+            .flat_map(|y| (0..32).map(move |x| (x, y)))
+            .filter(|&(x, y)| r.get(x, y).unwrap() != before.get(x, y).unwrap())
+            .count();
+        let total = 32 * 32;
+        assert!(changed > total / 20 && changed < total / 5, "changed {changed}");
+    }
+
+    #[test]
+    fn erosion_only_touches_boundary_pixels() {
+        let mut r = block_raster();
+        let mut rng = NoiseRng::new(5);
+        erode_boundaries(&mut r, 1.0, &mut rng);
+        // interior (one pixel in from every side) must be intact
+        for y in 9..23 {
+            for x in 9..23 {
+                assert_eq!(r.get(x, y).unwrap(), 1, "interior pixel ({x},{y})");
+            }
+        }
+        // with p = 1 the entire one-pixel boundary ring is gone
+        assert_eq!(r.get(8, 8).unwrap(), 0);
+        assert_eq!(r.get(23, 16).unwrap(), 0);
+    }
+
+    #[test]
+    fn min_area_filter_absorbs_salt_noise() {
+        use crate::{extract_components};
+        let mut r = block_raster();
+        let mut rng = NoiseRng::new(6);
+        salt_and_pepper(&mut r, 0.01, 1, &mut rng);
+        // speckles are single pixels; the block survives a min_area of 8
+        let comps = extract_components(&r, 8);
+        assert_eq!(comps.len(), 1, "speckles filtered");
+        // without the filter, speckles appear as objects
+        assert!(extract_components(&r, 1).len() > 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Bidirectional mapping between object classes and raster class ids.
+
+use be2d_geometry::ObjectClass;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Assigns dense `u32` ids (starting at 1; 0 is background) to object
+/// classes, so scenes can be painted into and recovered from [`Raster`]s.
+///
+/// [`Raster`]: crate::Raster
+///
+/// # Example
+///
+/// ```
+/// use be2d_imaging::ClassPalette;
+/// use be2d_geometry::ObjectClass;
+///
+/// let mut palette = ClassPalette::new();
+/// let a = palette.id_for(&ObjectClass::new("A"));
+/// let b = palette.id_for(&ObjectClass::new("B"));
+/// assert_ne!(a, b);
+/// assert_eq!(palette.id_for(&ObjectClass::new("A")), a, "stable");
+/// assert_eq!(palette.class_of(a).unwrap().name(), "A");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassPalette {
+    by_class: HashMap<ObjectClass, u32>,
+    by_id: Vec<ObjectClass>,
+}
+
+impl ClassPalette {
+    /// Creates an empty palette.
+    #[must_use]
+    pub fn new() -> Self {
+        ClassPalette::default()
+    }
+
+    /// Returns the id for a class, assigning the next free id on first
+    /// sight.
+    pub fn id_for(&mut self, class: &ObjectClass) -> u32 {
+        if let Some(id) = self.by_class.get(class) {
+            return *id;
+        }
+        self.by_id.push(class.clone());
+        let id = self.by_id.len() as u32; // ids start at 1
+        self.by_class.insert(class.clone(), id);
+        id
+    }
+
+    /// Looks up an id without assigning.
+    #[must_use]
+    pub fn get(&self, class: &ObjectClass) -> Option<u32> {
+        self.by_class.get(class).copied()
+    }
+
+    /// The class behind an id (`None` for background `0` or unknown ids).
+    #[must_use]
+    pub fn class_of(&self, id: u32) -> Option<&ObjectClass> {
+        if id == 0 {
+            return None;
+        }
+        self.by_id.get(id as usize - 1)
+    }
+
+    /// Number of registered classes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether no classes are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut p = ClassPalette::new();
+        assert!(p.is_empty());
+        let a = p.id_for(&ObjectClass::new("A"));
+        let b = p.id_for(&ObjectClass::new("B"));
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(p.id_for(&ObjectClass::new("A")), 1);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn lookup_without_assign() {
+        let mut p = ClassPalette::new();
+        assert_eq!(p.get(&ObjectClass::new("A")), None);
+        p.id_for(&ObjectClass::new("A"));
+        assert_eq!(p.get(&ObjectClass::new("A")), Some(1));
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        let mut p = ClassPalette::new();
+        p.id_for(&ObjectClass::new("A"));
+        assert_eq!(p.class_of(1).unwrap().name(), "A");
+        assert_eq!(p.class_of(0), None, "background");
+        assert_eq!(p.class_of(9), None);
+    }
+}

@@ -1,0 +1,426 @@
+//! Class-labelled pixel grids and shape painters.
+
+use crate::ImagingError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The icon silhouette used when painting an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Shape {
+    /// Fill the whole MBR. Extraction recovers the MBR exactly.
+    #[default]
+    Rectangle,
+    /// The ellipse inscribed in the MBR.
+    Ellipse,
+    /// The diamond (rhombus) inscribed in the MBR.
+    Diamond,
+    /// An upward-pointing isosceles triangle filling the MBR base.
+    Triangle,
+}
+
+impl Shape {
+    /// All shapes, for round-robin assignment in workloads.
+    pub const ALL: [Shape; 4] = [Shape::Rectangle, Shape::Ellipse, Shape::Diamond, Shape::Triangle];
+}
+
+/// A `width × height` grid of class ids; `0` is background.
+///
+/// Row `0` is the *bottom* row, matching the scene coordinate system
+/// (origin bottom-left, y up). Pixel `(x, y)` covers the unit cell
+/// `[x, x+1) × [y, y+1)` of the scene plane, so an MBR
+/// `[xb, xe) × [yb, ye)` corresponds exactly to the pixel block
+/// `x ∈ xb..xe, y ∈ yb..ye`.
+///
+/// # Example
+///
+/// ```
+/// use be2d_imaging::Raster;
+///
+/// # fn main() -> Result<(), be2d_imaging::ImagingError> {
+/// let mut r = Raster::new(8, 8)?;
+/// r.fill_rect(1, 4, 1, 3, 7)?;
+/// assert_eq!(r.get(1, 1)?, 7);
+/// assert_eq!(r.get(4, 1)?, 0, "end coordinate exclusive");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Raster {
+    width: usize,
+    height: usize,
+    pixels: Vec<u32>,
+}
+
+impl Raster {
+    /// Creates a background-only raster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::EmptyRaster`] when a dimension is zero.
+    pub fn new(width: usize, height: usize) -> Result<Self, ImagingError> {
+        if width == 0 || height == 0 {
+            return Err(ImagingError::EmptyRaster { width, height });
+        }
+        Ok(Raster { width, height, pixels: vec![0; width * height] })
+    }
+
+    /// Raster width in pixels.
+    #[must_use]
+    pub const fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Raster height in pixels.
+    #[must_use]
+    pub const fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Reads the class id at `(x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::OutOfBounds`] outside the grid.
+    pub fn get(&self, x: usize, y: usize) -> Result<u32, ImagingError> {
+        self.index(x, y).map(|i| self.pixels[i])
+    }
+
+    /// Writes the class id at `(x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::OutOfBounds`] outside the grid.
+    pub fn set(&mut self, x: usize, y: usize, id: u32) -> Result<(), ImagingError> {
+        let i = self.index(x, y)?;
+        self.pixels[i] = id;
+        Ok(())
+    }
+
+    fn index(&self, x: usize, y: usize) -> Result<usize, ImagingError> {
+        if x >= self.width || y >= self.height {
+            return Err(ImagingError::OutOfBounds {
+                x,
+                y,
+                width: self.width,
+                height: self.height,
+            });
+        }
+        Ok(y * self.width + x)
+    }
+
+    /// Raw pixels, row-major from the bottom row.
+    #[must_use]
+    pub fn pixels(&self) -> &[u32] {
+        &self.pixels
+    }
+
+    /// Number of pixels carrying the given class id.
+    #[must_use]
+    pub fn count_id(&self, id: u32) -> usize {
+        self.pixels.iter().filter(|p| **p == id).count()
+    }
+
+    /// Fills the half-open rectangle `[xb, xe) × [yb, ye)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::OutOfBounds`] when the rectangle exceeds
+    /// the raster (nothing is painted on error).
+    pub fn fill_rect(
+        &mut self,
+        xb: usize,
+        xe: usize,
+        yb: usize,
+        ye: usize,
+        id: u32,
+    ) -> Result<(), ImagingError> {
+        if xe > self.width || ye > self.height {
+            return Err(ImagingError::OutOfBounds {
+                x: xe,
+                y: ye,
+                width: self.width,
+                height: self.height,
+            });
+        }
+        for y in yb..ye {
+            for x in xb..xe {
+                self.pixels[y * self.width + x] = id;
+            }
+        }
+        Ok(())
+    }
+
+    /// Paints a shape filling the MBR `[xb, xe) × [yb, ye)`.
+    ///
+    /// Every shape is drawn so that the painted region is 4-connected and
+    /// its pixel bounding box equals the requested MBR, keeping
+    /// render→extract round trips exact. This is achieved by always
+    /// painting the shape's *spine*: the full-width row the continuous
+    /// shape spans (the mid row for ellipse/diamond, the base for the
+    /// triangle) and the full-height centre column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::OutOfBounds`] when the MBR exceeds the
+    /// raster.
+    pub fn fill_shape(
+        &mut self,
+        shape: Shape,
+        xb: usize,
+        xe: usize,
+        yb: usize,
+        ye: usize,
+        id: u32,
+    ) -> Result<(), ImagingError> {
+        if xe > self.width || ye > self.height || xb >= xe || yb >= ye {
+            return Err(ImagingError::OutOfBounds {
+                x: xe,
+                y: ye,
+                width: self.width,
+                height: self.height,
+            });
+        }
+        match shape {
+            Shape::Rectangle => self.fill_rect(xb, xe, yb, ye, id),
+            Shape::Ellipse => {
+                let (w, h) = ((xe - xb) as f64, (ye - yb) as f64);
+                let (cx, cy) = (xb as f64 + w / 2.0, yb as f64 + h / 2.0);
+                let (rx, ry) = (w / 2.0, h / 2.0);
+                for y in yb..ye {
+                    for x in xb..xe {
+                        let dx = (x as f64 + 0.5 - cx) / rx;
+                        let dy = (y as f64 + 0.5 - cy) / ry;
+                        if dx * dx + dy * dy <= 1.0 {
+                            self.pixels[y * self.width + x] = id;
+                        }
+                    }
+                }
+                self.fill_spine(xb, xe, yb, ye, id, (yb + ye - 1) / 2);
+                Ok(())
+            }
+            Shape::Diamond => {
+                let (w, h) = ((xe - xb) as f64, (ye - yb) as f64);
+                let (cx, cy) = (xb as f64 + w / 2.0, yb as f64 + h / 2.0);
+                for y in yb..ye {
+                    for x in xb..xe {
+                        let dx = (x as f64 + 0.5 - cx).abs() / (w / 2.0);
+                        let dy = (y as f64 + 0.5 - cy).abs() / (h / 2.0);
+                        if dx + dy <= 1.0 {
+                            self.pixels[y * self.width + x] = id;
+                        }
+                    }
+                }
+                self.fill_spine(xb, xe, yb, ye, id, (yb + ye - 1) / 2);
+                Ok(())
+            }
+            Shape::Triangle => {
+                let (w, h) = ((xe - xb) as f64, (ye - yb) as f64);
+                let cx = xb as f64 + w / 2.0;
+                for y in yb..ye {
+                    // at the base (y = yb) the full width is filled,
+                    // shrinking linearly to a point at the top
+                    let t = (y as f64 + 0.5 - yb as f64) / h;
+                    let half = (1.0 - t) * w / 2.0;
+                    for x in xb..xe {
+                        if (x as f64 + 0.5 - cx).abs() <= half {
+                            self.pixels[y * self.width + x] = id;
+                        }
+                    }
+                }
+                // the triangle's spine is its base plus the median
+                self.fill_spine(xb, xe, yb, ye, id, yb);
+                Ok(())
+            }
+        }
+    }
+
+    /// Paints the full-width `spine_row` and the full-height centre
+    /// column. The continuous ellipse/diamond/triangle all contain these
+    /// segments, so this only corrects half-pixel discretisation losses —
+    /// and it guarantees connectivity plus an exact bounding box.
+    fn fill_spine(&mut self, xb: usize, xe: usize, yb: usize, ye: usize, id: u32, spine_row: usize) {
+        let mx = (xb + xe - 1) / 2;
+        for x in xb..xe {
+            self.pixels[spine_row * self.width + x] = id;
+        }
+        for y in yb..ye {
+            self.pixels[y * self.width + mx] = id;
+        }
+    }
+
+    /// Serialises the raster as a binary PPM (P6) image, with colors
+    /// assigned deterministically from class ids. Background is white.
+    #[must_use]
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.pixels.len() * 3 + 32);
+        out.extend_from_slice(format!("P6\n{} {}\n255\n", self.width, self.height).as_bytes());
+        // PPM rows are top-down; our rows are bottom-up.
+        for y in (0..self.height).rev() {
+            for x in 0..self.width {
+                let id = self.pixels[y * self.width + x];
+                out.extend_from_slice(&Self::color(id));
+            }
+        }
+        out
+    }
+
+    /// Deterministic color for a class id (background `0` is white).
+    #[must_use]
+    pub fn color(id: u32) -> [u8; 3] {
+        if id == 0 {
+            return [255, 255, 255];
+        }
+        // splitmix-style hash for well-spread colors
+        let mut z = u64::from(id).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let z = z ^ (z >> 31);
+        [(z & 0xff) as u8 | 0x20, ((z >> 8) & 0xff) as u8 | 0x20, ((z >> 16) & 0xff) as u8 | 0x20]
+    }
+
+    /// Renders the raster as ASCII art, one character per pixel (top row
+    /// first): `.` for background, letters cycling by class id.
+    #[must_use]
+    pub fn to_ascii(&self) -> String {
+        let mut s = String::with_capacity((self.width + 1) * self.height);
+        for y in (0..self.height).rev() {
+            for x in 0..self.width {
+                let id = self.pixels[y * self.width + x];
+                s.push(if id == 0 {
+                    '.'
+                } else {
+                    char::from(b'a' + ((id - 1) % 26) as u8)
+                });
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl fmt::Display for Raster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ascii())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bbox_of(r: &Raster, id: u32) -> Option<(usize, usize, usize, usize)> {
+        let mut bb: Option<(usize, usize, usize, usize)> = None;
+        for y in 0..r.height() {
+            for x in 0..r.width() {
+                if r.get(x, y).unwrap() == id {
+                    bb = Some(match bb {
+                        None => (x, x + 1, y, y + 1),
+                        Some((xb, xe, yb, ye)) => {
+                            (xb.min(x), xe.max(x + 1), yb.min(y), ye.max(y + 1))
+                        }
+                    });
+                }
+            }
+        }
+        bb
+    }
+
+    #[test]
+    fn construction_and_bounds() {
+        assert!(Raster::new(0, 5).is_err());
+        let mut r = Raster::new(4, 3).unwrap();
+        assert_eq!((r.width(), r.height()), (4, 3));
+        assert!(r.get(4, 0).is_err());
+        assert!(r.set(0, 3, 1).is_err());
+        r.set(3, 2, 9).unwrap();
+        assert_eq!(r.get(3, 2).unwrap(), 9);
+    }
+
+    #[test]
+    fn fill_rect_half_open() {
+        let mut r = Raster::new(8, 8).unwrap();
+        r.fill_rect(2, 5, 1, 4, 3).unwrap();
+        assert_eq!(r.count_id(3), 9);
+        assert_eq!(r.get(2, 1).unwrap(), 3);
+        assert_eq!(r.get(4, 3).unwrap(), 3);
+        assert_eq!(r.get(5, 3).unwrap(), 0);
+        assert_eq!(r.get(4, 4).unwrap(), 0);
+        assert!(r.fill_rect(0, 9, 0, 2, 1).is_err());
+    }
+
+    #[test]
+    fn all_shapes_span_their_mbr() {
+        for shape in Shape::ALL {
+            for (xb, xe, yb, ye) in [(0, 10, 0, 6), (3, 4, 2, 9), (1, 3, 1, 3), (0, 2, 0, 2)] {
+                let mut r = Raster::new(12, 12).unwrap();
+                r.fill_shape(shape, xb, xe, yb, ye, 5).unwrap();
+                assert_eq!(
+                    bbox_of(&r, 5),
+                    Some((xb, xe, yb, ye)),
+                    "{shape:?} MBR ({xb},{xe},{yb},{ye})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_stay_inside_mbr() {
+        for shape in Shape::ALL {
+            let mut r = Raster::new(16, 16).unwrap();
+            r.fill_shape(shape, 4, 12, 5, 11, 2).unwrap();
+            for y in 0..16 {
+                for x in 0..16 {
+                    if r.get(x, y).unwrap() == 2 {
+                        assert!((4..12).contains(&x) && (5..11).contains(&y), "{shape:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ellipse_is_smaller_than_rect() {
+        let mut rect = Raster::new(20, 20).unwrap();
+        rect.fill_shape(Shape::Rectangle, 0, 20, 0, 20, 1).unwrap();
+        let mut ell = Raster::new(20, 20).unwrap();
+        ell.fill_shape(Shape::Ellipse, 0, 20, 0, 20, 1).unwrap();
+        assert!(ell.count_id(1) < rect.count_id(1));
+        assert!(ell.count_id(1) > rect.count_id(1) / 2, "ellipse ~ π/4 of rect");
+    }
+
+    #[test]
+    fn fill_shape_validates() {
+        let mut r = Raster::new(8, 8).unwrap();
+        assert!(r.fill_shape(Shape::Ellipse, 0, 9, 0, 4, 1).is_err());
+        assert!(r.fill_shape(Shape::Diamond, 3, 3, 0, 4, 1).is_err());
+    }
+
+    #[test]
+    fn ppm_has_header_and_size() {
+        let mut r = Raster::new(3, 2).unwrap();
+        r.set(0, 0, 1).unwrap();
+        let ppm = r.to_ppm();
+        assert!(ppm.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(ppm.len(), b"P6\n3 2\n255\n".len() + 3 * 2 * 3);
+        // bottom-left pixel is the LAST row in PPM order
+        let body = &ppm[b"P6\n3 2\n255\n".len()..];
+        assert_ne!(&body[9..12], &[255, 255, 255], "painted pixel not white");
+        assert_eq!(&body[0..3], &[255, 255, 255], "top row is background");
+    }
+
+    #[test]
+    fn colors_are_deterministic_and_distinct() {
+        assert_eq!(Raster::color(0), [255, 255, 255]);
+        assert_eq!(Raster::color(7), Raster::color(7));
+        assert_ne!(Raster::color(1), Raster::color(2));
+    }
+
+    #[test]
+    fn ascii_renders_top_down() {
+        let mut r = Raster::new(3, 2).unwrap();
+        r.set(0, 0, 1).unwrap(); // bottom-left => last ASCII row
+        r.set(2, 1, 2).unwrap(); // top-right => first ASCII row
+        assert_eq!(r.to_ascii(), "..b\na..\n");
+        assert_eq!(r.to_string(), r.to_ascii());
+    }
+}

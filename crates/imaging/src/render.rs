@@ -1,0 +1,152 @@
+//! Painting symbolic scenes into rasters — the synthetic "original image"
+//! generator.
+
+use crate::{ClassPalette, Raster, Shape};
+use be2d_geometry::Scene;
+
+/// Renders a scene into a raster, painting every object with the same
+/// shape (later objects overdraw earlier ones).
+///
+/// The raster has one pixel per scene coordinate unit, so MBRs map
+/// exactly onto pixel blocks.
+///
+/// # Panics
+///
+/// Panics if the scene frame exceeds `usize` (not reachable for validated
+/// scenes on 64-bit targets).
+#[must_use]
+pub fn render_scene(scene: &Scene, palette: &mut ClassPalette, shape: Shape) -> Raster {
+    render_scene_with_shapes(scene, palette, &mut |_| shape)
+}
+
+/// Renders a scene with a per-object shape choice.
+///
+/// `shape_of` receives the object index (in scene id order) and returns
+/// the silhouette to paint.
+#[must_use]
+pub fn render_scene_with_shapes(
+    scene: &Scene,
+    palette: &mut ClassPalette,
+    shape_of: &mut dyn FnMut(usize) -> Shape,
+) -> Raster {
+    let mut raster = Raster::new(scene.width() as usize, scene.height() as usize)
+        .expect("validated scenes have positive frames");
+    for (i, obj) in scene.iter().enumerate() {
+        let id = palette.id_for(obj.class());
+        let m = obj.mbr();
+        raster
+            .fill_shape(
+                shape_of(i),
+                m.x_begin() as usize,
+                m.x_end() as usize,
+                m.y_begin() as usize,
+                m.y_end() as usize,
+                id,
+            )
+            .expect("validated scenes fit their frame");
+    }
+    raster
+}
+
+/// Renders a scene directly to ASCII art (for the demonstration system
+/// and terminal debugging) without keeping the raster.
+#[must_use]
+pub fn scene_ascii(scene: &Scene) -> String {
+    let mut palette = ClassPalette::new();
+    render_scene(scene, &mut palette, Shape::Rectangle).to_ascii()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract_scene;
+    use be2d_geometry::SceneBuilder;
+
+    #[test]
+    fn render_extract_roundtrip_rectangles() {
+        let scene = SceneBuilder::new(40, 30)
+            .object("A", (2, 10, 2, 10))
+            .object("B", (15, 35, 5, 25))
+            .object("C", (12, 14, 12, 29))
+            .build()
+            .unwrap();
+        let mut palette = ClassPalette::new();
+        let raster = render_scene(&scene, &mut palette, Shape::Rectangle);
+        let recovered = extract_scene(&raster, &palette, 1).unwrap();
+        assert_eq!(recovered.len(), 3);
+        for (orig, rec) in scene.iter().zip(recovered.iter()) {
+            assert_eq!(orig.class(), rec.class());
+            assert_eq!(orig.mbr(), rec.mbr());
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_mbr_for_all_shapes() {
+        for shape in Shape::ALL {
+            let scene = SceneBuilder::new(50, 50)
+                .object("A", (3, 20, 3, 20))
+                .object("B", (25, 45, 30, 48))
+                .build()
+                .unwrap();
+            let mut palette = ClassPalette::new();
+            let raster = render_scene(&scene, &mut palette, shape);
+            let recovered = extract_scene(&raster, &palette, 1).unwrap();
+            assert_eq!(recovered.len(), 2, "{shape:?}");
+            for (orig, rec) in scene.iter().zip(recovered.iter()) {
+                assert_eq!(orig.mbr(), rec.mbr(), "{shape:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_shape_is_one_component_at_awkward_aspect_ratios() {
+        for shape in Shape::ALL {
+            for (xe, ye) in [(30, 4), (4, 30), (3, 3), (2, 9), (29, 28)] {
+                let scene = SceneBuilder::new(32, 32)
+                    .object("A", (1, xe, 1, ye))
+                    .build()
+                    .unwrap();
+                let mut palette = ClassPalette::new();
+                let raster = render_scene(&scene, &mut palette, shape);
+                let recovered = extract_scene(&raster, &palette, 1).unwrap();
+                assert_eq!(recovered.len(), 1, "{shape:?} at ({xe},{ye}) fragmented");
+                assert_eq!(
+                    recovered.objects()[0].mbr(),
+                    scene.objects()[0].mbr(),
+                    "{shape:?} at ({xe},{ye})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_object_shapes() {
+        let scene = SceneBuilder::new(30, 30)
+            .object("A", (0, 10, 0, 10))
+            .object("B", (15, 29, 15, 29))
+            .build()
+            .unwrap();
+        let mut palette = ClassPalette::new();
+        let shapes = [Shape::Rectangle, Shape::Ellipse];
+        let raster = render_scene_with_shapes(&scene, &mut palette, &mut |i| shapes[i]);
+        // rectangle fills its MBR fully, ellipse does not
+        assert_eq!(raster.count_id(1), 100);
+        assert!(raster.count_id(2) < 14 * 14);
+    }
+
+    #[test]
+    fn ascii_shows_objects() {
+        let scene = SceneBuilder::new(6, 4).object("A", (0, 2, 0, 2)).build().unwrap();
+        let art = scene_ascii(&scene);
+        assert_eq!(art, "......\n......\naa....\naa....\n");
+    }
+
+    #[test]
+    fn empty_scene_renders_blank() {
+        let scene = be2d_geometry::Scene::new(4, 4).unwrap();
+        let mut palette = ClassPalette::new();
+        let raster = render_scene(&scene, &mut palette, Shape::Rectangle);
+        assert_eq!(raster.count_id(0), 16);
+        assert!(palette.is_empty());
+    }
+}

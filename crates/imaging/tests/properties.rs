@@ -1,0 +1,119 @@
+//! Property tests of the raster substrate: render→extract round trips
+//! and noise behaviour on randomised scenes.
+
+use be2d_imaging::{
+    erode_boundaries, extract_components, extract_scene, render_scene, salt_and_pepper,
+    ClassPalette, NoiseRng, Raster, Shape,
+};
+use be2d_geometry::{ObjectClass, Rect, Scene};
+use proptest::prelude::*;
+
+const CLASS_NAMES: [&str; 4] = ["A", "B", "C", "D"];
+
+/// Scenes with non-overlapping, non-touching rectangles (1px halo), the
+/// regime where recognition is exact.
+fn arb_sparse_scene() -> impl Strategy<Value = Scene> {
+    prop::collection::vec((0usize..CLASS_NAMES.len(), 0usize..5, 0usize..4), 0..10).prop_map(
+        |cells| {
+            // place objects on an 8-column x 6-row grid of 12x12 cells in
+            // a 100x80 frame; duplicate cells collapse via a set
+            let mut scene = Scene::new(100, 80).expect("frame");
+            let mut used = std::collections::HashSet::new();
+            for (class_idx, col, row) in cells {
+                if !used.insert((col, row)) {
+                    continue;
+                }
+                let (x0, y0) = (col as i64 * 12 + 1, row as i64 * 12 + 1);
+                scene
+                    .add(
+                        ObjectClass::new(CLASS_NAMES[class_idx]),
+                        Rect::new(x0, x0 + 10, y0, y0 + 10).expect("cell rect"),
+                    )
+                    .expect("fits");
+            }
+            scene
+        },
+    )
+}
+
+proptest! {
+    /// For sparse rectangle scenes the pipeline is lossless: same object
+    /// count, same classes, identical MBRs (order may differ).
+    #[test]
+    fn render_extract_is_lossless(scene in arb_sparse_scene()) {
+        let mut palette = ClassPalette::new();
+        let raster = render_scene(&scene, &mut palette, Shape::Rectangle);
+        let recovered = extract_scene(&raster, &palette, 1).expect("extraction");
+        prop_assert_eq!(recovered.len(), scene.len());
+        let key = |s: &Scene| {
+            let mut v: Vec<_> = s
+                .iter()
+                .map(|o| (o.class().name().to_owned(), o.mbr()))
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(key(&recovered), key(&scene));
+    }
+
+    /// Every painted shape stays inside its MBR and spans it exactly,
+    /// regardless of aspect ratio.
+    #[test]
+    fn shapes_span_mbr(
+        shape_idx in 0usize..4,
+        xb in 0usize..20,
+        yb in 0usize..20,
+        w in 1usize..20,
+        h in 1usize..20,
+    ) {
+        let shape = Shape::ALL[shape_idx];
+        let mut raster = Raster::new(48, 48).expect("raster");
+        raster.fill_shape(shape, xb, xb + w, yb, yb + h, 9).expect("paint");
+        let comps = extract_components(&raster, 1);
+        prop_assert_eq!(comps.len(), 1, "{:?} fragmented", shape);
+        prop_assert_eq!(
+            comps[0].bbox,
+            (xb as i64, (xb + w) as i64, yb as i64, (yb + h) as i64)
+        );
+    }
+
+    /// Noise determinism: the same seed corrupts identically; different
+    /// seeds differ (for non-trivial probability).
+    #[test]
+    fn noise_is_deterministic(seed in any::<u64>()) {
+        let base = {
+            let mut r = Raster::new(32, 32).expect("raster");
+            r.fill_rect(4, 28, 4, 28, 1).expect("paint");
+            r
+        };
+        let corrupt = |s: u64| {
+            let mut r = base.clone();
+            let mut rng = NoiseRng::new(s);
+            salt_and_pepper(&mut r, 0.05, 3, &mut rng);
+            erode_boundaries(&mut r, 0.5, &mut rng);
+            r
+        };
+        prop_assert_eq!(corrupt(seed), corrupt(seed));
+    }
+
+    /// Erosion only ever clears pixels (monotone shrinking), so the
+    /// extracted MBR never grows.
+    #[test]
+    fn erosion_never_grows_mbr(seed in any::<u64>(), rounds in 1usize..4) {
+        let mut raster = Raster::new(40, 40).expect("raster");
+        raster.fill_rect(8, 32, 10, 30, 1).expect("paint");
+        let before = extract_components(&raster, 1)[0].bbox;
+        let mut rng = NoiseRng::new(seed);
+        for _ in 0..rounds {
+            erode_boundaries(&mut raster, 0.6, &mut rng);
+        }
+        match extract_components(&raster, 1).first() {
+            Some(comp) => {
+                let after = comp.bbox;
+                prop_assert!(after.0 >= before.0 && after.1 <= before.1);
+                prop_assert!(after.2 >= before.2 && after.3 <= before.3);
+            }
+            None => { /* fully eroded is legal */ }
+        }
+    }
+}

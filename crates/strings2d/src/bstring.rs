@@ -1,0 +1,207 @@
+//! The 2D B-string of Lee, Yang & Chen (1992).
+//!
+//! The B-string drops cutting entirely: each object contributes a begin
+//! and an end boundary symbol per axis, and the only spatial operator kept
+//! is `=`, asserting that two adjacent symbols project to the *same*
+//! coordinate. Symbols not joined by `=` are implicitly ordered.
+//!
+//! The 2D BE-string (the paper's contribution, `be2d-core`) inverts this
+//! convention: it marks *distinct* projections with a dummy object instead
+//! of marking *identical* ones with an operator — which is what makes
+//! rotation/reflection retrieval a pure string reversal and removes
+//! operators from the LCS alphabet.
+
+use be2d_geometry::{ObjectClass, Scene};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One element of a B-string: a boundary symbol, possibly `=`-joined to
+/// its predecessor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BSymbol {
+    /// The object class.
+    pub class: ObjectClass,
+    /// `true` for a begin boundary, `false` for an end boundary.
+    pub is_begin: bool,
+    /// Whether this symbol projects to the same coordinate as the previous
+    /// symbol (rendered as a leading `=`).
+    pub equals_previous: bool,
+}
+
+impl fmt::Display for BSymbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.equals_previous {
+            f.write_str("= ")?;
+        }
+        write!(f, "{}_{}", self.class, if self.is_begin { "b" } else { "e" })
+    }
+}
+
+/// A 2D B-string: per-axis sorted boundary symbols with `=` markers.
+///
+/// # Example
+///
+/// ```
+/// use be2d_strings2d::BString;
+/// use be2d_geometry::SceneBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let scene = SceneBuilder::new(100, 100)
+///     .object("A", (10, 50, 10, 50))
+///     .object("B", (50, 90, 50, 90))
+///     .build()?;
+/// let b = BString::from_scene(&scene);
+/// // A_e and B_b coincide on both axes
+/// assert_eq!(b.render_x(), "A_b A_e = B_b B_e");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BString {
+    x: Vec<BSymbol>,
+    y: Vec<BSymbol>,
+}
+
+impl BString {
+    /// Builds the 2D B-string of a scene.
+    ///
+    /// Boundary events are sorted per axis by `(coordinate, end-before-
+    /// begin, class)` — the same canonical order the BE-string uses — and
+    /// `=` joins symbols with identical coordinates.
+    #[must_use]
+    pub fn from_scene(scene: &Scene) -> BString {
+        BString { x: Self::axis(scene, true), y: Self::axis(scene, false) }
+    }
+
+    fn axis(scene: &Scene, x_axis: bool) -> Vec<BSymbol> {
+        let mut events: Vec<(i64, u8, &ObjectClass, bool)> = Vec::with_capacity(2 * scene.len());
+        for o in scene {
+            let iv = if x_axis { o.mbr().x() } else { o.mbr().y() };
+            events.push((iv.begin(), 1, o.class(), true));
+            events.push((iv.end(), 0, o.class(), false));
+        }
+        events.sort_by(|a, b| {
+            (a.0, a.1).cmp(&(b.0, b.1)).then_with(|| a.2.name().cmp(b.2.name()))
+        });
+        let mut out = Vec::with_capacity(events.len());
+        let mut prev_coord: Option<i64> = None;
+        for (coord, _, class, is_begin) in events {
+            out.push(BSymbol {
+                class: class.clone(),
+                is_begin,
+                equals_previous: prev_coord == Some(coord),
+            });
+            prev_coord = Some(coord);
+        }
+        out
+    }
+
+    /// X-axis symbols.
+    #[must_use]
+    pub fn x(&self) -> &[BSymbol] {
+        &self.x
+    }
+
+    /// Y-axis symbols.
+    #[must_use]
+    pub fn y(&self) -> &[BSymbol] {
+        &self.y
+    }
+
+    /// Total storage units: `2n` boundary symbols per axis plus one `=`
+    /// operator per coincident pair.
+    #[must_use]
+    pub fn symbol_count(&self) -> usize {
+        let count = |v: &[BSymbol]| v.len() + v.iter().filter(|s| s.equals_previous).count();
+        count(&self.x) + count(&self.y)
+    }
+
+    /// Renders the x-axis string.
+    #[must_use]
+    pub fn render_x(&self) -> String {
+        Self::render(&self.x)
+    }
+
+    /// Renders the y-axis string.
+    #[must_use]
+    pub fn render_y(&self) -> String {
+        Self::render(&self.y)
+    }
+
+    fn render(v: &[BSymbol]) -> String {
+        v.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(" ")
+    }
+}
+
+impl fmt::Display for BString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.render_x(), self.render_y())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use be2d_geometry::SceneBuilder;
+
+    #[test]
+    fn disjoint_objects_have_no_equals() {
+        let scene = SceneBuilder::new(100, 100)
+            .object("A", (0, 10, 0, 10))
+            .object("B", (20, 30, 20, 30))
+            .build()
+            .unwrap();
+        let b = BString::from_scene(&scene);
+        assert_eq!(b.render_x(), "A_b A_e B_b B_e");
+        assert_eq!(b.symbol_count(), 8);
+    }
+
+    #[test]
+    fn coincident_boundaries_get_equals() {
+        let scene = SceneBuilder::new(100, 100)
+            .object("A", (10, 50, 0, 10))
+            .object("B", (50, 90, 0, 10))
+            .build()
+            .unwrap();
+        let b = BString::from_scene(&scene);
+        assert_eq!(b.render_x(), "A_b A_e = B_b B_e");
+        // y: identical projections: B joins A at both boundaries
+        assert_eq!(b.render_y(), "A_b = B_b A_e = B_e");
+        assert_eq!(b.symbol_count(), (4 + 1) + (4 + 2));
+    }
+
+    #[test]
+    fn storage_is_linear_even_with_overlap() {
+        // the pile that blows the G-string up quadratically stays 2n here
+        let mut scene = be2d_geometry::Scene::new(1000, 1000).unwrap();
+        for i in 0..10i64 {
+            scene
+                .add(
+                    be2d_geometry::ObjectClass::new("X"),
+                    be2d_geometry::Rect::new(i, 500 + i, i, 500 + i).unwrap(),
+                )
+                .unwrap();
+        }
+        let b = BString::from_scene(&scene);
+        assert_eq!(b.symbol_count(), 2 * 20, "2n per axis, no coincidences");
+    }
+
+    #[test]
+    fn empty_scene() {
+        let b = BString::from_scene(&be2d_geometry::Scene::new(5, 5).unwrap());
+        assert_eq!(b.symbol_count(), 0);
+        assert_eq!(b.to_string(), "(, )");
+    }
+
+    #[test]
+    fn ends_sort_before_begins_at_same_coordinate() {
+        let scene = SceneBuilder::new(100, 10)
+            .object("A", (0, 50, 0, 10))
+            .object("B", (50, 100, 0, 10))
+            .build()
+            .unwrap();
+        let b = BString::from_scene(&scene);
+        // at x=50: A_e then B_b, joined by '='
+        assert_eq!(b.render_x(), "A_b A_e = B_b B_e");
+    }
+}

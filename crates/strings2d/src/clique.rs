@@ -1,0 +1,337 @@
+//! Exact maximum-clique search — the computational core of the type-0/1/2
+//! similarity framework.
+//!
+//! Every model in the 2-D string family evaluates similarity by building a
+//! compatibility graph over object assignments and finding its **maximum
+//! complete subgraph** (§2/§4 of Wang 2001, citing Sipser for
+//! NP-completeness). We implement Bron–Kerbosch with pivoting and a
+//! best-so-far bound over bitset adjacency rows — a competent exact
+//! solver, so the E3 benchmark compares the LCS against a fair baseline
+//! rather than a strawman.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected graph over vertices `0..n` with bitset adjacency rows.
+///
+/// # Example
+///
+/// ```
+/// use be2d_strings2d::{Graph, max_clique};
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// g.add_edge(0, 2);
+/// g.add_edge(2, 3);
+/// let clique = max_clique(&g);
+/// assert_eq!(clique, vec![0, 1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    words: usize,
+    adj: Vec<u64>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Creates an edgeless graph with `n` vertices.
+    #[must_use]
+    pub fn new(n: usize) -> Graph {
+        let words = n.div_ceil(64);
+        Graph { n, words, adj: vec![0; n * words], edges: 0 }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub const fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no vertices.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub const fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops and duplicates are
+    /// ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        if u == v || self.has_edge(u, v) {
+            return;
+        }
+        self.adj[u * self.words + v / 64] |= 1 << (v % 64);
+        self.adj[v * self.words + u / 64] |= 1 << (u % 64);
+        self.edges += 1;
+    }
+
+    /// Whether the edge `{u, v}` exists.
+    #[must_use]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.n && v < self.n && self.adj[u * self.words + v / 64] & (1 << (v % 64)) != 0
+    }
+
+    /// Degree of vertex `v`.
+    #[must_use]
+    pub fn degree(&self, v: usize) -> usize {
+        self.row(v).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn row(&self, v: usize) -> &[u64] {
+        &self.adj[v * self.words..(v + 1) * self.words]
+    }
+}
+
+/// A set of vertices as a bit vector, sized to the graph.
+#[derive(Clone)]
+struct VSet {
+    words: Vec<u64>,
+}
+
+impl VSet {
+    fn empty(words: usize) -> VSet {
+        VSet { words: vec![0; words] }
+    }
+
+    fn full(n: usize, words: usize) -> VSet {
+        let mut s = VSet { words: vec![u64::MAX; words] };
+        let spare = words * 64 - n;
+        if spare > 0 && words > 0 {
+            s.words[words - 1] >>= spare;
+        }
+        s
+    }
+
+    fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn remove(&mut self, v: usize) {
+        self.words[v / 64] &= !(1 << (v % 64));
+    }
+
+    fn insert(&mut self, v: usize) {
+        self.words[v / 64] |= 1 << (v % 64);
+    }
+
+    fn intersect_row(&self, row: &[u64]) -> VSet {
+        VSet { words: self.words.iter().zip(row).map(|(a, b)| a & b).collect() }
+    }
+
+    fn intersect_row_count(&self, row: &[u64]) -> usize {
+        self.words.iter().zip(row).map(|(a, b)| (a & b).count_ones() as usize).sum()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+/// Finds one maximum clique, returned as a sorted vertex list.
+///
+/// Exact Bron–Kerbosch with pivoting; exponential in the worst case —
+/// which is exactly the point of experiment E3. Practical up to a few
+/// hundred vertices on the compatibility graphs the type-i framework
+/// produces.
+#[must_use]
+pub fn max_clique(g: &Graph) -> Vec<usize> {
+    let words = g.n.div_ceil(64);
+    let mut best: Vec<usize> = Vec::new();
+    let mut r: Vec<usize> = Vec::new();
+    let p = VSet::full(g.n, words);
+    let x = VSet::empty(words);
+    bron_kerbosch(g, &mut r, p, x, &mut best);
+    best.sort_unstable();
+    best
+}
+
+fn bron_kerbosch(g: &Graph, r: &mut Vec<usize>, p: VSet, mut x: VSet, best: &mut Vec<usize>) {
+    if p.is_empty() && x.is_empty() {
+        if r.len() > best.len() {
+            *best = r.clone();
+        }
+        return;
+    }
+    // branch-and-bound: even taking all of P cannot beat the incumbent
+    if r.len() + p.count() <= best.len() {
+        return;
+    }
+    // pivot: vertex of P ∪ X with the most neighbours in P
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .max_by_key(|&u| p.intersect_row_count(g.row(u)))
+        .expect("P ∪ X non-empty");
+    let mut candidates = p.clone();
+    for w in 0..candidates.words.len() {
+        candidates.words[w] &= !g.row(pivot)[w];
+    }
+    let mut p = p;
+    for v in candidates.iter() {
+        r.push(v);
+        bron_kerbosch(g, r, p.intersect_row(g.row(v)), x.intersect_row(g.row(v)), best);
+        r.pop();
+        p.remove(v);
+        x.insert(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(max_clique(&Graph::new(0)), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn singleton_and_edgeless() {
+        assert_eq!(max_clique(&Graph::new(1)), vec![0]);
+        // edgeless graph: any single vertex is a maximum clique
+        assert_eq!(max_clique(&Graph::new(5)).len(), 1);
+    }
+
+    #[test]
+    fn triangle_plus_tail() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        assert_eq!(max_clique(&g), vec![0, 1, 2]);
+        assert_eq!(g.edge_count(), 5);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let n = 20;
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        assert_eq!(max_clique(&g).len(), n);
+        assert_eq!(g.edge_count(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn bipartite_graph_max_clique_is_two() {
+        let mut g = Graph::new(8);
+        for u in 0..4 {
+            for v in 4..8 {
+                g.add_edge(u, v);
+            }
+        }
+        assert_eq!(max_clique(&g).len(), 2);
+    }
+
+    #[test]
+    fn two_cliques_picks_larger() {
+        let mut g = Graph::new(9);
+        for u in 0..4usize {
+            for v in (u + 1)..4 {
+                g.add_edge(u, v);
+            }
+        }
+        for u in 4..9usize {
+            for v in (u + 1)..9 {
+                g.add_edge(u, v);
+            }
+        }
+        assert_eq!(max_clique(&g), vec![4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn duplicate_edges_and_self_loops_ignored() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 1);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn degree() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn crossing_word_boundaries() {
+        // vertices beyond 64 exercise the multi-word bitset paths
+        let n = 130;
+        let mut g = Graph::new(n);
+        // clique on {60..70}
+        for u in 60..70usize {
+            for v in (u + 1)..70 {
+                g.add_edge(u, v);
+            }
+        }
+        g.add_edge(0, 129);
+        assert_eq!(max_clique(&g), (60..70).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clique_result_is_actually_a_clique() {
+        // pseudo-random graph, verify the result pairwise
+        let n = 40usize;
+        let mut g = Graph::new(n);
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if state >> 62 == 0b11 {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        let clique = max_clique(&g);
+        for (i, &u) in clique.iter().enumerate() {
+            for &v in &clique[i + 1..] {
+                assert!(g.has_edge(u, v), "{u} and {v} not adjacent");
+            }
+        }
+        assert!(!clique.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex out of range")]
+    fn add_edge_out_of_range_panics() {
+        Graph::new(2).add_edge(0, 5);
+    }
+}

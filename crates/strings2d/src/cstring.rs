@@ -1,0 +1,193 @@
+//! The 2D C-string of Lee & Hsu (1990).
+//!
+//! The C-string keeps the *dominating* object of every overlapping group
+//! whole and cuts only the dominated objects at the dominating object's
+//! end boundary. This removes most of the G-string's superfluous cuts but
+//! is still O(n²) segments in the worst case (§2 of Wang 2001).
+
+use crate::cutting::{cut_minimal, AxisSegments};
+use be2d_geometry::Scene;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 2D C-string: the minimally-cut symbolic projection of a scene.
+///
+/// # Example
+///
+/// ```
+/// use be2d_strings2d::{CString, GString};
+/// use be2d_geometry::SceneBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let scene = SceneBuilder::new(100, 100)
+///     .object("A", (0, 60, 0, 60))
+///     .object("B", (10, 20, 10, 20)) // nested: C-string never cuts it
+///     .object("C", (50, 90, 50, 90)) // partial overlap: cut once per axis
+///     .build()?;
+/// let c = CString::from_scene(&scene);
+/// let g = GString::from_scene(&scene);
+/// assert!(c.segment_count() < g.segment_count());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CString {
+    x: AxisSegments,
+    y: AxisSegments,
+}
+
+impl CString {
+    /// Builds the C-string of a scene with the minimal-cut sweep on both
+    /// axes.
+    #[must_use]
+    pub fn from_scene(scene: &Scene) -> CString {
+        let xs: Vec<_> =
+            scene.iter().map(|o| (o.id(), o.class().clone(), o.mbr().x())).collect();
+        let ys: Vec<_> =
+            scene.iter().map(|o| (o.id(), o.class().clone(), o.mbr().y())).collect();
+        CString {
+            x: AxisSegments::new(cut_minimal(&xs)),
+            y: AxisSegments::new(cut_minimal(&ys)),
+        }
+    }
+
+    /// Segments of the x-axis.
+    #[must_use]
+    pub fn x(&self) -> &AxisSegments {
+        &self.x
+    }
+
+    /// Segments of the y-axis.
+    #[must_use]
+    pub fn y(&self) -> &AxisSegments {
+        &self.y
+    }
+
+    /// Total number of segments over both axes (experiment E2's storage
+    /// metric).
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.x.len() + self.y.len()
+    }
+}
+
+impl fmt::Display for CString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GString;
+    use be2d_geometry::{ObjectClass, Rect, SceneBuilder};
+
+    #[test]
+    fn disjoint_scene_has_2n_segments() {
+        let scene = SceneBuilder::new(100, 100)
+            .object("A", (0, 10, 0, 10))
+            .object("B", (20, 30, 20, 30))
+            .build()
+            .unwrap();
+        assert_eq!(CString::from_scene(&scene).segment_count(), 4);
+    }
+
+    #[test]
+    fn nested_objects_never_cut() {
+        let scene = SceneBuilder::new(100, 100)
+            .object("A", (0, 90, 0, 90))
+            .object("B", (10, 50, 10, 50))
+            .object("C", (20, 40, 20, 40))
+            .build()
+            .unwrap();
+        let c = CString::from_scene(&scene);
+        assert_eq!(c.segment_count(), 6, "pure nesting needs no cuts");
+        // while the G-string cuts the outer objects at every inner boundary
+        assert!(GString::from_scene(&scene).segment_count() > 6);
+    }
+
+    #[test]
+    fn partial_overlap_cuts_dominated_only() {
+        let scene = SceneBuilder::new(100, 100)
+            .object("A", (0, 60, 0, 10))
+            .object("B", (40, 90, 0, 10))
+            .build()
+            .unwrap();
+        let c = CString::from_scene(&scene);
+        // x: A whole, B cut at 60 -> 3; y: identical projections -> 2
+        assert_eq!(c.x().len(), 3);
+        assert_eq!(c.y().len(), 2);
+    }
+
+    #[test]
+    fn c_at_most_g_on_random_like_scenes() {
+        let specs: Vec<Vec<(i64, i64, i64, i64)>> = vec![
+            vec![(0, 30, 0, 30), (10, 50, 20, 60), (40, 80, 50, 90), (5, 95, 5, 95)],
+            vec![(0, 10, 0, 10), (0, 10, 0, 10), (5, 15, 5, 15)],
+            vec![(0, 100, 0, 100), (10, 20, 10, 20), (30, 40, 30, 40)],
+        ];
+        for spec in specs {
+            let mut scene = be2d_geometry::Scene::new(100, 100).unwrap();
+            for (i, (xb, xe, yb, ye)) in spec.iter().enumerate() {
+                scene
+                    .add(
+                        ObjectClass::new(["A", "B", "C", "D"][i % 4]),
+                        Rect::new(*xb, *xe, *yb, *ye).unwrap(),
+                    )
+                    .unwrap();
+            }
+            let c = CString::from_scene(&scene).segment_count();
+            let g = GString::from_scene(&scene).segment_count();
+            assert!(c <= g, "C {c} > G {g}");
+        }
+    }
+
+    #[test]
+    fn nested_chain_with_spanners_is_quadratic() {
+        // The C-string worst case: a nested chain of "cover" intervals
+        // Y_i = [10i, 400-10i] plus spanning intervals X_m that begin
+        // inside every Y and end beyond all of them. Each Y_i in turn
+        // dominates the leading piece of every X_m and cuts it at its own
+        // end boundary, so every X accumulates one cut per Y: O(n²)
+        // segments from 2k objects.
+        let k = 8i64;
+        let mut scene = be2d_geometry::Scene::new(1000, 1000).unwrap();
+        for i in 0..k {
+            scene
+                .add(
+                    ObjectClass::new("Y"),
+                    Rect::new(10 * i, 400 - 10 * i, 5 * i, 5 * i + 4).unwrap(),
+                )
+                .unwrap();
+        }
+        for m in 0..k {
+            scene
+                .add(
+                    ObjectClass::new("X"),
+                    Rect::new(100 + 10 * m, 500 + 10 * m, 500 + 5 * m, 500 + 5 * m + 4)
+                        .unwrap(),
+                )
+                .unwrap();
+        }
+        let c = CString::from_scene(&scene);
+        let (n, k) = ((2 * k) as usize, k as usize);
+        // k whole Ys + k Xs in (k+1) pieces each on the x-axis
+        assert_eq!(c.x().len(), k + k * (k + 1), "n={n}");
+        assert!(c.x().len() >= n * n / 4, "quadratic lower bound");
+        // y-axis stays linear (all projections disjoint)
+        assert_eq!(c.y().len(), n);
+    }
+
+    #[test]
+    fn empty_scene() {
+        let c = CString::from_scene(&be2d_geometry::Scene::new(5, 5).unwrap());
+        assert_eq!(c.segment_count(), 0);
+    }
+
+    #[test]
+    fn display_contains_both_axes() {
+        let scene = SceneBuilder::new(50, 50).object("A", (0, 10, 5, 15)).build().unwrap();
+        assert_eq!(CString::from_scene(&scene).to_string(), "(A#0[0, 10), A#0[5, 15))");
+    }
+}

@@ -1,0 +1,379 @@
+//! The cutting machinery shared by the 2D G-string and 2D C-string.
+//!
+//! Both models segment objects along MBR boundaries so that the resulting
+//! pieces have only "global" pairwise relations (disjoint / edge-to-edge /
+//! same position). They differ in *which* boundaries cut: the G-string
+//! cuts every object at **every** boundary point of every object, the
+//! C-string cuts only at the end boundary of the *dominating* object of an
+//! overlapping group. The paper's §2 cites this segmentation blow-up —
+//! O(n²) pieces in the worst case — as a core weakness the BE-string
+//! avoids.
+
+use be2d_geometry::{Interval, ObjectClass, ObjectId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One segment of a cut object on one axis.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Segment {
+    /// The object this segment is a piece of.
+    pub id: ObjectId,
+    /// The object's class (duplicated here for display convenience).
+    pub class: ObjectClass,
+    /// The sub-interval covered by this segment.
+    pub extent: Interval,
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}", self.class, self.id, self.extent)
+    }
+}
+
+/// The segments of all objects on one axis, sorted by `(begin, end)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AxisSegments {
+    segments: Vec<Segment>,
+}
+
+impl AxisSegments {
+    pub(crate) fn new(mut segments: Vec<Segment>) -> AxisSegments {
+        segments.sort_by_key(|s| (s.extent.begin(), s.extent.end(), s.id));
+        AxisSegments { segments }
+    }
+
+    /// The segments in sorted order.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of segments — the storage metric of experiment E2.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether there are no segments.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+impl AxisSegments {
+    /// Renders the segments as an operator string in the classic
+    /// G-/C-string notation: consecutive segments are joined by `<`
+    /// (disjoint), `|` (edge-to-edge), `=` (identical extent), `[`
+    /// (same begin), `]` (same end), `%` (containment) or `/` (partial
+    /// overlap). After G-string cutting only the *global* operators
+    /// (`<`, `|`, `=`, `[`) can appear; the C-string keeps nested
+    /// segments, so the local operators show up too.
+    #[must_use]
+    pub fn render_with_operators(&self) -> String {
+        let mut out = String::new();
+        for (i, s) in self.segments.iter().enumerate() {
+            if i > 0 {
+                let prev = &self.segments[i - 1].extent;
+                let cur = &s.extent;
+                let op = if prev == cur {
+                    "="
+                } else if prev.end() < cur.begin() {
+                    "<"
+                } else if prev.end() == cur.begin() {
+                    "|"
+                } else if prev.begin() == cur.begin() {
+                    "["
+                } else if prev.end() == cur.end() {
+                    "]"
+                } else if prev.contains(cur) || cur.contains(prev) {
+                    "%"
+                } else {
+                    "/"
+                };
+                out.push_str(&format!(" {op} "));
+            }
+            out.push_str(&format!("{}{}", s.class, s.id));
+        }
+        out
+    }
+}
+
+impl fmt::Display for AxisSegments {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.segments.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Cuts every interval at every *other* boundary point strictly inside it
+/// — the G-string rule. Returns the segments of each input in order.
+pub(crate) fn cut_at_all_boundaries(
+    intervals: &[(ObjectId, ObjectClass, Interval)],
+) -> Vec<Segment> {
+    // collect all boundary coordinates
+    let mut cuts: Vec<i64> = intervals
+        .iter()
+        .flat_map(|(_, _, iv)| [iv.begin(), iv.end()])
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let mut out = Vec::new();
+    for (id, class, iv) in intervals {
+        let inner: Vec<i64> = cuts
+            .iter()
+            .copied()
+            .filter(|c| *c > iv.begin() && *c < iv.end())
+            .collect();
+        let mut begin = iv.begin();
+        for c in inner {
+            out.push(Segment {
+                id: *id,
+                class: class.clone(),
+                extent: Interval::new(begin, c).expect("cut point strictly inside"),
+            });
+            begin = c;
+        }
+        out.push(Segment {
+            id: *id,
+            class: class.clone(),
+            extent: Interval::new(begin, iv.end()).expect("tail segment non-empty"),
+        });
+    }
+    out
+}
+
+/// Cuts intervals with the C-string minimal-cut rule: process by
+/// `(begin asc, end desc)`; the *dominating* object (earliest begin,
+/// longest extent) stays whole, and any object that **partially overlaps**
+/// it (extends past its end) is cut at the dominating end boundary, with
+/// the right part re-entering the sweep. Nested objects are never cut.
+pub(crate) fn cut_minimal(intervals: &[(ObjectId, ObjectClass, Interval)]) -> Vec<Segment> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // min-heap on (begin asc, end desc) via Reverse of (begin, Reverse(end));
+    // the payload index resolves id/class and breaks ties deterministically.
+    let mut payload: Vec<(ObjectId, ObjectClass)> =
+        intervals.iter().map(|(id, class, _)| (*id, class.clone())).collect();
+    let mut heap: BinaryHeap<Reverse<(i64, Reverse<i64>, usize)>> = intervals
+        .iter()
+        .enumerate()
+        .map(|(i, (_, _, iv))| Reverse((iv.begin(), Reverse(iv.end()), i)))
+        .collect();
+
+    let mut out = Vec::new();
+    while let Some(Reverse((begin, Reverse(end), idx))) = heap.pop() {
+        // The popped interval dominates everything that begins inside it:
+        // it is emitted whole, and overlappers that extend past its end are
+        // cut there. Nested intervals stay queued — they become dominating
+        // pieces of their own later (the rule applies recursively).
+        let (id, class) = payload[idx].clone();
+        out.push(Segment {
+            id,
+            class,
+            extent: Interval::new(begin, end).expect("heap intervals non-empty"),
+        });
+
+        let mut stash: Vec<Reverse<(i64, Reverse<i64>, usize)>> = Vec::new();
+        while let Some(&Reverse((b2, Reverse(e2), i2))) = heap.peek() {
+            if b2 >= end {
+                break;
+            }
+            heap.pop();
+            if e2 > end {
+                // partial overlap: left part [b2, end), right part [end, e2)
+                stash.push(Reverse((b2, Reverse(end), i2)));
+                payload.push(payload[i2].clone());
+                stash.push(Reverse((end, Reverse(e2), payload.len() - 1)));
+            } else {
+                // nested: untouched, re-queued for its own turn
+                stash.push(Reverse((b2, Reverse(e2), i2)));
+            }
+        }
+        heap.extend(stash);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(b: i64, e: i64) -> Interval {
+        Interval::new(b, e).unwrap()
+    }
+
+    fn inputs(spec: &[(&str, i64, i64)]) -> Vec<(ObjectId, ObjectClass, Interval)> {
+        spec.iter()
+            .enumerate()
+            .map(|(i, (c, b, e))| (ObjectId(i), ObjectClass::new(c), iv(*b, *e)))
+            .collect()
+    }
+
+    fn extents(segments: &[Segment]) -> Vec<(usize, i64, i64)> {
+        let mut v: Vec<_> = segments
+            .iter()
+            .map(|s| (s.id.index(), s.extent.begin(), s.extent.end()))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn g_cut_disjoint_objects_stay_whole() {
+        let segs = cut_at_all_boundaries(&inputs(&[("A", 0, 10), ("B", 20, 30)]));
+        assert_eq!(extents(&segs), vec![(0, 0, 10), (1, 20, 30)]);
+    }
+
+    #[test]
+    fn g_cut_partial_overlap_cuts_both() {
+        let segs = cut_at_all_boundaries(&inputs(&[("A", 0, 20), ("B", 10, 30)]));
+        assert_eq!(
+            extents(&segs),
+            vec![(0, 0, 10), (0, 10, 20), (1, 10, 20), (1, 20, 30)]
+        );
+    }
+
+    #[test]
+    fn g_cut_nested_cuts_outer() {
+        let segs = cut_at_all_boundaries(&inputs(&[("A", 0, 30), ("B", 10, 20)]));
+        assert_eq!(
+            extents(&segs),
+            vec![(0, 0, 10), (0, 10, 20), (0, 20, 30), (1, 10, 20)]
+        );
+    }
+
+    #[test]
+    fn g_cut_chain_is_quadratic() {
+        // n pairwise-overlapping intervals: [0,11], [10,21], [20,31]...
+        let n = 8usize;
+        let spec: Vec<(ObjectId, ObjectClass, Interval)> = (0..n)
+            .map(|i| {
+                (
+                    ObjectId(i),
+                    ObjectClass::new("X"),
+                    iv(10 * i as i64, 10 * i as i64 + 11),
+                )
+            })
+            .collect();
+        let segs = cut_at_all_boundaries(&spec);
+        // interior intervals are cut by two neighbours' boundaries each:
+        // 3 segments for interior, 2 for the ends -> 3n - 2
+        assert_eq!(segs.len(), 3 * n - 2);
+    }
+
+    #[test]
+    fn c_cut_disjoint_objects_stay_whole() {
+        let segs = cut_minimal(&inputs(&[("A", 0, 10), ("B", 20, 30)]));
+        assert_eq!(extents(&segs), vec![(0, 0, 10), (1, 20, 30)]);
+    }
+
+    #[test]
+    fn c_cut_nested_never_cuts() {
+        let segs = cut_minimal(&inputs(&[("A", 0, 30), ("B", 10, 20), ("C", 12, 18)]));
+        assert_eq!(extents(&segs), vec![(0, 0, 30), (1, 10, 20), (2, 12, 18)]);
+    }
+
+    #[test]
+    fn c_cut_partial_overlap_cuts_only_dominated() {
+        let segs = cut_minimal(&inputs(&[("A", 0, 20), ("B", 10, 30)]));
+        // A (dominating) stays whole; B is cut at 20
+        assert_eq!(extents(&segs), vec![(0, 0, 20), (1, 10, 20), (1, 20, 30)]);
+    }
+
+    #[test]
+    fn c_cut_applies_recursively_inside_nests() {
+        // B and C are nested in A, but C extends past B's end: the rule
+        // applies recursively, so C is cut at 25.
+        let segs = cut_minimal(&inputs(&[("A", 0, 30), ("B", 10, 25), ("C", 20, 28)]));
+        assert_eq!(
+            extents(&segs),
+            vec![(0, 0, 30), (1, 10, 25), (2, 20, 25), (2, 25, 28)]
+        );
+    }
+
+    #[test]
+    fn c_cut_never_more_than_g_cut() {
+        let cases: Vec<Vec<(&str, i64, i64)>> = vec![
+            vec![("A", 0, 20), ("B", 10, 30), ("C", 15, 40)],
+            vec![("A", 0, 50), ("B", 10, 20), ("C", 30, 60)],
+            vec![("A", 0, 10), ("B", 0, 10), ("C", 5, 15)],
+        ];
+        for spec in cases {
+            let input = inputs(&spec);
+            let g = cut_at_all_boundaries(&input).len();
+            let c = cut_minimal(&input).len();
+            assert!(c <= g, "C-string must cut no more than G-string: {c} vs {g}");
+        }
+    }
+
+    #[test]
+    fn cuts_preserve_coverage() {
+        // every original interval is exactly tiled by its segments
+        let input = inputs(&[("A", 0, 20), ("B", 10, 30), ("C", 5, 40), ("D", 25, 28)]);
+        for cut in [cut_at_all_boundaries(&input), cut_minimal(&input)] {
+            for (id, _, iv) in &input {
+                let mut parts: Vec<_> = cut
+                    .iter()
+                    .filter(|s| s.id == *id)
+                    .map(|s| (s.extent.begin(), s.extent.end()))
+                    .collect();
+                parts.sort_unstable();
+                assert_eq!(parts.first().unwrap().0, iv.begin(), "object {id}");
+                assert_eq!(parts.last().unwrap().1, iv.end(), "object {id}");
+                for w in parts.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "gap in tiling of {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn operator_rendering_uses_global_ops_after_g_cut() {
+        // A[0,20] and B[10,30] cut at each other's boundaries
+        let segs = AxisSegments::new(cut_at_all_boundaries(&inputs(&[
+            ("A", 0, 20),
+            ("B", 10, 30),
+        ])));
+        // sorted: A[0,10] | A[10,20] = B[10,20] | B[20,30]... '=' pairs
+        // share the [10,20) extent
+        assert_eq!(segs.render_with_operators(), "A#0 | A#0 = B#1 | B#1");
+    }
+
+    #[test]
+    fn operator_rendering_shows_local_ops_for_c_cut_nesting() {
+        // nested B stays whole under the C-cut -> containment operator
+        let segs = AxisSegments::new(cut_minimal(&inputs(&[("A", 0, 30), ("B", 10, 20)])));
+        assert_eq!(segs.render_with_operators(), "A#0 % B#1");
+    }
+
+    #[test]
+    fn operator_rendering_disjoint_and_meet() {
+        let segs = AxisSegments::new(cut_minimal(&inputs(&[
+            ("A", 0, 10),
+            ("B", 10, 20),
+            ("C", 25, 30),
+        ])));
+        assert_eq!(segs.render_with_operators(), "A#0 | B#1 < C#2");
+    }
+
+    #[test]
+    fn axis_segments_sorts_and_displays() {
+        let segs = AxisSegments::new(cut_at_all_boundaries(&inputs(&[
+            ("B", 10, 30),
+            ("A", 0, 20),
+        ])));
+        assert_eq!(segs.len(), 4);
+        assert!(!segs.is_empty());
+        let first = &segs.segments()[0];
+        assert_eq!(first.extent.begin(), 0);
+        assert!(segs.to_string().contains("A#1[0, 10)"));
+    }
+}

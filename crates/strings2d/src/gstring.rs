@@ -1,0 +1,152 @@
+//! The 2D G-string of Chang, Jungert & Li (1988).
+//!
+//! The generalized 2-D string cuts **every** object along the MBR
+//! boundaries of **every** object, so that any two resulting segments are
+//! related by one of the *global* operators only: `<` (disjoint), `|`
+//! (edge-to-edge) or `=` (same projection). This unifies the relation
+//! vocabulary but, as §2 of Wang 2001 notes, generates superfluous cut
+//! objects — up to O(n²) segments.
+
+use crate::cutting::{cut_at_all_boundaries, AxisSegments};
+use be2d_geometry::Scene;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 2D G-string: the fully-cut symbolic projection of a scene.
+///
+/// # Example
+///
+/// ```
+/// use be2d_strings2d::GString;
+/// use be2d_geometry::SceneBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // two objects overlapping on x: both are cut at each other's
+/// // boundaries -> 2 segments each on x, whole on y.
+/// let scene = SceneBuilder::new(100, 100)
+///     .object("A", (0, 20, 0, 10))
+///     .object("B", (10, 30, 20, 30))
+///     .build()?;
+/// let g = GString::from_scene(&scene);
+/// assert_eq!(g.x().len(), 4);
+/// assert_eq!(g.y().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GString {
+    x: AxisSegments,
+    y: AxisSegments,
+}
+
+impl GString {
+    /// Builds the G-string of a scene by cutting along all boundaries on
+    /// both axes.
+    #[must_use]
+    pub fn from_scene(scene: &Scene) -> GString {
+        let xs: Vec<_> =
+            scene.iter().map(|o| (o.id(), o.class().clone(), o.mbr().x())).collect();
+        let ys: Vec<_> =
+            scene.iter().map(|o| (o.id(), o.class().clone(), o.mbr().y())).collect();
+        GString {
+            x: AxisSegments::new(cut_at_all_boundaries(&xs)),
+            y: AxisSegments::new(cut_at_all_boundaries(&ys)),
+        }
+    }
+
+    /// Segments of the x-axis.
+    #[must_use]
+    pub fn x(&self) -> &AxisSegments {
+        &self.x
+    }
+
+    /// Segments of the y-axis.
+    #[must_use]
+    pub fn y(&self) -> &AxisSegments {
+        &self.y
+    }
+
+    /// Total number of segments over both axes — the storage metric the
+    /// paper contrasts with the BE-string's `≤ 4n+1` symbols (experiment
+    /// E2).
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.x.len() + self.y.len()
+    }
+}
+
+impl fmt::Display for GString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use be2d_geometry::{ObjectClass, Rect, SceneBuilder};
+
+    #[test]
+    fn disjoint_scene_has_2n_segments() {
+        let scene = SceneBuilder::new(100, 100)
+            .object("A", (0, 10, 0, 10))
+            .object("B", (20, 30, 20, 30))
+            .object("C", (40, 50, 40, 50))
+            .build()
+            .unwrap();
+        let g = GString::from_scene(&scene);
+        assert_eq!(g.segment_count(), 6);
+    }
+
+    #[test]
+    fn overlap_chain_explodes_quadratically() {
+        // pairwise overlapping chain on x, disjoint on y
+        let mut scene = be2d_geometry::Scene::new(1000, 1000).unwrap();
+        let n = 16i64;
+        for i in 0..n {
+            scene
+                .add(
+                    ObjectClass::new("X"),
+                    Rect::new(i * 10, i * 10 + 15, i * 20, i * 20 + 5).unwrap(),
+                )
+                .unwrap();
+        }
+        let g = GString::from_scene(&scene);
+        // interior objects are cut by two neighbours' boundaries each on x
+        assert!(g.x().len() >= 3 * (n as usize) - 4, "got {}", g.x().len());
+        assert_eq!(g.y().len(), n as usize);
+    }
+
+    #[test]
+    fn full_pile_is_quadratic() {
+        // all n objects pairwise overlapping: O(n^2) segments
+        let mut scene = be2d_geometry::Scene::new(1000, 1000).unwrap();
+        let n = 10i64;
+        for i in 0..n {
+            scene
+                .add(
+                    ObjectClass::new("X"),
+                    Rect::new(i, 500 + i, i, 500 + i).unwrap(),
+                )
+                .unwrap();
+        }
+        let g = GString::from_scene(&scene);
+        // every object contains n-1 interior boundaries -> n segments each
+        let n = n as usize;
+        assert_eq!(g.x().len(), n * n, "expected quadratic blow-up for n={n}");
+    }
+
+    #[test]
+    fn empty_scene() {
+        let g = GString::from_scene(&be2d_geometry::Scene::new(5, 5).unwrap());
+        assert_eq!(g.segment_count(), 0);
+        assert!(g.x().is_empty());
+    }
+
+    #[test]
+    fn display_contains_both_axes() {
+        let scene = SceneBuilder::new(50, 50).object("A", (0, 10, 5, 15)).build().unwrap();
+        let g = GString::from_scene(&scene);
+        assert_eq!(g.to_string(), "(A#0[0, 10), A#0[5, 15))");
+    }
+}

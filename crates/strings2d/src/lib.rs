@@ -1,0 +1,64 @@
+//! # be2d-strings2d — the 2-D string family baselines
+//!
+//! From-scratch implementations of the spatial-relation models the paper
+//! compares itself against (§2 of Wang 2001):
+//!
+//! * [`TwoDString`] — Chang, Shi & Yan's original 2-D string (1987):
+//!   symbolic projection of object *centroids* with the `<`/`=` operators;
+//! * [`BString`] — Lee, Yang & Chen's 2D B-string (1992): begin/end
+//!   boundary symbols with the single `=` operator, no cutting;
+//! * [`GString`] — Chang, Jungert & Li's generalized 2D G-string (1988):
+//!   objects are **cut along every MBR boundary** of every object, then
+//!   described with global operators — storage blows up to O(n²) segments;
+//! * [`CString`] — Lee & Hsu's 2D C-string (1990): minimal cutting at the
+//!   end boundary of the *dominating* object only; still O(n²) worst case;
+//! * [`typed`] — the type-0/1/2 similarity framework shared by the whole
+//!   family: build the compatibility graph of object assignments and find
+//!   a **maximum clique** ([`clique`]), which is NP-complete — the cost
+//!   the BE-string's O(mn) LCS avoids.
+//!
+//! These exist to regenerate the comparative claims: storage blow-up from
+//! cutting (experiment E2), clique-versus-LCS matching cost (E3) and
+//! retrieval behaviour on partial matches (E4).
+//!
+//! # Example
+//!
+//! ```
+//! use be2d_strings2d::{GString, CString, BString, TwoDString};
+//! use be2d_geometry::SceneBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scene = SceneBuilder::new(100, 100)
+//!     .object("A", (10, 60, 10, 60))
+//!     .object("B", (40, 90, 40, 90))
+//!     .build()?;
+//! let g = GString::from_scene(&scene);
+//! let c = CString::from_scene(&scene);
+//! // the partial overlap forces G- and C-string to cut; C cuts less
+//! assert!(c.segment_count() <= g.segment_count());
+//! assert!(BString::from_scene(&scene).symbol_count() <= g.segment_count() * 2);
+//! assert_eq!(TwoDString::from_scene(&scene).symbol_count(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bstring;
+/// Exact maximum-clique search (Bron–Kerbosch with pivoting).
+pub mod clique;
+mod cstring;
+mod cutting;
+mod gstring;
+mod twod_string;
+/// The type-0/1/2 similarity framework of the 2-D string family.
+pub mod typed;
+
+pub use bstring::BString;
+pub use clique::{max_clique, Graph};
+pub use cstring::CString;
+pub use cutting::{AxisSegments, Segment};
+pub use gstring::GString;
+pub use twod_string::TwoDString;
+pub use typed::{typed_similarity, SimilarityType, TypedSimilarity};

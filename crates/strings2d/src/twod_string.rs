@@ -1,0 +1,200 @@
+//! The original 2-D string of Chang, Shi & Yan (1987).
+//!
+//! The 2-D string reduces each object to a point (we use the MBR centroid,
+//! the usual instantiation) and records the symbolic projection along each
+//! axis with two operators: `<` ("left of" / "below") and `=` ("at the
+//! same position"). It is the ancestor of the whole family; its weakness —
+//! no extent information at all — motivated the G-/C-/B-string line the
+//! paper reviews in §2.
+
+use be2d_geometry::{ObjectClass, Scene};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 2-D string: per axis, the object classes grouped by equal projection
+/// rank; consecutive groups are separated by `<`, members of a group by
+/// `=`.
+///
+/// # Example
+///
+/// ```
+/// use be2d_strings2d::TwoDString;
+/// use be2d_geometry::SceneBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let scene = SceneBuilder::new(100, 100)
+///     .object("A", (0, 20, 0, 20))    // centroid (10, 10)
+///     .object("B", (0, 20, 40, 60))   // centroid (10, 50)
+///     .object("C", (40, 60, 40, 60))  // centroid (50, 50)
+///     .build()?;
+/// let s = TwoDString::from_scene(&scene);
+/// assert_eq!(s.render_x(), "A = B < C");
+/// assert_eq!(s.render_y(), "A < B = C");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoDString {
+    x: Vec<Vec<ObjectClass>>,
+    y: Vec<Vec<ObjectClass>>,
+}
+
+impl TwoDString {
+    /// Builds the 2-D string of a scene from object centroids.
+    #[must_use]
+    pub fn from_scene(scene: &Scene) -> TwoDString {
+        TwoDString { x: Self::axis(scene, true), y: Self::axis(scene, false) }
+    }
+
+    fn axis(scene: &Scene, x_axis: bool) -> Vec<Vec<ObjectClass>> {
+        let mut events: Vec<(i64, &ObjectClass)> = scene
+            .iter()
+            .map(|o| {
+                let c = o.mbr().centroid();
+                (if x_axis { c.x } else { c.y }, o.class())
+            })
+            .collect();
+        events.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.name().cmp(b.1.name())));
+        let mut groups: Vec<Vec<ObjectClass>> = Vec::new();
+        let mut prev: Option<i64> = None;
+        for (coord, class) in events {
+            if prev == Some(coord) {
+                groups.last_mut().expect("group exists").push(class.clone());
+            } else {
+                groups.push(vec![class.clone()]);
+            }
+            prev = Some(coord);
+        }
+        groups
+    }
+
+    /// Rank groups along x (innermost `Vec` = equal projections).
+    #[must_use]
+    pub fn x_groups(&self) -> &[Vec<ObjectClass>] {
+        &self.x
+    }
+
+    /// Rank groups along y.
+    #[must_use]
+    pub fn y_groups(&self) -> &[Vec<ObjectClass>] {
+        &self.y
+    }
+
+    /// The projection rank of each object's class occurrence along x.
+    /// Ranks start at 0 and objects in the same group share a rank.
+    #[must_use]
+    pub fn x_ranks(&self) -> Vec<(ObjectClass, usize)> {
+        Self::ranks(&self.x)
+    }
+
+    /// The projection rank of each object's class occurrence along y.
+    #[must_use]
+    pub fn y_ranks(&self) -> Vec<(ObjectClass, usize)> {
+        Self::ranks(&self.y)
+    }
+
+    fn ranks(groups: &[Vec<ObjectClass>]) -> Vec<(ObjectClass, usize)> {
+        groups
+            .iter()
+            .enumerate()
+            .flat_map(|(rank, group)| group.iter().map(move |c| (c.clone(), rank)))
+            .collect()
+    }
+
+    /// Total symbols (one per object per axis) — the storage metric.
+    #[must_use]
+    pub fn symbol_count(&self) -> usize {
+        self.x.iter().map(Vec::len).sum::<usize>() + self.y.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Renders the x string, e.g. `A = B < C`.
+    #[must_use]
+    pub fn render_x(&self) -> String {
+        Self::render(&self.x)
+    }
+
+    /// Renders the y string.
+    #[must_use]
+    pub fn render_y(&self) -> String {
+        Self::render(&self.y)
+    }
+
+    fn render(groups: &[Vec<ObjectClass>]) -> String {
+        groups
+            .iter()
+            .map(|g| {
+                g.iter().map(|c| c.name().to_owned()).collect::<Vec<_>>().join(" = ")
+            })
+            .collect::<Vec<_>>()
+            .join(" < ")
+    }
+}
+
+impl fmt::Display for TwoDString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.render_x(), self.render_y())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use be2d_geometry::SceneBuilder;
+
+    #[test]
+    fn figure1_style_scene() {
+        let scene = SceneBuilder::new(100, 100)
+            .object("A", (10, 50, 25, 85)) // centroid (30, 55)
+            .object("B", (30, 90, 5, 45))  // centroid (60, 25)
+            .object("C", (50, 70, 45, 65)) // centroid (60, 55)
+            .build()
+            .unwrap();
+        let s = TwoDString::from_scene(&scene);
+        assert_eq!(s.render_x(), "A < B = C");
+        assert_eq!(s.render_y(), "B < A = C");
+        assert_eq!(s.symbol_count(), 6);
+    }
+
+    #[test]
+    fn ranks_share_groups() {
+        let scene = SceneBuilder::new(100, 100)
+            .object("A", (0, 20, 0, 20))
+            .object("B", (0, 20, 40, 60))
+            .build()
+            .unwrap();
+        let s = TwoDString::from_scene(&scene);
+        let xr = s.x_ranks();
+        assert_eq!(xr.len(), 2);
+        assert_eq!(xr[0].1, xr[1].1, "same centroid x -> same rank");
+        let yr = s.y_ranks();
+        assert_ne!(yr[0].1, yr[1].1);
+    }
+
+    #[test]
+    fn empty_scene() {
+        let s = TwoDString::from_scene(&be2d_geometry::Scene::new(5, 5).unwrap());
+        assert_eq!(s.symbol_count(), 0);
+        assert_eq!(s.to_string(), "(, )");
+        assert!(s.x_groups().is_empty() && s.y_groups().is_empty());
+    }
+
+    #[test]
+    fn loses_extent_information() {
+        // nested vs disjoint objects can produce the same 2-D string —
+        // the weakness that motivated the boundary-based successors.
+        let nested = SceneBuilder::new(100, 100)
+            .object("A", (0, 100, 0, 100)) // centroid (50, 50)
+            .object("B", (40, 60, 40, 60)) // centroid (50, 50)
+            .build()
+            .unwrap();
+        let coincident = SceneBuilder::new(100, 100)
+            .object("A", (45, 55, 45, 55))
+            .object("B", (40, 60, 40, 60))
+            .build()
+            .unwrap();
+        assert_eq!(
+            TwoDString::from_scene(&nested),
+            TwoDString::from_scene(&coincident)
+        );
+    }
+}

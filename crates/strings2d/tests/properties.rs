@@ -1,0 +1,170 @@
+//! Property-based tests for the 2-D string family baselines.
+
+use be2d_geometry::{ObjectClass, Rect, Scene};
+use be2d_strings2d::{
+    max_clique, typed_similarity, BString, CString, GString, Graph, SimilarityType, TwoDString,
+};
+use proptest::prelude::*;
+
+const CLASS_NAMES: [&str; 4] = ["A", "B", "C", "D"];
+
+fn arb_rect(w: i64, h: i64) -> impl Strategy<Value = Rect> {
+    (0..w, 0..h).prop_flat_map(move |(xb, yb)| {
+        (1..=w - xb, 1..=h - yb)
+            .prop_map(move |(xw, yw)| Rect::new(xb, xb + xw, yb, yb + yw).expect("non-empty"))
+    })
+}
+
+fn arb_scene(max_objects: usize) -> impl Strategy<Value = Scene> {
+    (10i64..80, 10i64..80).prop_flat_map(move |(w, h)| {
+        prop::collection::vec((arb_rect(w, h), 0..CLASS_NAMES.len()), 0..max_objects).prop_map(
+            move |objs| {
+                let mut scene = Scene::new(w, h).expect("positive frame");
+                for (rect, class_idx) in objs {
+                    scene
+                        .add(ObjectClass::new(CLASS_NAMES[class_idx]), rect)
+                        .expect("in-frame");
+                }
+                scene
+            },
+        )
+    })
+}
+
+proptest! {
+    /// C-string cutting never produces more segments than G-string
+    /// cutting, and both tile each object's projection exactly.
+    #[test]
+    fn cutting_hierarchy_and_coverage(scene in arb_scene(10)) {
+        let g = GString::from_scene(&scene);
+        let c = CString::from_scene(&scene);
+        prop_assert!(c.x().len() <= g.x().len());
+        prop_assert!(c.y().len() <= g.y().len());
+        // every axis has at least one segment per object
+        prop_assert!(g.x().len() >= scene.len());
+        prop_assert!(c.x().len() >= scene.len());
+
+        // segments of each object tile its original interval
+        for (segments, axis_of) in [
+            (g.x(), 0usize), (g.y(), 1), (c.x(), 0), (c.y(), 1),
+        ] {
+            for obj in &scene {
+                let iv = if axis_of == 0 { obj.mbr().x() } else { obj.mbr().y() };
+                let mut parts: Vec<_> = segments
+                    .segments()
+                    .iter()
+                    .filter(|s| s.id == obj.id())
+                    .map(|s| (s.extent.begin(), s.extent.end()))
+                    .collect();
+                parts.sort_unstable();
+                prop_assert_eq!(parts.first().expect("covered").0, iv.begin());
+                prop_assert_eq!(parts.last().expect("covered").1, iv.end());
+                for w in parts.windows(2) {
+                    prop_assert_eq!(w[0].1, w[1].0, "tiling gap");
+                }
+            }
+        }
+    }
+
+    /// Storage comparison invariants: the B-string and 2-D string are
+    /// linear in n, while the cut models are at least as large as the
+    /// B-string's boundary count per axis.
+    #[test]
+    fn storage_relationships(scene in arb_scene(10)) {
+        let n = scene.len();
+        let b = BString::from_scene(&scene);
+        let two_d = TwoDString::from_scene(&scene);
+        prop_assert_eq!(two_d.symbol_count(), 2 * n);
+        prop_assert!(b.symbol_count() >= 4 * n * usize::from(n > 0));
+        prop_assert!(b.symbol_count() <= 4 * n + 2 * 2 * n, "2n symbols + ≤2n '=' per axis");
+        let g = GString::from_scene(&scene);
+        prop_assert!(g.segment_count() >= 2 * n);
+    }
+
+    /// Type-i similarity contracts: self-match is full, match counts obey
+    /// the type hierarchy, and assignments are injective and
+    /// class-consistent.
+    #[test]
+    fn typed_similarity_contracts(q in arb_scene(6), d in arb_scene(6)) {
+        let t0 = typed_similarity(&q, &d, SimilarityType::Type0);
+        let t1 = typed_similarity(&q, &d, SimilarityType::Type1);
+        let t2 = typed_similarity(&q, &d, SimilarityType::Type2);
+        prop_assert!(t2.matched <= t1.matched, "type-2 stricter than type-1");
+        prop_assert!(t1.matched <= t0.matched, "type-1 stricter than type-0");
+        prop_assert!(t0.matched <= q.len().min(d.len()));
+
+        for sim in [&t0, &t1, &t2] {
+            prop_assert_eq!(sim.matched, sim.assignment.len());
+            let mut qs: Vec<_> = sim.assignment.iter().map(|(a, _)| a.index()).collect();
+            let mut ds: Vec<_> = sim.assignment.iter().map(|(_, b)| b.index()).collect();
+            qs.sort_unstable();
+            qs.dedup();
+            ds.sort_unstable();
+            ds.dedup();
+            prop_assert_eq!(qs.len(), sim.assignment.len(), "query side injective");
+            prop_assert_eq!(ds.len(), sim.assignment.len(), "database side injective");
+            for (qi, dj) in &sim.assignment {
+                prop_assert_eq!(
+                    q.objects()[qi.index()].class(),
+                    d.objects()[dj.index()].class()
+                );
+            }
+        }
+
+        // self similarity matches everything at every type
+        for ty in SimilarityType::ALL {
+            prop_assert_eq!(typed_similarity(&q, &q, ty).matched, q.len(), "{}", ty);
+        }
+    }
+
+    /// Operator rendering is total and well-formed: one operator between
+    /// every consecutive segment pair, and G-string output never needs
+    /// the local overlap operator (cutting removed all partial overlaps).
+    #[test]
+    fn operator_rendering_well_formed(scene in arb_scene(8)) {
+        for (axis, is_g) in [
+            (GString::from_scene(&scene).x().clone(), true),
+            (CString::from_scene(&scene).x().clone(), false),
+        ] {
+            let rendered = axis.render_with_operators();
+            if axis.is_empty() {
+                prop_assert!(rendered.is_empty());
+                continue;
+            }
+            let ops = rendered.matches(['<', '|', '=', '[', ']', '%', '/']).count();
+            prop_assert_eq!(ops, axis.len() - 1, "one operator per adjacent pair");
+            if is_g {
+                prop_assert!(
+                    !rendered.contains('/'),
+                    "G-string segments never partially overlap: {}",
+                    rendered
+                );
+            }
+        }
+    }
+
+    /// The clique solver returns an actual clique that no vertex extends.
+    #[test]
+    fn clique_is_maximal(edges in prop::collection::vec((0usize..24, 0usize..24), 0..120)) {
+        let mut g = Graph::new(24);
+        for (u, v) in edges {
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        let clique = max_clique(&g);
+        for (i, &u) in clique.iter().enumerate() {
+            for &v in &clique[i + 1..] {
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+        // maximality: no vertex is adjacent to all clique members
+        for w in 0..g.len() {
+            if clique.contains(&w) {
+                continue;
+            }
+            let extends = clique.iter().all(|&u| g.has_edge(u, w));
+            prop_assert!(!extends, "vertex {} extends the clique", w);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Corpora: seeded collections of scenes standing in for an image
+//! database's content.
+
+use crate::{generate_scene, SceneConfig};
+use be2d_geometry::Scene;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an image within a corpus (and within `be2d-db`
+/// databases built from one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ImageId(pub usize);
+
+impl ImageId {
+    /// The raw index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ImageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "img{}", self.0)
+    }
+}
+
+/// Parameters of a corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of images.
+    pub images: usize,
+    /// Per-scene generation parameters.
+    pub scene: SceneConfig,
+}
+
+/// A seeded collection of scenes with dense [`ImageId`]s.
+///
+/// # Example
+///
+/// ```
+/// use be2d_workload::{Corpus, CorpusConfig, SceneConfig, ImageId};
+///
+/// let corpus = Corpus::generate(
+///     &CorpusConfig { images: 10, scene: SceneConfig::default() },
+///     123,
+/// );
+/// assert_eq!(corpus.len(), 10);
+/// assert_eq!(corpus.scene(ImageId(3)).unwrap().len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    scenes: Vec<Scene>,
+    seed: u64,
+}
+
+impl Corpus {
+    /// Generates a corpus deterministically from a seed.
+    #[must_use]
+    pub fn generate(cfg: &CorpusConfig, seed: u64) -> Corpus {
+        // one RNG per image, derived from the master seed, so corpora are
+        // stable under changes to `images`
+        let scenes = (0..cfg.images)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9e3779b9));
+                generate_scene(&cfg.scene, &mut rng)
+            })
+            .collect();
+        Corpus { scenes, seed }
+    }
+
+    /// Builds a corpus from explicit scenes (used by tests and the demo).
+    #[must_use]
+    pub fn from_scenes(scenes: Vec<Scene>) -> Corpus {
+        Corpus { scenes, seed: 0 }
+    }
+
+    /// The master seed the corpus was generated from.
+    #[must_use]
+    pub const fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of images.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scenes.len()
+    }
+
+    /// Whether the corpus is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scenes.is_empty()
+    }
+
+    /// The scene of an image.
+    #[must_use]
+    pub fn scene(&self, id: ImageId) -> Option<&Scene> {
+        self.scenes.get(id.index())
+    }
+
+    /// Iterates `(id, scene)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ImageId, &Scene)> {
+        self.scenes.iter().enumerate().map(|(i, s)| (ImageId(i), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(images: usize) -> CorpusConfig {
+        CorpusConfig { images, scene: SceneConfig::default() }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Corpus::generate(&cfg(5), 7);
+        let b = Corpus::generate(&cfg(5), 7);
+        assert_eq!(a, b);
+        assert_ne!(a, Corpus::generate(&cfg(5), 8));
+        assert_eq!(a.seed(), 7);
+    }
+
+    #[test]
+    fn prefix_stable_under_growth() {
+        let small = Corpus::generate(&cfg(3), 7);
+        let large = Corpus::generate(&cfg(6), 7);
+        for (id, scene) in small.iter() {
+            assert_eq!(Some(scene), large.scene(id), "{id}");
+        }
+    }
+
+    #[test]
+    fn lookup_and_iteration() {
+        let c = Corpus::generate(&cfg(4), 1);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert!(c.scene(ImageId(3)).is_some());
+        assert!(c.scene(ImageId(4)).is_none());
+        let ids: Vec<_> = c.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn from_scenes() {
+        let scenes = vec![Scene::new(10, 10).unwrap()];
+        let c = Corpus::from_scenes(scenes);
+        assert_eq!(c.len(), 1);
+        assert!(c.scene(ImageId(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn display_of_image_id() {
+        assert_eq!(ImageId(12).to_string(), "img12");
+        assert_eq!(ImageId(12).index(), 12);
+    }
+}

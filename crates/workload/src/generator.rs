@@ -1,0 +1,212 @@
+//! Randomised scene generation.
+
+use be2d_geometry::{ObjectClass, Rect, Scene};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How objects are placed in the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Placement {
+    /// Positions uniform over the frame; overlaps allowed. The general
+    /// case for the similarity experiments.
+    #[default]
+    Uniform,
+    /// Rejection-sampled to avoid MBR overlap (falls back to overlapping
+    /// placement after 64 failed attempts per object). Matches the
+    /// renderer's assumption that objects don't occlude each other.
+    NonOverlapping,
+    /// Objects gather around a few cluster centres — produces many
+    /// coincident/nearby boundaries, stressing the dummy-placement logic
+    /// and the cutting baselines.
+    Clustered {
+        /// Number of cluster centres.
+        clusters: usize,
+    },
+}
+
+/// Parameters of one random scene.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SceneConfig {
+    /// Frame width.
+    pub width: i64,
+    /// Frame height.
+    pub height: i64,
+    /// Number of objects.
+    pub objects: usize,
+    /// Size of the class alphabet (`C0`, `C1`, …).
+    pub classes: usize,
+    /// Minimum object side length.
+    pub min_size: i64,
+    /// Maximum object side length.
+    pub max_size: i64,
+    /// Placement policy.
+    pub placement: Placement,
+}
+
+impl Default for SceneConfig {
+    fn default() -> Self {
+        SceneConfig {
+            width: 256,
+            height: 256,
+            objects: 8,
+            classes: 6,
+            min_size: 8,
+            max_size: 64,
+            placement: Placement::Uniform,
+        }
+    }
+}
+
+impl SceneConfig {
+    /// The class name used for index `i` (`C0`, `C1`, …).
+    #[must_use]
+    pub fn class_name(i: usize) -> String {
+        format!("C{i}")
+    }
+}
+
+/// Generates one scene from a dedicated RNG.
+///
+/// # Panics
+///
+/// Panics when the configuration is inconsistent (sizes exceeding the
+/// frame, zero classes with nonzero objects, non-positive sizes).
+#[must_use]
+pub fn generate_scene(cfg: &SceneConfig, rng: &mut StdRng) -> Scene {
+    assert!(cfg.min_size > 0 && cfg.min_size <= cfg.max_size, "invalid size range");
+    assert!(
+        cfg.max_size <= cfg.width && cfg.max_size <= cfg.height,
+        "object sizes must fit the frame"
+    );
+    assert!(cfg.classes > 0 || cfg.objects == 0, "need classes for objects");
+    let mut scene = Scene::new(cfg.width, cfg.height).expect("positive frame");
+
+    let centres: Vec<(i64, i64)> = match cfg.placement {
+        Placement::Clustered { clusters } => (0..clusters.max(1))
+            .map(|_| (rng.random_range(0..cfg.width), rng.random_range(0..cfg.height)))
+            .collect(),
+        _ => Vec::new(),
+    };
+
+    for _ in 0..cfg.objects {
+        let class = ObjectClass::new(&SceneConfig::class_name(rng.random_range(0..cfg.classes)));
+        let mut placed = false;
+        for attempt in 0..64 {
+            let w = rng.random_range(cfg.min_size..=cfg.max_size);
+            let h = rng.random_range(cfg.min_size..=cfg.max_size);
+            let (xb, yb) = match cfg.placement {
+                Placement::Clustered { .. } => {
+                    let (cx, cy) = centres[rng.random_range(0..centres.len())];
+                    let spread_x = (cfg.width / 8).max(1);
+                    let spread_y = (cfg.height / 8).max(1);
+                    let xb = (cx + rng.random_range(-spread_x..=spread_x) - w / 2)
+                        .clamp(0, cfg.width - w);
+                    let yb = (cy + rng.random_range(-spread_y..=spread_y) - h / 2)
+                        .clamp(0, cfg.height - h);
+                    (xb, yb)
+                }
+                _ => (
+                    rng.random_range(0..=cfg.width - w),
+                    rng.random_range(0..=cfg.height - h),
+                ),
+            };
+            let mbr = Rect::new(xb, xb + w, yb, yb + h).expect("positive size");
+            let collides = cfg.placement == Placement::NonOverlapping
+                && attempt < 63
+                && scene.iter().any(|o| o.mbr().overlaps(&mbr));
+            if !collides {
+                scene.add(class.clone(), mbr).expect("fits by construction");
+                placed = true;
+                break;
+            }
+        }
+        debug_assert!(placed, "placement must succeed via fallback");
+    }
+    scene
+}
+
+/// Convenience: a scene from a bare seed.
+#[must_use]
+pub fn scene_from_seed(cfg: &SceneConfig, seed: u64) -> Scene {
+    generate_scene(cfg, &mut StdRng::seed_from_u64(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let cfg = SceneConfig::default();
+        let a = scene_from_seed(&cfg, 99);
+        let b = scene_from_seed(&cfg, 99);
+        assert_eq!(a, b);
+        let c = scene_from_seed(&cfg, 100);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn respects_object_count_and_frame() {
+        let cfg = SceneConfig { objects: 20, ..SceneConfig::default() };
+        let scene = scene_from_seed(&cfg, 1);
+        assert_eq!(scene.len(), 20);
+        for o in &scene {
+            assert!(o.mbr().x_begin() >= 0 && o.mbr().x_end() <= cfg.width);
+            assert!(o.mbr().y_begin() >= 0 && o.mbr().y_end() <= cfg.height);
+            assert!(o.mbr().width() >= cfg.min_size && o.mbr().width() <= cfg.max_size);
+        }
+    }
+
+    #[test]
+    fn class_alphabet_is_respected() {
+        let cfg = SceneConfig { objects: 50, classes: 3, ..SceneConfig::default() };
+        let scene = scene_from_seed(&cfg, 2);
+        for o in &scene {
+            assert!(["C0", "C1", "C2"].contains(&o.class().name()));
+        }
+        assert!(scene.classes().len() <= 3);
+    }
+
+    #[test]
+    fn non_overlapping_placement() {
+        let cfg = SceneConfig {
+            objects: 10,
+            placement: Placement::NonOverlapping,
+            min_size: 8,
+            max_size: 24,
+            ..SceneConfig::default()
+        };
+        let scene = scene_from_seed(&cfg, 3);
+        assert_eq!(scene.len(), 10);
+        for (i, a) in scene.iter().enumerate() {
+            for b in scene.objects()[i + 1..].iter() {
+                assert!(!a.mbr().overlaps(&b.mbr()), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_placement_generates_valid_scene() {
+        let cfg = SceneConfig {
+            objects: 30,
+            placement: Placement::Clustered { clusters: 3 },
+            ..SceneConfig::default()
+        };
+        let scene = scene_from_seed(&cfg, 4);
+        assert_eq!(scene.len(), 30);
+    }
+
+    #[test]
+    fn empty_scene() {
+        let cfg = SceneConfig { objects: 0, classes: 0, ..SceneConfig::default() };
+        assert!(scene_from_seed(&cfg, 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "object sizes must fit the frame")]
+    fn rejects_oversized_objects() {
+        let cfg = SceneConfig { width: 16, height: 16, max_size: 64, ..SceneConfig::default() };
+        let _ = scene_from_seed(&cfg, 6);
+    }
+}

@@ -1,0 +1,137 @@
+//! Retrieval-quality metrics over ranked result lists.
+
+use crate::ImageId;
+use std::collections::HashSet;
+
+/// Precision at cutoff `k`: fraction of the top-`k` results that are
+/// relevant. Empty rankings or `k = 0` give 0.
+#[must_use]
+pub fn precision_at_k(ranked: &[ImageId], relevant: &HashSet<ImageId>, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked.iter().take(k).filter(|id| relevant.contains(id)).count();
+    hits as f64 / k.min(ranked.len()).max(1) as f64
+}
+
+/// Recall at cutoff `k`: fraction of relevant images appearing in the
+/// top-`k`. Empty relevant sets give 1 (nothing to find). Duplicate ids
+/// in the ranking are counted once.
+#[must_use]
+pub fn recall_at_k(ranked: &[ImageId], relevant: &HashSet<ImageId>, k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 1.0;
+    }
+    let hits: HashSet<&ImageId> =
+        ranked.iter().take(k).filter(|id| relevant.contains(id)).collect();
+    hits.len() as f64 / relevant.len() as f64
+}
+
+/// Reciprocal rank of the first relevant result (`1/rank`, 0 when absent).
+#[must_use]
+pub fn reciprocal_rank(ranked: &[ImageId], relevant: &HashSet<ImageId>) -> f64 {
+    ranked
+        .iter()
+        .position(|id| relevant.contains(id))
+        .map_or(0.0, |pos| 1.0 / (pos + 1) as f64)
+}
+
+/// Average precision: mean of precision@rank over the ranks of relevant
+/// results. 0 when nothing relevant is retrieved; 1 when all relevant
+/// images head the ranking. Duplicate ids in the ranking count at their
+/// first occurrence only.
+#[must_use]
+pub fn average_precision(ranked: &[ImageId], relevant: &HashSet<ImageId>) -> f64 {
+    if relevant.is_empty() {
+        return 1.0;
+    }
+    let mut seen: HashSet<ImageId> = HashSet::new();
+    let mut sum = 0.0;
+    for (i, id) in ranked.iter().enumerate() {
+        if relevant.contains(id) && seen.insert(*id) {
+            sum += seen.len() as f64 / (i + 1) as f64;
+        }
+    }
+    sum / relevant.len() as f64
+}
+
+/// Arithmetic mean of a slice (0 for empty input).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<ImageId> {
+        v.iter().map(|i| ImageId(*i)).collect()
+    }
+
+    fn rel(v: &[usize]) -> HashSet<ImageId> {
+        v.iter().map(|i| ImageId(*i)).collect()
+    }
+
+    #[test]
+    fn precision() {
+        let ranked = ids(&[1, 2, 3, 4]);
+        let relevant = rel(&[2, 4]);
+        assert_eq!(precision_at_k(&ranked, &relevant, 1), 0.0);
+        assert_eq!(precision_at_k(&ranked, &relevant, 2), 0.5);
+        assert_eq!(precision_at_k(&ranked, &relevant, 4), 0.5);
+        assert_eq!(precision_at_k(&ranked, &relevant, 0), 0.0);
+        // k beyond the ranking length normalises by the ranking length
+        assert_eq!(precision_at_k(&ranked, &relevant, 10), 0.5);
+        assert_eq!(precision_at_k(&[], &relevant, 3), 0.0);
+    }
+
+    #[test]
+    fn recall() {
+        let ranked = ids(&[1, 2, 3, 4]);
+        let relevant = rel(&[2, 4, 9]);
+        assert_eq!(recall_at_k(&ranked, &relevant, 2), 1.0 / 3.0);
+        assert_eq!(recall_at_k(&ranked, &relevant, 4), 2.0 / 3.0);
+        assert_eq!(recall_at_k(&ranked, &rel(&[]), 4), 1.0);
+    }
+
+    #[test]
+    fn rr() {
+        assert_eq!(reciprocal_rank(&ids(&[7, 3, 5]), &rel(&[5])), 1.0 / 3.0);
+        assert_eq!(reciprocal_rank(&ids(&[5, 3]), &rel(&[5])), 1.0);
+        assert_eq!(reciprocal_rank(&ids(&[1, 2]), &rel(&[9])), 0.0);
+        assert_eq!(reciprocal_rank(&[], &rel(&[9])), 0.0);
+    }
+
+    #[test]
+    fn ap() {
+        // relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2
+        let ap = average_precision(&ids(&[5, 1, 6]), &rel(&[5, 6]));
+        assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+        assert_eq!(average_precision(&ids(&[1, 2]), &rel(&[])), 1.0);
+        assert_eq!(average_precision(&ids(&[1, 2]), &rel(&[3])), 0.0);
+        assert_eq!(average_precision(&ids(&[3]), &rel(&[3])), 1.0);
+    }
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn duplicate_rankings_stay_bounded() {
+        // a buggy scorer may emit the same id twice; metrics must not
+        // exceed 1
+        let ranked = ids(&[13, 13, 13]);
+        let relevant = rel(&[13]);
+        assert_eq!(recall_at_k(&ranked, &relevant, 3), 1.0);
+        assert_eq!(average_precision(&ranked, &relevant), 1.0);
+        assert_eq!(reciprocal_rank(&ranked, &relevant), 1.0);
+        assert!(precision_at_k(&ranked, &relevant, 3) <= 1.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Query derivation with ground truth.
+//!
+//! Each query is derived from a known corpus image, so retrieval quality
+//! is measurable: the derived query *should* rank its source image first
+//! (except decoys, which have no right answer). The kinds mirror the
+//! paper's §4 claims: exact matches, partial icon sets, partially changed
+//! spatial relations, and rotated/reflected copies.
+
+use crate::{Corpus, ImageId};
+use be2d_geometry::{Scene, Transform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The way a query is derived from its source image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// A verbatim copy of the source scene.
+    Exact,
+    /// Keep only `keep` randomly chosen objects — the "partial of icons"
+    /// case of §4.
+    DropObjects {
+        /// Number of objects to keep (clamped to the scene size).
+        keep: usize,
+    },
+    /// Translate each object independently by up to `max_delta` in each
+    /// axis direction (clamped to the frame) — perturbs a fraction of the
+    /// spatial relations, the "partial of spatial relationships" case.
+    Jitter {
+        /// Maximum per-axis displacement magnitude.
+        max_delta: i64,
+    },
+    /// The source scene under a D4 transform — §4's rotation/reflection
+    /// retrieval.
+    Transformed(
+        /// The transform applied to the source scene.
+        Transform,
+    ),
+    /// A freshly generated unrelated scene; no relevant image exists.
+    Decoy,
+}
+
+impl fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryKind::Exact => f.write_str("exact"),
+            QueryKind::DropObjects { keep } => write!(f, "drop-to-{keep}"),
+            QueryKind::Jitter { max_delta } => write!(f, "jitter-{max_delta}"),
+            QueryKind::Transformed(t) => write!(f, "transformed-{t}"),
+            QueryKind::Decoy => f.write_str("decoy"),
+        }
+    }
+}
+
+/// A derived query: the scene to search with, how it was made, and which
+/// image it should retrieve (`None` for decoys).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// The query scene.
+    pub scene: Scene,
+    /// Derivation recipe.
+    pub kind: QueryKind,
+    /// Ground-truth relevant image, if any.
+    pub target: Option<ImageId>,
+}
+
+/// Derives one query of the given kind from the corpus image `source`.
+///
+/// # Panics
+///
+/// Panics when `source` is not in the corpus.
+#[must_use]
+pub fn derive_query(
+    corpus: &Corpus,
+    source: ImageId,
+    kind: QueryKind,
+    rng: &mut StdRng,
+) -> Query {
+    let scene = corpus.scene(source).expect("source image exists");
+    let (scene, target) = match kind {
+        QueryKind::Exact => (scene.clone(), Some(source)),
+        QueryKind::DropObjects { keep } => {
+            let keep = keep.min(scene.len());
+            // choose `keep` distinct indices
+            let mut indices: Vec<usize> = (0..scene.len()).collect();
+            for i in (1..indices.len()).rev() {
+                let j = rng.random_range(0..=i);
+                indices.swap(i, j);
+            }
+            indices.truncate(keep);
+            indices.sort_unstable();
+            let mut q = Scene::new(scene.width(), scene.height()).expect("frame");
+            for &i in &indices {
+                let o = &scene.objects()[i];
+                q.add(o.class().clone(), o.mbr()).expect("same frame");
+            }
+            (q, Some(source))
+        }
+        QueryKind::Jitter { max_delta } => {
+            let mut q = Scene::new(scene.width(), scene.height()).expect("frame");
+            for o in scene {
+                let m = o.mbr();
+                let dx = rng.random_range(-max_delta..=max_delta);
+                let dy = rng.random_range(-max_delta..=max_delta);
+                let dx = dx.clamp(-m.x_begin(), scene.width() - m.x_end());
+                let dy = dy.clamp(-m.y_begin(), scene.height() - m.y_end());
+                q.add(o.class().clone(), m.translated(dx, dy)).expect("clamped in frame");
+            }
+            (q, Some(source))
+        }
+        QueryKind::Transformed(t) => (scene.transformed(t), Some(source)),
+        QueryKind::Decoy => {
+            let cfg = crate::SceneConfig {
+                width: scene.width().max(16),
+                height: scene.height().max(16),
+                objects: scene.len().max(2),
+                ..crate::SceneConfig {
+                    min_size: 4,
+                    max_size: (scene.width().min(scene.height()) / 2).max(4),
+                    ..Default::default()
+                }
+            };
+            (crate::generate_scene(&cfg, rng), None)
+        }
+    };
+    Query { scene, kind, target }
+}
+
+/// Derives `per_kind` queries for every kind, rotating through corpus
+/// images deterministically.
+#[must_use]
+pub fn derive_queries(
+    corpus: &Corpus,
+    kinds: &[QueryKind],
+    per_kind: usize,
+    seed: u64,
+) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(kinds.len() * per_kind);
+    for &kind in kinds {
+        for i in 0..per_kind {
+            let source = ImageId(if corpus.is_empty() {
+                panic!("cannot derive queries from an empty corpus")
+            } else {
+                (i * 7 + 3) % corpus.len()
+            });
+            out.push(derive_query(corpus, source, kind, &mut rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CorpusConfig, SceneConfig};
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&CorpusConfig { images: 10, scene: SceneConfig::default() }, 11)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn exact_copies_source() {
+        let c = corpus();
+        let q = derive_query(&c, ImageId(2), QueryKind::Exact, &mut rng());
+        assert_eq!(&q.scene, c.scene(ImageId(2)).unwrap());
+        assert_eq!(q.target, Some(ImageId(2)));
+    }
+
+    #[test]
+    fn drop_keeps_subset() {
+        let c = corpus();
+        let q = derive_query(&c, ImageId(0), QueryKind::DropObjects { keep: 3 }, &mut rng());
+        assert_eq!(q.scene.len(), 3);
+        // every kept object exists in the source with identical class+mbr
+        let src = c.scene(ImageId(0)).unwrap();
+        for o in &q.scene {
+            assert!(src
+                .iter()
+                .any(|s| s.class() == o.class() && s.mbr() == o.mbr()));
+        }
+    }
+
+    #[test]
+    fn drop_clamps_to_scene_size() {
+        let c = corpus();
+        let q =
+            derive_query(&c, ImageId(0), QueryKind::DropObjects { keep: 999 }, &mut rng());
+        assert_eq!(q.scene.len(), c.scene(ImageId(0)).unwrap().len());
+    }
+
+    #[test]
+    fn jitter_preserves_classes_and_sizes() {
+        let c = corpus();
+        let q = derive_query(&c, ImageId(1), QueryKind::Jitter { max_delta: 10 }, &mut rng());
+        let src = c.scene(ImageId(1)).unwrap();
+        assert_eq!(q.scene.len(), src.len());
+        for (a, b) in src.iter().zip(q.scene.iter()) {
+            assert_eq!(a.class(), b.class());
+            assert_eq!(a.mbr().width(), b.mbr().width());
+            assert_eq!(a.mbr().height(), b.mbr().height());
+            assert!((a.mbr().x_begin() - b.mbr().x_begin()).abs() <= 10);
+        }
+    }
+
+    #[test]
+    fn transformed_matches_scene_transform() {
+        let c = corpus();
+        for t in Transform::ALL {
+            let q = derive_query(&c, ImageId(4), QueryKind::Transformed(t), &mut rng());
+            assert_eq!(q.scene, c.scene(ImageId(4)).unwrap().transformed(t));
+        }
+    }
+
+    #[test]
+    fn decoy_has_no_target() {
+        let c = corpus();
+        let q = derive_query(&c, ImageId(0), QueryKind::Decoy, &mut rng());
+        assert_eq!(q.target, None);
+        assert!(!q.scene.is_empty());
+    }
+
+    #[test]
+    fn derive_queries_is_deterministic() {
+        let c = corpus();
+        let kinds = [QueryKind::Exact, QueryKind::Decoy, QueryKind::Jitter { max_delta: 5 }];
+        let a = derive_queries(&c, &kinds, 4, 99);
+        let b = derive_queries(&c, &kinds, 4, 99);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(QueryKind::Exact.to_string(), "exact");
+        assert_eq!(QueryKind::DropObjects { keep: 2 }.to_string(), "drop-to-2");
+        assert_eq!(
+            QueryKind::Transformed(Transform::Rotate90).to_string(),
+            "transformed-rotate-90"
+        );
+    }
+}

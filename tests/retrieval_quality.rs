@@ -1,0 +1,76 @@
+//! Small-scale regression pin of experiment E4's headline: under relation
+//! perturbation the graded LCS ranking keeps finding the source image,
+//! while the all-or-nothing type-2 count degrades.
+
+use be2d::strings2d::{typed_similarity, SimilarityType};
+use be2d::workload::metrics::{mean, reciprocal_rank};
+use be2d::workload::{derive_queries, Corpus, CorpusConfig, ImageId, QueryKind, SceneConfig};
+use be2d::{ImageDatabase, QueryOptions};
+use std::collections::HashSet;
+
+fn rank_by_lcs(db: &ImageDatabase, scene: &be2d::Scene) -> Vec<ImageId> {
+    db.search_scene(scene, &QueryOptions::default().with_top_k(None))
+        .into_iter()
+        .map(|h| ImageId(h.id.index()))
+        .collect()
+}
+
+fn rank_by_type2(corpus: &Corpus, scene: &be2d::Scene) -> Vec<ImageId> {
+    let mut scored: Vec<(ImageId, usize)> = corpus
+        .iter()
+        .map(|(id, s)| (id, typed_similarity(scene, s, SimilarityType::Type2).matched))
+        .collect();
+    scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.into_iter().map(|(id, _)| id).collect()
+}
+
+#[test]
+fn jittered_queries_favour_lcs_over_type2() {
+    let corpus = Corpus::generate(
+        &CorpusConfig {
+            images: 60,
+            scene: SceneConfig { objects: 6, classes: 5, ..SceneConfig::default() },
+        },
+        2024,
+    );
+    let mut db = ImageDatabase::new();
+    for (id, scene) in corpus.iter() {
+        db.insert_scene(&id.to_string(), scene).expect("insert");
+    }
+
+    let queries = derive_queries(&corpus, &[QueryKind::Jitter { max_delta: 40 }], 10, 7);
+    let mut rr_lcs = Vec::new();
+    let mut rr_t2 = Vec::new();
+    for q in &queries {
+        let relevant: HashSet<ImageId> = [q.target.expect("target")].into_iter().collect();
+        rr_lcs.push(reciprocal_rank(&rank_by_lcs(&db, &q.scene), &relevant));
+        rr_t2.push(reciprocal_rank(&rank_by_type2(&corpus, &q.scene), &relevant));
+    }
+    let (mrr_lcs, mrr_t2) = (mean(&rr_lcs), mean(&rr_t2));
+    assert!(mrr_lcs > 0.85, "LCS keeps ranking the source high: {mrr_lcs:.3}");
+    assert!(
+        mrr_lcs > mrr_t2,
+        "graded LCS must beat the exact-relation count under jitter: {mrr_lcs:.3} vs {mrr_t2:.3}"
+    );
+}
+
+#[test]
+fn exact_queries_are_perfect_for_both() {
+    let corpus = Corpus::generate(
+        &CorpusConfig {
+            images: 40,
+            scene: SceneConfig { objects: 6, classes: 5, ..SceneConfig::default() },
+        },
+        11,
+    );
+    let mut db = ImageDatabase::new();
+    for (id, scene) in corpus.iter() {
+        db.insert_scene(&id.to_string(), scene).expect("insert");
+    }
+    let queries = derive_queries(&corpus, &[QueryKind::Exact], 8, 3);
+    for q in &queries {
+        let target = q.target.expect("target");
+        assert_eq!(rank_by_lcs(&db, &q.scene).first(), Some(&target));
+        assert_eq!(rank_by_type2(&corpus, &q.scene).first(), Some(&target));
+    }
+}
