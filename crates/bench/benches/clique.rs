@@ -9,18 +9,21 @@ use std::time::Duration;
 
 fn bench_clique(c: &mut Criterion) {
     let mut group = c.benchmark_group("typed_clique");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
-    for ty in [SimilarityType::Type2, SimilarityType::Type1, SimilarityType::Type0] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+    for ty in [
+        SimilarityType::Type2,
+        SimilarityType::Type1,
+        SimilarityType::Type0,
+    ] {
         for n in [4usize, 8, 12, 16, 20] {
             let q = scene_from_seed(&standard_config(n), 1000 + n as u64);
             let d = scene_from_seed(&standard_config(n), 2000 + n as u64);
-            group.bench_with_input(
-                BenchmarkId::new(ty.to_string(), n),
-                &(q, d),
-                |b, (q, d)| {
-                    b.iter(|| black_box(typed_similarity(black_box(q), black_box(d), ty).matched));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(ty.to_string(), n), &(q, d), |b, (q, d)| {
+                b.iter(|| black_box(typed_similarity(black_box(q), black_box(d), ty).matched));
+            });
         }
     }
     group.finish();

@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench_convert(c: &mut Criterion) {
     let mut group = c.benchmark_group("convert_scene");
-    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     for n in [16usize, 64, 256, 1024, 4096, 16384] {
         let scene = scene_from_seed(&standard_config(n), n as u64);
         group.throughput(Throughput::Elements(n as u64));

@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench_edit(c: &mut Criterion) {
     let mut group = c.benchmark_group("object_insert");
-    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     let class = ObjectClass::new("Znew");
     let mbr = Rect::new(501, 777, 123, 456).expect("rect");
     for n in [16usize, 128, 1024, 4096] {

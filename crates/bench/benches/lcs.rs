@@ -13,7 +13,10 @@ fn strings(n: usize, seed: u64) -> BeString2D {
 
 fn bench_lcs_square(c: &mut Criterion) {
     let mut group = c.benchmark_group("lcs_m_equals_n");
-    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     for n in [8usize, 16, 32, 64, 128, 256, 512] {
         let q = strings(n, 10 + n as u64);
         let d = strings(n, 20 + n as u64);
@@ -33,7 +36,10 @@ fn bench_lcs_square(c: &mut Criterion) {
 fn bench_lcs_fixed_query(c: &mut Criterion) {
     // m fixed (query sketch), n growing (database image): linear in n
     let mut group = c.benchmark_group("lcs_fixed_query_m8");
-    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
     let q = strings(8, 5);
     for n in [8usize, 32, 128, 512] {
         let d = strings(n, 30 + n as u64);

@@ -11,7 +11,11 @@ fn build(images: usize) -> (ImageDatabase, Vec<be2d_workload::Query>) {
     let corpus = Corpus::generate(
         &CorpusConfig {
             images,
-            scene: SceneConfig { objects: 8, classes: 12, ..SceneConfig::default() },
+            scene: SceneConfig {
+                objects: 8,
+                classes: 12,
+                ..SceneConfig::default()
+            },
         },
         3,
     );
@@ -25,7 +29,10 @@ fn build(images: usize) -> (ImageDatabase, Vec<be2d_workload::Query>) {
 
 fn bench_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("db_search");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for images in [100usize, 1_000, 5_000] {
         let (db, queries) = build(images);
         for (label, prefilter, parallel) in [
@@ -33,8 +40,12 @@ fn bench_query(c: &mut Criterion) {
             ("serial-anyclass", PrefilterMode::AnyClass, false),
             ("parallel-anyclass", PrefilterMode::AnyClass, true),
         ] {
-            let options =
-                QueryOptions { prefilter, parallel, top_k: Some(10), ..QueryOptions::default() };
+            let options = QueryOptions {
+                prefilter,
+                parallel,
+                top_k: Some(10),
+                ..QueryOptions::default()
+            };
             group.bench_with_input(
                 BenchmarkId::new(label, images),
                 &(&db, &queries, options),

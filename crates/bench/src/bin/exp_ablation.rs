@@ -38,12 +38,21 @@ fn main() {
     println!(
         "{}",
         table_row(
-            &["n".into(), "modified".into(), "plain LCS".into(), "inflation".into()],
+            &[
+                "n".into(),
+                "modified".into(),
+                "plain LCS".into(),
+                "inflation".into()
+            ],
             &widths
         )
     );
     for n in [4usize, 8, 16, 32] {
-        let cfg = SceneConfig { objects: n, classes: 6, ..SceneConfig::default() };
+        let cfg = SceneConfig {
+            objects: n,
+            classes: 6,
+            ..SceneConfig::default()
+        };
         // disjoint class alphabets would need distinct configs; instead
         // compare structurally unrelated seeds
         let a = convert_scene(&scene_from_seed(&cfg, 1111 + n as u64));
@@ -54,7 +63,10 @@ fn main() {
             n.to_string(),
             modified.to_string(),
             plain.to_string(),
-            format!("+{:.0}%", 100.0 * (plain as f64 - modified as f64) / modified as f64),
+            format!(
+                "+{:.0}%",
+                100.0 * (plain as f64 - modified as f64) / modified as f64
+            ),
         ];
         println!("{}", table_row(&row, &widths));
         assert!(plain >= modified);
@@ -63,7 +75,11 @@ fn main() {
     println!("between unrelated images — the modified algorithm suppresses exactly that.");
 
     println!("\n-- 2+3. similarity configuration on a 50%-subset query --");
-    let cfg = SceneConfig { objects: 8, classes: 8, ..SceneConfig::default() };
+    let cfg = SceneConfig {
+        objects: 8,
+        classes: 8,
+        ..SceneConfig::default()
+    };
     let scene = scene_from_seed(&cfg, 77);
     let mut half = be2d_geometry::Scene::new(scene.width(), scene.height()).expect("frame");
     for o in scene.objects().iter().take(4) {
@@ -74,10 +90,20 @@ fn main() {
     let widths = [18, 16, 9];
     println!(
         "{}",
-        table_row(&["normalisation".into(), "count dummies?".into(), "score".into()], &widths)
+        table_row(
+            &[
+                "normalisation".into(),
+                "count dummies?".into(),
+                "score".into()
+            ],
+            &widths
+        )
     );
-    for norm in [Normalization::QueryCoverage, Normalization::TargetCoverage, Normalization::Dice]
-    {
+    for norm in [
+        Normalization::QueryCoverage,
+        Normalization::TargetCoverage,
+        Normalization::Dice,
+    ] {
         for count_dummies in [true, false] {
             let cfg = SimilarityConfig {
                 normalization: norm,

@@ -114,7 +114,10 @@ fn main() {
     struct Lcg(u64);
     impl Lcg {
         fn below(&mut self, bound: u64) -> u64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (self.0 >> 33) % bound
         }
     }
@@ -128,9 +131,15 @@ fn main() {
             events.push(BoundaryEvent::new(b, class.clone(), Boundary::Begin));
             events.push(BoundaryEvent::new(e, class, Boundary::End));
         }
-        AnnotatedBeString::from_events(events, 7).expect("valid events").to_be_string()
+        AnnotatedBeString::from_events(events, 7)
+            .expect("valid events")
+            .to_be_string()
     }
-    let classes = [ObjectClass::new("A"), ObjectClass::new("B"), ObjectClass::new("C")];
+    let classes = [
+        ObjectClass::new("A"),
+        ObjectClass::new("B"),
+        ObjectClass::new("C"),
+    ];
     let mut rng = Lcg(0x5deece66d);
     let mut worst = 0usize;
     let mut pairs = 0usize;

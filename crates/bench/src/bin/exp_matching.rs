@@ -36,7 +36,8 @@ fn main() {
         let (t2, t1, t0, graph) = if n <= clique_cap {
             let mut stats = (0usize, 0usize);
             let t2 = median_time(3, || {
-                let r = typed_similarity(black_box(&query), black_box(&image), SimilarityType::Type2);
+                let r =
+                    typed_similarity(black_box(&query), black_box(&image), SimilarityType::Type2);
                 stats = (r.graph_vertices, r.graph_edges);
                 black_box(r.matched);
             });
@@ -59,7 +60,12 @@ fn main() {
                 format!("{}v/{}e", stats.0, stats.1),
             )
         } else {
-            ("(skipped)".into(), "(skipped)".into(), "(skipped)".into(), "-".into())
+            (
+                "(skipped)".into(),
+                "(skipped)".into(),
+                "(skipped)".into(),
+                "-".into(),
+            )
         };
 
         let row = [n.to_string(), fmt_duration(lcs), t2, t1, t0, graph];

@@ -10,8 +10,7 @@
 use be2d_bench::table_row;
 use be2d_db::{ImageDatabase, QueryOptions};
 use be2d_imaging::{
-    erode_boundaries, extract_scene, render_scene, salt_and_pepper, ClassPalette, NoiseRng,
-    Shape,
+    erode_boundaries, extract_scene, render_scene, salt_and_pepper, ClassPalette, NoiseRng, Shape,
 };
 use be2d_workload::metrics::{mean, reciprocal_rank};
 use be2d_workload::{Corpus, CorpusConfig, ImageId, Placement, SceneConfig};

@@ -17,7 +17,11 @@ fn main() {
     let corpus = Corpus::generate(
         &CorpusConfig {
             images: 500,
-            scene: SceneConfig { objects: 6, classes: 5, ..SceneConfig::default() },
+            scene: SceneConfig {
+                objects: 6,
+                classes: 5,
+                ..SceneConfig::default()
+            },
         },
         42,
     );
@@ -36,7 +40,9 @@ fn main() {
     let queries = derive_queries(&corpus, &kinds, 25, 7);
 
     let widths = [12, 9, 9, 9, 9, 11, 11];
-    let header = ["kind", "MRR-LCS", "MRR-t2", "MRR-t1", "MRR-t0", "top1-LCS", "top1-t2"];
+    let header = [
+        "kind", "MRR-LCS", "MRR-t2", "MRR-t1", "MRR-t0", "top1-LCS", "top1-t2",
+    ];
     println!("{}", table_row(&header.map(String::from), &widths));
 
     for kind in kinds {
@@ -53,9 +59,11 @@ fn main() {
             rr[0].push(reciprocal_rank(&ranked, &relevant));
             top1_lcs += usize::from(ranked.first() == Some(&target));
 
-            for (slot, ty) in
-                [(1, SimilarityType::Type2), (2, SimilarityType::Type1), (3, SimilarityType::Type0)]
-            {
+            for (slot, ty) in [
+                (1, SimilarityType::Type2),
+                (2, SimilarityType::Type1),
+                (3, SimilarityType::Type0),
+            ] {
                 let mut scored: Vec<(ImageId, usize)> = corpus
                     .iter()
                     .map(|(id, scene)| (id, typed_similarity(&q.scene, scene, ty).matched))

@@ -8,7 +8,9 @@
 //! worst case; C-string ≤ G-string but still superlinear on adversarial
 //! input.
 
-use be2d_bench::{best_case_scene, overlap_pile_scene, standard_config, table_row, worst_case_scene};
+use be2d_bench::{
+    best_case_scene, overlap_pile_scene, standard_config, table_row, worst_case_scene,
+};
 use be2d_core::convert_scene;
 use be2d_strings2d::{BString, CString, GString, TwoDString};
 use be2d_workload::scene_from_seed;

@@ -18,7 +18,11 @@ fn main() {
         let corpus = Corpus::generate(
             &CorpusConfig {
                 images,
-                scene: SceneConfig { objects: 8, classes, ..SceneConfig::default() },
+                scene: SceneConfig {
+                    objects: 8,
+                    classes,
+                    ..SceneConfig::default()
+                },
             },
             3,
         );
@@ -34,8 +38,7 @@ fn main() {
             images as f64 / index_time.as_secs_f64()
         );
 
-        let queries =
-            derive_queries(&corpus, &[QueryKind::DropObjects { keep: 4 }], 5, 11);
+        let queries = derive_queries(&corpus, &[QueryKind::DropObjects { keep: 4 }], 5, 11);
         let widths = [24, 12, 12, 12];
         println!(
             "{}",
@@ -67,7 +70,11 @@ fn main() {
                 .map(|q| {
                     db.search_scene(
                         &q.scene,
-                        &QueryOptions { top_k: None, min_score: 0.0, ..options.clone() },
+                        &QueryOptions {
+                            top_k: None,
+                            min_score: 0.0,
+                            ..options.clone()
+                        },
                     )
                     .len()
                 })

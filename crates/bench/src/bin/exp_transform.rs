@@ -16,7 +16,12 @@ fn main() {
     let corpus = Corpus::generate(
         &CorpusConfig {
             images: 200,
-            scene: SceneConfig { width: 256, height: 256, objects: 6, ..Default::default() },
+            scene: SceneConfig {
+                width: 256,
+                height: 256,
+                objects: 6,
+                ..Default::default()
+            },
         },
         13,
     );
@@ -26,7 +31,12 @@ fn main() {
     }
 
     let widths = [16, 11, 14, 19];
-    let header = ["query transform", "plain-top1", "invariant-top1", "recovered transform"];
+    let header = [
+        "query transform",
+        "plain-top1",
+        "invariant-top1",
+        "recovered transform",
+    ];
     println!("{}", table_row(&header.map(String::from), &widths));
 
     for t in [
@@ -57,7 +67,11 @@ fn main() {
             recovered,
         ];
         println!("{}", table_row(&row, &widths));
-        assert_eq!(inv_hits, queries.len(), "invariant search must always recover");
+        assert_eq!(
+            inv_hits,
+            queries.len(),
+            "invariant search must always recover"
+        );
     }
 
     // cost of the string reversal itself

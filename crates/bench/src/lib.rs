@@ -35,7 +35,10 @@ pub fn best_case_scene(n: usize) -> Scene {
     let mut scene = Scene::new(1000, 1000).expect("frame");
     for _ in 0..n {
         scene
-            .add(ObjectClass::new("A"), Rect::new(0, 1000, 0, 1000).expect("rect"))
+            .add(
+                ObjectClass::new("A"),
+                Rect::new(0, 1000, 0, 1000).expect("rect"),
+            )
             .expect("fits");
     }
     scene

@@ -36,7 +36,11 @@ impl BoundaryEvent {
     /// Creates a boundary event.
     #[must_use]
     pub const fn new(coord: i64, class: ObjectClass, boundary: Boundary) -> Self {
-        BoundaryEvent { coord, class, boundary }
+        BoundaryEvent {
+            coord,
+            class,
+            boundary,
+        }
     }
 
     /// The symbol this event contributes within a same-coordinate group
@@ -58,7 +62,10 @@ impl BoundaryEvent {
     /// The symbol this event contributes to the materialised string.
     #[must_use]
     pub fn symbol(&self) -> BeSymbol {
-        BeSymbol::Bound { class: self.class.clone(), boundary: self.boundary }
+        BeSymbol::Bound {
+            class: self.class.clone(),
+            boundary: self.boundary,
+        }
     }
 }
 
@@ -117,7 +124,10 @@ impl AnnotatedBeString {
         if extent <= 0 {
             return Err(BeStringError::OutOfExtent { coord: 0, extent });
         }
-        Ok(AnnotatedBeString { events: Vec::new(), extent })
+        Ok(AnnotatedBeString {
+            events: Vec::new(),
+            extent,
+        })
     }
 
     /// Builds an annotated string from unsorted events (Algorithm 1 lines
@@ -127,16 +137,16 @@ impl AnnotatedBeString {
     ///
     /// Returns an error when a coordinate is outside `[0, extent]` or the
     /// begin/end events are not balanced per class.
-    pub fn from_events(
-        mut events: Vec<BoundaryEvent>,
-        extent: i64,
-    ) -> Result<Self, BeStringError> {
+    pub fn from_events(mut events: Vec<BoundaryEvent>, extent: i64) -> Result<Self, BeStringError> {
         if extent <= 0 {
             return Err(BeStringError::OutOfExtent { coord: 0, extent });
         }
         for e in &events {
             if e.coord < 0 || e.coord > extent {
-                return Err(BeStringError::OutOfExtent { coord: e.coord, extent });
+                return Err(BeStringError::OutOfExtent {
+                    coord: e.coord,
+                    extent,
+                });
             }
         }
         events.sort_by(cmp_events);
@@ -205,10 +215,15 @@ impl AnnotatedBeString {
         coord: i64,
     ) -> Result<(), BeStringError> {
         if coord < 0 || coord > self.extent {
-            return Err(BeStringError::OutOfExtent { coord, extent: self.extent });
+            return Err(BeStringError::OutOfExtent {
+                coord,
+                extent: self.extent,
+            });
         }
         let ev = BoundaryEvent::new(coord, class, boundary);
-        let pos = self.events.partition_point(|e| cmp_events(e, &ev) != Ordering::Greater);
+        let pos = self
+            .events
+            .partition_point(|e| cmp_events(e, &ev) != Ordering::Greater);
         self.events.insert(pos, ev);
         Ok(())
     }
@@ -233,7 +248,10 @@ impl AnnotatedBeString {
         }
         if begin < 0 || end > self.extent {
             let coord = if begin < 0 { begin } else { end };
-            return Err(BeStringError::OutOfExtent { coord, extent: self.extent });
+            return Err(BeStringError::OutOfExtent {
+                coord,
+                extent: self.extent,
+            });
         }
         self.insert_boundary(class.clone(), Boundary::Begin, begin)?;
         self.insert_boundary(class, Boundary::End, end)?;
@@ -261,8 +279,12 @@ impl AnnotatedBeString {
             begin,
             end,
         };
-        let b = self.find_event(class, Boundary::Begin, begin).ok_or_else(not_found)?;
-        let e = self.find_event(class, Boundary::End, end).ok_or_else(not_found)?;
+        let b = self
+            .find_event(class, Boundary::Begin, begin)
+            .ok_or_else(not_found)?;
+        let e = self
+            .find_event(class, Boundary::End, end)
+            .ok_or_else(not_found)?;
         // Remove the later index first so the earlier index stays valid.
         let (first, second) = if b < e { (b, e) } else { (e, b) };
         self.events.remove(second);
@@ -274,7 +296,9 @@ impl AnnotatedBeString {
     /// boundary)` key, returning its index.
     fn find_event(&self, class: &ObjectClass, boundary: Boundary, coord: i64) -> Option<usize> {
         let probe = BoundaryEvent::new(coord, class.clone(), boundary);
-        let idx = self.events.partition_point(|e| cmp_events(e, &probe) == Ordering::Less);
+        let idx = self
+            .events
+            .partition_point(|e| cmp_events(e, &probe) == Ordering::Less);
         (idx < self.events.len() && cmp_events(&self.events[idx], &probe) == Ordering::Equal)
             .then_some(idx)
     }
@@ -339,7 +363,11 @@ impl AnnotatedBeString {
         if self.events.last().expect("non-empty").coord < self.extent {
             len += 1;
         }
-        len += self.events.windows(2).filter(|w| w[0].coord != w[1].coord).count();
+        len += self
+            .events
+            .windows(2)
+            .filter(|w| w[0].coord != w[1].coord)
+            .count();
         len
     }
 
@@ -355,13 +383,18 @@ impl AnnotatedBeString {
                 BoundaryEvent::new(self.extent - e.coord, e.class.clone(), e.boundary.flipped())
             })
             .collect();
-        let out = AnnotatedBeString { events, extent: self.extent };
+        let out = AnnotatedBeString {
+            events,
+            extent: self.extent,
+        };
         debug_assert!(out.is_sorted());
         out
     }
 
     fn is_sorted(&self) -> bool {
-        self.events.windows(2).all(|w| cmp_events(&w[0], &w[1]) != Ordering::Greater)
+        self.events
+            .windows(2)
+            .all(|w| cmp_events(&w[0], &w[1]) != Ordering::Greater)
     }
 }
 
@@ -409,9 +442,21 @@ impl SymbolicImage {
         let mut ys = Vec::with_capacity(2 * scene.len());
         for obj in scene {
             let (class, mbr) = (obj.class().clone(), obj.mbr());
-            xs.push(BoundaryEvent::new(mbr.x_begin(), class.clone(), Boundary::Begin));
-            xs.push(BoundaryEvent::new(mbr.x_end(), class.clone(), Boundary::End));
-            ys.push(BoundaryEvent::new(mbr.y_begin(), class.clone(), Boundary::Begin));
+            xs.push(BoundaryEvent::new(
+                mbr.x_begin(),
+                class.clone(),
+                Boundary::Begin,
+            ));
+            xs.push(BoundaryEvent::new(
+                mbr.x_end(),
+                class.clone(),
+                Boundary::End,
+            ));
+            ys.push(BoundaryEvent::new(
+                mbr.y_begin(),
+                class.clone(),
+                Boundary::Begin,
+            ));
             ys.push(BoundaryEvent::new(mbr.y_end(), class, Boundary::End));
         }
         let x = AnnotatedBeString::from_events(xs, scene.width())
@@ -444,8 +489,12 @@ impl SymbolicImage {
         y: AnnotatedBeString,
     ) -> Result<SymbolicImage, BeStringError> {
         let count = |s: &AnnotatedBeString| {
-            let mut v: Vec<_> =
-                s.events().iter().filter(|e| e.boundary == Boundary::Begin).map(|e| e.class.clone()).collect();
+            let mut v: Vec<_> = s
+                .events()
+                .iter()
+                .filter(|e| e.boundary == Boundary::Begin)
+                .map(|e| e.class.clone())
+                .collect();
             v.sort();
             v
         };
@@ -503,18 +552,28 @@ impl SymbolicImage {
     pub fn add_object(&mut self, class: &ObjectClass, mbr: Rect) -> Result<(), BeStringError> {
         if mbr.x_begin() < 0 || mbr.x_end() > self.width() {
             return Err(BeStringError::OutOfExtent {
-                coord: if mbr.x_begin() < 0 { mbr.x_begin() } else { mbr.x_end() },
+                coord: if mbr.x_begin() < 0 {
+                    mbr.x_begin()
+                } else {
+                    mbr.x_end()
+                },
                 extent: self.width(),
             });
         }
         if mbr.y_begin() < 0 || mbr.y_end() > self.height() {
             return Err(BeStringError::OutOfExtent {
-                coord: if mbr.y_begin() < 0 { mbr.y_begin() } else { mbr.y_end() },
+                coord: if mbr.y_begin() < 0 {
+                    mbr.y_begin()
+                } else {
+                    mbr.y_end()
+                },
                 extent: self.height(),
             });
         }
-        self.x.insert_object(class.clone(), mbr.x_begin(), mbr.x_end())?;
-        self.y.insert_object(class.clone(), mbr.y_begin(), mbr.y_end())?;
+        self.x
+            .insert_object(class.clone(), mbr.x_begin(), mbr.x_end())?;
+        self.y
+            .insert_object(class.clone(), mbr.y_begin(), mbr.y_end())?;
         Ok(())
     }
 
@@ -650,7 +709,10 @@ mod tests {
         // end-before-begin on exact coordinate ties.
         s.insert_object(class("A"), 40, 60).unwrap();
         let names: Vec<_> = s.events().iter().map(|e| e.to_string()).collect();
-        assert_eq!(names, ["B_b@20", "A_b@20", "A_e@40", "B_e@40", "A_b@40", "A_e@60"]);
+        assert_eq!(
+            names,
+            ["B_b@20", "A_b@20", "A_e@40", "B_e@40", "A_b@40", "A_e@60"]
+        );
     }
 
     #[test]
@@ -659,7 +721,10 @@ mod tests {
         s.insert_object(class("A"), 10, 50).unwrap();
         s.insert_object(class("B"), 50, 90).unwrap();
         assert!(s.contains_object(&class("A"), 10, 50));
-        assert!(s.remove_object(&class("A"), 10, 51).is_err(), "wrong end coord");
+        assert!(
+            s.remove_object(&class("A"), 10, 51).is_err(),
+            "wrong end coord"
+        );
         s.remove_object(&class("A"), 10, 50).unwrap();
         assert!(!s.contains_object(&class("A"), 10, 50));
         assert_eq!(s.to_be_string().to_string(), "E B_b E B_e E");
@@ -703,8 +768,12 @@ mod tests {
     #[test]
     fn add_object_validates_frame() {
         let mut img = SymbolicImage::empty(50, 50).unwrap();
-        assert!(img.add_object(&class("A"), Rect::new(0, 60, 0, 10).unwrap()).is_err());
-        assert!(img.add_object(&class("A"), Rect::new(0, 10, 0, 60).unwrap()).is_err());
+        assert!(img
+            .add_object(&class("A"), Rect::new(0, 60, 0, 10).unwrap())
+            .is_err());
+        assert!(img
+            .add_object(&class("A"), Rect::new(0, 10, 0, 60).unwrap())
+            .is_err());
         // failed add must not leave a half-inserted x-axis
         assert_eq!(img.x().events().len(), 0);
         assert_eq!(img.y().events().len(), 0);
@@ -713,10 +782,13 @@ mod tests {
     #[test]
     fn remove_object_is_atomic() {
         let mut img = SymbolicImage::empty(50, 50).unwrap();
-        img.add_object(&class("A"), Rect::new(0, 10, 0, 10).unwrap()).unwrap();
+        img.add_object(&class("A"), Rect::new(0, 10, 0, 10).unwrap())
+            .unwrap();
         let before = img.clone();
         // x matches but y does not -> error, unchanged
-        assert!(img.remove_object(&class("A"), Rect::new(0, 10, 0, 20).unwrap()).is_err());
+        assert!(img
+            .remove_object(&class("A"), Rect::new(0, 10, 0, 20).unwrap())
+            .is_err());
         assert_eq!(img, before);
     }
 
@@ -749,11 +821,7 @@ mod tests {
     fn from_events_validates() {
         let ev = |c: &str, b, coord| BoundaryEvent::new(coord, class(c), b);
         // unbalanced
-        assert!(AnnotatedBeString::from_events(
-            vec![ev("A", Boundary::Begin, 0)],
-            10
-        )
-        .is_err());
+        assert!(AnnotatedBeString::from_events(vec![ev("A", Boundary::Begin, 0)], 10).is_err());
         // end before begin
         assert!(AnnotatedBeString::from_events(
             vec![ev("A", Boundary::End, 0), ev("A", Boundary::Begin, 5)],

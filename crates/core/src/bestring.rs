@@ -61,14 +61,19 @@ impl BeString {
     /// which construct strings that are valid by construction; debug builds
     /// still assert the invariants.
     pub(crate) fn from_symbols_unchecked(symbols: Vec<BeSymbol>) -> Self {
-        debug_assert!(Self::validate(&symbols).is_ok(), "unchecked BE-string invalid");
+        debug_assert!(
+            Self::validate(&symbols).is_ok(),
+            "unchecked BE-string invalid"
+        );
         BeString { symbols }
     }
 
     /// The BE-string of an empty axis: a single dummy.
     #[must_use]
     pub fn empty_axis() -> Self {
-        BeString { symbols: vec![BeSymbol::Dummy] }
+        BeString {
+            symbols: vec![BeSymbol::Dummy],
+        }
     }
 
     fn validate(symbols: &[BeSymbol]) -> Result<(), BeStringError> {
@@ -187,7 +192,11 @@ impl BeString {
     pub fn class_counts(&self) -> HashMap<ObjectClass, usize> {
         let mut counts = HashMap::new();
         for s in &self.symbols {
-            if let BeSymbol::Bound { class, boundary: Boundary::Begin } = s {
+            if let BeSymbol::Bound {
+                class,
+                boundary: Boundary::Begin,
+            } = s
+            {
                 *counts.entry(class.clone()).or_insert(0) += 1;
             }
         }

@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn single_object_with_margins() {
-        let scene = SceneBuilder::new(10, 10).object("A", (2, 5, 0, 10)).build().unwrap();
+        let scene = SceneBuilder::new(10, 10)
+            .object("A", (2, 5, 0, 10))
+            .build()
+            .unwrap();
         let s = convert_scene(&scene);
         assert_eq!(s.x().to_string(), "E A_b E A_e E");
         assert_eq!(s.y().to_string(), "A_b E A_e");
@@ -113,7 +116,10 @@ mod tests {
         for i in 0..10 {
             let base = 1 + i * 90;
             scene
-                .add(ObjectClass::new("X"), Rect::new(base, base + 40, base, base + 40).unwrap())
+                .add(
+                    ObjectClass::new("X"),
+                    Rect::new(base, base + 40, base, base + 40).unwrap(),
+                )
                 .unwrap();
         }
         let s = convert_scene(&scene);
@@ -126,7 +132,9 @@ mod tests {
         // Best case: identical whole-frame objects -> 2n+1.
         let mut scene = be2d_geometry::Scene::new(100, 100).unwrap();
         for _ in 0..7 {
-            scene.add(ObjectClass::new("A"), Rect::new(0, 100, 0, 100).unwrap()).unwrap();
+            scene
+                .add(ObjectClass::new("A"), Rect::new(0, 100, 0, 100).unwrap())
+                .unwrap();
         }
         let s = convert_scene(&scene);
         assert_eq!(s.x().len(), 2 * 7 + 1);

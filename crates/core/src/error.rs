@@ -51,7 +51,10 @@ impl fmt::Display for BeStringError {
             }
             BeStringError::Parse { token } => write!(f, "cannot parse BE-string token {token:?}"),
             BeStringError::ObjectNotFound { class, begin, end } => {
-                write!(f, "object {class} with boundaries [{begin}, {end}) not found")
+                write!(
+                    f,
+                    "object {class} with boundaries [{begin}, {end}) not found"
+                )
             }
             BeStringError::OutOfExtent { coord, extent } => {
                 write!(f, "coordinate {coord} outside frame extent [0, {extent}]")
@@ -85,14 +88,23 @@ mod tests {
         assert!(e.to_string().contains("geometry error"));
         assert!(e.source().is_some());
 
-        let e = BeStringError::InvalidString { reason: "two adjacent dummies".into() };
+        let e = BeStringError::InvalidString {
+            reason: "two adjacent dummies".into(),
+        };
         assert!(e.to_string().contains("two adjacent dummies"));
         assert!(e.source().is_none());
 
-        let e = BeStringError::ObjectNotFound { class: "A".into(), begin: 1, end: 5 };
+        let e = BeStringError::ObjectNotFound {
+            class: "A".into(),
+            begin: 1,
+            end: 5,
+        };
         assert_eq!(e.to_string(), "object A with boundaries [1, 5) not found");
 
-        let e = BeStringError::OutOfExtent { coord: 12, extent: 10 };
+        let e = BeStringError::OutOfExtent {
+            coord: 12,
+            extent: 10,
+        };
         assert!(e.to_string().contains("outside frame extent"));
 
         let e = BeStringError::Parse { token: "??".into() };

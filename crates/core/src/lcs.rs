@@ -90,7 +90,11 @@ impl LcsTable {
                 w[i * cols + j] = cell;
             }
         }
-        LcsTable { w, cols, query: q.to_vec() }
+        LcsTable {
+            w,
+            cols,
+            query: q.to_vec(),
+        }
     }
 
     /// The LCS length `|w[m][n]|`.
@@ -107,7 +111,10 @@ impl LcsTable {
     /// Panics when the indices exceed the table dimensions.
     #[must_use]
     pub fn cell(&self, i: usize, j: usize) -> i32 {
-        assert!(j < self.cols && i * self.cols + j < self.w.len(), "cell index out of range");
+        assert!(
+            j < self.cols && i * self.cols + j < self.w.len(),
+            "cell index out of range"
+        );
         self.w[i * self.cols + j]
     }
 
@@ -197,8 +204,11 @@ impl LcsTable {
         }
         out.push('\n');
         for i in 0..self.rows() {
-            let label =
-                if i == 0 { "-".to_owned() } else { self.query[i - 1].to_string() };
+            let label = if i == 0 {
+                "-".to_owned()
+            } else {
+                self.query[i - 1].to_string()
+            };
             out.push_str(&format!("{label:>6}"));
             for j in 0..self.cols {
                 out.push_str(&format!("{:>5}", self.cell(i, j)));
@@ -259,9 +269,9 @@ pub fn exact_constrained_lcs_length(query: &BeString, database: &BeString) -> us
     let (m, n) = (q.len(), d.len());
     let cols = n + 1;
     const NEG: i32 = i32::MIN / 2; // "state unreachable" sentinel
-    // best[k][i][j]: longest constrained common subsequence of the
-    // prefixes whose last picked symbol is a boundary (k = 0) or a dummy
-    // (k = 1); the empty subsequence counts as boundary-tailed.
+                                   // best[k][i][j]: longest constrained common subsequence of the
+                                   // prefixes whose last picked symbol is a boundary (k = 0) or a dummy
+                                   // (k = 1); the empty subsequence counts as boundary-tailed.
     let mut bound = vec![0i32; (m + 1) * cols];
     let mut dummy = vec![NEG; (m + 1) * cols];
     for i in 1..=m {
@@ -395,7 +405,8 @@ mod tests {
         let d = s("E C_b E C_e E A_b E A_e E B_b E B_e E");
         let lcs = LcsTable::build(&q, &d).lcs_string();
         assert!(
-            lcs.windows(2).all(|w| !(w[0].is_dummy() && w[1].is_dummy())),
+            lcs.windows(2)
+                .all(|w| !(w[0].is_dummy() && w[1].is_dummy())),
             "no two consecutive dummies: {lcs:?}"
         );
     }
@@ -404,7 +415,10 @@ mod tests {
     fn recursive_and_iterative_reconstruction_agree() {
         let pairs = [
             ("E A_b E A_e E", "E A_b E A_e E"),
-            ("E A_b E B_b E A_e C_b E C_e E B_e E", "E B_b E A_b E B_e C_b E C_e E A_e E"),
+            (
+                "E A_b E B_b E A_e C_b E C_e E B_e E",
+                "E B_b E A_b E B_e C_b E C_e E A_e E",
+            ),
             ("A_b E A_e", "E A_b E A_e E"),
             ("E A_b E A_e E", "E B_b E B_e E"),
         ];
@@ -480,7 +494,12 @@ mod tests {
         assert_eq!(rendered.lines().count(), 5);
         assert!(rendered.contains("A_b"));
         assert!(rendered.contains("-2"), "negative dummy-tail cell visible");
-        assert!(rendered.lines().last().expect("rows").trim_end().ends_with('3'));
+        assert!(rendered
+            .lines()
+            .last()
+            .expect("rows")
+            .trim_end()
+            .ends_with('3'));
     }
 
     #[test]
@@ -492,7 +511,11 @@ mod tests {
             ("E A_b E A_e E B_b E B_e E", "E C_b E C_e E D_b E D_e E", 1),
         ];
         for (a, b, expected) in cases {
-            assert_eq!(exact_constrained_lcs_length(&s(a), &s(b)), expected, "{a} vs {b}");
+            assert_eq!(
+                exact_constrained_lcs_length(&s(a), &s(b)),
+                expected,
+                "{a} vs {b}"
+            );
         }
     }
 

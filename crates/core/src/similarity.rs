@@ -122,7 +122,11 @@ impl AxisSimilarity {
         let (lcs_len, query_len, target_len) = if cfg.count_dummies {
             (table.length(), query.len(), target.len())
         } else {
-            (table.boundary_length(), query.boundary_count(), target.boundary_count())
+            (
+                table.boundary_length(),
+                query.boundary_count(),
+                target.boundary_count(),
+            )
         };
         let score = match cfg.normalization {
             Normalization::QueryCoverage => ratio(lcs_len, query_len),
@@ -135,7 +139,12 @@ impl AxisSimilarity {
                 }
             }
         };
-        AxisSimilarity { lcs_len, query_len, target_len, score }
+        AxisSimilarity {
+            lcs_len,
+            query_len,
+            target_len,
+            score,
+        }
     }
 }
 
@@ -143,7 +152,11 @@ impl AxisSimilarity {
 /// identical) and `x / 0 = 0` otherwise.
 fn ratio(a: usize, b: usize) -> f64 {
     if b == 0 {
-        if a == 0 { 1.0 } else { 0.0 }
+        if a == 0 {
+            1.0
+        } else {
+            0.0
+        }
     } else {
         a as f64 / b as f64
     }
@@ -227,7 +240,12 @@ pub fn best_transform_similarity(
 ) -> Option<(Transform, Similarity)> {
     transforms
         .iter()
-        .map(|&t| (t, similarity_with(&crate::transform::transformed(query, t), target, cfg)))
+        .map(|&t| {
+            (
+                t,
+                similarity_with(&crate::transform::transformed(query, t), target, cfg),
+            )
+        })
         .max_by(|a, b| a.1.score.total_cmp(&b.1.score))
 }
 
@@ -252,7 +270,10 @@ mod tests {
 
     fn scene_a() -> BeString2D {
         convert_scene(
-            &SceneBuilder::new(100, 100).object("A", (10, 40, 20, 60)).build().unwrap(),
+            &SceneBuilder::new(100, 100)
+                .object("A", (10, 40, 20, 60))
+                .build()
+                .unwrap(),
         )
     }
 
@@ -270,12 +291,18 @@ mod tests {
     #[test]
     fn self_similarity_is_one_under_all_configs() {
         let s = scene_ab();
-        for normalization in
-            [Normalization::QueryCoverage, Normalization::TargetCoverage, Normalization::Dice]
-        {
+        for normalization in [
+            Normalization::QueryCoverage,
+            Normalization::TargetCoverage,
+            Normalization::Dice,
+        ] {
             for axis_combine in [AxisCombine::Mean, AxisCombine::Product, AxisCombine::Min] {
                 for count_dummies in [true, false] {
-                    let cfg = SimilarityConfig { normalization, axis_combine, count_dummies };
+                    let cfg = SimilarityConfig {
+                        normalization,
+                        axis_combine,
+                        count_dummies,
+                    };
                     let sim = similarity_with(&s, &s, &cfg);
                     assert!(
                         (sim.score - 1.0).abs() < 1e-12,
@@ -289,8 +316,11 @@ mod tests {
 
     #[test]
     fn scores_are_in_unit_interval() {
-        let pairs =
-            [(scene_a(), scene_ab()), (scene_ab(), scene_a()), (scene_ab(), scene_ba())];
+        let pairs = [
+            (scene_a(), scene_ab()),
+            (scene_ab(), scene_a()),
+            (scene_ab(), scene_ba()),
+        ];
         for (q, d) in pairs {
             let sim = similarity(&q, &d);
             assert!((0.0..=1.0).contains(&sim.score));
@@ -307,7 +337,11 @@ mod tests {
             ..SimilarityConfig::default()
         };
         let sim = similarity_with(&scene_a(), &scene_ab(), &cfg);
-        assert!((sim.score - 1.0).abs() < 1e-12, "query fully covered: {}", sim.score);
+        assert!(
+            (sim.score - 1.0).abs() < 1e-12,
+            "query fully covered: {}",
+            sim.score
+        );
     }
 
     #[test]
@@ -326,7 +360,10 @@ mod tests {
         let disjoint = similarity(
             &scene_ab(),
             &convert_scene(
-                &SceneBuilder::new(100, 100).object("Z", (0, 9, 0, 9)).build().unwrap(),
+                &SceneBuilder::new(100, 100)
+                    .object("Z", (0, 9, 0, 9))
+                    .build()
+                    .unwrap(),
             ),
         )
         .score;
@@ -336,7 +373,10 @@ mod tests {
 
     #[test]
     fn boundary_only_counting_changes_lengths() {
-        let cfg = SimilarityConfig { count_dummies: false, ..SimilarityConfig::default() };
+        let cfg = SimilarityConfig {
+            count_dummies: false,
+            ..SimilarityConfig::default()
+        };
         let sim = similarity_with(&scene_ab(), &scene_ab(), &cfg);
         assert_eq!(sim.x.query_len, 4, "2 objects = 4 boundary symbols");
         assert!((sim.score - 1.0).abs() < 1e-12);
@@ -350,12 +390,18 @@ mod tests {
             similarity_with(
                 &q,
                 &d,
-                &SimilarityConfig { axis_combine: combine, ..SimilarityConfig::default() },
+                &SimilarityConfig {
+                    axis_combine: combine,
+                    ..SimilarityConfig::default()
+                },
             )
             .score
         };
-        let (mean, product, min) =
-            (score(AxisCombine::Mean), score(AxisCombine::Product), score(AxisCombine::Min));
+        let (mean, product, min) = (
+            score(AxisCombine::Mean),
+            score(AxisCombine::Product),
+            score(AxisCombine::Min),
+        );
         assert!(product <= min + 1e-12);
         assert!(min <= mean + 1e-12);
     }
@@ -365,7 +411,10 @@ mod tests {
         let e = convert_scene(&be2d_geometry::Scene::new(10, 10).unwrap());
         let sim = similarity(&e, &e);
         assert!((sim.score - 1.0).abs() < 1e-12);
-        let cfg = SimilarityConfig { count_dummies: false, ..SimilarityConfig::default() };
+        let cfg = SimilarityConfig {
+            count_dummies: false,
+            ..SimilarityConfig::default()
+        };
         let sim = similarity_with(&e, &e, &cfg);
         assert!((sim.score - 1.0).abs() < 1e-12, "0/0 convention");
     }
@@ -398,13 +447,10 @@ mod tests {
         .unwrap();
         assert!((sim.score - 1.0).abs() < 1e-12);
         assert_eq!(t, Transform::Rotate90);
-        assert!(best_transform_similarity(
-            &original,
-            &rotated,
-            &[],
-            &SimilarityConfig::default()
-        )
-        .is_none());
+        assert!(
+            best_transform_similarity(&original, &rotated, &[], &SimilarityConfig::default())
+                .is_none()
+        );
     }
 
     #[test]

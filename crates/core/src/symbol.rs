@@ -91,13 +91,19 @@ impl BeSymbol {
     /// Convenience constructor for a begin boundary symbol.
     #[must_use]
     pub const fn begin(class: ObjectClass) -> Self {
-        BeSymbol::Bound { class, boundary: Boundary::Begin }
+        BeSymbol::Bound {
+            class,
+            boundary: Boundary::Begin,
+        }
     }
 
     /// Convenience constructor for an end boundary symbol.
     #[must_use]
     pub const fn end(class: ObjectClass) -> Self {
-        BeSymbol::Bound { class, boundary: Boundary::End }
+        BeSymbol::Bound {
+            class,
+            boundary: Boundary::End,
+        }
     }
 
     /// Whether this is the dummy object ε.
@@ -137,9 +143,10 @@ impl BeSymbol {
     pub fn flipped(&self) -> BeSymbol {
         match self {
             BeSymbol::Dummy => BeSymbol::Dummy,
-            BeSymbol::Bound { class, boundary } => {
-                BeSymbol::Bound { class: class.clone(), boundary: boundary.flipped() }
-            }
+            BeSymbol::Bound { class, boundary } => BeSymbol::Bound {
+                class: class.clone(),
+                boundary: boundary.flipped(),
+            },
         }
     }
 
@@ -154,16 +161,21 @@ impl BeSymbol {
         if token == "E" {
             return Ok(BeSymbol::Dummy);
         }
-        let (name, suffix) = token
-            .rsplit_once('_')
-            .ok_or_else(|| BeStringError::Parse { token: token.to_owned() })?;
+        let (name, suffix) = token.rsplit_once('_').ok_or_else(|| BeStringError::Parse {
+            token: token.to_owned(),
+        })?;
         let boundary = match suffix {
             "b" => Boundary::Begin,
             "e" => Boundary::End,
-            _ => return Err(BeStringError::Parse { token: token.to_owned() }),
+            _ => {
+                return Err(BeStringError::Parse {
+                    token: token.to_owned(),
+                })
+            }
         };
-        let class = ObjectClass::try_new(name)
-            .map_err(|_| BeStringError::Parse { token: token.to_owned() })?;
+        let class = ObjectClass::try_new(name).map_err(|_| BeStringError::Parse {
+            token: token.to_owned(),
+        })?;
         Ok(BeSymbol::Bound { class, boundary })
     }
 }

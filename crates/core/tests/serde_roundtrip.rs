@@ -62,7 +62,10 @@ fn similarity_results_roundtrip() {
     let back = roundtrip(&sim);
     assert_eq!(back.score, sim.score);
     assert_eq!(back.x.lcs_len, sim.x.lcs_len);
-    assert_eq!(roundtrip(&SimilarityConfig::default()), SimilarityConfig::default());
+    assert_eq!(
+        roundtrip(&SimilarityConfig::default()),
+        SimilarityConfig::default()
+    );
 }
 
 #[test]

@@ -3,9 +3,7 @@
 use crate::{
     CandidateSource, ClassIndex, ClassSignature, DbError, PrefilterMode, QueryOptions, SearchHit,
 };
-use be2d_core::{
-    similarity_with, transformed, BeString2D, Similarity, SymbolicImage,
-};
+use be2d_core::{similarity_with, transformed, BeString2D, Similarity, SymbolicImage};
 use be2d_geometry::{ObjectClass, Rect, Scene, Transform};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -47,7 +45,11 @@ pub struct ImageRecord {
 
 impl ImageRecord {
     fn classes(&self) -> Vec<ObjectClass> {
-        self.symbolic.to_be_string_2d().class_counts().into_keys().collect()
+        self.symbolic
+            .to_be_string_2d()
+            .class_counts()
+            .into_keys()
+            .collect()
     }
 
     fn refresh_signature(&mut self) {
@@ -234,7 +236,11 @@ impl ImageDatabase {
         let query_variants: QueryVariants = if options.transforms.is_empty() {
             vec![(Transform::Identity, query.clone())]
         } else {
-            options.transforms.iter().map(|&t| (t, transformed(query, t))).collect()
+            options
+                .transforms
+                .iter()
+                .map(|&t| (t, transformed(query, t)))
+                .collect()
         };
         let query_classes: Vec<ObjectClass> = query.class_counts().into_keys().collect();
         let query_sig = ClassSignature::from_classes(query_classes.iter());
@@ -267,9 +273,7 @@ impl ImageDatabase {
             let (transform, similarity) = query_variants
                 .iter()
                 .map(|(t, q)| (*t, similarity_with(q, &target, &options.config)))
-                .max_by(|a, b| {
-                    a.1.score.total_cmp(&b.1.score)
-                })
+                .max_by(|a, b| a.1.score.total_cmp(&b.1.score))
                 .expect("at least one transform");
             SearchHit {
                 id: record.id,
@@ -281,14 +285,21 @@ impl ImageDatabase {
         };
 
         let mut hits: Vec<SearchHit> = if options.parallel && candidates.len() >= 32 {
-            let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(16);
+            let threads = std::thread::available_parallelism()
+                .map_or(1, |n| n.get())
+                .min(16);
             let chunk = candidates.len().div_ceil(threads);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = candidates
                     .chunks(chunk)
-                    .map(|part| scope.spawn(move || part.iter().map(|r| score_one(r)).collect::<Vec<_>>()))
+                    .map(|part| {
+                        scope.spawn(move || part.iter().map(|r| score_one(r)).collect::<Vec<_>>())
+                    })
                     .collect();
-                handles.into_iter().flat_map(|h| h.join().expect("scorer panicked")).collect()
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("scorer panicked"))
+                    .collect()
             })
         } else {
             candidates.into_iter().map(score_one).collect()
@@ -308,7 +319,9 @@ impl ImageDatabase {
     ///
     /// Returns [`DbError::Persist`] when serde fails.
     pub fn to_json(&self) -> Result<String, DbError> {
-        serde_json::to_string(self).map_err(|e| DbError::Persist { reason: e.to_string() })
+        serde_json::to_string(self).map_err(|e| DbError::Persist {
+            reason: e.to_string(),
+        })
     }
 
     /// Restores a database from [`to_json`](Self::to_json) output.
@@ -317,7 +330,9 @@ impl ImageDatabase {
     ///
     /// Returns [`DbError::Persist`] when the JSON is malformed.
     pub fn from_json(json: &str) -> Result<Self, DbError> {
-        serde_json::from_str(json).map_err(|e| DbError::Persist { reason: e.to_string() })
+        serde_json::from_str(json).map_err(|e| DbError::Persist {
+            reason: e.to_string(),
+        })
     }
 
     /// Saves the database to a file.
@@ -349,7 +364,9 @@ impl ImageDatabase {
         id: RecordId,
         options: &QueryOptions,
     ) -> Result<Similarity, DbError> {
-        let record = self.get(id).ok_or(DbError::UnknownRecord { id: id.index() })?;
+        let record = self
+            .get(id)
+            .ok_or(DbError::UnknownRecord { id: id.index() })?;
         let target = record.symbolic.to_be_string_2d();
         Ok(similarity_with(query, &target, &options.config))
     }
@@ -372,12 +389,20 @@ mod tests {
     fn sample_db() -> (ImageDatabase, RecordId, RecordId, RecordId) {
         let mut db = ImageDatabase::new();
         let a = db
-            .insert_scene("ab", &scene(&[("A", (10, 30, 10, 30)), ("B", (50, 80, 50, 80))]))
+            .insert_scene(
+                "ab",
+                &scene(&[("A", (10, 30, 10, 30)), ("B", (50, 80, 50, 80))]),
+            )
             .unwrap();
         let b = db
-            .insert_scene("ba", &scene(&[("B", (10, 30, 10, 30)), ("A", (50, 80, 50, 80))]))
+            .insert_scene(
+                "ba",
+                &scene(&[("B", (10, 30, 10, 30)), ("A", (50, 80, 50, 80))]),
+            )
             .unwrap();
-        let c = db.insert_scene("z", &scene(&[("Z", (20, 60, 20, 60))])).unwrap();
+        let c = db
+            .insert_scene("z", &scene(&[("Z", (20, 60, 20, 60))]))
+            .unwrap();
         (db, a, b, c)
     }
 
@@ -393,7 +418,9 @@ mod tests {
         assert!(db.remove(a).is_err(), "double remove");
         assert!(db.remove(RecordId(99)).is_err());
         // ids are not reused
-        let d = db.insert_scene("d", &scene(&[("A", (0, 5, 0, 5))])).unwrap();
+        let d = db
+            .insert_scene("d", &scene(&[("A", (0, 5, 0, 5))]))
+            .unwrap();
         assert_eq!(d, RecordId(3));
     }
 
@@ -415,7 +442,11 @@ mod tests {
         let query = scene(&[("A", (10, 30, 10, 30))]);
         let none = db.search_scene(
             &query,
-            &QueryOptions { prefilter: PrefilterMode::None, top_k: None, ..Default::default() },
+            &QueryOptions {
+                prefilter: PrefilterMode::None,
+                top_k: None,
+                ..Default::default()
+            },
         );
         let any = db.search_scene(
             &query,
@@ -457,7 +488,11 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(db.search_scene(&query, &opts).len(), 1);
-        let opts = QueryOptions { top_k: Some(2), prefilter: PrefilterMode::None, ..Default::default() };
+        let opts = QueryOptions {
+            top_k: Some(2),
+            prefilter: PrefilterMode::None,
+            ..Default::default()
+        };
         assert_eq!(db.search_scene(&query, &opts).len(), 2);
     }
 
@@ -502,7 +537,9 @@ mod tests {
         db.remove_object(a, &ObjectClass::new("X"), extra).unwrap();
         assert_eq!(db.get(a).unwrap().symbolic.object_count(), 2);
         assert!(db.remove_object(a, &ObjectClass::new("X"), extra).is_err());
-        assert!(db.add_object(RecordId(99), &ObjectClass::new("X"), extra).is_err());
+        assert!(db
+            .add_object(RecordId(99), &ObjectClass::new("X"), extra)
+            .is_err());
     }
 
     #[test]
@@ -511,7 +548,8 @@ mod tests {
         let q = scene(&[("X", (0, 9, 0, 9))]);
         let before = db.search_scene(&q, &QueryOptions::default());
         assert!(before.iter().all(|h| h.id != a), "A record lacks class X");
-        db.add_object(a, &ObjectClass::new("X"), Rect::new(0, 9, 0, 9).unwrap()).unwrap();
+        db.add_object(a, &ObjectClass::new("X"), Rect::new(0, 9, 0, 9).unwrap())
+            .unwrap();
         let after = db.search_scene(&q, &QueryOptions::default());
         assert!(after.iter().any(|h| h.id == a));
     }
@@ -527,8 +565,22 @@ mod tests {
             db.insert_scene(&format!("img{i}"), &s).unwrap();
         }
         let query = scene(&[("A", (5, 25, 0, 30)), ("B", (40, 80, 10, 45))]);
-        let serial = db.search_scene(&query, &QueryOptions { parallel: false, top_k: None, ..Default::default() });
-        let parallel = db.search_scene(&query, &QueryOptions { parallel: true, top_k: None, ..Default::default() });
+        let serial = db.search_scene(
+            &query,
+            &QueryOptions {
+                parallel: false,
+                top_k: None,
+                ..Default::default()
+            },
+        );
+        let parallel = db.search_scene(
+            &query,
+            &QueryOptions {
+                parallel: true,
+                top_k: None,
+                ..Default::default()
+            },
+        );
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.id, p.id);
@@ -551,8 +603,12 @@ mod tests {
         // remove a few records and edit one so index maintenance is covered
         db.remove(RecordId(5)).unwrap();
         db.remove(RecordId(17)).unwrap();
-        db.add_object(RecordId(3), &ObjectClass::new("Q"), Rect::new(70, 80, 70, 80).unwrap())
-            .unwrap();
+        db.add_object(
+            RecordId(3),
+            &ObjectClass::new("Q"),
+            Rect::new(70, 80, 70, 80).unwrap(),
+        )
+        .unwrap();
 
         let query = scene(&[("A", (0, 12, 0, 10)), ("X", (30, 60, 30, 62))]);
         for prefilter in [PrefilterMode::AnyClass, PrefilterMode::AllClasses] {
@@ -605,18 +661,29 @@ mod tests {
     fn index_reflects_object_removal() {
         let mut db = ImageDatabase::new();
         let id = db
-            .insert_scene("two-of-a", &scene(&[("A", (0, 5, 0, 5)), ("A", (10, 15, 10, 15))]))
+            .insert_scene(
+                "two-of-a",
+                &scene(&[("A", (0, 5, 0, 5)), ("A", (10, 15, 10, 15))]),
+            )
             .unwrap();
         let q = scene(&[("A", (0, 5, 0, 5))]);
         let opts = QueryOptions {
             candidates: CandidateSource::ClassIndex,
             ..QueryOptions::default()
         };
-        db.remove_object(id, &ObjectClass::new("A"), Rect::new(0, 5, 0, 5).unwrap()).unwrap();
-        assert_eq!(db.search_scene(&q, &opts).len(), 1, "one A remains indexed");
-        db.remove_object(id, &ObjectClass::new("A"), Rect::new(10, 15, 10, 15).unwrap())
+        db.remove_object(id, &ObjectClass::new("A"), Rect::new(0, 5, 0, 5).unwrap())
             .unwrap();
-        assert!(db.search_scene(&q, &opts).is_empty(), "last A drops the posting");
+        assert_eq!(db.search_scene(&q, &opts).len(), 1, "one A remains indexed");
+        db.remove_object(
+            id,
+            &ObjectClass::new("A"),
+            Rect::new(10, 15, 10, 15).unwrap(),
+        )
+        .unwrap();
+        assert!(
+            db.search_scene(&q, &opts).is_empty(),
+            "last A drops the posting"
+        );
     }
 
     #[test]
@@ -645,7 +712,9 @@ mod tests {
         let q = be2d_core::convert_scene(&scene(&[("A", (10, 30, 10, 30))]));
         let sim = db.similarity_to(&q, a, &QueryOptions::default()).unwrap();
         assert!(sim.score > 0.0 && sim.score < 1.0);
-        assert!(db.similarity_to(&q, RecordId(99), &QueryOptions::default()).is_err());
+        assert!(db
+            .similarity_to(&q, RecordId(99), &QueryOptions::default())
+            .is_err());
     }
 
     #[test]
@@ -654,13 +723,20 @@ mod tests {
         // the exact strings of record "ab"
         let target = db.get(a).unwrap().symbolic.to_be_string_2d();
         let hits = db
-            .search_text(&target.x().to_string(), &target.y().to_string(), &QueryOptions::default())
+            .search_text(
+                &target.x().to_string(),
+                &target.y().to_string(),
+                &QueryOptions::default(),
+            )
             .unwrap();
         assert_eq!(hits[0].id, a);
         assert!((hits[0].score - 1.0).abs() < 1e-12);
-        assert!(db.search_text("not a string", "E", &QueryOptions::default()).is_err());
+        assert!(db
+            .search_text("not a string", "E", &QueryOptions::default())
+            .is_err());
         assert!(
-            db.search_text("A_b E A_e", "B_b E B_e", &QueryOptions::default()).is_err(),
+            db.search_text("A_b E A_e", "B_b E B_e", &QueryOptions::default())
+                .is_err(),
             "mismatched axes rejected"
         );
     }

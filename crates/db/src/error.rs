@@ -74,14 +74,19 @@ mod tests {
         assert_eq!(e.to_string(), "unknown record id 3");
         assert!(e.source().is_none());
 
-        let e = DbError::from(BeStringError::OutOfExtent { coord: 5, extent: 3 });
+        let e = DbError::from(BeStringError::OutOfExtent {
+            coord: 5,
+            extent: 3,
+        });
         assert!(e.to_string().contains("BE-string"));
         assert!(e.source().is_some());
 
         let e = DbError::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
 
-        let e = DbError::Persist { reason: "bad json".into() };
+        let e = DbError::Persist {
+            reason: "bad json".into(),
+        };
         assert!(e.to_string().contains("bad json"));
     }
 }

@@ -144,12 +144,18 @@ mod tests {
     #[test]
     fn any_and_all_candidates() {
         let idx = sample();
-        assert_eq!(idx.candidates_any(&[class("B")]), vec![RecordId(0), RecordId(1)]);
+        assert_eq!(
+            idx.candidates_any(&[class("B")]),
+            vec![RecordId(0), RecordId(1)]
+        );
         assert_eq!(
             idx.candidates_any(&[class("A"), class("C")]),
             vec![RecordId(0), RecordId(1), RecordId(2)]
         );
-        assert_eq!(idx.candidates_all(&[class("B"), class("C")]), vec![RecordId(1)]);
+        assert_eq!(
+            idx.candidates_all(&[class("B"), class("C")]),
+            vec![RecordId(1)]
+        );
         assert_eq!(idx.candidates_all(&[class("A"), class("C")]), vec![]);
         assert!(idx.candidates_any(&[class("Z")]).is_empty());
         assert!(idx.candidates_all(&[class("Z")]).is_empty());
@@ -171,7 +177,10 @@ mod tests {
     fn class_level_edits() {
         let mut idx = sample();
         idx.add_class(RecordId(2), class("A"));
-        assert_eq!(idx.candidates_all(&[class("A"), class("C")]), vec![RecordId(2)]);
+        assert_eq!(
+            idx.candidates_all(&[class("A"), class("C")]),
+            vec![RecordId(2)]
+        );
         idx.remove_class(RecordId(2), &class("A"));
         assert!(idx.candidates_all(&[class("A"), class("C")]).is_empty());
         // removing a class the record never had is a no-op

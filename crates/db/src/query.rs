@@ -96,7 +96,10 @@ impl QueryOptions {
     /// paper's transform set.
     #[must_use]
     pub fn transform_invariant() -> Self {
-        QueryOptions { transforms: Transform::PAPER_SET.to_vec(), ..QueryOptions::default() }
+        QueryOptions {
+            transforms: Transform::PAPER_SET.to_vec(),
+            ..QueryOptions::default()
+        }
     }
 
     /// Returns a copy with a different `top_k`.
@@ -124,7 +127,11 @@ pub struct SearchHit {
 
 impl fmt::Display for SearchHit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}): {:.4} via {}", self.name, self.id, self.score, self.transform)
+        write!(
+            f,
+            "{} ({}): {:.4} via {}",
+            self.name, self.id, self.score, self.transform
+        )
     }
 }
 

@@ -52,7 +52,9 @@ impl SharedImageDatabase {
     /// Wraps an existing database.
     #[must_use]
     pub fn from_database(db: ImageDatabase) -> Self {
-        SharedImageDatabase { inner: Arc::new(RwLock::new(db)) }
+        SharedImageDatabase {
+            inner: Arc::new(RwLock::new(db)),
+        }
     }
 
     /// Number of live records (read lock).
@@ -100,12 +102,7 @@ impl SharedImageDatabase {
     /// # Errors
     ///
     /// Propagates the underlying error; the record is unchanged on error.
-    pub fn add_object(
-        &self,
-        id: RecordId,
-        class: &ObjectClass,
-        mbr: Rect,
-    ) -> Result<(), DbError> {
+    pub fn add_object(&self, id: RecordId, class: &ObjectClass, mbr: Rect) -> Result<(), DbError> {
         self.inner.write().add_object(id, class, mbr)
     }
 
@@ -198,7 +195,9 @@ mod tests {
             let writer = db.clone();
             s.spawn(move || {
                 for i in 20..40 {
-                    let id = writer.insert_scene(&format!("img{i}"), &scene(i % 30)).unwrap();
+                    let id = writer
+                        .insert_scene(&format!("img{i}"), &scene(i % 30))
+                        .unwrap();
                     if i % 3 == 0 {
                         writer.remove(id).unwrap();
                     }
@@ -216,7 +215,12 @@ mod tests {
         let db = SharedImageDatabase::new();
         db.insert_scene("one", &scene(0)).unwrap();
         let (len, hit_count) = db.with_read(|inner| {
-            (inner.len(), inner.search_scene(&scene(0), &QueryOptions::default()).len())
+            (
+                inner.len(),
+                inner
+                    .search_scene(&scene(0), &QueryOptions::default())
+                    .len(),
+            )
         });
         assert_eq!(len, 1);
         assert_eq!(hit_count, 1);

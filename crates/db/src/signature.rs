@@ -99,7 +99,9 @@ mod tests {
         assert!(a.shares_any(&b));
         // D may collide with A/B under the 64-bit hash, but these names
         // are chosen collision-free for the test
-        assert!(!a.shares_any(&c) || ClassSignature::from_classes([&class("D")]).bits() & a.bits() != 0);
+        assert!(
+            !a.shares_any(&c) || ClassSignature::from_classes([&class("D")]).bits() & a.bits() != 0
+        );
     }
 
     #[test]

@@ -133,8 +133,8 @@ impl Sketch {
         let mut index: HashMap<String, usize> = HashMap::new();
         let mut constraints = Vec::new();
         let intern = |name: &str,
-                          names: &mut Vec<String>,
-                          index: &mut HashMap<String, usize>|
+                      names: &mut Vec<String>,
+                      index: &mut HashMap<String, usize>|
          -> Result<usize, DbError> {
             ObjectClass::try_new(name).map_err(|_| DbError::Sketch {
                 reason: format!("invalid icon name {name:?}"),
@@ -168,7 +168,9 @@ impl Sketch {
             constraints.push((ia, relation, ib));
         }
         if names.is_empty() {
-            return Err(DbError::Sketch { reason: "empty sketch".into() });
+            return Err(DbError::Sketch {
+                reason: "empty sketch".into(),
+            });
         }
         Ok(Sketch { names, constraints })
     }
@@ -204,16 +206,26 @@ impl Sketch {
             .collect();
 
         // 1. ordering ranks per axis via longest-path topological order
-        let x_rank = Self::ranks(n, canonical.iter().filter_map(|&(r, a, b)| match r {
-            CanonicalRelation::Before(Axis::X) => Some((a, b)),
-            _ => None,
-        }))
-        .ok_or_else(|| DbError::Sketch { reason: "cyclic left-of/right-of constraints".into() })?;
-        let y_rank = Self::ranks(n, canonical.iter().filter_map(|&(r, a, b)| match r {
-            CanonicalRelation::Before(Axis::Y) => Some((a, b)),
-            _ => None,
-        }))
-        .ok_or_else(|| DbError::Sketch { reason: "cyclic above/below constraints".into() })?;
+        let x_rank = Self::ranks(
+            n,
+            canonical.iter().filter_map(|&(r, a, b)| match r {
+                CanonicalRelation::Before(Axis::X) => Some((a, b)),
+                _ => None,
+            }),
+        )
+        .ok_or_else(|| DbError::Sketch {
+            reason: "cyclic left-of/right-of constraints".into(),
+        })?;
+        let y_rank = Self::ranks(
+            n,
+            canonical.iter().filter_map(|&(r, a, b)| match r {
+                CanonicalRelation::Before(Axis::Y) => Some((a, b)),
+                _ => None,
+            }),
+        )
+        .ok_or_else(|| DbError::Sketch {
+            reason: "cyclic above/below constraints".into(),
+        })?;
 
         // 2. base grid placement: cell 40, icon 32, gap 8
         const CELL: i64 = 40;
@@ -221,7 +233,12 @@ impl Sketch {
         let mut boxes: Vec<(i64, i64, i64, i64)> = (0..n)
             .map(|i| {
                 let (xr, yr) = (x_rank[i] as i64, y_rank[i] as i64);
-                (xr * CELL + 4, xr * CELL + 4 + SIZE, yr * CELL + 4, yr * CELL + 4 + SIZE)
+                (
+                    xr * CELL + 4,
+                    xr * CELL + 4 + SIZE,
+                    yr * CELL + 4,
+                    yr * CELL + 4 + SIZE,
+                )
             })
             .collect();
 
@@ -251,7 +268,12 @@ impl Sketch {
             if r == CanonicalRelation::Overlaps {
                 let bb = boxes[b];
                 let (dx, dy) = ((bb.1 - bb.0) / 4, (bb.3 - bb.2) / 4);
-                boxes[a] = (bb.0 + dx.max(1), bb.1 + dx.max(1), bb.2 + dy.max(1), bb.3 + dy.max(1));
+                boxes[a] = (
+                    bb.0 + dx.max(1),
+                    bb.1 + dx.max(1),
+                    bb.2 + dy.max(1),
+                    bb.3 + dy.max(1),
+                );
             }
         }
 
@@ -260,18 +282,29 @@ impl Sketch {
         let min_y = boxes.iter().map(|b| b.2).min().unwrap_or(0).min(0);
         let max_x = boxes.iter().map(|b| b.1).max().unwrap_or(1) - min_x;
         let max_y = boxes.iter().map(|b| b.3).max().unwrap_or(1) - min_y;
-        let mut scene = Scene::new(max_x + 8, max_y + 8)
-            .map_err(|e| DbError::Sketch { reason: e.to_string() })?;
+        let mut scene = Scene::new(max_x + 8, max_y + 8).map_err(|e| DbError::Sketch {
+            reason: e.to_string(),
+        })?;
         for (i, b) in boxes.iter().enumerate() {
-            let rect = Rect::new(b.0 - min_x + 4, b.1 - min_x + 4, b.2 - min_y + 4, b.3 - min_y + 4)
-                .map_err(|e| DbError::Sketch { reason: e.to_string() })?;
+            let rect = Rect::new(
+                b.0 - min_x + 4,
+                b.1 - min_x + 4,
+                b.2 - min_y + 4,
+                b.3 - min_y + 4,
+            )
+            .map_err(|e| DbError::Sketch {
+                reason: e.to_string(),
+            })?;
             scene
                 .add(
-                    ObjectClass::try_new(&self.names[i])
-                        .map_err(|e| DbError::Sketch { reason: e.to_string() })?,
+                    ObjectClass::try_new(&self.names[i]).map_err(|e| DbError::Sketch {
+                        reason: e.to_string(),
+                    })?,
                     rect,
                 )
-                .map_err(|e| DbError::Sketch { reason: e.to_string() })?;
+                .map_err(|e| DbError::Sketch {
+                    reason: e.to_string(),
+                })?;
         }
 
         // 6. verify every original constraint on the placed MBRs
@@ -361,8 +394,10 @@ mod tests {
 
     #[test]
     fn ordering_constraints_hold() {
-        let scene =
-            Sketch::parse("A left-of B, B left-of C, A below C").unwrap().to_scene().unwrap();
+        let scene = Sketch::parse("A left-of B, B left-of C, A below C")
+            .unwrap()
+            .to_scene()
+            .unwrap();
         let m = |i: usize| scene.objects()[i].mbr();
         assert!(m(0).x_end() <= m(1).x_begin());
         assert!(m(1).x_end() <= m(2).x_begin());
@@ -371,7 +406,10 @@ mod tests {
 
     #[test]
     fn mirrored_relations() {
-        let scene = Sketch::parse("A right-of B; A above B").unwrap().to_scene().unwrap();
+        let scene = Sketch::parse("A right-of B; A above B")
+            .unwrap()
+            .to_scene()
+            .unwrap();
         let m = |i: usize| scene.objects()[i].mbr();
         assert!(m(1).x_end() <= m(0).x_begin());
         assert!(m(1).y_end() <= m(0).y_begin());
@@ -379,8 +417,10 @@ mod tests {
 
     #[test]
     fn nesting_constraints_hold() {
-        let scene =
-            Sketch::parse("A inside B; B inside C").unwrap().to_scene().unwrap();
+        let scene = Sketch::parse("A inside B; B inside C")
+            .unwrap()
+            .to_scene()
+            .unwrap();
         let m = |i: usize| scene.objects()[i].mbr();
         assert!(m(1).contains(&m(0)));
         assert!(m(2).contains(&m(1)));
@@ -395,7 +435,10 @@ mod tests {
 
     #[test]
     fn overlap_constraint_holds() {
-        let scene = Sketch::parse("A overlaps B; A left-of C").unwrap().to_scene().unwrap();
+        let scene = Sketch::parse("A overlaps B; A left-of C")
+            .unwrap()
+            .to_scene()
+            .unwrap();
         let (a, b) = (scene.objects()[0].mbr(), scene.objects()[1].mbr());
         assert!(a.overlaps(&b));
         assert!(!a.contains(&b) && !b.contains(&a));
@@ -403,9 +446,13 @@ mod tests {
 
     #[test]
     fn cyclic_ordering_is_an_error() {
-        let err = Sketch::parse("A left-of B; B left-of A").unwrap().to_scene();
+        let err = Sketch::parse("A left-of B; B left-of A")
+            .unwrap()
+            .to_scene();
         assert!(matches!(err, Err(DbError::Sketch { .. })));
-        let err = Sketch::parse("A below B; B below C; C below A").unwrap().to_scene();
+        let err = Sketch::parse("A below B; B below C; C below A")
+            .unwrap()
+            .to_scene();
         assert!(err.is_err());
     }
 

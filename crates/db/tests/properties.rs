@@ -12,16 +12,25 @@ const FRAME: i64 = 64;
 /// One step of the stateful test.
 #[derive(Debug, Clone)]
 enum Op {
-    InsertImage { objects: Vec<(usize, i64, i64, i64, i64)> },
-    RemoveImage { slot: usize },
-    AddObject { slot: usize, class: usize, rect: (i64, i64, i64, i64) },
-    RemoveObject { slot: usize },
+    InsertImage {
+        objects: Vec<(usize, i64, i64, i64, i64)>,
+    },
+    RemoveImage {
+        slot: usize,
+    },
+    AddObject {
+        slot: usize,
+        class: usize,
+        rect: (i64, i64, i64, i64),
+    },
+    RemoveObject {
+        slot: usize,
+    },
 }
 
 fn arb_rect_tuple() -> impl Strategy<Value = (i64, i64, i64, i64)> {
     (0..FRAME - 1, 0..FRAME - 1).prop_flat_map(|(xb, yb)| {
-        (1..=FRAME - xb, 1..=FRAME - yb)
-            .prop_map(move |(w, h)| (xb, xb + w, yb, yb + h))
+        (1..=FRAME - xb, 1..=FRAME - yb).prop_map(move |(w, h)| (xb, xb + w, yb, yb + h))
     })
 }
 

@@ -81,8 +81,9 @@ impl Bundle {
     ///
     /// Propagates serialisation and I/O errors.
     pub fn save(&self, path: &Path) -> Result<(), DbError> {
-        let json = serde_json::to_string(self)
-            .map_err(|e| DbError::Persist { reason: e.to_string() })?;
+        let json = serde_json::to_string(self).map_err(|e| DbError::Persist {
+            reason: e.to_string(),
+        })?;
         std::fs::write(path, json)?;
         Ok(())
     }
@@ -94,7 +95,9 @@ impl Bundle {
     /// Propagates I/O and deserialisation errors.
     pub fn load(path: &Path) -> Result<Bundle, DbError> {
         let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(|e| DbError::Persist { reason: e.to_string() })
+        serde_json::from_str(&json).map_err(|e| DbError::Persist {
+            reason: e.to_string(),
+        })
     }
 }
 

@@ -12,7 +12,11 @@ pub fn scene_panel(title: &str, scene: &Scene) -> String {
     let art = scene_ascii(scene);
     let width = scene.width() as usize;
     let mut out = String::new();
-    out.push_str(&format!("┌─ {} {}┐\n", title, "─".repeat(width.saturating_sub(title.len() + 2))));
+    out.push_str(&format!(
+        "┌─ {} {}┐\n",
+        title,
+        "─".repeat(width.saturating_sub(title.len() + 2))
+    ));
     for line in art.lines() {
         out.push_str(&format!("│{line}│\n"));
     }

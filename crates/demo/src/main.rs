@@ -89,8 +89,10 @@ fn load_bundle(args: &Args) -> Result<Bundle, String> {
 fn cmd_show(args: &Args) -> Result<(), String> {
     let bundle = load_bundle(args)?;
     let id = args.get_num("id", 0usize)?;
-    let (name, scene) =
-        bundle.scenes.get(id).ok_or_else(|| format!("no image with id {id}"))?;
+    let (name, scene) = bundle
+        .scenes
+        .get(id)
+        .ok_or_else(|| format!("no image with id {id}"))?;
     print!("{}", scene_panel(name, scene));
     print!("{}", bestring_dump(&convert_scene(scene)));
     Ok(())
@@ -128,8 +130,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         return Err(format!("no image with id {source}"));
     }
 
-    let corpus =
-        Corpus::from_scenes(bundle.scenes.iter().map(|(_, s)| s.clone()).collect());
+    let corpus = Corpus::from_scenes(bundle.scenes.iter().map(|(_, s)| s.clone()).collect());
     let mut rng = StdRng::seed_from_u64(seed);
     let query = derive_query(&corpus, ImageId(source), kind, &mut rng);
 
@@ -142,13 +143,19 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     options.top_k = Some(top);
     let hits = db.search_scene(&query.scene, &options);
 
-    print!("{}", scene_panel(&format!("query ({kind})", kind = query.kind), &query.scene));
+    print!(
+        "{}",
+        scene_panel(&format!("query ({kind})", kind = query.kind), &query.scene)
+    );
     println!();
     print!("{}", result_table(&hits));
     if let Some(best) = hits.first() {
         if let Some(target_scene) = bundle.scene(best.id) {
             println!();
-            print!("{}", scene_panel(&format!("best match: {}", best.name), target_scene));
+            print!(
+                "{}",
+                scene_panel(&format!("best match: {}", best.name), target_scene)
+            );
             let q = convert_scene(&query.scene);
             let t = convert_scene(target_scene);
             println!();
@@ -180,7 +187,10 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     let qi = args.get_num("query", 0usize)?;
     let ti = args.get_num("target", 1usize)?;
     let get = |i: usize| {
-        bundle.scenes.get(i).ok_or_else(|| format!("no image with id {i}"))
+        bundle
+            .scenes
+            .get(i)
+            .ok_or_else(|| format!("no image with id {i}"))
     };
     let (qname, qscene) = get(qi)?;
     let (tname, tscene) = get(ti)?;
@@ -193,7 +203,11 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     println!("(negative entries: the canonical LCS at that cell ends with a dummy)\n");
     let table = be2d_core::LcsTable::build(q.x(), t.x());
     if q.x().len() > 24 || t.x().len() > 24 {
-        println!("(strings too long to render; lengths {} x {})", q.x().len(), t.x().len());
+        println!(
+            "(strings too long to render; lengths {} x {})",
+            q.x().len(),
+            t.x().len()
+        );
     } else {
         print!("{}", table.render(t.x()));
     }
@@ -225,11 +239,14 @@ fn cmd_walkthrough(args: &Args) -> Result<(), String> {
     print!("{}", result_table(&hits));
 
     println!("\n-- partial query (drop to 2 objects) --");
-    let corpus =
-        Corpus::from_scenes(bundle.scenes.iter().map(|(_, s)| s.clone()).collect());
+    let corpus = Corpus::from_scenes(bundle.scenes.iter().map(|(_, s)| s.clone()).collect());
     let mut rng = StdRng::seed_from_u64(seed);
-    let partial =
-        derive_query(&corpus, ImageId(0), QueryKind::DropObjects { keep: 2 }, &mut rng);
+    let partial = derive_query(
+        &corpus,
+        ImageId(0),
+        QueryKind::DropObjects { keep: 2 },
+        &mut rng,
+    );
     let hits = db.search_scene(&partial.scene, &QueryOptions::default());
     print!("{}", result_table(&hits));
 
@@ -239,8 +256,7 @@ fn cmd_walkthrough(args: &Args) -> Result<(), String> {
     print!("{}", result_table(&hits));
 
     println!("\n-- spatial-pattern search: \"C0 left-of C1\" --");
-    let sketch =
-        be2d_db::sketch::Sketch::parse("C0 left-of C1").map_err(|e| e.to_string())?;
+    let sketch = be2d_db::sketch::Sketch::parse("C0 left-of C1").map_err(|e| e.to_string())?;
     let pattern = sketch.to_scene().map_err(|e| e.to_string())?;
     let hits = db.search_scene(&pattern, &QueryOptions::default().with_top_k(Some(3)));
     print!("{}", result_table(&hits));

@@ -41,10 +41,22 @@ fn missing_bundle_fails_cleanly() {
 fn gen_show_query_pipeline() {
     let path = temp_bundle("pipeline");
     let out = demo()
-        .args(["gen", "--out", path.to_str().unwrap(), "--images", "6", "--seed", "5"])
+        .args([
+            "gen",
+            "--out",
+            path.to_str().unwrap(),
+            "--images",
+            "6",
+            "--seed",
+            "5",
+        ])
         .output()
         .expect("run binary");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = demo()
         .args(["show", "--db", path.to_str().unwrap(), "--id", "0"])
@@ -81,7 +93,15 @@ fn gen_show_query_pipeline() {
 fn rotated_query_with_invariance_recovers_source() {
     let path = temp_bundle("rot");
     assert!(demo()
-        .args(["gen", "--out", path.to_str().unwrap(), "--images", "5", "--seed", "11"])
+        .args([
+            "gen",
+            "--out",
+            path.to_str().unwrap(),
+            "--images",
+            "5",
+            "--seed",
+            "11"
+        ])
         .status()
         .expect("run binary")
         .success());
@@ -107,7 +127,10 @@ fn rotated_query_with_invariance_recovers_source() {
         .lines()
         .find(|l| l.trim_start().starts_with("1 "))
         .expect("has a top result");
-    assert!(first_rank_line.contains("image-2"), "top hit is the source: {first_rank_line}");
+    assert!(
+        first_rank_line.contains("image-2"),
+        "top hit is the source: {first_rank_line}"
+    );
     assert!(first_rank_line.contains("1.0000"));
 
     std::fs::remove_file(&path).ok();
@@ -143,7 +166,11 @@ fn explain_renders_dp_table() {
         ])
         .output()
         .expect("run binary");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Algorithm 2 signed inference table"));
     assert!(text.contains("similarity:"));
@@ -153,8 +180,15 @@ fn explain_renders_dp_table() {
 
 #[test]
 fn walkthrough_runs_end_to_end() {
-    let out = demo().args(["walkthrough", "--seed", "42"]).output().expect("run binary");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = demo()
+        .args(["walkthrough", "--seed", "42"])
+        .output()
+        .expect("run binary");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("indexed 8 images"));
     assert!(text.contains("exact query"));
@@ -168,7 +202,15 @@ fn walkthrough_runs_end_to_end() {
 fn pattern_search() {
     let path = temp_bundle("pattern");
     assert!(demo()
-        .args(["gen", "--out", path.to_str().unwrap(), "--images", "8", "--seed", "3"])
+        .args([
+            "gen",
+            "--out",
+            path.to_str().unwrap(),
+            "--images",
+            "8",
+            "--seed",
+            "3"
+        ])
         .status()
         .expect("run binary")
         .success());
@@ -182,14 +224,24 @@ fn pattern_search() {
         ])
         .output()
         .expect("run binary");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("pattern: C0 left-of C1"));
     assert!(text.contains("rank"));
 
     // malformed patterns fail cleanly
     let out = demo()
-        .args(["search", "--db", path.to_str().unwrap(), "--pattern", "C0 nextto C1"])
+        .args([
+            "search",
+            "--db",
+            path.to_str().unwrap(),
+            "--pattern",
+            "C0 nextto C1",
+        ])
         .output()
         .expect("run binary");
     assert!(!out.status.success());
@@ -207,7 +259,15 @@ fn pattern_search() {
 fn query_kind_validation() {
     let path = temp_bundle("kinds");
     assert!(demo()
-        .args(["gen", "--out", path.to_str().unwrap(), "--images", "3", "--seed", "1"])
+        .args([
+            "gen",
+            "--out",
+            path.to_str().unwrap(),
+            "--images",
+            "3",
+            "--seed",
+            "1"
+        ])
         .status()
         .expect("run binary")
         .success());

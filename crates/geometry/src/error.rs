@@ -72,9 +72,16 @@ impl fmt::Display for GeometryError {
                 write!(f, "negative coordinate {value} outside the first quadrant")
             }
             GeometryError::EmptyFrame { width, height } => {
-                write!(f, "image frame {width}x{height} must have positive dimensions")
+                write!(
+                    f,
+                    "image frame {width}x{height} must have positive dimensions"
+                )
             }
-            GeometryError::OutOfFrame { rect, width, height } => {
+            GeometryError::OutOfFrame {
+                rect,
+                width,
+                height,
+            } => {
                 write!(f, "rectangle {rect} does not fit in {width}x{height} frame")
             }
             GeometryError::InvalidClassName { name } => {
@@ -98,8 +105,15 @@ mod tests {
         let variants = [
             GeometryError::EmptyInterval { begin: 3, end: 3 },
             GeometryError::NegativeCoordinate { value: -1 },
-            GeometryError::EmptyFrame { width: 0, height: 5 },
-            GeometryError::OutOfFrame { rect: "[0,9]x[0,9]".into(), width: 5, height: 5 },
+            GeometryError::EmptyFrame {
+                width: 0,
+                height: 5,
+            },
+            GeometryError::OutOfFrame {
+                rect: "[0,9]x[0,9]".into(),
+                width: 5,
+                height: 5,
+            },
             GeometryError::InvalidClassName { name: "E".into() },
             GeometryError::UnknownObject { id: 42 },
         ];

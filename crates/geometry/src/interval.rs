@@ -99,7 +99,10 @@ impl Interval {
     /// Translates the interval by `delta`.
     #[must_use]
     pub fn translated(&self, delta: i64) -> Interval {
-        Interval { begin: self.begin + delta, end: self.end + delta }
+        Interval {
+            begin: self.begin + delta,
+            end: self.end + delta,
+        }
     }
 
     /// Mirrors the interval inside `[0, extent]`: the image-frame reflection
@@ -116,7 +119,10 @@ impl Interval {
     /// ```
     #[must_use]
     pub fn mirrored(&self, extent: i64) -> Interval {
-        Interval { begin: extent - self.end, end: extent - self.begin }
+        Interval {
+            begin: extent - self.end,
+            end: extent - self.begin,
+        }
     }
 
     /// The Allen relation `self R other` between the two intervals.

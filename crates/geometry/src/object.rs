@@ -51,11 +51,12 @@ impl ObjectClass {
     /// Returns [`GeometryError::InvalidClassName`] for empty names, the
     /// reserved dummy symbol `E`, or names containing whitespace or `_`.
     pub fn try_new(name: &str) -> Result<Self, GeometryError> {
-        let invalid = name.is_empty()
-            || name == "E"
-            || name.chars().any(|c| c.is_whitespace() || c == '_');
+        let invalid =
+            name.is_empty() || name == "E" || name.chars().any(|c| c.is_whitespace() || c == '_');
         if invalid {
-            return Err(GeometryError::InvalidClassName { name: name.to_owned() });
+            return Err(GeometryError::InvalidClassName {
+                name: name.to_owned(),
+            });
         }
         Ok(ObjectClass(Arc::from(name)))
     }
@@ -150,13 +151,21 @@ impl SceneObject {
     /// Returns a copy with a different MBR (used by scene editing).
     #[must_use]
     pub fn with_mbr(&self, mbr: Rect) -> SceneObject {
-        SceneObject { id: self.id, class: self.class.clone(), mbr }
+        SceneObject {
+            id: self.id,
+            class: self.class.clone(),
+            mbr,
+        }
     }
 
     /// Returns a copy with a different id (used when re-indexing scenes).
     #[must_use]
     pub fn with_id(&self, id: ObjectId) -> SceneObject {
-        SceneObject { id, class: self.class.clone(), mbr: self.mbr }
+        SceneObject {
+            id,
+            class: self.class.clone(),
+            mbr: self.mbr,
+        }
     }
 }
 
@@ -175,7 +184,10 @@ mod tests {
         assert!(ObjectClass::try_new("A").is_ok());
         assert!(ObjectClass::try_new("house2").is_ok());
         assert!(ObjectClass::try_new("").is_err());
-        assert!(ObjectClass::try_new("E").is_err(), "dummy symbol is reserved");
+        assert!(
+            ObjectClass::try_new("E").is_err(),
+            "dummy symbol is reserved"
+        );
         assert!(ObjectClass::try_new("a b").is_err());
         assert!(ObjectClass::try_new("a_b").is_err());
         // E as a substring is fine, only the bare symbol is reserved

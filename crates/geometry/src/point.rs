@@ -19,7 +19,9 @@ use std::fmt;
 /// assert_eq!(p.x, 3);
 /// assert_eq!(p.y, 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Point {
     /// Horizontal coordinate (grows rightwards).
     pub x: i64,

@@ -39,7 +39,10 @@ impl Rect {
     /// Returns [`GeometryError::EmptyInterval`] when `x_begin >= x_end` or
     /// `y_begin >= y_end`.
     pub fn new(x_begin: i64, x_end: i64, y_begin: i64, y_end: i64) -> Result<Self, GeometryError> {
-        Ok(Rect { x: Interval::new(x_begin, x_end)?, y: Interval::new(y_begin, y_end)? })
+        Ok(Rect {
+            x: Interval::new(x_begin, x_end)?,
+            y: Interval::new(y_begin, y_end)?,
+        })
     }
 
     /// Creates a rectangle from per-axis intervals.
@@ -139,7 +142,10 @@ impl Rect {
     /// Intersection rectangle, or `None` when disjoint.
     #[must_use]
     pub fn intersection(&self, other: &Rect) -> Option<Rect> {
-        Some(Rect { x: self.x.intersection(&other.x)?, y: self.y.intersection(&other.y)? })
+        Some(Rect {
+            x: self.x.intersection(&other.x)?,
+            y: self.y.intersection(&other.y)?,
+        })
     }
 
     /// Smallest rectangle containing both operands (their joint MBR).
@@ -162,13 +168,19 @@ impl Rect {
     /// Translates the rectangle by `(dx, dy)`.
     #[must_use]
     pub fn translated(&self, dx: i64, dy: i64) -> Rect {
-        Rect { x: self.x.translated(dx), y: self.y.translated(dy) }
+        Rect {
+            x: self.x.translated(dx),
+            y: self.y.translated(dy),
+        }
     }
 
     /// The orthogonal (per-axis Allen) relation `self R other`.
     #[must_use]
     pub fn orthogonal_relation(&self, other: &Rect) -> OrthogonalRelation {
-        OrthogonalRelation::new(self.x.allen_relation(&other.x), self.y.allen_relation(&other.y))
+        OrthogonalRelation::new(
+            self.x.allen_relation(&other.x),
+            self.y.allen_relation(&other.y),
+        )
     }
 }
 
@@ -197,7 +209,10 @@ mod tests {
     #[test]
     fn accessors() {
         let r = rect(1, 4, 2, 8);
-        assert_eq!((r.x_begin(), r.x_end(), r.y_begin(), r.y_end()), (1, 4, 2, 8));
+        assert_eq!(
+            (r.x_begin(), r.x_end(), r.y_begin(), r.y_end()),
+            (1, 4, 2, 8)
+        );
         assert_eq!(r.width(), 3);
         assert_eq!(r.height(), 6);
         assert_eq!(r.area(), 18);

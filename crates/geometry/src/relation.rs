@@ -275,7 +275,10 @@ impl RelationCategory {
     /// Whether this category keeps the projections disjoint.
     #[must_use]
     pub const fn is_disjoint(self) -> bool {
-        matches!(self, RelationCategory::DisjointBefore | RelationCategory::DisjointAfter)
+        matches!(
+            self,
+            RelationCategory::DisjointBefore | RelationCategory::DisjointAfter
+        )
     }
 }
 
@@ -318,7 +321,10 @@ impl OrthogonalRelation {
     /// The inverse pair (`b R a` from `a R b`).
     #[must_use]
     pub const fn inverse(self) -> Self {
-        OrthogonalRelation { x: self.x.inverse(), y: self.y.inverse() }
+        OrthogonalRelation {
+            x: self.x.inverse(),
+            y: self.y.inverse(),
+        }
     }
 
     /// Category pair, the unit of type-1 comparison.
@@ -412,10 +418,19 @@ mod tests {
 
     #[test]
     fn categories_group_sensibly() {
-        assert_eq!(AllenRelation::Before.category(), RelationCategory::DisjointBefore);
-        assert_eq!(AllenRelation::Meets.category(), RelationCategory::DisjointBefore);
+        assert_eq!(
+            AllenRelation::Before.category(),
+            RelationCategory::DisjointBefore
+        );
+        assert_eq!(
+            AllenRelation::Meets.category(),
+            RelationCategory::DisjointBefore
+        );
         assert_eq!(AllenRelation::During.category(), RelationCategory::Inside);
-        assert_eq!(AllenRelation::Contains.category(), RelationCategory::Containing);
+        assert_eq!(
+            AllenRelation::Contains.category(),
+            RelationCategory::Containing
+        );
         assert_eq!(AllenRelation::Equal.category(), RelationCategory::Same);
         assert!(AllenRelation::Before.category().is_disjoint());
         assert!(!AllenRelation::Overlaps.category().is_disjoint());
@@ -424,7 +439,10 @@ mod tests {
     #[test]
     fn glyphs_are_distinct() {
         use std::collections::HashSet;
-        let glyphs: HashSet<_> = AllenRelation::ALL.iter().map(|r| r.operator_glyph()).collect();
+        let glyphs: HashSet<_> = AllenRelation::ALL
+            .iter()
+            .map(|r| r.operator_glyph())
+            .collect();
         assert_eq!(glyphs.len(), 13);
     }
 

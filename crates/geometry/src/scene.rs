@@ -47,7 +47,11 @@ impl Scene {
         if width <= 0 || height <= 0 {
             return Err(GeometryError::EmptyFrame { width, height });
         }
-        Ok(Scene { width, height, objects: Vec::new() })
+        Ok(Scene {
+            width,
+            height,
+            objects: Vec::new(),
+        })
     }
 
     /// Frame width (the paper's `X_max`).
@@ -150,7 +154,11 @@ impl Scene {
             .iter()
             .map(|o| o.with_mbr(t.apply_rect(o.mbr(), w, h)))
             .collect();
-        Scene { width: nw, height: nh, objects }
+        Scene {
+            width: nw,
+            height: nh,
+            objects,
+        }
     }
 
     /// Translates every object by `(dx, dy)` if the result still fits.
@@ -160,8 +168,11 @@ impl Scene {
     /// Returns [`GeometryError::OutOfFrame`] (without modifying the scene)
     /// if any translated MBR would leave the frame.
     pub fn translate_all(&mut self, dx: i64, dy: i64) -> Result<(), GeometryError> {
-        let moved: Vec<SceneObject> =
-            self.objects.iter().map(|o| o.with_mbr(o.mbr().translated(dx, dy))).collect();
+        let moved: Vec<SceneObject> = self
+            .objects
+            .iter()
+            .map(|o| o.with_mbr(o.mbr().translated(dx, dy)))
+            .collect();
         for o in &moved {
             self.check_fits(&o.mbr())?;
         }
@@ -205,7 +216,13 @@ impl Scene {
 
 impl fmt::Display for Scene {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "scene {}x{} ({} objects)", self.width, self.height, self.objects.len())?;
+        writeln!(
+            f,
+            "scene {}x{} ({} objects)",
+            self.width,
+            self.height,
+            self.objects.len()
+        )?;
         for o in &self.objects {
             writeln!(f, "  {o}")?;
         }
@@ -249,7 +266,11 @@ impl SceneBuilder {
     /// Starts a builder for a `width × height` frame.
     #[must_use]
     pub fn new(width: i64, height: i64) -> Self {
-        SceneBuilder { width, height, objects: Vec::new() }
+        SceneBuilder {
+            width,
+            height,
+            objects: Vec::new(),
+        }
     }
 
     /// Queues an object with class `name` and MBR
@@ -300,7 +321,9 @@ mod tests {
     fn add_and_lookup() {
         let mut s = Scene::new(10, 10).unwrap();
         assert!(s.is_empty());
-        let id = s.add(ObjectClass::new("A"), Rect::new(1, 3, 1, 3).unwrap()).unwrap();
+        let id = s
+            .add(ObjectClass::new("A"), Rect::new(1, 3, 1, 3).unwrap())
+            .unwrap();
         assert_eq!(s.len(), 1);
         assert_eq!(s.object(id).unwrap().class().name(), "A");
         assert!(s.object(ObjectId(5)).is_none());
@@ -314,7 +337,9 @@ mod tests {
         let err = s.add(ObjectClass::new("A"), Rect::new(-1, 3, 0, 5).unwrap());
         assert!(matches!(err, Err(GeometryError::OutOfFrame { .. })));
         // boundary-touching fits
-        assert!(s.add(ObjectClass::new("A"), Rect::new(0, 10, 0, 10).unwrap()).is_ok());
+        assert!(s
+            .add(ObjectClass::new("A"), Rect::new(0, 10, 0, 10).unwrap())
+            .is_ok());
     }
 
     #[test]
@@ -332,7 +357,8 @@ mod tests {
     #[test]
     fn classes_sorted_and_counted() {
         let mut s = demo_scene();
-        s.add(ObjectClass::new("A"), Rect::new(0, 5, 0, 5).unwrap()).unwrap();
+        s.add(ObjectClass::new("A"), Rect::new(0, 5, 0, 5).unwrap())
+            .unwrap();
         let names: Vec<_> = s.classes().iter().map(|c| c.name().to_owned()).collect();
         assert_eq!(names, ["A", "B", "C"]);
         assert_eq!(s.count_class(&ObjectClass::new("A")), 2);
@@ -356,14 +382,19 @@ mod tests {
         s.set_mbr(ObjectId(2), r).unwrap();
         assert_eq!(s.object(ObjectId(2)).unwrap().mbr(), r);
         assert!(s.set_mbr(ObjectId(9), r).is_err());
-        assert!(s.set_mbr(ObjectId(0), Rect::new(0, 101, 0, 5).unwrap()).is_err());
+        assert!(s
+            .set_mbr(ObjectId(0), Rect::new(0, 101, 0, 5).unwrap())
+            .is_err());
     }
 
     #[test]
     fn iteration() {
         let s = demo_scene();
         let by_iter: Vec<_> = s.iter().map(|o| o.class().name().to_owned()).collect();
-        let by_into: Vec<_> = (&s).into_iter().map(|o| o.class().name().to_owned()).collect();
+        let by_into: Vec<_> = (&s)
+            .into_iter()
+            .map(|o| o.class().name().to_owned())
+            .collect();
         assert_eq!(by_iter, ["A", "B", "C"]);
         assert_eq!(by_iter, by_into);
     }
@@ -378,8 +409,17 @@ mod tests {
 
     #[test]
     fn builder_propagates_errors() {
-        assert!(SceneBuilder::new(10, 10).object("E", (0, 1, 0, 1)).build().is_err());
-        assert!(SceneBuilder::new(10, 10).object("A", (0, 0, 0, 1)).build().is_err());
-        assert!(SceneBuilder::new(10, 10).object("A", (0, 11, 0, 1)).build().is_err());
+        assert!(SceneBuilder::new(10, 10)
+            .object("E", (0, 1, 0, 1))
+            .build()
+            .is_err());
+        assert!(SceneBuilder::new(10, 10)
+            .object("A", (0, 0, 0, 1))
+            .build()
+            .is_err());
+        assert!(SceneBuilder::new(10, 10)
+            .object("A", (0, 11, 0, 1))
+            .build()
+            .is_err());
     }
 }

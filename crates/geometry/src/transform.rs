@@ -31,7 +31,9 @@ use std::fmt;
 /// let p = Transform::Rotate90.apply_point(Point::new(10, 5), 100, 50);
 /// assert_eq!(p, Point::new(5, 90));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub enum Transform {
     /// The identity: no change.
     #[default]
@@ -184,9 +186,7 @@ impl Transform {
             Transform::ReflectX => Rect::from_intervals(x, y.mirrored(height)),
             Transform::ReflectY => Rect::from_intervals(x.mirrored(width), y),
             Transform::Transpose => Rect::from_intervals(y, x),
-            Transform::AntiTranspose => {
-                Rect::from_intervals(y.mirrored(height), x.mirrored(width))
-            }
+            Transform::AntiTranspose => Rect::from_intervals(y.mirrored(height), x.mirrored(width)),
         }
     }
 }
@@ -237,7 +237,10 @@ mod tests {
             let (nw, nh) = if t.swaps_axes() { (h, w) } else { (w, h) };
             for p in [Point::new(0, 0), Point::new(100, 50), Point::new(37, 12)] {
                 let q = t.apply_point(p, w, h);
-                assert!(q.x >= 0 && q.x <= nw && q.y >= 0 && q.y <= nh, "{t}: {p} -> {q}");
+                assert!(
+                    q.x >= 0 && q.x <= nw && q.y >= 0 && q.y <= nh,
+                    "{t}: {p} -> {q}"
+                );
             }
         }
     }

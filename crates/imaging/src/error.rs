@@ -43,7 +43,12 @@ impl fmt::Display for ImagingError {
             ImagingError::EmptyRaster { width, height } => {
                 write!(f, "raster dimensions {width}x{height} must be positive")
             }
-            ImagingError::OutOfBounds { x, y, width, height } => {
+            ImagingError::OutOfBounds {
+                x,
+                y,
+                width,
+                height,
+            } => {
                 write!(f, "pixel ({x}, {y}) outside {width}x{height} raster")
             }
             ImagingError::UnknownClassId { id } => {
@@ -65,8 +70,16 @@ mod tests {
     #[test]
     fn display_nonempty() {
         let variants = [
-            ImagingError::EmptyRaster { width: 0, height: 4 },
-            ImagingError::OutOfBounds { x: 9, y: 9, width: 4, height: 4 },
+            ImagingError::EmptyRaster {
+                width: 0,
+                height: 4,
+            },
+            ImagingError::OutOfBounds {
+                x: 9,
+                y: 9,
+                width: 4,
+                height: 4,
+            },
             ImagingError::UnknownClassId { id: 7 },
             ImagingError::InvalidExtraction { reason: "x".into() },
         ];

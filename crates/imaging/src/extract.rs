@@ -79,11 +79,14 @@ pub fn extract_components(raster: &Raster, min_area: usize) -> Vec<Component> {
                     c.bbox.2 = c.bbox.2.min(yi);
                     c.bbox.3 = c.bbox.3.max(yi + 1);
                 })
-                .or_insert(Component { class_id: id, area: 1, bbox: (xi, xi + 1, yi, yi + 1) });
+                .or_insert(Component {
+                    class_id: id,
+                    area: 1,
+                    bbox: (xi, xi + 1, yi, yi + 1),
+                });
         }
     }
-    let mut out: Vec<Component> =
-        comps.into_values().filter(|c| c.area >= min_area).collect();
+    let mut out: Vec<Component> = comps.into_values().filter(|c| c.area >= min_area).collect();
     out.sort_by_key(|c| (c.class_id, c.bbox));
     out
 }
@@ -106,18 +109,24 @@ pub fn extract_scene(
     palette: &ClassPalette,
     min_area: usize,
 ) -> Result<Scene, ImagingError> {
-    let mut scene = Scene::new(raster.width() as i64, raster.height() as i64)
-        .map_err(|e| ImagingError::InvalidExtraction { reason: e.to_string() })?;
+    let mut scene = Scene::new(raster.width() as i64, raster.height() as i64).map_err(|e| {
+        ImagingError::InvalidExtraction {
+            reason: e.to_string(),
+        }
+    })?;
     for comp in extract_components(raster, min_area) {
         let class = palette
             .class_of(comp.class_id)
             .ok_or(ImagingError::UnknownClassId { id: comp.class_id })?;
         let (xb, xe, yb, ye) = comp.bbox;
-        let mbr = Rect::new(xb, xe, yb, ye)
-            .map_err(|e| ImagingError::InvalidExtraction { reason: e.to_string() })?;
+        let mbr = Rect::new(xb, xe, yb, ye).map_err(|e| ImagingError::InvalidExtraction {
+            reason: e.to_string(),
+        })?;
         scene
             .add(class.clone(), mbr)
-            .map_err(|e| ImagingError::InvalidExtraction { reason: e.to_string() })?;
+            .map_err(|e| ImagingError::InvalidExtraction {
+                reason: e.to_string(),
+            })?;
     }
     Ok(scene)
 }
@@ -204,8 +213,7 @@ mod tests {
         r.fill_rect(10, 15, 10, 18, id_b).unwrap();
         let scene = extract_scene(&r, &palette, 1).unwrap();
         assert_eq!(scene.len(), 2);
-        let names: Vec<_> =
-            scene.iter().map(|o| o.class().name().to_owned()).collect();
+        let names: Vec<_> = scene.iter().map(|o| o.class().name().to_owned()).collect();
         assert_eq!(names, ["A", "B"]);
         assert_eq!(scene.objects()[1].mbr(), Rect::new(10, 15, 10, 18).unwrap());
     }

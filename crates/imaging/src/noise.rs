@@ -156,7 +156,10 @@ mod tests {
             .filter(|&(x, y)| r.get(x, y).unwrap() != before.get(x, y).unwrap())
             .count();
         let total = 32 * 32;
-        assert!(changed > total / 20 && changed < total / 5, "changed {changed}");
+        assert!(
+            changed > total / 20 && changed < total / 5,
+            "changed {changed}"
+        );
     }
 
     #[test]
@@ -177,7 +180,7 @@ mod tests {
 
     #[test]
     fn min_area_filter_absorbs_salt_noise() {
-        use crate::{extract_components};
+        use crate::extract_components;
         let mut r = block_raster();
         let mut rng = NoiseRng::new(6);
         salt_and_pepper(&mut r, 0.01, 1, &mut rng);

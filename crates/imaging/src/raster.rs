@@ -20,7 +20,12 @@ pub enum Shape {
 
 impl Shape {
     /// All shapes, for round-robin assignment in workloads.
-    pub const ALL: [Shape; 4] = [Shape::Rectangle, Shape::Ellipse, Shape::Diamond, Shape::Triangle];
+    pub const ALL: [Shape; 4] = [
+        Shape::Rectangle,
+        Shape::Ellipse,
+        Shape::Diamond,
+        Shape::Triangle,
+    ];
 }
 
 /// A `width × height` grid of class ids; `0` is background.
@@ -61,7 +66,11 @@ impl Raster {
         if width == 0 || height == 0 {
             return Err(ImagingError::EmptyRaster { width, height });
         }
-        Ok(Raster { width, height, pixels: vec![0; width * height] })
+        Ok(Raster {
+            width,
+            height,
+            pixels: vec![0; width * height],
+        })
     }
 
     /// Raster width in pixels.
@@ -238,7 +247,15 @@ impl Raster {
     /// column. The continuous ellipse/diamond/triangle all contain these
     /// segments, so this only corrects half-pixel discretisation losses —
     /// and it guarantees connectivity plus an exact bounding box.
-    fn fill_spine(&mut self, xb: usize, xe: usize, yb: usize, ye: usize, id: u32, spine_row: usize) {
+    fn fill_spine(
+        &mut self,
+        xb: usize,
+        xe: usize,
+        yb: usize,
+        ye: usize,
+        id: u32,
+        spine_row: usize,
+    ) {
         let mx = (xb + xe - 1) / 2;
         for x in xb..xe {
             self.pixels[spine_row * self.width + x] = id;
@@ -275,7 +292,11 @@ impl Raster {
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         let z = z ^ (z >> 31);
-        [(z & 0xff) as u8 | 0x20, ((z >> 8) & 0xff) as u8 | 0x20, ((z >> 16) & 0xff) as u8 | 0x20]
+        [
+            (z & 0xff) as u8 | 0x20,
+            ((z >> 8) & 0xff) as u8 | 0x20,
+            ((z >> 16) & 0xff) as u8 | 0x20,
+        ]
     }
 
     /// Renders the raster as ASCII art, one character per pixel (top row
@@ -385,7 +406,10 @@ mod tests {
         let mut ell = Raster::new(20, 20).unwrap();
         ell.fill_shape(Shape::Ellipse, 0, 20, 0, 20, 1).unwrap();
         assert!(ell.count_id(1) < rect.count_id(1));
-        assert!(ell.count_id(1) > rect.count_id(1) / 2, "ellipse ~ π/4 of rect");
+        assert!(
+            ell.count_id(1) > rect.count_id(1) / 2,
+            "ellipse ~ π/4 of rect"
+        );
     }
 
     #[test]

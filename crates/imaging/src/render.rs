@@ -136,7 +136,10 @@ mod tests {
 
     #[test]
     fn ascii_shows_objects() {
-        let scene = SceneBuilder::new(6, 4).object("A", (0, 2, 0, 2)).build().unwrap();
+        let scene = SceneBuilder::new(6, 4)
+            .object("A", (0, 2, 0, 2))
+            .build()
+            .unwrap();
         let art = scene_ascii(&scene);
         assert_eq!(art, "......\n......\naa....\naa....\n");
     }

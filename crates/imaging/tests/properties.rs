@@ -1,11 +1,11 @@
 //! Property tests of the raster substrate: render→extract round trips
 //! and noise behaviour on randomised scenes.
 
+use be2d_geometry::{ObjectClass, Rect, Scene};
 use be2d_imaging::{
     erode_boundaries, extract_components, extract_scene, render_scene, salt_and_pepper,
     ClassPalette, NoiseRng, Raster, Shape,
 };
-use be2d_geometry::{ObjectClass, Rect, Scene};
 use proptest::prelude::*;
 
 const CLASS_NAMES: [&str; 4] = ["A", "B", "C", "D"];

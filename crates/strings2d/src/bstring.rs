@@ -33,7 +33,12 @@ impl fmt::Display for BSymbol {
         if self.equals_previous {
             f.write_str("= ")?;
         }
-        write!(f, "{}_{}", self.class, if self.is_begin { "b" } else { "e" })
+        write!(
+            f,
+            "{}_{}",
+            self.class,
+            if self.is_begin { "b" } else { "e" }
+        )
     }
 }
 
@@ -70,7 +75,10 @@ impl BString {
     /// `=` joins symbols with identical coordinates.
     #[must_use]
     pub fn from_scene(scene: &Scene) -> BString {
-        BString { x: Self::axis(scene, true), y: Self::axis(scene, false) }
+        BString {
+            x: Self::axis(scene, true),
+            y: Self::axis(scene, false),
+        }
     }
 
     fn axis(scene: &Scene, x_axis: bool) -> Vec<BSymbol> {
@@ -81,7 +89,9 @@ impl BString {
             events.push((iv.end(), 0, o.class(), false));
         }
         events.sort_by(|a, b| {
-            (a.0, a.1).cmp(&(b.0, b.1)).then_with(|| a.2.name().cmp(b.2.name()))
+            (a.0, a.1)
+                .cmp(&(b.0, b.1))
+                .then_with(|| a.2.name().cmp(b.2.name()))
         });
         let mut out = Vec::with_capacity(events.len());
         let mut prev_coord: Option<i64> = None;
@@ -129,7 +139,10 @@ impl BString {
     }
 
     fn render(v: &[BSymbol]) -> String {
-        v.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(" ")
+        v.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 }
 

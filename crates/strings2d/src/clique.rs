@@ -39,7 +39,12 @@ impl Graph {
     #[must_use]
     pub fn new(n: usize) -> Graph {
         let words = n.div_ceil(64);
-        Graph { n, words, adj: vec![0; n * words], edges: 0 }
+        Graph {
+            n,
+            words,
+            adj: vec![0; n * words],
+            edges: 0,
+        }
     }
 
     /// Number of vertices.
@@ -101,11 +106,15 @@ struct VSet {
 
 impl VSet {
     fn empty(words: usize) -> VSet {
-        VSet { words: vec![0; words] }
+        VSet {
+            words: vec![0; words],
+        }
     }
 
     fn full(n: usize, words: usize) -> VSet {
-        let mut s = VSet { words: vec![u64::MAX; words] };
+        let mut s = VSet {
+            words: vec![u64::MAX; words],
+        };
         let spare = words * 64 - n;
         if spare > 0 && words > 0 {
             s.words[words - 1] >>= spare;
@@ -130,11 +139,17 @@ impl VSet {
     }
 
     fn intersect_row(&self, row: &[u64]) -> VSet {
-        VSet { words: self.words.iter().zip(row).map(|(a, b)| a & b).collect() }
+        VSet {
+            words: self.words.iter().zip(row).map(|(a, b)| a & b).collect(),
+        }
     }
 
     fn intersect_row_count(&self, row: &[u64]) -> usize {
-        self.words.iter().zip(row).map(|(a, b)| (a & b).count_ones() as usize).sum()
+        self.words
+            .iter()
+            .zip(row)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
     }
 
     fn iter(&self) -> impl Iterator<Item = usize> + '_ {
@@ -195,7 +210,13 @@ fn bron_kerbosch(g: &Graph, r: &mut Vec<usize>, p: VSet, mut x: VSet, best: &mut
     let mut p = p;
     for v in candidates.iter() {
         r.push(v);
-        bron_kerbosch(g, r, p.intersect_row(g.row(v)), x.intersect_row(g.row(v)), best);
+        bron_kerbosch(
+            g,
+            r,
+            p.intersect_row(g.row(v)),
+            x.intersect_row(g.row(v)),
+            best,
+        );
         r.pop();
         p.remove(v);
         x.insert(v);

@@ -41,10 +41,14 @@ impl CString {
     /// axes.
     #[must_use]
     pub fn from_scene(scene: &Scene) -> CString {
-        let xs: Vec<_> =
-            scene.iter().map(|o| (o.id(), o.class().clone(), o.mbr().x())).collect();
-        let ys: Vec<_> =
-            scene.iter().map(|o| (o.id(), o.class().clone(), o.mbr().y())).collect();
+        let xs: Vec<_> = scene
+            .iter()
+            .map(|o| (o.id(), o.class().clone(), o.mbr().x()))
+            .collect();
+        let ys: Vec<_> = scene
+            .iter()
+            .map(|o| (o.id(), o.class().clone(), o.mbr().y()))
+            .collect();
         CString {
             x: AxisSegments::new(cut_minimal(&xs)),
             y: AxisSegments::new(cut_minimal(&ys)),
@@ -123,7 +127,12 @@ mod tests {
     #[test]
     fn c_at_most_g_on_random_like_scenes() {
         let specs: Vec<Vec<(i64, i64, i64, i64)>> = vec![
-            vec![(0, 30, 0, 30), (10, 50, 20, 60), (40, 80, 50, 90), (5, 95, 5, 95)],
+            vec![
+                (0, 30, 0, 30),
+                (10, 50, 20, 60),
+                (40, 80, 50, 90),
+                (5, 95, 5, 95),
+            ],
             vec![(0, 10, 0, 10), (0, 10, 0, 10), (5, 15, 5, 15)],
             vec![(0, 100, 0, 100), (10, 20, 10, 20), (30, 40, 30, 40)],
         ];
@@ -165,8 +174,7 @@ mod tests {
             scene
                 .add(
                     ObjectClass::new("X"),
-                    Rect::new(100 + 10 * m, 500 + 10 * m, 500 + 5 * m, 500 + 5 * m + 4)
-                        .unwrap(),
+                    Rect::new(100 + 10 * m, 500 + 10 * m, 500 + 5 * m, 500 + 5 * m + 4).unwrap(),
                 )
                 .unwrap();
         }
@@ -187,7 +195,13 @@ mod tests {
 
     #[test]
     fn display_contains_both_axes() {
-        let scene = SceneBuilder::new(50, 50).object("A", (0, 10, 5, 15)).build().unwrap();
-        assert_eq!(CString::from_scene(&scene).to_string(), "(A#0[0, 10), A#0[5, 15))");
+        let scene = SceneBuilder::new(50, 50)
+            .object("A", (0, 10, 5, 15))
+            .build()
+            .unwrap();
+        assert_eq!(
+            CString::from_scene(&scene).to_string(),
+            "(A#0[0, 10), A#0[5, 15))"
+        );
     }
 }

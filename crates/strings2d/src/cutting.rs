@@ -160,8 +160,10 @@ pub(crate) fn cut_minimal(intervals: &[(ObjectId, ObjectClass, Interval)]) -> Ve
 
     // min-heap on (begin asc, end desc) via Reverse of (begin, Reverse(end));
     // the payload index resolves id/class and breaks ties deterministically.
-    let mut payload: Vec<(ObjectId, ObjectClass)> =
-        intervals.iter().map(|(id, class, _)| (*id, class.clone())).collect();
+    let mut payload: Vec<(ObjectId, ObjectClass)> = intervals
+        .iter()
+        .map(|(id, class, _)| (*id, class.clone()))
+        .collect();
     let mut heap: BinaryHeap<Reverse<(i64, Reverse<i64>, usize)>> = intervals
         .iter()
         .enumerate()
@@ -310,7 +312,10 @@ mod tests {
             let input = inputs(&spec);
             let g = cut_at_all_boundaries(&input).len();
             let c = cut_minimal(&input).len();
-            assert!(c <= g, "C-string must cut no more than G-string: {c} vs {g}");
+            assert!(
+                c <= g,
+                "C-string must cut no more than G-string: {c} vs {g}"
+            );
         }
     }
 

@@ -44,10 +44,14 @@ impl GString {
     /// both axes.
     #[must_use]
     pub fn from_scene(scene: &Scene) -> GString {
-        let xs: Vec<_> =
-            scene.iter().map(|o| (o.id(), o.class().clone(), o.mbr().x())).collect();
-        let ys: Vec<_> =
-            scene.iter().map(|o| (o.id(), o.class().clone(), o.mbr().y())).collect();
+        let xs: Vec<_> = scene
+            .iter()
+            .map(|o| (o.id(), o.class().clone(), o.mbr().x()))
+            .collect();
+        let ys: Vec<_> = scene
+            .iter()
+            .map(|o| (o.id(), o.class().clone(), o.mbr().y()))
+            .collect();
         GString {
             x: AxisSegments::new(cut_at_all_boundaries(&xs)),
             y: AxisSegments::new(cut_at_all_boundaries(&ys)),
@@ -145,7 +149,10 @@ mod tests {
 
     #[test]
     fn display_contains_both_axes() {
-        let scene = SceneBuilder::new(50, 50).object("A", (0, 10, 5, 15)).build().unwrap();
+        let scene = SceneBuilder::new(50, 50)
+            .object("A", (0, 10, 5, 15))
+            .build()
+            .unwrap();
         let g = GString::from_scene(&scene);
         assert_eq!(g.to_string(), "(A#0[0, 10), A#0[5, 15))");
     }

@@ -43,7 +43,10 @@ impl TwoDString {
     /// Builds the 2-D string of a scene from object centroids.
     #[must_use]
     pub fn from_scene(scene: &Scene) -> TwoDString {
-        TwoDString { x: Self::axis(scene, true), y: Self::axis(scene, false) }
+        TwoDString {
+            x: Self::axis(scene, true),
+            y: Self::axis(scene, false),
+        }
     }
 
     fn axis(scene: &Scene, x_axis: bool) -> Vec<Vec<ObjectClass>> {
@@ -123,7 +126,10 @@ impl TwoDString {
         groups
             .iter()
             .map(|g| {
-                g.iter().map(|c| c.name().to_owned()).collect::<Vec<_>>().join(" = ")
+                g.iter()
+                    .map(|c| c.name().to_owned())
+                    .collect::<Vec<_>>()
+                    .join(" = ")
             })
             .collect::<Vec<_>>()
             .join(" < ")
@@ -145,7 +151,7 @@ mod tests {
     fn figure1_style_scene() {
         let scene = SceneBuilder::new(100, 100)
             .object("A", (10, 50, 25, 85)) // centroid (30, 55)
-            .object("B", (30, 90, 5, 45))  // centroid (60, 25)
+            .object("B", (30, 90, 5, 45)) // centroid (60, 25)
             .object("C", (50, 70, 45, 65)) // centroid (60, 55)
             .build()
             .unwrap();

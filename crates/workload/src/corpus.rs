@@ -113,7 +113,10 @@ mod tests {
     use super::*;
 
     fn cfg(images: usize) -> CorpusConfig {
-        CorpusConfig { images, scene: SceneConfig::default() }
+        CorpusConfig {
+            images,
+            scene: SceneConfig::default(),
+        }
     }
 
     #[test]

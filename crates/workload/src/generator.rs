@@ -12,9 +12,12 @@ pub enum Placement {
     /// case for the similarity experiments.
     #[default]
     Uniform,
-    /// Rejection-sampled to avoid MBR overlap (falls back to overlapping
-    /// placement after 64 failed attempts per object). Matches the
-    /// renderer's assumption that objects don't occlude each other.
+    /// Rejection-sampled so MBRs neither overlap nor touch — a one-pixel
+    /// separation is kept (falling back to overlapping placement after 64
+    /// failed attempts per object). The separation matches the raster
+    /// pipeline's assumptions: objects don't occlude each other, and
+    /// same-class objects stay distinct connected components under
+    /// extraction.
     NonOverlapping,
     /// Objects gather around a few cluster centres — produces many
     /// coincident/nearby boundaries, stressing the dummy-placement logic
@@ -74,17 +77,28 @@ impl SceneConfig {
 /// frame, zero classes with nonzero objects, non-positive sizes).
 #[must_use]
 pub fn generate_scene(cfg: &SceneConfig, rng: &mut StdRng) -> Scene {
-    assert!(cfg.min_size > 0 && cfg.min_size <= cfg.max_size, "invalid size range");
+    assert!(
+        cfg.min_size > 0 && cfg.min_size <= cfg.max_size,
+        "invalid size range"
+    );
     assert!(
         cfg.max_size <= cfg.width && cfg.max_size <= cfg.height,
         "object sizes must fit the frame"
     );
-    assert!(cfg.classes > 0 || cfg.objects == 0, "need classes for objects");
+    assert!(
+        cfg.classes > 0 || cfg.objects == 0,
+        "need classes for objects"
+    );
     let mut scene = Scene::new(cfg.width, cfg.height).expect("positive frame");
 
     let centres: Vec<(i64, i64)> = match cfg.placement {
         Placement::Clustered { clusters } => (0..clusters.max(1))
-            .map(|_| (rng.random_range(0..cfg.width), rng.random_range(0..cfg.height)))
+            .map(|_| {
+                (
+                    rng.random_range(0..cfg.width),
+                    rng.random_range(0..cfg.height),
+                )
+            })
             .collect(),
         _ => Vec::new(),
     };
@@ -112,9 +126,13 @@ pub fn generate_scene(cfg: &SceneConfig, rng: &mut StdRng) -> Scene {
                 ),
             };
             let mbr = Rect::new(xb, xb + w, yb, yb + h).expect("positive size");
+            // Grown by one pixel on every side: rejecting overlaps of the
+            // grown MBR enforces the one-pixel separation that keeps
+            // same-class objects distinct under raster extraction.
+            let grown = Rect::new(xb - 1, xb + w + 1, yb - 1, yb + h + 1).expect("positive size");
             let collides = cfg.placement == Placement::NonOverlapping
                 && attempt < 63
-                && scene.iter().any(|o| o.mbr().overlaps(&mbr));
+                && scene.iter().any(|o| o.mbr().overlaps(&grown));
             if !collides {
                 scene.add(class.clone(), mbr).expect("fits by construction");
                 placed = true;
@@ -148,7 +166,10 @@ mod tests {
 
     #[test]
     fn respects_object_count_and_frame() {
-        let cfg = SceneConfig { objects: 20, ..SceneConfig::default() };
+        let cfg = SceneConfig {
+            objects: 20,
+            ..SceneConfig::default()
+        };
         let scene = scene_from_seed(&cfg, 1);
         assert_eq!(scene.len(), 20);
         for o in &scene {
@@ -160,7 +181,11 @@ mod tests {
 
     #[test]
     fn class_alphabet_is_respected() {
-        let cfg = SceneConfig { objects: 50, classes: 3, ..SceneConfig::default() };
+        let cfg = SceneConfig {
+            objects: 50,
+            classes: 3,
+            ..SceneConfig::default()
+        };
         let scene = scene_from_seed(&cfg, 2);
         for o in &scene {
             assert!(["C0", "C1", "C2"].contains(&o.class().name()));
@@ -199,14 +224,23 @@ mod tests {
 
     #[test]
     fn empty_scene() {
-        let cfg = SceneConfig { objects: 0, classes: 0, ..SceneConfig::default() };
+        let cfg = SceneConfig {
+            objects: 0,
+            classes: 0,
+            ..SceneConfig::default()
+        };
         assert!(scene_from_seed(&cfg, 5).is_empty());
     }
 
     #[test]
     #[should_panic(expected = "object sizes must fit the frame")]
     fn rejects_oversized_objects() {
-        let cfg = SceneConfig { width: 16, height: 16, max_size: 64, ..SceneConfig::default() };
+        let cfg = SceneConfig {
+            width: 16,
+            height: 16,
+            max_size: 64,
+            ..SceneConfig::default()
+        };
         let _ = scene_from_seed(&cfg, 6);
     }
 }

@@ -10,7 +10,11 @@ pub fn precision_at_k(ranked: &[ImageId], relevant: &HashSet<ImageId>, k: usize)
     if k == 0 {
         return 0.0;
     }
-    let hits = ranked.iter().take(k).filter(|id| relevant.contains(id)).count();
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|id| relevant.contains(id))
+        .count();
     hits as f64 / k.min(ranked.len()).max(1) as f64
 }
 
@@ -22,8 +26,11 @@ pub fn recall_at_k(ranked: &[ImageId], relevant: &HashSet<ImageId>, k: usize) ->
     if relevant.is_empty() {
         return 1.0;
     }
-    let hits: HashSet<&ImageId> =
-        ranked.iter().take(k).filter(|id| relevant.contains(id)).collect();
+    let hits: HashSet<&ImageId> = ranked
+        .iter()
+        .take(k)
+        .filter(|id| relevant.contains(id))
+        .collect();
     hits.len() as f64 / relevant.len() as f64
 }
 

@@ -71,12 +71,7 @@ pub struct Query {
 ///
 /// Panics when `source` is not in the corpus.
 #[must_use]
-pub fn derive_query(
-    corpus: &Corpus,
-    source: ImageId,
-    kind: QueryKind,
-    rng: &mut StdRng,
-) -> Query {
+pub fn derive_query(corpus: &Corpus, source: ImageId, kind: QueryKind, rng: &mut StdRng) -> Query {
     let scene = corpus.scene(source).expect("source image exists");
     let (scene, target) = match kind {
         QueryKind::Exact => (scene.clone(), Some(source)),
@@ -105,7 +100,8 @@ pub fn derive_query(
                 let dy = rng.random_range(-max_delta..=max_delta);
                 let dx = dx.clamp(-m.x_begin(), scene.width() - m.x_end());
                 let dy = dy.clamp(-m.y_begin(), scene.height() - m.y_end());
-                q.add(o.class().clone(), m.translated(dx, dy)).expect("clamped in frame");
+                q.add(o.class().clone(), m.translated(dx, dy))
+                    .expect("clamped in frame");
             }
             (q, Some(source))
         }
@@ -124,7 +120,11 @@ pub fn derive_query(
             (crate::generate_scene(&cfg, rng), None)
         }
     };
-    Query { scene, kind, target }
+    Query {
+        scene,
+        kind,
+        target,
+    }
 }
 
 /// Derives `per_kind` queries for every kind, rotating through corpus
@@ -157,7 +157,13 @@ mod tests {
     use crate::{CorpusConfig, SceneConfig};
 
     fn corpus() -> Corpus {
-        Corpus::generate(&CorpusConfig { images: 10, scene: SceneConfig::default() }, 11)
+        Corpus::generate(
+            &CorpusConfig {
+                images: 10,
+                scene: SceneConfig::default(),
+            },
+            11,
+        )
     }
 
     fn rng() -> StdRng {
@@ -175,7 +181,12 @@ mod tests {
     #[test]
     fn drop_keeps_subset() {
         let c = corpus();
-        let q = derive_query(&c, ImageId(0), QueryKind::DropObjects { keep: 3 }, &mut rng());
+        let q = derive_query(
+            &c,
+            ImageId(0),
+            QueryKind::DropObjects { keep: 3 },
+            &mut rng(),
+        );
         assert_eq!(q.scene.len(), 3);
         // every kept object exists in the source with identical class+mbr
         let src = c.scene(ImageId(0)).unwrap();
@@ -189,15 +200,24 @@ mod tests {
     #[test]
     fn drop_clamps_to_scene_size() {
         let c = corpus();
-        let q =
-            derive_query(&c, ImageId(0), QueryKind::DropObjects { keep: 999 }, &mut rng());
+        let q = derive_query(
+            &c,
+            ImageId(0),
+            QueryKind::DropObjects { keep: 999 },
+            &mut rng(),
+        );
         assert_eq!(q.scene.len(), c.scene(ImageId(0)).unwrap().len());
     }
 
     #[test]
     fn jitter_preserves_classes_and_sizes() {
         let c = corpus();
-        let q = derive_query(&c, ImageId(1), QueryKind::Jitter { max_delta: 10 }, &mut rng());
+        let q = derive_query(
+            &c,
+            ImageId(1),
+            QueryKind::Jitter { max_delta: 10 },
+            &mut rng(),
+        );
         let src = c.scene(ImageId(1)).unwrap();
         assert_eq!(q.scene.len(), src.len());
         for (a, b) in src.iter().zip(q.scene.iter()) {
@@ -228,7 +248,11 @@ mod tests {
     #[test]
     fn derive_queries_is_deterministic() {
         let c = corpus();
-        let kinds = [QueryKind::Exact, QueryKind::Decoy, QueryKind::Jitter { max_delta: 5 }];
+        let kinds = [
+            QueryKind::Exact,
+            QueryKind::Decoy,
+            QueryKind::Jitter { max_delta: 5 },
+        ];
         let a = derive_queries(&c, &kinds, 4, 99);
         let b = derive_queries(&c, &kinds, 4, 99);
         assert_eq!(a, b);

@@ -2,8 +2,7 @@
 
 use be2d_workload::metrics::{average_precision, precision_at_k, recall_at_k, reciprocal_rank};
 use be2d_workload::{
-    derive_query, scene_from_seed, Corpus, CorpusConfig, ImageId, Placement, QueryKind,
-    SceneConfig,
+    derive_query, scene_from_seed, Corpus, CorpusConfig, ImageId, Placement, QueryKind, SceneConfig,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nmatching a scene against itself, growing n:");
     println!("   n   LCS time      clique time   clique graph");
     for n in [4usize, 8, 12, 16] {
-        let cfg = SceneConfig { objects: n, classes: 3, ..SceneConfig::default() };
+        let cfg = SceneConfig {
+            objects: n,
+            classes: 3,
+            ..SceneConfig::default()
+        };
         let scene = scene_from_seed(&cfg, n as u64);
         let s = convert_scene(&scene);
 

@@ -21,12 +21,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut db = ImageDatabase::new();
     let office = db.insert_scene("office", &initial)?;
-    println!("initial image: {}", db.get(office).unwrap().symbolic.to_be_string_2d());
+    println!(
+        "initial image: {}",
+        db.get(office).unwrap().symbolic.to_be_string_2d()
+    );
 
     // Add a chair incrementally (binary-search insertion, §3.2).
     let chair = Rect::new(70, 95, 5, 30)?;
     db.add_object(office, &ObjectClass::new("chair"), chair)?;
-    println!("after insert:  {}", db.get(office).unwrap().symbolic.to_be_string_2d());
+    println!(
+        "after insert:  {}",
+        db.get(office).unwrap().symbolic.to_be_string_2d()
+    );
 
     // Verify against a from-scratch conversion.
     let reindexed = SceneBuilder::new(120, 80)
@@ -41,15 +47,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The edit is immediately searchable.
-    let chair_query =
-        SceneBuilder::new(120, 80).object("chair", (70, 95, 5, 30)).build()?;
+    let chair_query = SceneBuilder::new(120, 80)
+        .object("chair", (70, 95, 5, 30))
+        .build()?;
     let hits = db.search_scene(&chair_query, &QueryOptions::default());
     assert_eq!(hits[0].name, "office");
-    println!("chair query now hits 'office' with score {:.4}", hits[0].score);
+    println!(
+        "chair query now hits 'office' with score {:.4}",
+        hits[0].score
+    );
 
     // Drop the lamp: sequential search, delete, dummy cleanup (§3.2).
-    db.remove_object(office, &ObjectClass::new("lamp"), Rect::new(15, 30, 35, 60)?)?;
-    println!("after drop:    {}", db.get(office).unwrap().symbolic.to_be_string_2d());
+    db.remove_object(
+        office,
+        &ObjectClass::new("lamp"),
+        Rect::new(15, 30, 35, 60)?,
+    )?;
+    println!(
+        "after drop:    {}",
+        db.get(office).unwrap().symbolic.to_be_string_2d()
+    );
     let expected = SceneBuilder::new(120, 80)
         .object("desk", (10, 60, 5, 35))
         .object("chair", (70, 95, 5, 30))
@@ -62,9 +79,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Dropping a missing object fails without corrupting the record.
     let before = db.get(office).unwrap().symbolic.clone();
-    let err = db.remove_object(office, &ObjectClass::new("lamp"), Rect::new(15, 30, 35, 60)?);
+    let err = db.remove_object(
+        office,
+        &ObjectClass::new("lamp"),
+        Rect::new(15, 30, 35, 60)?,
+    );
     assert!(err.is_err());
-    assert_eq!(&before, &db.get(office).unwrap().symbolic, "failed drop is atomic");
+    assert_eq!(
+        &before,
+        &db.get(office).unwrap().symbolic,
+        "failed drop is atomic"
+    );
     println!("\nall §3.2 maintenance invariants verified");
     Ok(())
 }

@@ -18,17 +18,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = Corpus::generate(
         &CorpusConfig {
             images: 30,
-            scene: SceneConfig { objects: 6, classes: 6, ..SceneConfig::default() },
+            scene: SceneConfig {
+                objects: 6,
+                classes: 6,
+                ..SceneConfig::default()
+            },
         },
         55,
     );
 
     // Collection = 30 originals + jittered copies of images 0..5.
-    let mut collection: Vec<(String, be2d::Scene)> =
-        base.iter().map(|(id, s)| (id.to_string(), s.clone())).collect();
+    let mut collection: Vec<(String, be2d::Scene)> = base
+        .iter()
+        .map(|(id, s)| (id.to_string(), s.clone()))
+        .collect();
     let mut rng = StdRng::seed_from_u64(9);
     for i in 0..5usize {
-        let q = derive_query(&base, ImageId(i), QueryKind::Jitter { max_delta: 6 }, &mut rng);
+        let q = derive_query(
+            &base,
+            ImageId(i),
+            QueryKind::Jitter { max_delta: 6 },
+            &mut rng,
+        );
         collection.push((format!("img{i}-copy"), q.scene));
     }
 
@@ -44,18 +55,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for cluster in &clusters {
         if cluster.len() > 1 {
             dup_groups += 1;
-            let names: Vec<&str> =
-                cluster.iter().map(|&i| collection[i].0.as_str()).collect();
+            let names: Vec<&str> = cluster.iter().map(|&i| collection[i].0.as_str()).collect();
             println!("  {}", names.join(" <-> "));
         }
     }
-    println!("\n{} groups found ({} images total)", dup_groups, collection.len());
+    println!(
+        "\n{} groups found ({} images total)",
+        dup_groups,
+        collection.len()
+    );
     assert_eq!(dup_groups, 5, "all five planted copies must be recovered");
     for cluster in &clusters {
         if cluster.len() > 1 {
             // every multi-member group must pair an original with its copy
-            let names: Vec<&str> =
-                cluster.iter().map(|&i| collection[i].0.as_str()).collect();
+            let names: Vec<&str> = cluster.iter().map(|&i| collection[i].0.as_str()).collect();
             assert!(
                 names.iter().any(|n| n.ends_with("-copy")),
                 "unexpected group: {names:?}"

@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let corpus = Corpus::generate(
         &CorpusConfig {
             images: 200,
-            scene: SceneConfig { objects: 6, classes: 5, ..SceneConfig::default() },
+            scene: SceneConfig {
+                objects: 6,
+                classes: 5,
+                ..SceneConfig::default()
+            },
         },
         2024,
     );
@@ -49,10 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let relevant: HashSet<ImageId> = [target].into_iter().collect();
 
             // BE-string / modified-LCS ranking.
-            let hits =
-                db.search_scene(&q.scene, &QueryOptions::default().with_top_k(None));
-            let ranked: Vec<ImageId> =
-                hits.iter().map(|h| ImageId(h.id.index())).collect();
+            let hits = db.search_scene(&q.scene, &QueryOptions::default().with_top_k(None));
+            let ranked: Vec<ImageId> = hits.iter().map(|h| ImageId(h.id.index())).collect();
             rr_lcs.push(reciprocal_rank(&ranked, &relevant));
             if ranked.first() == Some(&target) {
                 top1_lcs += 1;
@@ -62,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut scored: Vec<(ImageId, usize)> = corpus
                 .iter()
                 .map(|(id, scene)| {
-                    (id, typed_similarity(&q.scene, scene, SimilarityType::Type2).matched)
+                    (
+                        id,
+                        typed_similarity(&q.scene, scene, SimilarityType::Type2).matched,
+                    )
                 })
                 .collect();
             scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));

@@ -38,7 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     db.insert_scene(
         "unrelated",
-        &SceneBuilder::new(100, 100).object("Z", (10, 90, 10, 90)).build()?,
+        &SceneBuilder::new(100, 100)
+            .object("Z", (10, 90, 10, 90))
+            .build()?,
     )?;
 
     // Exact query: figure1 ranks first with score 1.
@@ -68,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {h}");
     }
     assert_eq!(hits[0].name, "figure1");
-    assert_eq!(hits[0].transform, Transform::Rotate270, "inverse rotation re-aligns");
+    assert_eq!(
+        hits[0].transform,
+        Transform::Rotate270,
+        "inverse rotation re-aligns"
+    );
 
     // Direct similarity evaluation.
     let sim = similarity(&convert_scene(&partial), &s);

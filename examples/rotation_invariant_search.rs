@@ -17,7 +17,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let corpus = Corpus::generate(
         &CorpusConfig {
             images: 100,
-            scene: SceneConfig { width: 200, height: 200, objects: 6, ..Default::default() },
+            scene: SceneConfig {
+                width: 200,
+                height: 200,
+                objects: 6,
+                ..Default::default()
+            },
         },
         99,
     );
@@ -66,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             subset.len(),
             recovered,
         );
-        assert_eq!(invariant_hits, subset.len(), "invariant search must recover all");
+        assert_eq!(
+            invariant_hits,
+            subset.len(),
+            "invariant search must recover all"
+        );
     }
     println!("\nEvery transformed query is recovered exactly by trying the six string\nreversals; plain search misses most of them.");
     Ok(())

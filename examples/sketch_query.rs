@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let corpus = Corpus::generate(
         &CorpusConfig {
             images: 100,
-            scene: SceneConfig { objects: 5, classes: 4, ..SceneConfig::default() },
+            scene: SceneConfig {
+                objects: 5,
+                classes: 4,
+                ..SceneConfig::default()
+            },
         },
         21,
     );

@@ -26,7 +26,11 @@ fn figure1_strings_match_the_paper() {
 fn storage_claims_across_models() {
     for seed in 0..20u64 {
         for n in [2usize, 5, 10, 25] {
-            let cfg = SceneConfig { objects: n, classes: 4, ..SceneConfig::default() };
+            let cfg = SceneConfig {
+                objects: n,
+                classes: 4,
+                ..SceneConfig::default()
+            };
             let scene = scene_from_seed(&cfg, seed);
             let be = convert_scene(&scene);
             for axis in [be.x(), be.y()] {
@@ -71,7 +75,11 @@ fn cutting_blowup_vs_linear_bestring() {
 /// with how much was kept.
 #[test]
 fn similarity_grades_partial_matches() {
-    let cfg = SceneConfig { objects: 8, classes: 8, ..SceneConfig::default() };
+    let cfg = SceneConfig {
+        objects: 8,
+        classes: 8,
+        ..SceneConfig::default()
+    };
     let scene = scene_from_seed(&cfg, 5);
     let full = convert_scene(&scene);
 
@@ -124,11 +132,17 @@ fn lcs_tolerates_relation_changes_that_type2_rejects() {
 fn lcs_length_bounds_on_random_scenes() {
     for seed in 0..10u64 {
         let a = scene_from_seed(
-            &SceneConfig { objects: 6, ..SceneConfig::default() },
+            &SceneConfig {
+                objects: 6,
+                ..SceneConfig::default()
+            },
             seed,
         );
         let b = scene_from_seed(
-            &SceneConfig { objects: 9, ..SceneConfig::default() },
+            &SceneConfig {
+                objects: 9,
+                ..SceneConfig::default()
+            },
             seed + 100,
         );
         let (sa, sb) = (convert_scene(&a), convert_scene(&b));
@@ -144,11 +158,19 @@ fn lcs_length_bounds_on_random_scenes() {
 fn type_hierarchy_on_random_scenes() {
     for seed in 0..8u64 {
         let q = scene_from_seed(
-            &SceneConfig { objects: 5, classes: 3, ..SceneConfig::default() },
+            &SceneConfig {
+                objects: 5,
+                classes: 3,
+                ..SceneConfig::default()
+            },
             seed,
         );
         let d = scene_from_seed(
-            &SceneConfig { objects: 7, classes: 3, ..SceneConfig::default() },
+            &SceneConfig {
+                objects: 7,
+                classes: 3,
+                ..SceneConfig::default()
+            },
             seed + 50,
         );
         let t2 = typed_similarity(&q, &d, SimilarityType::Type2).matched;

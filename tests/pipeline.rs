@@ -49,7 +49,8 @@ fn retrieval_through_the_full_pipeline() {
         let mut palette = ClassPalette::new();
         let raster = render_scene(scene, &mut palette, Shape::Rectangle);
         let recognised = extract_scene(&raster, &palette, 1).expect("extraction");
-        db.insert_scene(&id.to_string(), &recognised).expect("insert");
+        db.insert_scene(&id.to_string(), &recognised)
+            .expect("insert");
     }
     for (id, scene) in corpus.iter().take(10) {
         let hits = db.search_scene(scene, &QueryOptions::default());
@@ -75,7 +76,11 @@ fn transform_invariance_survives_the_raster_pipeline() {
         let rotated = recognised.transformed(Transform::Rotate90);
         let hits = db.search_scene(&rotated, &QueryOptions::transform_invariant());
         assert_eq!(hits[0].name, id.to_string(), "query {id}");
-        assert!((hits[0].score - 1.0).abs() < 1e-12, "query {id}: {}", hits[0].score);
+        assert!(
+            (hits[0].score - 1.0).abs() < 1e-12,
+            "query {id}: {}",
+            hits[0].score
+        );
         assert_eq!(hits[0].transform, Transform::Rotate270);
     }
 }

@@ -18,7 +18,12 @@ fn rank_by_lcs(db: &ImageDatabase, scene: &be2d::Scene) -> Vec<ImageId> {
 fn rank_by_type2(corpus: &Corpus, scene: &be2d::Scene) -> Vec<ImageId> {
     let mut scored: Vec<(ImageId, usize)> = corpus
         .iter()
-        .map(|(id, s)| (id, typed_similarity(scene, s, SimilarityType::Type2).matched))
+        .map(|(id, s)| {
+            (
+                id,
+                typed_similarity(scene, s, SimilarityType::Type2).matched,
+            )
+        })
         .collect();
     scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     scored.into_iter().map(|(id, _)| id).collect()
@@ -29,7 +34,11 @@ fn jittered_queries_favour_lcs_over_type2() {
     let corpus = Corpus::generate(
         &CorpusConfig {
             images: 60,
-            scene: SceneConfig { objects: 6, classes: 5, ..SceneConfig::default() },
+            scene: SceneConfig {
+                objects: 6,
+                classes: 5,
+                ..SceneConfig::default()
+            },
         },
         2024,
     );
@@ -44,10 +53,16 @@ fn jittered_queries_favour_lcs_over_type2() {
     for q in &queries {
         let relevant: HashSet<ImageId> = [q.target.expect("target")].into_iter().collect();
         rr_lcs.push(reciprocal_rank(&rank_by_lcs(&db, &q.scene), &relevant));
-        rr_t2.push(reciprocal_rank(&rank_by_type2(&corpus, &q.scene), &relevant));
+        rr_t2.push(reciprocal_rank(
+            &rank_by_type2(&corpus, &q.scene),
+            &relevant,
+        ));
     }
     let (mrr_lcs, mrr_t2) = (mean(&rr_lcs), mean(&rr_t2));
-    assert!(mrr_lcs > 0.85, "LCS keeps ranking the source high: {mrr_lcs:.3}");
+    assert!(
+        mrr_lcs > 0.85,
+        "LCS keeps ranking the source high: {mrr_lcs:.3}"
+    );
     assert!(
         mrr_lcs > mrr_t2,
         "graded LCS must beat the exact-relation count under jitter: {mrr_lcs:.3} vs {mrr_t2:.3}"
@@ -59,7 +74,11 @@ fn exact_queries_are_perfect_for_both() {
     let corpus = Corpus::generate(
         &CorpusConfig {
             images: 40,
-            scene: SceneConfig { objects: 6, classes: 5, ..SceneConfig::default() },
+            scene: SceneConfig {
+                objects: 6,
+                classes: 5,
+                ..SceneConfig::default()
+            },
         },
         11,
     );

@@ -1,0 +1,566 @@
+//! Offline vendored subset of `serde`.
+//!
+//! The workspace must build without network access, so this crate
+//! replaces the real `serde` with a small self-describing value tree:
+//! [`Serialize`] renders a type into a [`Value`], [`Deserialize`] reads
+//! it back. `serde_json` (also vendored) maps [`Value`] to and from JSON
+//! text. The derive macros come from the vendored `serde_derive` and
+//! understand the subset of shapes used in this workspace (named-field
+//! structs, transparent newtypes, and unit/newtype/struct enum
+//! variants, in serde's externally-tagged layout).
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialised value — the shim's entire data model.
+///
+/// Maps preserve entry order so JSON output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any integer; `i128` covers the full `u64` and `i64` ranges.
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialisation (and key-serialisation) error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with a caller-provided message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// "expected X while deserialising T".
+    pub fn expected(ty: &str, what: &str) -> Error {
+        Error {
+            msg: format!("{ty}: expected {what}"),
+        }
+    }
+
+    /// An unknown externally-tagged enum variant.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Error {
+        Error {
+            msg: format!("{ty}: unknown variant `{variant}`"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Looks up a required field in a struct's serialised map.
+///
+/// # Errors
+///
+/// Returns a "missing field" error when the key is absent.
+pub fn get_field<'a>(
+    entries: &'a [(String, Value)],
+    ty: &str,
+    field: &str,
+) -> Result<&'a Value, Error> {
+    entries
+        .iter()
+        .find(|(k, _)| k == field)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("{ty}: missing field `{field}`")))
+}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+/// Mirror of `serde::de`, including the `DeserializeOwned` bound alias.
+pub mod de {
+    pub use crate::{Deserialize, Error};
+
+    /// In real serde this marks types deserialisable without borrowing;
+    /// the shim's `Deserialize` never borrows, so it is a plain alias.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::custom(format!(
+                            "integer {i} out of range for {}", stringify!($t)
+                        ))),
+                    other => Err(Error::custom(format!(
+                        "{}: expected integer, got {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        Value::Int(*self)
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Int(i) => Ok(*i),
+            other => Err(Error::custom(format!(
+                "i128: expected integer, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::Int(i128::try_from(*self).expect("u128 value fits i128 in this workspace"))
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Int(i) => u128::try_from(*i)
+                .map_err(|_| Error::custom(format!("integer {i} out of range for u128"))),
+            other => Err(Error::custom(format!(
+                "u128: expected integer, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    // JSON cannot tell `1.0` from `1`, so whole floats may
+                    // arrive as integers.
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(Error::custom(format!(
+                        "{}: expected number, got {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "bool: expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "String: expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(Error::custom(format!(
+                "char: expected 1-character string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Smart pointers
+// ---------------------------------------------------------------------------
+
+impl Serialize for Arc<str> {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_ref().to_owned())
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(Arc::from(s.as_str())),
+            other => Err(Error::custom(format!(
+                "Arc<str>: expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Rc::new)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "Vec: expected sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(::std::vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = stringify!($t); 1 })+;
+                let items = v
+                    .as_seq()
+                    .ok_or_else(|| Error::expected("tuple", "sequence"))?;
+                if items.len() != LEN {
+                    return Err(Error::custom(format!(
+                        "tuple: expected {LEN} elements, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple! {
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+}
+
+/// Renders a map key, which JSON requires to be a string.
+fn key_to_string<K: Serialize>(key: &K) -> Result<String, Error> {
+    match key.to_value() {
+        Value::Str(s) => Ok(s),
+        Value::Int(i) => Ok(i.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(Error::custom(format!(
+            "map key must be string-like, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Reads a map key back from its string form.
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    K::from_value(&Value::Str(s.to_owned())).or_else(|string_err| {
+        s.parse::<i128>()
+            .map_err(|_| string_err)
+            .and_then(|i| K::from_value(&Value::Int(i)))
+    })
+}
+
+macro_rules! impl_map {
+    ($name:ident, $($bound:tt)+) => {
+        impl<K: Serialize + $($bound)+, V: Serialize> Serialize for $name<K, V> {
+            fn to_value(&self) -> Value {
+                Value::Map(
+                    self.iter()
+                        .map(|(k, v)| {
+                            (key_to_string(k).expect("serialisable map key"), v.to_value())
+                        })
+                        .collect(),
+                )
+            }
+        }
+        impl<K: Deserialize + $($bound)+, V: Deserialize> Deserialize for $name<K, V> {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Map(entries) => entries
+                        .iter()
+                        .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                        .collect(),
+                    other => {
+                        Err(Error::custom(format!("map: expected map, got {}", other.kind())))
+                    }
+                }
+            }
+        }
+    };
+}
+
+impl_map!(BTreeMap, Ord);
+impl_map!(HashMap, Eq + Hash);
+
+macro_rules! impl_set {
+    ($name:ident, $($bound:tt)+) => {
+        impl<T: Serialize + $($bound)+> Serialize for $name<T> {
+            fn to_value(&self) -> Value {
+                Value::Seq(self.iter().map(Serialize::to_value).collect())
+            }
+        }
+        impl<T: Deserialize + $($bound)+> Deserialize for $name<T> {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) => items.iter().map(T::from_value).collect(),
+                    other => {
+                        Err(Error::custom(format!("set: expected sequence, got {}", other.kind())))
+                    }
+                }
+            }
+        }
+    };
+}
+
+impl_set!(BTreeSet, Ord);
+impl_set!(HashSet, Eq + Hash);
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(Error::custom(format!(
+                "(): expected null, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,421 @@
+//! Offline vendored subset of `serde_derive`.
+//!
+//! The workspace builds without network access, so instead of the real
+//! `serde`/`serde_derive` crates it vendors a small value-tree
+//! implementation (see `vendor/serde`). This proc macro generates the
+//! `Serialize`/`Deserialize` impls for the type shapes actually used in
+//! the workspace:
+//!
+//! - structs with named fields,
+//! - single-field tuple structs (newtypes, including `#[serde(transparent)]`),
+//! - enums whose variants are unit, newtype, or struct-like.
+//!
+//! Generics are not supported; the macro reports a compile error if it
+//! meets a shape it cannot handle, so failures are loud rather than
+//! silently wrong.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the deriving item, extracted from its token stream.
+///
+/// `#[serde(transparent)]` needs no explicit flag: every tuple struct in
+/// this workspace is a single-field newtype, which serde serialises as
+/// its inner value anyway.
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(A, …);` — field count.
+    TupleStruct(usize),
+    /// `enum E { … }`.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Named(Vec<String>),
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::std::compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Skips a run of `#[…]` attributes (doc comments, `#[serde(…)]`,
+/// `#[default]`, …). The shim needs none of their contents: transparent
+/// newtypes are recognised structurally.
+fn skip_attributes(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        if !matches!(iter.peek(), Some(TokenTree::Group(_))) {
+            break;
+        }
+        iter.next();
+    }
+}
+
+/// Skips an optional `pub` / `pub(…)` visibility prefix.
+fn skip_visibility(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(i)) = iter.peek() {
+        if i.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses the fields of a `{ … }` group into names, or counts the
+/// top-level elements of a `( … )` group.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = group.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(name)) => {
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected `:` after field, got {other:?}")),
+                }
+                // Consume the type: everything up to a comma at angle-depth 0.
+                let mut depth = 0i32;
+                loop {
+                    match iter.peek() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                            depth += 1;
+                            iter.next();
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                            depth -= 1;
+                            iter.next();
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                            iter.next();
+                            break;
+                        }
+                        Some(_) => {
+                            iter.next();
+                        }
+                    }
+                }
+                fields.push(name.to_string());
+            }
+            Some(other) => return Err(format!("unexpected token in fields: {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the top-level comma-separated elements of a tuple-struct or
+/// tuple-variant parenthesis group.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_token = false;
+    for t in group {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if saw_token {
+                    count += 1;
+                }
+                saw_token = false;
+            }
+            _ => saw_token = true,
+        }
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(name)) => {
+                let kind = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream())?;
+                        iter.next();
+                        VariantKind::Named(fields)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = count_tuple_fields(g.stream());
+                        if arity != 1 {
+                            return Err(format!(
+                                "serde shim: tuple variant {name} must have exactly 1 field, has {arity}"
+                            ));
+                        }
+                        iter.next();
+                        VariantKind::Newtype
+                    }
+                    _ => VariantKind::Unit,
+                };
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == ',' {
+                        iter.next();
+                    }
+                }
+                variants.push(Variant {
+                    name: name.to_string(),
+                    kind,
+                });
+            }
+            Some(other) => return Err(format!("unexpected token in enum body: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("serde shim: generic type {name} is not supported"));
+        }
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => return Err(format!("unsupported struct body for {name}: {other:?}")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body for {name}, got {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+
+    if let Kind::TupleStruct(arity) = kind {
+        if arity != 1 {
+            return Err(format!(
+                "serde shim: tuple struct {name} must have exactly 1 field, has {arity}"
+            ));
+        }
+    }
+
+    Ok(Input { name, kind })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::TupleStruct(_) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?}))"
+                        ),
+                        VariantKind::Newtype => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vname:?}), ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let pat = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {pat} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Map(::std::vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::TupleStruct(_) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(__m, {:?}, {f:?})?)?",
+                        name
+                    )
+                })
+                .collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| ::serde::Error::expected({name:?}, \"map\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Newtype => Some(format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(__fm, {:?}, {f:?})?)?",
+                                        name
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                     let __fm = __inner.as_map().ok_or_else(|| ::serde::Error::expected({name:?}, \"variant map\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::unknown_variant({name:?}, __other)),\n\
+                     }},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::unknown_variant({name:?}, __other)),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::Error::expected({name:?}, \"string or single-entry map\")),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
