@@ -42,7 +42,7 @@ fn bench_query(c: &mut Criterion) {
         ] {
             let options = QueryOptions {
                 prefilter,
-                parallel,
+                parallel: parallel.into(),
                 top_k: Some(10),
                 ..QueryOptions::default()
             };

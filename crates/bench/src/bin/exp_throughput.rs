@@ -60,7 +60,7 @@ fn main() {
         ] {
             let options = QueryOptions {
                 prefilter,
-                parallel,
+                parallel: parallel.into(),
                 top_k: Some(10),
                 ..QueryOptions::default()
             };

@@ -87,6 +87,18 @@ impl ImageDatabase {
         self.len() == 0
     }
 
+    /// Number of distinct object classes currently indexed.
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.index.class_count()
+    }
+
+    /// Total number of objects across all live records.
+    #[must_use]
+    pub fn object_count(&self) -> usize {
+        self.iter().map(|r| r.symbolic.object_count()).sum()
+    }
+
     /// Indexes a scene: converts it with Algorithm 1 and stores the
     /// annotated string pair.
     ///
@@ -284,7 +296,7 @@ impl ImageDatabase {
             }
         };
 
-        let mut hits: Vec<SearchHit> = if options.parallel && candidates.len() >= 32 {
+        let mut hits: Vec<SearchHit> = if options.parallel.enabled_for(candidates.len()) {
             let threads = std::thread::available_parallelism()
                 .map_or(1, |n| n.get())
                 .min(16);
@@ -335,13 +347,54 @@ impl ImageDatabase {
         })
     }
 
-    /// Saves the database to a file.
+    /// Saves the database to a file, **crash-safely**: the JSON is
+    /// written to a temporary file in the target directory and then
+    /// `rename`d into place, so a reader (or a crash mid-write) can
+    /// never observe a truncated snapshot — it sees either the previous
+    /// complete file or the new one.
     ///
     /// # Errors
     ///
-    /// Propagates serialisation and I/O errors.
+    /// Propagates serialisation and I/O errors; rejects paths without a
+    /// file name. On error the temporary file is removed and any
+    /// previous snapshot at `path` is left untouched.
     pub fn save(&self, path: &Path) -> Result<(), DbError> {
-        std::fs::write(path, self.to_json()?).map_err(DbError::from)
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+        let json = self.to_json()?;
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| DbError::Persist {
+                reason: format!("save path {} has no file name", path.display()),
+            })?
+            .to_string_lossy();
+        // Unique per process+call, so concurrent saves to the same
+        // target never clobber each other's temp file.
+        let tmp_name = format!(
+            ".{file_name}.tmp.{}.{}",
+            std::process::id(),
+            SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        let tmp = match path.parent() {
+            Some(dir) if !dir.as_os_str().is_empty() => dir.join(tmp_name),
+            _ => std::path::PathBuf::from(tmp_name),
+        };
+        let write_synced = || -> std::io::Result<()> {
+            use std::io::Write;
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(json.as_bytes())?;
+            // The data blocks must be durable *before* the rename's
+            // metadata, or a power loss could publish a truncated file
+            // under the final name.
+            file.sync_all()
+        };
+        write_synced()
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .map_err(|e| {
+                let _ = std::fs::remove_file(&tmp);
+                DbError::from(e)
+            })
     }
 
     /// Loads a database from a file written by [`save`](Self::save).
@@ -376,6 +429,7 @@ impl ImageDatabase {
 #[allow(clippy::type_complexity)] // terse MBR tuples keep test fixtures readable
 mod tests {
     use super::*;
+    use crate::Parallelism;
     use be2d_geometry::SceneBuilder;
 
     fn scene(objs: &[(&str, (i64, i64, i64, i64))]) -> Scene {
@@ -568,7 +622,7 @@ mod tests {
         let serial = db.search_scene(
             &query,
             &QueryOptions {
-                parallel: false,
+                parallel: Parallelism::Off,
                 top_k: None,
                 ..Default::default()
             },
@@ -576,13 +630,46 @@ mod tests {
         let parallel = db.search_scene(
             &query,
             &QueryOptions {
-                parallel: true,
+                parallel: Parallelism::On,
                 top_k: None,
                 ..Default::default()
             },
         );
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.id, p.id);
+            assert!((s.score - p.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn auto_parallel_agrees_with_serial() {
+        // Enough records to cross Parallelism::AUTO_THRESHOLD with the
+        // no-prefilter scan, so Auto actually takes the threaded path.
+        let mut db = ImageDatabase::new();
+        for i in 0..(Parallelism::AUTO_THRESHOLD as i64 + 16) {
+            let s = scene(&[
+                ("A", (i % 11, i % 11 + 15, 0, 25)),
+                ("B", (40, 80, i % 17 + 5, i % 17 + 40)),
+            ]);
+            db.insert_scene(&format!("img{i}"), &s).unwrap();
+        }
+        let query = scene(&[("A", (5, 20, 0, 25)), ("B", (40, 80, 10, 45))]);
+        let base = QueryOptions {
+            prefilter: PrefilterMode::None,
+            top_k: None,
+            ..Default::default()
+        };
+        let serial = db.search_scene(&query, &base);
+        let auto = db.search_scene(
+            &query,
+            &QueryOptions {
+                parallel: Parallelism::Auto,
+                ..base
+            },
+        );
+        assert_eq!(serial.len(), auto.len());
+        for (s, p) in serial.iter().zip(&auto) {
             assert_eq!(s.id, p.id);
             assert!((s.score - p.score).abs() < 1e-12);
         }
@@ -704,6 +791,52 @@ mod tests {
         assert_eq!(db, back);
         std::fs::remove_file(&path).ok();
         assert!(ImageDatabase::load(Path::new("/nonexistent/x.json")).is_err());
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("be2d_atomic_save_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+
+        // Overwriting an existing snapshot goes through rename, and no
+        // temp droppings survive a successful save.
+        let (db, a, _, _) = sample_db();
+        db.save(&path).unwrap();
+        let mut edited = db.clone();
+        edited.remove(a).unwrap();
+        edited.save(&path).unwrap();
+        assert_eq!(ImageDatabase::load(&path).unwrap(), edited);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "db.json")
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+
+        // A failing save (missing directory) reports the error and the
+        // old snapshot is untouched.
+        assert!(db.save(&dir.join("missing").join("db.json")).is_err());
+        assert!(db.save(Path::new("/")).is_err(), "path without file name");
+        // A rename-stage failure (target name taken by a directory)
+        // must clean its temp file up too.
+        let blocked = dir.join("blocked");
+        std::fs::create_dir_all(&blocked).unwrap();
+        assert!(db.save(&blocked).is_err());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "db.json" && n != "blocked")
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        assert_eq!(ImageDatabase::load(&path).unwrap(), edited);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

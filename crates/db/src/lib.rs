@@ -53,6 +53,6 @@ pub mod sketch;
 pub use database::{ImageDatabase, ImageRecord, RecordId};
 pub use error::DbError;
 pub use index::ClassIndex;
-pub use query::{CandidateSource, PrefilterMode, QueryOptions, SearchHit};
+pub use query::{CandidateSource, Parallelism, PrefilterMode, QueryOptions, SearchHit};
 pub use shared::SharedImageDatabase;
 pub use signature::ClassSignature;

@@ -56,6 +56,71 @@ impl fmt::Display for CandidateSource {
     }
 }
 
+/// Whether candidate scoring runs on multiple threads.
+///
+/// The scan chunks the candidate set across scoped threads (see
+/// [`ImageDatabase::search`](crate::ImageDatabase::search)). Spawning
+/// threads is only worth it when there is enough scoring work to
+/// amortise it, so the recommended production setting is [`Auto`]:
+/// serial for small candidate sets, threaded beyond
+/// [`AUTO_THRESHOLD`](Parallelism::AUTO_THRESHOLD) candidates.
+///
+/// [`Auto`]: Parallelism::Auto
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Single-threaded scoring. Default.
+    #[default]
+    Off,
+    /// Multi-threaded scoring whenever the candidate set is non-trivial
+    /// (at least [`MIN_CANDIDATES`](Parallelism::MIN_CANDIDATES)).
+    On,
+    /// Multi-threaded scoring only when the candidate set reaches
+    /// [`AUTO_THRESHOLD`](Parallelism::AUTO_THRESHOLD) — the sweet spot
+    /// for servers that see both tiny and huge candidate sets.
+    Auto,
+}
+
+impl Parallelism {
+    /// Below this many candidates the scan never goes multi-threaded:
+    /// thread spawning would dominate the scoring work.
+    pub const MIN_CANDIDATES: usize = 32;
+
+    /// The candidate count at which [`Auto`](Parallelism::Auto) switches
+    /// to the multi-threaded scan.
+    pub const AUTO_THRESHOLD: usize = 192;
+
+    /// Decides whether a scan over `candidates` records should use the
+    /// multi-threaded path.
+    #[must_use]
+    pub fn enabled_for(self, candidates: usize) -> bool {
+        match self {
+            Parallelism::Off => false,
+            Parallelism::On => candidates >= Parallelism::MIN_CANDIDATES,
+            Parallelism::Auto => candidates >= Parallelism::AUTO_THRESHOLD,
+        }
+    }
+}
+
+impl From<bool> for Parallelism {
+    fn from(on: bool) -> Self {
+        if on {
+            Parallelism::On
+        } else {
+            Parallelism::Off
+        }
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Parallelism::Off => f.write_str("off"),
+            Parallelism::On => f.write_str("on"),
+            Parallelism::Auto => f.write_str("auto"),
+        }
+    }
+}
+
 /// Parameters of one similarity search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryOptions {
@@ -73,8 +138,8 @@ pub struct QueryOptions {
     pub prefilter: PrefilterMode,
     /// How candidates are produced (signature scan vs inverted index).
     pub candidates: CandidateSource,
-    /// Scan record chunks on multiple threads.
-    pub parallel: bool,
+    /// Scan record chunks on multiple threads (see [`Parallelism`]).
+    pub parallel: Parallelism,
 }
 
 impl Default for QueryOptions {
@@ -86,7 +151,7 @@ impl Default for QueryOptions {
             config: SimilarityConfig::default(),
             prefilter: PrefilterMode::default(),
             candidates: CandidateSource::default(),
-            parallel: false,
+            parallel: Parallelism::Off,
         }
     }
 }
@@ -107,6 +172,18 @@ impl QueryOptions {
     pub fn with_top_k(mut self, k: Option<usize>) -> Self {
         self.top_k = k;
         self
+    }
+
+    /// Preset for online serving: candidates from the inverted class
+    /// index and [`Parallelism::Auto`] scoring, so small queries stay
+    /// cheap while large candidate sets use every core.
+    #[must_use]
+    pub fn serving() -> Self {
+        QueryOptions {
+            candidates: CandidateSource::ClassIndex,
+            parallel: Parallelism::Auto,
+            ..QueryOptions::default()
+        }
     }
 }
 
@@ -145,7 +222,28 @@ mod tests {
         assert_eq!(o.top_k, Some(10));
         assert_eq!(o.transforms, vec![Transform::Identity]);
         assert_eq!(o.prefilter, PrefilterMode::AnyClass);
-        assert!(!o.parallel);
+        assert_eq!(o.parallel, Parallelism::Off);
+    }
+
+    #[test]
+    fn serving_preset() {
+        let o = QueryOptions::serving();
+        assert_eq!(o.candidates, CandidateSource::ClassIndex);
+        assert_eq!(o.parallel, Parallelism::Auto);
+        assert_eq!(o.top_k, Some(10), "rest stays at the defaults");
+    }
+
+    #[test]
+    fn parallelism_policy() {
+        assert!(!Parallelism::Off.enabled_for(usize::MAX));
+        assert!(!Parallelism::On.enabled_for(Parallelism::MIN_CANDIDATES - 1));
+        assert!(Parallelism::On.enabled_for(Parallelism::MIN_CANDIDATES));
+        assert!(!Parallelism::Auto.enabled_for(Parallelism::AUTO_THRESHOLD - 1));
+        assert!(Parallelism::Auto.enabled_for(Parallelism::AUTO_THRESHOLD));
+        assert_eq!(Parallelism::from(true), Parallelism::On);
+        assert_eq!(Parallelism::from(false), Parallelism::Off);
+        assert_eq!(Parallelism::Auto.to_string(), "auto");
+        assert_eq!(Parallelism::default(), Parallelism::Off);
     }
 
     #[test]

@@ -140,6 +140,44 @@ impl SharedImageDatabase {
         self.inner.read().clone()
     }
 
+    /// Atomically replaces the whole database (write lock), returning
+    /// the previous contents — the restore path of a snapshot/restore
+    /// cycle.
+    pub fn replace(&self, db: ImageDatabase) -> ImageDatabase {
+        std::mem::replace(&mut self.inner.write(), db)
+    }
+
+    /// Saves a consistent snapshot to a file.
+    ///
+    /// The read lock is held only while cloning; serialisation and the
+    /// crash-safe write ([`ImageDatabase::save`]) happen outside it, so
+    /// searches and edits are barely disturbed by a snapshot under
+    /// traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DbError`] from serialisation or file I/O.
+    pub fn save_snapshot(&self, path: &std::path::Path) -> Result<usize, DbError> {
+        let snapshot = self.snapshot();
+        snapshot.save(path)?;
+        Ok(snapshot.len())
+    }
+
+    /// Ranked similarity search with textual BE-strings (read lock,
+    /// concurrent). See [`ImageDatabase::search_text`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors from the query strings.
+    pub fn search_text(
+        &self,
+        u: &str,
+        v: &str,
+        options: &QueryOptions,
+    ) -> Result<Vec<SearchHit>, DbError> {
+        self.inner.read().search_text(u, v, options)
+    }
+
     /// Runs a closure with shared read access — for multi-call read
     /// sequences that must observe one consistent state.
     pub fn with_read<R>(&self, f: impl FnOnce(&ImageDatabase) -> R) -> R {
@@ -224,6 +262,49 @@ mod tests {
         });
         assert_eq!(len, 1);
         assert_eq!(hit_count, 1);
+    }
+
+    #[test]
+    fn replace_swaps_contents() {
+        let db = SharedImageDatabase::new();
+        db.insert_scene("old", &scene(0)).unwrap();
+        let mut fresh = crate::ImageDatabase::new();
+        fresh.insert_scene("new-a", &scene(1)).unwrap();
+        fresh.insert_scene("new-b", &scene(2)).unwrap();
+        let old = db.replace(fresh);
+        assert_eq!(old.len(), 1);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_save_and_text_search() {
+        let db = SharedImageDatabase::new();
+        db.insert_scene("one", &scene(0)).unwrap();
+        let path =
+            std::env::temp_dir().join(format!("be2d_shared_snap_{}.json", std::process::id()));
+        assert_eq!(db.save_snapshot(&path).unwrap(), 1);
+        let restored = crate::ImageDatabase::load(&path).unwrap();
+        assert_eq!(restored.len(), 1);
+        std::fs::remove_file(&path).ok();
+
+        let target = db
+            .snapshot()
+            .iter()
+            .next()
+            .unwrap()
+            .symbolic
+            .to_be_string_2d();
+        let hits = db
+            .search_text(
+                &target.x().to_string(),
+                &target.y().to_string(),
+                &QueryOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(hits[0].name, "one");
+        assert!(db
+            .search_text("garbage", "E", &QueryOptions::default())
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Concurrent-correctness stress test: one [`SharedImageDatabase`]
+//! hammered by mixed reader/writer threads, with every observed search
+//! result set checked for internal consistency — no torn reads, no
+//! panics, no half-applied edits visible to readers.
+
+use be2d_db::{
+    ImageDatabase, Parallelism, PrefilterMode, QueryOptions, RecordId, SharedImageDatabase,
+};
+use be2d_geometry::{ObjectClass, Rect, Scene, SceneBuilder};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn scene(x: i64, extra: bool) -> Scene {
+    let mut b = SceneBuilder::new(200, 200)
+        .object("A", (x % 50, x % 50 + 20, 10, 40))
+        .object("B", (80, 150, x % 40 + 10, x % 40 + 60));
+    if extra {
+        b = b.object("C", (160, 190, 160, 190));
+    }
+    b.build().expect("valid scene")
+}
+
+/// Asserts the invariants every coherent result set satisfies,
+/// regardless of which database version the search observed.
+fn check_consistent(hits: &[be2d_db::SearchHit], options: &QueryOptions) {
+    if let Some(k) = options.top_k {
+        assert!(hits.len() <= k, "top_k respected");
+    }
+    let mut seen = std::collections::HashSet::new();
+    for window in hits.windows(2) {
+        assert!(
+            window[0].score >= window[1].score,
+            "scores sorted descending"
+        );
+    }
+    for hit in hits {
+        assert!(seen.insert(hit.id), "duplicate id {} in results", hit.id);
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&hit.score),
+            "score in range: {}",
+            hit.score
+        );
+        assert!(hit.score >= options.min_score, "score floor respected");
+        assert!(!hit.name.is_empty(), "name survived the read");
+    }
+}
+
+#[test]
+fn mixed_readers_and_writers_stay_consistent() {
+    let db = SharedImageDatabase::new();
+    for i in 0..64 {
+        db.insert_scene(&format!("seed{i}"), &scene(i, i % 3 == 0))
+            .expect("seed insert");
+    }
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        // --- searchers: three different option shapes, including the
+        // threaded scan, all validating every result set they see.
+        for worker in 0..3 {
+            let db = db.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let options = match worker {
+                    0 => QueryOptions::default(),
+                    1 => QueryOptions {
+                        prefilter: PrefilterMode::None,
+                        parallel: Parallelism::On,
+                        top_k: None,
+                        ..QueryOptions::default()
+                    },
+                    _ => QueryOptions::serving(),
+                };
+                let query = scene(17, true);
+                let mut searches = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let hits = db.search_scene(&query, &options);
+                    check_consistent(&hits, &options);
+                    searches += 1;
+                }
+                assert!(searches > 0, "searcher made progress");
+            });
+        }
+
+        // --- serialisation reader: snapshots must always be complete,
+        // parseable documents even while writers churn.
+        {
+            let db = db.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let snapshot = db.snapshot();
+                    let json = snapshot.to_json().expect("serialises");
+                    let back = ImageDatabase::from_json(&json).expect("parses back");
+                    assert_eq!(back.len(), snapshot.len(), "no torn snapshot");
+                }
+            });
+        }
+
+        // --- inserter/remover: grows the db, trims its own inserts.
+        {
+            let db = db.clone();
+            s.spawn(move || {
+                let mut mine = Vec::new();
+                for i in 64..256i64 {
+                    let id = db
+                        .insert_scene(&format!("w{i}"), &scene(i, i % 2 == 0))
+                        .expect("insert");
+                    mine.push(id);
+                    if i % 3 == 0 {
+                        let victim = mine.remove(mine.len() / 2);
+                        db.remove(victim).expect("remove own insert");
+                    }
+                }
+            });
+        }
+
+        // --- object editor: §3.2 add/remove on the stable seed rows.
+        {
+            let db = db.clone();
+            s.spawn(move || {
+                let class = ObjectClass::new("X");
+                let mbr = Rect::new(0, 9, 0, 9).expect("rect");
+                for round in 0..96usize {
+                    let id = RecordId(round % 32);
+                    db.add_object(id, &class, mbr).expect("add to seed record");
+                    db.remove_object(id, &class, mbr).expect("remove again");
+                }
+            });
+        }
+
+        // Writers finish on their own; searchers poll until told to stop.
+        // The scope guarantees the writers above completed before this
+        // sleep ends only if they are fast — so give them a real window.
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Post-conditions: seed rows all alive, writer net growth applied,
+    // and the §3.2 editor left no stray X objects behind.
+    assert!(db.len() >= 64, "seed records survived");
+    let x_query = SceneBuilder::new(200, 200)
+        .object("X", (0, 9, 0, 9))
+        .build()
+        .expect("query");
+    assert!(
+        db.search_scene(&x_query, &QueryOptions::default())
+            .is_empty(),
+        "every add_object was matched by its remove_object"
+    );
+    let json = db.snapshot().to_json().expect("final snapshot");
+    assert_eq!(
+        ImageDatabase::from_json(&json).expect("parses").len(),
+        db.len()
+    );
+}

@@ -1,0 +1,767 @@
+//! The JSON request/response vocabulary of the service.
+//!
+//! Requests are parsed by hand over the vendored [`serde::Value`] tree
+//! rather than derived: the derive in the offline serde shim requires
+//! every field to be present, while a usable HTTP API wants optional
+//! fields with server-side defaults (`options` entirely omitted, `path`
+//! falling back to the configured snapshot target, and so on).
+//! Responses are plain named structs using the derived serialiser.
+
+use crate::http::Response;
+use be2d_core::SymbolicImage;
+use be2d_db::{CandidateSource, DbError, Parallelism, PrefilterMode, QueryOptions, SearchHit};
+use be2d_geometry::{ObjectClass, Rect, Scene, Transform};
+use serde::{Deserialize, Serialize, Value};
+
+/// A request-level failure: HTTP status plus a message for the error
+/// envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// Response status.
+    pub status: u16,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A `400 Bad Request` error.
+    #[must_use]
+    pub fn bad(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// Maps a database error onto a status: unknown record → 404,
+    /// semantic (BE-string / sketch) failures → 422, persistence → 500.
+    #[must_use]
+    pub fn from_db(e: &DbError) -> ApiError {
+        let status = match e {
+            DbError::UnknownRecord { .. } => 404,
+            DbError::BeString(_) | DbError::Sketch { .. } => 422,
+            _ => 500,
+        };
+        ApiError {
+            status,
+            message: e.to_string(),
+        }
+    }
+
+    /// Renders the error as a JSON response.
+    #[must_use]
+    pub fn to_response(&self) -> Response {
+        Response::error(self.status, &self.message)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value helpers
+// ---------------------------------------------------------------------------
+
+/// Parses a request body (empty bodies count as `{}`).
+pub(crate) fn parse_body(body: &[u8]) -> Result<Value, ApiError> {
+    if body.iter().all(u8::is_ascii_whitespace) {
+        return Ok(Value::Map(Vec::new()));
+    }
+    let text =
+        std::str::from_utf8(body).map_err(|_| ApiError::bad("request body is not valid UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| ApiError::bad(format!("invalid JSON body: {e}")))
+}
+
+fn as_obj<'v>(v: &'v Value, what: &str) -> Result<&'v [(String, Value)], ApiError> {
+    v.as_map()
+        .ok_or_else(|| ApiError::bad(format!("{what} must be a JSON object")))
+}
+
+fn get<'v>(obj: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .filter(|v| !matches!(v, Value::Null))
+}
+
+fn required<'v>(obj: &'v [(String, Value)], key: &str) -> Result<&'v Value, ApiError> {
+    get(obj, key).ok_or_else(|| ApiError::bad(format!("missing field {key:?}")))
+}
+
+fn as_str<'v>(v: &'v Value, what: &str) -> Result<&'v str, ApiError> {
+    match v {
+        Value::Str(s) => Ok(s),
+        other => Err(ApiError::bad(format!(
+            "{what} must be a string, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn as_i64(v: &Value, what: &str) -> Result<i64, ApiError> {
+    i64::from_value(v).map_err(|_| ApiError::bad(format!("{what} must be an integer")))
+}
+
+fn as_f64(v: &Value, what: &str) -> Result<f64, ApiError> {
+    f64::from_value(v).map_err(|_| ApiError::bad(format!("{what} must be a number")))
+}
+
+// ---------------------------------------------------------------------------
+// Scenes and objects
+// ---------------------------------------------------------------------------
+
+/// Parses the compact scene form:
+/// `{"width": W, "height": H, "objects": [{"class": "A", "mbr": [xb, xe, yb, ye]}, …]}`.
+pub(crate) fn scene_from_value(v: &Value) -> Result<Scene, ApiError> {
+    let obj = as_obj(v, "scene")?;
+    let width = as_i64(required(obj, "width")?, "scene.width")?;
+    let height = as_i64(required(obj, "height")?, "scene.height")?;
+    let mut scene =
+        Scene::new(width, height).map_err(|e| ApiError::bad(format!("invalid scene: {e}")))?;
+    if let Some(objects) = get(obj, "objects") {
+        let items = objects
+            .as_seq()
+            .ok_or_else(|| ApiError::bad("scene.objects must be an array"))?;
+        for item in items {
+            let (class, mbr) = object_from_value(item)?;
+            scene
+                .add(class, mbr)
+                .map_err(|e| ApiError::bad(format!("invalid object: {e}")))?;
+        }
+    }
+    Ok(scene)
+}
+
+/// Parses one `{"class": "A", "mbr": [xb, xe, yb, ye]}` object.
+pub(crate) fn object_from_value(v: &Value) -> Result<(ObjectClass, Rect), ApiError> {
+    let obj = as_obj(v, "object")?;
+    let name = as_str(required(obj, "class")?, "object.class")?;
+    let class = ObjectClass::try_new(name)
+        .map_err(|e| ApiError::bad(format!("invalid object class {name:?}: {e}")))?;
+    let mbr = required(obj, "mbr")?;
+    let coords = mbr
+        .as_seq()
+        .ok_or_else(|| ApiError::bad("object.mbr must be [x_begin, x_end, y_begin, y_end]"))?;
+    let [xb, xe, yb, ye] = coords else {
+        return Err(ApiError::bad(format!(
+            "object.mbr must have 4 coordinates, got {}",
+            coords.len()
+        )));
+    };
+    let rect = Rect::new(
+        as_i64(xb, "mbr[0]")?,
+        as_i64(xe, "mbr[1]")?,
+        as_i64(yb, "mbr[2]")?,
+        as_i64(ye, "mbr[3]")?,
+    )
+    .map_err(|e| ApiError::bad(format!("invalid mbr: {e}")))?;
+    Ok((class, rect))
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// `POST /images`: a named scene **or** pre-converted symbolic image.
+#[derive(Debug, Clone)]
+pub struct InsertRequest {
+    /// User-assigned image name.
+    pub name: String,
+    /// What to store.
+    pub image: InsertBody,
+}
+
+/// The two accepted insertion payloads.
+#[derive(Debug, Clone)]
+pub enum InsertBody {
+    /// `"scene"`: converted with Algorithm 1 on insert.
+    Scene(Scene),
+    /// `"symbolic"`: the serialised [`SymbolicImage`] stored form.
+    Symbolic(Box<SymbolicImage>),
+}
+
+impl InsertRequest {
+    /// Parses an insert body.
+    ///
+    /// # Errors
+    ///
+    /// Returns 400-level [`ApiError`]s for malformed bodies.
+    pub fn from_value(v: &Value) -> Result<InsertRequest, ApiError> {
+        let obj = as_obj(v, "body")?;
+        let name = as_str(required(obj, "name")?, "name")?.to_owned();
+        let image = match (get(obj, "scene"), get(obj, "symbolic")) {
+            (Some(scene), None) => InsertBody::Scene(scene_from_value(scene)?),
+            (None, Some(sym)) => InsertBody::Symbolic(Box::new(
+                SymbolicImage::from_value(sym)
+                    .map_err(|e| ApiError::bad(format!("invalid symbolic image: {e}")))?,
+            )),
+            (Some(_), Some(_)) => {
+                return Err(ApiError::bad(
+                    "give either \"scene\" or \"symbolic\", not both",
+                ))
+            }
+            (None, None) => return Err(ApiError::bad("missing \"scene\" or \"symbolic\"")),
+        };
+        Ok(InsertRequest { name, image })
+    }
+}
+
+/// `POST`/`DELETE /images/{id}/objects`: one object edit.
+#[derive(Debug, Clone)]
+pub struct ObjectEdit {
+    /// The object's class.
+    pub class: ObjectClass,
+    /// The object's MBR.
+    pub mbr: Rect,
+}
+
+impl ObjectEdit {
+    /// Parses an object-edit body (the object fields live at the top
+    /// level: `{"class": "A", "mbr": [..]}`).
+    ///
+    /// # Errors
+    ///
+    /// Returns 400-level [`ApiError`]s for malformed bodies.
+    pub fn from_value(v: &Value) -> Result<ObjectEdit, ApiError> {
+        let (class, mbr) = object_from_value(v)?;
+        Ok(ObjectEdit { class, mbr })
+    }
+}
+
+/// `POST /search`: a query plus optional options.
+#[derive(Debug, Clone)]
+pub struct SearchRequest {
+    /// The query payload.
+    pub query: SearchQuery,
+    /// Fully resolved options (server defaults filled in).
+    pub options: QueryOptions,
+}
+
+/// The accepted search payloads.
+#[derive(Debug, Clone)]
+pub enum SearchQuery {
+    /// `"scene"`: converted on the fly.
+    Scene(Scene),
+    /// `"text"`: the `Display` rendering of the two BE-strings.
+    Text {
+        /// The x-axis string (e.g. `"E A_b E A_e E"`).
+        u: String,
+        /// The y-axis string.
+        v: String,
+    },
+}
+
+impl SearchRequest {
+    /// Parses a search body against the server's default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns 400-level [`ApiError`]s for malformed bodies.
+    pub fn from_value(v: &Value, defaults: &QueryOptions) -> Result<SearchRequest, ApiError> {
+        let obj = as_obj(v, "body")?;
+        let query = match (get(obj, "scene"), get(obj, "text")) {
+            (Some(scene), None) => SearchQuery::Scene(scene_from_value(scene)?),
+            (None, Some(text)) => {
+                let text = as_obj(text, "text")?;
+                SearchQuery::Text {
+                    u: as_str(required(text, "u")?, "text.u")?.to_owned(),
+                    v: as_str(required(text, "v")?, "text.v")?.to_owned(),
+                }
+            }
+            (Some(_), Some(_)) => {
+                return Err(ApiError::bad("give either \"scene\" or \"text\", not both"))
+            }
+            (None, None) => return Err(ApiError::bad("missing \"scene\" or \"text\" query")),
+        };
+        let options = options_from_value(get(obj, "options"), defaults)?;
+        Ok(SearchRequest { query, options })
+    }
+}
+
+/// `POST /search/sketch`: a sketch text plus optional options.
+#[derive(Debug, Clone)]
+pub struct SketchRequest {
+    /// The sketch source text (e.g. `"A left-of B; B above C"`).
+    pub sketch: String,
+    /// Fully resolved options.
+    pub options: QueryOptions,
+}
+
+impl SketchRequest {
+    /// Parses a sketch-search body.
+    ///
+    /// # Errors
+    ///
+    /// Returns 400-level [`ApiError`]s for malformed bodies.
+    pub fn from_value(v: &Value, defaults: &QueryOptions) -> Result<SketchRequest, ApiError> {
+        let obj = as_obj(v, "body")?;
+        let sketch = as_str(required(obj, "sketch")?, "sketch")?.to_owned();
+        let options = options_from_value(get(obj, "options"), defaults)?;
+        Ok(SketchRequest { sketch, options })
+    }
+}
+
+/// `POST /snapshot` / `POST /restore`: an optional file-name override.
+///
+/// The name is confined to the server's configured snapshot directory:
+/// network peers choose *which* snapshot, never an arbitrary
+/// filesystem path.
+#[derive(Debug, Clone)]
+pub struct PathRequest {
+    /// Explicit snapshot file name, when given.
+    pub file: Option<String>,
+}
+
+impl PathRequest {
+    /// Parses `{"path": "name.json"}`, tolerating an empty body.
+    ///
+    /// # Errors
+    ///
+    /// Returns 400-level [`ApiError`]s for malformed bodies and for
+    /// names that escape the snapshot directory (separators, `..`,
+    /// absolute paths).
+    pub fn from_value(v: &Value) -> Result<PathRequest, ApiError> {
+        let obj = as_obj(v, "body")?;
+        let file = match get(obj, "path") {
+            Some(p) => {
+                let name = as_str(p, "path")?;
+                if name.is_empty() || name == "." || name == ".." || name.contains(['/', '\\']) {
+                    return Err(ApiError::bad(
+                        "path must be a plain file name inside the server's snapshot directory",
+                    ));
+                }
+                Some(name.to_owned())
+            }
+            None => None,
+        };
+        Ok(PathRequest { file })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query options
+// ---------------------------------------------------------------------------
+
+/// Resolves the optional `"options"` object over the server defaults.
+///
+/// Every field is optional:
+/// `{"top_k": 5, "min_score": 0.2, "prefilter": "any-class",
+///   "candidates": "class-index", "transforms": "paper-set",
+///   "parallel": "auto"}`.
+///
+/// # Errors
+///
+/// Returns 400-level [`ApiError`]s for unknown names or wrong types.
+pub fn options_from_value(
+    v: Option<&Value>,
+    defaults: &QueryOptions,
+) -> Result<QueryOptions, ApiError> {
+    let mut options = defaults.clone();
+    let Some(v) = v else {
+        return Ok(options);
+    };
+    let obj = as_obj(v, "options")?;
+    for (key, value) in obj {
+        match key.as_str() {
+            "top_k" => {
+                options.top_k = match value {
+                    Value::Null => None,
+                    v => Some(
+                        usize::try_from(as_i64(v, "options.top_k")?)
+                            .map_err(|_| ApiError::bad("options.top_k must be >= 0"))?,
+                    ),
+                }
+            }
+            "min_score" => options.min_score = as_f64(value, "options.min_score")?,
+            "prefilter" => {
+                options.prefilter = match as_str(value, "options.prefilter")? {
+                    "none" => PrefilterMode::None,
+                    "any-class" => PrefilterMode::AnyClass,
+                    "all-classes" => PrefilterMode::AllClasses,
+                    other => {
+                        return Err(ApiError::bad(format!(
+                            "unknown prefilter {other:?} (none | any-class | all-classes)"
+                        )))
+                    }
+                }
+            }
+            "candidates" => {
+                options.candidates = match as_str(value, "options.candidates")? {
+                    "scan" => CandidateSource::Scan,
+                    "class-index" => CandidateSource::ClassIndex,
+                    other => {
+                        return Err(ApiError::bad(format!(
+                            "unknown candidate source {other:?} (scan | class-index)"
+                        )))
+                    }
+                }
+            }
+            "parallel" => {
+                options.parallel = match value {
+                    Value::Bool(b) => Parallelism::from(*b),
+                    Value::Str(s) => match s.as_str() {
+                        "off" => Parallelism::Off,
+                        "on" => Parallelism::On,
+                        "auto" => Parallelism::Auto,
+                        other => {
+                            return Err(ApiError::bad(format!(
+                                "unknown parallelism {other:?} (off | on | auto)"
+                            )))
+                        }
+                    },
+                    other => {
+                        return Err(ApiError::bad(format!(
+                            "options.parallel must be a bool or string, got {}",
+                            other.kind()
+                        )))
+                    }
+                }
+            }
+            "transforms" => options.transforms = transforms_from_value(value)?,
+            other => {
+                return Err(ApiError::bad(format!("unknown option {other:?}")));
+            }
+        }
+    }
+    if options.transforms.is_empty() {
+        options.transforms = vec![Transform::Identity];
+    }
+    Ok(options)
+}
+
+/// Parses the transform set: a preset name (`"identity"`, `"paper-set"`,
+/// `"all"`) or an explicit array of transform names.
+fn transforms_from_value(v: &Value) -> Result<Vec<Transform>, ApiError> {
+    match v {
+        Value::Str(preset) => match preset.as_str() {
+            "identity" => Ok(vec![Transform::Identity]),
+            "paper-set" => Ok(Transform::PAPER_SET.to_vec()),
+            "all" => Ok(Transform::ALL.to_vec()),
+            other => Err(ApiError::bad(format!(
+                "unknown transform preset {other:?} (identity | paper-set | all)"
+            ))),
+        },
+        Value::Seq(items) => items
+            .iter()
+            .map(|item| {
+                let name = as_str(item, "options.transforms[]")?;
+                parse_transform(name)
+                    .ok_or_else(|| ApiError::bad(format!("unknown transform {name:?}")))
+            })
+            .collect(),
+        other => Err(ApiError::bad(format!(
+            "options.transforms must be a preset string or array, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Parses one transform by its `Display` name.
+#[must_use]
+pub fn parse_transform(name: &str) -> Option<Transform> {
+    Transform::ALL.into_iter().find(|t| t.to_string() == name)
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// One ranked hit in a search response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HitDto {
+    /// Stable record id.
+    pub id: usize,
+    /// The record's user-assigned name.
+    pub name: String,
+    /// Combined similarity score in `[0, 1]`.
+    pub score: f64,
+    /// The query transform that achieved the score.
+    pub transform: String,
+}
+
+/// Body of a search response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchResponse {
+    /// Ranked hits, best first.
+    pub hits: Vec<HitDto>,
+}
+
+impl SearchResponse {
+    /// Converts ranked [`SearchHit`]s into the wire form.
+    #[must_use]
+    pub fn from_hits(hits: &[SearchHit]) -> SearchResponse {
+        SearchResponse {
+            hits: hits
+                .iter()
+                .map(|h| HitDto {
+                    id: h.id.index(),
+                    name: h.name.clone(),
+                    score: h.score,
+                    transform: h.transform.to_string(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Body of an insert response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InsertResponse {
+    /// Assigned record id.
+    pub id: usize,
+    /// Echo of the image name.
+    pub name: String,
+    /// Objects stored in the image.
+    pub objects: usize,
+}
+
+/// Body of delete / object-edit responses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AckResponse {
+    /// The affected record id.
+    pub id: usize,
+    /// `true` on success (errors use the error envelope instead).
+    pub ok: bool,
+}
+
+/// Body of snapshot / restore responses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotResponse {
+    /// The file the snapshot was written to / read from.
+    pub path: String,
+    /// Live records in the snapshot.
+    pub records: usize,
+}
+
+/// Body of `GET /stats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// Live records in the database.
+    pub records: usize,
+    /// Distinct indexed object classes.
+    pub classes: usize,
+    /// Total objects across all records.
+    pub objects: usize,
+    /// Requests fully served (any status) since boot.
+    pub requests: u64,
+    /// Searches served since boot.
+    pub searches: u64,
+    /// Images inserted since boot.
+    pub inserts: u64,
+    /// Image removals + object edits since boot.
+    pub edits: u64,
+    /// Requests answered with an error status since boot.
+    pub errors: u64,
+    /// Connections shed with 503 since boot.
+    pub shed: u64,
+    /// Worker threads serving connections.
+    pub threads: usize,
+    /// Seconds since boot.
+    pub uptime_s: f64,
+}
+
+/// Serialises any response DTO as a JSON [`Response`].
+pub(crate) fn json_response<T: Serialize>(status: u16, dto: &T) -> Response {
+    match serde_json::to_string(dto) {
+        Ok(body) => Response::json(status, body),
+        Err(e) => Response::error(500, &format!("response serialisation failed: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(text: &str) -> Value {
+        serde_json::from_str(text).expect("valid test JSON")
+    }
+
+    #[test]
+    fn scene_parsing_roundtrip() {
+        let scene = scene_from_value(&val(r#"{"width":100,"height":80,"objects":[
+                {"class":"A","mbr":[10,30,10,30]},
+                {"class":"B","mbr":[40,90,5,60]}]}"#))
+        .unwrap();
+        assert_eq!(scene.width(), 100);
+        assert_eq!(scene.len(), 2);
+        assert_eq!(scene.objects()[1].class().name(), "B");
+
+        // objects is optional
+        let empty = scene_from_value(&val(r#"{"width":10,"height":10}"#)).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn scene_parsing_rejects_malformed() {
+        for text in [
+            r#"{"height":10}"#,
+            r#"{"width":0,"height":10}"#,
+            r#"{"width":10,"height":10,"objects":[{"class":"A","mbr":[1,2,3]}]}"#,
+            r#"{"width":10,"height":10,"objects":[{"class":"A","mbr":[5,1,1,5]}]}"#,
+            r#"{"width":10,"height":10,"objects":[{"class":"E","mbr":[1,2,1,2]}]}"#,
+            r#"{"width":10,"height":10,"objects":[{"mbr":[1,2,1,2]}]}"#,
+            r#"[1,2,3]"#,
+        ] {
+            assert!(scene_from_value(&val(text)).is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn insert_request_scene_or_symbolic() {
+        let req = InsertRequest::from_value(&val(
+            r#"{"name":"x","scene":{"width":10,"height":10,"objects":[{"class":"A","mbr":[1,4,1,4]}]}}"#,
+        ))
+        .unwrap();
+        assert_eq!(req.name, "x");
+        assert!(matches!(req.image, InsertBody::Scene(_)));
+
+        // symbolic roundtrip through the real serialised form
+        let scene = scene_from_value(&val(
+            r#"{"width":10,"height":10,"objects":[{"class":"A","mbr":[1,4,1,4]}]}"#,
+        ))
+        .unwrap();
+        let sym = SymbolicImage::from_scene(&scene);
+        let body = format!(
+            r#"{{"name":"y","symbolic":{}}}"#,
+            serde_json::to_string(&sym).unwrap()
+        );
+        let req = InsertRequest::from_value(&val(&body)).unwrap();
+        match req.image {
+            InsertBody::Symbolic(parsed) => assert_eq!(*parsed, sym),
+            InsertBody::Scene(_) => panic!("expected symbolic"),
+        }
+
+        assert!(InsertRequest::from_value(&val(r#"{"name":"x"}"#)).is_err());
+        assert!(InsertRequest::from_value(&val(r#"{"scene":{"width":1,"height":1}}"#)).is_err());
+    }
+
+    #[test]
+    fn options_defaults_and_overrides() {
+        let defaults = QueryOptions::serving();
+        let untouched = options_from_value(None, &defaults).unwrap();
+        assert_eq!(untouched, defaults);
+
+        let opts = options_from_value(
+            Some(&val(
+                r#"{"top_k":3,"min_score":0.5,"prefilter":"all-classes",
+                    "candidates":"scan","parallel":"off","transforms":"paper-set"}"#,
+            )),
+            &defaults,
+        )
+        .unwrap();
+        assert_eq!(opts.top_k, Some(3));
+        assert!((opts.min_score - 0.5).abs() < 1e-12);
+        assert_eq!(opts.prefilter, PrefilterMode::AllClasses);
+        assert_eq!(opts.candidates, CandidateSource::Scan);
+        assert_eq!(opts.parallel, Parallelism::Off);
+        assert_eq!(opts.transforms.len(), 6);
+
+        // null top_k = unlimited; explicit transform list; bool parallel
+        let opts = options_from_value(
+            Some(&val(
+                r#"{"top_k":null,"transforms":["identity","rotate-90"],"parallel":true}"#,
+            )),
+            &defaults,
+        )
+        .unwrap();
+        assert_eq!(opts.top_k, None);
+        assert_eq!(
+            opts.transforms,
+            vec![Transform::Identity, Transform::Rotate90]
+        );
+        assert_eq!(opts.parallel, Parallelism::On);
+    }
+
+    #[test]
+    fn options_reject_unknown() {
+        let defaults = QueryOptions::default();
+        for text in [
+            r#"{"warp":1}"#,
+            r#"{"prefilter":"sometimes"}"#,
+            r#"{"candidates":"psychic"}"#,
+            r#"{"parallel":"maybe"}"#,
+            r#"{"transforms":"bogus"}"#,
+            r#"{"transforms":["rotate-45"]}"#,
+            r#"{"top_k":-2}"#,
+        ] {
+            assert!(
+                options_from_value(Some(&val(text)), &defaults).is_err(),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn search_request_forms() {
+        let defaults = QueryOptions::default();
+        let req = SearchRequest::from_value(
+            &val(r#"{"scene":{"width":10,"height":10},"options":{"top_k":1}}"#),
+            &defaults,
+        )
+        .unwrap();
+        assert!(matches!(req.query, SearchQuery::Scene(_)));
+        assert_eq!(req.options.top_k, Some(1));
+
+        let req = SearchRequest::from_value(
+            &val(r#"{"text":{"u":"E A_b E A_e E","v":"E A_b E A_e E"}}"#),
+            &defaults,
+        )
+        .unwrap();
+        assert!(matches!(req.query, SearchQuery::Text { .. }));
+
+        assert!(SearchRequest::from_value(&val(r#"{}"#), &defaults).is_err());
+        assert!(SearchRequest::from_value(&val(r#"{"text":{"u":"E"}}"#), &defaults).is_err());
+    }
+
+    #[test]
+    fn sketch_and_path_requests() {
+        let defaults = QueryOptions::default();
+        let req =
+            SketchRequest::from_value(&val(r#"{"sketch":"A left-of B"}"#), &defaults).unwrap();
+        assert_eq!(req.sketch, "A left-of B");
+        assert!(SketchRequest::from_value(&val(r#"{}"#), &defaults).is_err());
+
+        assert_eq!(PathRequest::from_value(&val(r#"{}"#)).unwrap().file, None);
+        assert_eq!(
+            PathRequest::from_value(&val(r#"{"path":"x.json"}"#))
+                .unwrap()
+                .file,
+            Some("x.json".to_owned())
+        );
+        assert!(PathRequest::from_value(&val(r#"{"path":7}"#)).is_err());
+        // directory escapes are rejected outright
+        for escape in ["/tmp/x.json", "../x.json", "a/b.json", "..", "", r"a\b"] {
+            let body = format!(r#"{{"path":{escape:?}}}"#);
+            assert!(PathRequest::from_value(&val(&body)).is_err(), "{escape}");
+        }
+    }
+
+    #[test]
+    fn body_parsing_tolerates_empty() {
+        assert_eq!(parse_body(b"").unwrap(), Value::Map(Vec::new()));
+        assert_eq!(parse_body(b"  \n").unwrap(), Value::Map(Vec::new()));
+        assert!(parse_body(b"{oops").is_err());
+        assert!(parse_body(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn transform_names_roundtrip() {
+        for t in Transform::ALL {
+            assert_eq!(parse_transform(&t.to_string()), Some(t));
+        }
+        assert_eq!(parse_transform("rotate-45"), None);
+    }
+
+    #[test]
+    fn db_error_status_mapping() {
+        assert_eq!(
+            ApiError::from_db(&DbError::UnknownRecord { id: 3 }).status,
+            404
+        );
+        assert_eq!(
+            ApiError::from_db(&DbError::Sketch { reason: "x".into() }).status,
+            422
+        );
+        assert_eq!(
+            ApiError::from_db(&DbError::Persist { reason: "x".into() }).status,
+            500
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! The `be2d-server` binary: boot the HTTP retrieval service.
+//!
+//! ```text
+//! be2d-server [--addr 127.0.0.1:0] [--threads N] [--queue N]
+//!             [--keep-alive N] [--db snapshot.json] [--snapshot path.json]
+//! ```
+//!
+//! Prints `be2d-server listening on <addr>` once bound (scripts grep
+//! this to learn the ephemeral port) and `be2d-server shutdown complete`
+//! after a graceful shutdown.
+
+use be2d_db::{ImageDatabase, SharedImageDatabase};
+use be2d_server::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "be2d-server — HTTP retrieval service over the BE-string image database\n\
+     \n\
+     options:\n\
+       --addr HOST:PORT   bind address (default 127.0.0.1:0; port 0 = ephemeral)\n\
+       --threads N        worker threads (default: host parallelism)\n\
+       --queue N          pending-connection queue before 503 shedding (default 64)\n\
+       --keep-alive N     requests served per connection (default 256)\n\
+       --db PATH          load this snapshot into the database at boot\n\
+       --snapshot-dir DIR directory POST /snapshot and /restore are confined to (default .)\n\
+       --snapshot NAME    default file name inside the snapshot dir\n\
+       --help             this text\n\
+     \n\
+     shutdown: POST /admin/shutdown\n"
+}
+
+fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<PathBuf>), String> {
+    let mut config = ServerConfig::default();
+    let mut preload = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--threads" => {
+                config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be a number".to_owned())?;
+            }
+            "--queue" => {
+                config.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue must be a number".to_owned())?;
+            }
+            "--keep-alive" => {
+                config.keep_alive_requests = value("--keep-alive")?
+                    .parse()
+                    .map_err(|_| "--keep-alive must be a number".to_owned())?;
+            }
+            "--db" => preload = Some(PathBuf::from(value("--db")?)),
+            "--snapshot-dir" => config.snapshot_dir = PathBuf::from(value("--snapshot-dir")?),
+            "--snapshot" => config.snapshot_file = value("--snapshot")?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok((config, preload))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (config, preload) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(message) if message.is_empty() => {
+            print!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let db = match &preload {
+        Some(path) => match ImageDatabase::load(path) {
+            Ok(db) => {
+                eprintln!("loaded {} records from {}", db.len(), path.display());
+                SharedImageDatabase::from_database(db)
+            }
+            Err(e) => {
+                eprintln!("error: cannot load {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => SharedImageDatabase::new(),
+    };
+
+    let server = match Server::with_database(config, db) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("be2d-server listening on {}", server.local_addr());
+    // Line-buffer workaround: make sure the address line is visible to
+    // scripts that poll the log before the first request arrives.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    match server.run() {
+        Ok(()) => {
+            println!("be2d-server shutdown complete");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: server failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

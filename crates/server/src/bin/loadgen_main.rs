@@ -1,0 +1,134 @@
+//! The `loadgen` binary: drive a running `be2d-server` and report
+//! throughput + latency percentiles.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:PORT [--requests N] [--connections N]
+//!         [--rate R] [--mix insert=2,search=8] [--seed S]
+//!         [--prefill N] [--out BENCH_server.json]
+//! ```
+//!
+//! Exits non-zero when any request errored, so CI can assert a clean
+//! run.
+
+use be2d_server::LoadgenConfig;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "loadgen — drive a be2d-server with a mixed workload over real sockets\n\
+     \n\
+     options:\n\
+       --addr HOST:PORT    server address (required)\n\
+       --requests N        total requests (default 1000)\n\
+       --connections N     concurrent connections (default 4)\n\
+       --rate R            open-loop req/s across all connections (default 0 = closed loop)\n\
+       --mix SPEC          op mix, e.g. insert=15,search=70,sketch=5 (default: serving mix)\n\
+       --seed S            master seed (default 42)\n\
+       --prefill N         images inserted before the timed run (default 64)\n\
+       --out PATH          write the JSON report here (default BENCH_server.json)\n\
+       --help              this text\n"
+}
+
+fn parse_args(args: &[String]) -> Result<(LoadgenConfig, String), String> {
+    let mut addr: Option<SocketAddr> = None;
+    let mut out = "BENCH_server.json".to_owned();
+    let mut overrides: Vec<(String, String)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new());
+        }
+        let value = it
+            .next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--addr" => {
+                addr = value
+                    .to_socket_addrs()
+                    .map_err(|e| format!("cannot resolve {value:?}: {e}"))?
+                    .next();
+            }
+            "--out" => out = value,
+            "--requests" | "--connections" | "--rate" | "--mix" | "--seed" | "--prefill" => {
+                overrides.push((flag.clone(), value));
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let addr = addr.ok_or_else(|| "--addr is required".to_owned())?;
+    let mut config = LoadgenConfig::new(addr);
+    for (flag, value) in overrides {
+        match flag.as_str() {
+            "--requests" => {
+                config.requests = value
+                    .parse()
+                    .map_err(|_| "--requests must be a number".to_owned())?;
+            }
+            "--connections" => {
+                config.connections = value
+                    .parse()
+                    .map_err(|_| "--connections must be a number".to_owned())?;
+            }
+            "--rate" => {
+                config.rate = value
+                    .parse()
+                    .map_err(|_| "--rate must be a number".to_owned())?;
+            }
+            "--mix" => config.mix = value.parse()?,
+            "--seed" => {
+                config.seed = value
+                    .parse()
+                    .map_err(|_| "--seed must be a number".to_owned())?;
+            }
+            "--prefill" => {
+                config.prefill = value
+                    .parse()
+                    .map_err(|_| "--prefill must be a number".to_owned())?;
+            }
+            _ => unreachable!("filtered above"),
+        }
+    }
+    Ok((config, out))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (config, out) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(message) if message.is_empty() => {
+            print!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "loadgen: {} requests, {} connections, mix {} → {}",
+        config.requests, config.connections, config.mix, config.addr
+    );
+    let report = match be2d_server::loadgen::run(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: loadgen failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.summary());
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("report written to {out}");
+    if report.errors > 0 {
+        eprintln!(
+            "error: {} of {} requests failed",
+            report.errors, report.requests
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,211 @@
+//! A tiny blocking HTTP/1.1 client, enough to drive the service over
+//! real sockets: keep-alive, `Content-Length` responses, JSON bodies.
+//!
+//! Used by the load generator and the integration tests; not a general
+//! HTTP client.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Whether the server announced `connection: close`.
+    pub close: bool,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 text (lossy).
+    #[must_use]
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive connection to the server.
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Creates a client for `addr` (connects lazily).
+    #[must_use]
+    pub fn new(addr: SocketAddr, timeout: Duration) -> Client {
+        Client {
+            addr,
+            timeout,
+            stream: None,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Sends one request and reads the response. Reconnects
+    /// transparently when the previous keep-alive connection was closed
+    /// by the server (e.g. after its per-connection request budget).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors once a fresh connection also fails.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
+        let reused = self.stream.is_some();
+        match self.request_once(method, path, body) {
+            Ok(response) => Ok(response),
+            Err(_) if reused => {
+                // Stale keep-alive connection (e.g. the server closed it
+                // after its request budget): retry once on a fresh one.
+                self.stream = None;
+                self.buf.clear();
+                self.request_once(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn request_once(&mut self, method: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+            self.buf.clear();
+        }
+        let stream = self.stream.as_mut().expect("connected above");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: be2d\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        let write = stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body.as_bytes()));
+        if let Err(e) = write {
+            self.stream = None;
+            return Err(e);
+        }
+        match read_response(stream, &mut self.buf) {
+            Ok(response) => {
+                if response.close {
+                    self.stream = None;
+                    self.buf.clear();
+                }
+                Ok(response)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Reads one `Content-Length`-framed response from the stream.
+fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<ClientResponse> {
+    let mut chunk = [0u8; 8 * 1024];
+    loop {
+        if let Some(response) = try_parse_response(buf)? {
+            return Ok(response);
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before a full response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn try_parse_response(buf: &mut Vec<u8>) -> io::Result<Option<ClientResponse>> {
+    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4) else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line {status_line:?}"),
+            )
+        })?;
+    let mut content_length = 0usize;
+    let mut close = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad content-length {value:?}"),
+                )
+            })?;
+        } else if name == "connection" {
+            close = value.eq_ignore_ascii_case("close");
+        }
+    }
+    let total = head_end + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = buf[head_end..total].to_vec();
+    buf.drain(..total);
+    Ok(Some(ClientResponse {
+        status,
+        body,
+        close,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_framed_response() {
+        let mut buf =
+            b"HTTP/1.1 200 OK\r\ncontent-length: 4\r\nconnection: keep-alive\r\n\r\nbodyNEXT"
+                .to_vec();
+        let response = try_parse_response(&mut buf).unwrap().unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, b"body");
+        assert!(!response.close);
+        assert_eq!(buf, b"NEXT", "pipelined tail preserved");
+    }
+
+    #[test]
+    fn incomplete_response_waits() {
+        let mut buf = b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nhalf".to_vec();
+        assert_eq!(try_parse_response(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn close_and_errors() {
+        let mut buf =
+            b"HTTP/1.1 503 Service Unavailable\r\nconnection: close\r\ncontent-length: 0\r\n\r\n"
+                .to_vec();
+        let response = try_parse_response(&mut buf).unwrap().unwrap();
+        assert_eq!(response.status, 503);
+        assert!(response.close);
+
+        let mut buf = b"NOT HTTP\r\n\r\n".to_vec();
+        assert!(try_parse_response(&mut buf).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Server configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Tunables of one [`Server`](crate::Server) instance.
+///
+/// The defaults are sized for an interactive service on a developer
+/// machine; the CLI (`be2d-server --help`) exposes every field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (printed at boot).
+    pub addr: String,
+    /// Worker threads; 0 means `available_parallelism` (clamped to
+    /// [2, 32]).
+    pub threads: usize,
+    /// Connections allowed to wait for a free worker before new ones
+    /// are shed with `503 Service Unavailable`.
+    pub queue_capacity: usize,
+    /// Socket read timeout: bounds both the wait for the next
+    /// keep-alive request and each read while parsing one request.
+    pub read_timeout: Duration,
+    /// Whole-request read budget, counted from a request's first byte —
+    /// the slow-loris bound a per-read timeout cannot provide.
+    pub request_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+    /// Requests served on one connection before it is closed, freeing
+    /// the worker for queued connections.
+    pub keep_alive_requests: usize,
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum bytes of request body.
+    pub max_body_bytes: usize,
+    /// Directory all `POST /snapshot` / `POST /restore` files live in.
+    /// Request bodies may choose a *file name* inside it, never a path
+    /// outside it — network peers must not get arbitrary-path
+    /// filesystem access.
+    pub snapshot_dir: PathBuf,
+    /// Default file name (inside [`snapshot_dir`](Self::snapshot_dir))
+    /// when a snapshot/restore body names none.
+    pub snapshot_file: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 0,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(15),
+            write_timeout: Duration::from_secs(5),
+            keep_alive_requests: 256,
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 8 * 1024 * 1024,
+            snapshot_dir: PathBuf::from("."),
+            snapshot_file: "be2d-snapshot.json".into(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The worker-thread count after resolving `threads == 0` to the
+    /// host parallelism.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map_or(2, std::num::NonZeroUsize::get)
+                .clamp(2, 32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServerConfig::default();
+        assert!(c.effective_threads() >= 2);
+        assert!(c.queue_capacity > 0);
+        assert!(c.max_head_bytes < c.max_body_bytes);
+    }
+
+    #[test]
+    fn explicit_threads_win() {
+        let c = ServerConfig {
+            threads: 7,
+            ..ServerConfig::default()
+        };
+        assert_eq!(c.effective_threads(), 7);
+    }
+}

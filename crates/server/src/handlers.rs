@@ -1,0 +1,511 @@
+//! Request handlers: routes dispatched against the shared database.
+
+use crate::api::{
+    json_response, parse_body, AckResponse, ApiError, InsertBody, InsertRequest, InsertResponse,
+    ObjectEdit, PathRequest, SearchQuery, SearchRequest, SearchResponse, SketchRequest,
+    SnapshotResponse, StatsResponse,
+};
+use crate::http::{Request, Response};
+use crate::router::{route, Route};
+use crate::ServerConfig;
+use be2d_db::sketch::Sketch;
+use be2d_db::{ImageDatabase, QueryOptions, RecordId, SharedImageDatabase};
+use serde::Value;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Monotonic service counters, updated lock-free by every worker.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests fully served (any status).
+    pub requests: AtomicU64,
+    /// Searches served (scene, text, and sketch).
+    pub searches: AtomicU64,
+    /// Images inserted.
+    pub inserts: AtomicU64,
+    /// Image removals + object edits.
+    pub edits: AtomicU64,
+    /// Requests answered with status >= 400.
+    pub errors: AtomicU64,
+    /// Connections shed with 503 because the queue was full.
+    pub shed: AtomicU64,
+}
+
+/// Everything a worker needs to serve one request.
+#[derive(Debug)]
+pub struct AppState {
+    /// The shared database.
+    pub db: SharedImageDatabase,
+    /// Immutable server configuration.
+    pub config: ServerConfig,
+    /// Service counters.
+    pub stats: ServerStats,
+    /// Query options applied when a request sends none.
+    pub default_options: QueryOptions,
+    /// Set by `POST /admin/shutdown`; the accept loop watches it.
+    pub shutdown: AtomicBool,
+    /// Worker-thread count (for `/stats`).
+    pub threads: usize,
+    /// The server's bound address; used to poke the blocking accept
+    /// loop awake when shutdown is requested over HTTP.
+    pub addr: std::net::SocketAddr,
+    started: Instant,
+}
+
+impl AppState {
+    /// Builds the state for one server instance.
+    #[must_use]
+    pub fn new(
+        db: SharedImageDatabase,
+        config: ServerConfig,
+        threads: usize,
+        addr: std::net::SocketAddr,
+    ) -> Arc<AppState> {
+        Arc::new(AppState {
+            db,
+            config,
+            stats: ServerStats::default(),
+            default_options: QueryOptions::serving(),
+            shutdown: AtomicBool::new(false),
+            threads,
+            addr,
+            started: Instant::now(),
+        })
+    }
+
+    /// Whether graceful shutdown has been requested.
+    #[must_use]
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flags shutdown and unblocks the accept loop with a throwaway
+    /// connection, so `Server::run` observes the flag promptly even
+    /// with no further traffic.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = std::net::TcpStream::connect(self.addr);
+    }
+}
+
+/// Serves one parsed request, updating the stats counters.
+pub fn handle(state: &AppState, request: &Request) -> Response {
+    let response = dispatch(state, request).unwrap_or_else(|e| e.to_response());
+    state.stats.requests.fetch_add(1, Ordering::Relaxed);
+    if response.status >= 400 {
+        state.stats.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    response
+}
+
+fn dispatch(state: &AppState, request: &Request) -> Result<Response, ApiError> {
+    let route = route(request.method, &request.path).map_err(|e| ApiError {
+        status: e.status(),
+        message: e.message(),
+    })?;
+    match route {
+        Route::Health => Ok(Response::json(200, "{\"status\":\"ok\"}".into())),
+        Route::InsertImage => insert_image(state, &body_of(request)?),
+        Route::DeleteImage(id) => delete_image(state, id),
+        Route::AddObject(id) => edit_object(state, id, &body_of(request)?, true),
+        Route::RemoveObject(id) => edit_object(state, id, &body_of(request)?, false),
+        Route::Search => search(state, &body_of(request)?),
+        Route::SearchSketch => search_sketch(state, &body_of(request)?),
+        Route::Stats => Ok(stats(state)),
+        Route::Snapshot => snapshot(state, &body_of(request)?),
+        Route::Restore => restore(state, &body_of(request)?),
+        Route::Shutdown => {
+            state.request_shutdown();
+            Ok(Response::json(200, "{\"shutting_down\":true}".into()))
+        }
+    }
+}
+
+fn body_of(request: &Request) -> Result<Value, ApiError> {
+    parse_body(&request.body)
+}
+
+fn insert_image(state: &AppState, body: &Value) -> Result<Response, ApiError> {
+    let req = InsertRequest::from_value(body)?;
+    let (id, objects) = match req.image {
+        InsertBody::Scene(scene) => {
+            let id = state
+                .db
+                .insert_scene(&req.name, &scene)
+                .map_err(|e| ApiError::from_db(&e))?;
+            (id, scene.len())
+        }
+        InsertBody::Symbolic(symbolic) => {
+            let objects = symbolic.object_count();
+            let id = state
+                .db
+                .insert_symbolic(&req.name, *symbolic)
+                .map_err(|e| ApiError::from_db(&e))?;
+            (id, objects)
+        }
+    };
+    state.stats.inserts.fetch_add(1, Ordering::Relaxed);
+    Ok(json_response(
+        201,
+        &InsertResponse {
+            id: id.index(),
+            name: req.name,
+            objects,
+        },
+    ))
+}
+
+fn delete_image(state: &AppState, id: RecordId) -> Result<Response, ApiError> {
+    state.db.remove(id).map_err(|e| ApiError::from_db(&e))?;
+    state.stats.edits.fetch_add(1, Ordering::Relaxed);
+    Ok(json_response(
+        200,
+        &AckResponse {
+            id: id.index(),
+            ok: true,
+        },
+    ))
+}
+
+fn edit_object(
+    state: &AppState,
+    id: RecordId,
+    body: &Value,
+    add: bool,
+) -> Result<Response, ApiError> {
+    let edit = ObjectEdit::from_value(body)?;
+    let result = if add {
+        state.db.add_object(id, &edit.class, edit.mbr)
+    } else {
+        state.db.remove_object(id, &edit.class, edit.mbr)
+    };
+    result.map_err(|e| ApiError::from_db(&e))?;
+    state.stats.edits.fetch_add(1, Ordering::Relaxed);
+    Ok(json_response(
+        200,
+        &AckResponse {
+            id: id.index(),
+            ok: true,
+        },
+    ))
+}
+
+fn search(state: &AppState, body: &Value) -> Result<Response, ApiError> {
+    let req = SearchRequest::from_value(body, &state.default_options)?;
+    let hits = match &req.query {
+        SearchQuery::Scene(scene) => state.db.search_scene(scene, &req.options),
+        SearchQuery::Text { u, v } => state
+            .db
+            .search_text(u, v, &req.options)
+            .map_err(|e| ApiError::from_db(&e))?,
+    };
+    state.stats.searches.fetch_add(1, Ordering::Relaxed);
+    Ok(json_response(200, &SearchResponse::from_hits(&hits)))
+}
+
+fn search_sketch(state: &AppState, body: &Value) -> Result<Response, ApiError> {
+    let req = SketchRequest::from_value(body, &state.default_options)?;
+    let scene = Sketch::parse(&req.sketch)
+        .and_then(|s| s.to_scene())
+        .map_err(|e| ApiError::from_db(&e))?;
+    let hits = state.db.search_scene(&scene, &req.options);
+    state.stats.searches.fetch_add(1, Ordering::Relaxed);
+    Ok(json_response(200, &SearchResponse::from_hits(&hits)))
+}
+
+fn stats(state: &AppState) -> Response {
+    let (records, classes, objects) = state
+        .db
+        .with_read(|db| (db.len(), db.class_count(), db.object_count()));
+    json_response(
+        200,
+        &StatsResponse {
+            records,
+            classes,
+            objects,
+            requests: state.stats.requests.load(Ordering::Relaxed),
+            searches: state.stats.searches.load(Ordering::Relaxed),
+            inserts: state.stats.inserts.load(Ordering::Relaxed),
+            edits: state.stats.edits.load(Ordering::Relaxed),
+            errors: state.stats.errors.load(Ordering::Relaxed),
+            shed: state.stats.shed.load(Ordering::Relaxed),
+            threads: state.threads,
+            uptime_s: state.started.elapsed().as_secs_f64(),
+        },
+    )
+}
+
+/// Resolves a request's optional file name inside the configured
+/// snapshot directory ([`PathRequest::from_value`] already rejected
+/// separators and traversal).
+fn snapshot_target(state: &AppState, req: &PathRequest) -> std::path::PathBuf {
+    let name = req.file.as_deref().unwrap_or(&state.config.snapshot_file);
+    state.config.snapshot_dir.join(name)
+}
+
+fn snapshot(state: &AppState, body: &Value) -> Result<Response, ApiError> {
+    let req = PathRequest::from_value(body)?;
+    let path = snapshot_target(state, &req);
+    let records = state
+        .db
+        .save_snapshot(&path)
+        .map_err(|e| ApiError::from_db(&e))?;
+    Ok(json_response(
+        200,
+        &SnapshotResponse {
+            path: path.display().to_string(),
+            records,
+        },
+    ))
+}
+
+fn restore(state: &AppState, body: &Value) -> Result<Response, ApiError> {
+    let req = PathRequest::from_value(body)?;
+    let path = snapshot_target(state, &req);
+    let db = ImageDatabase::load(&path).map_err(|e| ApiError::from_db(&e))?;
+    let records = db.len();
+    state.db.replace(db);
+    Ok(json_response(
+        200,
+        &SnapshotResponse {
+            path: path.display().to_string(),
+            records,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Method;
+
+    fn state() -> Arc<AppState> {
+        // No real listener behind this state: the shutdown poke just
+        // fails fast against the unroutable port.
+        AppState::new(
+            SharedImageDatabase::new(),
+            ServerConfig::default(),
+            4,
+            ([127, 0, 0, 1], 9).into(),
+        )
+    }
+
+    fn request(method: Method, path: &str, body: &str) -> Request {
+        Request {
+            method,
+            path: path.into(),
+            query: String::new(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+            http10: false,
+        }
+    }
+
+    const SCENE_AB: &str = r#"{"width":100,"height":100,"objects":[
+        {"class":"A","mbr":[10,30,40,60]},{"class":"B","mbr":[60,85,40,60]}]}"#;
+
+    #[test]
+    fn insert_search_delete_flow() {
+        let state = state();
+        let resp = handle(
+            &state,
+            &request(
+                Method::Post,
+                "/images",
+                &format!(r#"{{"name":"left","scene":{SCENE_AB}}}"#),
+            ),
+        );
+        assert_eq!(
+            resp.status,
+            201,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+
+        let resp = handle(
+            &state,
+            &request(
+                Method::Post,
+                "/search",
+                &format!(r#"{{"scene":{SCENE_AB},"options":{{"top_k":1}}}}"#),
+            ),
+        );
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"name\":\"left\""), "{body}");
+
+        let resp = handle(&state, &request(Method::Delete, "/images/0", ""));
+        assert_eq!(resp.status, 200);
+        let resp = handle(&state, &request(Method::Delete, "/images/0", ""));
+        assert_eq!(resp.status, 404, "double delete");
+
+        assert_eq!(state.stats.inserts.load(Ordering::Relaxed), 1);
+        assert_eq!(state.stats.searches.load(Ordering::Relaxed), 1);
+        assert_eq!(state.stats.errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn object_edits() {
+        let state = state();
+        handle(
+            &state,
+            &request(
+                Method::Post,
+                "/images",
+                &format!(r#"{{"name":"x","scene":{SCENE_AB}}}"#),
+            ),
+        );
+        let add = r#"{"class":"C","mbr":[1,9,1,9]}"#;
+        assert_eq!(
+            handle(&state, &request(Method::Post, "/images/0/objects", add)).status,
+            200
+        );
+        assert_eq!(
+            handle(&state, &request(Method::Delete, "/images/0/objects", add)).status,
+            200
+        );
+        // removing it again is a semantic failure → 422
+        assert_eq!(
+            handle(&state, &request(Method::Delete, "/images/0/objects", add)).status,
+            422
+        );
+        // an MBR outside the frame is a semantic failure → 422
+        let out = r#"{"class":"C","mbr":[1,500,1,9]}"#;
+        assert_eq!(
+            handle(&state, &request(Method::Post, "/images/0/objects", out)).status,
+            422
+        );
+    }
+
+    #[test]
+    fn sketch_search_and_errors() {
+        let state = state();
+        handle(
+            &state,
+            &request(
+                Method::Post,
+                "/images",
+                &format!(r#"{{"name":"ab","scene":{SCENE_AB}}}"#),
+            ),
+        );
+        let resp = handle(
+            &state,
+            &request(
+                Method::Post,
+                "/search/sketch",
+                r#"{"sketch":"A left-of B"}"#,
+            ),
+        );
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8(resp.body).unwrap().contains("\"ab\""));
+
+        let resp = handle(
+            &state,
+            &request(Method::Post, "/search/sketch", r#"{"sketch":"A nextto B"}"#),
+        );
+        assert_eq!(resp.status, 422);
+    }
+
+    #[test]
+    fn routing_errors_and_health() {
+        let state = state();
+        assert_eq!(
+            handle(&state, &request(Method::Get, "/healthz", "")).status,
+            200
+        );
+        assert_eq!(
+            handle(&state, &request(Method::Get, "/nope", "")).status,
+            404
+        );
+        assert_eq!(
+            handle(&state, &request(Method::Get, "/images", "")).status,
+            405
+        );
+        assert_eq!(
+            handle(&state, &request(Method::Delete, "/images/zz", "")).status,
+            400
+        );
+        assert_eq!(
+            handle(&state, &request(Method::Post, "/search", "{broken")).status,
+            400
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_cycle() {
+        let dir = std::env::temp_dir().join(format!("be2d_handler_snap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let state = AppState::new(
+            SharedImageDatabase::new(),
+            ServerConfig {
+                snapshot_dir: dir.clone(),
+                ..ServerConfig::default()
+            },
+            4,
+            ([127, 0, 0, 1], 9).into(),
+        );
+        handle(
+            &state,
+            &request(
+                Method::Post,
+                "/images",
+                &format!(r#"{{"name":"keep","scene":{SCENE_AB}}}"#),
+            ),
+        );
+        let body = r#"{"path":"cycle.json"}"#;
+        let resp = handle(&state, &request(Method::Post, "/snapshot", body));
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        assert!(dir.join("cycle.json").is_file(), "confined to snapshot_dir");
+
+        // wipe by inserting more, then restore
+        handle(
+            &state,
+            &request(
+                Method::Post,
+                "/images",
+                &format!(r#"{{"name":"extra","scene":{SCENE_AB}}}"#),
+            ),
+        );
+        assert_eq!(state.db.len(), 2);
+        let resp = handle(&state, &request(Method::Post, "/restore", body));
+        assert_eq!(resp.status, 200);
+        assert_eq!(state.db.len(), 1);
+
+        // restoring a missing file is a persistence error
+        let resp = handle(
+            &state,
+            &request(Method::Post, "/restore", r#"{"path":"missing.json"}"#),
+        );
+        assert_eq!(resp.status, 500);
+
+        // arbitrary filesystem paths are rejected before touching disk
+        for escape in [r#"{"path":"/etc/hostname"}"#, r#"{"path":"../../x.json"}"#] {
+            let resp = handle(&state, &request(Method::Post, "/snapshot", escape));
+            assert_eq!(resp.status, 400, "{escape}");
+            let resp = handle(&state, &request(Method::Post, "/restore", escape));
+            assert_eq!(resp.status, 400, "{escape}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_and_shutdown() {
+        let state = state();
+        let resp = handle(&state, &request(Method::Get, "/stats", ""));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"records\":0"), "{body}");
+        assert!(body.contains("\"threads\":4"), "{body}");
+
+        assert!(!state.shutting_down());
+        let resp = handle(&state, &request(Method::Post, "/admin/shutdown", ""));
+        assert_eq!(resp.status, 200);
+        assert!(state.shutting_down());
+    }
+}

@@ -1,0 +1,90 @@
+//! # be2d-server — the online retrieval service
+//!
+//! Turns [`SharedImageDatabase`](be2d_db::SharedImageDatabase) into a
+//! network-facing service: a dependency-free HTTP/1.1 JSON server on
+//! `std::net` (the build is offline — no tokio/hyper) plus a load
+//! generator that drives it over real sockets and reports throughput
+//! and latency percentiles.
+//!
+//! The moving parts:
+//!
+//! * [`Server`] / [`ServerConfig`] — accept loop, keep-alive connection
+//!   lifecycle, graceful shutdown (`POST /admin/shutdown` or a
+//!   [`ServerHandle`]);
+//! * [`ThreadPool`] — bounded-queue workers; a full queue sheds new
+//!   connections with `503` instead of buffering unboundedly;
+//! * [`http`] — incremental request parser (`Content-Length`, size
+//!   limits, pipelining-safe) and response writer;
+//! * [`router`] / [`api`] / [`handlers`] — the endpoint table, the JSON
+//!   request/response vocabulary, and their wiring to `be2d-db`;
+//! * [`client`] — a small blocking HTTP client (loadgen + tests);
+//! * [`loadgen`] — the load generator: `be2d-workload` scenes/queries,
+//!   a seeded [`RequestMix`](be2d_workload::RequestMix) schedule,
+//!   open-loop pacing, `BENCH_server.json` reports.
+//!
+//! # Endpoints
+//!
+//! | method & path | body | effect |
+//! |---|---|---|
+//! | `POST /images` | `{"name", "scene"}` or `{"name", "symbolic"}` | index an image |
+//! | `DELETE /images/{id}` | — | remove an image |
+//! | `POST /images/{id}/objects` | `{"class", "mbr"}` | §3.2 incremental object insert |
+//! | `DELETE /images/{id}/objects` | `{"class", "mbr"}` | §3.2 incremental object removal |
+//! | `POST /search` | `{"scene"` or `"text", "options"?}` | ranked similarity search |
+//! | `POST /search/sketch` | `{"sketch", "options"?}` | spatial-pattern sketch search |
+//! | `GET /stats` | — | service + database statistics |
+//! | `GET /healthz` | — | liveness probe |
+//! | `POST /snapshot` | `{"path"?}` | crash-safe snapshot to disk |
+//! | `POST /restore` | `{"path"?}` | replace the database from a snapshot |
+//! | `POST /admin/shutdown` | — | graceful shutdown |
+//!
+//! # Example
+//!
+//! ```
+//! use be2d_server::{Server, ServerConfig};
+//! use be2d_server::client::Client;
+//! use std::time::Duration;
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let server = Server::bind(ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     threads: 2,
+//!     ..ServerConfig::default()
+//! })?;
+//! let addr = server.local_addr();
+//! let handle = server.handle();
+//! let runner = std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::new(addr, Duration::from_secs(5));
+//! let body = r#"{"name":"one","scene":{"width":10,"height":10,
+//!     "objects":[{"class":"A","mbr":[1,4,1,4]}]}}"#;
+//! assert_eq!(client.request("POST", "/images", body)?.status, 201);
+//!
+//! handle.shutdown();
+//! runner.join().expect("server thread").unwrap();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+/// Blocking HTTP client for tests and the load generator.
+pub mod client;
+mod config;
+mod handlers;
+/// HTTP/1.1 wire handling.
+pub mod http;
+/// The load generator.
+pub mod loadgen;
+mod pool;
+/// Route resolution.
+pub mod router;
+mod server;
+
+pub use config::ServerConfig;
+pub use handlers::{AppState, ServerStats};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use pool::{RejectReason, ThreadPool};
+pub use server::{Server, ServerHandle};

@@ -1,0 +1,609 @@
+//! The load generator: drives a running server over real sockets with a
+//! configurable request mix and open-loop rate, and reports throughput
+//! and latency percentiles.
+//!
+//! The operation stream comes from `be2d-workload`: scenes from the
+//! corpus generator, queries derived from the prefill corpus (so
+//! searches resemble real partial-match traffic), and the op sequence
+//! from a seeded [`RequestMix`] schedule — the same run is reproducible
+//! byte-for-byte from the seed.
+
+use crate::client::Client;
+use be2d_geometry::Scene;
+use be2d_workload::{
+    derive_queries, generate_scene, Corpus, CorpusConfig, Query, QueryKind, RequestKind,
+    RequestMix, SceneConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Parameters of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Total requests in the timed run.
+    pub requests: usize,
+    /// Concurrent connections (worker threads).
+    pub connections: usize,
+    /// Open-loop request rate in req/s across all connections; 0 means
+    /// closed-loop (send as fast as responses return).
+    pub rate: f64,
+    /// The operation mix.
+    pub mix: RequestMix,
+    /// Master seed: scenes, queries and the op schedule all derive from
+    /// it.
+    pub seed: u64,
+    /// Images inserted before the timed run starts, so searches have a
+    /// corpus to hit.
+    pub prefill: usize,
+    /// Shape of generated scenes.
+    pub scene: SceneConfig,
+    /// Per-request socket timeout.
+    pub timeout: Duration,
+}
+
+impl LoadgenConfig {
+    /// Sensible defaults against `addr`: 1000 requests, 4 connections,
+    /// closed loop, the serving mix, 64 prefill images.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> LoadgenConfig {
+        LoadgenConfig {
+            addr,
+            requests: 1000,
+            connections: 4,
+            rate: 0.0,
+            mix: RequestMix::serving_default(),
+            seed: 42,
+            prefill: 64,
+            scene: SceneConfig::default(),
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Latency percentiles in milliseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Worst observed.
+    pub max_ms: f64,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+}
+
+/// The run summary, serialised to `BENCH_server.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadgenReport {
+    /// Fixed tag `"server"` for tooling that collects BENCH files.
+    pub benchmark: String,
+    /// Requests completed (success or error).
+    pub requests: usize,
+    /// Requests that failed (socket error or HTTP status >= 400).
+    pub errors: usize,
+    /// Wall-clock seconds of the timed run.
+    pub elapsed_s: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Latency percentiles over successful requests.
+    pub latency_ms: LatencySummary,
+    /// The op mix, in `RequestMix` string form.
+    pub mix: String,
+    /// Worker connections used.
+    pub connections: usize,
+    /// Configured open-loop rate (0 = closed loop).
+    pub rate_rps: f64,
+    /// Requests actually performed per kind (fallbacks included).
+    pub by_kind: BTreeMap<String, u64>,
+}
+
+impl LoadgenReport {
+    /// Serialises the report as JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serialises")
+    }
+
+    /// Human-readable multi-line summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "{} requests in {:.2}s ({:.0} req/s), {} errors\n\
+             latency p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms  max {:.2}ms\n\
+             mix {} over {} connections{}\n",
+            self.requests,
+            self.elapsed_s,
+            self.throughput_rps,
+            self.errors,
+            self.latency_ms.p50_ms,
+            self.latency_ms.p95_ms,
+            self.latency_ms.p99_ms,
+            self.latency_ms.max_ms,
+            self.mix,
+            self.connections,
+            if self.rate_rps > 0.0 {
+                format!(", open-loop {} req/s", self.rate_rps)
+            } else {
+                ", closed-loop".into()
+            },
+        );
+        for (kind, count) in &self.by_kind {
+            out.push_str(&format!("  {kind}: {count}\n"));
+        }
+        out
+    }
+}
+
+/// JSON for the compact scene wire form the API accepts.
+#[must_use]
+pub fn scene_to_json(scene: &Scene) -> String {
+    let objects: Vec<String> = scene
+        .iter()
+        .map(|o| {
+            let m = o.mbr();
+            format!(
+                r#"{{"class":{:?},"mbr":[{},{},{},{}]}}"#,
+                o.class().name(),
+                m.x_begin(),
+                m.x_end(),
+                m.y_begin(),
+                m.y_end()
+            )
+        })
+        .collect();
+    format!(
+        r#"{{"width":{},"height":{},"objects":[{}]}}"#,
+        scene.width(),
+        scene.height(),
+        objects.join(",")
+    )
+}
+
+/// One owned image on the server: its id plus how many loadgen objects
+/// were added to it (so object removals always have a real target).
+struct OwnedImage {
+    id: u64,
+    added_objects: usize,
+}
+
+struct WorkerOutcome {
+    latencies_ms: Vec<f64>,
+    errors: usize,
+    by_kind: BTreeMap<String, u64>,
+}
+
+/// Runs the load against an already-listening server.
+///
+/// # Errors
+///
+/// Returns the first prefill error; errors in the timed run are counted
+/// in the report instead of aborting it.
+///
+/// # Panics
+///
+/// Panics when `connections` is 0.
+pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    assert!(config.connections > 0, "need at least one connection");
+
+    // Prefill corpus + derived queries: searches during the run look
+    // like partial-icon / jittered-relation traffic against known
+    // images.
+    let corpus = Corpus::generate(
+        &CorpusConfig {
+            images: config.prefill.max(1),
+            scene: config.scene,
+        },
+        config.seed,
+    );
+    let queries = derive_queries(
+        &corpus,
+        &[
+            QueryKind::DropObjects {
+                keep: (config.scene.objects / 2).max(1),
+            },
+            QueryKind::Jitter { max_delta: 12 },
+        ],
+        32,
+        config.seed ^ 0x9e37,
+    );
+    {
+        let mut client = Client::new(config.addr, config.timeout);
+        for (id, scene) in corpus.iter() {
+            let body = format!(
+                r#"{{"name":"prefill-{id}","scene":{}}}"#,
+                scene_to_json(scene)
+            );
+            let response = client.request("POST", "/images", &body)?;
+            if response.status != 201 {
+                return Err(io::Error::other(format!(
+                    "prefill insert failed with {}: {}",
+                    response.status,
+                    response.text()
+                )));
+            }
+        }
+    }
+
+    // One deterministic op schedule, sliced round-robin across workers.
+    let schedule = {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x517c);
+        config.mix.schedule(config.requests, &mut rng)
+    };
+    let interval = if config.rate > 0.0 {
+        Some(Duration::from_secs_f64(1.0 / config.rate))
+    } else {
+        None
+    };
+
+    let started = Instant::now();
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections)
+            .map(|worker| {
+                let schedule = &schedule;
+                let queries = &queries;
+                scope
+                    .spawn(move || run_worker(config, worker, schedule, queries, started, interval))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen worker panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(config.requests);
+    let mut errors = 0usize;
+    let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
+    for outcome in outcomes {
+        latencies.extend(outcome.latencies_ms);
+        errors += outcome.errors;
+        for (kind, count) in outcome.by_kind {
+            *by_kind.entry(kind).or_insert(0) += count;
+        }
+    }
+    latencies.sort_by(f64::total_cmp);
+
+    let elapsed_s = elapsed.as_secs_f64().max(1e-9);
+    Ok(LoadgenReport {
+        benchmark: "server".into(),
+        requests: config.requests,
+        errors,
+        elapsed_s,
+        throughput_rps: config.requests as f64 / elapsed_s,
+        latency_ms: LatencySummary {
+            p50_ms: percentile(&latencies, 50.0),
+            p95_ms: percentile(&latencies, 95.0),
+            p99_ms: percentile(&latencies, 99.0),
+            max_ms: latencies.last().copied().unwrap_or(0.0),
+            mean_ms: if latencies.is_empty() {
+                0.0
+            } else {
+                latencies.iter().sum::<f64>() / latencies.len() as f64
+            },
+        },
+        mix: config.mix.to_string(),
+        connections: config.connections,
+        rate_rps: config.rate,
+        by_kind,
+    })
+}
+
+#[allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn run_worker(
+    config: &LoadgenConfig,
+    worker: usize,
+    schedule: &[RequestKind],
+    queries: &[Query],
+    started: Instant,
+    interval: Option<Duration>,
+) -> WorkerOutcome {
+    let mut client = Client::new(config.addr, config.timeout);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (worker as u64).wrapping_mul(0x85eb_ca6b));
+    let mut owned: Vec<OwnedImage> = Vec::new();
+    let mut outcome = WorkerOutcome {
+        latencies_ms: Vec::new(),
+        errors: 0,
+        by_kind: BTreeMap::new(),
+    };
+
+    let mut index = worker;
+    while index < schedule.len() {
+        if let Some(interval) = interval {
+            // Open loop: request `index` is due at start + index·interval,
+            // regardless of how fast earlier responses came back.
+            let due = started + interval.mul_checked(index);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        let kind = effective_kind(schedule[index], &owned);
+        let sent = Instant::now();
+        let ok = perform(
+            config,
+            &mut client,
+            &mut rng,
+            &mut owned,
+            queries,
+            index,
+            kind,
+        );
+        let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
+        *outcome.by_kind.entry(kind.name().to_owned()).or_insert(0) += 1;
+        if ok {
+            outcome.latencies_ms.push(latency_ms);
+        } else {
+            outcome.errors += 1;
+        }
+        index += config.connections;
+    }
+    outcome
+}
+
+/// Downgrades ops that need an owned image when the worker has none
+/// (yet): they become inserts, keeping the run error-free by design.
+fn effective_kind(kind: RequestKind, owned: &[OwnedImage]) -> RequestKind {
+    match kind {
+        RequestKind::RemoveImage | RequestKind::AddObject if owned.is_empty() => {
+            RequestKind::InsertImage
+        }
+        RequestKind::RemoveObject if !owned.iter().any(|img| img.added_objects > 0) => {
+            if owned.is_empty() {
+                RequestKind::InsertImage
+            } else {
+                RequestKind::AddObject
+            }
+        }
+        kind => kind,
+    }
+}
+
+fn perform(
+    config: &LoadgenConfig,
+    client: &mut Client,
+    rng: &mut StdRng,
+    owned: &mut Vec<OwnedImage>,
+    queries: &[Query],
+    index: usize,
+    kind: RequestKind,
+) -> bool {
+    let result = match kind {
+        RequestKind::InsertImage => {
+            let scene = generate_scene(&config.scene, rng);
+            let body = format!(
+                r#"{{"name":"lg-{index}","scene":{}}}"#,
+                scene_to_json(&scene)
+            );
+            client.request("POST", "/images", &body).map(|response| {
+                let ok = response.status == 201;
+                if ok {
+                    if let Some(id) = inserted_id(&response.body) {
+                        owned.push(OwnedImage {
+                            id,
+                            added_objects: 0,
+                        });
+                    }
+                }
+                ok
+            })
+        }
+        RequestKind::RemoveImage => {
+            let slot = rng.random_range(0..owned.len());
+            let image = owned.swap_remove(slot);
+            client
+                .request("DELETE", &format!("/images/{}", image.id), "")
+                .map(|response| response.status == 200)
+        }
+        RequestKind::AddObject => {
+            let slot = rng.random_range(0..owned.len());
+            let image = &mut owned[slot];
+            let body = loadgen_object_body();
+            let path = format!("/images/{}/objects", image.id);
+            client.request("POST", &path, &body).map(|response| {
+                let ok = response.status == 200;
+                if ok {
+                    image.added_objects += 1;
+                }
+                ok
+            })
+        }
+        RequestKind::RemoveObject => {
+            let slot = owned
+                .iter()
+                .position(|img| img.added_objects > 0)
+                .expect("effective_kind guarantees a target");
+            let image = &mut owned[slot];
+            let body = loadgen_object_body();
+            let path = format!("/images/{}/objects", image.id);
+            client.request("DELETE", &path, &body).map(|response| {
+                let ok = response.status == 200;
+                if ok {
+                    image.added_objects -= 1;
+                }
+                ok
+            })
+        }
+        RequestKind::Search => {
+            let query = &queries[index % queries.len()];
+            let body = format!(
+                r#"{{"scene":{},"options":{{"top_k":10}}}}"#,
+                scene_to_json(&query.scene)
+            );
+            client
+                .request("POST", "/search", &body)
+                .map(|response| response.status == 200)
+        }
+        RequestKind::SearchSketch => {
+            let sketches = [
+                r#"{"sketch":"C0 left-of C1"}"#,
+                r#"{"sketch":"C1 above C2; C0 left-of C2"}"#,
+                r#"{"sketch":"C2 overlaps C3"}"#,
+            ];
+            let body = sketches[index % sketches.len()];
+            client
+                .request("POST", "/search/sketch", body)
+                .map(|response| response.status == 200)
+        }
+        RequestKind::Stats => client
+            .request("GET", "/stats", "")
+            .map(|response| response.status == 200),
+    };
+    result.unwrap_or(false)
+}
+
+/// The fixed object every loadgen add/remove uses: tiny, in-frame for
+/// any generated scene, and class-distinct from the corpus alphabet.
+fn loadgen_object_body() -> String {
+    r#"{"class":"LG","mbr":[0,3,0,3]}"#.to_owned()
+}
+
+/// Extracts `"id"` from an insert response body.
+fn inserted_id(body: &[u8]) -> Option<u64> {
+    let text = std::str::from_utf8(body).ok()?;
+    let value: Value = serde_json::from_str(text).ok()?;
+    let map = value.as_map()?;
+    map.iter().find_map(|(k, v)| {
+        if k == "id" {
+            u64::from_value(v).ok()
+        } else {
+            None
+        }
+    })
+}
+
+/// `Instant + Duration * n` without overflow panics.
+trait MulChecked {
+    fn mul_checked(self, n: usize) -> Duration;
+}
+
+impl MulChecked for Duration {
+    #[allow(clippy::cast_possible_truncation)]
+    fn mul_checked(self, n: usize) -> Duration {
+        self.checked_mul(n as u32).unwrap_or(Duration::MAX / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use be2d_geometry::SceneBuilder;
+
+    #[test]
+    fn scene_json_matches_api_form() {
+        let scene = SceneBuilder::new(64, 32)
+            .object("A", (1, 5, 2, 6))
+            .build()
+            .unwrap();
+        assert_eq!(
+            scene_to_json(&scene),
+            r#"{"width":64,"height":32,"objects":[{"class":"A","mbr":[1,5,2,6]}]}"#
+        );
+    }
+
+    #[test]
+    fn percentile_edges() {
+        assert!((percentile(&[], 50.0) - 0.0).abs() < 1e-12);
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&data, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&data, 100.0) - 4.0).abs() < 1e-12);
+        assert!(
+            (percentile(&data, 50.0) - 3.0).abs() < 1e-12,
+            "rounds up at .5"
+        );
+    }
+
+    #[test]
+    fn effective_kind_fallbacks() {
+        let none: Vec<OwnedImage> = Vec::new();
+        assert_eq!(
+            effective_kind(RequestKind::RemoveImage, &none),
+            RequestKind::InsertImage
+        );
+        assert_eq!(
+            effective_kind(RequestKind::RemoveObject, &none),
+            RequestKind::InsertImage
+        );
+        let plain = vec![OwnedImage {
+            id: 0,
+            added_objects: 0,
+        }];
+        assert_eq!(
+            effective_kind(RequestKind::RemoveObject, &plain),
+            RequestKind::AddObject
+        );
+        assert_eq!(
+            effective_kind(RequestKind::RemoveImage, &plain),
+            RequestKind::RemoveImage
+        );
+        let with_objects = vec![OwnedImage {
+            id: 0,
+            added_objects: 2,
+        }];
+        assert_eq!(
+            effective_kind(RequestKind::RemoveObject, &with_objects),
+            RequestKind::RemoveObject
+        );
+    }
+
+    #[test]
+    fn inserted_id_parses_insert_response() {
+        assert_eq!(
+            inserted_id(br#"{"id":17,"name":"x","objects":3}"#),
+            Some(17)
+        );
+        assert_eq!(inserted_id(b"not json"), None);
+        assert_eq!(inserted_id(br#"{"name":"x"}"#), None);
+    }
+
+    #[test]
+    fn report_serialises_with_kind_breakdown() {
+        let report = LoadgenReport {
+            benchmark: "server".into(),
+            requests: 10,
+            errors: 0,
+            elapsed_s: 0.5,
+            throughput_rps: 20.0,
+            latency_ms: LatencySummary {
+                p50_ms: 1.0,
+                p95_ms: 2.0,
+                p99_ms: 3.0,
+                max_ms: 4.0,
+                mean_ms: 1.5,
+            },
+            mix: "insert=1,search=3".into(),
+            connections: 2,
+            rate_rps: 0.0,
+            by_kind: [("search".to_owned(), 7u64), ("insert".to_owned(), 3u64)]
+                .into_iter()
+                .collect(),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\":\"server\""), "{json}");
+        assert!(json.contains("\"p99_ms\":3.0"), "{json}");
+        assert!(json.contains("\"search\":7"), "{json}");
+        let summary = report.summary();
+        assert!(summary.contains("closed-loop"), "{summary}");
+    }
+}

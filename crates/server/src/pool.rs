@@ -1,0 +1,257 @@
+//! A bounded-queue thread pool.
+//!
+//! The server hands each accepted connection to this pool. The queue is
+//! *bounded*: when every worker is busy and the queue is full,
+//! [`ThreadPool::try_execute`] refuses the job immediately instead of
+//! buffering unbounded work — the accept loop turns that refusal into
+//! `503 Service Unavailable`, which is the overload-shedding behaviour a
+//! service under "heavy traffic from millions of users" needs.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` only (the vendored
+//! `parking_lot` shim has no condition variables, and the build is
+//! offline).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a job was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Every worker is busy and the queue is at capacity.
+    QueueFull,
+    /// [`ThreadPool::shutdown`] has begun; no new work is accepted.
+    ShuttingDown,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when the queue gains a job or shutdown begins.
+    wake: Condvar,
+}
+
+/// A fixed-size worker pool with a bounded job queue.
+///
+/// # Example
+///
+/// ```
+/// use be2d_server::ThreadPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = ThreadPool::new(2, 8);
+/// let done = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..8 {
+///     let done = done.clone();
+///     pool.try_execute(move || {
+///         done.fetch_add(1, Ordering::SeqCst);
+///     })
+///     .expect("queue has room");
+/// }
+/// pool.shutdown();
+/// assert_eq!(done.load(Ordering::SeqCst), 8);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    capacity: usize,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers with room for `queue_capacity` queued
+    /// jobs (on top of the jobs the workers are running).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is 0.
+    #[must_use]
+    pub fn new(threads: usize, queue_capacity: usize) -> ThreadPool {
+        assert!(threads > 0, "a pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("be2d-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            capacity: queue_capacity,
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs currently waiting for a worker.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").queue.len()
+    }
+
+    /// Submits a job, refusing instead of blocking when the queue is
+    /// full or the pool is shutting down.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RejectReason`]; the job is dropped in that case.
+    pub fn try_execute<F>(&self, job: F) -> Result<(), RejectReason>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        if state.shutdown {
+            return Err(RejectReason::ShuttingDown);
+        }
+        if state.queue.len() >= self.capacity {
+            return Err(RejectReason::QueueFull);
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.wake.notify_one();
+        Ok(())
+    }
+
+    /// Graceful shutdown: stops accepting jobs, lets workers drain every
+    /// queued job, then joins them. Idempotent.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.state.lock().expect("pool lock").shutdown = true;
+        self.shared.wake.notify_all();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // `shutdown()` drains `workers`, making this a no-op; a pool
+        // dropped without it still winds down cleanly.
+        self.begin_shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break Some(job);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared.wake.wait(state).expect("pool lock");
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_all_jobs_across_workers() {
+        let pool = ThreadPool::new(4, 128);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let done = done.clone();
+            pool.try_execute(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let pool = ThreadPool::new(1, 1);
+        // Occupy the single worker until we release it.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.try_execute(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv().unwrap();
+
+        // One job fits in the queue; the next is rejected.
+        pool.try_execute(|| {}).unwrap();
+        let rejected = pool.try_execute(|| {});
+        assert_eq!(rejected.unwrap_err(), RejectReason::QueueFull);
+        assert_eq!(pool.queued(), 1);
+
+        release_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = ThreadPool::new(1, 64);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let done = done.clone();
+            pool.try_execute(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 50, "queued jobs completed");
+    }
+
+    #[test]
+    fn drop_without_shutdown_still_joins() {
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2, 16);
+            for _ in 0..10 {
+                let done = done.clone();
+                pool.try_execute(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+                .unwrap();
+            }
+            assert_eq!(pool.thread_count(), 2);
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 10);
+    }
+}

@@ -1,0 +1,177 @@
+//! Route table: method + path → handler dispatch token.
+
+use crate::http::Method;
+use be2d_db::RecordId;
+
+/// A resolved route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /images` — index a scene or symbolic image.
+    InsertImage,
+    /// `DELETE /images/{id}` — drop a stored image.
+    DeleteImage(RecordId),
+    /// `POST /images/{id}/objects` — §3.2 incremental object insert.
+    AddObject(RecordId),
+    /// `DELETE /images/{id}/objects` — §3.2 incremental object removal.
+    RemoveObject(RecordId),
+    /// `POST /search` — ranked similarity search (scene or text query).
+    Search,
+    /// `POST /search/sketch` — spatial-pattern sketch search.
+    SearchSketch,
+    /// `GET /stats` — service statistics.
+    Stats,
+    /// `GET /healthz` — liveness probe.
+    Health,
+    /// `POST /snapshot` — persist a consistent snapshot to disk.
+    Snapshot,
+    /// `POST /restore` — replace the database from a snapshot file.
+    Restore,
+    /// `POST /admin/shutdown` — begin graceful shutdown.
+    Shutdown,
+}
+
+/// Why no route matched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// Unknown path (404).
+    NotFound,
+    /// Known path, wrong method (405).
+    MethodNotAllowed,
+    /// An `{id}` segment is not a number (400).
+    BadId(String),
+}
+
+impl RouteError {
+    /// The HTTP status this error maps to.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            RouteError::NotFound => 404,
+            RouteError::MethodNotAllowed => 405,
+            RouteError::BadId(_) => 400,
+        }
+    }
+
+    /// Human-readable reason for the error envelope.
+    #[must_use]
+    pub fn message(&self) -> String {
+        match self {
+            RouteError::NotFound => "no such route".into(),
+            RouteError::MethodNotAllowed => "method not allowed for this route".into(),
+            RouteError::BadId(raw) => format!("invalid record id {raw:?}"),
+        }
+    }
+}
+
+/// Resolves a request's method + path to a [`Route`].
+///
+/// # Errors
+///
+/// Returns [`RouteError`] when nothing matches.
+pub fn route(method: Method, path: &str) -> Result<Route, RouteError> {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let id = |raw: &str| -> Result<RecordId, RouteError> {
+        raw.parse::<usize>()
+            .map(RecordId)
+            .map_err(|_| RouteError::BadId(raw.to_owned()))
+    };
+    match segments.as_slice() {
+        ["images"] => match method {
+            Method::Post => Ok(Route::InsertImage),
+            _ => Err(RouteError::MethodNotAllowed),
+        },
+        ["images", raw] => match method {
+            Method::Delete => Ok(Route::DeleteImage(id(raw)?)),
+            _ => Err(RouteError::MethodNotAllowed),
+        },
+        ["images", raw, "objects"] => match method {
+            Method::Post => Ok(Route::AddObject(id(raw)?)),
+            Method::Delete => Ok(Route::RemoveObject(id(raw)?)),
+            _ => Err(RouteError::MethodNotAllowed),
+        },
+        ["search"] => match method {
+            Method::Post => Ok(Route::Search),
+            _ => Err(RouteError::MethodNotAllowed),
+        },
+        ["search", "sketch"] => match method {
+            Method::Post => Ok(Route::SearchSketch),
+            _ => Err(RouteError::MethodNotAllowed),
+        },
+        ["stats"] => match method {
+            Method::Get => Ok(Route::Stats),
+            _ => Err(RouteError::MethodNotAllowed),
+        },
+        ["healthz"] => match method {
+            Method::Get => Ok(Route::Health),
+            _ => Err(RouteError::MethodNotAllowed),
+        },
+        ["snapshot"] => match method {
+            Method::Post => Ok(Route::Snapshot),
+            _ => Err(RouteError::MethodNotAllowed),
+        },
+        ["restore"] => match method {
+            Method::Post => Ok(Route::Restore),
+            _ => Err(RouteError::MethodNotAllowed),
+        },
+        ["admin", "shutdown"] => match method {
+            Method::Post => Ok(Route::Shutdown),
+            _ => Err(RouteError::MethodNotAllowed),
+        },
+        _ => Err(RouteError::NotFound),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_resolve() {
+        assert_eq!(route(Method::Post, "/images"), Ok(Route::InsertImage));
+        assert_eq!(
+            route(Method::Delete, "/images/7"),
+            Ok(Route::DeleteImage(RecordId(7)))
+        );
+        assert_eq!(
+            route(Method::Post, "/images/3/objects"),
+            Ok(Route::AddObject(RecordId(3)))
+        );
+        assert_eq!(
+            route(Method::Delete, "/images/3/objects"),
+            Ok(Route::RemoveObject(RecordId(3)))
+        );
+        assert_eq!(route(Method::Post, "/search"), Ok(Route::Search));
+        assert_eq!(
+            route(Method::Post, "/search/sketch"),
+            Ok(Route::SearchSketch)
+        );
+        assert_eq!(route(Method::Get, "/stats"), Ok(Route::Stats));
+        assert_eq!(route(Method::Get, "/healthz"), Ok(Route::Health));
+        assert_eq!(route(Method::Post, "/snapshot"), Ok(Route::Snapshot));
+        assert_eq!(route(Method::Post, "/restore"), Ok(Route::Restore));
+        assert_eq!(route(Method::Post, "/admin/shutdown"), Ok(Route::Shutdown));
+        // trailing slashes are tolerated
+        assert_eq!(route(Method::Get, "/healthz/"), Ok(Route::Health));
+    }
+
+    #[test]
+    fn error_mapping() {
+        assert_eq!(
+            route(Method::Get, "/nope").unwrap_err(),
+            RouteError::NotFound
+        );
+        assert_eq!(
+            route(Method::Get, "/images").unwrap_err(),
+            RouteError::MethodNotAllowed
+        );
+        assert_eq!(
+            route(Method::Delete, "/search").unwrap_err(),
+            RouteError::MethodNotAllowed
+        );
+        let bad = route(Method::Delete, "/images/xyz").unwrap_err();
+        assert_eq!(bad.status(), 400);
+        assert!(bad.message().contains("xyz"));
+        assert_eq!(RouteError::NotFound.status(), 404);
+        assert_eq!(RouteError::MethodNotAllowed.status(), 405);
+    }
+}

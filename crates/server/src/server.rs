@@ -1,0 +1,262 @@
+//! The server proper: accept loop, connection lifecycle, graceful
+//! shutdown.
+
+use crate::handlers::{handle, AppState};
+use crate::http::{read_request, ParseLimits, Response};
+use crate::pool::ThreadPool;
+use crate::ServerConfig;
+use be2d_db::SharedImageDatabase;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A bound, not-yet-running HTTP service over one
+/// [`SharedImageDatabase`].
+///
+/// # Example
+///
+/// ```no_run
+/// use be2d_server::{Server, ServerConfig};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let server = Server::bind(ServerConfig::default())?;
+/// println!("listening on {}", server.local_addr());
+/// server.run()?; // blocks until POST /admin/shutdown
+/// # Ok(())
+/// # }
+/// ```
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    pool: ThreadPool,
+    addr: SocketAddr,
+}
+
+/// A cheap handle for shutting a running server down from another
+/// thread (tests, signal bridges, the loadgen harness).
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<AppState>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests graceful shutdown: stop accepting, drain in-flight
+    /// connections, then return from [`Server::run`].
+    pub fn shutdown(&self) {
+        self.state.request_shutdown();
+    }
+}
+
+impl Server {
+    /// Binds a fresh empty database.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        Server::with_database(config, SharedImageDatabase::new())
+    }
+
+    /// Binds over an existing (possibly pre-loaded) database.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn with_database(config: ServerConfig, db: SharedImageDatabase) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let threads = config.effective_threads();
+        let pool = ThreadPool::new(threads, config.queue_capacity);
+        let state = AppState::new(db, config, threads, addr);
+        Ok(Server {
+            listener,
+            state,
+            pool,
+            addr,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for requesting shutdown from elsewhere.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+            addr: self.addr,
+        }
+    }
+
+    /// Shared access to the underlying database (e.g. to pre-load
+    /// records before serving).
+    #[must_use]
+    pub fn database(&self) -> SharedImageDatabase {
+        self.state.db.clone()
+    }
+
+    /// Serves until graceful shutdown is requested via
+    /// `POST /admin/shutdown` or a [`ServerHandle`].
+    ///
+    /// Each accepted connection becomes one bounded-pool job serving up
+    /// to `keep_alive_requests` requests; when the pool (workers +
+    /// queue) is saturated the connection is immediately answered `503`
+    /// and closed — overload sheds instead of queueing unboundedly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O errors (individual connection errors
+    /// only close that connection).
+    pub fn run(self) -> io::Result<()> {
+        for incoming in self.listener.incoming() {
+            if self.state.shutting_down() {
+                break;
+            }
+            let stream = match incoming {
+                Ok(stream) => stream,
+                // Transient per-connection failures must not kill the
+                // accept loop.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => return Err(e),
+            };
+            let state = Arc::clone(&self.state);
+            // The job takes ownership of the stream; keep a dup'd handle
+            // so a rejected connection can still be answered 503.
+            let shed_handle = stream.try_clone().ok();
+            if self
+                .pool
+                .try_execute(move || serve_connection(&state, stream))
+                .is_err()
+            {
+                self.state.stats.shed.fetch_add(1, Ordering::Relaxed);
+                if let Some(mut stream) = shed_handle {
+                    let _ = stream.set_write_timeout(Some(self.state.config.write_timeout));
+                    let _ = Response::error(503, "server overloaded, connection shed")
+                        .write_to(&mut stream, false);
+                }
+            }
+        }
+        self.pool.shutdown();
+        Ok(())
+    }
+}
+
+/// Serves one connection: keep-alive request loop with limits and
+/// timeouts from the config.
+fn serve_connection(state: &AppState, mut stream: TcpStream) {
+    let config = &state.config;
+    let limits = ParseLimits {
+        max_head_bytes: config.max_head_bytes,
+        max_body_bytes: config.max_body_bytes,
+    };
+    // Two timeout layers: the socket timeout bounds each syscall (and
+    // the idle wait for the next keep-alive request); the request
+    // budget inside read_request bounds the whole request, so a client
+    // trickling bytes cannot pin this worker past it.
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let _ = stream.set_nodelay(true);
+
+    let mut buf: Vec<u8> = Vec::with_capacity(4 * 1024);
+    for served in 1..=config.keep_alive_requests {
+        let request = match read_request(&mut stream, &mut buf, &limits, config.request_timeout) {
+            Ok(Some(request)) => request,
+            // Clean hangup between requests.
+            Ok(None) => return,
+            Err(Ok(http_error)) => {
+                let response = Response::error(http_error.status(), &http_error.to_string());
+                let _ = response.write_to(&mut stream, false);
+                return;
+            }
+            // Timeout or socket error: nothing sensible to answer.
+            Err(Err(_io)) => return,
+        };
+        let response = handle(state, &request);
+        let keep_alive =
+            !request.wants_close() && served < config.keep_alive_requests && !state.shutting_down();
+        if response.write_to(&mut stream, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::time::Duration;
+
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            read_timeout: Duration::from_millis(1500),
+            write_timeout: Duration::from_millis(1500),
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Raw-socket request against a running server.
+    fn raw_roundtrip(addr: SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn boots_serves_and_shuts_down() {
+        let server = Server::bind(test_config()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run());
+
+        let reply = raw_roundtrip(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        assert!(reply.contains("\"status\":\"ok\""));
+
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_close() {
+        let server = Server::bind(test_config()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run());
+
+        let reply = raw_roundtrip(addr, "BOGUS stuff\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn http_shutdown_endpoint_stops_run() {
+        let server = Server::bind(test_config()).unwrap();
+        let addr = server.local_addr();
+        let runner = std::thread::spawn(move || server.run());
+
+        let reply = raw_roundtrip(
+            addr,
+            "POST /admin/shutdown HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(reply.contains("\"shutting_down\":true"), "{reply}");
+        // No follow-up traffic: the endpoint alone must unblock accept.
+        runner.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,404 @@
+//! End-to-end integration tests: a real server on a real TCP socket,
+//! driven by the blocking client.
+
+use be2d_server::client::Client;
+use be2d_server::{Server, ServerConfig, ServerHandle};
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+struct RunningServer {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    runner: Option<JoinHandle<std::io::Result<()>>>,
+}
+
+impl RunningServer {
+    fn start(config: ServerConfig) -> RunningServer {
+        let server = Server::bind(config).expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run());
+        RunningServer {
+            addr,
+            handle,
+            runner: Some(runner),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::new(self.addr, Duration::from_secs(10))
+    }
+
+    fn stop(mut self) {
+        self.handle.shutdown();
+        self.runner
+            .take()
+            .expect("still running")
+            .join()
+            .expect("server thread")
+            .expect("clean shutdown");
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        if let Some(runner) = self.runner.take() {
+            self.handle.shutdown();
+            let _ = runner.join();
+        }
+    }
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    }
+}
+
+const LEFT_SCENE: &str = r#"{"width":100,"height":100,"objects":[
+    {"class":"A","mbr":[10,30,40,60]},{"class":"B","mbr":[60,85,40,60]}]}"#;
+const RIGHT_SCENE: &str = r#"{"width":100,"height":100,"objects":[
+    {"class":"B","mbr":[10,30,40,60]},{"class":"A","mbr":[60,85,40,60]}]}"#;
+
+/// The acceptance-criteria flow: insert → search → snapshot → restore →
+/// search, all over real TCP sockets.
+#[test]
+fn insert_search_snapshot_restore_search() {
+    let dir = std::env::temp_dir().join(format!("be2d_http_api_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let server = RunningServer::start(ServerConfig {
+        snapshot_dir: dir.clone(),
+        ..test_config()
+    });
+    let mut client = server.client();
+
+    // insert two images
+    let response = client
+        .request(
+            "POST",
+            "/images",
+            &format!(r#"{{"name":"left","scene":{LEFT_SCENE}}}"#),
+        )
+        .unwrap();
+    assert_eq!(response.status, 201, "{}", response.text());
+    assert!(response.text().contains("\"id\":0"));
+    let response = client
+        .request(
+            "POST",
+            "/images",
+            &format!(r#"{{"name":"right","scene":{RIGHT_SCENE}}}"#),
+        )
+        .unwrap();
+    assert_eq!(response.status, 201);
+
+    // search ranks the exact match first
+    let search_body = format!(r#"{{"scene":{LEFT_SCENE},"options":{{"top_k":2}}}}"#);
+    let response = client.request("POST", "/search", &search_body).unwrap();
+    assert_eq!(response.status, 200);
+    let text = response.text();
+    let left_at = text.find("\"left\"").expect("left in results");
+    let right_at = text.find("\"right\"").expect("right in results");
+    assert!(left_at < right_at, "exact match ranked first: {text}");
+
+    // snapshot to a named file inside the configured snapshot dir
+    let snap_body = r#"{"path":"flow.json"}"#;
+    let response = client.request("POST", "/snapshot", snap_body).unwrap();
+    assert_eq!(response.status, 200, "{}", response.text());
+    assert!(response.text().contains("\"records\":2"));
+
+    // mutate: drop one image, verify the search changes
+    let response = client.request("DELETE", "/images/0", "").unwrap();
+    assert_eq!(response.status, 200);
+    let response = client.request("POST", "/search", &search_body).unwrap();
+    assert!(!response.text().contains("\"left\""));
+
+    // restore brings it back
+    let response = client.request("POST", "/restore", snap_body).unwrap();
+    assert_eq!(response.status, 200, "{}", response.text());
+    assert!(response.text().contains("\"records\":2"));
+    let response = client.request("POST", "/search", &search_body).unwrap();
+    assert!(response.text().contains("\"left\""), "{}", response.text());
+    assert!(dir.join("flow.json").is_file(), "snapshot confined to dir");
+
+    std::fs::remove_dir_all(&dir).ok();
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn incremental_object_maintenance_changes_results() {
+    let server = RunningServer::start(test_config());
+    let mut client = server.client();
+    client
+        .request(
+            "POST",
+            "/images",
+            &format!(r#"{{"name":"base","scene":{LEFT_SCENE}}}"#),
+        )
+        .unwrap();
+
+    // a query for class Z misses, then hits after the incremental add
+    let z_query =
+        r#"{"scene":{"width":100,"height":100,"objects":[{"class":"Z","mbr":[1,9,1,9]}]}}"#;
+    let response = client.request("POST", "/search", z_query).unwrap();
+    assert_eq!(response.text(), r#"{"hits":[]}"#);
+
+    let add = r#"{"class":"Z","mbr":[1,9,1,9]}"#;
+    let response = client.request("POST", "/images/0/objects", add).unwrap();
+    assert_eq!(response.status, 200, "{}", response.text());
+    let response = client.request("POST", "/search", z_query).unwrap();
+    assert!(response.text().contains("\"base\""));
+
+    // and misses again after the incremental removal
+    let response = client.request("DELETE", "/images/0/objects", add).unwrap();
+    assert_eq!(response.status, 200);
+    let response = client.request("POST", "/search", z_query).unwrap();
+    assert_eq!(response.text(), r#"{"hits":[]}"#);
+
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn sketch_text_queries_and_transform_options() {
+    let server = RunningServer::start(test_config());
+    let mut client = server.client();
+    client
+        .request(
+            "POST",
+            "/images",
+            &format!(r#"{{"name":"ab","scene":{LEFT_SCENE}}}"#),
+        )
+        .unwrap();
+
+    // the paper's §1 query as a sketch
+    let response = client
+        .request("POST", "/search/sketch", r#"{"sketch":"A left-of B"}"#)
+        .unwrap();
+    assert_eq!(response.status, 200);
+    assert!(response.text().contains("\"ab\""), "{}", response.text());
+
+    // transform-invariant search finds a rotated insert
+    let rotated = r#"{"name":"rot","scene":{"width":100,"height":100,"objects":[
+        {"class":"Q","mbr":[40,60,10,30]},{"class":"R","mbr":[40,60,60,85]}]}}"#;
+    client.request("POST", "/images", rotated).unwrap();
+    let query = r#"{"scene":{"width":100,"height":100,"objects":[
+        {"class":"Q","mbr":[10,30,40,60]},{"class":"R","mbr":[60,85,40,60]}]},
+        "options":{"transforms":"paper-set","top_k":1}}"#;
+    let response = client.request("POST", "/search", query).unwrap();
+    let text = response.text();
+    assert!(text.contains("\"rot\""), "{text}");
+    assert!(text.contains("rotate-"), "best transform reported: {text}");
+
+    // text-form query: the Display rendering of the stored image's own
+    // strings must retrieve it with score 1
+    let stored = be2d_core::convert_scene(
+        &be2d_geometry::SceneBuilder::new(100, 100)
+            .object("A", (10, 30, 40, 60))
+            .object("B", (60, 85, 40, 60))
+            .build()
+            .unwrap(),
+    );
+    let body = format!(
+        r#"{{"text":{{"u":{:?},"v":{:?}}},"options":{{"top_k":1}}}}"#,
+        stored.x().to_string(),
+        stored.y().to_string()
+    );
+    let response = client.request("POST", "/search", &body).unwrap();
+    assert_eq!(response.status, 200, "{}", response.text());
+    assert!(response.text().contains("\"ab\""), "{}", response.text());
+
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn error_statuses_over_the_wire() {
+    let server = RunningServer::start(test_config());
+    let mut client = server.client();
+
+    for (method, path, body, expected) in [
+        ("GET", "/nope", "", 404),
+        ("GET", "/images", "", 405),
+        ("DELETE", "/images/notanumber", "", 400),
+        ("DELETE", "/images/99", "", 404),
+        ("POST", "/search", "{not json", 400),
+        (
+            "POST",
+            "/search",
+            r#"{"scene":{"width":0,"height":5}}"#,
+            400,
+        ),
+        (
+            "POST",
+            "/search/sketch",
+            r#"{"sketch":"A teleports B"}"#,
+            422,
+        ),
+        (
+            "POST",
+            "/restore",
+            r#"{"path":"no-such-snapshot.json"}"#,
+            500,
+        ),
+        ("POST", "/restore", r#"{"path":"/etc/passwd"}"#, 400),
+        ("POST", "/snapshot", r#"{"path":"../escape.json"}"#, 400),
+    ] {
+        let response = client.request(method, path, body).unwrap();
+        assert_eq!(
+            response.status,
+            expected,
+            "{method} {path}: {}",
+            response.text()
+        );
+        assert!(response.text().contains("\"error\""), "{}", response.text());
+    }
+
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn stats_reflect_traffic_and_health_is_cheap() {
+    let server = RunningServer::start(test_config());
+    let mut client = server.client();
+
+    let response = client.request("GET", "/healthz", "").unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.text(), r#"{"status":"ok"}"#);
+
+    client
+        .request(
+            "POST",
+            "/images",
+            &format!(r#"{{"name":"s","scene":{LEFT_SCENE}}}"#),
+        )
+        .unwrap();
+    client
+        .request("POST", "/search", &format!(r#"{{"scene":{LEFT_SCENE}}}"#))
+        .unwrap();
+    let _ = client.request("GET", "/nope", "").unwrap();
+
+    let response = client.request("GET", "/stats", "").unwrap();
+    let text = response.text();
+    assert!(text.contains("\"records\":1"), "{text}");
+    assert!(text.contains("\"objects\":2"), "{text}");
+    assert!(text.contains("\"classes\":2"), "{text}");
+    assert!(text.contains("\"inserts\":1"), "{text}");
+    assert!(text.contains("\"searches\":1"), "{text}");
+    assert!(text.contains("\"errors\":1"), "{text}");
+    assert!(text.contains("\"threads\":4"), "{text}");
+
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn symbolic_insert_matches_scene_insert() {
+    use be2d_core::SymbolicImage;
+    use be2d_geometry::SceneBuilder;
+
+    let server = RunningServer::start(test_config());
+    let mut client = server.client();
+
+    // insert the same image once as a scene, once pre-converted
+    let scene = SceneBuilder::new(100, 100)
+        .object("A", (10, 30, 40, 60))
+        .object("B", (60, 85, 40, 60))
+        .build()
+        .unwrap();
+    let symbolic = SymbolicImage::from_scene(&scene);
+    client
+        .request(
+            "POST",
+            "/images",
+            &format!(r#"{{"name":"as-scene","scene":{LEFT_SCENE}}}"#),
+        )
+        .unwrap();
+    let response = client
+        .request(
+            "POST",
+            "/images",
+            &format!(
+                r#"{{"name":"as-symbolic","symbolic":{}}}"#,
+                serde_json::to_string(&symbolic).unwrap()
+            ),
+        )
+        .unwrap();
+    assert_eq!(response.status, 201, "{}", response.text());
+
+    // both must score 1.0 for the exact query
+    let response = client
+        .request(
+            "POST",
+            "/search",
+            &format!(r#"{{"scene":{LEFT_SCENE},"options":{{"min_score":0.999}}}}"#),
+        )
+        .unwrap();
+    let text = response.text();
+    assert!(
+        text.contains("as-scene") && text.contains("as-symbolic"),
+        "{text}"
+    );
+
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn concurrent_clients_mixed_traffic() {
+    let server = RunningServer::start(test_config());
+    let addr = server.addr;
+
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr, Duration::from_secs(10));
+                let mut ok = 0usize;
+                for i in 0..25 {
+                    let name = format!("w{w}-{i}");
+                    let insert = format!(r#"{{"name":{name:?},"scene":{LEFT_SCENE}}}"#);
+                    let response = client.request("POST", "/images", &insert).unwrap();
+                    assert_eq!(response.status, 201);
+                    let search = format!(r#"{{"scene":{LEFT_SCENE},"options":{{"top_k":3}}}}"#);
+                    let response = client.request("POST", "/search", &search).unwrap();
+                    assert_eq!(response.status, 200);
+                    ok += 2;
+                }
+                ok
+            })
+        })
+        .collect();
+    let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert_eq!(total, 200);
+
+    let mut client = server.client();
+    let response = client.request("GET", "/stats", "").unwrap();
+    let text = response.text();
+    assert!(text.contains("\"records\":100"), "{text}");
+    assert!(text.contains("\"inserts\":100"), "{text}");
+
+    drop(client);
+    server.stop();
+}
+
+/// Keep-alive budget exhaustion closes politely; the client reconnects.
+#[test]
+fn keep_alive_budget_rolls_over() {
+    let server = RunningServer::start(ServerConfig {
+        keep_alive_requests: 3,
+        ..test_config()
+    });
+    let mut client = server.client();
+    for _ in 0..10 {
+        let response = client.request("GET", "/healthz", "").unwrap();
+        assert_eq!(response.status, 200);
+    }
+    drop(client);
+    server.stop();
+}

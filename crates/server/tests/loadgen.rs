@@ -1,0 +1,98 @@
+//! The acceptance run: loadgen sustains >= 1000 mixed requests against
+//! a locally spawned server without a single error.
+
+use be2d_server::{LoadgenConfig, Server, ServerConfig};
+use std::time::Duration;
+
+#[test]
+fn loadgen_sustains_1000_mixed_requests_without_error() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    let config = LoadgenConfig {
+        requests: 1200,
+        connections: 4,
+        prefill: 48,
+        seed: 7,
+        ..LoadgenConfig::new(addr)
+    };
+    let report = be2d_server::loadgen::run(&config).expect("loadgen run");
+
+    assert_eq!(report.requests, 1200);
+    assert_eq!(
+        report.errors,
+        0,
+        "no request may fail: {}",
+        report.summary()
+    );
+    assert!(report.throughput_rps > 0.0);
+    assert!(report.latency_ms.p50_ms > 0.0);
+    assert!(report.latency_ms.p50_ms <= report.latency_ms.p95_ms);
+    assert!(report.latency_ms.p95_ms <= report.latency_ms.p99_ms);
+    assert!(report.latency_ms.p99_ms <= report.latency_ms.max_ms);
+    let performed: u64 = report.by_kind.values().sum();
+    assert_eq!(performed, 1200, "every request accounted for");
+    assert!(
+        report.by_kind.contains_key("search") && report.by_kind.contains_key("insert"),
+        "mixed traffic: {:?}",
+        report.by_kind
+    );
+
+    // the JSON report is parseable and BENCH-tagged
+    let json = report.to_json();
+    assert!(json.contains("\"benchmark\":\"server\""));
+    let back: be2d_server::LoadgenReport = serde_json::from_str(&json).expect("roundtrip");
+    assert_eq!(back, report);
+
+    handle.shutdown();
+    runner
+        .join()
+        .expect("server thread")
+        .expect("clean shutdown");
+}
+
+/// Open-loop pacing: a modest fixed rate finishes in roughly the
+/// expected wall-clock time (not instantly, not hung).
+#[test]
+fn loadgen_open_loop_paces_requests() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    let config = LoadgenConfig {
+        requests: 100,
+        connections: 2,
+        rate: 400.0,
+        prefill: 8,
+        ..LoadgenConfig::new(addr)
+    };
+    let report = be2d_server::loadgen::run(&config).expect("loadgen run");
+    assert_eq!(report.errors, 0, "{}", report.summary());
+    // 100 requests at 400 req/s = 0.25s minimum for the last send slot.
+    assert!(
+        report.elapsed_s >= 0.2,
+        "open loop finished too fast: {:.3}s",
+        report.elapsed_s
+    );
+
+    handle.shutdown();
+    runner
+        .join()
+        .expect("server thread")
+        .expect("clean shutdown");
+}

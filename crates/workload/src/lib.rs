@@ -12,7 +12,10 @@
 //!   positions (partial-relation match), D4-transformed copies, and
 //!   unrelated decoys — each tagged with the image it should retrieve;
 //! * [`metrics`] — precision@k, recall@k, reciprocal rank and average
-//!   precision over ranked result lists.
+//!   precision over ranked result lists;
+//! * [`RequestMix`] — weighted insert/edit/search request sampling for
+//!   online-serving workloads (used by the `be2d-server` load
+//!   generator).
 //!
 //! Everything is deterministic from a `u64` seed, so every experiment in
 //! EXPERIMENTS.md regenerates bit-identically.
@@ -36,8 +39,10 @@ mod corpus;
 mod generator;
 /// Retrieval-quality metrics over ranked lists.
 pub mod metrics;
+mod mix;
 mod queries;
 
 pub use corpus::{Corpus, CorpusConfig, ImageId};
 pub use generator::{generate_scene, scene_from_seed, Placement, SceneConfig};
+pub use mix::{RequestKind, RequestMix};
 pub use queries::{derive_queries, derive_query, Query, QueryKind};

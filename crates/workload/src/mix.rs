@@ -1,0 +1,281 @@
+//! Request-mix sampling for online-serving workloads.
+//!
+//! A retrieval *service* does not see one operation at a time — it sees
+//! an interleaved stream of inserts, deletes, in-place edits and
+//! searches. [`RequestMix`] describes that stream as integer weights per
+//! [`RequestKind`] and samples it deterministically, so a load generator
+//! (or a stress test) can replay the exact same operation sequence from
+//! a seed.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One kind of request a retrieval service can receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Index a new image.
+    InsertImage,
+    /// Remove a stored image.
+    RemoveImage,
+    /// Add one object to a stored image (§3.2 incremental maintenance).
+    AddObject,
+    /// Remove one object from a stored image (§3.2).
+    RemoveObject,
+    /// Ranked similarity search with a scene query.
+    Search,
+    /// Ranked similarity search with a spatial-pattern sketch.
+    SearchSketch,
+    /// Read service statistics.
+    Stats,
+}
+
+impl RequestKind {
+    /// Every kind, in the canonical order used by mix strings.
+    pub const ALL: [RequestKind; 7] = [
+        RequestKind::InsertImage,
+        RequestKind::RemoveImage,
+        RequestKind::AddObject,
+        RequestKind::RemoveObject,
+        RequestKind::Search,
+        RequestKind::SearchSketch,
+        RequestKind::Stats,
+    ];
+
+    /// The short name used in mix strings (`insert`, `search`, …).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            RequestKind::InsertImage => "insert",
+            RequestKind::RemoveImage => "remove",
+            RequestKind::AddObject => "add-object",
+            RequestKind::RemoveObject => "remove-object",
+            RequestKind::Search => "search",
+            RequestKind::SearchSketch => "sketch",
+            RequestKind::Stats => "stats",
+        }
+    }
+
+    /// Whether the request mutates the database.
+    #[must_use]
+    pub const fn is_write(self) -> bool {
+        matches!(
+            self,
+            RequestKind::InsertImage
+                | RequestKind::RemoveImage
+                | RequestKind::AddObject
+                | RequestKind::RemoveObject
+        )
+    }
+
+    fn parse(name: &str) -> Option<RequestKind> {
+        RequestKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A weighted mix of request kinds, sampled deterministically.
+///
+/// # Example
+///
+/// ```
+/// use be2d_workload::{RequestKind, RequestMix};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mix: RequestMix = "insert=2,search=8".parse().unwrap();
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let kinds: Vec<RequestKind> = (0..100).map(|_| mix.sample(&mut rng)).collect();
+/// assert!(kinds.contains(&RequestKind::Search));
+/// assert!(!kinds.contains(&RequestKind::Stats), "weight 0 is never drawn");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestMix {
+    /// `weights[i]` belongs to `RequestKind::ALL[i]`.
+    weights: Vec<u32>,
+}
+
+impl RequestMix {
+    /// A mix with the given `(kind, weight)` pairs; unlisted kinds get
+    /// weight 0. Returns `None` when every weight is 0.
+    #[must_use]
+    pub fn new(weights: &[(RequestKind, u32)]) -> Option<RequestMix> {
+        let mut table = vec![0u32; RequestKind::ALL.len()];
+        for &(kind, w) in weights {
+            let slot = RequestKind::ALL
+                .iter()
+                .position(|&k| k == kind)
+                .expect("kind is in ALL");
+            table[slot] += w;
+        }
+        (table.iter().any(|&w| w > 0)).then_some(RequestMix { weights: table })
+    }
+
+    /// The default serving mix: search-heavy with a steady trickle of
+    /// inserts and §3.2 edits — roughly the "millions of readers, some
+    /// writers" shape an image-retrieval service sees.
+    #[must_use]
+    pub fn serving_default() -> RequestMix {
+        RequestMix::new(&[
+            (RequestKind::InsertImage, 15),
+            (RequestKind::RemoveImage, 2),
+            (RequestKind::AddObject, 4),
+            (RequestKind::RemoveObject, 2),
+            (RequestKind::Search, 70),
+            (RequestKind::SearchSketch, 5),
+            (RequestKind::Stats, 2),
+        ])
+        .expect("non-zero weights")
+    }
+
+    /// The weight of one kind.
+    #[must_use]
+    pub fn weight(&self, kind: RequestKind) -> u32 {
+        let slot = RequestKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind is in ALL");
+        self.weights[slot]
+    }
+
+    /// Sum of all weights (> 0 by construction).
+    #[must_use]
+    pub fn total_weight(&self) -> u32 {
+        self.weights.iter().sum()
+    }
+
+    /// Draws one request kind with probability proportional to its
+    /// weight.
+    pub fn sample(&self, rng: &mut StdRng) -> RequestKind {
+        let mut ticket = rng.random_range(0..self.total_weight());
+        for (kind, &w) in RequestKind::ALL.iter().zip(&self.weights) {
+            if ticket < w {
+                return *kind;
+            }
+            ticket -= w;
+        }
+        unreachable!("ticket < total_weight")
+    }
+
+    /// Pre-samples a whole operation schedule, so concurrent workers can
+    /// slice one deterministic sequence instead of racing on an RNG.
+    #[must_use]
+    pub fn schedule(&self, n: usize, rng: &mut StdRng) -> Vec<RequestKind> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+impl std::str::FromStr for RequestMix {
+    type Err = String;
+
+    /// Parses `kind=weight` pairs separated by `,` (e.g.
+    /// `"insert=2,search=8"`). Unknown kinds and malformed weights are
+    /// errors; an all-zero mix is an error.
+    fn from_str(s: &str) -> Result<RequestMix, String> {
+        let mut weights = Vec::new();
+        for pair in s.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (name, weight) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("expected `kind=weight`, got {pair:?}"))?;
+            let kind = RequestKind::parse(name.trim())
+                .ok_or_else(|| format!("unknown request kind {:?}", name.trim()))?;
+            let weight: u32 = weight
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid weight {:?} for {kind}", weight.trim()))?;
+            weights.push((kind, weight));
+        }
+        RequestMix::new(&weights).ok_or_else(|| format!("mix {s:?} has no positive weight"))
+    }
+}
+
+impl fmt::Display for RequestMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (kind, &w) in RequestKind::ALL.iter().zip(&self.weights) {
+            if w == 0 {
+                continue;
+            }
+            if !first {
+                f.write_str(",")?;
+            }
+            write!(f, "{kind}={w}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let mix: RequestMix = "insert=2, search=8,sketch=1".parse().unwrap();
+        assert_eq!(mix.weight(RequestKind::InsertImage), 2);
+        assert_eq!(mix.weight(RequestKind::Search), 8);
+        assert_eq!(mix.weight(RequestKind::RemoveImage), 0);
+        assert_eq!(mix.total_weight(), 11);
+        let text = mix.to_string();
+        assert_eq!(text.parse::<RequestMix>().unwrap(), mix);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("".parse::<RequestMix>().is_err());
+        assert!("insert".parse::<RequestMix>().is_err());
+        assert!("warp=1".parse::<RequestMix>().is_err());
+        assert!("insert=x".parse::<RequestMix>().is_err());
+        assert!("insert=0,search=0".parse::<RequestMix>().is_err());
+        assert!(RequestMix::new(&[]).is_none());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_proportional() {
+        let mix: RequestMix = "insert=1,search=3".parse().unwrap();
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(mix.schedule(500, &mut a), mix.schedule(500, &mut b));
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let schedule = mix.schedule(4000, &mut rng);
+        let searches = schedule
+            .iter()
+            .filter(|&&k| k == RequestKind::Search)
+            .count();
+        // Expected 3000 of 4000; a loose window keeps this robust.
+        assert!((2700..3300).contains(&searches), "searches = {searches}");
+        assert!(schedule
+            .iter()
+            .all(|k| matches!(k, RequestKind::InsertImage | RequestKind::Search)));
+    }
+
+    #[test]
+    fn serving_default_is_search_heavy() {
+        let mix = RequestMix::serving_default();
+        assert!(mix.weight(RequestKind::Search) > mix.total_weight() / 2);
+        assert!(mix.weight(RequestKind::InsertImage) > 0);
+    }
+
+    #[test]
+    fn kind_metadata() {
+        assert!(RequestKind::InsertImage.is_write());
+        assert!(!RequestKind::Search.is_write());
+        assert_eq!(RequestKind::AddObject.to_string(), "add-object");
+        for kind in RequestKind::ALL {
+            assert_eq!(RequestKind::parse(kind.name()), Some(kind));
+        }
+    }
+}

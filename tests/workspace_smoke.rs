@@ -5,6 +5,18 @@
 
 use be2d::{convert_scene, similarity, ImageDatabase, QueryOptions, SceneBuilder, Transform};
 
+/// The `server` facade module is wired: config resolves, the serving
+/// preset exists, and the request-mix sampler parses.
+#[test]
+fn server_facade_re_exports() {
+    let config = be2d::server::ServerConfig::default();
+    assert!(config.effective_threads() >= 2);
+    let options = be2d::db::QueryOptions::serving();
+    assert_eq!(options.parallel, be2d::db::Parallelism::Auto);
+    let mix: be2d::workload::RequestMix = "insert=1,search=4".parse().expect("mix parses");
+    assert_eq!(mix.total_weight(), 5);
+}
+
 /// The paper's Figure 1 scene: A overlaps B, C touches both.
 fn figure1() -> be2d::geometry::Scene {
     SceneBuilder::new(100, 100)
