@@ -93,6 +93,13 @@ impl ImageDatabase {
         self.index.class_count()
     }
 
+    /// Read access to the inverted class index (e.g. to union class
+    /// sets across shards).
+    #[must_use]
+    pub fn class_index(&self) -> &ClassIndex {
+        &self.index
+    }
+
     /// Total number of objects across all live records.
     #[must_use]
     pub fn object_count(&self) -> usize {
@@ -121,6 +128,37 @@ impl ImageDatabase {
         symbolic: SymbolicImage,
     ) -> Result<RecordId, DbError> {
         let id = RecordId(self.records.len());
+        self.insert_symbolic_with_id(id, name, symbolic)?;
+        Ok(id)
+    }
+
+    /// Stores a symbolic picture under a caller-chosen id, growing the
+    /// record table with dead slots as needed.
+    ///
+    /// This is the primitive the sharded database
+    /// ([`ShardedImageDatabase`](crate::ShardedImageDatabase)) builds on:
+    /// shards receive globally-assigned ids out of order, and restore
+    /// re-routing replays records at their original slots. Plain callers
+    /// should prefer [`insert_symbolic`](Self::insert_symbolic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Persist`] when the slot already holds a live
+    /// record (ids are never reused).
+    pub fn insert_symbolic_with_id(
+        &mut self,
+        id: RecordId,
+        name: &str,
+        symbolic: SymbolicImage,
+    ) -> Result<(), DbError> {
+        if self.records.get(id.index()).is_some_and(Option::is_some) {
+            return Err(DbError::Persist {
+                reason: format!("record id {} is already occupied", id.index()),
+            });
+        }
+        if self.records.len() <= id.index() {
+            self.records.resize_with(id.index() + 1, || None);
+        }
         let mut record = ImageRecord {
             id,
             name: name.to_owned(),
@@ -129,8 +167,17 @@ impl ImageDatabase {
         };
         record.refresh_signature();
         self.index.insert_record(id, record.classes());
-        self.records.push(Some(record));
-        Ok(id)
+        self.records[id.index()] = Some(record);
+        Ok(())
+    }
+
+    /// The id the next plain [`insert_symbolic`](Self::insert_symbolic)
+    /// would assign (= one past the highest slot ever used). Exposed so
+    /// external id allocators (sharding, restore) can stay aligned with
+    /// the never-reuse-ids guarantee.
+    #[must_use]
+    pub fn next_id(&self) -> usize {
+        self.records.len()
     }
 
     /// Removes a record, returning it.
@@ -359,42 +406,7 @@ impl ImageDatabase {
     /// file name. On error the temporary file is removed and any
     /// previous snapshot at `path` is left untouched.
     pub fn save(&self, path: &Path) -> Result<(), DbError> {
-        use std::sync::atomic::{AtomicU64, Ordering};
-        static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
-
-        let json = self.to_json()?;
-        let file_name = path
-            .file_name()
-            .ok_or_else(|| DbError::Persist {
-                reason: format!("save path {} has no file name", path.display()),
-            })?
-            .to_string_lossy();
-        // Unique per process+call, so concurrent saves to the same
-        // target never clobber each other's temp file.
-        let tmp_name = format!(
-            ".{file_name}.tmp.{}.{}",
-            std::process::id(),
-            SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
-        );
-        let tmp = match path.parent() {
-            Some(dir) if !dir.as_os_str().is_empty() => dir.join(tmp_name),
-            _ => std::path::PathBuf::from(tmp_name),
-        };
-        let write_synced = || -> std::io::Result<()> {
-            use std::io::Write;
-            let mut file = std::fs::File::create(&tmp)?;
-            file.write_all(json.as_bytes())?;
-            // The data blocks must be durable *before* the rename's
-            // metadata, or a power loss could publish a truncated file
-            // under the final name.
-            file.sync_all()
-        };
-        write_synced()
-            .and_then(|()| std::fs::rename(&tmp, path))
-            .map_err(|e| {
-                let _ = std::fs::remove_file(&tmp);
-                DbError::from(e)
-            })
+        write_atomic(path, &self.to_json()?)
     }
 
     /// Loads a database from a file written by [`save`](Self::save).
@@ -405,7 +417,50 @@ impl ImageDatabase {
     pub fn load(path: &Path) -> Result<Self, DbError> {
         Self::from_json(&std::fs::read_to_string(path)?)
     }
+}
 
+/// Writes `json` to `path` **crash-safely**: temp file in the target
+/// directory, `sync_all`, then `rename` into place. Shared by
+/// [`ImageDatabase::save`] and the sharded snapshot writer.
+pub(crate) fn write_atomic(path: &Path, json: &str) -> Result<(), DbError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| DbError::Persist {
+            reason: format!("save path {} has no file name", path.display()),
+        })?
+        .to_string_lossy();
+    // Unique per process+call, so concurrent saves to the same
+    // target never clobber each other's temp file.
+    let tmp_name = format!(
+        ".{file_name}.tmp.{}.{}",
+        std::process::id(),
+        SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+    );
+    let tmp = match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir.join(tmp_name),
+        _ => std::path::PathBuf::from(tmp_name),
+    };
+    let write_synced = || -> std::io::Result<()> {
+        use std::io::Write;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(json.as_bytes())?;
+        // The data blocks must be durable *before* the rename's
+        // metadata, or a power loss could publish a truncated file
+        // under the final name.
+        file.sync_all()
+    };
+    write_synced()
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            DbError::from(e)
+        })
+}
+
+impl ImageDatabase {
     /// Evaluates the similarity between a query and one specific record.
     ///
     /// # Errors

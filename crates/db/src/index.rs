@@ -118,6 +118,12 @@ impl ClassIndex {
         self.postings.len()
     }
 
+    /// The distinct indexed classes, in order — lets aggregators (e.g.
+    /// the sharded database) union class sets across indexes.
+    pub fn classes(&self) -> impl Iterator<Item = &ObjectClass> {
+        self.postings.keys()
+    }
+
     /// Posting-list length for one class (0 when absent).
     #[must_use]
     pub fn postings_len(&self, class: &ObjectClass) -> usize {

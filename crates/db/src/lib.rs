@@ -45,7 +45,7 @@ mod database;
 mod error;
 mod index;
 mod query;
-mod shared;
+mod shard;
 mod signature;
 /// Spatial-pattern sketches: textual queries compiled to scenes.
 pub mod sketch;
@@ -54,5 +54,5 @@ pub use database::{ImageDatabase, ImageRecord, RecordId};
 pub use error::DbError;
 pub use index::ClassIndex;
 pub use query::{CandidateSource, Parallelism, PrefilterMode, QueryOptions, SearchHit};
-pub use shared::SharedImageDatabase;
+pub use shard::{ShardStats, ShardedImageDatabase};
 pub use signature::ClassSignature;

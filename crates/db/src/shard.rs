@@ -1,0 +1,1130 @@
+//! A horizontally sharded image database with scatter-gather search.
+//!
+//! The paper's retrieval model is embarrassingly partitionable: every
+//! record scores independently against the query, so the corpus can be
+//! split into N independent shards — each a plain [`ImageDatabase`]
+//! behind its **own** reader-writer lock — and searched in parallel.
+//! Writes touch only the owning shard, so the reader/writer contention
+//! of a single-lock deployment collapses by roughly the shard count.
+//!
+//! # Routing
+//!
+//! Ids are assigned from one global monotonic counter (never reused,
+//! like the single-shard database). A record with global id `g` lives in
+//! shard `g % N` at local slot `g / N`; both directions of the mapping
+//! are O(1) and need no routing table. Because the counter is
+//! sequential, inserts round-robin across shards and each shard stays
+//! dense.
+//!
+//! # Ranking equivalence
+//!
+//! Search scatters the query to every shard (scoped threads), lets each
+//! shard produce and score its own candidates with the existing
+//! [`ImageDatabase::search`] logic, then performs a top-k heap merge of
+//! the per-shard ranked lists. Scores depend only on the record and the
+//! query — never on co-resident records — and the global tie-break
+//! (score desc, id asc) is preserved by the merge, so the ranked result
+//! is **bit-identical** to a single-shard database holding the same
+//! records (see `crates/db/tests/sharded.rs`).
+
+use crate::database::write_atomic;
+use crate::{DbError, ImageDatabase, ImageRecord, QueryOptions, RecordId, SearchHit};
+use be2d_core::{BeString2D, SymbolicImage};
+use be2d_geometry::{ObjectClass, Rect, Scene};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A cheaply clonable, thread-safe, horizontally sharded image
+/// database.
+///
+/// With `shards = 1` it behaves exactly like one [`ImageDatabase`]
+/// behind a single reader-writer lock: one record table, identical
+/// ids. With more shards, searches scatter-gather across all shards
+/// and writes lock only the owning shard.
+///
+/// # Example
+///
+/// ```
+/// use be2d_db::{ShardedImageDatabase, QueryOptions};
+/// use be2d_geometry::SceneBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let db = ShardedImageDatabase::with_shards(4);
+/// let scene = SceneBuilder::new(10, 10).object("A", (1, 5, 1, 5)).build()?;
+/// let id = db.insert_scene("one", &scene)?;
+/// let hits = db.search_scene(&scene, &QueryOptions::default());
+/// assert_eq!(hits[0].id, id);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedImageDatabase {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    shards: Vec<RwLock<ImageDatabase>>,
+    /// The next global id; increments on every insert, never reused.
+    next_id: AtomicUsize,
+    /// Serialises snapshot/restore **file I/O** (not regular traffic):
+    /// two concurrent saves to one path could otherwise delete each
+    /// other's generation files during cleanup, and a save racing a
+    /// restore could delete shard files mid-read. Always acquired
+    /// before any shard lock, so it cannot deadlock with them.
+    snapshot_io: parking_lot::Mutex<()>,
+}
+
+/// Aggregate statistics of a [`ShardedImageDatabase`], taken atomically
+/// across all shards (see [`ShardedImageDatabase::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Live records per shard, in shard order.
+    pub shard_records: Vec<usize>,
+    /// Distinct object classes across all shards (union).
+    pub classes: usize,
+    /// Total objects across all records.
+    pub objects: usize,
+}
+
+impl Default for ShardedImageDatabase {
+    fn default() -> Self {
+        ShardedImageDatabase::with_shards(1)
+    }
+}
+
+impl ShardedImageDatabase {
+    /// A single-shard database (drop-in for the unsharded deployment).
+    #[must_use]
+    pub fn new() -> Self {
+        ShardedImageDatabase::default()
+    }
+
+    /// A database split over `shards` partitions (0 is clamped to 1).
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedImageDatabase {
+            inner: Arc::new(Inner {
+                shards: (0..shards)
+                    .map(|_| RwLock::new(ImageDatabase::new()))
+                    .collect(),
+                next_id: AtomicUsize::new(0),
+                snapshot_io: parking_lot::Mutex::new(()),
+            }),
+        }
+    }
+
+    /// Re-routes an existing single-shard database into `shards`
+    /// partitions, preserving every record's global id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Persist`] when the source holds duplicate ids
+    /// (impossible for a well-formed [`ImageDatabase`]).
+    pub fn from_database(db: ImageDatabase, shards: usize) -> Result<Self, DbError> {
+        let sharded = ShardedImageDatabase::with_shards(shards);
+        {
+            let inner = &sharded.inner;
+            for record in db.iter() {
+                let (shard, local) = inner.route(record.id);
+                inner.shards[shard].write().insert_symbolic_with_id(
+                    local,
+                    &record.name,
+                    record.symbolic.clone(),
+                )?;
+            }
+            inner.next_id.store(db.next_id(), Ordering::SeqCst);
+        }
+        Ok(sharded)
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Live records per shard, in shard order (for `/stats` and
+    /// imbalance monitoring).
+    #[must_use]
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.inner.shards.iter().map(|s| s.read().len()).collect()
+    }
+
+    /// Total live records across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shard_lens().iter().sum()
+    }
+
+    /// Whether no shard holds a record.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distinct object classes across all shards (union, not sum).
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        let mut classes: BTreeSet<ObjectClass> = BTreeSet::new();
+        for shard in &self.inner.shards {
+            let guard = shard.read();
+            classes.extend(guard.class_index().classes().cloned());
+        }
+        classes.len()
+    }
+
+    /// Total objects across all records in all shards.
+    #[must_use]
+    pub fn object_count(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.read().object_count())
+            .sum()
+    }
+
+    /// All aggregate statistics observed under **one** simultaneous
+    /// read lock over every shard, so the combination is never torn by
+    /// a concurrent write (unlike calling [`shard_lens`](Self::shard_lens),
+    /// [`class_count`](Self::class_count) and
+    /// [`object_count`](Self::object_count) back to back).
+    #[must_use]
+    pub fn stats(&self) -> ShardStats {
+        let guards: Vec<_> = self.inner.shards.iter().map(RwLock::read).collect();
+        let mut classes: BTreeSet<ObjectClass> = BTreeSet::new();
+        for guard in &guards {
+            classes.extend(guard.class_index().classes().cloned());
+        }
+        ShardStats {
+            shard_records: guards.iter().map(|g| g.len()).collect(),
+            classes: classes.len(),
+            objects: guards.iter().map(|g| g.object_count()).sum(),
+        }
+    }
+
+    /// Indexes a scene. The Algorithm-1 conversion runs **outside** any
+    /// lock; only the owning shard is locked, briefly, for the actual
+    /// insert.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DbError`] from the underlying insert.
+    pub fn insert_scene(&self, name: &str, scene: &Scene) -> Result<RecordId, DbError> {
+        self.insert_symbolic(name, SymbolicImage::from_scene(scene))
+    }
+
+    /// Stores a pre-converted symbolic picture in the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DbError`] from the underlying insert.
+    pub fn insert_symbolic(
+        &self,
+        name: &str,
+        symbolic: SymbolicImage,
+    ) -> Result<RecordId, DbError> {
+        // An id is allocated before the shard lock is taken, so a
+        // concurrent restore can swap in a corpus that already occupies
+        // the allocated slot. Occupied slots are skipped with a fresh
+        // id: the restore healed the counter above every restored slot
+        // (see `restore_from`), so a retry finds a free one. The bound
+        // only guards against a pathological stream of racing restores.
+        for _ in 0..64 {
+            let id = RecordId(self.inner.next_id.fetch_add(1, Ordering::SeqCst));
+            let (shard, local) = self.inner.route(id);
+            let mut guard = self.inner.shards[shard].write();
+            if guard.get(local).is_some() {
+                continue;
+            }
+            guard.insert_symbolic_with_id(local, name, symbolic)?;
+            return Ok(id);
+        }
+        Err(DbError::Persist {
+            reason: "insert kept colliding with concurrently restored records".into(),
+        })
+    }
+
+    /// Removes a record from its owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownRecord`] (with the global id) for dead
+    /// or unassigned ids.
+    pub fn remove(&self, id: RecordId) -> Result<(), DbError> {
+        let (shard, local) = self.inner.route(id);
+        self.inner.shards[shard]
+            .write()
+            .remove(local)
+            .map(|_| ())
+            .map_err(|e| self.inner.globalise_error(e, id))
+    }
+
+    /// Looks a record up, returning a clone with its **global** id.
+    #[must_use]
+    pub fn get(&self, id: RecordId) -> Option<ImageRecord> {
+        let (shard, local) = self.inner.route(id);
+        let record = self.inner.shards[shard].read().get(local).cloned();
+        record.map(|mut r| {
+            r.id = id;
+            r
+        })
+    }
+
+    /// Incremental §3.2 object insertion (locks only the owning shard).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying error; the record is unchanged on error.
+    pub fn add_object(&self, id: RecordId, class: &ObjectClass, mbr: Rect) -> Result<(), DbError> {
+        let (shard, local) = self.inner.route(id);
+        self.inner.shards[shard]
+            .write()
+            .add_object(local, class, mbr)
+            .map_err(|e| self.inner.globalise_error(e, id))
+    }
+
+    /// Incremental §3.2 object removal (locks only the owning shard).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying error; the record is unchanged on error.
+    pub fn remove_object(
+        &self,
+        id: RecordId,
+        class: &ObjectClass,
+        mbr: Rect,
+    ) -> Result<(), DbError> {
+        let (shard, local) = self.inner.route(id);
+        self.inner.shards[shard]
+            .write()
+            .remove_object(local, class, mbr)
+            .map_err(|e| self.inner.globalise_error(e, id))
+    }
+
+    /// Scatter-gather ranked search: every shard scores its own
+    /// candidates concurrently (scoped threads, one per shard, plus the
+    /// per-shard [`Parallelism`](crate::Parallelism) policy within each),
+    /// then the per-shard ranked lists are merged with a top-k heap.
+    ///
+    /// Ranking — ids, scores, and tie-breaks — is bit-identical to a
+    /// single-shard [`ImageDatabase::search`] over the same records.
+    #[must_use]
+    pub fn search(&self, query: &BeString2D, options: &QueryOptions) -> Vec<SearchHit> {
+        let n = self.inner.shards.len();
+        if n == 1 {
+            // Local ids == global ids: no remap, no merge, no threads.
+            return self.inner.shards[0].read().search(query, options);
+        }
+        let scan_shard = |shard: usize, lock: &RwLock<ImageDatabase>| {
+            let mut hits = lock.read().search(query, options);
+            // Local slot l in shard s is global id l·N + s; the map is
+            // monotonic, so each list stays sorted.
+            for hit in &mut hits {
+                hit.id = RecordId(hit.id.index() * n + shard);
+            }
+            hits
+        };
+        // Scatter threads only pay off when there is real scoring work
+        // to split: on a single-core host, or below ~MIN_RECORDS total
+        // records (next_id is a cheap upper bound), per-query thread
+        // spawns would dominate the microsecond-scale scans, so gather
+        // sequentially instead (results are identical either way).
+        const SCATTER_MIN_RECORDS: usize = 64;
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let sequential =
+            cores == 1 || self.inner.next_id.load(Ordering::Relaxed) < SCATTER_MIN_RECORDS;
+        let per_shard: Vec<Vec<SearchHit>> = if sequential {
+            self.inner
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(shard, lock)| scan_shard(shard, lock))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .inner
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .map(|(shard, lock)| scope.spawn(move || scan_shard(shard, lock)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard search panicked"))
+                    .collect()
+            })
+        };
+        merge_top_k(per_shard, options.top_k)
+    }
+
+    /// Scatter-gather search with a scene query (converted once, outside
+    /// all locks).
+    #[must_use]
+    pub fn search_scene(&self, query: &Scene, options: &QueryOptions) -> Vec<SearchHit> {
+        self.search(&be2d_core::convert_scene(query), options)
+    }
+
+    /// Scatter-gather search with textual BE-strings (parsed once).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors from the query strings.
+    pub fn search_text(
+        &self,
+        u: &str,
+        v: &str,
+        options: &QueryOptions,
+    ) -> Result<Vec<SearchHit>, DbError> {
+        let query = BeString2D::parse(u, v).map_err(DbError::from)?;
+        Ok(self.search(&query, options))
+    }
+
+    /// Clones a consistent point-in-time copy of every shard.
+    ///
+    /// Read locks are taken on **all** shards before the first clone (in
+    /// shard order — writers hold at most one lock, so this cannot
+    /// deadlock), so the copies observe one global state.
+    #[must_use]
+    pub fn snapshot_shards(&self) -> (Vec<ImageDatabase>, usize) {
+        let guards: Vec<_> = self.inner.shards.iter().map(RwLock::read).collect();
+        let next_id = self.inner.next_id.load(Ordering::SeqCst);
+        (guards.iter().map(|g| (**g).clone()).collect(), next_id)
+    }
+
+    /// Saves a consistent snapshot: one manifest at `path` plus one
+    /// `<path>.g<snapshot-id>.shardK` file per shard, every file written
+    /// crash-safely (temp + `sync_all` + rename, like
+    /// [`ImageDatabase::save`]). Shard file names embed the snapshot
+    /// generation, so a failed or crashed save never disturbs the
+    /// previous generation's files — the old manifest keeps pointing at
+    /// a complete, restorable snapshot. The manifest is written last and
+    /// carries the snapshot id every shard file must echo, so a mixed
+    /// state can never restore silently. After a successful save, shard
+    /// files of superseded generations are cleaned up best-effort.
+    ///
+    /// Locks are held only while cloning; serialisation and I/O happen
+    /// outside them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DbError`] from serialisation or file I/O.
+    pub fn save_snapshot(&self, path: &Path) -> Result<usize, DbError> {
+        // One snapshot/restore at a time per database: concurrent saves
+        // to the same path must not garbage-collect each other's shard
+        // files (see `cleanup_stale_generations`).
+        let _io = self.inner.snapshot_io.lock();
+        let (shards, next_id) = self.snapshot_shards();
+        let records: usize = shards.iter().map(ImageDatabase::len).sum();
+        let snapshot_id = fresh_snapshot_id();
+        let manifest_name = file_name_of(path)?;
+
+        let shard_count = shards.len();
+        let mut files = Vec::with_capacity(shard_count);
+        for (shard, db) in shards.into_iter().enumerate() {
+            let name = shard_file_name(&manifest_name, snapshot_id, shard);
+            let shard_file = ShardFile {
+                format: SHARD_FORMAT.to_owned(),
+                snapshot_id,
+                shard,
+                of: shard_count,
+                db,
+            };
+            let json = serde_json::to_string(&shard_file).map_err(|e| DbError::Persist {
+                reason: e.to_string(),
+            })?;
+            write_atomic(&sibling(path, &name), &json)?;
+            files.push(name);
+        }
+        let manifest = ShardManifest {
+            format: MANIFEST_FORMAT.to_owned(),
+            version: 1,
+            snapshot_id,
+            shards: shard_count,
+            next_id,
+            records,
+            files,
+        };
+        let json = serde_json::to_string(&manifest).map_err(|e| DbError::Persist {
+            reason: e.to_string(),
+        })?;
+        write_atomic(path, &json)?;
+        cleanup_stale_generations(path, &manifest_name);
+        Ok(records)
+    }
+
+    /// Restores the database from `path`, replacing all current
+    /// contents.
+    ///
+    /// Accepts either a sharded manifest written by
+    /// [`save_snapshot`](Self::save_snapshot) or a plain
+    /// [`ImageDatabase::save`] file (backwards compatibility). When the
+    /// snapshot's shard count differs from this database's, every record
+    /// is **re-routed** to its new owning shard by global id; ids are
+    /// preserved either way. Shard files are validated against the
+    /// manifest (snapshot id, shard index, shard count) before anything
+    /// is replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Persist`] for malformed or inconsistent
+    /// snapshot files and propagates I/O errors. On error the in-memory
+    /// database is untouched.
+    pub fn restore_from(&self, path: &Path) -> Result<usize, DbError> {
+        // Excludes concurrent saves, whose generation cleanup could
+        // otherwise delete the shard files this restore is mid-reading.
+        let _io = self.inner.snapshot_io.lock();
+        let text = std::fs::read_to_string(path)?;
+        let (saved, next_id) = if let Ok(manifest) = serde_json::from_str::<ShardManifest>(&text) {
+            (load_manifest_shards(path, &manifest)?, manifest.next_id)
+        } else {
+            // Plain single-shard snapshot: treat it as a 1-shard save.
+            let db = ImageDatabase::from_json(&text)?;
+            let next_id = db.next_id();
+            (vec![db], next_id)
+        };
+        let n = self.inner.shards.len();
+
+        // Build the complete new topology outside the locks.
+        let mut rebuilt: Vec<ImageDatabase> = (0..n).map(|_| ImageDatabase::new()).collect();
+        let saved_n = saved.len();
+        if saved_n == n {
+            rebuilt = saved;
+        } else {
+            for (old_shard, db) in saved.into_iter().enumerate() {
+                for record in db.iter() {
+                    let global = RecordId(record.id.index() * saved_n + old_shard);
+                    let (shard, local) = self.inner.route(global);
+                    rebuilt[shard].insert_symbolic_with_id(
+                        local,
+                        &record.name,
+                        record.symbolic.clone(),
+                    )?;
+                }
+            }
+        }
+        let records = rebuilt.iter().map(ImageDatabase::len).sum();
+
+        // The id counter must end up strictly above every slot the
+        // restored records occupy — a corrupt manifest could understate
+        // `next_id`, which would poison all future inserts with
+        // slot-occupied errors.
+        let mut required = next_id;
+        for (shard, db) in rebuilt.iter().enumerate() {
+            if db.next_id() > 0 {
+                required = required.max((db.next_id() - 1) * n + shard + 1);
+            }
+        }
+
+        // Swap everything in under all write locks (taken in shard
+        // order) so readers never observe a half-restored state.
+        let mut guards: Vec<_> = self.inner.shards.iter().map(RwLock::write).collect();
+        for (guard, db) in guards.iter_mut().zip(rebuilt) {
+            **guard = db;
+        }
+        // `fetch_max`, never `store`: an insert racing this restore may
+        // have allocated a high id before we took the write locks. If
+        // its shard insert lands after the swap on a free slot, that
+        // insert linearises *after* the restore and its record
+        // legitimately survives — its id must never be re-issued, so the
+        // counter cannot move backwards past it. If its slot is occupied
+        // by a restored record instead, `insert_symbolic` skips to a
+        // fresh id (see the retry loop there).
+        self.inner.next_id.fetch_max(required, Ordering::SeqCst);
+        Ok(records)
+    }
+
+    /// Runs a closure with shared read access to one shard — for
+    /// shard-local multi-call read sequences (tests, diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= shard_count()`.
+    pub fn with_shard_read<R>(&self, shard: usize, f: impl FnOnce(&ImageDatabase) -> R) -> R {
+        f(&self.inner.shards[shard].read())
+    }
+}
+
+impl Inner {
+    /// Global id → (owning shard, local id inside it).
+    fn route(&self, id: RecordId) -> (usize, RecordId) {
+        let n = self.shards.len();
+        (id.index() % n, RecordId(id.index() / n))
+    }
+
+    /// Rewrites shard-local [`DbError::UnknownRecord`] ids back to the
+    /// global id the caller used.
+    fn globalise_error(&self, e: DbError, global: RecordId) -> DbError {
+        match e {
+            DbError::UnknownRecord { .. } => DbError::UnknownRecord { id: global.index() },
+            other => other,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Top-k heap merge
+// ---------------------------------------------------------------------------
+
+/// One head-of-list entry in the merge heap; ordered like the global
+/// ranking (higher score wins, ties to the smaller id).
+struct Head {
+    hit: SearchHit,
+    list: usize,
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Head {}
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: greatest = best (score desc, id asc).
+        self.hit
+            .score
+            .total_cmp(&other.hit.score)
+            .then_with(|| other.hit.id.cmp(&self.hit.id))
+    }
+}
+
+/// K-way merges per-shard ranked lists (each already sorted by score
+/// desc, id asc) into one global ranking, stopping after `top_k` hits.
+fn merge_top_k(lists: Vec<Vec<SearchHit>>, top_k: Option<usize>) -> Vec<SearchHit> {
+    use std::collections::BinaryHeap;
+
+    let cap = top_k.unwrap_or(usize::MAX);
+    let mut cursors: Vec<std::vec::IntoIter<SearchHit>> =
+        lists.into_iter().map(Vec::into_iter).collect();
+    let mut heap: BinaryHeap<Head> = BinaryHeap::with_capacity(cursors.len());
+    for (list, cursor) in cursors.iter_mut().enumerate() {
+        if let Some(hit) = cursor.next() {
+            heap.push(Head { hit, list });
+        }
+    }
+    let mut out = Vec::new();
+    while out.len() < cap {
+        let Some(Head { hit, list }) = heap.pop() else {
+            break;
+        };
+        out.push(hit);
+        if let Some(next) = cursors[list].next() {
+            heap.push(Head { hit: next, list });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot format
+// ---------------------------------------------------------------------------
+
+const MANIFEST_FORMAT: &str = "be2d-shard-manifest";
+const SHARD_FORMAT: &str = "be2d-shard";
+
+/// The manifest written at the snapshot path proper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ShardManifest {
+    format: String,
+    version: u32,
+    /// Echoed by every shard file of the same snapshot generation.
+    snapshot_id: u64,
+    shards: usize,
+    next_id: usize,
+    records: usize,
+    /// Plain file names next to the manifest (no directories).
+    files: Vec<String>,
+}
+
+/// One per-shard snapshot file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ShardFile {
+    format: String,
+    snapshot_id: u64,
+    shard: usize,
+    of: usize,
+    db: ImageDatabase,
+}
+
+/// A practically unique snapshot id: wall-clock nanos mixed with a
+/// process-local counter and the pid, so two snapshots — even in the
+/// same nanosecond or from two processes — get distinct generations.
+fn fresh_snapshot_id() -> u64 {
+    use std::sync::atomic::AtomicU64;
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| {
+            u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(0)
+        });
+    nanos ^ SEQ.fetch_add(1, Ordering::Relaxed).rotate_left(32) ^ u64::from(std::process::id())
+}
+
+fn file_name_of(path: &Path) -> Result<String, DbError> {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .ok_or_else(|| DbError::Persist {
+            reason: format!("snapshot path {} has no file name", path.display()),
+        })
+}
+
+/// `manifest.json` → `manifest.json.g1f3a.shard3`. The generation in
+/// the name keeps every snapshot's files disjoint from its
+/// predecessors'.
+fn shard_file_name(manifest_name: &str, snapshot_id: u64, shard: usize) -> String {
+    format!("{manifest_name}.g{snapshot_id:x}.shard{shard}")
+}
+
+/// Best-effort removal of shard files from superseded snapshot
+/// generations: everything shaped `<manifest>.g*.shard*` that the
+/// manifest **currently on disk** does not reference. The manifest is
+/// re-read (instead of trusting the one just written) so a concurrent
+/// save that won the manifest race does not get its files deleted.
+fn cleanup_stale_generations(manifest_path: &Path, manifest_name: &str) {
+    let Some(dir) = manifest_path.parent().filter(|d| !d.as_os_str().is_empty()) else {
+        return;
+    };
+    let referenced: Vec<String> = std::fs::read_to_string(manifest_path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<ShardManifest>(&text).ok())
+        .map(|manifest| manifest.files)
+        .unwrap_or_default();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let prefix = format!("{manifest_name}.g");
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with(&prefix)
+            && name.contains(".shard")
+            && !referenced.iter().any(|f| f == &name)
+        {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// A path next to `path` with the given file name.
+fn sibling(path: &Path, name: &str) -> PathBuf {
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir.join(name),
+        _ => PathBuf::from(name),
+    }
+}
+
+/// Loads and validates every shard file a manifest names.
+fn load_manifest_shards(
+    manifest_path: &Path,
+    manifest: &ShardManifest,
+) -> Result<Vec<ImageDatabase>, DbError> {
+    let invalid = |reason: String| DbError::Persist { reason };
+    if manifest.format != MANIFEST_FORMAT {
+        return Err(invalid(format!(
+            "unknown manifest format {:?}",
+            manifest.format
+        )));
+    }
+    if manifest.shards == 0 || manifest.files.len() != manifest.shards {
+        return Err(invalid(format!(
+            "manifest names {} files for {} shards",
+            manifest.files.len(),
+            manifest.shards
+        )));
+    }
+    let mut out = Vec::with_capacity(manifest.shards);
+    for (shard, name) in manifest.files.iter().enumerate() {
+        // The manifest may come from an untrusted snapshot directory:
+        // never let it name files outside the manifest's own directory.
+        if name.is_empty() || name.contains(['/', '\\']) || name == "." || name == ".." {
+            return Err(invalid(format!("manifest names an unsafe file {name:?}")));
+        }
+        let path = sibling(manifest_path, name);
+        let text = std::fs::read_to_string(&path)?;
+        let file: ShardFile = serde_json::from_str(&text)
+            .map_err(|e| invalid(format!("shard file {} is malformed: {e}", path.display())))?;
+        if file.format != SHARD_FORMAT {
+            return Err(invalid(format!(
+                "shard file {} has unknown format {:?}",
+                path.display(),
+                file.format
+            )));
+        }
+        if file.snapshot_id != manifest.snapshot_id {
+            return Err(invalid(format!(
+                "shard file {} belongs to snapshot {} but the manifest is snapshot {} \
+                 (torn or mixed snapshot generations)",
+                path.display(),
+                file.snapshot_id,
+                manifest.snapshot_id
+            )));
+        }
+        if file.shard != shard || file.of != manifest.shards {
+            return Err(invalid(format!(
+                "shard file {} claims shard {}/{} but the manifest expects {}/{}",
+                path.display(),
+                file.shard,
+                file.of,
+                shard,
+                manifest.shards
+            )));
+        }
+        out.push(file.db);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PrefilterMode;
+    use be2d_geometry::SceneBuilder;
+
+    fn scene(x: i64) -> Scene {
+        SceneBuilder::new(100, 100)
+            .object("A", (x, x + 10, 10, 20))
+            .object("B", (50, 90, 50, 90))
+            .build()
+            .unwrap()
+    }
+
+    fn filled(shards: usize, n: i64) -> ShardedImageDatabase {
+        let db = ShardedImageDatabase::with_shards(shards);
+        for i in 0..n {
+            db.insert_scene(&format!("img{i}"), &scene(i % 40)).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn ids_are_global_and_sequential() {
+        let db = filled(4, 10);
+        assert_eq!(db.len(), 10);
+        assert_eq!(db.shard_count(), 4);
+        assert_eq!(db.shard_lens(), vec![3, 3, 2, 2], "round-robin routing");
+        for i in 0..10 {
+            let record = db.get(RecordId(i)).expect("live record");
+            assert_eq!(record.id, RecordId(i));
+            assert_eq!(record.name, format!("img{i}"));
+        }
+        assert!(db.get(RecordId(10)).is_none());
+    }
+
+    #[test]
+    fn remove_and_edit_route_to_owner() {
+        let db = filled(3, 9);
+        db.remove(RecordId(4)).unwrap();
+        assert!(db.get(RecordId(4)).is_none());
+        assert_eq!(db.len(), 8);
+        assert!(matches!(
+            db.remove(RecordId(4)),
+            Err(DbError::UnknownRecord { id: 4 })
+        ));
+        // ids are never reused after removal
+        let next = db.insert_scene("late", &scene(1)).unwrap();
+        assert_eq!(next, RecordId(9));
+
+        db.add_object(
+            RecordId(5),
+            &ObjectClass::new("X"),
+            Rect::new(0, 5, 0, 5).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(db.get(RecordId(5)).unwrap().symbolic.object_count(), 3);
+        db.remove_object(
+            RecordId(5),
+            &ObjectClass::new("X"),
+            Rect::new(0, 5, 0, 5).unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            db.add_object(
+                RecordId(77),
+                &ObjectClass::new("X"),
+                Rect::new(0, 5, 0, 5).unwrap()
+            ),
+            Err(DbError::UnknownRecord { id: 77 })
+        ));
+    }
+
+    #[test]
+    fn aggregate_counters() {
+        let db = filled(4, 12);
+        assert_eq!(db.object_count(), 24);
+        assert_eq!(db.class_count(), 2, "classes are a union, not a sum");
+        assert!(!db.is_empty());
+        assert!(ShardedImageDatabase::with_shards(0).shard_count() == 1);
+    }
+
+    #[test]
+    fn merge_top_k_orders_and_truncates() {
+        let q = be2d_core::convert_scene(&scene(0));
+        let sim = be2d_core::similarity(&q, &q);
+        let hit = move |id: usize, score: f64| SearchHit {
+            id: RecordId(id),
+            name: format!("r{id}"),
+            score,
+            transform: be2d_geometry::Transform::Identity,
+            similarity: be2d_core::Similarity { score, ..sim },
+        };
+        let lists = vec![
+            vec![hit(0, 0.9), hit(2, 0.5)],
+            vec![hit(3, 0.9), hit(1, 0.7)],
+            vec![],
+        ];
+        let merged = merge_top_k(lists.clone(), None);
+        let ids: Vec<usize> = merged.iter().map(|h| h.id.index()).collect();
+        // 0.9 tie broken by id asc, then 0.7, then 0.5
+        assert_eq!(ids, vec![0, 3, 1, 2]);
+        let top2 = merge_top_k(lists, Some(2));
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[1].id, RecordId(3));
+    }
+
+    #[test]
+    fn search_matches_across_shard_counts() {
+        let query = scene(7);
+        let single = filled(1, 30);
+        let expect = single.search_scene(&query, &QueryOptions::default());
+        for shards in [2, 4, 8] {
+            let db = filled(shards, 30);
+            let hits = db.search_scene(&query, &QueryOptions::default());
+            assert_eq!(hits.len(), expect.len());
+            for (a, b) in expect.iter().zip(&hits) {
+                assert_eq!(a.id, b.id, "{shards} shards");
+                assert!((a.score - b.score).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn search_text_and_prefilter_options() {
+        let db = filled(4, 20);
+        let target = db.get(RecordId(3)).unwrap().symbolic.to_be_string_2d();
+        let hits = db
+            .search_text(
+                &target.x().to_string(),
+                &target.y().to_string(),
+                &QueryOptions {
+                    prefilter: PrefilterMode::AllClasses,
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap();
+        // Every scene(x) with x >= 1 shares one BE-string (translation
+        // preserves boundary order; x = 0 touches the frame edge), so
+        // those records tie at 1.0 and the global tie-break (id asc)
+        // must hold across shard boundaries.
+        assert_eq!(hits[0].id, RecordId(1));
+        assert!((hits[0].score - 1.0).abs() < 1e-12);
+        assert!(hits.iter().any(|h| h.id == RecordId(3)));
+        assert!(hits.windows(2).all(|w| w[0].id < w[1].id), "tie order");
+        assert!(db
+            .search_text("broken", "E", &QueryOptions::default())
+            .is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_same_topology() {
+        let dir = std::env::temp_dir().join(format!("be2d_shard_snap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+
+        let db = filled(4, 11);
+        db.remove(RecordId(6)).unwrap();
+        assert_eq!(db.save_snapshot(&path).unwrap(), 10);
+        let manifest: ShardManifest =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(manifest.files.len(), 4);
+        for name in &manifest.files {
+            assert!(dir.join(name).is_file(), "{name}");
+        }
+
+        // A second save supersedes the first generation and cleans its
+        // shard files up; the new manifest stays restorable.
+        assert_eq!(db.save_snapshot(&path).unwrap(), 10);
+        for name in &manifest.files {
+            assert!(!dir.join(name).exists(), "stale generation {name} kept");
+        }
+
+        let back = ShardedImageDatabase::with_shards(4);
+        assert_eq!(back.restore_from(&path).unwrap(), 10);
+        assert_eq!(back.len(), 10);
+        assert_eq!(back.shard_lens(), db.shard_lens());
+        assert!(back.get(RecordId(6)).is_none());
+        assert_eq!(back.get(RecordId(7)).unwrap().name, "img7");
+        // the id counter survives: the next insert continues the sequence
+        assert_eq!(back.insert_scene("next", &scene(2)).unwrap(), RecordId(11));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_reroutes_on_shard_count_change() {
+        let dir = std::env::temp_dir().join(format!("be2d_shard_reroute_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+
+        let db = filled(4, 13);
+        db.remove(RecordId(2)).unwrap();
+        db.save_snapshot(&path).unwrap();
+
+        for target in [1usize, 2, 8] {
+            let back = ShardedImageDatabase::with_shards(target);
+            assert_eq!(back.restore_from(&path).unwrap(), 12, "{target} shards");
+            for i in 0..13usize {
+                match (i, back.get(RecordId(i))) {
+                    (2, found) => assert!(found.is_none()),
+                    (_, Some(record)) => {
+                        assert_eq!(record.name, format!("img{i}"));
+                        assert_eq!(
+                            record.symbolic,
+                            db.get(RecordId(i)).unwrap().symbolic,
+                            "content survives re-routing"
+                        );
+                    }
+                    (_, None) => panic!("record {i} lost in {target}-shard restore"),
+                }
+            }
+            assert_eq!(back.insert_scene("next", &scene(0)).unwrap(), RecordId(13));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_heals_understated_manifest_next_id() {
+        let dir = std::env::temp_dir().join(format!("be2d_shard_nextid_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+
+        let db = filled(2, 9);
+        db.save_snapshot(&path).unwrap();
+        // Corrupt the manifest: claim the id counter is far below the
+        // ids the shard files actually hold.
+        let manifest = std::fs::read_to_string(&path).unwrap();
+        assert!(manifest.contains("\"next_id\":9"), "{manifest}");
+        std::fs::write(&path, manifest.replace("\"next_id\":9", "\"next_id\":1")).unwrap();
+
+        let back = ShardedImageDatabase::with_shards(2);
+        assert_eq!(back.restore_from(&path).unwrap(), 9);
+        // The counter is healed from the occupied slots: the next insert
+        // must not collide with a restored record.
+        assert_eq!(back.insert_scene("next", &scene(1)).unwrap(), RecordId(9));
+        assert_eq!(back.len(), 10);
+
+        // Restoring into a database whose counter is already higher
+        // never moves the counter backwards (ids are never reused).
+        let busy = filled(2, 20);
+        assert_eq!(busy.restore_from(&path).unwrap(), 9);
+        assert_eq!(busy.insert_scene("after", &scene(1)).unwrap(), RecordId(20));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_aggregates_consistently() {
+        let db = filled(3, 10);
+        let stats = db.stats();
+        assert_eq!(stats.shard_records, db.shard_lens());
+        assert_eq!(stats.shard_records.iter().sum::<usize>(), 10);
+        assert_eq!(stats.classes, 2);
+        assert_eq!(stats.objects, 20);
+    }
+
+    #[test]
+    fn restore_accepts_plain_database_files() {
+        let dir = std::env::temp_dir().join(format!("be2d_shard_plain_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plain.json");
+
+        let mut plain = ImageDatabase::new();
+        for i in 0..5i64 {
+            plain.insert_scene(&format!("img{i}"), &scene(i)).unwrap();
+        }
+        plain.remove(RecordId(1)).unwrap();
+        plain.save(&path).unwrap();
+
+        let db = ShardedImageDatabase::with_shards(3);
+        assert_eq!(db.restore_from(&path).unwrap(), 4);
+        assert!(db.get(RecordId(1)).is_none());
+        assert_eq!(db.get(RecordId(4)).unwrap().name, "img4");
+        assert_eq!(db.insert_scene("next", &scene(0)).unwrap(), RecordId(5));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_rejects_torn_snapshots() {
+        let dir = std::env::temp_dir().join(format!("be2d_shard_torn_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+
+        let db = filled(2, 6);
+        db.save_snapshot(&path).unwrap();
+        let manifest: ShardManifest =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        // Overwrite shard 1 with a file from a *different* snapshot
+        // generation — the mixed state must be rejected.
+        let other = filled(2, 3);
+        let other_path = dir.join("other.json");
+        other.save_snapshot(&other_path).unwrap();
+        let other_manifest: ShardManifest =
+            serde_json::from_str(&std::fs::read_to_string(&other_path).unwrap()).unwrap();
+        std::fs::copy(
+            dir.join(&other_manifest.files[1]),
+            dir.join(&manifest.files[1]),
+        )
+        .unwrap();
+
+        let back = ShardedImageDatabase::with_shards(2);
+        let err = back.restore_from(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("snapshot"),
+            "torn snapshot must fail loudly: {err}"
+        );
+        assert!(back.is_empty(), "failed restore must not mutate");
+
+        // a missing shard file is also loud
+        std::fs::remove_file(dir.join(&manifest.files[0])).unwrap();
+        assert!(back.restore_from(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_database_preserves_ids() {
+        let mut plain = ImageDatabase::new();
+        for i in 0..7i64 {
+            plain.insert_scene(&format!("img{i}"), &scene(i)).unwrap();
+        }
+        plain.remove(RecordId(3)).unwrap();
+        let query = scene(4);
+        let expect = plain.search_scene(&query, &QueryOptions::default());
+
+        let db = ShardedImageDatabase::from_database(plain, 4).unwrap();
+        assert_eq!(db.len(), 6);
+        assert!(db.get(RecordId(3)).is_none());
+        let hits = db.search_scene(&query, &QueryOptions::default());
+        assert_eq!(
+            expect.iter().map(|h| h.id).collect::<Vec<_>>(),
+            hits.iter().map(|h| h.id).collect::<Vec<_>>()
+        );
+        assert_eq!(db.insert_scene("next", &scene(0)).unwrap(), RecordId(7));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let db = ShardedImageDatabase::with_shards(2);
+        let other = db.clone();
+        db.insert_scene("one", &scene(0)).unwrap();
+        assert_eq!(other.len(), 1);
+        assert_eq!(other.with_shard_read(0, ImageDatabase::len), 1);
+    }
+}

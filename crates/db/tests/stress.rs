@@ -1,10 +1,10 @@
-//! Concurrent-correctness stress test: one [`SharedImageDatabase`]
+//! Concurrent-correctness stress test: one [`ShardedImageDatabase`]
 //! hammered by mixed reader/writer threads, with every observed search
 //! result set checked for internal consistency — no torn reads, no
 //! panics, no half-applied edits visible to readers.
 
 use be2d_db::{
-    ImageDatabase, Parallelism, PrefilterMode, QueryOptions, RecordId, SharedImageDatabase,
+    ImageDatabase, Parallelism, PrefilterMode, QueryOptions, RecordId, ShardedImageDatabase,
 };
 use be2d_geometry::{ObjectClass, Rect, Scene, SceneBuilder};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -46,7 +46,10 @@ fn check_consistent(hits: &[be2d_db::SearchHit], options: &QueryOptions) {
 
 #[test]
 fn mixed_readers_and_writers_stay_consistent() {
-    let db = SharedImageDatabase::new();
+    // 4 shards: the stress covers cross-shard scatter-gather reads
+    // racing per-shard writes (with_shards(1) is the single-lock case,
+    // which the unit tests already exercise).
+    let db = ShardedImageDatabase::with_shards(4);
     for i in 0..64 {
         db.insert_scene(&format!("seed{i}"), &scene(i, i % 3 == 0))
             .expect("seed insert");
@@ -88,10 +91,12 @@ fn mixed_readers_and_writers_stay_consistent() {
             let stop = &stop;
             s.spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
-                    let snapshot = db.snapshot();
-                    let json = snapshot.to_json().expect("serialises");
-                    let back = ImageDatabase::from_json(&json).expect("parses back");
-                    assert_eq!(back.len(), snapshot.len(), "no torn snapshot");
+                    let (shards, _) = db.snapshot_shards();
+                    for shard in &shards {
+                        let json = shard.to_json().expect("serialises");
+                        let back = ImageDatabase::from_json(&json).expect("parses back");
+                        assert_eq!(back.len(), shard.len(), "no torn shard snapshot");
+                    }
                 }
             });
         }
@@ -147,9 +152,13 @@ fn mixed_readers_and_writers_stay_consistent() {
             .is_empty(),
         "every add_object was matched by its remove_object"
     );
-    let json = db.snapshot().to_json().expect("final snapshot");
-    assert_eq!(
-        ImageDatabase::from_json(&json).expect("parses").len(),
-        db.len()
-    );
+    let (shards, _) = db.snapshot_shards();
+    let restored: usize = shards
+        .iter()
+        .map(|shard| {
+            let json = shard.to_json().expect("final snapshot");
+            ImageDatabase::from_json(&json).expect("parses").len()
+        })
+        .sum();
+    assert_eq!(restored, db.len());
 }

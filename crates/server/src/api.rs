@@ -539,6 +539,11 @@ pub struct StatsResponse {
     pub classes: usize,
     /// Total objects across all records.
     pub objects: usize,
+    /// Database shards serving this instance.
+    pub shards: usize,
+    /// Live records per shard, in shard order — the hot-shard imbalance
+    /// signal.
+    pub shard_records: Vec<usize>,
     /// Requests fully served (any status) since boot.
     pub requests: u64,
     /// Searches served since boot.

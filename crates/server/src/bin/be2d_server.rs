@@ -9,7 +9,7 @@
 //! this to learn the ephemeral port) and `be2d-server shutdown complete`
 //! after a graceful shutdown.
 
-use be2d_db::{ImageDatabase, SharedImageDatabase};
+use be2d_db::ShardedImageDatabase;
 use be2d_server::{Server, ServerConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,6 +20,8 @@ fn usage() -> &'static str {
      options:\n\
        --addr HOST:PORT   bind address (default 127.0.0.1:0; port 0 = ephemeral)\n\
        --threads N        worker threads (default: host parallelism)\n\
+       --shards N         database shards: searches scatter-gather, writes lock\n\
+                          only the owning shard (default 1)\n\
        --queue N          pending-connection queue before 503 shedding (default 64)\n\
        --keep-alive N     requests served per connection (default 256)\n\
        --db PATH          load this snapshot into the database at boot\n\
@@ -46,6 +48,11 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<PathBuf>), String
                 config.threads = value("--threads")?
                     .parse()
                     .map_err(|_| "--threads must be a number".to_owned())?;
+            }
+            "--shards" => {
+                config.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards must be a number".to_owned())?;
             }
             "--queue" => {
                 config.queue_capacity = value("--queue")?
@@ -82,17 +89,27 @@ fn main() -> ExitCode {
     };
 
     let db = match &preload {
-        Some(path) => match ImageDatabase::load(path) {
-            Ok(db) => {
-                eprintln!("loaded {} records from {}", db.len(), path.display());
-                SharedImageDatabase::from_database(db)
+        Some(path) => {
+            // A preload file may be a plain snapshot or a sharded
+            // manifest; restore_from handles both and re-routes records
+            // into the configured shard topology.
+            let db = ShardedImageDatabase::with_shards(config.shards);
+            match db.restore_from(path) {
+                Ok(records) => {
+                    eprintln!(
+                        "loaded {records} records from {} into {} shard(s)",
+                        path.display(),
+                        db.shard_count()
+                    );
+                    db
+                }
+                Err(e) => {
+                    eprintln!("error: cannot load {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
             }
-            Err(e) => {
-                eprintln!("error: cannot load {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        },
-        None => SharedImageDatabase::new(),
+        }
+        None => ShardedImageDatabase::with_shards(config.shards),
     };
 
     let server = match Server::with_database(config, db) {

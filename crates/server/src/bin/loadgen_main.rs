@@ -23,6 +23,9 @@ fn usage() -> &'static str {
        --connections N     concurrent connections (default 4)\n\
        --rate R            open-loop req/s across all connections (default 0 = closed loop)\n\
        --mix SPEC          op mix, e.g. insert=15,search=70,sketch=5 (default: serving mix)\n\
+       --skew SPEC         hot/cold target skew: P (hot prob, 10% hot prefix),\n\
+                           P/F (explicit hot fraction) or P/sN (hot = ids divisible\n\
+                           by N; N = server shards aims edits at shard 0). default: uniform\n\
        --seed S            master seed (default 42)\n\
        --prefill N         images inserted before the timed run (default 64)\n\
        --out PATH          write the JSON report here (default BENCH_server.json)\n\
@@ -50,7 +53,8 @@ fn parse_args(args: &[String]) -> Result<(LoadgenConfig, String), String> {
                     .next();
             }
             "--out" => out = value,
-            "--requests" | "--connections" | "--rate" | "--mix" | "--seed" | "--prefill" => {
+            "--requests" | "--connections" | "--rate" | "--mix" | "--skew" | "--seed"
+            | "--prefill" => {
                 overrides.push((flag.clone(), value));
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -76,6 +80,7 @@ fn parse_args(args: &[String]) -> Result<(LoadgenConfig, String), String> {
                     .map_err(|_| "--rate must be a number".to_owned())?;
             }
             "--mix" => config.mix = value.parse()?,
+            "--skew" => config.skew = value.parse()?,
             "--seed" => {
                 config.seed = value
                     .parse()

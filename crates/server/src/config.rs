@@ -14,6 +14,11 @@ pub struct ServerConfig {
     /// Worker threads; 0 means `available_parallelism` (clamped to
     /// [2, 32]).
     pub threads: usize,
+    /// Database shards. 1 (the default) behaves exactly like the
+    /// unsharded deployment; more shards scatter-gather searches and
+    /// confine each write's lock to the owning shard. 0 is clamped
+    /// to 1.
+    pub shards: usize,
     /// Connections allowed to wait for a free worker before new ones
     /// are shed with `503 Service Unavailable`.
     pub queue_capacity: usize,
@@ -47,6 +52,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             threads: 0,
+            shards: 1,
             queue_capacity: 64,
             read_timeout: Duration::from_secs(5),
             request_timeout: Duration::from_secs(15),

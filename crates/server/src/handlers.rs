@@ -9,7 +9,7 @@ use crate::http::{Request, Response};
 use crate::router::{route, Route};
 use crate::ServerConfig;
 use be2d_db::sketch::Sketch;
-use be2d_db::{ImageDatabase, QueryOptions, RecordId, SharedImageDatabase};
+use be2d_db::{QueryOptions, RecordId, ShardedImageDatabase};
 use serde::Value;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -35,8 +35,8 @@ pub struct ServerStats {
 /// Everything a worker needs to serve one request.
 #[derive(Debug)]
 pub struct AppState {
-    /// The shared database.
-    pub db: SharedImageDatabase,
+    /// The shared (possibly sharded) database.
+    pub db: ShardedImageDatabase,
     /// Immutable server configuration.
     pub config: ServerConfig,
     /// Service counters.
@@ -57,7 +57,7 @@ impl AppState {
     /// Builds the state for one server instance.
     #[must_use]
     pub fn new(
-        db: SharedImageDatabase,
+        db: ShardedImageDatabase,
         config: ServerConfig,
         threads: usize,
         addr: std::net::SocketAddr,
@@ -215,15 +215,18 @@ fn search_sketch(state: &AppState, body: &Value) -> Result<Response, ApiError> {
 }
 
 fn stats(state: &AppState) -> Response {
-    let (records, classes, objects) = state
-        .db
-        .with_read(|db| (db.len(), db.class_count(), db.object_count()));
+    // One simultaneous read lock over all shards: the reported
+    // records/classes/objects combination is never torn by a
+    // concurrent write.
+    let db_stats = state.db.stats();
     json_response(
         200,
         &StatsResponse {
-            records,
-            classes,
-            objects,
+            records: db_stats.shard_records.iter().sum(),
+            classes: db_stats.classes,
+            objects: db_stats.objects,
+            shards: state.db.shard_count(),
+            shard_records: db_stats.shard_records,
             requests: state.stats.requests.load(Ordering::Relaxed),
             searches: state.stats.searches.load(Ordering::Relaxed),
             inserts: state.stats.inserts.load(Ordering::Relaxed),
@@ -263,9 +266,12 @@ fn snapshot(state: &AppState, body: &Value) -> Result<Response, ApiError> {
 fn restore(state: &AppState, body: &Value) -> Result<Response, ApiError> {
     let req = PathRequest::from_value(body)?;
     let path = snapshot_target(state, &req);
-    let db = ImageDatabase::load(&path).map_err(|e| ApiError::from_db(&e))?;
-    let records = db.len();
-    state.db.replace(db);
+    // Accepts both sharded manifests and plain single-file snapshots;
+    // records are re-routed when the shard topology changed.
+    let records = state
+        .db
+        .restore_from(&path)
+        .map_err(|e| ApiError::from_db(&e))?;
     Ok(json_response(
         200,
         &SnapshotResponse {
@@ -282,9 +288,10 @@ mod tests {
 
     fn state() -> Arc<AppState> {
         // No real listener behind this state: the shutdown poke just
-        // fails fast against the unroutable port.
+        // fails fast against the unroutable port. Two shards so every
+        // handler test also exercises routing + scatter-gather.
         AppState::new(
-            SharedImageDatabase::new(),
+            ShardedImageDatabase::with_shards(2),
             ServerConfig::default(),
             4,
             ([127, 0, 0, 1], 9).into(),
@@ -437,7 +444,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("be2d_handler_snap_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let state = AppState::new(
-            SharedImageDatabase::new(),
+            ShardedImageDatabase::with_shards(2),
             ServerConfig {
                 snapshot_dir: dir.clone(),
                 ..ServerConfig::default()
@@ -502,6 +509,8 @@ mod tests {
         let body = String::from_utf8(resp.body).unwrap();
         assert!(body.contains("\"records\":0"), "{body}");
         assert!(body.contains("\"threads\":4"), "{body}");
+        assert!(body.contains("\"shards\":2"), "{body}");
+        assert!(body.contains("\"shard_records\":[0,0]"), "{body}");
 
         assert!(!state.shutting_down());
         let resp = handle(&state, &request(Method::Post, "/admin/shutdown", ""));

@@ -1,10 +1,12 @@
 //! # be2d-server — the online retrieval service
 //!
-//! Turns [`SharedImageDatabase`](be2d_db::SharedImageDatabase) into a
+//! Turns [`ShardedImageDatabase`](be2d_db::ShardedImageDatabase) into a
 //! network-facing service: a dependency-free HTTP/1.1 JSON server on
 //! `std::net` (the build is offline — no tokio/hyper) plus a load
 //! generator that drives it over real sockets and reports throughput
-//! and latency percentiles.
+//! and latency percentiles. With `--shards N` the database is split
+//! into N independently locked partitions: searches scatter-gather
+//! across all of them while each write locks only the owning shard.
 //!
 //! The moving parts:
 //!
@@ -15,8 +17,8 @@
 //!   connections with `503` instead of buffering unboundedly;
 //! * [`http`] — incremental request parser (`Content-Length`, size
 //!   limits, pipelining-safe) and response writer;
-//! * [`router`] / [`api`] / [`handlers`] — the endpoint table, the JSON
-//!   request/response vocabulary, and their wiring to `be2d-db`;
+//! * [`router`] / [`api`] / the handler layer — the endpoint table, the
+//!   JSON request/response vocabulary, and their wiring to `be2d-db`;
 //! * [`client`] — a small blocking HTTP client (loadgen + tests);
 //! * [`loadgen`] — the load generator: `be2d-workload` scenes/queries,
 //!   a seeded [`RequestMix`](be2d_workload::RequestMix) schedule,

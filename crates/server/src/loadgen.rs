@@ -7,12 +7,15 @@
 //! searches resemble real partial-match traffic), and the op sequence
 //! from a seeded [`RequestMix`] schedule — the same run is reproducible
 //! byte-for-byte from the seed.
+//!
+//! [`RequestMix`]: be2d_workload::RequestMix
 
 use crate::client::Client;
 use be2d_geometry::Scene;
+use be2d_workload::metrics::percentile;
 use be2d_workload::{
     derive_queries, generate_scene, Corpus, CorpusConfig, Query, QueryKind, RequestKind,
-    RequestMix, SceneConfig,
+    RequestMix, SceneConfig, Skew,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,6 +49,12 @@ pub struct LoadgenConfig {
     pub scene: SceneConfig,
     /// Per-request socket timeout.
     pub timeout: Duration,
+    /// Hot/cold skew for choosing edit targets and search queries.
+    /// `Skew::with_stride(p, shards)` aims the hot edits at records
+    /// owned by shard 0 of an `--shards shards` server, so hot-shard
+    /// imbalance can be exercised on purpose (watch `/stats`
+    /// `shard_records`).
+    pub skew: Skew,
 }
 
 impl LoadgenConfig {
@@ -63,6 +72,7 @@ impl LoadgenConfig {
             prefill: 64,
             scene: SceneConfig::default(),
             timeout: Duration::from_secs(10),
+            skew: Skew::uniform(),
         }
     }
 }
@@ -99,6 +109,8 @@ pub struct LoadgenReport {
     pub latency_ms: LatencySummary,
     /// The op mix, in `RequestMix` string form.
     pub mix: String,
+    /// The target skew, in `Skew` string form (`"uniform"` when off).
+    pub skew: String,
     /// Worker connections used.
     pub connections: usize,
     /// Configured open-loop rate (0 = closed loop).
@@ -137,6 +149,9 @@ impl LoadgenReport {
                 ", closed-loop".into()
             },
         );
+        if self.skew != "uniform" {
+            out.push_str(&format!("  target skew {}\n", self.skew));
+        }
         for (kind, count) in &self.by_kind {
             out.push_str(&format!("  {kind}: {count}\n"));
         }
@@ -293,23 +308,11 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
             },
         },
         mix: config.mix.to_string(),
+        skew: config.skew.to_string(),
         connections: config.connections,
         rate_rps: config.rate,
         by_kind,
     })
-}
-
-#[allow(
-    clippy::cast_precision_loss,
-    clippy::cast_possible_truncation,
-    clippy::cast_sign_loss
-)]
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
 }
 
 fn run_worker(
@@ -362,6 +365,32 @@ fn run_worker(
     outcome
 }
 
+/// Picks the target slot in `owned` under the configured skew.
+///
+/// Stride-mode skew is applied to the **record id**, not the list
+/// position: a hot draw picks among owned images whose id is
+/// `≡ 0 (mod stride)`, which — against a server routing records
+/// `id % shards` with `shards == stride` — lands every hot edit on
+/// shard 0. Prefix mode (and uniform) delegate to [`Skew::pick`] over
+/// list positions, i.e. the oldest owned images run hot.
+fn pick_owned(skew: &Skew, owned: &[OwnedImage], rng: &mut StdRng) -> usize {
+    if skew.stride > 1 && !skew.is_uniform() {
+        if rng.random_bool(skew.hot_probability) {
+            let hot: Vec<usize> = owned
+                .iter()
+                .enumerate()
+                .filter(|(_, img)| img.id % skew.stride as u64 == 0)
+                .map(|(slot, _)| slot)
+                .collect();
+            if !hot.is_empty() {
+                return hot[rng.random_range(0..hot.len())];
+            }
+        }
+        return rng.random_range(0..owned.len());
+    }
+    skew.pick(owned.len(), rng)
+}
+
 /// Downgrades ops that need an owned image when the worker has none
 /// (yet): they become inserts, keeping the run error-free by design.
 fn effective_kind(kind: RequestKind, owned: &[OwnedImage]) -> RequestKind {
@@ -410,14 +439,16 @@ fn perform(
             })
         }
         RequestKind::RemoveImage => {
-            let slot = rng.random_range(0..owned.len());
-            let image = owned.swap_remove(slot);
+            let slot = pick_owned(&config.skew, owned, rng);
+            // Order-preserving removal: prefix-mode skew targets "the
+            // oldest owned images", which swap_remove would scramble.
+            let image = owned.remove(slot);
             client
                 .request("DELETE", &format!("/images/{}", image.id), "")
                 .map(|response| response.status == 200)
         }
         RequestKind::AddObject => {
-            let slot = rng.random_range(0..owned.len());
+            let slot = pick_owned(&config.skew, owned, rng);
             let image = &mut owned[slot];
             let body = loadgen_object_body();
             let path = format!("/images/{}/objects", image.id);
@@ -446,7 +477,12 @@ fn perform(
             })
         }
         RequestKind::Search => {
-            let query = &queries[index % queries.len()];
+            let slot = if config.skew.is_uniform() {
+                index % queries.len()
+            } else {
+                config.skew.pick(queries.len(), rng)
+            };
+            let query = &queries[slot];
             let body = format!(
                 r#"{{"scene":{},"options":{{"top_k":10}}}}"#,
                 scene_to_json(&query.scene)
@@ -523,18 +559,6 @@ mod tests {
     }
 
     #[test]
-    fn percentile_edges() {
-        assert!((percentile(&[], 50.0) - 0.0).abs() < 1e-12);
-        let data = [1.0, 2.0, 3.0, 4.0];
-        assert!((percentile(&data, 0.0) - 1.0).abs() < 1e-12);
-        assert!((percentile(&data, 100.0) - 4.0).abs() < 1e-12);
-        assert!(
-            (percentile(&data, 50.0) - 3.0).abs() < 1e-12,
-            "rounds up at .5"
-        );
-    }
-
-    #[test]
     fn effective_kind_fallbacks() {
         let none: Vec<OwnedImage> = Vec::new();
         assert_eq!(
@@ -568,6 +592,29 @@ mod tests {
     }
 
     #[test]
+    fn stride_skew_targets_ids_on_one_shard() {
+        use rand::SeedableRng;
+        let owned: Vec<OwnedImage> = (0..20)
+            .map(|id| OwnedImage {
+                id,
+                added_objects: 0,
+            })
+            .collect();
+        let skew = Skew::with_stride(1.0, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let slot = pick_owned(&skew, &owned, &mut rng);
+            assert_eq!(owned[slot].id % 4, 0, "hot edits stay on shard 0's ids");
+        }
+        // prefix mode stays within bounds and favours the head
+        let skew = Skew::new(0.95, 0.1).unwrap();
+        let head = (0..400)
+            .filter(|_| pick_owned(&skew, &owned, &mut rng) < 2)
+            .count();
+        assert!(head > 250, "prefix skew too weak: {head}/400");
+    }
+
+    #[test]
     fn inserted_id_parses_insert_response() {
         assert_eq!(
             inserted_id(br#"{"id":17,"name":"x","objects":3}"#),
@@ -593,6 +640,7 @@ mod tests {
                 mean_ms: 1.5,
             },
             mix: "insert=1,search=3".into(),
+            skew: "uniform".into(),
             connections: 2,
             rate_rps: 0.0,
             by_kind: [("search".to_owned(), 7u64), ("insert".to_owned(), 3u64)]

@@ -5,14 +5,14 @@ use crate::handlers::{handle, AppState};
 use crate::http::{read_request, ParseLimits, Response};
 use crate::pool::ThreadPool;
 use crate::ServerConfig;
-use be2d_db::SharedImageDatabase;
+use be2d_db::ShardedImageDatabase;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// A bound, not-yet-running HTTP service over one
-/// [`SharedImageDatabase`].
+/// [`ShardedImageDatabase`].
 ///
 /// # Example
 ///
@@ -56,21 +56,23 @@ impl ServerHandle {
 }
 
 impl Server {
-    /// Binds a fresh empty database.
+    /// Binds a fresh empty database with `config.shards` shards.
     ///
     /// # Errors
     ///
     /// Propagates socket bind errors.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
-        Server::with_database(config, SharedImageDatabase::new())
+        let db = ShardedImageDatabase::with_shards(config.shards);
+        Server::with_database(config, db)
     }
 
-    /// Binds over an existing (possibly pre-loaded) database.
+    /// Binds over an existing (possibly pre-loaded) database. The
+    /// database's own shard count wins over `config.shards`.
     ///
     /// # Errors
     ///
     /// Propagates socket bind errors.
-    pub fn with_database(config: ServerConfig, db: SharedImageDatabase) -> io::Result<Server> {
+    pub fn with_database(config: ServerConfig, db: ShardedImageDatabase) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let threads = config.effective_threads();
@@ -102,7 +104,7 @@ impl Server {
     /// Shared access to the underlying database (e.g. to pre-load
     /// records before serving).
     #[must_use]
-    pub fn database(&self) -> SharedImageDatabase {
+    pub fn database(&self) -> ShardedImageDatabase {
         self.state.db.clone()
     }
 

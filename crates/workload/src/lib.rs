@@ -15,7 +15,9 @@
 //!   precision over ranked result lists;
 //! * [`RequestMix`] — weighted insert/edit/search request sampling for
 //!   online-serving workloads (used by the `be2d-server` load
-//!   generator).
+//!   generator);
+//! * [`Skew`] — hot/cold target selection, including a stride mode that
+//!   aims the hot set at one shard of a sharded database.
 //!
 //! Everything is deterministic from a `u64` seed, so every experiment in
 //! EXPERIMENTS.md regenerates bit-identically.
@@ -41,8 +43,10 @@ mod generator;
 pub mod metrics;
 mod mix;
 mod queries;
+mod skew;
 
 pub use corpus::{Corpus, CorpusConfig, ImageId};
 pub use generator::{generate_scene, scene_from_seed, Placement, SceneConfig};
 pub use mix::{RequestKind, RequestMix};
 pub use queries::{derive_queries, derive_query, Query, QueryKind};
+pub use skew::Skew;

@@ -72,6 +72,23 @@ pub fn mean(values: &[f64]) -> f64 {
     }
 }
 
+/// Nearest-rank percentile of an already **sorted** slice (0 for empty
+/// input) — the shared definition behind every `BENCH_*.json` latency
+/// report, so server loadgen and bench sweeps stay comparable.
+#[must_use]
+#[allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,6 +99,18 @@ mod tests {
 
     fn rel(v: &[usize]) -> HashSet<ImageId> {
         v.iter().map(|i| ImageId(*i)).collect()
+    }
+
+    #[test]
+    fn percentile_edges() {
+        assert!((percentile(&[], 50.0) - 0.0).abs() < 1e-12);
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&data, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&data, 100.0) - 4.0).abs() < 1e-12);
+        assert!(
+            (percentile(&data, 50.0) - 3.0).abs() < 1e-12,
+            "rounds up at .5"
+        );
     }
 
     #[test]

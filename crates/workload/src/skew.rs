@@ -1,0 +1,237 @@
+//! Skewed target selection for online-serving workloads.
+//!
+//! Real traffic is rarely uniform: a few images receive most of the
+//! edits and a few queries dominate the search mix. [`Skew`] models
+//! that as a two-bucket distribution — with probability
+//! `hot_probability` an operation targets the *hot subset* of the
+//! candidate items, otherwise it picks uniformly over all of them.
+//!
+//! Two hot-subset shapes are supported:
+//!
+//! * **prefix** (`stride <= 1`): the first `ceil(hot_fraction · len)`
+//!   items are hot — "the oldest images soak up the edits";
+//! * **stride** (`stride > 1`): items whose index is `≡ 0 (mod stride)`
+//!   are hot. Aimed at a sharded database whose routing is
+//!   `id % shards`, setting `stride = shards` concentrates the hot set
+//!   on **one shard**, so a load generator can exercise hot-shard
+//!   imbalance deliberately.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A two-bucket hot/cold target distribution (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Skew {
+    /// Probability in `[0, 1]` that a draw targets the hot subset.
+    pub hot_probability: f64,
+    /// Fraction in `(0, 1]` of items considered hot in prefix mode.
+    pub hot_fraction: f64,
+    /// `> 1` switches to stride mode: indices `≡ 0 (mod stride)` are
+    /// hot. `0` and `1` mean prefix mode.
+    pub stride: usize,
+}
+
+impl Default for Skew {
+    fn default() -> Self {
+        Skew::uniform()
+    }
+}
+
+impl Skew {
+    /// No skew: every draw is uniform over all items.
+    #[must_use]
+    pub fn uniform() -> Skew {
+        Skew {
+            hot_probability: 0.0,
+            hot_fraction: 1.0,
+            stride: 0,
+        }
+    }
+
+    /// Prefix-mode skew: `hot_probability` of draws hit the first
+    /// `hot_fraction` of the items.
+    ///
+    /// Returns `None` when the parameters are out of range.
+    #[must_use]
+    pub fn new(hot_probability: f64, hot_fraction: f64) -> Option<Skew> {
+        ((0.0..=1.0).contains(&hot_probability) && hot_fraction > 0.0 && hot_fraction <= 1.0)
+            .then_some(Skew {
+                hot_probability,
+                hot_fraction,
+                stride: 0,
+            })
+    }
+
+    /// Stride-mode skew: `hot_probability` of draws hit indices
+    /// `≡ 0 (mod stride)`. With `stride` equal to the server's shard
+    /// count (and ids routed `id % shards`), the hot set collapses onto
+    /// shard 0.
+    ///
+    /// Returns `None` when the parameters are out of range.
+    #[must_use]
+    pub fn with_stride(hot_probability: f64, stride: usize) -> Option<Skew> {
+        ((0.0..=1.0).contains(&hot_probability) && stride > 1).then_some(Skew {
+            hot_probability,
+            hot_fraction: 1.0,
+            stride,
+        })
+    }
+
+    /// Whether this skew ever deviates from uniform.
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        self.hot_probability <= 0.0 || (self.stride <= 1 && self.hot_fraction >= 1.0)
+    }
+
+    /// Draws one index in `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` is 0.
+    pub fn pick(&self, len: usize, rng: &mut StdRng) -> usize {
+        assert!(len > 0, "cannot pick from an empty set");
+        if !self.is_uniform() && rng.random_bool(self.hot_probability) {
+            if self.stride > 1 {
+                // hot = {0, stride, 2·stride, …} ∩ [0, len)
+                let hot = len.div_ceil(self.stride);
+                return self.stride * rng.random_range(0..hot);
+            }
+            #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+            #[allow(clippy::cast_possible_truncation)]
+            let hot = ((len as f64 * self.hot_fraction).ceil() as usize).clamp(1, len);
+            return rng.random_range(0..hot);
+        }
+        rng.random_range(0..len)
+    }
+}
+
+impl std::str::FromStr for Skew {
+    type Err = String;
+
+    /// Parses `"P"` (prefix mode, hot fraction 0.1), `"P/F"` (prefix
+    /// mode, explicit hot fraction) or `"P/sN"` (stride mode, hot
+    /// indices `≡ 0 (mod N)`). `"0"` is uniform.
+    fn from_str(s: &str) -> Result<Skew, String> {
+        let bad = |what: &str| format!("invalid skew {s:?}: {what}");
+        let (p_text, rest) = match s.split_once('/') {
+            Some((p, rest)) => (p, Some(rest)),
+            None => (s, None),
+        };
+        let p: f64 = p_text
+            .trim()
+            .parse()
+            .map_err(|_| bad("hot probability must be a number"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(bad("hot probability must be in [0, 1]"));
+        }
+        match rest.map(str::trim) {
+            None => {
+                if p == 0.0 {
+                    Ok(Skew::uniform())
+                } else {
+                    Skew::new(p, 0.1).ok_or_else(|| bad("out of range"))
+                }
+            }
+            Some(stride) if stride.starts_with('s') => {
+                let n: usize = stride[1..]
+                    .parse()
+                    .map_err(|_| bad("stride must be sN with integer N >= 2"))?;
+                Skew::with_stride(p, n).ok_or_else(|| bad("stride must be >= 2"))
+            }
+            Some(fraction) => {
+                let f: f64 = fraction
+                    .parse()
+                    .map_err(|_| bad("hot fraction must be a number"))?;
+                Skew::new(p, f).ok_or_else(|| bad("hot fraction must be in (0, 1]"))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Skew {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_uniform() {
+            f.write_str("uniform")
+        } else if self.stride > 1 {
+            write!(f, "{}/s{}", self.hot_probability, self.stride)
+        } else {
+            write!(f, "{}/{}", self.hot_probability, self.hot_fraction)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_everything() {
+        let skew = Skew::uniform();
+        assert!(skew.is_uniform());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[skew.pick(8, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn prefix_skew_concentrates_on_the_head() {
+        let skew = Skew::new(0.9, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..2000).filter(|_| skew.pick(100, &mut rng) < 10).count();
+        // 0.9 hot draws land in [0, 10); 0.1 cold draws hit it 10% of
+        // the time → ≈ 91% expected.
+        assert!(hits > 1650, "prefix skew too weak: {hits}/2000");
+    }
+
+    #[test]
+    fn stride_skew_hits_multiples() {
+        let skew = Skew::with_stride(1.0, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let pick = skew.pick(13, &mut rng);
+            assert_eq!(pick % 4, 0, "stride mode only picks multiples");
+            assert!(pick < 13);
+        }
+        // partial-stride tails are reachable (12 is the last multiple)
+        let mut seen12 = false;
+        for _ in 0..500 {
+            seen12 |= skew.pick(13, &mut rng) == 12;
+        }
+        assert!(seen12);
+    }
+
+    #[test]
+    fn tiny_sets_stay_in_bounds() {
+        let skew = Skew::new(1.0, 0.01).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for len in 1..6 {
+            for _ in 0..50 {
+                assert!(skew.pick(len, &mut rng) < len);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!("0".parse::<Skew>().unwrap(), Skew::uniform());
+        let p: Skew = "0.9".parse().unwrap();
+        assert_eq!(p, Skew::new(0.9, 0.1).unwrap());
+        let pf: Skew = "0.8/0.25".parse().unwrap();
+        assert_eq!(pf, Skew::new(0.8, 0.25).unwrap());
+        let ps: Skew = "0.7/s4".parse().unwrap();
+        assert_eq!(ps, Skew::with_stride(0.7, 4).unwrap());
+        assert_eq!(ps.to_string(), "0.7/s4");
+        assert_eq!(pf.to_string(), "0.8/0.25");
+        assert_eq!(Skew::uniform().to_string(), "uniform");
+
+        for bad in ["x", "1.5", "-0.1", "0.5/0", "0.5/1.2", "0.5/s1", "0.5/sx"] {
+            assert!(bad.parse::<Skew>().is_err(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Perf regression gate: compares a fresh loadgen report against the
+# committed baseline and fails when the service got meaningfully slower.
+#
+#   scripts/bench_gate.sh BENCH_server.json bench/baseline.json
+#
+# Thresholds are deliberately generous to tolerate shared-runner noise:
+#   - throughput may drop at most 25% below the baseline
+#   - p95 latency may rise at most 50% above the baseline
+#
+# Re-baselining: the committed bench/baseline.json is a conservative
+# floor (seeded well below a dev-box run so a cold CI runner passes).
+# After a deliberate perf change, download the BENCH_server artifact
+# from a green `bench-report` CI run on main and commit it:
+#
+#   cp BENCH_server.json bench/baseline.json   # then commit the change
+#
+set -euo pipefail
+
+FRESH="${1:?usage: bench_gate.sh FRESH.json BASELINE.json}"
+BASELINE="${2:?usage: bench_gate.sh FRESH.json BASELINE.json}"
+MAX_THROUGHPUT_DROP="${MAX_THROUGHPUT_DROP:-0.25}"
+MAX_P95_RISE="${MAX_P95_RISE:-0.50}"
+
+python3 - "$FRESH" "$BASELINE" "$MAX_THROUGHPUT_DROP" "$MAX_P95_RISE" <<'PY'
+import json
+import sys
+
+fresh_path, base_path, max_drop, max_rise = sys.argv[1:5]
+max_drop, max_rise = float(max_drop), float(max_rise)
+
+with open(fresh_path) as f:
+    fresh = json.load(f)
+with open(base_path) as f:
+    base = json.load(f)
+
+fresh_rps = fresh["throughput_rps"]
+base_rps = base["throughput_rps"]
+fresh_p95 = fresh["latency_ms"]["p95_ms"]
+base_p95 = base["latency_ms"]["p95_ms"]
+
+rps_floor = base_rps * (1.0 - max_drop)
+p95_ceiling = base_p95 * (1.0 + max_rise)
+
+print(f"throughput: fresh {fresh_rps:.1f} req/s vs baseline {base_rps:.1f} "
+      f"(floor {rps_floor:.1f}, max drop {max_drop:.0%})")
+print(f"p95 latency: fresh {fresh_p95:.2f} ms vs baseline {base_p95:.2f} "
+      f"(ceiling {p95_ceiling:.2f}, max rise {max_rise:.0%})")
+
+failures = []
+if fresh_rps < rps_floor:
+    failures.append(
+        f"throughput regressed: {fresh_rps:.1f} req/s is more than "
+        f"{max_drop:.0%} below the baseline {base_rps:.1f} req/s")
+if fresh_p95 > p95_ceiling:
+    failures.append(
+        f"p95 latency regressed: {fresh_p95:.2f} ms is more than "
+        f"{max_rise:.0%} above the baseline {base_p95:.2f} ms")
+if fresh.get("errors", 0) > 0:
+    failures.append(f"loadgen reported {fresh['errors']} failed requests")
+
+if failures:
+    for failure in failures:
+        print(f"::error::bench gate: {failure}")
+    print("bench gate FAILED (see scripts/bench_gate.sh for how to "
+          "re-baseline after a deliberate change)")
+    sys.exit(1)
+print("bench gate passed")
+PY

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Renders the BENCH_*.json reports as a GitHub-flavoured markdown
+# summary (CI appends the output to $GITHUB_STEP_SUMMARY so every PR
+# shows its perf trajectory). Missing files are noted, not fatal.
+#
+#   scripts/bench_summary.sh [BENCH_server.json] [BENCH_shard_scaling.json]
+set -euo pipefail
+
+SERVER="${1:-BENCH_server.json}"
+SCALING="${2:-BENCH_shard_scaling.json}"
+
+python3 - "$SERVER" "$SCALING" <<'PY'
+import json
+import os
+import sys
+
+server_path, scaling_path = sys.argv[1:3]
+
+print("## Perf trajectory")
+print()
+
+if os.path.exists(server_path):
+    with open(server_path) as f:
+        report = json.load(f)
+    lat = report["latency_ms"]
+    print("### Server loadgen")
+    print()
+    print("| requests | errors | throughput | p50 | p95 | p99 | mix |")
+    print("|---:|---:|---:|---:|---:|---:|:---|")
+    print(f"| {report['requests']} | {report['errors']} "
+          f"| {report['throughput_rps']:.0f} req/s "
+          f"| {lat['p50_ms']:.2f} ms | {lat['p95_ms']:.2f} ms "
+          f"| {lat['p99_ms']:.2f} ms | `{report['mix']}` |")
+    print()
+else:
+    print(f"_no {server_path} found_")
+    print()
+
+if os.path.exists(scaling_path):
+    with open(scaling_path) as f:
+        scaling = json.load(f)
+    print(f"### Shard scaling "
+          f"({scaling['images']} images, {scaling['readers']} readers + "
+          f"{scaling['writers']} writers, {scaling['host_threads']} host threads)")
+    print()
+    print("| shards | searches | throughput | p50 | p95 | p99 |")
+    print("|---:|---:|---:|---:|---:|---:|")
+    for point in scaling["sweep"]:
+        print(f"| {point['shards']} | {point['searches']} "
+              f"| {point['throughput_qps']:.1f} q/s "
+              f"| {point['p50_ms']:.2f} ms | {point['p95_ms']:.2f} ms "
+              f"| {point['p99_ms']:.2f} ms |")
+    print()
+    print(f"**4-shard vs 1-shard query throughput: "
+          f"{scaling['speedup_4_vs_1']:.2f}×**"
+          + (" _(single-core host — scatter-gather cannot scale here)_"
+             if scaling.get("host_threads", 0) == 1 else ""))
+    print()
+else:
+    print(f"_no {scaling_path} found_")
+PY
