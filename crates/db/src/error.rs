@@ -28,6 +28,12 @@ pub enum DbError {
     },
     /// File I/O failed during save/load.
     Io(std::io::Error),
+    /// A replica-health operation was rejected (unknown replica, or it
+    /// would leave a shard with no healthy copy).
+    Replica {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -38,6 +44,7 @@ impl fmt::Display for DbError {
             DbError::Persist { reason } => write!(f, "persistence error: {reason}"),
             DbError::Sketch { reason } => write!(f, "sketch error: {reason}"),
             DbError::Io(e) => write!(f, "io error: {e}"),
+            DbError::Replica { reason } => write!(f, "replica error: {reason}"),
         }
     }
 }

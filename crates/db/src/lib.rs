@@ -12,6 +12,11 @@
 //!   64-bit class signatures, D4 transform set, parallel scan;
 //! * [`SearchHit`] — per-result score, best transform and the full
 //!   per-axis similarity breakdown;
+//! * [`ShardedImageDatabase`] — N independently locked shards with
+//!   scatter-gather search and incremental per-shard snapshots;
+//! * [`ReplicatedImageDatabase`] — N shards × R replicas: round-robin
+//!   reads, synchronous write fan-out, replica fault injection and
+//!   rebuild-then-rejoin recovery;
 //! * JSON persistence ([`ImageDatabase::to_json`] /
 //!   [`ImageDatabase::from_json`]).
 //!
@@ -45,6 +50,7 @@ mod database;
 mod error;
 mod index;
 mod query;
+mod replica;
 mod shard;
 mod signature;
 /// Spatial-pattern sketches: textual queries compiled to scenes.
@@ -54,5 +60,6 @@ pub use database::{ImageDatabase, ImageRecord, RecordId};
 pub use error::DbError;
 pub use index::ClassIndex;
 pub use query::{CandidateSource, Parallelism, PrefilterMode, QueryOptions, SearchHit};
+pub use replica::{ReplicaStats, ReplicatedImageDatabase};
 pub use shard::{ShardStats, ShardedImageDatabase};
 pub use signature::ClassSignature;

@@ -1,0 +1,907 @@
+//! Replicated shards: read-scaling replica sets with health, fault
+//! injection, and rebuild-then-rejoin recovery.
+//!
+//! The sharded database ([`ShardedImageDatabase`]) split the corpus
+//! into N independently locked partitions; this layer puts **R
+//! replicas behind every shard**. Writes (insert, remove, §3.2 object
+//! edits, restore) fan out synchronously to every healthy replica of
+//! the owning shard, while searches scatter to **one chosen replica
+//! per shard** — a round-robin picker that routes around failed
+//! replicas — before the same top-k heap merge the sharded database
+//! uses. Because every healthy replica of a shard holds identical
+//! records, the ranked result is **bit-identical** to the unreplicated
+//! (and single-shard) ranking, ties included (see
+//! `crates/db/tests/replicated.rs`).
+//!
+//! # Health, failure, recovery
+//!
+//! Each replica carries a health bit. [`fail_replica`] takes a replica
+//! out of rotation (the fault-injection hook tests and the server's
+//! admin endpoint use); reads and writes route around it from that
+//! moment on, so it goes stale. [`rebuild_replica`] brings it back:
+//! the shard's write traffic is paused briefly (readers keep flowing),
+//! the replica clones the state of a healthy peer, and only then
+//! rejoins rotation. A shard's **last** healthy replica can never be
+//! failed — every shard always serves.
+//!
+//! # Consistency
+//!
+//! Writes to one shard are serialised by a per-shard write mutex and
+//! applied replica-by-replica, so two reads hitting different replicas
+//! of the same shard may observe a write at slightly different times
+//! (the in-process analogue of replica lag, bounded by one fan-out).
+//! Any single result set is always internally consistent, and a
+//! quiesced database answers identically through every replica.
+//!
+//! [`ShardedImageDatabase`]: crate::ShardedImageDatabase
+//! [`fail_replica`]: ReplicatedImageDatabase::fail_replica
+//! [`rebuild_replica`]: ReplicatedImageDatabase::rebuild_replica
+
+use crate::shard::{
+    fresh_snapshot_id, heal_next_id, load_snapshot_at, merge_top_k, reroute_shards,
+    save_snapshot_at, scatter_scan, shard_cannot_contribute, PreviousSnapshot, SnapshotPayload,
+};
+use crate::{DbError, ImageDatabase, ImageRecord, QueryOptions, RecordId, SearchHit};
+use be2d_core::{BeString2D, SymbolicImage};
+use be2d_geometry::{ObjectClass, Rect, Scene};
+use parking_lot::RwLock;
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A cheaply clonable, thread-safe image database of N shards × R
+/// replicas.
+///
+/// With `replicas = 1` it behaves exactly like a
+/// [`ShardedImageDatabase`](crate::ShardedImageDatabase) with the same
+/// shard count; with more replicas, reads spread across copies and a
+/// failed copy can be rebuilt from a healthy peer without downtime.
+///
+/// # Example
+///
+/// ```
+/// use be2d_db::{QueryOptions, ReplicatedImageDatabase};
+/// use be2d_geometry::SceneBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let db = ReplicatedImageDatabase::with_topology(2, 2);
+/// let scene = SceneBuilder::new(10, 10).object("A", (1, 5, 1, 5)).build()?;
+/// let id = db.insert_scene("one", &scene)?;
+///
+/// // Fail one copy of the owning shard: reads route around it.
+/// db.fail_replica(0, 1)?;
+/// assert_eq!(db.search_scene(&scene, &QueryOptions::default())[0].id, id);
+///
+/// // Rebuild it from the healthy peer and rejoin rotation.
+/// db.rebuild_replica(0, 1)?;
+/// assert!(db.replica_health().iter().flatten().all(|&h| h));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplicatedImageDatabase {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    shards: Vec<ReplicaSet>,
+    /// The next global id; increments on every insert, never reused.
+    next_id: AtomicUsize,
+    /// Stable id of this database instance (see the sharded database's
+    /// incremental-snapshot bookkeeping).
+    instance: u64,
+    /// Shards the scatter planner skipped (see `/stats`).
+    planner_skipped: AtomicU64,
+    /// Serialises snapshot/restore file I/O, exactly like the sharded
+    /// database's `snapshot_io`.
+    snapshot_io: parking_lot::Mutex<()>,
+}
+
+/// One shard's replica set: R copies of the shard behind their own
+/// reader-writer locks, plus health bits and the write serialiser.
+#[derive(Debug)]
+struct ReplicaSet {
+    replicas: Vec<RwLock<ImageDatabase>>,
+    /// `health[r]` — whether replica r is in rotation.
+    health: Vec<AtomicBool>,
+    /// Round-robin read picker.
+    cursor: AtomicUsize,
+    /// Serialises write fan-outs, rebuilds, and health transitions on
+    /// this shard, so a writer's view of the healthy set cannot go
+    /// stale mid-fan-out. Readers never take it.
+    write_order: parking_lot::Mutex<()>,
+    /// Per-shard edit counter (incremental-snapshot key).
+    edits: AtomicU64,
+}
+
+impl ReplicaSet {
+    fn new(replicas: usize) -> ReplicaSet {
+        ReplicaSet {
+            replicas: (0..replicas)
+                .map(|_| RwLock::new(ImageDatabase::new()))
+                .collect(),
+            health: (0..replicas).map(|_| AtomicBool::new(true)).collect(),
+            cursor: AtomicUsize::new(0),
+            write_order: parking_lot::Mutex::new(()),
+            edits: AtomicU64::new(0),
+        }
+    }
+
+    /// Round-robin pick of a healthy replica (reads route around failed
+    /// copies). Falls back to the raw round-robin slot if no replica is
+    /// healthy — unreachable while the last-healthy guard holds.
+    fn pick(&self) -> usize {
+        let r = self.replicas.len();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % r;
+        (0..r)
+            .map(|step| (start + step) % r)
+            .find(|&candidate| self.health[candidate].load(Ordering::SeqCst))
+            .unwrap_or(start)
+    }
+
+    /// The lowest-indexed healthy replica (the deterministic choice for
+    /// snapshots, rebuild sources, and occupancy checks).
+    fn first_healthy(&self) -> usize {
+        (0..self.replicas.len())
+            .find(|&r| self.health[r].load(Ordering::SeqCst))
+            .unwrap_or(0)
+    }
+
+    fn healthy_count(&self) -> usize {
+        self.health
+            .iter()
+            .filter(|h| h.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Applies one mutation to every healthy replica. The caller must
+    /// hold `write_order`. The first healthy replica's verdict is the
+    /// operation's result: database mutations are deterministic, so if
+    /// it fails nothing was applied anywhere and the error propagates;
+    /// if a *later* replica then disagrees it has diverged and is taken
+    /// out of rotation rather than serve inconsistent reads.
+    fn fan_out<R>(
+        &self,
+        shard: usize,
+        op: impl Fn(&mut ImageDatabase) -> Result<R, DbError>,
+    ) -> Result<R, DbError> {
+        let mut first: Option<R> = None;
+        for (i, replica) in self.replicas.iter().enumerate() {
+            if !self.health[i].load(Ordering::SeqCst) {
+                continue;
+            }
+            let mut guard = replica.write();
+            match op(&mut guard) {
+                Ok(result) => {
+                    if first.is_none() {
+                        first = Some(result);
+                    }
+                }
+                Err(e) if first.is_none() => return Err(e),
+                Err(_) => {
+                    drop(guard);
+                    self.health[i].store(false, Ordering::SeqCst);
+                }
+            }
+        }
+        // Bumped before `write_order` is released (the caller holds it),
+        // pairing counter with state for incremental snapshots.
+        self.edits.fetch_add(1, Ordering::SeqCst);
+        first.ok_or_else(|| DbError::Replica {
+            reason: format!("shard {shard} has no healthy replica"),
+        })
+    }
+}
+
+/// Point-in-time statistics of a [`ReplicatedImageDatabase`], observed
+/// under one simultaneous read lock across every replica (never torn by
+/// a concurrent write).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Live records per shard (from each shard's first healthy replica).
+    pub shard_records: Vec<usize>,
+    /// Live records per replica: `replica_records[shard][replica]`. A
+    /// failed replica's count goes stale until its rebuild.
+    pub replica_records: Vec<Vec<usize>>,
+    /// Health bits per replica: `replica_health[shard][replica]`.
+    pub replica_health: Vec<Vec<bool>>,
+    /// Distinct object classes across all shards (union).
+    pub classes: usize,
+    /// Total objects across all records.
+    pub objects: usize,
+}
+
+impl Default for ReplicatedImageDatabase {
+    fn default() -> Self {
+        ReplicatedImageDatabase::with_topology(1, 1)
+    }
+}
+
+impl ReplicatedImageDatabase {
+    /// A single shard with a single replica (drop-in for the plain
+    /// database).
+    #[must_use]
+    pub fn new() -> Self {
+        ReplicatedImageDatabase::default()
+    }
+
+    /// A database of `shards` × `replicas` (both clamped to ≥ 1).
+    #[must_use]
+    pub fn with_topology(shards: usize, replicas: usize) -> Self {
+        let shards = shards.max(1);
+        let replicas = replicas.max(1);
+        ReplicatedImageDatabase {
+            inner: Arc::new(Inner {
+                shards: (0..shards).map(|_| ReplicaSet::new(replicas)).collect(),
+                next_id: AtomicUsize::new(0),
+                instance: fresh_snapshot_id(),
+                planner_skipped: AtomicU64::new(0),
+                snapshot_io: parking_lot::Mutex::new(()),
+            }),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Replicas per shard.
+    #[must_use]
+    pub fn replica_count(&self) -> usize {
+        self.inner.shards[0].replicas.len()
+    }
+
+    /// Total live records (counted on each shard's first healthy
+    /// replica).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|set| set.replicas[set.first_healthy()].read().len())
+            .sum()
+    }
+
+    /// Whether no shard holds a record.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Health bits per replica: `result[shard][replica]`.
+    #[must_use]
+    pub fn replica_health(&self) -> Vec<Vec<bool>> {
+        self.inner
+            .shards
+            .iter()
+            .map(|set| {
+                set.health
+                    .iter()
+                    .map(|h| h.load(Ordering::SeqCst))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Cumulative count of shards the scatter planner skipped because
+    /// their class postings could not contribute a candidate.
+    #[must_use]
+    pub fn planner_skipped(&self) -> u64 {
+        self.inner.planner_skipped.load(Ordering::Relaxed)
+    }
+
+    /// All statistics under one simultaneous read lock across every
+    /// replica of every shard.
+    #[must_use]
+    pub fn stats(&self) -> ReplicaStats {
+        let guards: Vec<Vec<_>> = self
+            .inner
+            .shards
+            .iter()
+            .map(|set| set.replicas.iter().map(RwLock::read).collect())
+            .collect();
+        let mut classes: BTreeSet<ObjectClass> = BTreeSet::new();
+        let mut stats = ReplicaStats {
+            shard_records: Vec::with_capacity(guards.len()),
+            replica_records: Vec::with_capacity(guards.len()),
+            replica_health: self.replica_health(),
+            classes: 0,
+            objects: 0,
+        };
+        for (set, replica_guards) in self.inner.shards.iter().zip(&guards) {
+            let primary = &replica_guards[set.first_healthy()];
+            classes.extend(primary.class_index().classes().cloned());
+            stats.objects += primary.object_count();
+            stats.shard_records.push(primary.len());
+            stats
+                .replica_records
+                .push(replica_guards.iter().map(|g| g.len()).collect());
+        }
+        stats.classes = classes.len();
+        stats
+    }
+
+    /// Indexes a scene (Algorithm-1 conversion outside all locks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DbError`] from the underlying insert.
+    pub fn insert_scene(&self, name: &str, scene: &Scene) -> Result<RecordId, DbError> {
+        self.insert_symbolic(name, SymbolicImage::from_scene(scene))
+    }
+
+    /// Stores a pre-converted symbolic picture in every healthy replica
+    /// of the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DbError`] from the underlying insert.
+    pub fn insert_symbolic(
+        &self,
+        name: &str,
+        symbolic: SymbolicImage,
+    ) -> Result<RecordId, DbError> {
+        // Same id-allocation protocol as the sharded database: ids are
+        // handed out before any lock, so a slot may be occupied by a
+        // concurrently restored corpus — skip to a fresh id (the restore
+        // healed the counter above every restored slot).
+        for _ in 0..64 {
+            let id = RecordId(self.inner.next_id.fetch_add(1, Ordering::SeqCst));
+            let (shard, local) = self.inner.route(id);
+            let set = &self.inner.shards[shard];
+            let _order = set.write_order.lock();
+            if set.replicas[set.first_healthy()]
+                .read()
+                .get(local)
+                .is_some()
+            {
+                continue;
+            }
+            set.fan_out(shard, |db| {
+                db.insert_symbolic_with_id(local, name, symbolic.clone())
+            })?;
+            return Ok(id);
+        }
+        Err(DbError::Persist {
+            reason: "insert kept colliding with concurrently restored records".into(),
+        })
+    }
+
+    /// Removes a record from every healthy replica of its owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownRecord`] (with the global id) for dead
+    /// or unassigned ids.
+    pub fn remove(&self, id: RecordId) -> Result<(), DbError> {
+        let (shard, local) = self.inner.route(id);
+        let set = &self.inner.shards[shard];
+        let _order = set.write_order.lock();
+        set.fan_out(shard, |db| db.remove(local).map(|_| ()))
+            .map_err(|e| globalise_error(e, id))
+    }
+
+    /// Looks a record up on one healthy replica, returning a clone with
+    /// its **global** id.
+    #[must_use]
+    pub fn get(&self, id: RecordId) -> Option<ImageRecord> {
+        let (shard, local) = self.inner.route(id);
+        let set = &self.inner.shards[shard];
+        let record = set.replicas[set.pick()].read().get(local).cloned();
+        record.map(|mut r| {
+            r.id = id;
+            r
+        })
+    }
+
+    /// Incremental §3.2 object insertion, fanned out to every healthy
+    /// replica of the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying error; the record is unchanged on error.
+    pub fn add_object(&self, id: RecordId, class: &ObjectClass, mbr: Rect) -> Result<(), DbError> {
+        let (shard, local) = self.inner.route(id);
+        let set = &self.inner.shards[shard];
+        let _order = set.write_order.lock();
+        set.fan_out(shard, |db| db.add_object(local, class, mbr))
+            .map_err(|e| globalise_error(e, id))
+    }
+
+    /// Incremental §3.2 object removal, fanned out to every healthy
+    /// replica of the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying error; the record is unchanged on error.
+    pub fn remove_object(
+        &self,
+        id: RecordId,
+        class: &ObjectClass,
+        mbr: Rect,
+    ) -> Result<(), DbError> {
+        let (shard, local) = self.inner.route(id);
+        let set = &self.inner.shards[shard];
+        let _order = set.write_order.lock();
+        set.fan_out(shard, |db| db.remove_object(local, class, mbr))
+            .map_err(|e| globalise_error(e, id))
+    }
+
+    /// Scatter-gather ranked search over **one chosen replica per
+    /// shard** (round-robin among healthy copies), merged with the same
+    /// top-k heap the sharded database uses. The scatter planner skips
+    /// shards whose class postings provably cannot contribute (exact
+    /// inverted-index candidates only).
+    ///
+    /// Ranking — ids, scores, and tie-breaks — is bit-identical to an
+    /// unreplicated [`ShardedImageDatabase`](crate::ShardedImageDatabase)
+    /// (and to a single [`ImageDatabase`]) over the same records.
+    #[must_use]
+    pub fn search(&self, query: &BeString2D, options: &QueryOptions) -> Vec<SearchHit> {
+        let n = self.inner.shards.len();
+        if n == 1 {
+            let set = &self.inner.shards[0];
+            return set.replicas[set.pick()].read().search(query, options);
+        }
+        let query_classes: Vec<ObjectClass> = query.class_counts().into_keys().collect();
+        let per_shard = scatter_scan(
+            n,
+            // next_id is a cheap upper bound on the total record count.
+            self.inner.next_id.load(Ordering::Relaxed),
+            |shard| {
+                let set = &self.inner.shards[shard];
+                let guard = set.replicas[set.pick()].read();
+                if shard_cannot_contribute(&guard, &query_classes, options) {
+                    self.inner.planner_skipped.fetch_add(1, Ordering::Relaxed);
+                    return Vec::new();
+                }
+                let mut hits = guard.search(query, options);
+                for hit in &mut hits {
+                    hit.id = RecordId(hit.id.index() * n + shard);
+                }
+                hits
+            },
+        );
+        merge_top_k(per_shard, options.top_k)
+    }
+
+    /// Scatter-gather search with a scene query (converted once, outside
+    /// all locks).
+    #[must_use]
+    pub fn search_scene(&self, query: &Scene, options: &QueryOptions) -> Vec<SearchHit> {
+        self.search(&be2d_core::convert_scene(query), options)
+    }
+
+    /// Scatter-gather search with textual BE-strings (parsed once).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors from the query strings.
+    pub fn search_text(
+        &self,
+        u: &str,
+        v: &str,
+        options: &QueryOptions,
+    ) -> Result<Vec<SearchHit>, DbError> {
+        let query = BeString2D::parse(u, v).map_err(DbError::from)?;
+        Ok(self.search(&query, options))
+    }
+
+    /// Takes a replica out of rotation — the fault-injection hook.
+    /// Reads and writes route around it immediately; its contents go
+    /// stale until [`rebuild_replica`](Self::rebuild_replica).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Replica`] for out-of-range coordinates or when
+    /// the replica is its shard's **last healthy copy** (every shard
+    /// must keep serving).
+    pub fn fail_replica(&self, shard: usize, replica: usize) -> Result<(), DbError> {
+        let set = self.checked_set(shard, replica)?;
+        let _order = set.write_order.lock();
+        if set.health[replica].load(Ordering::SeqCst) && set.healthy_count() == 1 {
+            return Err(DbError::Replica {
+                reason: format!(
+                    "replica {replica} is shard {shard}'s last healthy copy and cannot be failed"
+                ),
+            });
+        }
+        set.health[replica].store(false, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Rebuilds a failed replica from a healthy peer and rejoins it to
+    /// rotation. The shard's write traffic pauses for the duration of
+    /// the clone (readers keep flowing on the healthy replicas), so the
+    /// rebuilt copy is exactly up to date the moment it rejoins.
+    /// Rebuilding an already-healthy replica is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Replica`] for out-of-range coordinates.
+    pub fn rebuild_replica(&self, shard: usize, replica: usize) -> Result<(), DbError> {
+        let set = self.checked_set(shard, replica)?;
+        let _order = set.write_order.lock();
+        if set.health[replica].load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let source = set.first_healthy();
+        let rebuilt = set.replicas[source].read().clone();
+        *set.replicas[replica].write() = rebuilt;
+        set.health[replica].store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Saves a consistent, incremental sharded snapshot (one file per
+    /// shard, cloned from each shard's first healthy replica) in the
+    /// exact format of
+    /// [`ShardedImageDatabase::save_snapshot`](crate::ShardedImageDatabase::save_snapshot)
+    /// — the two deployments' snapshots are interchangeable. Write
+    /// traffic pauses for the duration of the clone so the snapshot is
+    /// one global state; readers keep flowing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DbError`] from serialisation or file I/O.
+    pub fn save_snapshot(&self, path: &Path) -> Result<usize, DbError> {
+        let _io = self.inner.snapshot_io.lock();
+        // Parsed before any lock, so deciding what to skip costs no
+        // lock or write-pause time.
+        let previous = PreviousSnapshot::load(path, self.inner.instance, self.inner.shards.len());
+        let payload = {
+            let _orders: Vec<_> = self
+                .inner
+                .shards
+                .iter()
+                .map(|set| set.write_order.lock())
+                .collect();
+            let guards: Vec<_> = self
+                .inner
+                .shards
+                .iter()
+                .map(|set| set.replicas[set.first_healthy()].read())
+                .collect();
+            let edits: Vec<u64> = self
+                .inner
+                .shards
+                .iter()
+                .map(|set| set.edits.load(Ordering::SeqCst))
+                .collect();
+            // Only shards dirtied since the previous snapshot are
+            // cloned at all: snapshot cost (and the write pause) is
+            // proportional to write traffic, not corpus size.
+            let shards: Vec<Option<ImageDatabase>> = guards
+                .iter()
+                .enumerate()
+                .map(|(shard, guard)| {
+                    (!previous.reusable(path, shard, edits[shard])).then(|| (**guard).clone())
+                })
+                .collect();
+            SnapshotPayload {
+                records: guards.iter().map(|g| g.len()).sum(),
+                shards,
+                next_id: self.inner.next_id.load(Ordering::SeqCst),
+                edits,
+                writer: self.inner.instance,
+            }
+        };
+        save_snapshot_at(path, payload, &previous)
+    }
+
+    /// Restores from a sharded manifest (v1 or v2) or a plain
+    /// [`ImageDatabase::save`] file, replacing the contents of **every
+    /// replica** — which also heals all failed replicas, since each now
+    /// holds the same freshly restored state. Records are re-routed when
+    /// the shard topology changed; ids are preserved either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Persist`] for malformed or inconsistent
+    /// snapshot files and propagates I/O errors. On error the in-memory
+    /// database is untouched.
+    pub fn restore_from(&self, path: &Path) -> Result<usize, DbError> {
+        let _io = self.inner.snapshot_io.lock();
+        let (saved, next_id) = load_snapshot_at(path)?;
+        let n = self.inner.shards.len();
+        let rebuilt = reroute_shards(saved, n)?;
+        let records = rebuilt.iter().map(ImageDatabase::len).sum();
+        let required = heal_next_id(&rebuilt, next_id);
+
+        // All write-order mutexes (shard order), then all replica write
+        // locks, before the first swap: readers never observe a
+        // half-restored state.
+        let _orders: Vec<_> = self
+            .inner
+            .shards
+            .iter()
+            .map(|set| set.write_order.lock())
+            .collect();
+        let mut guards: Vec<Vec<_>> = self
+            .inner
+            .shards
+            .iter()
+            .map(|set| set.replicas.iter().map(RwLock::write).collect())
+            .collect();
+        for ((set, replica_guards), db) in
+            self.inner.shards.iter().zip(guards.iter_mut()).zip(rebuilt)
+        {
+            for guard in replica_guards.iter_mut() {
+                **guard = db.clone();
+            }
+            for health in &set.health {
+                health.store(true, Ordering::SeqCst);
+            }
+            set.edits.fetch_add(1, Ordering::SeqCst);
+        }
+        // `fetch_max`, never `store` — see the sharded database's
+        // restore for the insert-racing-restore argument.
+        self.inner.next_id.fetch_max(required, Ordering::SeqCst);
+        Ok(records)
+    }
+
+    /// Runs a closure with shared read access to one specific replica —
+    /// for tests and diagnostics that must inspect a *particular* copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` or `replica` is out of range.
+    pub fn with_replica_read<R>(
+        &self,
+        shard: usize,
+        replica: usize,
+        f: impl FnOnce(&ImageDatabase) -> R,
+    ) -> R {
+        f(&self.inner.shards[shard].replicas[replica].read())
+    }
+
+    /// Bounds-checks replica coordinates.
+    fn checked_set(&self, shard: usize, replica: usize) -> Result<&ReplicaSet, DbError> {
+        let set = self
+            .inner
+            .shards
+            .get(shard)
+            .ok_or_else(|| DbError::Replica {
+                reason: format!(
+                    "shard {shard} out of range (shards: {})",
+                    self.inner.shards.len()
+                ),
+            })?;
+        if replica >= set.replicas.len() {
+            return Err(DbError::Replica {
+                reason: format!(
+                    "replica {replica} out of range (replicas: {})",
+                    set.replicas.len()
+                ),
+            });
+        }
+        Ok(set)
+    }
+}
+
+impl Inner {
+    /// Global id → (owning shard, local id inside it).
+    fn route(&self, id: RecordId) -> (usize, RecordId) {
+        let n = self.shards.len();
+        (id.index() % n, RecordId(id.index() / n))
+    }
+}
+
+/// Rewrites shard-local [`DbError::UnknownRecord`] ids back to the
+/// global id the caller used.
+fn globalise_error(e: DbError, global: RecordId) -> DbError {
+    match e {
+        DbError::UnknownRecord { .. } => DbError::UnknownRecord { id: global.index() },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use be2d_geometry::SceneBuilder;
+
+    fn scene(x: i64) -> Scene {
+        SceneBuilder::new(100, 100)
+            .object("A", (x, x + 10, 10, 20))
+            .object("B", (50, 90, 50, 90))
+            .build()
+            .unwrap()
+    }
+
+    fn filled(shards: usize, replicas: usize, n: i64) -> ReplicatedImageDatabase {
+        let db = ReplicatedImageDatabase::with_topology(shards, replicas);
+        for i in 0..n {
+            db.insert_scene(&format!("img{i}"), &scene(i % 40)).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn writes_fan_out_to_every_replica() {
+        let db = filled(2, 3, 8);
+        assert_eq!(db.len(), 8);
+        for shard in 0..2 {
+            for replica in 0..3 {
+                assert_eq!(
+                    db.with_replica_read(shard, replica, ImageDatabase::len),
+                    4,
+                    "shard {shard} replica {replica}"
+                );
+            }
+        }
+        db.remove(RecordId(3)).unwrap();
+        for replica in 0..3 {
+            assert_eq!(db.with_replica_read(1, replica, ImageDatabase::len), 3);
+        }
+        assert!(matches!(
+            db.remove(RecordId(3)),
+            Err(DbError::UnknownRecord { id: 3 })
+        ));
+    }
+
+    #[test]
+    fn object_edits_fan_out() {
+        let db = filled(2, 2, 4);
+        let class = ObjectClass::new("X");
+        let mbr = Rect::new(0, 5, 0, 5).unwrap();
+        db.add_object(RecordId(1), &class, mbr).unwrap();
+        for replica in 0..2 {
+            let objects =
+                db.with_replica_read(1, replica, |d| d.get(RecordId(0)).unwrap().symbolic.clone());
+            assert_eq!(objects.object_count(), 3, "replica {replica}");
+        }
+        db.remove_object(RecordId(1), &class, mbr).unwrap();
+        assert_eq!(db.get(RecordId(1)).unwrap().symbolic.object_count(), 2);
+        assert!(db
+            .add_object(RecordId(77), &class, mbr)
+            .is_err_and(|e| matches!(e, DbError::UnknownRecord { id: 77 })));
+    }
+
+    #[test]
+    fn reads_route_around_failed_replicas() {
+        let db = filled(2, 2, 12);
+        let query = scene(3);
+        let before = db.search_scene(&query, &QueryOptions::default());
+
+        db.fail_replica(0, 0).unwrap();
+        db.fail_replica(1, 1).unwrap();
+        // Every read still answers, from the surviving copies.
+        for _ in 0..8 {
+            let hits = db.search_scene(&query, &QueryOptions::default());
+            assert_eq!(hits.len(), before.len());
+            for (a, b) in before.iter().zip(&hits) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+        assert_eq!(db.len(), 12);
+        assert!(db.get(RecordId(5)).is_some());
+
+        // The last healthy copy of a shard cannot be failed.
+        let err = db.fail_replica(0, 1).unwrap_err();
+        assert!(matches!(err, DbError::Replica { .. }), "{err}");
+        assert!(err.to_string().contains("last healthy"), "{err}");
+    }
+
+    #[test]
+    fn failed_replica_goes_stale_then_rebuilds() {
+        let db = filled(1, 2, 4);
+        db.fail_replica(0, 1).unwrap();
+        // Writes land only on the healthy replica; the failed one is
+        // frozen at 4 records.
+        db.insert_scene("late", &scene(7)).unwrap();
+        db.remove(RecordId(0)).unwrap();
+        assert_eq!(db.with_replica_read(0, 0, ImageDatabase::len), 4);
+        assert_eq!(db.with_replica_read(0, 1, ImageDatabase::len), 4);
+        assert!(
+            db.with_replica_read(0, 1, |d| d.get(RecordId(0)).is_some()),
+            "stale replica still holds the removed record"
+        );
+        assert!(db.with_replica_read(0, 0, |d| d.get(RecordId(0)).is_none()));
+
+        // Rebuild clones the healthy peer bit-for-bit and rejoins.
+        db.rebuild_replica(0, 1).unwrap();
+        let a = db.with_replica_read(0, 0, Clone::clone);
+        let b = db.with_replica_read(0, 1, Clone::clone);
+        assert_eq!(a, b, "rebuilt replica matches its source exactly");
+        assert!(db.replica_health().iter().flatten().all(|&h| h));
+
+        // Rebuilding a healthy replica is a no-op; bad coordinates err.
+        db.rebuild_replica(0, 1).unwrap();
+        assert!(db.fail_replica(9, 0).is_err());
+        assert!(db.rebuild_replica(0, 9).is_err());
+    }
+
+    #[test]
+    fn search_matches_sharded_and_single() {
+        use crate::ShardedImageDatabase;
+        let query = scene(7);
+        let single = {
+            let mut db = ImageDatabase::new();
+            for i in 0..30 {
+                db.insert_scene(&format!("img{i}"), &scene(i % 40)).unwrap();
+            }
+            db
+        };
+        let expect = single.search_scene(&query, &QueryOptions::default());
+        let sharded = ShardedImageDatabase::with_shards(3);
+        for i in 0..30 {
+            sharded
+                .insert_scene(&format!("img{i}"), &scene(i % 40))
+                .unwrap();
+        }
+        let sharded_hits = sharded.search_scene(&query, &QueryOptions::default());
+        for replicas in [1usize, 2, 3] {
+            let db = filled(3, replicas, 30);
+            let hits = db.search_scene(&query, &QueryOptions::default());
+            assert_eq!(hits.len(), expect.len());
+            for ((a, b), c) in expect.iter().zip(&hits).zip(&sharded_hits) {
+                assert_eq!(a.id, b.id, "{replicas} replicas");
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+                assert_eq!(b.id, c.id);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_cross_type_restore() {
+        let dir = std::env::temp_dir().join(format!("be2d_replica_snap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+
+        let db = filled(2, 2, 9);
+        db.remove(RecordId(4)).unwrap();
+        db.fail_replica(1, 0).unwrap();
+        assert_eq!(db.save_snapshot(&path).unwrap(), 8);
+
+        // A restore replaces every replica and heals the failed one.
+        let back = ReplicatedImageDatabase::with_topology(2, 2);
+        back.fail_replica(0, 1).unwrap();
+        assert_eq!(back.restore_from(&path).unwrap(), 8);
+        assert!(back.replica_health().iter().flatten().all(|&h| h));
+        assert!(back.get(RecordId(4)).is_none());
+        assert_eq!(back.get(RecordId(7)).unwrap().name, "img7");
+        assert_eq!(back.insert_scene("next", &scene(1)).unwrap(), RecordId(9));
+
+        // The snapshot format is interchangeable with the sharded
+        // database's, topology changes included.
+        let sharded = crate::ShardedImageDatabase::with_shards(3);
+        assert_eq!(sharded.restore_from(&path).unwrap(), 8);
+        assert_eq!(sharded.get(RecordId(7)).unwrap().name, "img7");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn round_robin_spreads_reads() {
+        let db = filled(1, 3, 6);
+        // Consecutive picks rotate over the healthy replicas.
+        let set = &db.inner.shards[0];
+        let picks: Vec<usize> = (0..6).map(|_| set.pick()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        set.health[1].store(false, Ordering::SeqCst);
+        let picks: Vec<usize> = (0..4).map(|_| set.pick()).collect();
+        assert!(picks.iter().all(|&p| p != 1), "failed replica skipped");
+    }
+
+    #[test]
+    fn clones_share_state_and_stats_report_topology() {
+        let db = ReplicatedImageDatabase::with_topology(2, 2);
+        let other = db.clone();
+        db.insert_scene("one", &scene(0)).unwrap();
+        assert_eq!(other.len(), 1);
+
+        let stats = other.stats();
+        assert_eq!(stats.shard_records, vec![1, 0]);
+        assert_eq!(stats.replica_records, vec![vec![1, 1], vec![0, 0]]);
+        assert_eq!(stats.replica_health, vec![vec![true, true]; 2]);
+        assert_eq!(stats.classes, 2);
+        assert_eq!(stats.objects, 2);
+        assert_eq!(other.replica_count(), 2);
+        assert_eq!(other.shard_count(), 2);
+        assert!(ReplicatedImageDatabase::with_topology(0, 0).shard_count() == 1);
+    }
+}

@@ -28,14 +28,17 @@
 //! records (see `crates/db/tests/sharded.rs`).
 
 use crate::database::write_atomic;
-use crate::{DbError, ImageDatabase, ImageRecord, QueryOptions, RecordId, SearchHit};
+use crate::{
+    CandidateSource, DbError, ImageDatabase, ImageRecord, PrefilterMode, QueryOptions, RecordId,
+    SearchHit,
+};
 use be2d_core::{BeString2D, SymbolicImage};
 use be2d_geometry::{ObjectClass, Rect, Scene};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A cheaply clonable, thread-safe, horizontally sharded image
@@ -71,6 +74,19 @@ struct Inner {
     shards: Vec<RwLock<ImageDatabase>>,
     /// The next global id; increments on every insert, never reused.
     next_id: AtomicUsize,
+    /// Per-shard edit counters, bumped under the owning shard's write
+    /// lock on every successful mutation. Recorded in the snapshot
+    /// manifest so [`save_snapshot`](ShardedImageDatabase::save_snapshot)
+    /// can skip rewriting shards untouched since the last generation.
+    edits: Vec<AtomicU64>,
+    /// Stable id of this database *instance* (shared by clones). Edit
+    /// counters are only comparable within one instance, so the
+    /// manifest records the writer and incremental saves never trust
+    /// counters written by a different process or database.
+    instance: u64,
+    /// Shards the scatter planner skipped because their class postings
+    /// provably cannot contribute a candidate (see `/stats`).
+    planner_skipped: AtomicU64,
     /// Serialises snapshot/restore **file I/O** (not regular traffic):
     /// two concurrent saves to one path could otherwise delete each
     /// other's generation files during cleanup, and a save racing a
@@ -114,6 +130,9 @@ impl ShardedImageDatabase {
                     .map(|_| RwLock::new(ImageDatabase::new()))
                     .collect(),
                 next_id: AtomicUsize::new(0),
+                edits: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+                instance: fresh_snapshot_id(),
+                planner_skipped: AtomicU64::new(0),
                 snapshot_io: parking_lot::Mutex::new(()),
             }),
         }
@@ -243,6 +262,9 @@ impl ShardedImageDatabase {
                 continue;
             }
             guard.insert_symbolic_with_id(local, name, symbolic)?;
+            // Bumped before the write lock drops, so a snapshot reading
+            // counters under read locks always pairs state with counter.
+            self.inner.edits[shard].fetch_add(1, Ordering::SeqCst);
             return Ok(id);
         }
         Err(DbError::Persist {
@@ -258,11 +280,15 @@ impl ShardedImageDatabase {
     /// or unassigned ids.
     pub fn remove(&self, id: RecordId) -> Result<(), DbError> {
         let (shard, local) = self.inner.route(id);
-        self.inner.shards[shard]
-            .write()
+        let mut guard = self.inner.shards[shard].write();
+        let removed = guard
             .remove(local)
             .map(|_| ())
-            .map_err(|e| self.inner.globalise_error(e, id))
+            .map_err(|e| self.inner.globalise_error(e, id));
+        if removed.is_ok() {
+            self.inner.edits[shard].fetch_add(1, Ordering::SeqCst);
+        }
+        removed
     }
 
     /// Looks a record up, returning a clone with its **global** id.
@@ -283,10 +309,14 @@ impl ShardedImageDatabase {
     /// Propagates the underlying error; the record is unchanged on error.
     pub fn add_object(&self, id: RecordId, class: &ObjectClass, mbr: Rect) -> Result<(), DbError> {
         let (shard, local) = self.inner.route(id);
-        self.inner.shards[shard]
-            .write()
+        let mut guard = self.inner.shards[shard].write();
+        let edited = guard
             .add_object(local, class, mbr)
-            .map_err(|e| self.inner.globalise_error(e, id))
+            .map_err(|e| self.inner.globalise_error(e, id));
+        if edited.is_ok() {
+            self.inner.edits[shard].fetch_add(1, Ordering::SeqCst);
+        }
+        edited
     }
 
     /// Incremental §3.2 object removal (locks only the owning shard).
@@ -301,16 +331,25 @@ impl ShardedImageDatabase {
         mbr: Rect,
     ) -> Result<(), DbError> {
         let (shard, local) = self.inner.route(id);
-        self.inner.shards[shard]
-            .write()
+        let mut guard = self.inner.shards[shard].write();
+        let edited = guard
             .remove_object(local, class, mbr)
-            .map_err(|e| self.inner.globalise_error(e, id))
+            .map_err(|e| self.inner.globalise_error(e, id));
+        if edited.is_ok() {
+            self.inner.edits[shard].fetch_add(1, Ordering::SeqCst);
+        }
+        edited
     }
 
     /// Scatter-gather ranked search: every shard scores its own
     /// candidates concurrently (scoped threads, one per shard, plus the
     /// per-shard [`Parallelism`](crate::Parallelism) policy within each),
     /// then the per-shard ranked lists are merged with a top-k heap.
+    ///
+    /// When the query's options use exact inverted-index candidates, the
+    /// scatter *planner* skips shards whose class postings provably
+    /// cannot contribute a candidate (empty posting intersection) —
+    /// counted in [`planner_skipped`](Self::planner_skipped).
     ///
     /// Ranking — ids, scores, and tie-breaks — is bit-identical to a
     /// single-shard [`ImageDatabase::search`] over the same records.
@@ -321,46 +360,26 @@ impl ShardedImageDatabase {
             // Local ids == global ids: no remap, no merge, no threads.
             return self.inner.shards[0].read().search(query, options);
         }
-        let scan_shard = |shard: usize, lock: &RwLock<ImageDatabase>| {
-            let mut hits = lock.read().search(query, options);
-            // Local slot l in shard s is global id l·N + s; the map is
-            // monotonic, so each list stays sorted.
-            for hit in &mut hits {
-                hit.id = RecordId(hit.id.index() * n + shard);
-            }
-            hits
-        };
-        // Scatter threads only pay off when there is real scoring work
-        // to split: on a single-core host, or below ~MIN_RECORDS total
-        // records (next_id is a cheap upper bound), per-query thread
-        // spawns would dominate the microsecond-scale scans, so gather
-        // sequentially instead (results are identical either way).
-        const SCATTER_MIN_RECORDS: usize = 64;
-        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-        let sequential =
-            cores == 1 || self.inner.next_id.load(Ordering::Relaxed) < SCATTER_MIN_RECORDS;
-        let per_shard: Vec<Vec<SearchHit>> = if sequential {
-            self.inner
-                .shards
-                .iter()
-                .enumerate()
-                .map(|(shard, lock)| scan_shard(shard, lock))
-                .collect()
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .inner
-                    .shards
-                    .iter()
-                    .enumerate()
-                    .map(|(shard, lock)| scope.spawn(move || scan_shard(shard, lock)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard search panicked"))
-                    .collect()
-            })
-        };
+        let query_classes: Vec<ObjectClass> = query.class_counts().into_keys().collect();
+        let per_shard = scatter_scan(
+            n,
+            // next_id is a cheap upper bound on the total record count.
+            self.inner.next_id.load(Ordering::Relaxed),
+            |shard| {
+                let guard = self.inner.shards[shard].read();
+                if shard_cannot_contribute(&guard, &query_classes, options) {
+                    self.inner.planner_skipped.fetch_add(1, Ordering::Relaxed);
+                    return Vec::new();
+                }
+                let mut hits = guard.search(query, options);
+                // Local slot l in shard s is global id l·N + s; the map
+                // is monotonic, so each list stays sorted.
+                for hit in &mut hits {
+                    hit.id = RecordId(hit.id.index() * n + shard);
+                }
+                hits
+            },
+        );
         merge_top_k(per_shard, options.top_k)
     }
 
@@ -386,6 +405,31 @@ impl ShardedImageDatabase {
         Ok(self.search(&query, options))
     }
 
+    /// Cumulative count of shards the scatter planner skipped because
+    /// their class postings could not contribute a candidate.
+    #[must_use]
+    pub fn planner_skipped(&self) -> u64 {
+        self.inner.planner_skipped.load(Ordering::Relaxed)
+    }
+
+    /// Posting-list sizes per shard for the given classes
+    /// (`result[shard][i]` is the posting length of `classes[i]` in that
+    /// shard) — the raw signal the scatter planner prunes on.
+    #[must_use]
+    pub fn class_posting_sizes(&self, classes: &[ObjectClass]) -> Vec<Vec<usize>> {
+        self.inner
+            .shards
+            .iter()
+            .map(|shard| {
+                let guard = shard.read();
+                classes
+                    .iter()
+                    .map(|c| guard.class_index().postings_len(c))
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Clones a consistent point-in-time copy of every shard.
     ///
     /// Read locks are taken on **all** shards before the first clone (in
@@ -405,9 +449,16 @@ impl ShardedImageDatabase {
     /// generation, so a failed or crashed save never disturbs the
     /// previous generation's files — the old manifest keeps pointing at
     /// a complete, restorable snapshot. The manifest is written last and
-    /// carries the snapshot id every shard file must echo, so a mixed
+    /// carries the generation every shard file must echo, so a mixed
     /// state can never restore silently. After a successful save, shard
     /// files of superseded generations are cleaned up best-effort.
+    ///
+    /// Saves are **incremental**: the manifest records each shard's edit
+    /// counter, and a shard whose counter is unchanged since the
+    /// previous snapshot by this same database instance is *not*
+    /// rewritten — the new manifest re-references the previous
+    /// generation's file, so snapshot cost is proportional to write
+    /// traffic instead of corpus size.
     ///
     /// Locks are held only while cloning; serialisation and I/O happen
     /// outside them.
@@ -420,43 +471,36 @@ impl ShardedImageDatabase {
         // to the same path must not garbage-collect each other's shard
         // files (see `cleanup_stale_generations`).
         let _io = self.inner.snapshot_io.lock();
-        let (shards, next_id) = self.snapshot_shards();
-        let records: usize = shards.iter().map(ImageDatabase::len).sum();
-        let snapshot_id = fresh_snapshot_id();
-        let manifest_name = file_name_of(path)?;
-
-        let shard_count = shards.len();
-        let mut files = Vec::with_capacity(shard_count);
-        for (shard, db) in shards.into_iter().enumerate() {
-            let name = shard_file_name(&manifest_name, snapshot_id, shard);
-            let shard_file = ShardFile {
-                format: SHARD_FORMAT.to_owned(),
-                snapshot_id,
-                shard,
-                of: shard_count,
-                db,
-            };
-            let json = serde_json::to_string(&shard_file).map_err(|e| DbError::Persist {
-                reason: e.to_string(),
-            })?;
-            write_atomic(&sibling(path, &name), &json)?;
-            files.push(name);
-        }
-        let manifest = ShardManifest {
-            format: MANIFEST_FORMAT.to_owned(),
-            version: 1,
-            snapshot_id,
-            shards: shard_count,
-            next_id,
-            records,
-            files,
+        // Parsed before any shard lock, so deciding what to skip costs
+        // no lock time.
+        let previous = PreviousSnapshot::load(path, self.inner.instance, self.inner.shards.len());
+        let payload = {
+            let guards: Vec<_> = self.inner.shards.iter().map(RwLock::read).collect();
+            let edits: Vec<u64> = self
+                .inner
+                .edits
+                .iter()
+                .map(|e| e.load(Ordering::SeqCst))
+                .collect();
+            // Only shards dirtied since the previous snapshot are
+            // cloned at all: snapshot cost is proportional to write
+            // traffic, not corpus size.
+            let shards: Vec<Option<ImageDatabase>> = guards
+                .iter()
+                .enumerate()
+                .map(|(shard, guard)| {
+                    (!previous.reusable(path, shard, edits[shard])).then(|| (**guard).clone())
+                })
+                .collect();
+            SnapshotPayload {
+                records: guards.iter().map(|g| g.len()).sum(),
+                shards,
+                next_id: self.inner.next_id.load(Ordering::SeqCst),
+                edits,
+                writer: self.inner.instance,
+            }
         };
-        let json = serde_json::to_string(&manifest).map_err(|e| DbError::Persist {
-            reason: e.to_string(),
-        })?;
-        write_atomic(path, &json)?;
-        cleanup_stale_generations(path, &manifest_name);
-        Ok(records)
+        save_snapshot_at(path, payload, &previous)
     }
 
     /// Restores the database from `path`, replacing all current
@@ -480,53 +524,22 @@ impl ShardedImageDatabase {
         // Excludes concurrent saves, whose generation cleanup could
         // otherwise delete the shard files this restore is mid-reading.
         let _io = self.inner.snapshot_io.lock();
-        let text = std::fs::read_to_string(path)?;
-        let (saved, next_id) = if let Ok(manifest) = serde_json::from_str::<ShardManifest>(&text) {
-            (load_manifest_shards(path, &manifest)?, manifest.next_id)
-        } else {
-            // Plain single-shard snapshot: treat it as a 1-shard save.
-            let db = ImageDatabase::from_json(&text)?;
-            let next_id = db.next_id();
-            (vec![db], next_id)
-        };
+        let (saved, next_id) = load_snapshot_at(path)?;
         let n = self.inner.shards.len();
 
         // Build the complete new topology outside the locks.
-        let mut rebuilt: Vec<ImageDatabase> = (0..n).map(|_| ImageDatabase::new()).collect();
-        let saved_n = saved.len();
-        if saved_n == n {
-            rebuilt = saved;
-        } else {
-            for (old_shard, db) in saved.into_iter().enumerate() {
-                for record in db.iter() {
-                    let global = RecordId(record.id.index() * saved_n + old_shard);
-                    let (shard, local) = self.inner.route(global);
-                    rebuilt[shard].insert_symbolic_with_id(
-                        local,
-                        &record.name,
-                        record.symbolic.clone(),
-                    )?;
-                }
-            }
-        }
+        let rebuilt = reroute_shards(saved, n)?;
         let records = rebuilt.iter().map(ImageDatabase::len).sum();
-
-        // The id counter must end up strictly above every slot the
-        // restored records occupy — a corrupt manifest could understate
-        // `next_id`, which would poison all future inserts with
-        // slot-occupied errors.
-        let mut required = next_id;
-        for (shard, db) in rebuilt.iter().enumerate() {
-            if db.next_id() > 0 {
-                required = required.max((db.next_id() - 1) * n + shard + 1);
-            }
-        }
+        let required = heal_next_id(&rebuilt, next_id);
 
         // Swap everything in under all write locks (taken in shard
         // order) so readers never observe a half-restored state.
         let mut guards: Vec<_> = self.inner.shards.iter().map(RwLock::write).collect();
-        for (guard, db) in guards.iter_mut().zip(rebuilt) {
+        for (shard, (guard, db)) in guards.iter_mut().zip(rebuilt).enumerate() {
             **guard = db;
+            // A restore rewrites the shard's contents, so the next save
+            // must not reuse pre-restore generation files.
+            self.inner.edits[shard].fetch_add(1, Ordering::SeqCst);
         }
         // `fetch_max`, never `store`: an insert racing this restore may
         // have allocated a high id before we took the write locks. If
@@ -602,7 +615,9 @@ impl Ord for Head {
 
 /// K-way merges per-shard ranked lists (each already sorted by score
 /// desc, id asc) into one global ranking, stopping after `top_k` hits.
-fn merge_top_k(lists: Vec<Vec<SearchHit>>, top_k: Option<usize>) -> Vec<SearchHit> {
+/// Shared with the replicated database
+/// ([`ReplicatedImageDatabase`](crate::ReplicatedImageDatabase)).
+pub(crate) fn merge_top_k(lists: Vec<Vec<SearchHit>>, top_k: Option<usize>) -> Vec<SearchHit> {
     use std::collections::BinaryHeap;
 
     let cap = top_k.unwrap_or(usize::MAX);
@@ -628,24 +643,214 @@ fn merge_top_k(lists: Vec<Vec<SearchHit>>, top_k: Option<usize>) -> Vec<SearchHi
 }
 
 // ---------------------------------------------------------------------------
+// Scatter dispatch
+// ---------------------------------------------------------------------------
+
+/// Runs one scan per shard and collects the per-shard ranked lists —
+/// the shared scatter dispatch of the sharded and replicated
+/// databases. Scatter threads only pay off when there is real scoring
+/// work to split: on a single-core host, or below `SCATTER_MIN_RECORDS`
+/// total records (the caller passes a cheap upper bound), per-query
+/// thread spawns would dominate the microsecond-scale scans, so the
+/// shards are scanned sequentially instead (results are identical
+/// either way).
+pub(crate) fn scatter_scan<F>(shards: usize, approx_records: usize, scan: F) -> Vec<Vec<SearchHit>>
+where
+    F: Fn(usize) -> Vec<SearchHit> + Copy + Send + Sync,
+{
+    const SCATTER_MIN_RECORDS: usize = 64;
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    if cores == 1 || approx_records < SCATTER_MIN_RECORDS {
+        (0..shards).map(scan).collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|shard| scope.spawn(move || scan(shard)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard search panicked"))
+                .collect()
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scatter planner
+// ---------------------------------------------------------------------------
+
+/// Whether one shard provably cannot contribute a candidate to the
+/// query — the cross-shard planning primitive both the sharded and the
+/// replicated database prune scatter fan-out with.
+///
+/// The pruning is **exact only** for inverted-index candidates
+/// ([`CandidateSource::ClassIndex`]): the 64-bit signature used by the
+/// scan path can admit extra candidates through hash collisions, so a
+/// scan-mode shard is never skipped (results must stay bit-identical).
+pub(crate) fn shard_cannot_contribute(
+    db: &ImageDatabase,
+    query_classes: &[ObjectClass],
+    options: &QueryOptions,
+) -> bool {
+    if options.candidates != CandidateSource::ClassIndex || query_classes.is_empty() {
+        return false;
+    }
+    let index = db.class_index();
+    match options.prefilter {
+        // No prefilter means a full scan regardless of postings.
+        PrefilterMode::None => false,
+        // The candidate set is the posting intersection: one absent
+        // class empties it for this shard.
+        PrefilterMode::AllClasses => query_classes.iter().any(|c| index.postings_len(c) == 0),
+        // The candidate set is the posting union: every class must be
+        // absent for the shard to contribute nothing.
+        PrefilterMode::AnyClass => query_classes.iter().all(|c| index.postings_len(c) == 0),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Snapshot format
 // ---------------------------------------------------------------------------
 
 const MANIFEST_FORMAT: &str = "be2d-shard-manifest";
 const SHARD_FORMAT: &str = "be2d-shard";
 
-/// The manifest written at the snapshot path proper.
+/// Everything a sharded snapshot writes: a consistent clone of every
+/// *dirtied* shard plus the id counter and per-shard edit counters at
+/// clone time. Shared by the sharded and the replicated database.
+pub(crate) struct SnapshotPayload {
+    /// Consistent point-in-time clone per shard; `None` means the shard
+    /// is untouched since the previous snapshot (the caller checked
+    /// [`PreviousSnapshot::reusable`]) and was deliberately **not**
+    /// cloned — its previous generation file is re-referenced instead,
+    /// keeping snapshot cost proportional to write traffic.
+    pub shards: Vec<Option<ImageDatabase>>,
+    /// Total live records across all shards at clone time.
+    pub records: usize,
+    /// The global id counter at clone time.
+    pub next_id: usize,
+    /// Per-shard edit counters at clone time (incremental-save key).
+    pub edits: Vec<u64>,
+    /// The owning database instance's stable id.
+    pub writer: u64,
+}
+
+/// The manifest currently at a snapshot path, pre-validated for
+/// incremental reuse. Loaded *before* any shard lock is taken, so the
+/// reuse decision (and the skipped clones it buys) costs no lock time.
+pub(crate) struct PreviousSnapshot {
+    manifest: Option<ShardManifest>,
+}
+
+impl PreviousSnapshot {
+    /// Reads and validates the manifest at `path`. Only a manifest
+    /// written by this very database instance (`writer`) over the same
+    /// topology is trusted — edit counters from another process (or
+    /// another instance in this process) are meaningless here.
+    pub(crate) fn load(path: &Path, writer: u64, shard_count: usize) -> PreviousSnapshot {
+        let manifest = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| parse_manifest(&text))
+            .filter(|m| {
+                m.format == MANIFEST_FORMAT
+                    && m.writer == writer
+                    && m.writer != 0
+                    && m.shards == shard_count
+                    && m.files.len() == shard_count
+                    && m.file_snapshots.len() == shard_count
+                    && m.edits.len() == shard_count
+            });
+        PreviousSnapshot { manifest }
+    }
+
+    /// Whether shard `shard` need not be cloned or rewritten: its edit
+    /// counter still equals the previous snapshot's and the previous
+    /// generation file is still on disk.
+    pub(crate) fn reusable(&self, path: &Path, shard: usize, edits: u64) -> bool {
+        self.manifest
+            .as_ref()
+            .is_some_and(|m| m.edits[shard] == edits && sibling(path, &m.files[shard]).is_file())
+    }
+
+    /// The previous generation reference (file name, generation id) for
+    /// one shard.
+    fn reference(&self, shard: usize) -> Option<(String, u64)> {
+        self.manifest
+            .as_ref()
+            .map(|m| (m.files[shard].clone(), m.file_snapshots[shard]))
+    }
+}
+
+/// The manifest written at the snapshot path proper (version 2).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct ShardManifest {
     format: String,
     version: u32,
-    /// Echoed by every shard file of the same snapshot generation.
+    /// The generation this save created (fresh shard files use it).
     snapshot_id: u64,
+    /// Stable id of the database instance that wrote the manifest; edit
+    /// counters are only comparable within one instance.
+    writer: u64,
     shards: usize,
     next_id: usize,
     records: usize,
     /// Plain file names next to the manifest (no directories).
     files: Vec<String>,
+    /// The generation each file in `files` belongs to — files of
+    /// shards untouched since the previous snapshot are re-referenced
+    /// from their old generation instead of rewritten.
+    file_snapshots: Vec<u64>,
+    /// Per-shard edit counters at snapshot time.
+    edits: Vec<u64>,
+}
+
+/// The version-1 manifest (every shard file rewritten per save), still
+/// accepted on restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ShardManifestV1 {
+    format: String,
+    version: u32,
+    snapshot_id: u64,
+    shards: usize,
+    next_id: usize,
+    records: usize,
+    files: Vec<String>,
+}
+
+impl ShardManifestV1 {
+    /// Lifts a v1 manifest into the v2 shape: every file belongs to the
+    /// manifest's own generation, and the unknown writer/edits make any
+    /// incremental-save comparison fail (full rewrite next save).
+    fn upgrade(self) -> ShardManifest {
+        let files = self.files;
+        ShardManifest {
+            format: self.format,
+            version: self.version,
+            snapshot_id: self.snapshot_id,
+            writer: 0,
+            shards: self.shards,
+            next_id: self.next_id,
+            records: self.records,
+            file_snapshots: vec![self.snapshot_id; files.len()],
+            edits: vec![0; files.len()],
+            files,
+        }
+    }
+}
+
+/// Parses a manifest, accepting both the current and the v1 layout.
+/// Tried in that order: the shim deserialiser ignores unknown fields,
+/// so a v2 document would also "parse" as v1 (dropping the incremental
+/// bookkeeping), while a v1 document fails the v2 parse on its missing
+/// fields.
+fn parse_manifest(text: &str) -> Option<ShardManifest> {
+    serde_json::from_str::<ShardManifest>(text)
+        .ok()
+        .or_else(|| {
+            serde_json::from_str::<ShardManifestV1>(text)
+                .ok()
+                .map(ShardManifestV1::upgrade)
+        })
 }
 
 /// One per-shard snapshot file.
@@ -658,10 +863,136 @@ struct ShardFile {
     db: ImageDatabase,
 }
 
+/// Writes a sharded snapshot (manifest + per-shard generation files) at
+/// `path`. Shards the caller marked reusable (`None` clones) are not
+/// rewritten: the new manifest re-references their previous generation
+/// files from `previous`. Returns the number of live records saved.
+///
+/// The caller must already hold its snapshot-I/O lock, and `previous`
+/// must be the [`PreviousSnapshot`] its reuse decisions were made
+/// against.
+pub(crate) fn save_snapshot_at(
+    path: &Path,
+    payload: SnapshotPayload,
+    previous: &PreviousSnapshot,
+) -> Result<usize, DbError> {
+    let records = payload.records;
+    let snapshot_id = fresh_snapshot_id();
+    let manifest_name = file_name_of(path)?;
+    let shard_count = payload.shards.len();
+
+    let mut files = Vec::with_capacity(shard_count);
+    let mut file_snapshots = Vec::with_capacity(shard_count);
+    for (shard, db) in payload.shards.into_iter().enumerate() {
+        let Some(db) = db else {
+            // Untouched since the previous generation: re-reference the
+            // existing file instead of rewriting it.
+            let Some((name, generation)) = previous.reference(shard) else {
+                return Err(DbError::Persist {
+                    reason: format!(
+                        "shard {shard} was marked reusable but no previous manifest is available"
+                    ),
+                });
+            };
+            files.push(name);
+            file_snapshots.push(generation);
+            continue;
+        };
+        let name = shard_file_name(&manifest_name, snapshot_id, shard);
+        let shard_file = ShardFile {
+            format: SHARD_FORMAT.to_owned(),
+            snapshot_id,
+            shard,
+            of: shard_count,
+            db,
+        };
+        let json = serde_json::to_string(&shard_file).map_err(|e| DbError::Persist {
+            reason: e.to_string(),
+        })?;
+        write_atomic(&sibling(path, &name), &json)?;
+        files.push(name);
+        file_snapshots.push(snapshot_id);
+    }
+    let manifest = ShardManifest {
+        format: MANIFEST_FORMAT.to_owned(),
+        version: 2,
+        snapshot_id,
+        writer: payload.writer,
+        shards: shard_count,
+        next_id: payload.next_id,
+        records,
+        files,
+        file_snapshots,
+        edits: payload.edits,
+    };
+    let json = serde_json::to_string(&manifest).map_err(|e| DbError::Persist {
+        reason: e.to_string(),
+    })?;
+    write_atomic(path, &json)?;
+    cleanup_stale_generations(path, &manifest_name);
+    Ok(records)
+}
+
+/// Loads a snapshot from `path`: either a sharded manifest (v1 or v2)
+/// or a plain [`ImageDatabase::save`] file, returning the per-shard
+/// databases in their saved topology plus the saved id counter.
+///
+/// The caller must already hold its snapshot-I/O lock.
+pub(crate) fn load_snapshot_at(path: &Path) -> Result<(Vec<ImageDatabase>, usize), DbError> {
+    let text = std::fs::read_to_string(path)?;
+    if let Some(manifest) = parse_manifest(&text) {
+        let shards = load_manifest_shards(path, &manifest)?;
+        Ok((shards, manifest.next_id))
+    } else {
+        // Plain single-shard snapshot: treat it as a 1-shard save.
+        let db = ImageDatabase::from_json(&text)?;
+        let next_id = db.next_id();
+        Ok((vec![db], next_id))
+    }
+}
+
+/// Re-routes records saved under `saved.len()` shards into `n` shards,
+/// preserving every record's global id. A same-count restore is a
+/// move, not a replay.
+pub(crate) fn reroute_shards(
+    saved: Vec<ImageDatabase>,
+    n: usize,
+) -> Result<Vec<ImageDatabase>, DbError> {
+    let saved_n = saved.len();
+    if saved_n == n {
+        return Ok(saved);
+    }
+    let mut rebuilt: Vec<ImageDatabase> = (0..n).map(|_| ImageDatabase::new()).collect();
+    for (old_shard, db) in saved.into_iter().enumerate() {
+        for record in db.iter() {
+            let global = record.id.index() * saved_n + old_shard;
+            let (shard, local) = (global % n, RecordId(global / n));
+            rebuilt[shard].insert_symbolic_with_id(local, &record.name, record.symbolic.clone())?;
+        }
+    }
+    Ok(rebuilt)
+}
+
+/// The id-counter value a restore must raise the allocator to: strictly
+/// above every slot the rebuilt shards occupy, even when a corrupt
+/// manifest understates `next_id` (which would otherwise poison all
+/// future inserts with slot-occupied errors).
+pub(crate) fn heal_next_id(rebuilt: &[ImageDatabase], manifest_next_id: usize) -> usize {
+    let n = rebuilt.len();
+    let mut required = manifest_next_id;
+    for (shard, db) in rebuilt.iter().enumerate() {
+        if db.next_id() > 0 {
+            required = required.max((db.next_id() - 1) * n + shard + 1);
+        }
+    }
+    required
+}
+
 /// A practically unique snapshot id: wall-clock nanos mixed with a
 /// process-local counter and the pid, so two snapshots — even in the
 /// same nanosecond or from two processes — get distinct generations.
-fn fresh_snapshot_id() -> u64 {
+/// Also used as the per-instance writer id of each database.
+pub(crate) fn fresh_snapshot_id() -> u64 {
     use std::sync::atomic::AtomicU64;
     static SEQ: AtomicU64 = AtomicU64::new(0);
     let nanos = std::time::SystemTime::now()
@@ -698,7 +1029,7 @@ fn cleanup_stale_generations(manifest_path: &Path, manifest_name: &str) {
     };
     let referenced: Vec<String> = std::fs::read_to_string(manifest_path)
         .ok()
-        .and_then(|text| serde_json::from_str::<ShardManifest>(&text).ok())
+        .and_then(|text| parse_manifest(&text))
         .map(|manifest| manifest.files)
         .unwrap_or_default();
     let Ok(entries) = std::fs::read_dir(dir) else {
@@ -736,7 +1067,10 @@ fn load_manifest_shards(
             manifest.format
         )));
     }
-    if manifest.shards == 0 || manifest.files.len() != manifest.shards {
+    if manifest.shards == 0
+        || manifest.files.len() != manifest.shards
+        || manifest.file_snapshots.len() != manifest.shards
+    {
         return Err(invalid(format!(
             "manifest names {} files for {} shards",
             manifest.files.len(),
@@ -761,13 +1095,13 @@ fn load_manifest_shards(
                 file.format
             )));
         }
-        if file.snapshot_id != manifest.snapshot_id {
+        if file.snapshot_id != manifest.file_snapshots[shard] {
             return Err(invalid(format!(
-                "shard file {} belongs to snapshot {} but the manifest is snapshot {} \
+                "shard file {} belongs to snapshot {} but the manifest expects snapshot {} \
                  (torn or mixed snapshot generations)",
                 path.display(),
                 file.snapshot_id,
-                manifest.snapshot_id
+                manifest.file_snapshots[shard]
             )));
         }
         if file.shard != shard || file.of != manifest.shards {
@@ -951,18 +1285,32 @@ mod tests {
             assert!(dir.join(name).is_file(), "{name}");
         }
 
-        // A second save supersedes the first generation and cleans its
-        // shard files up; the new manifest stays restorable.
+        // A second save with no edits in between is fully incremental:
+        // every shard file is re-referenced, none rewritten.
         assert_eq!(db.save_snapshot(&path).unwrap(), 10);
-        for name in &manifest.files {
-            assert!(!dir.join(name).exists(), "stale generation {name} kept");
+        let second: ShardManifest =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(second.files, manifest.files, "unchanged shards reused");
+
+        // An edit dirties exactly one shard; the next save rewrites that
+        // shard only and cleans its superseded generation file up.
+        db.remove(RecordId(8)).unwrap(); // 8 % 4 = shard 0
+        assert_eq!(db.save_snapshot(&path).unwrap(), 9);
+        let third: ShardManifest =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_ne!(third.files[0], manifest.files[0], "dirty shard rewritten");
+        assert_eq!(third.files[1..], manifest.files[1..], "clean shards kept");
+        assert!(!dir.join(&manifest.files[0]).exists(), "stale file cleaned");
+        for name in &third.files {
+            assert!(dir.join(name).is_file(), "{name}");
         }
 
         let back = ShardedImageDatabase::with_shards(4);
-        assert_eq!(back.restore_from(&path).unwrap(), 10);
-        assert_eq!(back.len(), 10);
+        assert_eq!(back.restore_from(&path).unwrap(), 9);
+        assert_eq!(back.len(), 9);
         assert_eq!(back.shard_lens(), db.shard_lens());
         assert!(back.get(RecordId(6)).is_none());
+        assert!(back.get(RecordId(8)).is_none());
         assert_eq!(back.get(RecordId(7)).unwrap().name, "img7");
         // the id counter survives: the next insert continues the sequence
         assert_eq!(back.insert_scene("next", &scene(2)).unwrap(), RecordId(11));
@@ -1126,5 +1474,116 @@ mod tests {
         db.insert_scene("one", &scene(0)).unwrap();
         assert_eq!(other.len(), 1);
         assert_eq!(other.with_shard_read(0, ImageDatabase::len), 1);
+    }
+
+    #[test]
+    fn planner_skips_shards_without_query_classes() {
+        let db = filled(4, 12);
+        // Class Q exists only in record 0 → shard 0; the other three
+        // shards provably cannot contribute to a Q-only query.
+        db.add_object(
+            RecordId(0),
+            &ObjectClass::new("Q"),
+            Rect::new(0, 5, 0, 5).unwrap(),
+        )
+        .unwrap();
+        let query = SceneBuilder::new(100, 100)
+            .object("Q", (0, 5, 0, 5))
+            .build()
+            .unwrap();
+        let options = QueryOptions {
+            prefilter: PrefilterMode::AllClasses,
+            candidates: crate::CandidateSource::ClassIndex,
+            top_k: None,
+            ..QueryOptions::default()
+        };
+        assert_eq!(db.planner_skipped(), 0);
+        let hits = db.search_scene(&query, &options);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, RecordId(0));
+        assert_eq!(db.planner_skipped(), 3, "three Q-free shards skipped");
+
+        // The pruning signal itself is observable per shard.
+        let sizes = db.class_posting_sizes(&[ObjectClass::new("Q"), ObjectClass::new("A")]);
+        assert_eq!(sizes.len(), 4);
+        assert_eq!(sizes[0][0], 1, "shard 0 holds the only Q posting");
+        assert!(sizes[1..].iter().all(|s| s[0] == 0));
+        assert!(sizes.iter().all(|s| s[1] > 0), "class A is everywhere");
+
+        // Scan-mode candidates are never pruned (signature collisions
+        // could admit extra candidates, so skipping would be unsound).
+        let scan = QueryOptions {
+            candidates: crate::CandidateSource::Scan,
+            ..options
+        };
+        let _ = db.search_scene(&query, &scan);
+        assert_eq!(db.planner_skipped(), 3, "scan mode never skips");
+    }
+
+    #[test]
+    fn incremental_save_distrusts_foreign_manifests() {
+        let dir = std::env::temp_dir().join(format!("be2d_shard_foreign_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+
+        let db = filled(2, 6);
+        db.save_snapshot(&path).unwrap();
+        let first: ShardManifest =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+
+        // A *different* database instance with coincidentally equal edit
+        // counters must not reuse the other instance's files.
+        let other = filled(2, 6);
+        other.save_snapshot(&path).unwrap();
+        let second: ShardManifest =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(
+            first.files.iter().zip(&second.files).all(|(a, b)| a != b),
+            "foreign manifest reused: {:?} vs {:?}",
+            first.files,
+            second.files
+        );
+
+        // Restoring bumps edit counters, so the next save rewrites the
+        // restored shards instead of trusting pre-restore generations.
+        other.restore_from(&path).unwrap();
+        other.save_snapshot(&path).unwrap();
+        let third: ShardManifest =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(
+            second.files.iter().zip(&third.files).all(|(a, b)| a != b),
+            "post-restore save must rewrite"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_accepts_v1_manifests() {
+        let dir = std::env::temp_dir().join(format!("be2d_shard_v1_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+
+        let db = filled(2, 5);
+        db.save_snapshot(&path).unwrap();
+        let m: ShardManifest =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        // Rewrite the manifest in the version-1 layout (no writer /
+        // file_snapshots / edits fields) — older deployments' snapshots.
+        let v1 = ShardManifestV1 {
+            format: m.format.clone(),
+            version: 1,
+            snapshot_id: m.snapshot_id,
+            shards: m.shards,
+            next_id: m.next_id,
+            records: m.records,
+            files: m.files.clone(),
+        };
+        std::fs::write(&path, serde_json::to_string(&v1).unwrap()).unwrap();
+
+        let back = ShardedImageDatabase::with_shards(2);
+        assert_eq!(back.restore_from(&path).unwrap(), 5);
+        assert_eq!(back.get(RecordId(4)).unwrap().name, "img4");
+        assert_eq!(back.insert_scene("next", &scene(1)).unwrap(), RecordId(5));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

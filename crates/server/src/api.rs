@@ -34,12 +34,15 @@ impl ApiError {
     }
 
     /// Maps a database error onto a status: unknown record → 404,
-    /// semantic (BE-string / sketch) failures → 422, persistence → 500.
+    /// semantic (BE-string / sketch) failures → 422, replica-health
+    /// conflicts (bad coordinates, last healthy copy) → 409,
+    /// persistence → 500.
     #[must_use]
     pub fn from_db(e: &DbError) -> ApiError {
         let status = match e {
             DbError::UnknownRecord { .. } => 404,
             DbError::BeString(_) | DbError::Sketch { .. } => 422,
+            DbError::Replica { .. } => 409,
             _ => 500,
         };
         ApiError {
@@ -335,6 +338,36 @@ impl PathRequest {
     }
 }
 
+/// `POST /admin/replicas/fail` / `POST /admin/replicas/heal`: one
+/// replica's coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaRequest {
+    /// The shard the replica belongs to.
+    pub shard: usize,
+    /// The replica index inside the shard.
+    pub replica: usize,
+}
+
+impl ReplicaRequest {
+    /// Parses `{"shard": S, "replica": R}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns 400-level [`ApiError`]s for malformed bodies.
+    pub fn from_value(v: &Value) -> Result<ReplicaRequest, ApiError> {
+        let obj = as_obj(v, "body")?;
+        let shard = as_i64(required(obj, "shard")?, "shard")?;
+        let replica = as_i64(required(obj, "replica")?, "replica")?;
+        let coerce = |raw: i64, what: &str| {
+            usize::try_from(raw).map_err(|_| ApiError::bad(format!("{what} must be >= 0")))
+        };
+        Ok(ReplicaRequest {
+            shard: coerce(shard, "shard")?,
+            replica: coerce(replica, "replica")?,
+        })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Query options
 // ---------------------------------------------------------------------------
@@ -512,6 +545,17 @@ pub struct InsertResponse {
     pub objects: usize,
 }
 
+/// Body of admin replica fail/heal responses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaResponse {
+    /// The shard the replica belongs to.
+    pub shard: usize,
+    /// The replica index inside the shard.
+    pub replica: usize,
+    /// Whether the replica is in rotation after the operation.
+    pub healthy: bool,
+}
+
 /// Body of delete / object-edit responses.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AckResponse {
@@ -541,9 +585,19 @@ pub struct StatsResponse {
     pub objects: usize,
     /// Database shards serving this instance.
     pub shards: usize,
+    /// Replicas per shard.
+    pub replicas: usize,
     /// Live records per shard, in shard order — the hot-shard imbalance
     /// signal.
     pub shard_records: Vec<usize>,
+    /// Live records per replica (`replica_records[shard][replica]`); a
+    /// failed replica's count goes stale until its rebuild.
+    pub replica_records: Vec<Vec<usize>>,
+    /// Health bits per replica (`replica_health[shard][replica]`).
+    pub replica_health: Vec<Vec<bool>>,
+    /// Shards the scatter planner skipped since boot because their
+    /// class postings could not contribute a candidate.
+    pub planner_skipped: u64,
     /// Requests fully served (any status) since boot.
     pub requests: u64,
     /// Searches served since boot.
@@ -755,10 +809,35 @@ mod tests {
     }
 
     #[test]
+    fn replica_request_parses_and_rejects() {
+        let req = ReplicaRequest::from_value(&val(r#"{"shard":2,"replica":1}"#)).unwrap();
+        assert_eq!(
+            req,
+            ReplicaRequest {
+                shard: 2,
+                replica: 1
+            }
+        );
+        for text in [
+            r#"{}"#,
+            r#"{"shard":0}"#,
+            r#"{"replica":0}"#,
+            r#"{"shard":-1,"replica":0}"#,
+            r#"{"shard":"zero","replica":0}"#,
+        ] {
+            assert!(ReplicaRequest::from_value(&val(text)).is_err(), "{text}");
+        }
+    }
+
+    #[test]
     fn db_error_status_mapping() {
         assert_eq!(
             ApiError::from_db(&DbError::UnknownRecord { id: 3 }).status,
             404
+        );
+        assert_eq!(
+            ApiError::from_db(&DbError::Replica { reason: "x".into() }).status,
+            409
         );
         assert_eq!(
             ApiError::from_db(&DbError::Sketch { reason: "x".into() }).status,

@@ -9,7 +9,7 @@
 //! this to learn the ephemeral port) and `be2d-server shutdown complete`
 //! after a graceful shutdown.
 
-use be2d_db::ShardedImageDatabase;
+use be2d_db::ReplicatedImageDatabase;
 use be2d_server::{Server, ServerConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,6 +22,9 @@ fn usage() -> &'static str {
        --threads N        worker threads (default: host parallelism)\n\
        --shards N         database shards: searches scatter-gather, writes lock\n\
                           only the owning shard (default 1)\n\
+       --replicas R       replicas per shard: reads round-robin across copies,\n\
+                          writes fan out to all; POST /admin/replicas/fail|heal\n\
+                          injects and repairs replica faults (default 1)\n\
        --queue N          pending-connection queue before 503 shedding (default 64)\n\
        --keep-alive N     requests served per connection (default 256)\n\
        --db PATH          load this snapshot into the database at boot\n\
@@ -53,6 +56,11 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<PathBuf>), String
                 config.shards = value("--shards")?
                     .parse()
                     .map_err(|_| "--shards must be a number".to_owned())?;
+            }
+            "--replicas" => {
+                config.replicas = value("--replicas")?
+                    .parse()
+                    .map_err(|_| "--replicas must be a number".to_owned())?;
             }
             "--queue" => {
                 config.queue_capacity = value("--queue")?
@@ -92,14 +100,16 @@ fn main() -> ExitCode {
         Some(path) => {
             // A preload file may be a plain snapshot or a sharded
             // manifest; restore_from handles both and re-routes records
-            // into the configured shard topology.
-            let db = ShardedImageDatabase::with_shards(config.shards);
+            // into the configured shard topology (every replica gets the
+            // restored state).
+            let db = ReplicatedImageDatabase::with_topology(config.shards, config.replicas);
             match db.restore_from(path) {
                 Ok(records) => {
                     eprintln!(
-                        "loaded {records} records from {} into {} shard(s)",
+                        "loaded {records} records from {} into {} shard(s) x {} replica(s)",
                         path.display(),
-                        db.shard_count()
+                        db.shard_count(),
+                        db.replica_count()
                     );
                     db
                 }
@@ -109,7 +119,7 @@ fn main() -> ExitCode {
                 }
             }
         }
-        None => ShardedImageDatabase::with_shards(config.shards),
+        None => ReplicatedImageDatabase::with_topology(config.shards, config.replicas),
     };
 
     let server = match Server::with_database(config, db) {

@@ -22,7 +22,8 @@ fn usage() -> &'static str {
        --requests N        total requests (default 1000)\n\
        --connections N     concurrent connections (default 4)\n\
        --rate R            open-loop req/s across all connections (default 0 = closed loop)\n\
-       --mix SPEC          op mix, e.g. insert=15,search=70,sketch=5 (default: serving mix)\n\
+       --mix SPEC          op mix: a preset (serving | read-heavy) or weights,\n\
+                           e.g. insert=15,search=70,sketch=5 (default: serving)\n\
        --skew SPEC         hot/cold target skew: P (hot prob, 10% hot prefix),\n\
                            P/F (explicit hot fraction) or P/sN (hot = ids divisible\n\
                            by N; N = server shards aims edits at shard 0). default: uniform\n\

@@ -19,6 +19,11 @@ pub struct ServerConfig {
     /// confine each write's lock to the owning shard. 0 is clamped
     /// to 1.
     pub shards: usize,
+    /// Replicas per shard. 1 (the default) is the unreplicated
+    /// deployment; more replicas spread reads across copies, survive
+    /// replica failure (`POST /admin/replicas/fail`), and rebuild from
+    /// a healthy peer (`POST /admin/replicas/heal`). 0 is clamped to 1.
+    pub replicas: usize,
     /// Connections allowed to wait for a free worker before new ones
     /// are shed with `503 Service Unavailable`.
     pub queue_capacity: usize,
@@ -53,6 +58,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             threads: 0,
             shards: 1,
+            replicas: 1,
             queue_capacity: 64,
             read_timeout: Duration::from_secs(5),
             request_timeout: Duration::from_secs(15),

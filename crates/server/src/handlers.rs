@@ -2,14 +2,14 @@
 
 use crate::api::{
     json_response, parse_body, AckResponse, ApiError, InsertBody, InsertRequest, InsertResponse,
-    ObjectEdit, PathRequest, SearchQuery, SearchRequest, SearchResponse, SketchRequest,
-    SnapshotResponse, StatsResponse,
+    ObjectEdit, PathRequest, ReplicaRequest, ReplicaResponse, SearchQuery, SearchRequest,
+    SearchResponse, SketchRequest, SnapshotResponse, StatsResponse,
 };
 use crate::http::{Request, Response};
 use crate::router::{route, Route};
 use crate::ServerConfig;
 use be2d_db::sketch::Sketch;
-use be2d_db::{QueryOptions, RecordId, ShardedImageDatabase};
+use be2d_db::{QueryOptions, RecordId, ReplicatedImageDatabase};
 use serde::Value;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -35,8 +35,8 @@ pub struct ServerStats {
 /// Everything a worker needs to serve one request.
 #[derive(Debug)]
 pub struct AppState {
-    /// The shared (possibly sharded) database.
-    pub db: ShardedImageDatabase,
+    /// The shared (possibly sharded and replicated) database.
+    pub db: ReplicatedImageDatabase,
     /// Immutable server configuration.
     pub config: ServerConfig,
     /// Service counters.
@@ -57,7 +57,7 @@ impl AppState {
     /// Builds the state for one server instance.
     #[must_use]
     pub fn new(
-        db: ShardedImageDatabase,
+        db: ReplicatedImageDatabase,
         config: ServerConfig,
         threads: usize,
         addr: std::net::SocketAddr,
@@ -115,6 +115,8 @@ fn dispatch(state: &AppState, request: &Request) -> Result<Response, ApiError> {
         Route::Stats => Ok(stats(state)),
         Route::Snapshot => snapshot(state, &body_of(request)?),
         Route::Restore => restore(state, &body_of(request)?),
+        Route::ReplicaFail => replica_health(state, &body_of(request)?, false),
+        Route::ReplicaHeal => replica_health(state, &body_of(request)?, true),
         Route::Shutdown => {
             state.request_shutdown();
             Ok(Response::json(200, "{\"shutting_down\":true}".into()))
@@ -214,9 +216,30 @@ fn search_sketch(state: &AppState, body: &Value) -> Result<Response, ApiError> {
     Ok(json_response(200, &SearchResponse::from_hits(&hits)))
 }
 
+/// `POST /admin/replicas/fail` / `heal`: fault injection and recovery
+/// for one replica. Healing rebuilds the replica's state from a
+/// healthy peer before it rejoins rotation.
+fn replica_health(state: &AppState, body: &Value, heal: bool) -> Result<Response, ApiError> {
+    let req = ReplicaRequest::from_value(body)?;
+    let result = if heal {
+        state.db.rebuild_replica(req.shard, req.replica)
+    } else {
+        state.db.fail_replica(req.shard, req.replica)
+    };
+    result.map_err(|e| ApiError::from_db(&e))?;
+    Ok(json_response(
+        200,
+        &ReplicaResponse {
+            shard: req.shard,
+            replica: req.replica,
+            healthy: heal,
+        },
+    ))
+}
+
 fn stats(state: &AppState) -> Response {
-    // One simultaneous read lock over all shards: the reported
-    // records/classes/objects combination is never torn by a
+    // One simultaneous read lock over all replicas of all shards: the
+    // reported records/classes/objects combination is never torn by a
     // concurrent write.
     let db_stats = state.db.stats();
     json_response(
@@ -226,7 +249,11 @@ fn stats(state: &AppState) -> Response {
             classes: db_stats.classes,
             objects: db_stats.objects,
             shards: state.db.shard_count(),
+            replicas: state.db.replica_count(),
             shard_records: db_stats.shard_records,
+            replica_records: db_stats.replica_records,
+            replica_health: db_stats.replica_health,
+            planner_skipped: state.db.planner_skipped(),
             requests: state.stats.requests.load(Ordering::Relaxed),
             searches: state.stats.searches.load(Ordering::Relaxed),
             inserts: state.stats.inserts.load(Ordering::Relaxed),
@@ -288,10 +315,11 @@ mod tests {
 
     fn state() -> Arc<AppState> {
         // No real listener behind this state: the shutdown poke just
-        // fails fast against the unroutable port. Two shards so every
-        // handler test also exercises routing + scatter-gather.
+        // fails fast against the unroutable port. Two shards × two
+        // replicas so every handler test also exercises routing,
+        // scatter-gather, and the write fan-out.
         AppState::new(
-            ShardedImageDatabase::with_shards(2),
+            ReplicatedImageDatabase::with_topology(2, 2),
             ServerConfig::default(),
             4,
             ([127, 0, 0, 1], 9).into(),
@@ -444,7 +472,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("be2d_handler_snap_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let state = AppState::new(
-            ShardedImageDatabase::with_shards(2),
+            ReplicatedImageDatabase::with_topology(2, 2),
             ServerConfig {
                 snapshot_dir: dir.clone(),
                 ..ServerConfig::default()
@@ -510,11 +538,105 @@ mod tests {
         assert!(body.contains("\"records\":0"), "{body}");
         assert!(body.contains("\"threads\":4"), "{body}");
         assert!(body.contains("\"shards\":2"), "{body}");
+        assert!(body.contains("\"replicas\":2"), "{body}");
         assert!(body.contains("\"shard_records\":[0,0]"), "{body}");
+        assert!(body.contains("\"replica_records\":[[0,0],[0,0]]"), "{body}");
+        assert!(
+            body.contains("\"replica_health\":[[true,true],[true,true]]"),
+            "{body}"
+        );
+        assert!(body.contains("\"planner_skipped\":0"), "{body}");
 
         assert!(!state.shutting_down());
         let resp = handle(&state, &request(Method::Post, "/admin/shutdown", ""));
         assert_eq!(resp.status, 200);
         assert!(state.shutting_down());
+    }
+
+    #[test]
+    fn replica_fail_and_heal_endpoints() {
+        let state = state();
+        handle(
+            &state,
+            &request(
+                Method::Post,
+                "/images",
+                &format!(r#"{{"name":"kept","scene":{SCENE_AB}}}"#),
+            ),
+        );
+
+        // Fail replica 1 of shard 0: searches keep answering.
+        let body = r#"{"shard":0,"replica":1}"#;
+        let resp = handle(&state, &request(Method::Post, "/admin/replicas/fail", body));
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        assert!(String::from_utf8(resp.body)
+            .unwrap()
+            .contains("\"healthy\":false"));
+        let resp = handle(
+            &state,
+            &request(
+                Method::Post,
+                "/search",
+                &format!(r#"{{"scene":{SCENE_AB}}}"#),
+            ),
+        );
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8(resp.body).unwrap().contains("\"kept\""));
+        let resp = handle(&state, &request(Method::Get, "/stats", ""));
+        let stats_body = String::from_utf8(resp.body).unwrap();
+        assert!(
+            stats_body.contains("\"replica_health\":[[true,false],[true,true]]"),
+            "{stats_body}"
+        );
+
+        // Failing the last healthy copy of the shard is a 409 conflict.
+        let resp = handle(
+            &state,
+            &request(
+                Method::Post,
+                "/admin/replicas/fail",
+                r#"{"shard":0,"replica":0}"#,
+            ),
+        );
+        assert_eq!(
+            resp.status,
+            409,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+
+        // Heal rebuilds from the healthy peer and rejoins.
+        let resp = handle(&state, &request(Method::Post, "/admin/replicas/heal", body));
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8(resp.body)
+            .unwrap()
+            .contains("\"healthy\":true"));
+        let resp = handle(&state, &request(Method::Get, "/stats", ""));
+        let stats_body = String::from_utf8(resp.body).unwrap();
+        assert!(
+            stats_body.contains("\"replica_health\":[[true,true],[true,true]]"),
+            "{stats_body}"
+        );
+
+        // Out-of-range coordinates are 409, malformed bodies 400.
+        let resp = handle(
+            &state,
+            &request(
+                Method::Post,
+                "/admin/replicas/heal",
+                r#"{"shard":9,"replica":0}"#,
+            ),
+        );
+        assert_eq!(resp.status, 409);
+        let resp = handle(
+            &state,
+            &request(Method::Post, "/admin/replicas/fail", r#"{"shard":0}"#),
+        );
+        assert_eq!(resp.status, 400);
     }
 }

@@ -1,12 +1,16 @@
 //! # be2d-server — the online retrieval service
 //!
-//! Turns [`ShardedImageDatabase`](be2d_db::ShardedImageDatabase) into a
-//! network-facing service: a dependency-free HTTP/1.1 JSON server on
-//! `std::net` (the build is offline — no tokio/hyper) plus a load
-//! generator that drives it over real sockets and reports throughput
-//! and latency percentiles. With `--shards N` the database is split
-//! into N independently locked partitions: searches scatter-gather
-//! across all of them while each write locks only the owning shard.
+//! Turns [`ReplicatedImageDatabase`](be2d_db::ReplicatedImageDatabase)
+//! into a network-facing service: a dependency-free HTTP/1.1 JSON
+//! server on `std::net` (the build is offline — no tokio/hyper) plus a
+//! load generator that drives it over real sockets and reports
+//! throughput and latency percentiles. With `--shards N` the database
+//! is split into N independently locked partitions: searches
+//! scatter-gather across all of them while each write locks only the
+//! owning shard. With `--replicas R` every shard keeps R copies: reads
+//! round-robin across healthy replicas, writes fan out to all of them,
+//! and a failed replica can be rebuilt from a healthy peer over the
+//! admin API without downtime.
 //!
 //! The moving parts:
 //!
@@ -36,8 +40,10 @@
 //! | `POST /search/sketch` | `{"sketch", "options"?}` | spatial-pattern sketch search |
 //! | `GET /stats` | — | service + database statistics |
 //! | `GET /healthz` | — | liveness probe |
-//! | `POST /snapshot` | `{"path"?}` | crash-safe snapshot to disk |
+//! | `POST /snapshot` | `{"path"?}` | crash-safe incremental snapshot to disk |
 //! | `POST /restore` | `{"path"?}` | replace the database from a snapshot |
+//! | `POST /admin/replicas/fail` | `{"shard", "replica"}` | take a replica out of rotation (fault injection) |
+//! | `POST /admin/replicas/heal` | `{"shard", "replica"}` | rebuild a failed replica from a healthy peer |
 //! | `POST /admin/shutdown` | — | graceful shutdown |
 //!
 //! # Example

@@ -26,6 +26,12 @@ pub enum Route {
     Snapshot,
     /// `POST /restore` — replace the database from a snapshot file.
     Restore,
+    /// `POST /admin/replicas/fail` — take a replica out of rotation
+    /// (fault injection).
+    ReplicaFail,
+    /// `POST /admin/replicas/heal` — rebuild a failed replica from a
+    /// healthy peer and rejoin it.
+    ReplicaHeal,
     /// `POST /admin/shutdown` — begin graceful shutdown.
     Shutdown,
 }
@@ -113,6 +119,14 @@ pub fn route(method: Method, path: &str) -> Result<Route, RouteError> {
             Method::Post => Ok(Route::Restore),
             _ => Err(RouteError::MethodNotAllowed),
         },
+        ["admin", "replicas", "fail"] => match method {
+            Method::Post => Ok(Route::ReplicaFail),
+            _ => Err(RouteError::MethodNotAllowed),
+        },
+        ["admin", "replicas", "heal"] => match method {
+            Method::Post => Ok(Route::ReplicaHeal),
+            _ => Err(RouteError::MethodNotAllowed),
+        },
         ["admin", "shutdown"] => match method {
             Method::Post => Ok(Route::Shutdown),
             _ => Err(RouteError::MethodNotAllowed),
@@ -150,6 +164,18 @@ mod tests {
         assert_eq!(route(Method::Post, "/snapshot"), Ok(Route::Snapshot));
         assert_eq!(route(Method::Post, "/restore"), Ok(Route::Restore));
         assert_eq!(route(Method::Post, "/admin/shutdown"), Ok(Route::Shutdown));
+        assert_eq!(
+            route(Method::Post, "/admin/replicas/fail"),
+            Ok(Route::ReplicaFail)
+        );
+        assert_eq!(
+            route(Method::Post, "/admin/replicas/heal"),
+            Ok(Route::ReplicaHeal)
+        );
+        assert_eq!(
+            route(Method::Get, "/admin/replicas/fail").unwrap_err(),
+            RouteError::MethodNotAllowed
+        );
         // trailing slashes are tolerated
         assert_eq!(route(Method::Get, "/healthz/"), Ok(Route::Health));
     }

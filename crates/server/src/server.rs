@@ -5,14 +5,14 @@ use crate::handlers::{handle, AppState};
 use crate::http::{read_request, ParseLimits, Response};
 use crate::pool::ThreadPool;
 use crate::ServerConfig;
-use be2d_db::ShardedImageDatabase;
+use be2d_db::ReplicatedImageDatabase;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// A bound, not-yet-running HTTP service over one
-/// [`ShardedImageDatabase`].
+/// [`ReplicatedImageDatabase`].
 ///
 /// # Example
 ///
@@ -56,23 +56,24 @@ impl ServerHandle {
 }
 
 impl Server {
-    /// Binds a fresh empty database with `config.shards` shards.
+    /// Binds a fresh empty database of `config.shards` shards ×
+    /// `config.replicas` replicas.
     ///
     /// # Errors
     ///
     /// Propagates socket bind errors.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
-        let db = ShardedImageDatabase::with_shards(config.shards);
+        let db = ReplicatedImageDatabase::with_topology(config.shards, config.replicas);
         Server::with_database(config, db)
     }
 
     /// Binds over an existing (possibly pre-loaded) database. The
-    /// database's own shard count wins over `config.shards`.
+    /// database's own topology wins over `config.shards`/`config.replicas`.
     ///
     /// # Errors
     ///
     /// Propagates socket bind errors.
-    pub fn with_database(config: ServerConfig, db: ShardedImageDatabase) -> io::Result<Server> {
+    pub fn with_database(config: ServerConfig, db: ReplicatedImageDatabase) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let threads = config.effective_threads();
@@ -104,7 +105,7 @@ impl Server {
     /// Shared access to the underlying database (e.g. to pre-load
     /// records before serving).
     #[must_use]
-    pub fn database(&self) -> ShardedImageDatabase {
+    pub fn database(&self) -> ReplicatedImageDatabase {
         self.state.db.clone()
     }
 

@@ -387,6 +387,96 @@ fn concurrent_clients_mixed_traffic() {
     server.stop();
 }
 
+/// Replica fault injection over the wire: a replicated server keeps
+/// answering searches while one replica per shard is failed, and the
+/// healed replicas serve identical results afterwards.
+#[test]
+fn replica_fail_heal_over_the_wire() {
+    let server = RunningServer::start(ServerConfig {
+        shards: 2,
+        replicas: 2,
+        ..test_config()
+    });
+    let mut client = server.client();
+
+    for (name, scene) in [("left", LEFT_SCENE), ("right", RIGHT_SCENE)] {
+        let response = client
+            .request(
+                "POST",
+                "/images",
+                &format!(r#"{{"name":{name:?},"scene":{scene}}}"#),
+            )
+            .unwrap();
+        assert_eq!(response.status, 201);
+    }
+    let search_body = format!(r#"{{"scene":{LEFT_SCENE},"options":{{"top_k":2}}}}"#);
+    let baseline = client
+        .request("POST", "/search", &search_body)
+        .unwrap()
+        .text();
+
+    // Stats advertise the replicated topology.
+    let stats = client.request("GET", "/stats", "").unwrap().text();
+    assert!(stats.contains("\"shards\":2"), "{stats}");
+    assert!(stats.contains("\"replicas\":2"), "{stats}");
+    assert!(
+        stats.contains("\"replica_health\":[[true,true],[true,true]]"),
+        "{stats}"
+    );
+
+    // Fail one replica per shard; every search must still answer, and
+    // identically (repeat so the round-robin picker cycles).
+    for body in [r#"{"shard":0,"replica":1}"#, r#"{"shard":1,"replica":0}"#] {
+        let response = client
+            .request("POST", "/admin/replicas/fail", body)
+            .unwrap();
+        assert_eq!(response.status, 200, "{}", response.text());
+    }
+    for _ in 0..6 {
+        let response = client.request("POST", "/search", &search_body).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.text(), baseline, "degraded search identical");
+    }
+    // Writes while degraded land on the survivors only. (A duplicate of
+    // "right" ties below it by id, so the top-2 baseline is unchanged.)
+    let response = client
+        .request(
+            "POST",
+            "/images",
+            &format!(r#"{{"name":"degraded","scene":{RIGHT_SCENE}}}"#),
+        )
+        .unwrap();
+    assert_eq!(response.status, 201);
+
+    // Failing the last healthy copy is refused with 409.
+    let response = client
+        .request("POST", "/admin/replicas/fail", r#"{"shard":0,"replica":0}"#)
+        .unwrap();
+    assert_eq!(response.status, 409, "{}", response.text());
+
+    // Heal both; the rebuilt replicas rejoin with identical state.
+    for body in [r#"{"shard":0,"replica":1}"#, r#"{"shard":1,"replica":0}"#] {
+        let response = client
+            .request("POST", "/admin/replicas/heal", body)
+            .unwrap();
+        assert_eq!(response.status, 200, "{}", response.text());
+    }
+    let stats = client.request("GET", "/stats", "").unwrap().text();
+    assert!(
+        stats.contains("\"replica_health\":[[true,true],[true,true]]"),
+        "{stats}"
+    );
+    assert!(stats.contains("\"records\":3"), "{stats}");
+    for _ in 0..6 {
+        let response = client.request("POST", "/search", &search_body).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.text(), baseline, "healed search identical");
+    }
+
+    drop(client);
+    server.stop();
+}
+
 /// Keep-alive budget exhaustion closes politely; the client reconnects.
 #[test]
 fn keep_alive_budget_rolls_over() {

@@ -134,6 +134,22 @@ impl RequestMix {
         .expect("non-zero weights")
     }
 
+    /// The read-heavy mix: ~95% searches with a thin maintenance
+    /// trickle — the replica-scaling shape (reads spread across
+    /// copies, writes fan out to all of them), selectable in the load
+    /// generator as `--mix read-heavy`.
+    #[must_use]
+    pub fn read_heavy() -> RequestMix {
+        RequestMix::new(&[
+            (RequestKind::InsertImage, 3),
+            (RequestKind::RemoveImage, 1),
+            (RequestKind::Search, 90),
+            (RequestKind::SearchSketch, 4),
+            (RequestKind::Stats, 2),
+        ])
+        .expect("non-zero weights")
+    }
+
     /// The weight of one kind.
     #[must_use]
     pub fn weight(&self, kind: RequestKind) -> u32 {
@@ -174,10 +190,16 @@ impl RequestMix {
 impl std::str::FromStr for RequestMix {
     type Err = String;
 
-    /// Parses `kind=weight` pairs separated by `,` (e.g.
-    /// `"insert=2,search=8"`). Unknown kinds and malformed weights are
-    /// errors; an all-zero mix is an error.
+    /// Parses a preset name (`"serving"` or `"read-heavy"`) or
+    /// `kind=weight` pairs separated by `,` (e.g. `"insert=2,search=8"`).
+    /// Unknown kinds and malformed weights are errors; an all-zero mix
+    /// is an error.
     fn from_str(s: &str) -> Result<RequestMix, String> {
+        match s.trim() {
+            "serving" => return Ok(RequestMix::serving_default()),
+            "read-heavy" => return Ok(RequestMix::read_heavy()),
+            _ => {}
+        }
         let mut weights = Vec::new();
         for pair in s.split(',') {
             let pair = pair.trim();
@@ -267,6 +289,26 @@ mod tests {
         let mix = RequestMix::serving_default();
         assert!(mix.weight(RequestKind::Search) > mix.total_weight() / 2);
         assert!(mix.weight(RequestKind::InsertImage) > 0);
+    }
+
+    #[test]
+    fn preset_names_parse() {
+        assert_eq!(
+            "serving".parse::<RequestMix>().unwrap(),
+            RequestMix::serving_default()
+        );
+        let read_heavy: RequestMix = "read-heavy".parse().unwrap();
+        assert_eq!(read_heavy, RequestMix::read_heavy());
+        // Reads dominate: ≥ 90% of the weight is non-mutating.
+        let write_weight: u32 = RequestKind::ALL
+            .into_iter()
+            .filter(|k| k.is_write())
+            .map(|k| read_heavy.weight(k))
+            .sum();
+        assert!(write_weight * 10 <= read_heavy.total_weight());
+        // Presets survive the Display/parse round-trip as plain weights.
+        let text = read_heavy.to_string();
+        assert_eq!(text.parse::<RequestMix>().unwrap(), read_heavy);
     }
 
     #[test]

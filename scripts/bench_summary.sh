@@ -3,18 +3,19 @@
 # summary (CI appends the output to $GITHUB_STEP_SUMMARY so every PR
 # shows its perf trajectory). Missing files are noted, not fatal.
 #
-#   scripts/bench_summary.sh [BENCH_server.json] [BENCH_shard_scaling.json]
+#   scripts/bench_summary.sh [BENCH_server.json] [BENCH_shard_scaling.json] [BENCH_replica_scaling.json]
 set -euo pipefail
 
 SERVER="${1:-BENCH_server.json}"
 SCALING="${2:-BENCH_shard_scaling.json}"
+REPLICAS="${3:-BENCH_replica_scaling.json}"
 
-python3 - "$SERVER" "$SCALING" <<'PY'
+python3 - "$SERVER" "$SCALING" "$REPLICAS" <<'PY'
 import json
 import os
 import sys
 
-server_path, scaling_path = sys.argv[1:3]
+server_path, scaling_path, replica_path = sys.argv[1:4]
 
 print("## Perf trajectory")
 print()
@@ -58,4 +59,29 @@ if os.path.exists(scaling_path):
     print()
 else:
     print(f"_no {scaling_path} found_")
+    print()
+
+if os.path.exists(replica_path):
+    with open(replica_path) as f:
+        replica = json.load(f)
+    print(f"### Replica scaling "
+          f"({replica['images']} images over {replica['shards']} shards, "
+          f"{replica['readers']} readers + {replica['writers']} writers, "
+          f"{replica['host_threads']} host threads)")
+    print()
+    print("| replicas | searches | throughput | p50 | p95 | p99 | writes |")
+    print("|---:|---:|---:|---:|---:|---:|---:|")
+    for point in replica["sweep"]:
+        print(f"| {point['replicas']} | {point['searches']} "
+              f"| {point['throughput_qps']:.1f} q/s "
+              f"| {point['p50_ms']:.2f} ms | {point['p95_ms']:.2f} ms "
+              f"| {point['p99_ms']:.2f} ms | {point['writes']} |")
+    print()
+    print(f"**3-replica vs 1-replica query throughput: "
+          f"{replica['speedup_3_vs_1']:.2f}×**"
+          + (" _(single-core host — replica fan-out cannot scale here)_"
+             if replica.get("host_threads", 0) == 1 else ""))
+    print()
+else:
+    print(f"_no {replica_path} found_")
 PY

@@ -50,5 +50,7 @@ pub use be2d_core::{
     similarity, similarity_matrix, similarity_with, threshold_clusters, transformed, BeString,
     BeString2D, BeSymbol, LcsTable, Similarity, SimilarityConfig, SymbolicImage,
 };
-pub use be2d_db::{ImageDatabase, QueryOptions, SearchHit, ShardedImageDatabase};
+pub use be2d_db::{
+    ImageDatabase, QueryOptions, ReplicatedImageDatabase, SearchHit, ShardedImageDatabase,
+};
 pub use be2d_geometry::{ObjectClass, Rect, Scene, SceneBuilder, Transform};

@@ -108,6 +108,11 @@ fn facade_reexports_are_wired() {
     let shared = be2d::db::ShardedImageDatabase::with_shards(2);
     shared.insert_scene("one", &fig).expect("insert");
     assert_eq!(shared.len(), 1);
+    let replicated = be2d::ReplicatedImageDatabase::with_topology(2, 2);
+    replicated.insert_scene("one", &fig).expect("insert");
+    replicated.fail_replica(0, 1).expect("spare copy");
+    replicated.rebuild_replica(0, 1).expect("rebuild");
+    assert_eq!(replicated.len(), 1);
 
     // Persistence across the facade: a JSON round-trip preserves search.
     let mut db = ImageDatabase::new();
