@@ -17,6 +17,10 @@
 //! * [`ReplicatedImageDatabase`] — N shards × R replicas: round-robin
 //!   reads, synchronous write fan-out, replica fault injection and
 //!   rebuild-then-rejoin recovery;
+//! * [`Resharder`] — online shard rebalancing: streams records between
+//!   shards in bounded batches while the database keeps serving, with
+//!   rankings bit-identical throughout (progress in
+//!   [`ReshardProgress`]);
 //! * JSON persistence ([`ImageDatabase::to_json`] /
 //!   [`ImageDatabase::from_json`]).
 //!
@@ -47,10 +51,12 @@
 #![warn(missing_docs)]
 
 mod database;
+mod epoch;
 mod error;
 mod index;
 mod query;
 mod replica;
+mod reshard;
 mod shard;
 mod signature;
 /// Spatial-pattern sketches: textual queries compiled to scenes.
@@ -61,5 +67,6 @@ pub use error::DbError;
 pub use index::ClassIndex;
 pub use query::{CandidateSource, Parallelism, PrefilterMode, QueryOptions, SearchHit};
 pub use replica::{ReplicaStats, ReplicatedImageDatabase};
+pub use reshard::{ReshardProgress, Resharder};
 pub use shard::{ShardStats, ShardedImageDatabase};
 pub use signature::ClassSignature;

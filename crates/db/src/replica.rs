@@ -1,5 +1,5 @@
 //! Replicated shards: read-scaling replica sets with health, fault
-//! injection, and rebuild-then-rejoin recovery.
+//! injection, rebuild-then-rejoin recovery — and **online resharding**.
 //!
 //! The sharded database ([`ShardedImageDatabase`]) split the corpus
 //! into N independently locked partitions; this layer puts **R
@@ -33,10 +33,37 @@
 //! Any single result set is always internally consistent, and a
 //! quiesced database answers identically through every replica.
 //!
+//! # Online resharding
+//!
+//! The shard count can be changed **while serving** — see
+//! [`Resharder`](crate::Resharder). The shard topology lives behind a
+//! reader-writer lock; every operation routes through a
+//! [`RoutingEpoch`](crate::epoch::RoutingEpoch) that says, per global
+//! id, whether the record has already migrated to the new layout.
+//! Correctness rests on three rules:
+//!
+//! 1. The migration **boundary only moves while every shard's
+//!    write-order mutex and every replica's write lock are held** (one
+//!    bounded batch at a time). A writer that holds its shard's
+//!    write-order mutex — or a reader that holds any replica read lock
+//!    — therefore observes a frozen boundary; both re-validate their
+//!    route after locking and retry if a batch slipped in between.
+//! 2. Multi-shard **searches hold a read lease on the migration gate**
+//!    for the whole scatter; batch moves take the gate exclusively. A
+//!    scatter therefore never observes a half-moved batch, so every
+//!    record is seen exactly once and the merged ranking stays
+//!    bit-identical mid-migration (`crates/db/tests/reshard.rs`).
+//! 3. Topology **structure** (the shard vector itself) changes only
+//!    under the topology write lock, taken with no other lock held —
+//!    at reshard install (new empty shards appear) and finalise
+//!    (drained shards disappear).
+//!
 //! [`ShardedImageDatabase`]: crate::ShardedImageDatabase
 //! [`fail_replica`]: ReplicatedImageDatabase::fail_replica
 //! [`rebuild_replica`]: ReplicatedImageDatabase::rebuild_replica
 
+use crate::epoch::RoutingEpoch;
+use crate::reshard::ReshardProgress;
 use crate::shard::{
     fresh_snapshot_id, heal_next_id, load_snapshot_at, merge_top_k, reroute_shards,
     save_snapshot_at, scatter_scan, shard_cannot_contribute, PreviousSnapshot, SnapshotPayload,
@@ -51,12 +78,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A cheaply clonable, thread-safe image database of N shards × R
-/// replicas.
+/// replicas whose shard count can be changed online.
 ///
 /// With `replicas = 1` it behaves exactly like a
 /// [`ShardedImageDatabase`](crate::ShardedImageDatabase) with the same
 /// shard count; with more replicas, reads spread across copies and a
 /// failed copy can be rebuilt from a healthy peer without downtime.
+/// [`Resharder`](crate::Resharder) streams records between shards while
+/// the database keeps serving.
 ///
 /// # Example
 ///
@@ -81,43 +110,107 @@ use std::sync::Arc;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReplicatedImageDatabase {
-    inner: Arc<Inner>,
+    pub(crate) inner: Arc<Inner>,
 }
 
 #[derive(Debug)]
-struct Inner {
-    shards: Vec<ReplicaSet>,
+pub(crate) struct Inner {
+    /// The shard topology: replica sets plus the routing epoch. Taken
+    /// for read by every operation; for write only at reshard install /
+    /// finalise (with no other lock held).
+    pub(crate) topology: RwLock<Topology>,
     /// The next global id; increments on every insert, never reused.
-    next_id: AtomicUsize,
+    pub(crate) next_id: AtomicUsize,
     /// Stable id of this database instance (see the sharded database's
     /// incremental-snapshot bookkeeping).
-    instance: u64,
+    pub(crate) instance: u64,
     /// Shards the scatter planner skipped (see `/stats`).
-    planner_skipped: AtomicU64,
+    pub(crate) planner_skipped: AtomicU64,
     /// Serialises snapshot/restore file I/O, exactly like the sharded
     /// database's `snapshot_io`.
-    snapshot_io: parking_lot::Mutex<()>,
+    pub(crate) snapshot_io: parking_lot::Mutex<()>,
+    /// The migration gate: multi-shard searches hold it shared for the
+    /// whole scatter, reshard batch moves hold it exclusively — a
+    /// scatter can never observe a half-moved batch.
+    pub(crate) search_gate: RwLock<()>,
+    /// One reshard (or restore) at a time.
+    pub(crate) reshard_lock: parking_lot::Mutex<()>,
+    /// Last observed reshard progress, for `/stats`.
+    pub(crate) progress: parking_lot::Mutex<ReshardProgress>,
+}
+
+/// The live shard topology: one [`ReplicaSet`] per physical shard plus
+/// the routing epoch. `old_n == new_n` when steady; during a reshard
+/// the vector holds `max(old_n, new_n)` sets and `boundary` is the
+/// migration watermark (see [`RoutingEpoch`]).
+#[derive(Debug)]
+pub(crate) struct Topology {
+    pub(crate) sets: Vec<Arc<ReplicaSet>>,
+    pub(crate) old_n: usize,
+    pub(crate) new_n: usize,
+    /// Stored atomically so batch moves can advance it under read
+    /// access to the topology; see the locking rules in the module
+    /// docs.
+    pub(crate) boundary: AtomicUsize,
+}
+
+impl Topology {
+    fn steady(n: usize, replicas: usize) -> Topology {
+        Topology {
+            sets: (0..n)
+                .map(|_| Arc::new(ReplicaSet::new(replicas)))
+                .collect(),
+            old_n: n,
+            new_n: n,
+            boundary: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether exactly one layout is live.
+    pub(crate) fn is_steady(&self) -> bool {
+        self.old_n == self.new_n
+    }
+
+    /// A point-in-time copy of the routing epoch. The boundary loaded
+    /// here is only stable while the caller holds a lock that blocks
+    /// batch moves (any write-order mutex, any replica lock, or the
+    /// migration gate).
+    pub(crate) fn epoch(&self) -> RoutingEpoch {
+        RoutingEpoch {
+            old_n: self.old_n,
+            new_n: self.new_n,
+            boundary: self.boundary.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Global id → (owning shard, local id) under the current epoch.
+    fn route(&self, id: RecordId) -> (usize, RecordId) {
+        let (shard, local) = self.epoch().route(id.index());
+        (shard, RecordId(local))
+    }
 }
 
 /// One shard's replica set: R copies of the shard behind their own
 /// reader-writer locks, plus health bits and the write serialiser.
 #[derive(Debug)]
-struct ReplicaSet {
-    replicas: Vec<RwLock<ImageDatabase>>,
+pub(crate) struct ReplicaSet {
+    pub(crate) replicas: Vec<RwLock<ImageDatabase>>,
     /// `health[r]` — whether replica r is in rotation.
-    health: Vec<AtomicBool>,
+    pub(crate) health: Vec<AtomicBool>,
     /// Round-robin read picker.
-    cursor: AtomicUsize,
+    pub(crate) cursor: AtomicUsize,
     /// Serialises write fan-outs, rebuilds, and health transitions on
     /// this shard, so a writer's view of the healthy set cannot go
-    /// stale mid-fan-out. Readers never take it.
-    write_order: parking_lot::Mutex<()>,
+    /// stale mid-fan-out. Readers never take it. Reshard batch moves
+    /// take **all** shards' mutexes (in shard order) before moving
+    /// anything, so holding any one of them freezes the boundary.
+    pub(crate) write_order: parking_lot::Mutex<()>,
     /// Per-shard edit counter (incremental-snapshot key).
-    edits: AtomicU64,
+    pub(crate) edits: AtomicU64,
 }
 
 impl ReplicaSet {
-    fn new(replicas: usize) -> ReplicaSet {
+    pub(crate) fn new(replicas: usize) -> ReplicaSet {
         ReplicaSet {
             replicas: (0..replicas)
                 .map(|_| RwLock::new(ImageDatabase::new()))
@@ -143,7 +236,7 @@ impl ReplicaSet {
 
     /// The lowest-indexed healthy replica (the deterministic choice for
     /// snapshots, rebuild sources, and occupancy checks).
-    fn first_healthy(&self) -> usize {
+    pub(crate) fn first_healthy(&self) -> usize {
         (0..self.replicas.len())
             .find(|&r| self.health[r].load(Ordering::SeqCst))
             .unwrap_or(0)
@@ -200,7 +293,9 @@ impl ReplicaSet {
 /// a concurrent write).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplicaStats {
-    /// Live records per shard (from each shard's first healthy replica).
+    /// Live records per physical shard (from each shard's first healthy
+    /// replica). During an online reshard this covers both layouts'
+    /// shards.
     pub shard_records: Vec<usize>,
     /// Live records per replica: `replica_records[shard][replica]`. A
     /// failed replica's count goes stale until its rebuild.
@@ -234,33 +329,53 @@ impl ReplicatedImageDatabase {
         let replicas = replicas.max(1);
         ReplicatedImageDatabase {
             inner: Arc::new(Inner {
-                shards: (0..shards).map(|_| ReplicaSet::new(replicas)).collect(),
+                topology: RwLock::new(Topology::steady(shards, replicas)),
                 next_id: AtomicUsize::new(0),
                 instance: fresh_snapshot_id(),
                 planner_skipped: AtomicU64::new(0),
                 snapshot_io: parking_lot::Mutex::new(()),
+                search_gate: RwLock::new(()),
+                reshard_lock: parking_lot::Mutex::new(()),
+                progress: parking_lot::Mutex::new(ReshardProgress::default()),
             }),
         }
     }
 
-    /// Number of shards.
+    /// Number of shards the database routes to (the **target** topology
+    /// during an online reshard; see
+    /// [`reshard_progress`](Self::reshard_progress)).
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.inner.shards.len()
+        self.inner.topology.read().new_n
     }
 
     /// Replicas per shard.
     #[must_use]
     pub fn replica_count(&self) -> usize {
-        self.inner.shards[0].replicas.len()
+        self.inner.topology.read().sets[0].replicas.len()
+    }
+
+    /// Whether an online reshard is currently migrating records.
+    #[must_use]
+    pub fn resharding(&self) -> bool {
+        !self.inner.topology.read().is_steady()
+    }
+
+    /// The last observed reshard progress (all-zero before the first
+    /// reshard; `active == false` once it finished).
+    #[must_use]
+    pub fn reshard_progress(&self) -> ReshardProgress {
+        self.inner.progress.lock().clone()
     }
 
     /// Total live records (counted on each shard's first healthy
-    /// replica).
+    /// replica, under the migration gate so a mid-batch state is never
+    /// observed).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner
-            .shards
+        let top = self.inner.topology.read();
+        let _gate = self.inner.search_gate.read();
+        top.sets
             .iter()
             .map(|set| set.replicas[set.first_healthy()].read().len())
             .sum()
@@ -275,16 +390,7 @@ impl ReplicatedImageDatabase {
     /// Health bits per replica: `result[shard][replica]`.
     #[must_use]
     pub fn replica_health(&self) -> Vec<Vec<bool>> {
-        self.inner
-            .shards
-            .iter()
-            .map(|set| {
-                set.health
-                    .iter()
-                    .map(|h| h.load(Ordering::SeqCst))
-                    .collect()
-            })
-            .collect()
+        health_bits(&self.inner.topology.read())
     }
 
     /// Cumulative count of shards the scatter planner skipped because
@@ -298,9 +404,9 @@ impl ReplicatedImageDatabase {
     /// replica of every shard.
     #[must_use]
     pub fn stats(&self) -> ReplicaStats {
-        let guards: Vec<Vec<_>> = self
-            .inner
-            .shards
+        let top = self.inner.topology.read();
+        let guards: Vec<Vec<_>> = top
+            .sets
             .iter()
             .map(|set| set.replicas.iter().map(RwLock::read).collect())
             .collect();
@@ -308,11 +414,11 @@ impl ReplicatedImageDatabase {
         let mut stats = ReplicaStats {
             shard_records: Vec::with_capacity(guards.len()),
             replica_records: Vec::with_capacity(guards.len()),
-            replica_health: self.replica_health(),
+            replica_health: health_bits(&top),
             classes: 0,
             objects: 0,
         };
-        for (set, replica_guards) in self.inner.shards.iter().zip(&guards) {
+        for (set, replica_guards) in top.sets.iter().zip(&guards) {
             let primary = &replica_guards[set.first_healthy()];
             classes.extend(primary.class_index().classes().cloned());
             stats.objects += primary.object_count();
@@ -345,30 +451,63 @@ impl ReplicatedImageDatabase {
         name: &str,
         symbolic: SymbolicImage,
     ) -> Result<RecordId, DbError> {
+        let top = self.inner.topology.read();
         // Same id-allocation protocol as the sharded database: ids are
         // handed out before any lock, so a slot may be occupied by a
         // concurrently restored corpus — skip to a fresh id (the restore
         // healed the counter above every restored slot).
-        for _ in 0..64 {
+        'fresh_id: for _ in 0..64 {
             let id = RecordId(self.inner.next_id.fetch_add(1, Ordering::SeqCst));
-            let (shard, local) = self.inner.route(id);
-            let set = &self.inner.shards[shard];
-            let _order = set.write_order.lock();
-            if set.replicas[set.first_healthy()]
-                .read()
-                .get(local)
-                .is_some()
-            {
-                continue;
+            // A reshard batch may move the boundary past `id` between
+            // routing and locking; the boundary is frozen while we hold
+            // the shard's write-order mutex, so re-route and retry until
+            // the route sticks.
+            loop {
+                let (shard, local) = top.route(id);
+                let set = &top.sets[shard];
+                let _order = set.write_order.lock();
+                if top.route(id) != (shard, local) {
+                    continue;
+                }
+                if set.replicas[set.first_healthy()]
+                    .read()
+                    .get(local)
+                    .is_some()
+                {
+                    continue 'fresh_id;
+                }
+                set.fan_out(shard, |db| {
+                    db.insert_symbolic_with_id(local, name, symbolic.clone())
+                })?;
+                return Ok(id);
             }
-            set.fan_out(shard, |db| {
-                db.insert_symbolic_with_id(local, name, symbolic.clone())
-            })?;
-            return Ok(id);
         }
         Err(DbError::Persist {
             reason: "insert kept colliding with concurrently restored records".into(),
         })
+    }
+
+    /// Routes a mutation to the owning shard under its write-order
+    /// mutex, re-validating the route against reshard batches.
+    fn routed_write<R>(
+        &self,
+        id: RecordId,
+        op: impl Fn(&mut ImageDatabase, RecordId) -> Result<R, DbError>,
+    ) -> Result<R, DbError> {
+        let top = self.inner.topology.read();
+        loop {
+            let (shard, local) = top.route(id);
+            let set = &top.sets[shard];
+            let _order = set.write_order.lock();
+            // The boundary only moves under *all* write-order mutexes,
+            // so holding this one freezes it; a stale route retries.
+            if top.route(id) != (shard, local) {
+                continue;
+            }
+            return set
+                .fan_out(shard, |db| op(db, local))
+                .map_err(|e| globalise_error(e, id));
+        }
     }
 
     /// Removes a record from every healthy replica of its owning shard.
@@ -378,24 +517,30 @@ impl ReplicatedImageDatabase {
     /// Returns [`DbError::UnknownRecord`] (with the global id) for dead
     /// or unassigned ids.
     pub fn remove(&self, id: RecordId) -> Result<(), DbError> {
-        let (shard, local) = self.inner.route(id);
-        let set = &self.inner.shards[shard];
-        let _order = set.write_order.lock();
-        set.fan_out(shard, |db| db.remove(local).map(|_| ()))
-            .map_err(|e| globalise_error(e, id))
+        self.routed_write(id, |db, local| db.remove(local).map(|_| ()))
     }
 
     /// Looks a record up on one healthy replica, returning a clone with
     /// its **global** id.
     #[must_use]
     pub fn get(&self, id: RecordId) -> Option<ImageRecord> {
-        let (shard, local) = self.inner.route(id);
-        let set = &self.inner.shards[shard];
-        let record = set.replicas[set.pick()].read().get(local).cloned();
-        record.map(|mut r| {
-            r.id = id;
-            r
-        })
+        let top = self.inner.topology.read();
+        loop {
+            let (shard, local) = top.route(id);
+            let set = &top.sets[shard];
+            let guard = set.replicas[set.pick()].read();
+            // The boundary only moves under *all* replica write locks,
+            // so holding this read lock freezes it; a stale route means
+            // a batch moved the record between routing and locking.
+            if top.route(id) != (shard, local) {
+                continue;
+            }
+            let record = guard.get(local).cloned();
+            return record.map(|mut r| {
+                r.id = id;
+                r
+            });
+        }
     }
 
     /// Incremental §3.2 object insertion, fanned out to every healthy
@@ -405,11 +550,7 @@ impl ReplicatedImageDatabase {
     ///
     /// Propagates the underlying error; the record is unchanged on error.
     pub fn add_object(&self, id: RecordId, class: &ObjectClass, mbr: Rect) -> Result<(), DbError> {
-        let (shard, local) = self.inner.route(id);
-        let set = &self.inner.shards[shard];
-        let _order = set.write_order.lock();
-        set.fan_out(shard, |db| db.add_object(local, class, mbr))
-            .map_err(|e| globalise_error(e, id))
+        self.routed_write(id, |db, local| db.add_object(local, class, mbr))
     }
 
     /// Incremental §3.2 object removal, fanned out to every healthy
@@ -424,11 +565,7 @@ impl ReplicatedImageDatabase {
         class: &ObjectClass,
         mbr: Rect,
     ) -> Result<(), DbError> {
-        let (shard, local) = self.inner.route(id);
-        let set = &self.inner.shards[shard];
-        let _order = set.write_order.lock();
-        set.fan_out(shard, |db| db.remove_object(local, class, mbr))
-            .map_err(|e| globalise_error(e, id))
+        self.routed_write(id, |db, local| db.remove_object(local, class, mbr))
     }
 
     /// Scatter-gather ranked search over **one chosen replica per
@@ -439,29 +576,49 @@ impl ReplicatedImageDatabase {
     ///
     /// Ranking — ids, scores, and tie-breaks — is bit-identical to an
     /// unreplicated [`ShardedImageDatabase`](crate::ShardedImageDatabase)
-    /// (and to a single [`ImageDatabase`]) over the same records.
+    /// (and to a single [`ImageDatabase`]) over the same records, **even
+    /// while an online reshard is migrating records**: the whole scatter
+    /// holds the migration gate, so batch moves are atomic to it, and
+    /// the epoch maps each shard's local slots back to global ids.
     #[must_use]
     pub fn search(&self, query: &BeString2D, options: &QueryOptions) -> Vec<SearchHit> {
-        let n = self.inner.shards.len();
+        let top = self.inner.topology.read();
+        // Shared gate lease for the whole scatter: a reshard batch move
+        // (exclusive holder) either completed before this search or
+        // waits for it — never interleaves.
+        let _gate = self.inner.search_gate.read();
+        let n = top.sets.len();
         if n == 1 {
-            let set = &self.inner.shards[0];
+            let set = &top.sets[0];
             return set.replicas[set.pick()].read().search(query, options);
         }
+        // Frozen for the whole scatter: the boundary only moves under
+        // the exclusive gate.
+        let epoch = top.epoch();
+        let topology = &*top;
+        let planner_skipped = &self.inner.planner_skipped;
         let query_classes: Vec<ObjectClass> = query.class_counts().into_keys().collect();
         let per_shard = scatter_scan(
             n,
             // next_id is a cheap upper bound on the total record count.
             self.inner.next_id.load(Ordering::Relaxed),
             |shard| {
-                let set = &self.inner.shards[shard];
+                let set = &topology.sets[shard];
                 let guard = set.replicas[set.pick()].read();
                 if shard_cannot_contribute(&guard, &query_classes, options) {
-                    self.inner.planner_skipped.fetch_add(1, Ordering::Relaxed);
+                    planner_skipped.fetch_add(1, Ordering::Relaxed);
                     return Vec::new();
                 }
                 let mut hits = guard.search(query, options);
                 for hit in &mut hits {
-                    hit.id = RecordId(hit.id.index() * n + shard);
+                    // Local-slot order maps monotonically to global-id
+                    // order under any epoch (see `epoch.rs`), so each
+                    // per-shard ranked list stays merge-ready.
+                    hit.id = RecordId(
+                        epoch
+                            .global_of(shard, hit.id.index())
+                            .expect("occupied slot resolves under the live epoch"),
+                    );
                 }
                 hits
             },
@@ -501,7 +658,8 @@ impl ReplicatedImageDatabase {
     /// the replica is its shard's **last healthy copy** (every shard
     /// must keep serving).
     pub fn fail_replica(&self, shard: usize, replica: usize) -> Result<(), DbError> {
-        let set = self.checked_set(shard, replica)?;
+        let top = self.inner.topology.read();
+        let set = checked_set(&top, shard, replica)?;
         let _order = set.write_order.lock();
         if set.health[replica].load(Ordering::SeqCst) && set.healthy_count() == 1 {
             return Err(DbError::Replica {
@@ -517,14 +675,18 @@ impl ReplicatedImageDatabase {
     /// Rebuilds a failed replica from a healthy peer and rejoins it to
     /// rotation. The shard's write traffic pauses for the duration of
     /// the clone (readers keep flowing on the healthy replicas), so the
-    /// rebuilt copy is exactly up to date the moment it rejoins.
+    /// rebuilt copy is exactly up to date the moment it rejoins — a
+    /// rebuild during an online reshard clones the peer's current
+    /// mixed-layout state, so the rejoined copy is on the new topology
+    /// exactly as far as the migration has progressed.
     /// Rebuilding an already-healthy replica is a no-op.
     ///
     /// # Errors
     ///
     /// Returns [`DbError::Replica`] for out-of-range coordinates.
     pub fn rebuild_replica(&self, shard: usize, replica: usize) -> Result<(), DbError> {
-        let set = self.checked_set(shard, replica)?;
+        let top = self.inner.topology.read();
+        let set = checked_set(&top, shard, replica)?;
         let _order = set.write_order.lock();
         if set.health[replica].load(Ordering::SeqCst) {
             return Ok(());
@@ -537,37 +699,38 @@ impl ReplicatedImageDatabase {
     }
 
     /// Saves a consistent, incremental sharded snapshot (one file per
-    /// shard, cloned from each shard's first healthy replica) in the
-    /// exact format of
+    /// physical shard, cloned from each shard's first healthy replica)
+    /// in the exact format of
     /// [`ShardedImageDatabase::save_snapshot`](crate::ShardedImageDatabase::save_snapshot)
     /// — the two deployments' snapshots are interchangeable. Write
     /// traffic pauses for the duration of the clone so the snapshot is
-    /// one global state; readers keep flowing.
+    /// one global state; readers keep flowing. A snapshot taken during
+    /// an online reshard records the routing epoch (manifest v3), so it
+    /// restores exactly.
     ///
     /// # Errors
     ///
     /// Propagates [`DbError`] from serialisation or file I/O.
     pub fn save_snapshot(&self, path: &Path) -> Result<usize, DbError> {
         let _io = self.inner.snapshot_io.lock();
+        let top = self.inner.topology.read();
         // Parsed before any lock, so deciding what to skip costs no
-        // lock or write-pause time.
-        let previous = PreviousSnapshot::load(path, self.inner.instance, self.inner.shards.len());
+        // lock or write-pause time. Mid-reshard snapshots never reuse:
+        // batch moves dirty shards faster than reuse could help.
+        let previous = if top.is_steady() {
+            PreviousSnapshot::load(path, self.inner.instance, top.sets.len())
+        } else {
+            PreviousSnapshot::none()
+        };
         let payload = {
-            let _orders: Vec<_> = self
-                .inner
-                .shards
-                .iter()
-                .map(|set| set.write_order.lock())
-                .collect();
-            let guards: Vec<_> = self
-                .inner
-                .shards
+            let _orders: Vec<_> = top.sets.iter().map(|set| set.write_order.lock()).collect();
+            let guards: Vec<_> = top
+                .sets
                 .iter()
                 .map(|set| set.replicas[set.first_healthy()].read())
                 .collect();
-            let edits: Vec<u64> = self
-                .inner
-                .shards
+            let edits: Vec<u64> = top
+                .sets
                 .iter()
                 .map(|set| set.edits.load(Ordering::SeqCst))
                 .collect();
@@ -587,48 +750,82 @@ impl ReplicatedImageDatabase {
                 next_id: self.inner.next_id.load(Ordering::SeqCst),
                 edits,
                 writer: self.inner.instance,
+                // Frozen while all write-order mutexes are held.
+                epoch: top.epoch(),
             }
         };
         save_snapshot_at(path, payload, &previous)
     }
 
-    /// Restores from a sharded manifest (v1 or v2) or a plain
-    /// [`ImageDatabase::save`] file, replacing the contents of **every
-    /// replica** — which also heals all failed replicas, since each now
-    /// holds the same freshly restored state. Records are re-routed when
-    /// the shard topology changed; ids are preserved either way.
+    /// Restores from a sharded manifest (v1, v2 or v3 — mid-reshard
+    /// snapshots included) or a plain [`ImageDatabase::save`] file,
+    /// replacing the contents of **every replica** — which also heals
+    /// all failed replicas, since each now holds the same freshly
+    /// restored state. Records are re-routed when the snapshot's
+    /// topology differs from this database's; ids are preserved either
+    /// way.
     ///
     /// # Errors
     ///
-    /// Returns [`DbError::Persist`] for malformed or inconsistent
-    /// snapshot files and propagates I/O errors. On error the in-memory
-    /// database is untouched.
+    /// Returns [`DbError::Replica`] while an online reshard is running
+    /// (the two would fight over the topology), [`DbError::Persist`]
+    /// for malformed or inconsistent snapshot files, and propagates I/O
+    /// errors. On error the in-memory database is untouched.
     pub fn restore_from(&self, path: &Path) -> Result<usize, DbError> {
+        // A restore replaces the full corpus under a steady topology;
+        // it must never interleave with a reshard's migration sweep
+        // (409), but two concurrent *restores* simply serialise — the
+        // lock's other holder is then bounded.
+        let _reshard = match self.inner.reshard_lock.try_lock() {
+            Some(guard) => guard,
+            None if self.resharding() => {
+                return Err(DbError::Replica {
+                    reason: "cannot restore while an online reshard is in progress".into(),
+                });
+            }
+            None => self.inner.reshard_lock.lock(),
+        };
         let _io = self.inner.snapshot_io.lock();
-        let (saved, next_id) = load_snapshot_at(path)?;
-        let n = self.inner.shards.len();
+        {
+            // The reshard lock was free, but the epoch may still be
+            // mid-migration: a previous reshard aborted on an internal
+            // error. Restoring a uniform layout under that epoch would
+            // mis-route records; resume the reshard (rerun to the same
+            // target) first. Holding the reshard lock keeps the epoch
+            // steady after this check.
+            let top = self.inner.topology.read();
+            if !top.is_steady() {
+                return Err(DbError::Replica {
+                    reason: format!(
+                        "cannot restore while an aborted reshard to {} shards awaits resume",
+                        top.new_n
+                    ),
+                });
+            }
+        }
+        let saved = load_snapshot_at(path)?;
+        let next_id = saved.next_id;
+        let top = self.inner.topology.read();
+        let n = top.sets.len();
         let rebuilt = reroute_shards(saved, n)?;
         let records = rebuilt.iter().map(ImageDatabase::len).sum();
         let required = heal_next_id(&rebuilt, next_id);
 
+        // A restore is a bulk replace, exactly like a reshard batch:
+        // exclusive gate first, so an in-flight scatter (which locks
+        // shards one at a time) can never mix pre- and post-restore
+        // records in one result set.
+        let _gate = self.inner.search_gate.write();
         // All write-order mutexes (shard order), then all replica write
         // locks, before the first swap: readers never observe a
         // half-restored state.
-        let _orders: Vec<_> = self
-            .inner
-            .shards
-            .iter()
-            .map(|set| set.write_order.lock())
-            .collect();
-        let mut guards: Vec<Vec<_>> = self
-            .inner
-            .shards
+        let _orders: Vec<_> = top.sets.iter().map(|set| set.write_order.lock()).collect();
+        let mut guards: Vec<Vec<_>> = top
+            .sets
             .iter()
             .map(|set| set.replicas.iter().map(RwLock::write).collect())
             .collect();
-        for ((set, replica_guards), db) in
-            self.inner.shards.iter().zip(guards.iter_mut()).zip(rebuilt)
-        {
+        for ((set, replica_guards), db) in top.sets.iter().zip(guards.iter_mut()).zip(rebuilt) {
             for guard in replica_guards.iter_mut() {
                 **guard = db.clone();
             }
@@ -655,39 +852,37 @@ impl ReplicatedImageDatabase {
         replica: usize,
         f: impl FnOnce(&ImageDatabase) -> R,
     ) -> R {
-        f(&self.inner.shards[shard].replicas[replica].read())
-    }
-
-    /// Bounds-checks replica coordinates.
-    fn checked_set(&self, shard: usize, replica: usize) -> Result<&ReplicaSet, DbError> {
-        let set = self
-            .inner
-            .shards
-            .get(shard)
-            .ok_or_else(|| DbError::Replica {
-                reason: format!(
-                    "shard {shard} out of range (shards: {})",
-                    self.inner.shards.len()
-                ),
-            })?;
-        if replica >= set.replicas.len() {
-            return Err(DbError::Replica {
-                reason: format!(
-                    "replica {replica} out of range (replicas: {})",
-                    set.replicas.len()
-                ),
-            });
-        }
-        Ok(set)
+        f(&self.inner.topology.read().sets[shard].replicas[replica].read())
     }
 }
 
-impl Inner {
-    /// Global id → (owning shard, local id inside it).
-    fn route(&self, id: RecordId) -> (usize, RecordId) {
-        let n = self.shards.len();
-        (id.index() % n, RecordId(id.index() / n))
+/// Health bits per replica of a topology (`result[shard][replica]`).
+fn health_bits(top: &Topology) -> Vec<Vec<bool>> {
+    top.sets
+        .iter()
+        .map(|set| {
+            set.health
+                .iter()
+                .map(|h| h.load(Ordering::SeqCst))
+                .collect()
+        })
+        .collect()
+}
+
+/// Bounds-checks replica coordinates against a topology.
+fn checked_set(top: &Topology, shard: usize, replica: usize) -> Result<&Arc<ReplicaSet>, DbError> {
+    let set = top.sets.get(shard).ok_or_else(|| DbError::Replica {
+        reason: format!("shard {shard} out of range (shards: {})", top.sets.len()),
+    })?;
+    if replica >= set.replicas.len() {
+        return Err(DbError::Replica {
+            reason: format!(
+                "replica {replica} out of range (replicas: {})",
+                set.replicas.len()
+            ),
+        });
     }
+    Ok(set)
 }
 
 /// Rewrites shard-local [`DbError::UnknownRecord`] ids back to the
@@ -879,7 +1074,8 @@ mod tests {
     fn round_robin_spreads_reads() {
         let db = filled(1, 3, 6);
         // Consecutive picks rotate over the healthy replicas.
-        let set = &db.inner.shards[0];
+        let top = db.inner.topology.read();
+        let set = &top.sets[0];
         let picks: Vec<usize> = (0..6).map(|_| set.pick()).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
         set.health[1].store(false, Ordering::SeqCst);
@@ -902,6 +1098,7 @@ mod tests {
         assert_eq!(stats.objects, 2);
         assert_eq!(other.replica_count(), 2);
         assert_eq!(other.shard_count(), 2);
+        assert!(!other.resharding());
         assert!(ReplicatedImageDatabase::with_topology(0, 0).shard_count() == 1);
     }
 }

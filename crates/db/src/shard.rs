@@ -28,6 +28,7 @@
 //! records (see `crates/db/tests/sharded.rs`).
 
 use crate::database::write_atomic;
+use crate::epoch::RoutingEpoch;
 use crate::{
     CandidateSource, DbError, ImageDatabase, ImageRecord, PrefilterMode, QueryOptions, RecordId,
     SearchHit,
@@ -498,6 +499,7 @@ impl ShardedImageDatabase {
                 next_id: self.inner.next_id.load(Ordering::SeqCst),
                 edits,
                 writer: self.inner.instance,
+                epoch: RoutingEpoch::steady(self.inner.shards.len()),
             }
         };
         save_snapshot_at(path, payload, &previous)
@@ -524,7 +526,8 @@ impl ShardedImageDatabase {
         // Excludes concurrent saves, whose generation cleanup could
         // otherwise delete the shard files this restore is mid-reading.
         let _io = self.inner.snapshot_io.lock();
-        let (saved, next_id) = load_snapshot_at(path)?;
+        let saved = load_snapshot_at(path)?;
+        let next_id = saved.next_id;
         let n = self.inner.shards.len();
 
         // Build the complete new topology outside the locks.
@@ -733,6 +736,21 @@ pub(crate) struct SnapshotPayload {
     pub edits: Vec<u64>,
     /// The owning database instance's stable id.
     pub writer: u64,
+    /// The routing epoch at clone time. Steady for the sharded
+    /// database; a replicated database mid-reshard records the
+    /// in-flight migration so the snapshot restores exactly.
+    pub epoch: RoutingEpoch,
+}
+
+/// A snapshot loaded back from disk: the per-shard databases in their
+/// saved physical layout plus everything needed to re-route them.
+pub(crate) struct LoadedSnapshot {
+    /// One database per saved physical shard.
+    pub shards: Vec<ImageDatabase>,
+    /// The saved global id counter.
+    pub next_id: usize,
+    /// The routing epoch the shards were saved under.
+    pub epoch: RoutingEpoch,
 }
 
 /// The manifest currently at a snapshot path, pre-validated for
@@ -743,10 +761,17 @@ pub(crate) struct PreviousSnapshot {
 }
 
 impl PreviousSnapshot {
-    /// Reads and validates the manifest at `path`. Only a manifest
-    /// written by this very database instance (`writer`) over the same
-    /// topology is trusted — edit counters from another process (or
-    /// another instance in this process) are meaningless here.
+    /// A previous snapshot that reuses nothing (every shard rewritten).
+    pub(crate) fn none() -> PreviousSnapshot {
+        PreviousSnapshot { manifest: None }
+    }
+
+    /// Reads and validates the manifest at `path`. Only a **steady**
+    /// manifest written by this very database instance (`writer`) over
+    /// the same topology is trusted — edit counters from another
+    /// process (or another instance in this process) are meaningless
+    /// here, and a mid-migration manifest's shard files never line up
+    /// with a steady topology.
     pub(crate) fn load(path: &Path, writer: u64, shard_count: usize) -> PreviousSnapshot {
         let manifest = std::fs::read_to_string(path)
             .ok()
@@ -756,6 +781,8 @@ impl PreviousSnapshot {
                     && m.writer == writer
                     && m.writer != 0
                     && m.shards == shard_count
+                    && m.old_shards == shard_count
+                    && m.new_shards == shard_count
                     && m.files.len() == shard_count
                     && m.file_snapshots.len() == shard_count
                     && m.edits.len() == shard_count
@@ -781,7 +808,12 @@ impl PreviousSnapshot {
     }
 }
 
-/// The manifest written at the snapshot path proper (version 2).
+/// The manifest written at the snapshot path proper (version 3).
+///
+/// `shards` counts **physical** shard files; `old_shards` /
+/// `new_shards` / `boundary` persist the routing epoch, so a snapshot
+/// taken during an online reshard records exactly which layout owns
+/// each id. Steady snapshots have `old_shards == new_shards == shards`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct ShardManifest {
     format: String,
@@ -802,6 +834,62 @@ struct ShardManifest {
     file_snapshots: Vec<u64>,
     /// Per-shard edit counters at snapshot time.
     edits: Vec<u64>,
+    /// Routing epoch: the layout records migrate from.
+    old_shards: usize,
+    /// Routing epoch: the layout records migrate to.
+    new_shards: usize,
+    /// Routing epoch: the migration watermark (see
+    /// [`RoutingEpoch`](crate::epoch::RoutingEpoch)).
+    boundary: usize,
+}
+
+impl ShardManifest {
+    /// The persisted routing epoch.
+    fn epoch(&self) -> RoutingEpoch {
+        RoutingEpoch {
+            old_n: self.old_shards,
+            new_n: self.new_shards,
+            boundary: self.boundary,
+        }
+    }
+}
+
+/// The version-2 manifest (incremental saves, no routing epoch), still
+/// accepted on restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ShardManifestV2 {
+    format: String,
+    version: u32,
+    snapshot_id: u64,
+    writer: u64,
+    shards: usize,
+    next_id: usize,
+    records: usize,
+    files: Vec<String>,
+    file_snapshots: Vec<u64>,
+    edits: Vec<u64>,
+}
+
+impl ShardManifestV2 {
+    /// Lifts a v2 manifest into the v3 shape: pre-epoch snapshots were
+    /// always steady.
+    fn upgrade(self) -> ShardManifest {
+        ShardManifest {
+            format: self.format,
+            version: self.version,
+            snapshot_id: self.snapshot_id,
+            writer: self.writer,
+            shards: self.shards,
+            next_id: self.next_id,
+            records: self.records,
+            file_snapshots: self.file_snapshots,
+            edits: self.edits,
+            old_shards: self.shards,
+            new_shards: self.shards,
+            boundary: 0,
+            files: self.files,
+        }
+    }
 }
 
 /// The version-1 manifest (every shard file rewritten per save), still
@@ -821,9 +909,9 @@ impl ShardManifestV1 {
     /// Lifts a v1 manifest into the v2 shape: every file belongs to the
     /// manifest's own generation, and the unknown writer/edits make any
     /// incremental-save comparison fail (full rewrite next save).
-    fn upgrade(self) -> ShardManifest {
+    fn upgrade(self) -> ShardManifestV2 {
         let files = self.files;
-        ShardManifest {
+        ShardManifestV2 {
             format: self.format,
             version: self.version,
             snapshot_id: self.snapshot_id,
@@ -838,18 +926,23 @@ impl ShardManifestV1 {
     }
 }
 
-/// Parses a manifest, accepting both the current and the v1 layout.
-/// Tried in that order: the shim deserialiser ignores unknown fields,
-/// so a v2 document would also "parse" as v1 (dropping the incremental
-/// bookkeeping), while a v1 document fails the v2 parse on its missing
-/// fields.
+/// Parses a manifest, accepting the current, the v2, and the v1
+/// layouts. Tried newest first: the shim deserialiser ignores unknown
+/// fields, so a newer document would also "parse" as an older version
+/// (dropping bookkeeping), while an older document fails the newer
+/// parse on its missing fields.
 fn parse_manifest(text: &str) -> Option<ShardManifest> {
     serde_json::from_str::<ShardManifest>(text)
         .ok()
         .or_else(|| {
+            serde_json::from_str::<ShardManifestV2>(text)
+                .ok()
+                .map(ShardManifestV2::upgrade)
+        })
+        .or_else(|| {
             serde_json::from_str::<ShardManifestV1>(text)
                 .ok()
-                .map(ShardManifestV1::upgrade)
+                .map(|v1| v1.upgrade().upgrade())
         })
 }
 
@@ -915,7 +1008,7 @@ pub(crate) fn save_snapshot_at(
     }
     let manifest = ShardManifest {
         format: MANIFEST_FORMAT.to_owned(),
-        version: 2,
+        version: 3,
         snapshot_id,
         writer: payload.writer,
         shards: shard_count,
@@ -924,6 +1017,9 @@ pub(crate) fn save_snapshot_at(
         files,
         file_snapshots,
         edits: payload.edits,
+        old_shards: payload.epoch.old_n,
+        new_shards: payload.epoch.new_n,
+        boundary: payload.epoch.boundary,
     };
     let json = serde_json::to_string(&manifest).map_err(|e| DbError::Persist {
         reason: e.to_string(),
@@ -933,39 +1029,60 @@ pub(crate) fn save_snapshot_at(
     Ok(records)
 }
 
-/// Loads a snapshot from `path`: either a sharded manifest (v1 or v2)
-/// or a plain [`ImageDatabase::save`] file, returning the per-shard
-/// databases in their saved topology plus the saved id counter.
+/// Loads a snapshot from `path`: either a sharded manifest (v1, v2 or
+/// v3) or a plain [`ImageDatabase::save`] file, returning the per-shard
+/// databases in their saved physical layout plus id counter and epoch.
 ///
 /// The caller must already hold its snapshot-I/O lock.
-pub(crate) fn load_snapshot_at(path: &Path) -> Result<(Vec<ImageDatabase>, usize), DbError> {
+pub(crate) fn load_snapshot_at(path: &Path) -> Result<LoadedSnapshot, DbError> {
     let text = std::fs::read_to_string(path)?;
     if let Some(manifest) = parse_manifest(&text) {
         let shards = load_manifest_shards(path, &manifest)?;
-        Ok((shards, manifest.next_id))
+        Ok(LoadedSnapshot {
+            shards,
+            next_id: manifest.next_id,
+            epoch: manifest.epoch(),
+        })
     } else {
         // Plain single-shard snapshot: treat it as a 1-shard save.
         let db = ImageDatabase::from_json(&text)?;
         let next_id = db.next_id();
-        Ok((vec![db], next_id))
+        Ok(LoadedSnapshot {
+            shards: vec![db],
+            next_id,
+            epoch: RoutingEpoch::steady(1),
+        })
     }
 }
 
-/// Re-routes records saved under `saved.len()` shards into `n` shards,
-/// preserving every record's global id. A same-count restore is a
-/// move, not a replay.
+/// Re-routes a loaded snapshot into `n` steady shards, preserving every
+/// record's global id. A steady same-count restore is a move, not a
+/// replay; anything else — topology change or a snapshot taken
+/// mid-reshard — is replayed record by record through the saved
+/// [`RoutingEpoch`].
 pub(crate) fn reroute_shards(
-    saved: Vec<ImageDatabase>,
+    saved: LoadedSnapshot,
     n: usize,
 ) -> Result<Vec<ImageDatabase>, DbError> {
-    let saved_n = saved.len();
-    if saved_n == n {
-        return Ok(saved);
+    let epoch = saved.epoch;
+    if epoch.is_steady() && epoch.new_n == n && saved.shards.len() == n {
+        return Ok(saved.shards);
     }
     let mut rebuilt: Vec<ImageDatabase> = (0..n).map(|_| ImageDatabase::new()).collect();
-    for (old_shard, db) in saved.into_iter().enumerate() {
+    for (old_shard, db) in saved.shards.into_iter().enumerate() {
         for record in db.iter() {
-            let global = record.id.index() * saved_n + old_shard;
+            let global = epoch
+                .global_of(old_shard, record.id.index())
+                .ok_or_else(|| DbError::Persist {
+                    reason: format!(
+                        "snapshot shard {old_shard} slot {} resolves to no global id under \
+                             epoch {} -> {} @ {} (corrupt manifest)",
+                        record.id.index(),
+                        epoch.old_n,
+                        epoch.new_n,
+                        epoch.boundary
+                    ),
+                })?;
             let (shard, local) = (global % n, RecordId(global / n));
             rebuilt[shard].insert_symbolic_with_id(local, &record.name, record.symbolic.clone())?;
         }
@@ -1075,6 +1192,15 @@ fn load_manifest_shards(
             "manifest names {} files for {} shards",
             manifest.files.len(),
             manifest.shards
+        )));
+    }
+    if manifest.old_shards == 0
+        || manifest.new_shards == 0
+        || manifest.epoch().phys() != manifest.shards
+    {
+        return Err(invalid(format!(
+            "manifest epoch {} -> {} does not fit its {} physical shards",
+            manifest.old_shards, manifest.new_shards, manifest.shards
         )));
     }
     let mut out = Vec::with_capacity(manifest.shards);

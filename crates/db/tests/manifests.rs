@@ -1,0 +1,302 @@
+//! Property tests for snapshot manifests: arbitrary v1/v2/v3 manifests
+//! either round-trip exactly or are **rejected cleanly** — a failed
+//! restore never leaves a partial corpus behind, and id-counter healing
+//! is always monotonic (an insert after any successful restore can
+//! never collide with a restored record or reuse a pre-restore id).
+
+use be2d_db::{RecordId, ReplicatedImageDatabase, ShardedImageDatabase};
+use be2d_geometry::{Scene, SceneBuilder};
+use proptest::prelude::*;
+use serde::{Deserialize, Value};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn scene(i: i64) -> Scene {
+    SceneBuilder::new(80, 80)
+        .object("A", ((i * 5) % 60, (i * 5) % 60 + 8, 4, 14))
+        .object("B", (20, 50, 30, 60))
+        .build()
+        .unwrap()
+}
+
+fn fresh_dir() -> PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "be2d_manifest_prop_{}_{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The fields of a parsed manifest, extracted through the JSON tree so
+/// the test can re-emit any manifest version (with optional damage).
+struct ManifestFields {
+    format: String,
+    snapshot_id: u64,
+    writer: u64,
+    shards: u64,
+    next_id: u64,
+    records: u64,
+    files: Vec<String>,
+    file_snapshots: Vec<u64>,
+    edits: Vec<u64>,
+    old_shards: u64,
+    new_shards: u64,
+    boundary: u64,
+}
+
+fn field<'v>(map: &'v [(String, Value)], key: &str) -> &'v Value {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("manifest field {key} missing"))
+}
+
+fn num(map: &[(String, Value)], key: &str) -> u64 {
+    u64::from_value(field(map, key)).unwrap_or_else(|_| panic!("field {key} is not a number"))
+}
+
+fn parse_fields(path: &Path) -> ManifestFields {
+    let text = std::fs::read_to_string(path).unwrap();
+    let value: Value = serde_json::from_str(&text).unwrap();
+    let map = value.as_map().expect("manifest is a JSON object");
+    let strings = |key: &str| -> Vec<String> {
+        field(map, key)
+            .as_seq()
+            .unwrap()
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => s.clone(),
+                other => panic!("{key} holds {other:?}"),
+            })
+            .collect()
+    };
+    let numbers = |key: &str| -> Vec<u64> {
+        field(map, key)
+            .as_seq()
+            .unwrap()
+            .iter()
+            .map(|v| u64::from_value(v).unwrap())
+            .collect()
+    };
+    ManifestFields {
+        format: match field(map, "format") {
+            Value::Str(s) => s.clone(),
+            other => panic!("format holds {other:?}"),
+        },
+        snapshot_id: num(map, "snapshot_id"),
+        writer: num(map, "writer"),
+        shards: num(map, "shards"),
+        next_id: num(map, "next_id"),
+        records: num(map, "records"),
+        files: strings("files"),
+        file_snapshots: numbers("file_snapshots"),
+        edits: numbers("edits"),
+        old_shards: num(map, "old_shards"),
+        new_shards: num(map, "new_shards"),
+        boundary: num(map, "boundary"),
+    }
+}
+
+fn join_u64(values: &[u64]) -> String {
+    values
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn join_files(files: &[String]) -> String {
+    files
+        .iter()
+        .map(|f| format!("{f:?}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Re-emits the manifest in the requested on-disk version.
+fn emit(fields: &ManifestFields, version: u8) -> String {
+    match version {
+        1 => format!(
+            r#"{{"format":{:?},"version":1,"snapshot_id":{},"shards":{},"next_id":{},"records":{},"files":[{}]}}"#,
+            fields.format,
+            fields.snapshot_id,
+            fields.shards,
+            fields.next_id,
+            fields.records,
+            join_files(&fields.files),
+        ),
+        2 => format!(
+            r#"{{"format":{:?},"version":2,"snapshot_id":{},"writer":{},"shards":{},"next_id":{},"records":{},"files":[{}],"file_snapshots":[{}],"edits":[{}]}}"#,
+            fields.format,
+            fields.snapshot_id,
+            fields.writer,
+            fields.shards,
+            fields.next_id,
+            fields.records,
+            join_files(&fields.files),
+            join_u64(&fields.file_snapshots),
+            join_u64(&fields.edits),
+        ),
+        3 => format!(
+            r#"{{"format":{:?},"version":3,"snapshot_id":{},"writer":{},"shards":{},"next_id":{},"records":{},"files":[{}],"file_snapshots":[{}],"edits":[{}],"old_shards":{},"new_shards":{},"boundary":{}}}"#,
+            fields.format,
+            fields.snapshot_id,
+            fields.writer,
+            fields.shards,
+            fields.next_id,
+            fields.records,
+            join_files(&fields.files),
+            join_u64(&fields.file_snapshots),
+            join_u64(&fields.edits),
+            fields.old_shards,
+            fields.new_shards,
+            fields.boundary,
+        ),
+        other => panic!("no manifest version {other}"),
+    }
+}
+
+/// What the strategy does to an otherwise-valid manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Damage {
+    /// Leave it valid (must round-trip).
+    None,
+    /// Understate `next_id` (must round-trip: healing is monotonic).
+    UnderstateNextId,
+    /// Unknown format string (rejected).
+    BadFormat,
+    /// `shards` disagrees with the file list (rejected).
+    ShardCountLie,
+    /// One shard file vanished from disk (rejected).
+    MissingFile,
+    /// One file generation disagrees with the shard file (rejected —
+    /// a torn snapshot must never restore silently).
+    TornGeneration,
+    /// Epoch does not fit the physical shards (rejected; v3 only —
+    /// lower versions carry no epoch, so they get `ShardCountLie`).
+    BadEpoch,
+    /// A file name tries to escape the snapshot directory (rejected).
+    EscapingFileName,
+}
+
+const DAMAGES: [Damage; 8] = [
+    Damage::None,
+    Damage::UnderstateNextId,
+    Damage::BadFormat,
+    Damage::ShardCountLie,
+    Damage::MissingFile,
+    Damage::TornGeneration,
+    Damage::BadEpoch,
+    Damage::EscapingFileName,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline property: for any source topology, record count,
+    /// manifest version, and damage, a restore either reproduces the
+    /// saved corpus exactly (valid manifests, including understated id
+    /// counters, which heal monotonically) or fails cleanly with the
+    /// target database untouched.
+    #[test]
+    fn manifests_roundtrip_or_reject_cleanly(
+        source_shards in 1usize..5,
+        records in 0usize..14,
+        removed_every in 2usize..5,
+        target_shards in 1usize..5,
+        replicas in 1usize..3,
+        version in 1u8..4,
+        damage_index in 0usize..DAMAGES.len(),
+    ) {
+        let mut damage = DAMAGES[damage_index];
+        if version < 3 && damage == Damage::BadEpoch {
+            damage = Damage::ShardCountLie;
+        }
+        let dir = fresh_dir();
+        let path = dir.join("m.json");
+
+        // Source corpus with some dead ids, saved as a v3 manifest.
+        let source = ShardedImageDatabase::with_shards(source_shards);
+        let mut live: Vec<usize> = Vec::new();
+        for i in 0..records {
+            source.insert_scene(&format!("img-{i}"), &scene(i as i64)).unwrap();
+            if i % removed_every == 0 {
+                source.remove(RecordId(i)).unwrap();
+            } else {
+                live.push(i);
+            }
+        }
+        source.save_snapshot(&path).unwrap();
+
+        // Re-emit at the requested version, with the requested damage.
+        let mut fields = parse_fields(&path);
+        match damage {
+            Damage::None => {}
+            Damage::UnderstateNextId => fields.next_id = 0,
+            Damage::BadFormat => fields.format = "be2d-something-else".into(),
+            Damage::ShardCountLie => fields.shards += 1,
+            Damage::MissingFile => std::fs::remove_file(dir.join(&fields.files[0])).unwrap(),
+            Damage::TornGeneration => {
+                fields.file_snapshots[0] = fields.file_snapshots[0].wrapping_add(1);
+                // v1 derives generations from snapshot_id; tear that instead.
+                if version == 1 {
+                    fields.snapshot_id = fields.snapshot_id.wrapping_add(1);
+                }
+            }
+            Damage::BadEpoch => fields.new_shards = fields.shards + 3,
+            Damage::EscapingFileName => fields.files[0] = "../escape.json".into(),
+        }
+        std::fs::write(&path, emit(&fields, version)).unwrap();
+
+        // A busy target: 3 pre-existing records that must survive any
+        // *failed* restore untouched.
+        let target = ReplicatedImageDatabase::with_topology(target_shards, replicas);
+        for i in 0..3 {
+            target.insert_scene(&format!("busy-{i}"), &scene(40 + i)).unwrap();
+        }
+
+        let expect_ok = matches!(damage, Damage::None | Damage::UnderstateNextId);
+        match target.restore_from(&path) {
+            Ok(restored) => {
+                prop_assert!(expect_ok, "damage {damage:?} restored successfully");
+                prop_assert_eq!(restored, live.len());
+                prop_assert_eq!(target.len(), live.len());
+                for &i in &live {
+                    let record = target.get(RecordId(i));
+                    prop_assert!(record.is_some(), "record {} lost", i);
+                    prop_assert_eq!(record.unwrap().name, format!("img-{i}"));
+                }
+                // Counter healing is monotonic: the next insert must
+                // collide with no restored record, and the counter can
+                // never move backwards past ids this instance already
+                // handed out — even when the manifest understated
+                // next_id. (Dead ids *above* every live record carry no
+                // state a corrupt manifest is obliged to preserve.)
+                let next = target.insert_scene("after", &scene(70)).unwrap();
+                prop_assert!(next.index() >= 3, "{:?}", next);
+                prop_assert!(!live.contains(&next.index()), "{:?} collided", next);
+                if damage == Damage::None {
+                    prop_assert!(next.index() >= records.max(3), "{:?}", next);
+                }
+                prop_assert!(target.get(next).is_some());
+            }
+            Err(e) => {
+                prop_assert!(!expect_ok, "valid manifest rejected: {e}");
+                // Clean rejection: no partial restore, the busy corpus
+                // is exactly as it was.
+                prop_assert_eq!(target.len(), 3, "partial restore after {}", e);
+                for i in 0..3usize {
+                    let record = target.get(RecordId(i));
+                    prop_assert!(record.is_some());
+                    prop_assert_eq!(record.unwrap().name, format!("busy-{i}"));
+                }
+                // Nothing escaped the snapshot directory.
+                prop_assert!(!dir.join("../escape.json").exists());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,187 @@
+//! The scatter planner under concurrent §3.2 edits: skipping a shard
+//! is only sound when its class postings *provably* cannot contribute,
+//! and the prune decision must be taken under the same lock acquisition
+//! as the scan — postings changing mid-scatter must never prune a shard
+//! that could contribute. `planner_skipped` has to count exactly the
+//! provable skips, never a racy one.
+
+use be2d_db::{
+    CandidateSource, PrefilterMode, QueryOptions, RecordId, ReplicatedImageDatabase, Resharder,
+};
+use be2d_geometry::{ObjectClass, Rect, Scene, SceneBuilder};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+fn base_scene(x: i64) -> Scene {
+    SceneBuilder::new(100, 100)
+        .object("A", (x, x + 10, 10, 20))
+        .object("B", (50, 90, 50, 90))
+        .build()
+        .unwrap()
+}
+
+fn all_classes_options() -> QueryOptions {
+    QueryOptions {
+        prefilter: PrefilterMode::AllClasses,
+        candidates: CandidateSource::ClassIndex,
+        top_k: None,
+        ..QueryOptions::default()
+    }
+}
+
+/// Deterministic accounting: `planner_skipped` counts exactly the
+/// shards whose posting intersection is provably empty, tracking §3.2
+/// edits as classes appear and disappear.
+#[test]
+fn planner_skipped_tracks_posting_changes_exactly() {
+    let db = ReplicatedImageDatabase::with_topology(4, 1);
+    for i in 0..12 {
+        db.insert_scene(&format!("img-{i}"), &base_scene(i % 40))
+            .unwrap();
+    }
+    let q = ObjectClass::new("Q");
+    let mbr = Rect::new(0, 5, 0, 5).unwrap();
+    let query = SceneBuilder::new(100, 100)
+        .object("Q", (0, 5, 0, 5))
+        .build()
+        .unwrap();
+    let options = all_classes_options();
+
+    // No Q anywhere: all four shards are provably empty for the query.
+    assert!(db.search_scene(&query, &options).is_empty());
+    assert_eq!(db.planner_skipped(), 4);
+
+    // Q lands on record 0 → shard 0: exactly three shards skippable.
+    db.add_object(RecordId(0), &q, mbr).unwrap();
+    let hits = db.search_scene(&query, &options);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].id, RecordId(0));
+    assert_eq!(db.planner_skipped(), 4 + 3);
+
+    // A second Q on record 5 → shard 1: two shards skippable.
+    db.add_object(RecordId(5), &q, mbr).unwrap();
+    assert_eq!(db.search_scene(&query, &options).len(), 2);
+    assert_eq!(db.planner_skipped(), 4 + 3 + 2);
+
+    // Removing the §3.2 objects restores full pruning.
+    db.remove_object(RecordId(0), &q, mbr).unwrap();
+    db.remove_object(RecordId(5), &q, mbr).unwrap();
+    assert!(db.search_scene(&query, &options).is_empty());
+    assert_eq!(db.planner_skipped(), 4 + 3 + 2 + 4);
+
+    // Scan-mode candidates are never pruned.
+    let scan = QueryOptions {
+        candidates: CandidateSource::Scan,
+        ..all_classes_options()
+    };
+    let _ = db.search_scene(&query, &scan);
+    assert_eq!(db.planner_skipped(), 13, "scan mode must not skip");
+}
+
+/// The race the prune must survive: a writer toggles class Q on one
+/// record while searches run. Queries whose class set is satisfied
+/// independently of Q must **always** see their records — if the prune
+/// decision ever used stale postings (a different lock acquisition than
+/// the scan), the target record would intermittently vanish.
+#[test]
+fn concurrent_edits_never_prune_a_contributing_shard() {
+    let db = ReplicatedImageDatabase::with_topology(4, 2);
+    for i in 0..24 {
+        db.insert_scene(&format!("img-{i}"), &base_scene(i % 40))
+            .unwrap();
+    }
+    // The toggled record lives on shard 3 (23 % 4).
+    let toggled = RecordId(23);
+    let q = ObjectClass::new("Q");
+    let mbr = Rect::new(0, 5, 0, 5).unwrap();
+
+    // Query on {A}: every record has A, so with AllClasses prefilter no
+    // shard is ever skippable, whatever happens to Q.
+    let a_query = SceneBuilder::new(100, 100)
+        .object("A", (3, 13, 10, 20))
+        .build()
+        .unwrap();
+    // Query on {A, Q} with AnyClass: the union contains all A-records,
+    // so again no shard is skippable — a planner that wrongly applied
+    // intersection logic (or read stale postings) would drop shard 3's
+    // records whenever Q is mid-toggle.
+    let aq_query = SceneBuilder::new(100, 100)
+        .object("A", (3, 13, 10, 20))
+        .object("Q", (0, 5, 0, 5))
+        .build()
+        .unwrap();
+    let all = all_classes_options();
+    let any = QueryOptions {
+        prefilter: PrefilterMode::AnyClass,
+        ..all_classes_options()
+    };
+
+    let stop = AtomicBool::new(false);
+    let searches = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let writer = {
+            let db = db.clone();
+            let stop = &stop;
+            let q = q.clone();
+            scope.spawn(move || {
+                let mut toggles = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    db.add_object(toggled, &q, mbr).unwrap();
+                    db.remove_object(toggled, &q, mbr).unwrap();
+                    toggles += 1;
+                }
+                toggles
+            })
+        };
+        for _ in 0..2 {
+            let db = db.clone();
+            let stop = &stop;
+            let searches = &searches;
+            let (a_query, aq_query) = (&a_query, &aq_query);
+            let (all, any) = (&all, &any);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let hits = db.search_scene(a_query, all);
+                    assert_eq!(hits.len(), 24, "an A-record vanished mid-toggle");
+                    let hits = db.search_scene(aq_query, any);
+                    assert!(
+                        hits.iter().any(|h| h.id == toggled),
+                        "the toggled record was pruned out of an any-class union"
+                    );
+                    assert!(hits.len() >= 24, "any-class union lost records");
+                    searches.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // And the same invariants hold while a reshard migrates the
+        // postings shard-to-shard under the toggling writer.
+        Resharder::new(&db)
+            .batch_ids(6)
+            .run_with_checkpoints(7, |_| {
+                let target = searches.load(Ordering::Relaxed) + 1;
+                let deadline = std::time::Instant::now() + std::time::Duration::from_millis(200);
+                while searches.load(Ordering::Relaxed) < target
+                    && std::time::Instant::now() < deadline
+                {
+                    std::thread::yield_now();
+                }
+            })
+            .unwrap();
+        while searches.load(Ordering::Relaxed) < 30 {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::SeqCst);
+        assert!(writer.join().unwrap() > 0, "writer actually toggled");
+    });
+    assert_eq!(db.shard_count(), 7);
+
+    // Quiesced: Q is absent, so a Q-only query skips all shards and the
+    // counter still only ever counted provable skips.
+    let q_query = SceneBuilder::new(100, 100)
+        .object("Q", (0, 5, 0, 5))
+        .build()
+        .unwrap();
+    let before = db.planner_skipped();
+    assert!(db.search_scene(&q_query, &all).is_empty());
+    assert_eq!(db.planner_skipped(), before + 7);
+}

@@ -368,6 +368,44 @@ impl ReplicaRequest {
     }
 }
 
+/// `POST /admin/reshard`: the target shard count plus an optional batch
+/// size (ids swept per stop-the-world batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReshardRequest {
+    /// The shard count to migrate to (≥ 1).
+    pub shards: usize,
+    /// Ids swept per batch; the server's configured default when
+    /// omitted.
+    pub batch: Option<usize>,
+}
+
+impl ReshardRequest {
+    /// Parses `{"shards": N, "batch": B?}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns 400-level [`ApiError`]s for malformed bodies and for a
+    /// zero shard count.
+    pub fn from_value(v: &Value) -> Result<ReshardRequest, ApiError> {
+        let obj = as_obj(v, "body")?;
+        let shards = as_i64(required(obj, "shards")?, "shards")?;
+        let shards = usize::try_from(shards)
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| ApiError::bad("shards must be >= 1"))?;
+        let batch = match get(obj, "batch") {
+            Some(b) => Some(
+                usize::try_from(as_i64(b, "batch")?)
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| ApiError::bad("batch must be >= 1"))?,
+            ),
+            None => None,
+        };
+        Ok(ReshardRequest { shards, batch })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Query options
 // ---------------------------------------------------------------------------
@@ -556,6 +594,18 @@ pub struct ReplicaResponse {
     pub healthy: bool,
 }
 
+/// Body of `POST /admin/reshard` responses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReshardResponse {
+    /// The shard count records migrate from.
+    pub from: usize,
+    /// The shard count records migrate to.
+    pub to: usize,
+    /// `true` when a migration was started in the background (202);
+    /// `false` when the target equals the current count (200 no-op).
+    pub started: bool,
+}
+
 /// Body of delete / object-edit responses.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AckResponse {
@@ -583,7 +633,8 @@ pub struct StatsResponse {
     pub classes: usize,
     /// Total objects across all records.
     pub objects: usize,
-    /// Database shards serving this instance.
+    /// Database shards serving this instance (the **target** topology
+    /// while an online reshard is migrating).
     pub shards: usize,
     /// Replicas per shard.
     pub replicas: usize,
@@ -598,6 +649,18 @@ pub struct StatsResponse {
     /// Shards the scatter planner skipped since boot because their
     /// class postings could not contribute a candidate.
     pub planner_skipped: u64,
+    /// Whether an online reshard is currently migrating records.
+    pub reshard_active: bool,
+    /// Last (or current) reshard: the shard count migrated from.
+    pub reshard_from: usize,
+    /// Last (or current) reshard: the shard count migrated to.
+    pub reshard_to: usize,
+    /// Last (or current) reshard: global ids swept so far.
+    pub reshard_migrated_ids: usize,
+    /// Last (or current) reshard: global ids to sweep in total.
+    pub reshard_total_ids: usize,
+    /// Last (or current) reshard: records physically moved.
+    pub reshard_moved_records: usize,
     /// Requests fully served (any status) since boot.
     pub requests: u64,
     /// Searches served since boot.
@@ -826,6 +889,30 @@ mod tests {
             r#"{"shard":"zero","replica":0}"#,
         ] {
             assert!(ReplicaRequest::from_value(&val(text)).is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn reshard_request_parses_and_rejects() {
+        let req = ReshardRequest::from_value(&val(r#"{"shards":8}"#)).unwrap();
+        assert_eq!(
+            req,
+            ReshardRequest {
+                shards: 8,
+                batch: None
+            }
+        );
+        let req = ReshardRequest::from_value(&val(r#"{"shards":4,"batch":64}"#)).unwrap();
+        assert_eq!(req.batch, Some(64));
+        for text in [
+            r#"{}"#,
+            r#"{"shards":0}"#,
+            r#"{"shards":-2}"#,
+            r#"{"shards":"four"}"#,
+            r#"{"shards":4,"batch":0}"#,
+            r#"{"shards":4,"batch":-1}"#,
+        ] {
+            assert!(ReshardRequest::from_value(&val(text)).is_err(), "{text}");
         }
     }
 

@@ -25,6 +25,8 @@ fn usage() -> &'static str {
        --replicas R       replicas per shard: reads round-robin across copies,\n\
                           writes fan out to all; POST /admin/replicas/fail|heal\n\
                           injects and repairs replica faults (default 1)\n\
+       --reshard-batch N  ids swept per online-reshard batch when a\n\
+                          POST /admin/reshard request names none (default 256)\n\
        --queue N          pending-connection queue before 503 shedding (default 64)\n\
        --keep-alive N     requests served per connection (default 256)\n\
        --db PATH          load this snapshot into the database at boot\n\
@@ -61,6 +63,13 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<PathBuf>), String
                 config.replicas = value("--replicas")?
                     .parse()
                     .map_err(|_| "--replicas must be a number".to_owned())?;
+            }
+            "--reshard-batch" => {
+                config.reshard_batch = value("--reshard-batch")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--reshard-batch must be a positive number".to_owned())?;
             }
             "--queue" => {
                 config.queue_capacity = value("--queue")?

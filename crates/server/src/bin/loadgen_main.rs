@@ -22,13 +22,19 @@ fn usage() -> &'static str {
        --requests N        total requests (default 1000)\n\
        --connections N     concurrent connections (default 4)\n\
        --rate R            open-loop req/s across all connections (default 0 = closed loop)\n\
-       --mix SPEC          op mix: a preset (serving | read-heavy) or weights,\n\
+       --mix SPEC          op mix: a preset (serving | read-heavy | churn) or weights,\n\
                            e.g. insert=15,search=70,sketch=5 (default: serving)\n\
        --skew SPEC         hot/cold target skew: P (hot prob, 10% hot prefix),\n\
                            P/F (explicit hot fraction) or P/sN (hot = ids divisible\n\
                            by N; N = server shards aims edits at shard 0). default: uniform\n\
        --seed S            master seed (default 42)\n\
        --prefill N         images inserted before the timed run (default 64)\n\
+       --reshard-to N      fire POST /admin/reshard to N shards mid-run and\n\
+                           require the migration to finish (default: off)\n\
+       --reshard-after K   completed requests before the reshard fires\n\
+                           (default 0 = immediately)\n\
+       --reshard-batch B   batch-size override for the reshard request\n\
+                           (default: the server's configured batch)\n\
        --out PATH          write the JSON report here (default BENCH_server.json)\n\
        --help              this text\n"
 }
@@ -55,7 +61,7 @@ fn parse_args(args: &[String]) -> Result<(LoadgenConfig, String), String> {
             }
             "--out" => out = value,
             "--requests" | "--connections" | "--rate" | "--mix" | "--skew" | "--seed"
-            | "--prefill" => {
+            | "--prefill" | "--reshard-to" | "--reshard-after" | "--reshard-batch" => {
                 overrides.push((flag.clone(), value));
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -91,6 +97,21 @@ fn parse_args(args: &[String]) -> Result<(LoadgenConfig, String), String> {
                 config.prefill = value
                     .parse()
                     .map_err(|_| "--prefill must be a number".to_owned())?;
+            }
+            "--reshard-to" => {
+                config.reshard_to = value
+                    .parse()
+                    .map_err(|_| "--reshard-to must be a number".to_owned())?;
+            }
+            "--reshard-after" => {
+                config.reshard_after = value
+                    .parse()
+                    .map_err(|_| "--reshard-after must be a number".to_owned())?;
+            }
+            "--reshard-batch" => {
+                config.reshard_batch = value
+                    .parse()
+                    .map_err(|_| "--reshard-batch must be a number".to_owned())?;
             }
             _ => unreachable!("filtered above"),
         }

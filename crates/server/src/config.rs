@@ -24,6 +24,11 @@ pub struct ServerConfig {
     /// replica failure (`POST /admin/replicas/fail`), and rebuild from
     /// a healthy peer (`POST /admin/replicas/heal`). 0 is clamped to 1.
     pub replicas: usize,
+    /// Global ids swept per online-reshard batch (`POST /admin/reshard`
+    /// when the request names no batch size). Smaller batches mean
+    /// shorter per-batch write pauses; larger ones finish the migration
+    /// in fewer stop-the-world steps.
+    pub reshard_batch: usize,
     /// Connections allowed to wait for a free worker before new ones
     /// are shed with `503 Service Unavailable`.
     pub queue_capacity: usize,
@@ -59,6 +64,7 @@ impl Default for ServerConfig {
             threads: 0,
             shards: 1,
             replicas: 1,
+            reshard_batch: 256,
             queue_capacity: 64,
             read_timeout: Duration::from_secs(5),
             request_timeout: Duration::from_secs(15),
@@ -96,6 +102,7 @@ mod tests {
         let c = ServerConfig::default();
         assert!(c.effective_threads() >= 2);
         assert!(c.queue_capacity > 0);
+        assert!(c.reshard_batch > 0);
         assert!(c.max_head_bytes < c.max_body_bytes);
     }
 

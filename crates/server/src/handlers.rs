@@ -2,14 +2,14 @@
 
 use crate::api::{
     json_response, parse_body, AckResponse, ApiError, InsertBody, InsertRequest, InsertResponse,
-    ObjectEdit, PathRequest, ReplicaRequest, ReplicaResponse, SearchQuery, SearchRequest,
-    SearchResponse, SketchRequest, SnapshotResponse, StatsResponse,
+    ObjectEdit, PathRequest, ReplicaRequest, ReplicaResponse, ReshardRequest, ReshardResponse,
+    SearchQuery, SearchRequest, SearchResponse, SketchRequest, SnapshotResponse, StatsResponse,
 };
 use crate::http::{Request, Response};
 use crate::router::{route, Route};
 use crate::ServerConfig;
 use be2d_db::sketch::Sketch;
-use be2d_db::{QueryOptions, RecordId, ReplicatedImageDatabase};
+use be2d_db::{QueryOptions, RecordId, ReplicatedImageDatabase, Resharder};
 use serde::Value;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -45,6 +45,11 @@ pub struct AppState {
     pub default_options: QueryOptions,
     /// Set by `POST /admin/shutdown`; the accept loop watches it.
     pub shutdown: AtomicBool,
+    /// Admission token for `POST /admin/reshard`: exactly one request
+    /// may hold it from acceptance until its background migration
+    /// thread finishes, making the 409-on-concurrent-reshard check
+    /// atomic (shared with that thread, hence the `Arc`).
+    pub reshard_inflight: Arc<AtomicBool>,
     /// Worker-thread count (for `/stats`).
     pub threads: usize,
     /// The server's bound address; used to poke the blocking accept
@@ -68,6 +73,7 @@ impl AppState {
             stats: ServerStats::default(),
             default_options: QueryOptions::serving(),
             shutdown: AtomicBool::new(false),
+            reshard_inflight: Arc::new(AtomicBool::new(false)),
             threads,
             addr,
             started: Instant::now(),
@@ -117,6 +123,7 @@ fn dispatch(state: &AppState, request: &Request) -> Result<Response, ApiError> {
         Route::Restore => restore(state, &body_of(request)?),
         Route::ReplicaFail => replica_health(state, &body_of(request)?, false),
         Route::ReplicaHeal => replica_health(state, &body_of(request)?, true),
+        Route::Reshard => reshard(state, &body_of(request)?),
         Route::Shutdown => {
             state.request_shutdown();
             Ok(Response::json(200, "{\"shutting_down\":true}".into()))
@@ -237,11 +244,76 @@ fn replica_health(state: &AppState, body: &Value, heal: bool) -> Result<Response
     ))
 }
 
+/// `POST /admin/reshard`: start an online reshard in the background.
+/// The request returns immediately (202); `GET /stats` reports
+/// progress, and the migration keeps serving reads and writes with
+/// rankings unchanged throughout.
+fn reshard(state: &AppState, body: &Value) -> Result<Response, ApiError> {
+    let req = ReshardRequest::from_value(body)?;
+    // Atomic admission: the token is held from here until the spawned
+    // migration thread finishes, so two racing requests can never both
+    // be told 202 (one would silently lose the Resharder's internal
+    // lock and its migration would never run).
+    if state.reshard_inflight.swap(true, Ordering::SeqCst) {
+        return Err(ApiError {
+            status: 409,
+            message: "a reshard is already in progress".into(),
+        });
+    }
+    let release = |response| {
+        state.reshard_inflight.store(false, Ordering::SeqCst);
+        response
+    };
+    // An aborted earlier migration (internal error; epoch still
+    // mid-flight) can only be *resumed* — rerun to the same target.
+    if state.db.resharding() && state.db.reshard_progress().to != req.shards {
+        return release(Err(ApiError {
+            status: 409,
+            message: format!(
+                "an aborted reshard to {} shards must be resumed first",
+                state.db.reshard_progress().to
+            ),
+        }));
+    }
+    let from = state.db.shard_count();
+    if req.shards == from && !state.db.resharding() {
+        return release(Ok(json_response(
+            200,
+            &ReshardResponse {
+                from,
+                to: req.shards,
+                started: false,
+            },
+        )));
+    }
+    let batch = req.batch.unwrap_or(state.config.reshard_batch);
+    let db = state.db.clone();
+    let inflight = Arc::clone(&state.reshard_inflight);
+    let to = req.shards;
+    // The migration outlives this request by design; the admission
+    // token is released when the run ends, success or not.
+    std::thread::spawn(move || {
+        if let Err(e) = Resharder::new(&db).batch_ids(batch).run(to) {
+            eprintln!("reshard to {to} shards failed: {e}");
+        }
+        inflight.store(false, Ordering::SeqCst);
+    });
+    Ok(json_response(
+        202,
+        &ReshardResponse {
+            from,
+            to,
+            started: true,
+        },
+    ))
+}
+
 fn stats(state: &AppState) -> Response {
     // One simultaneous read lock over all replicas of all shards: the
     // reported records/classes/objects combination is never torn by a
     // concurrent write.
     let db_stats = state.db.stats();
+    let reshard = state.db.reshard_progress();
     json_response(
         200,
         &StatsResponse {
@@ -254,6 +326,12 @@ fn stats(state: &AppState) -> Response {
             replica_records: db_stats.replica_records,
             replica_health: db_stats.replica_health,
             planner_skipped: state.db.planner_skipped(),
+            reshard_active: reshard.active,
+            reshard_from: reshard.from,
+            reshard_to: reshard.to,
+            reshard_migrated_ids: reshard.migrated_ids,
+            reshard_total_ids: reshard.total_ids,
+            reshard_moved_records: reshard.moved_records,
             requests: state.stats.requests.load(Ordering::Relaxed),
             searches: state.stats.searches.load(Ordering::Relaxed),
             inserts: state.stats.inserts.load(Ordering::Relaxed),
@@ -636,6 +714,81 @@ mod tests {
         let resp = handle(
             &state,
             &request(Method::Post, "/admin/replicas/fail", r#"{"shard":0}"#),
+        );
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn reshard_endpoint_migrates_in_the_background() {
+        let state = state();
+        for i in 0..12 {
+            handle(
+                &state,
+                &request(
+                    Method::Post,
+                    "/images",
+                    &format!(r#"{{"name":"img-{i}","scene":{SCENE_AB}}}"#),
+                ),
+            );
+        }
+
+        // Same-count target: 200 no-op, nothing started.
+        let resp = handle(
+            &state,
+            &request(Method::Post, "/admin/reshard", r#"{"shards":2}"#),
+        );
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8(resp.body)
+            .unwrap()
+            .contains("\"started\":false"));
+
+        // Growth: accepted, runs in the background, lands on 4 shards.
+        let resp = handle(
+            &state,
+            &request(Method::Post, "/admin/reshard", r#"{"shards":4,"batch":3}"#),
+        );
+        assert_eq!(
+            resp.status,
+            202,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        assert!(String::from_utf8(resp.body)
+            .unwrap()
+            .contains("\"started\":true"));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while (state.db.resharding() || state.db.shard_count() != 4)
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::yield_now();
+        }
+        assert_eq!(state.db.shard_count(), 4);
+        assert_eq!(state.db.len(), 12);
+
+        // Stats report the finished migration.
+        let resp = handle(&state, &request(Method::Get, "/stats", ""));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"shards\":4"), "{body}");
+        assert!(body.contains("\"reshard_active\":false"), "{body}");
+        assert!(body.contains("\"reshard_from\":2"), "{body}");
+        assert!(body.contains("\"reshard_to\":4"), "{body}");
+        assert!(body.contains("\"reshard_migrated_ids\":12"), "{body}");
+
+        // Searches still answer with the full corpus.
+        let resp = handle(
+            &state,
+            &request(
+                Method::Post,
+                "/search",
+                &format!(r#"{{"scene":{SCENE_AB},"options":{{"top_k":null}}}}"#),
+            ),
+        );
+        assert_eq!(resp.status, 200);
+
+        // Malformed bodies are 400.
+        let resp = handle(
+            &state,
+            &request(Method::Post, "/admin/reshard", r#"{"shards":0}"#),
         );
         assert_eq!(resp.status, 400);
     }

@@ -55,6 +55,17 @@ pub struct LoadgenConfig {
     /// imbalance can be exercised on purpose (watch `/stats`
     /// `shard_records`).
     pub skew: Skew,
+    /// When > 0, trigger a live `POST /admin/reshard` to this shard
+    /// count mid-run — the hot-shard-split scenario: skewed traffic
+    /// keeps flowing while the server migrates, and the run still has
+    /// to finish error-free.
+    pub reshard_to: usize,
+    /// Requests completed before the reshard fires (with
+    /// [`reshard_to`](Self::reshard_to) > 0).
+    pub reshard_after: usize,
+    /// Batch-size override sent with the reshard request (0 = server
+    /// default).
+    pub reshard_batch: usize,
 }
 
 impl LoadgenConfig {
@@ -73,6 +84,9 @@ impl LoadgenConfig {
             scene: SceneConfig::default(),
             timeout: Duration::from_secs(10),
             skew: Skew::uniform(),
+            reshard_to: 0,
+            reshard_after: 0,
+            reshard_batch: 0,
         }
     }
 }
@@ -115,6 +129,11 @@ pub struct LoadgenReport {
     pub connections: usize,
     /// Configured open-loop rate (0 = closed loop).
     pub rate_rps: f64,
+    /// The live-reshard target fired mid-run (0 = no reshard scenario).
+    pub reshard_to: usize,
+    /// Wall-clock milliseconds from the reshard request until `/stats`
+    /// reported the migration finished (0 when no reshard ran).
+    pub reshard_duration_ms: f64,
     /// Requests actually performed per kind (fallbacks included).
     pub by_kind: BTreeMap<String, u64>,
 }
@@ -151,6 +170,12 @@ impl LoadgenReport {
         );
         if self.skew != "uniform" {
             out.push_str(&format!("  target skew {}\n", self.skew));
+        }
+        if self.reshard_to > 0 {
+            out.push_str(&format!(
+                "  live reshard to {} shards finished in {:.0}ms mid-run\n",
+                self.reshard_to, self.reshard_duration_ms
+            ));
         }
         for (kind, count) in &self.by_kind {
             out.push_str(&format!("  {kind}: {count}\n"));
@@ -261,19 +286,33 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
     };
 
     let started = Instant::now();
-    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+    let completed = std::sync::atomic::AtomicUsize::new(0);
+    let (outcomes, reshard_outcome) = std::thread::scope(|scope| {
+        // The live-reshard scenario: once enough requests completed,
+        // fire POST /admin/reshard and poll /stats until the migration
+        // finishes — all while the workers keep the load flowing.
+        let admin = (config.reshard_to > 0).then(|| {
+            let completed = &completed;
+            scope.spawn(move || run_reshard_trigger(config, completed))
+        });
         let handles: Vec<_> = (0..config.connections)
             .map(|worker| {
                 let schedule = &schedule;
                 let queries = &queries;
-                scope
-                    .spawn(move || run_worker(config, worker, schedule, queries, started, interval))
+                let completed = &completed;
+                scope.spawn(move || {
+                    run_worker(
+                        config, worker, schedule, queries, started, interval, completed,
+                    )
+                })
             })
             .collect();
-        handles
+        let outcomes: Vec<WorkerOutcome> = handles
             .into_iter()
             .map(|h| h.join().expect("loadgen worker panicked"))
-            .collect()
+            .collect();
+        let reshard_outcome = admin.map(|h| h.join().expect("reshard trigger panicked"));
+        (outcomes, reshard_outcome)
     });
     let elapsed = started.elapsed();
 
@@ -287,6 +326,16 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
             *by_kind.entry(kind).or_insert(0) += count;
         }
     }
+    let reshard_duration_ms = match reshard_outcome {
+        Some(ReshardOutcome::Finished { duration_ms }) => duration_ms,
+        Some(ReshardOutcome::Failed) => {
+            // A reshard that never finished cleanly is a run failure:
+            // CI's zero-error acceptance must catch it.
+            errors += 1;
+            0.0
+        }
+        None => 0.0,
+    };
     latencies.sort_by(f64::total_cmp);
 
     let elapsed_s = elapsed.as_secs_f64().max(1e-9);
@@ -311,10 +360,84 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
         skew: config.skew.to_string(),
         connections: config.connections,
         rate_rps: config.rate,
+        reshard_to: config.reshard_to,
+        reshard_duration_ms,
         by_kind,
     })
 }
 
+/// How the mid-run reshard trigger ended.
+enum ReshardOutcome {
+    /// `/stats` confirmed the migration finished after this many
+    /// wall-clock milliseconds.
+    Finished { duration_ms: f64 },
+    /// The request failed or the migration never finished in time.
+    Failed,
+}
+
+/// Waits for `reshard_after` completed requests, fires
+/// `POST /admin/reshard`, then polls `/stats` until the migration
+/// reports done.
+fn run_reshard_trigger(
+    config: &LoadgenConfig,
+    completed: &std::sync::atomic::AtomicUsize,
+) -> ReshardOutcome {
+    use std::sync::atomic::Ordering;
+    let after = config.reshard_after.min(config.requests);
+    while completed.load(Ordering::Relaxed) < after {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut client = Client::new(config.addr, config.timeout);
+    let body = if config.reshard_batch > 0 {
+        format!(
+            r#"{{"shards":{},"batch":{}}}"#,
+            config.reshard_to, config.reshard_batch
+        )
+    } else {
+        format!(r#"{{"shards":{}}}"#, config.reshard_to)
+    };
+    let fired = Instant::now();
+    let accepted = client
+        .request("POST", "/admin/reshard", &body)
+        .map(|response| response.status == 202 || response.status == 200)
+        .unwrap_or(false);
+    if !accepted {
+        return ReshardOutcome::Failed;
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while Instant::now() < deadline {
+        if let Ok(response) = client.request("GET", "/stats", "") {
+            if response.status == 200 && reshard_finished(&response.body, config.reshard_to) {
+                return ReshardOutcome::Finished {
+                    duration_ms: fired.elapsed().as_secs_f64() * 1e3,
+                };
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    ReshardOutcome::Failed
+}
+
+/// Whether a `/stats` body says the migration to `to` shards is done.
+fn reshard_finished(body: &[u8], to: usize) -> bool {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return false;
+    };
+    let Ok(value) = serde_json::from_str::<Value>(text) else {
+        return false;
+    };
+    let Some(map) = value.as_map() else {
+        return false;
+    };
+    let lookup = |key: &str| map.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let inactive = matches!(lookup("reshard_active"), Some(Value::Bool(false)));
+    let on_target = lookup("shards")
+        .and_then(|v| u64::from_value(v).ok())
+        .is_some_and(|shards| shards == to as u64);
+    inactive && on_target
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
     config: &LoadgenConfig,
     worker: usize,
@@ -322,6 +445,7 @@ fn run_worker(
     queries: &[Query],
     started: Instant,
     interval: Option<Duration>,
+    completed: &std::sync::atomic::AtomicUsize,
 ) -> WorkerOutcome {
     let mut client = Client::new(config.addr, config.timeout);
     let mut rng = StdRng::seed_from_u64(config.seed ^ (worker as u64).wrapping_mul(0x85eb_ca6b));
@@ -360,6 +484,7 @@ fn run_worker(
         } else {
             outcome.errors += 1;
         }
+        completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         index += config.connections;
     }
     outcome
@@ -643,6 +768,8 @@ mod tests {
             skew: "uniform".into(),
             connections: 2,
             rate_rps: 0.0,
+            reshard_to: 8,
+            reshard_duration_ms: 41.5,
             by_kind: [("search".to_owned(), 7u64), ("insert".to_owned(), 3u64)]
                 .into_iter()
                 .collect(),
@@ -651,7 +778,26 @@ mod tests {
         assert!(json.contains("\"benchmark\":\"server\""), "{json}");
         assert!(json.contains("\"p99_ms\":3.0"), "{json}");
         assert!(json.contains("\"search\":7"), "{json}");
+        assert!(json.contains("\"reshard_to\":8"), "{json}");
         let summary = report.summary();
         assert!(summary.contains("closed-loop"), "{summary}");
+        assert!(summary.contains("live reshard to 8 shards"), "{summary}");
+    }
+
+    #[test]
+    fn reshard_finished_parses_stats_bodies() {
+        assert!(reshard_finished(
+            br#"{"shards":8,"reshard_active":false,"records":10}"#,
+            8
+        ));
+        assert!(!reshard_finished(
+            br#"{"shards":8,"reshard_active":true}"#,
+            8
+        ));
+        assert!(!reshard_finished(
+            br#"{"shards":4,"reshard_active":false}"#,
+            8
+        ));
+        assert!(!reshard_finished(b"not json", 8));
     }
 }

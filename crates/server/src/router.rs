@@ -32,6 +32,9 @@ pub enum Route {
     /// `POST /admin/replicas/heal` — rebuild a failed replica from a
     /// healthy peer and rejoin it.
     ReplicaHeal,
+    /// `POST /admin/reshard` — start an online reshard to a new shard
+    /// count (progress in `GET /stats`).
+    Reshard,
     /// `POST /admin/shutdown` — begin graceful shutdown.
     Shutdown,
 }
@@ -127,6 +130,10 @@ pub fn route(method: Method, path: &str) -> Result<Route, RouteError> {
             Method::Post => Ok(Route::ReplicaHeal),
             _ => Err(RouteError::MethodNotAllowed),
         },
+        ["admin", "reshard"] => match method {
+            Method::Post => Ok(Route::Reshard),
+            _ => Err(RouteError::MethodNotAllowed),
+        },
         ["admin", "shutdown"] => match method {
             Method::Post => Ok(Route::Shutdown),
             _ => Err(RouteError::MethodNotAllowed),
@@ -172,8 +179,13 @@ mod tests {
             route(Method::Post, "/admin/replicas/heal"),
             Ok(Route::ReplicaHeal)
         );
+        assert_eq!(route(Method::Post, "/admin/reshard"), Ok(Route::Reshard));
         assert_eq!(
             route(Method::Get, "/admin/replicas/fail").unwrap_err(),
+            RouteError::MethodNotAllowed
+        );
+        assert_eq!(
+            route(Method::Get, "/admin/reshard").unwrap_err(),
             RouteError::MethodNotAllowed
         );
         // trailing slashes are tolerated

@@ -477,6 +477,116 @@ fn replica_fail_heal_over_the_wire() {
     server.stop();
 }
 
+/// `POST /admin/reshard` over the wire: the migration runs in the
+/// background while searches keep answering identically, `/stats`
+/// reports the progress trajectory, and conflicting requests are
+/// rejected with the right statuses.
+#[test]
+fn online_reshard_over_the_wire() {
+    let server = RunningServer::start(ServerConfig {
+        shards: 2,
+        replicas: 2,
+        reshard_batch: 4,
+        ..test_config()
+    });
+    let mut client = server.client();
+
+    for i in 0..20 {
+        let scene = if i % 2 == 0 { LEFT_SCENE } else { RIGHT_SCENE };
+        let response = client
+            .request(
+                "POST",
+                "/images",
+                &format!(r#"{{"name":"img-{i}","scene":{scene}}}"#),
+            )
+            .unwrap();
+        assert_eq!(response.status, 201);
+    }
+    let search_body = format!(r#"{{"scene":{LEFT_SCENE},"options":{{"top_k":null}}}}"#);
+    let baseline = client
+        .request("POST", "/search", &search_body)
+        .unwrap()
+        .text();
+
+    // Bad targets first: 400 for zero, 200 no-op for the same count.
+    let response = client
+        .request("POST", "/admin/reshard", r#"{"shards":0}"#)
+        .unwrap();
+    assert_eq!(response.status, 400, "{}", response.text());
+    let response = client
+        .request("POST", "/admin/reshard", r#"{"shards":2}"#)
+        .unwrap();
+    assert_eq!(response.status, 200);
+    assert!(response.text().contains("\"started\":false"));
+
+    // Grow 2 → 5 in the background; searches during the migration stay
+    // byte-identical to the pre-reshard baseline.
+    let response = client
+        .request("POST", "/admin/reshard", r#"{"shards":5,"batch":3}"#)
+        .unwrap();
+    assert_eq!(response.status, 202, "{}", response.text());
+    assert!(
+        response.text().contains("\"from\":2"),
+        "{}",
+        response.text()
+    );
+    assert!(response.text().contains("\"to\":5"), "{}", response.text());
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let response = client.request("POST", "/search", &search_body).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.text(), baseline, "mid-reshard search identical");
+        let stats = client.request("GET", "/stats", "").unwrap().text();
+        if stats.contains("\"reshard_active\":false") && stats.contains("\"shards\":5") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "reshard never finished: {stats}"
+        );
+    }
+
+    let stats = client.request("GET", "/stats", "").unwrap().text();
+    assert!(stats.contains("\"shards\":5"), "{stats}");
+    assert!(stats.contains("\"replicas\":2"), "{stats}");
+    assert!(stats.contains("\"reshard_from\":2"), "{stats}");
+    assert!(stats.contains("\"reshard_to\":5"), "{stats}");
+    assert!(stats.contains("\"reshard_migrated_ids\":20"), "{stats}");
+    assert!(stats.contains("\"records\":20"), "{stats}");
+    assert!(
+        stats.contains(
+            "\"replica_health\":[[true,true],[true,true],[true,true],[true,true],[true,true]]"
+        ),
+        "{stats}"
+    );
+
+    // Post-migration: identical ranking, writes still live, and the
+    // replica admin API addresses the new shards.
+    let response = client.request("POST", "/search", &search_body).unwrap();
+    assert_eq!(response.text(), baseline, "post-reshard search identical");
+    let response = client
+        .request(
+            "POST",
+            "/images",
+            &format!(r#"{{"name":"after","scene":{LEFT_SCENE}}}"#),
+        )
+        .unwrap();
+    assert_eq!(response.status, 201);
+    assert!(response.text().contains("\"id\":20"), "{}", response.text());
+    let response = client
+        .request("POST", "/admin/replicas/fail", r#"{"shard":4,"replica":1}"#)
+        .unwrap();
+    assert_eq!(response.status, 200, "{}", response.text());
+    let response = client
+        .request("POST", "/admin/replicas/heal", r#"{"shard":4,"replica":1}"#)
+        .unwrap();
+    assert_eq!(response.status, 200);
+
+    drop(client);
+    server.stop();
+}
+
 /// Keep-alive budget exhaustion closes politely; the client reconnects.
 #[test]
 fn keep_alive_budget_rolls_over() {

@@ -60,6 +60,65 @@ fn loadgen_sustains_1000_mixed_requests_without_error() {
         .expect("clean shutdown");
 }
 
+/// The hot-shard-split scenario: skewed churn traffic hammers shard 0
+/// while a live reshard doubles the shard count mid-run — zero errors
+/// allowed, and the migration must be confirmed finished via `/stats`.
+#[test]
+fn loadgen_skewed_churn_survives_a_live_reshard() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        shards: 4,
+        replicas: 2,
+        reshard_batch: 16,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    let config = LoadgenConfig {
+        requests: 1500,
+        connections: 4,
+        prefill: 64,
+        seed: 11,
+        mix: "churn".parse().expect("churn preset"),
+        // Aim the hot edits at shard 0 of the pre-reshard topology —
+        // the imbalance a shard split exists to fix.
+        skew: be2d_workload::Skew::with_stride(0.8, 4).expect("stride skew"),
+        reshard_to: 8,
+        reshard_after: 300,
+        reshard_batch: 16,
+        ..LoadgenConfig::new(addr)
+    };
+    let report = be2d_server::loadgen::run(&config).expect("loadgen run");
+
+    assert_eq!(
+        report.errors,
+        0,
+        "no request (and the reshard) may fail: {}",
+        report.summary()
+    );
+    assert_eq!(report.reshard_to, 8);
+    assert!(
+        report.reshard_duration_ms > 0.0,
+        "the migration actually ran and finished: {}",
+        report.summary()
+    );
+    assert!(report.summary().contains("live reshard to 8 shards"));
+    let json = report.to_json();
+    assert!(json.contains("\"reshard_to\":8"), "{json}");
+
+    handle.shutdown();
+    runner
+        .join()
+        .expect("server thread")
+        .expect("clean shutdown");
+}
+
 /// Open-loop pacing: a modest fixed rate finishes in roughly the
 /// expected wall-clock time (not instantly, not hung).
 #[test]

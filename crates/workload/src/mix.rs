@@ -150,6 +150,25 @@ impl RequestMix {
         .expect("non-zero weights")
     }
 
+    /// The churn mix: write-dominant with a steady read check — the
+    /// shape that stresses shard rebalancing, since every insert,
+    /// removal and §3.2 edit lands on the routing epoch while records
+    /// stream between shards (selectable in the load generator as
+    /// `--mix churn`, e.g. under a live `--reshard-to` migration).
+    #[must_use]
+    pub fn churn() -> RequestMix {
+        RequestMix::new(&[
+            (RequestKind::InsertImage, 30),
+            (RequestKind::RemoveImage, 12),
+            (RequestKind::AddObject, 18),
+            (RequestKind::RemoveObject, 8),
+            (RequestKind::Search, 28),
+            (RequestKind::SearchSketch, 2),
+            (RequestKind::Stats, 2),
+        ])
+        .expect("non-zero weights")
+    }
+
     /// The weight of one kind.
     #[must_use]
     pub fn weight(&self, kind: RequestKind) -> u32 {
@@ -190,14 +209,15 @@ impl RequestMix {
 impl std::str::FromStr for RequestMix {
     type Err = String;
 
-    /// Parses a preset name (`"serving"` or `"read-heavy"`) or
-    /// `kind=weight` pairs separated by `,` (e.g. `"insert=2,search=8"`).
-    /// Unknown kinds and malformed weights are errors; an all-zero mix
-    /// is an error.
+    /// Parses a preset name (`"serving"`, `"read-heavy"` or `"churn"`)
+    /// or `kind=weight` pairs separated by `,` (e.g.
+    /// `"insert=2,search=8"`). Unknown kinds and malformed weights are
+    /// errors; an all-zero mix is an error.
     fn from_str(s: &str) -> Result<RequestMix, String> {
         match s.trim() {
             "serving" => return Ok(RequestMix::serving_default()),
             "read-heavy" => return Ok(RequestMix::read_heavy()),
+            "churn" => return Ok(RequestMix::churn()),
             _ => {}
         }
         let mut weights = Vec::new();
@@ -309,6 +329,17 @@ mod tests {
         // Presets survive the Display/parse round-trip as plain weights.
         let text = read_heavy.to_string();
         assert_eq!(text.parse::<RequestMix>().unwrap(), read_heavy);
+
+        // The churn preset is write-dominant (the resharding stressor).
+        let churn: RequestMix = "churn".parse().unwrap();
+        assert_eq!(churn, RequestMix::churn());
+        let churn_writes: u32 = RequestKind::ALL
+            .into_iter()
+            .filter(|k| k.is_write())
+            .map(|k| churn.weight(k))
+            .sum();
+        assert!(churn_writes * 2 > churn.total_weight());
+        assert_eq!(churn.to_string().parse::<RequestMix>().unwrap(), churn);
     }
 
     #[test]

@@ -3,19 +3,20 @@
 # summary (CI appends the output to $GITHUB_STEP_SUMMARY so every PR
 # shows its perf trajectory). Missing files are noted, not fatal.
 #
-#   scripts/bench_summary.sh [BENCH_server.json] [BENCH_shard_scaling.json] [BENCH_replica_scaling.json]
+#   scripts/bench_summary.sh [BENCH_server.json] [BENCH_shard_scaling.json] [BENCH_replica_scaling.json] [BENCH_reshard.json]
 set -euo pipefail
 
 SERVER="${1:-BENCH_server.json}"
 SCALING="${2:-BENCH_shard_scaling.json}"
 REPLICAS="${3:-BENCH_replica_scaling.json}"
+RESHARD="${4:-BENCH_reshard.json}"
 
-python3 - "$SERVER" "$SCALING" "$REPLICAS" <<'PY'
+python3 - "$SERVER" "$SCALING" "$REPLICAS" "$RESHARD" <<'PY'
 import json
 import os
 import sys
 
-server_path, scaling_path, replica_path = sys.argv[1:4]
+server_path, scaling_path, replica_path, reshard_path = sys.argv[1:5]
 
 print("## Perf trajectory")
 print()
@@ -84,4 +85,28 @@ if os.path.exists(replica_path):
     print()
 else:
     print(f"_no {replica_path} found_")
+    print()
+
+if os.path.exists(reshard_path):
+    with open(reshard_path) as f:
+        reshard = json.load(f)
+    print(f"### Online reshard {reshard['from']} → {reshard['to']} shards "
+          f"({reshard['images']} images × {reshard['replicas']} replicas, "
+          f"{reshard['readers']} readers, {reshard['host_threads']} host threads)")
+    print()
+    print("| batch | migration | moved | batches "
+          "| p95 before | p95 during | p95 after | p99 during |")
+    print("|---:|---:|---:|---:|---:|---:|---:|---:|")
+    for point in reshard["sweep"]:
+        print(f"| {point['batch']} | {point['reshard_ms']:.1f} ms "
+              f"| {point['moved']} | {point['batches']} "
+              f"| {point['before']['p95_ms']:.2f} ms "
+              f"| {point['during']['p95_ms']:.2f} ms "
+              f"| {point['after']['p95_ms']:.2f} ms "
+              f"| {point['during']['p99_ms']:.2f} ms |")
+    print()
+    print("Latency *during* spans the whole live migration window; "
+          "bigger batches finish faster but pause longer per step.")
+else:
+    print(f"_no {reshard_path} found_")
 PY

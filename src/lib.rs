@@ -51,6 +51,7 @@ pub use be2d_core::{
     BeString2D, BeSymbol, LcsTable, Similarity, SimilarityConfig, SymbolicImage,
 };
 pub use be2d_db::{
-    ImageDatabase, QueryOptions, ReplicatedImageDatabase, SearchHit, ShardedImageDatabase,
+    ImageDatabase, QueryOptions, ReplicatedImageDatabase, Resharder, SearchHit,
+    ShardedImageDatabase,
 };
 pub use be2d_geometry::{ObjectClass, Rect, Scene, SceneBuilder, Transform};

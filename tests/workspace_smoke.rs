@@ -113,6 +113,11 @@ fn facade_reexports_are_wired() {
     replicated.fail_replica(0, 1).expect("spare copy");
     replicated.rebuild_replica(0, 1).expect("rebuild");
     assert_eq!(replicated.len(), 1);
+    be2d::Resharder::new(&replicated)
+        .run(3)
+        .expect("online reshard");
+    assert_eq!(replicated.shard_count(), 3);
+    assert_eq!(replicated.len(), 1);
 
     // Persistence across the facade: a JSON round-trip preserves search.
     let mut db = ImageDatabase::new();
