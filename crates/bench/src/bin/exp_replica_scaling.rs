@@ -1,5 +1,6 @@
 //! E12 — replica-scaling sweep: read-dominant mixed throughput of the
-//! [`ReplicatedImageDatabase`] at replicas ∈ {1, 2, 3}.
+//! [`ReplicatedImageDatabase`] across replica counts *and* replication
+//! modes: sync at replicas ∈ {1, 2, 3}, then quorum and async at 3.
 //!
 //! Each configuration runs the same closed-loop workload over a fixed
 //! shard count: `readers` threads issue ranked searches back-to-back
@@ -9,15 +10,17 @@
 //! of every shard's read traffic on copies the current write is not
 //! holding, so read latency under write load flattens as replicas are
 //! added — the read-scaling the replication layer exists for. Writes
-//! get *more* expensive with R (synchronous fan-out), which the sweep
-//! reports honestly as `writes`.
+//! get *more* expensive with R under sync fan-out, which is exactly
+//! what the mode sweep prices: quorum acks at a majority and async at
+//! the leader alone (followers drain off the write path), so their
+//! `writes/s` at R=3 recovers (part of) the R=1 write cost.
 //!
 //! Writes `BENCH_replica_scaling.json`:
 //!
 //! ```json
 //! {"benchmark":"replica_scaling","shards":2,"host_threads":4,
-//!  "sweep":[{"replicas":1,"throughput_qps":...,"p50_ms":...}, ...],
-//!  "speedup_3_vs_1":1.4}
+//!  "sweep":[{"replicas":1,"mode":"sync","throughput_qps":...}, ...],
+//!  "speedup_3_vs_1":1.4,"async_write_speedup_vs_sync":1.3}
 //! ```
 //!
 //! On a single-core host the sweep degenerates to ≈1× by construction;
@@ -25,7 +28,7 @@
 //! the numbers honestly.
 
 use be2d_bench::standard_config;
-use be2d_db::{Parallelism, QueryOptions, ReplicatedImageDatabase};
+use be2d_db::{Parallelism, QueryOptions, ReplicaConfig, ReplicatedImageDatabase, ReplicationMode};
 use be2d_workload::metrics::percentile;
 use be2d_workload::{derive_queries, Corpus, CorpusConfig, QueryKind, SceneConfig};
 use std::io::Write as _;
@@ -45,7 +48,7 @@ struct Config {
     /// flood that would starve the searches being measured.
     write_pause: Duration,
     out: String,
-    replica_counts: Vec<usize>,
+    points: Vec<(usize, ReplicationMode)>,
 }
 
 impl Config {
@@ -58,7 +61,13 @@ impl Config {
             writers: 2,
             write_pause: Duration::from_millis(1),
             out: "BENCH_replica_scaling.json".into(),
-            replica_counts: vec![1, 2, 3],
+            points: vec![
+                (1, ReplicationMode::Sync),
+                (2, ReplicationMode::Sync),
+                (3, ReplicationMode::Sync),
+                (3, ReplicationMode::Quorum),
+                (3, ReplicationMode::Async { max_lag: 1024 }),
+            ],
         }
     }
 
@@ -154,9 +163,11 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
 
 struct SweepPoint {
     replicas: usize,
+    mode: &'static str,
     searches: u64,
     writes: u64,
     throughput_qps: f64,
+    writes_per_s: f64,
     p50_ms: f64,
     p95_ms: f64,
     p99_ms: f64,
@@ -164,8 +175,20 @@ struct SweepPoint {
 
 /// One timed read-dominant run against a fresh database.
 #[allow(clippy::cast_precision_loss)]
-fn run_point(config: &Config, corpus: &Corpus, replicas: usize) -> SweepPoint {
-    let db = ReplicatedImageDatabase::with_topology(config.shards, replicas);
+fn run_point(
+    config: &Config,
+    corpus: &Corpus,
+    replicas: usize,
+    mode: ReplicationMode,
+) -> SweepPoint {
+    let db = ReplicatedImageDatabase::with_config(ReplicaConfig {
+        shards: config.shards,
+        replicas,
+        mode,
+        oplog_window: 4096,
+        wal: None,
+    })
+    .expect("in-memory topology always opens");
     for (id, scene) in corpus.iter() {
         db.insert_scene(&id.to_string(), scene)
             .expect("prefill insert");
@@ -247,13 +270,19 @@ fn run_point(config: &Config, corpus: &Corpus, replicas: usize) -> SweepPoint {
             .sum();
         (latencies, writes)
     });
+    // Async acks at the leader: drain the followers before calling the
+    // run done, so the timed window never hides unfinished work beyond
+    // its own boundary.
+    db.flush_replication();
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
 
     SweepPoint {
         replicas,
+        mode: mode.name(),
         searches: latencies.len() as u64,
         writes,
         throughput_qps: latencies.len() as f64 / elapsed,
+        writes_per_s: writes as f64 / elapsed,
         p50_ms: percentile(&latencies, 50.0),
         p95_ms: percentile(&latencies, 95.0),
         p99_ms: percentile(&latencies, 99.0),
@@ -297,37 +326,50 @@ fn main() -> ExitCode {
     );
 
     println!(
-        "{:>8}  {:>10}  {:>12}  {:>9}  {:>9}  {:>9}  {:>9}",
-        "replicas", "searches", "queries/s", "p50 ms", "p95 ms", "p99 ms", "writes"
+        "{:>8}  {:>7}  {:>10}  {:>12}  {:>9}  {:>9}  {:>9}  {:>10}",
+        "replicas", "mode", "searches", "queries/s", "p50 ms", "p95 ms", "p99 ms", "writes/s"
     );
     let mut sweep = Vec::new();
-    for &replicas in &config.replica_counts {
-        let point = run_point(&config, &corpus, replicas);
+    for &(replicas, mode) in &config.points {
+        let point = run_point(&config, &corpus, replicas, mode);
         println!(
-            "{:>8}  {:>10}  {:>12.1}  {:>9.2}  {:>9.2}  {:>9.2}  {:>9}",
+            "{:>8}  {:>7}  {:>10}  {:>12.1}  {:>9.2}  {:>9.2}  {:>9.2}  {:>10.1}",
             point.replicas,
+            point.mode,
             point.searches,
             point.throughput_qps,
             point.p50_ms,
             point.p95_ms,
             point.p99_ms,
-            point.writes
+            point.writes_per_s
         );
         sweep.push(point);
     }
 
-    let qps_at = |replicas: usize| {
+    let sync_at = |replicas: usize| {
         sweep
             .iter()
-            .find(|p| p.replicas == replicas)
-            .map_or(0.0, |p| p.throughput_qps)
+            .find(|p| p.replicas == replicas && p.mode == "sync")
     };
-    let speedup = if qps_at(1) > 0.0 {
-        qps_at(3) / qps_at(1)
-    } else {
-        0.0
+    let mode_at_3 = |mode: &str| sweep.iter().find(|p| p.replicas == 3 && p.mode == mode);
+    let speedup = match (sync_at(1), sync_at(3)) {
+        (Some(one), Some(three)) if one.throughput_qps > 0.0 => {
+            three.throughput_qps / one.throughput_qps
+        }
+        _ => 0.0,
     };
-    println!("\n3-replica vs 1-replica query throughput: {speedup:.2}x");
+    let write_speedup = |mode: &str| match (sync_at(3), mode_at_3(mode)) {
+        (Some(sync), Some(point)) if sync.writes_per_s > 0.0 => {
+            point.writes_per_s / sync.writes_per_s
+        }
+        _ => 0.0,
+    };
+    let quorum_write_speedup = write_speedup("quorum");
+    let async_write_speedup = write_speedup("async");
+    println!("\n3-replica vs 1-replica query throughput (sync): {speedup:.2}x");
+    println!(
+        "R=3 write throughput vs sync: quorum {quorum_write_speedup:.2}x, async {async_write_speedup:.2}x"
+    );
     if host_threads() == 1 {
         println!("(single-core host: replica fan-out cannot beat serial work here; run on a multi-core host for the real scaling curve)");
     }
@@ -336,13 +378,21 @@ fn main() -> ExitCode {
         .iter()
         .map(|p| {
             format!(
-                r#"{{"replicas":{},"searches":{},"writes":{},"throughput_qps":{:.3},"p50_ms":{:.4},"p95_ms":{:.4},"p99_ms":{:.4}}}"#,
-                p.replicas, p.searches, p.writes, p.throughput_qps, p.p50_ms, p.p95_ms, p.p99_ms
+                r#"{{"replicas":{},"mode":{:?},"searches":{},"writes":{},"throughput_qps":{:.3},"writes_per_s":{:.3},"p50_ms":{:.4},"p95_ms":{:.4},"p99_ms":{:.4}}}"#,
+                p.replicas,
+                p.mode,
+                p.searches,
+                p.writes,
+                p.throughput_qps,
+                p.writes_per_s,
+                p.p50_ms,
+                p.p95_ms,
+                p.p99_ms
             )
         })
         .collect();
     let json = format!(
-        r#"{{"benchmark":"replica_scaling","images":{},"shards":{},"readers":{},"writers":{},"duration_s":{:.3},"host_threads":{},"speedup_3_vs_1":{:.4},"sweep":[{}]}}"#,
+        r#"{{"benchmark":"replica_scaling","images":{},"shards":{},"readers":{},"writers":{},"duration_s":{:.3},"host_threads":{},"speedup_3_vs_1":{:.4},"quorum_write_speedup_vs_sync":{:.4},"async_write_speedup_vs_sync":{:.4},"sweep":[{}]}}"#,
         config.images,
         config.shards,
         config.readers,
@@ -350,6 +400,8 @@ fn main() -> ExitCode {
         config.duration.as_secs_f64(),
         host_threads(),
         speedup,
+        quorum_write_speedup,
+        async_write_speedup,
         rows.join(",")
     );
     let write = std::fs::File::create(&config.out).and_then(|mut f| f.write_all(json.as_bytes()));

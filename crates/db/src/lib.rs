@@ -54,6 +54,7 @@ mod database;
 mod epoch;
 mod error;
 mod index;
+mod oplog;
 mod query;
 mod replica;
 mod reshard;
@@ -65,8 +66,12 @@ pub mod sketch;
 pub use database::{ImageDatabase, ImageRecord, RecordId};
 pub use error::DbError;
 pub use index::ClassIndex;
+pub use oplog::{
+    OplogStats, ReplicaLag, ReplicationMode, ReplicationStats, ShardReplication, WalConfig,
+    WalStats,
+};
 pub use query::{CandidateSource, Parallelism, PrefilterMode, QueryOptions, SearchHit};
-pub use replica::{ReplicaStats, ReplicatedImageDatabase};
+pub use replica::{ReplicaConfig, ReplicaStats, ReplicatedImageDatabase};
 pub use reshard::{ReshardProgress, Resharder};
 pub use shard::{ShardStats, ShardedImageDatabase};
 pub use signature::ClassSignature;

@@ -1,0 +1,721 @@
+//! The per-shard operation log: a sequence-numbered record of every
+//! mutation, shared by three features of the replicated database.
+//!
+//! * **Incremental catch-up** — a replica that failed and healed while
+//!   its gap still fits the in-memory ring replays only the ops it
+//!   missed instead of re-cloning the whole shard.
+//! * **WAL durability** — with a [`WalConfig`] the same ops are also
+//!   appended (fsync-batched) to one write-ahead file per shard, so
+//!   crash recovery is *snapshot + replay* instead of data loss back to
+//!   the last snapshot.
+//! * **Async replication** — under [`ReplicationMode::Quorum`] and
+//!   [`ReplicationMode::Async`] writes acknowledge before every replica
+//!   has applied them; trailing followers drain the ring in the
+//!   background and reads are routed only to replicas within bounded
+//!   lag.
+//!
+//! Sequence numbers come from **one global counter** assigned under the
+//! owning shard's write mutex, so `seq` totally orders all mutations
+//! across shards: every op with a sequence at or below a snapshot's
+//! recorded watermark is fully applied in that snapshot, which makes
+//! the watermark an exact replay floor.
+
+use crate::database::{write_atomic, ImageDatabase, RecordId};
+use crate::epoch::RoutingEpoch;
+use crate::error::DbError;
+use be2d_core::SymbolicImage;
+use be2d_geometry::{ObjectClass, Rect};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How writes acknowledge across a shard's replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicationMode {
+    /// Every healthy replica applies the op before the write returns
+    /// (the classic fan-out; the default and the pre-oplog behaviour).
+    #[default]
+    Sync,
+    /// A majority of the replica set applies the op before the write
+    /// returns; the rest drain in the background.
+    Quorum,
+    /// Only the leader applies the op before the write returns;
+    /// followers drain in the background. Reads are routed to replicas
+    /// whose lag is at most `max_lag` ops behind the shard head.
+    Async {
+        /// Maximum op-count lag a replica may have and still serve
+        /// reads.
+        max_lag: u64,
+    },
+}
+
+impl ReplicationMode {
+    /// A short stable name for stats and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReplicationMode::Sync => "sync",
+            ReplicationMode::Quorum => "quorum",
+            ReplicationMode::Async { .. } => "async",
+        }
+    }
+}
+
+/// Write-ahead-log settings for the opt-in crash-durable mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Directory holding `shardK.wal` files and the `wal-anchor.json`
+    /// recovery snapshot.
+    pub dir: PathBuf,
+    /// Fsync after this many appended records (1 = every acknowledged
+    /// write is on disk before the call returns; larger values trade a
+    /// bounded tail of acknowledged-but-unsynced writes for
+    /// throughput).
+    pub fsync_every: u64,
+}
+
+/// One logged mutation. Ids are **global** — replay re-routes them
+/// through the routing epoch, so a log survives a reshard between the
+/// write and the replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) enum Op {
+    /// Index an image under a pre-assigned global id.
+    Insert {
+        /// The global record id.
+        id: usize,
+        /// The image name.
+        name: String,
+        /// The symbolic image itself.
+        symbolic: SymbolicImage,
+    },
+    /// Remove the image with this global id.
+    Remove {
+        /// The global record id.
+        id: usize,
+    },
+    /// §3.2 incremental object insert.
+    AddObject {
+        /// The global record id.
+        id: usize,
+        /// The object class being added.
+        class: ObjectClass,
+        /// Its minimum bounding rectangle.
+        mbr: Rect,
+    },
+    /// §3.2 incremental object removal.
+    RemoveObject {
+        /// The global record id.
+        id: usize,
+        /// The object class being removed.
+        class: ObjectClass,
+        /// Its minimum bounding rectangle.
+        mbr: Rect,
+    },
+    /// A replay fence: state was mutated outside the log (restore, or
+    /// a reshard batch moving records between shards). A gap that spans
+    /// a barrier can never be replayed — catch-up falls back to a
+    /// clone, and WAL recovery refuses to replay past one.
+    Barrier,
+}
+
+impl Op {
+    /// Whether this entry is a replay fence rather than a mutation.
+    pub(crate) fn is_barrier(&self) -> bool {
+        matches!(self, Op::Barrier)
+    }
+
+    /// The global record id this op touches (`None` for barriers).
+    pub(crate) fn global_id(&self) -> Option<usize> {
+        match self {
+            Op::Insert { id, .. }
+            | Op::Remove { id }
+            | Op::AddObject { id, .. }
+            | Op::RemoveObject { id, .. } => Some(*id),
+            Op::Barrier => None,
+        }
+    }
+
+    /// Applies this op to one replica of `shard`, routing the global id
+    /// through `epoch`. Fails if the id routes elsewhere (the log and
+    /// the topology disagree — a bug or a corrupt WAL).
+    pub(crate) fn apply_local(
+        &self,
+        db: &mut ImageDatabase,
+        epoch: &RoutingEpoch,
+        shard: usize,
+    ) -> Result<(), DbError> {
+        let local = |id: usize| -> Result<RecordId, DbError> {
+            let (routed, local) = epoch.route(id);
+            if routed != shard {
+                return Err(DbError::Replica {
+                    reason: format!("logged op for id {id} routes to shard {routed}, not {shard}"),
+                });
+            }
+            Ok(RecordId(local))
+        };
+        match self {
+            Op::Insert { id, name, symbolic } => {
+                db.insert_symbolic_with_id(local(*id)?, name, symbolic.clone())
+            }
+            Op::Remove { id } => db.remove(local(*id)?).map(|_| ()),
+            Op::AddObject { id, class, mbr } => db.add_object(local(*id)?, class, *mbr),
+            Op::RemoveObject { id, class, mbr } => db.remove_object(local(*id)?, class, *mbr),
+            Op::Barrier => Ok(()),
+        }
+    }
+}
+
+/// The bounded in-memory ring of one shard's recent ops, ordered by
+/// sequence number. Owned by the shard's replica set; pushed under the
+/// shard write mutex, read by catch-up and the background drain.
+#[derive(Debug)]
+pub(crate) struct ShardLog {
+    entries: VecDeque<(u64, Arc<Op>)>,
+    capacity: usize,
+    /// Highest sequence ever evicted from the front (0 = none): a
+    /// replica whose last-applied sequence is below this has a gap the
+    /// ring can no longer cover.
+    evicted: u64,
+}
+
+impl ShardLog {
+    pub(crate) fn new(capacity: usize) -> ShardLog {
+        ShardLog {
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+            evicted: 0,
+        }
+    }
+
+    /// The sequence the next push will evict, if the ring is full.
+    pub(crate) fn eviction_candidate(&self) -> Option<u64> {
+        (self.entries.len() >= self.capacity)
+            .then(|| self.entries.front().map(|(seq, _)| *seq))
+            .flatten()
+    }
+
+    pub(crate) fn push(&mut self, seq: u64, op: Arc<Op>) {
+        while self.entries.len() >= self.capacity {
+            if let Some((dropped, _)) = self.entries.pop_front() {
+                self.evicted = self.evicted.max(dropped);
+            }
+        }
+        self.entries.push_back((seq, op));
+    }
+
+    /// Every entry with sequence strictly above `after`, or `None` when
+    /// the gap cannot be replayed: the ring has evicted past `after`,
+    /// or a barrier lies inside the range.
+    pub(crate) fn collect_since(&self, after: u64) -> Option<Vec<(u64, Arc<Op>)>> {
+        if after < self.evicted {
+            return None;
+        }
+        let pending: Vec<(u64, Arc<Op>)> = self
+            .entries
+            .iter()
+            .filter(|(seq, _)| *seq > after)
+            .map(|(seq, op)| (*seq, Arc::clone(op)))
+            .collect();
+        if pending.iter().any(|(_, op)| op.is_barrier()) {
+            return None;
+        }
+        Some(pending)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Per-replica replication position, as reported by stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaLag {
+    /// The highest op sequence this replica has applied.
+    pub last_applied_seq: u64,
+    /// How many ops behind the shard head the replica is.
+    pub lag: u64,
+    /// Whether the replica is in rotation.
+    pub healthy: bool,
+}
+
+/// One shard's replication positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReplication {
+    /// The shard's newest logged sequence.
+    pub head_seq: u64,
+    /// Per-replica positions, indexed like the replica set.
+    pub replicas: Vec<ReplicaLag>,
+}
+
+/// Replication state across the whole database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// The configured acknowledgement mode.
+    pub mode: ReplicationMode,
+    /// Per-shard head and replica positions.
+    pub shards: Vec<ShardReplication>,
+    /// Replica heals that rejoined by replaying the log window.
+    pub catchup_replays: u64,
+    /// Replica heals that fell back to a full shard clone.
+    pub catchup_clones: u64,
+    /// Times a writer drained a lagging follower to stop the ring
+    /// evicting an entry the follower still needed.
+    pub writer_drains: u64,
+}
+
+/// Write-ahead-log counters (all zero unless WAL mode is on).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalStats {
+    /// Records appended since boot.
+    pub appended: u64,
+    /// Fsync batches issued.
+    pub fsyncs: u64,
+    /// Log truncations (snapshot checkpoints advancing the floor).
+    pub truncations: u64,
+    /// Torn tails healed during recovery.
+    pub healed_tails: u64,
+    /// Ops replayed from the WAL at the last recovery.
+    pub recovered: u64,
+}
+
+/// Operation-log state across the whole database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OplogStats {
+    /// The configured per-shard ring capacity.
+    pub window: usize,
+    /// The newest sequence assigned anywhere (0 = no ops yet).
+    pub last_seq: u64,
+    /// Entries currently held across all shard rings.
+    pub entries: usize,
+    /// WAL counters, when durability mode is on.
+    pub wal: Option<WalStats>,
+}
+
+/// 64-bit FNV-1a over `bytes` — the WAL record checksum. Dependency-free
+/// and stable across platforms.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash = (hash ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Encodes one WAL line: `{"seq":N,"sum":"<hex>","op":<op-json>}\n`.
+/// The checksum covers `"{seq}:{op-json}"` over the exact bytes
+/// written, so the reader verifies the raw substring and never depends
+/// on re-serialisation being byte-identical.
+fn encode_wal_line(seq: u64, op: &Op) -> Result<String, DbError> {
+    let op_json = serde_json::to_string(op).map_err(|e| DbError::Persist {
+        reason: format!("cannot encode op {seq}: {e}"),
+    })?;
+    let sum = fnv1a64(format!("{seq}:{op_json}").as_bytes());
+    Ok(format!(
+        "{{\"seq\":{seq},\"sum\":\"{sum:016x}\",\"op\":{op_json}}}\n"
+    ))
+}
+
+/// Decodes one complete WAL line (no trailing newline). Returns `None`
+/// for anything malformed or checksum-failed — the caller treats the
+/// first bad line as the torn tail.
+fn decode_wal_line(line: &str) -> Option<(u64, Op)> {
+    // The writer controls the exact shape, so the op substring can be
+    // extracted positionally: everything between `"op":` and the final
+    // `}`. Parsing the whole line first would lose the raw bytes the
+    // checksum was computed over.
+    let rest = line.strip_prefix("{\"seq\":")?;
+    let colon = rest.find(',')?;
+    let seq: u64 = rest[..colon].parse().ok()?;
+    let rest = rest[colon + 1..].strip_prefix("\"sum\":\"")?;
+    let sum = u64::from_str_radix(rest.get(..16)?, 16).ok()?;
+    let op_raw = rest
+        .get(16..)?
+        .strip_prefix("\",\"op\":")?
+        .strip_suffix('}')?;
+    if fnv1a64(format!("{seq}:{op_raw}").as_bytes()) != sum {
+        return None;
+    }
+    let op: Op = serde_json::from_str(op_raw).ok()?;
+    Some((seq, op))
+}
+
+/// One shard's WAL appender. Lazily opens (append/create) on first
+/// write; fsyncs every `fsync_every` records.
+#[derive(Debug)]
+pub(crate) struct WalWriter {
+    path: PathBuf,
+    file: Option<File>,
+    since_sync: u64,
+}
+
+impl WalWriter {
+    pub(crate) fn new(path: PathBuf) -> WalWriter {
+        WalWriter {
+            path,
+            file: None,
+            since_sync: 0,
+        }
+    }
+
+    fn open(&mut self) -> Result<&mut File, DbError> {
+        if self.file.is_none() {
+            if let Some(dir) = self.path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir)?;
+            }
+            let file = OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(&self.path)?;
+            self.file = Some(file);
+        }
+        Ok(self.file.as_mut().expect("just opened"))
+    }
+
+    /// Appends one op, fsyncing when the batch fills. Returns whether
+    /// this append issued an fsync.
+    pub(crate) fn append(&mut self, seq: u64, op: &Op, fsync_every: u64) -> Result<bool, DbError> {
+        let line = encode_wal_line(seq, op)?;
+        self.open()?;
+        let file = self.file.as_mut().expect("opened above");
+        file.write_all(line.as_bytes())?;
+        self.since_sync += 1;
+        if self.since_sync >= fsync_every.max(1) {
+            file.sync_data()?;
+            self.since_sync = 0;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Drops every record with sequence at or below `floor`, rewriting
+    /// the file atomically. Used by snapshot checkpoints: everything at
+    /// or below the snapshot watermark is already durable in the
+    /// snapshot.
+    pub(crate) fn truncate_below(&mut self, floor: u64) -> Result<(), DbError> {
+        // Close the append handle first: the rewrite replaces the file,
+        // and a held handle would keep appending to the orphaned inode.
+        self.file = None;
+        self.since_sync = 0;
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut kept = String::new();
+        for line in text.split_inclusive('\n') {
+            let Some((seq, _)) = line.strip_suffix('\n').and_then(decode_wal_line) else {
+                break;
+            };
+            if seq > floor {
+                kept.push_str(line);
+            }
+        }
+        write_atomic(&self.path, &kept)?;
+        Ok(())
+    }
+}
+
+/// One complete record recovered from a WAL file.
+pub(crate) struct WalRecord {
+    pub(crate) seq: u64,
+    pub(crate) op: Op,
+}
+
+/// Reads a WAL file, stopping at the first incomplete, corrupt, or
+/// out-of-order line (the torn tail). With `heal` the file is truncated
+/// on disk to the last complete record and synced, so the next boot
+/// sees a clean log. Returns the good records and whether a tail was
+/// cut.
+pub(crate) fn load_wal_file(path: &Path, heal: bool) -> Result<(Vec<WalRecord>, bool), DbError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), false)),
+        Err(e) => return Err(e.into()),
+    };
+    let mut records = Vec::new();
+    let mut good_end = 0usize;
+    let mut last_seq = 0u64;
+    for line in text.split_inclusive('\n') {
+        // A line without its newline is an interrupted append.
+        let Some(complete) = line.strip_suffix('\n') else {
+            break;
+        };
+        let Some((seq, op)) = decode_wal_line(complete) else {
+            break;
+        };
+        // Sequences are strictly increasing within a file; a regression
+        // means the tail predates a truncation that never finished.
+        if seq <= last_seq && last_seq != 0 {
+            break;
+        }
+        last_seq = seq;
+        good_end += line.len();
+        records.push(WalRecord { seq, op });
+    }
+    let truncated = good_end < text.len();
+    if truncated && heal {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(good_end as u64)?;
+        file.sync_data()?;
+    }
+    Ok((records, truncated))
+}
+
+/// Shared WAL state of a replicated database: one writer per shard
+/// (created on demand as reshards grow the topology) plus counters.
+#[derive(Debug)]
+pub(crate) struct WalState {
+    pub(crate) config: WalConfig,
+    writers: parking_lot::RwLock<Vec<Arc<parking_lot::Mutex<WalWriter>>>>,
+    pub(crate) appended: AtomicU64,
+    pub(crate) fsyncs: AtomicU64,
+    pub(crate) truncations: AtomicU64,
+    pub(crate) healed_tails: AtomicU64,
+    pub(crate) recovered: AtomicU64,
+}
+
+impl WalState {
+    pub(crate) fn new(config: WalConfig) -> WalState {
+        WalState {
+            config,
+            writers: parking_lot::RwLock::new(Vec::new()),
+            appended: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            truncations: AtomicU64::new(0),
+            healed_tails: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+        }
+    }
+
+    /// The WAL file path of one shard.
+    pub(crate) fn shard_path(dir: &Path, shard: usize) -> PathBuf {
+        dir.join(format!("shard{shard}.wal"))
+    }
+
+    /// The recovery-snapshot (anchor) path.
+    pub(crate) fn anchor_path(dir: &Path) -> PathBuf {
+        dir.join("wal-anchor.json")
+    }
+
+    /// The writer for `shard`, growing the table on demand.
+    pub(crate) fn writer(&self, shard: usize) -> Arc<parking_lot::Mutex<WalWriter>> {
+        if let Some(writer) = self.writers.read().get(shard) {
+            return Arc::clone(writer);
+        }
+        let mut writers = self.writers.write();
+        while writers.len() <= shard {
+            let path = WalState::shard_path(&self.config.dir, writers.len());
+            writers.push(Arc::new(parking_lot::Mutex::new(WalWriter::new(path))));
+        }
+        Arc::clone(&writers[shard])
+    }
+
+    /// Appends one op to `shard`'s log, bumping counters.
+    pub(crate) fn append(&self, shard: usize, seq: u64, op: &Op) -> Result<(), DbError> {
+        let writer = self.writer(shard);
+        let synced = writer.lock().append(seq, op, self.config.fsync_every)?;
+        self.appended.fetch_add(1, Ordering::Relaxed);
+        if synced {
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Current counters, for stats.
+    pub(crate) fn stats(&self) -> WalStats {
+        WalStats {
+            appended: self.appended.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            truncations: self.truncations.load(Ordering::Relaxed),
+            healed_tails: self.healed_tails.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Lists the `shardK.wal` files in `dir`, sorted by shard index. A
+/// missing directory is an empty WAL, not an error.
+pub(crate) fn wal_shard_files(dir: &Path) -> Result<Vec<(usize, PathBuf)>, DbError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(DbError::Io(e)),
+    };
+    let mut files = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(DbError::Io)?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix("shard")
+            .and_then(|s| s.strip_suffix(".wal"))
+        else {
+            continue;
+        };
+        if let Ok(shard) = stem.parse::<usize>() {
+            files.push((shard, entry.path()));
+        }
+    }
+    files.sort_by_key(|&(shard, _)| shard);
+    Ok(files)
+}
+
+#[cfg(test)]
+mod wal_dir_tests {
+    use super::*;
+
+    #[test]
+    fn wal_files_are_listed_in_shard_order() {
+        let dir = std::env::temp_dir().join(format!("be2d-waldir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for k in [2usize, 0, 10] {
+            std::fs::write(WalState::shard_path(&dir, k), b"").unwrap();
+        }
+        std::fs::write(dir.join("wal-anchor.json"), b"{}").unwrap();
+        std::fs::write(dir.join("shardx.wal"), b"").unwrap();
+        let files = wal_shard_files(&dir).unwrap();
+        let shards: Vec<usize> = files.iter().map(|&(k, _)| k).collect();
+        assert_eq!(shards, vec![0, 2, 10]);
+        assert!(wal_shard_files(&dir.join("missing")).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use be2d_geometry::SceneBuilder;
+
+    fn sample_op(id: usize) -> Op {
+        let scene = SceneBuilder::new(50, 50)
+            .object("A", (1, 9, 1, 9))
+            .build()
+            .expect("scene");
+        Op::Insert {
+            id,
+            name: format!("img-{id}"),
+            symbolic: SymbolicImage::from_scene(&scene),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_and_reports_gap() {
+        let mut log = ShardLog::new(3);
+        for seq in 1..=5 {
+            log.push(seq, Arc::new(sample_op(seq as usize)));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.evicted, 2);
+        // Replica at 2 can still replay 3..=5; replica at 1 cannot.
+        let pending = log.collect_since(2).expect("within window");
+        assert_eq!(
+            pending.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        assert!(log.collect_since(1).is_none());
+        // Up to date: empty but replayable.
+        assert_eq!(log.collect_since(5).expect("at head").len(), 0);
+    }
+
+    #[test]
+    fn barriers_fence_replay() {
+        let mut log = ShardLog::new(8);
+        log.push(1, Arc::new(sample_op(1)));
+        log.push(2, Arc::new(Op::Barrier));
+        log.push(3, Arc::new(sample_op(3)));
+        assert!(log.collect_since(0).is_none());
+        assert!(log.collect_since(1).is_none());
+        assert_eq!(log.collect_since(2).expect("past barrier").len(), 1);
+    }
+
+    #[test]
+    fn wal_line_roundtrip_and_corruption() {
+        let op = sample_op(7);
+        let line = encode_wal_line(42, &op).expect("encode");
+        let complete = line.strip_suffix('\n').expect("newline-terminated");
+        let (seq, back) = decode_wal_line(complete).expect("decode");
+        assert_eq!(seq, 42);
+        assert_eq!(back, op);
+        // Any single-byte flip in the op payload fails the checksum.
+        let mut bytes = complete.as_bytes().to_vec();
+        let target = complete.find("img-7").expect("payload") + 1;
+        bytes[target] = bytes[target].wrapping_add(1);
+        let flipped = String::from_utf8(bytes).expect("utf8");
+        assert!(decode_wal_line(&flipped).is_none());
+        // Barriers round-trip too.
+        let line = encode_wal_line(9, &Op::Barrier).expect("encode");
+        let (seq, back) = decode_wal_line(line.trim_end()).expect("decode");
+        assert_eq!((seq, back), (9, Op::Barrier));
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_healed() {
+        let dir = std::env::temp_dir().join(format!("be2d-oplog-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("torn.wal");
+        let mut writer = WalWriter::new(path.clone());
+        for seq in 1..=3 {
+            writer
+                .append(seq, &sample_op(seq as usize), 1)
+                .expect("append");
+        }
+        drop(writer);
+        // Tear the last record mid-line.
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &text[..text.len() - 10]).expect("tear");
+        let (records, truncated) = load_wal_file(&path, true).expect("load");
+        assert!(truncated);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records.last().map(|r| r.seq), Some(2));
+        // Healed on disk: a second load is clean.
+        let (records, truncated) = load_wal_file(&path, false).expect("reload");
+        assert!(!truncated);
+        assert_eq!(records.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_below_drops_checkpointed_records() {
+        let dir = std::env::temp_dir().join(format!("be2d-oplog-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("trunc.wal");
+        let mut writer = WalWriter::new(path.clone());
+        for seq in 1..=4 {
+            writer
+                .append(seq, &sample_op(seq as usize), 1)
+                .expect("append");
+        }
+        writer.truncate_below(2).expect("truncate");
+        let (records, truncated) = load_wal_file(&path, false).expect("load");
+        assert!(!truncated);
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        // The writer still appends correctly after the rewrite.
+        writer.append(5, &sample_op(5), 1).expect("append");
+        let (records, _) = load_wal_file(&path, false).expect("load");
+        assert_eq!(records.last().map(|r| r.seq), Some(5));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ops_route_and_apply_locally() {
+        let epoch = RoutingEpoch::steady(2);
+        let mut shard1 = ImageDatabase::new();
+        // Global id 3 routes to shard 1 slot 1 under n=2.
+        let op = sample_op(3);
+        assert_eq!(op.global_id(), Some(3));
+        op.apply_local(&mut shard1, &epoch, 1).expect("apply");
+        assert_eq!(shard1.len(), 1);
+        // The same op on the wrong shard is refused.
+        let mut shard0 = ImageDatabase::new();
+        let err = op.apply_local(&mut shard0, &epoch, 0).unwrap_err();
+        assert!(matches!(err, DbError::Replica { .. }));
+        assert_eq!(shard0.len(), 0);
+    }
+}

@@ -1,17 +1,35 @@
 //! Replicated shards: read-scaling replica sets with health, fault
-//! injection, rebuild-then-rejoin recovery — and **online resharding**.
+//! injection, rebuild-then-rejoin recovery, **online resharding** — and
+//! a per-shard **operation log** driving incremental catch-up, write-
+//! ahead durability, and asynchronous replication.
 //!
 //! The sharded database ([`ShardedImageDatabase`]) split the corpus
 //! into N independently locked partitions; this layer puts **R
-//! replicas behind every shard**. Writes (insert, remove, §3.2 object
-//! edits, restore) fan out synchronously to every healthy replica of
-//! the owning shard, while searches scatter to **one chosen replica
-//! per shard** — a round-robin picker that routes around failed
-//! replicas — before the same top-k heap merge the sharded database
-//! uses. Because every healthy replica of a shard holds identical
-//! records, the ranked result is **bit-identical** to the unreplicated
-//! (and single-shard) ranking, ties included (see
-//! `crates/db/tests/replicated.rs`).
+//! replicas behind every shard**. Every mutation (insert, remove, §3.2
+//! object edits) is applied to the shard's leader (its first healthy
+//! replica), assigned a global sequence number, and recorded in the
+//! shard's bounded in-memory op log; followers apply the same ops **by
+//! draining the log in sequence order**, never by re-executing
+//! requests, so every replica runs the identical deterministic mutation
+//! stream. Searches scatter to **one chosen replica per shard** before
+//! the same top-k heap merge the sharded database uses; because every
+//! in-sync replica holds identical records, the ranked result is
+//! **bit-identical** to the unreplicated (and single-shard) ranking,
+//! ties included (see `crates/db/tests/replicated.rs`).
+//!
+//! # Replication modes
+//!
+//! [`ReplicationMode`] picks the write-acknowledgement point:
+//!
+//! * **Sync** (default) — the write returns after every healthy replica
+//!   applied it: the pre-op-log fan-out behaviour, bit for bit.
+//! * **Quorum** — the write returns once a majority applied it; the
+//!   rest drain in the background. Reads route only to replicas at the
+//!   shard head.
+//! * **Async { max_lag }** — the write returns after the leader alone;
+//!   a background pump drains followers. Reads route only to replicas
+//!   within `max_lag` ops of the head (bounded staleness); point
+//!   lookups go to the leader (read-your-writes).
 //!
 //! # Health, failure, recovery
 //!
@@ -19,19 +37,22 @@
 //! out of rotation (the fault-injection hook tests and the server's
 //! admin endpoint use); reads and writes route around it from that
 //! moment on, so it goes stale. [`rebuild_replica`] brings it back:
-//! the shard's write traffic is paused briefly (readers keep flowing),
-//! the replica clones the state of a healthy peer, and only then
-//! rejoins rotation. A shard's **last** healthy replica can never be
+//! when the replica's gap still fits the shard's log window it
+//! **replays just the missed ops** (`catchup_replays` in
+//! [`ReplicationStats`]); when the ring has wrapped past its position —
+//! or a restore barrier fenced the gap — it falls back to cloning a
+//! healthy peer (`catchup_clones`). Either way the shard's write
+//! traffic pauses only for the catch-up itself and the rejoined copy is
+//! exactly up to date. A shard's **last** healthy replica can never be
 //! failed — every shard always serves.
 //!
-//! # Consistency
+//! # WAL durability
 //!
-//! Writes to one shard are serialised by a per-shard write mutex and
-//! applied replica-by-replica, so two reads hitting different replicas
-//! of the same shard may observe a write at slightly different times
-//! (the in-process analogue of replica lag, bounded by one fan-out).
-//! Any single result set is always internally consistent, and a
-//! quiesced database answers identically through every replica.
+//! With [`ReplicaConfig::wal`] set, every logged op is also appended to
+//! a per-shard on-disk write-ahead log (fsynced in batches) between
+//! incremental snapshots: recovery = anchor snapshot + replay of the
+//! tail, with torn-tail detection and healing. See
+//! [`checkpoint_wal`](ReplicatedImageDatabase::checkpoint_wal).
 //!
 //! # Online resharding
 //!
@@ -58,15 +79,26 @@
 //!    at reshard install (new empty shards appear) and finalise
 //!    (drained shards disappear).
 //!
+//! Because a reshard batch changes how global ids route, replaying ops
+//! logged *before* a batch into a replica healed *after* it would
+//! mis-route them. Every reshard batch therefore stamps a **barrier**
+//! into each shard's log: catch-up never replays across a barrier (it
+//! clones instead), and WAL recovery refuses to cross one.
+//!
 //! [`ShardedImageDatabase`]: crate::ShardedImageDatabase
 //! [`fail_replica`]: ReplicatedImageDatabase::fail_replica
 //! [`rebuild_replica`]: ReplicatedImageDatabase::rebuild_replica
 
 use crate::epoch::RoutingEpoch;
+use crate::oplog::{
+    load_wal_file, wal_shard_files, Op, OplogStats, ReplicaLag, ReplicationMode, ReplicationStats,
+    ShardLog, ShardReplication, WalConfig, WalRecord, WalState,
+};
 use crate::reshard::ReshardProgress;
 use crate::shard::{
     fresh_snapshot_id, heal_next_id, load_snapshot_at, merge_top_k, reroute_shards,
-    save_snapshot_at, scatter_scan, shard_cannot_contribute, PreviousSnapshot, SnapshotPayload,
+    save_snapshot_at, scatter_scan, shard_cannot_contribute, wal_floor_of, PreviousSnapshot,
+    SnapshotPayload,
 };
 use crate::{DbError, ImageDatabase, ImageRecord, QueryOptions, RecordId, SearchHit};
 use be2d_core::{BeString2D, SymbolicImage};
@@ -75,7 +107,8 @@ use parking_lot::RwLock;
 use std::collections::BTreeSet;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 /// A cheaply clonable, thread-safe image database of N shards × R
 /// replicas whose shard count can be changed online.
@@ -85,7 +118,9 @@ use std::sync::Arc;
 /// shard count; with more replicas, reads spread across copies and a
 /// failed copy can be rebuilt from a healthy peer without downtime.
 /// [`Resharder`](crate::Resharder) streams records between shards while
-/// the database keeps serving.
+/// the database keeps serving. [`with_config`](Self::with_config)
+/// additionally selects the [`ReplicationMode`], the op-log window, and
+/// WAL durability.
 ///
 /// # Example
 ///
@@ -113,6 +148,37 @@ pub struct ReplicatedImageDatabase {
     pub(crate) inner: Arc<Inner>,
 }
 
+/// Construction-time configuration of a [`ReplicatedImageDatabase`]
+/// (see [`ReplicatedImageDatabase::with_config`]).
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Number of shards (clamped to ≥ 1).
+    pub shards: usize,
+    /// Replicas per shard (clamped to ≥ 1).
+    pub replicas: usize,
+    /// Where writes acknowledge: every replica, a majority, or the
+    /// leader alone.
+    pub mode: ReplicationMode,
+    /// Per-shard op-log ring capacity in entries (clamped to ≥ 1). A
+    /// failed replica whose gap exceeds the window rebuilds by clone
+    /// instead of replay.
+    pub oplog_window: usize,
+    /// Write-ahead-log durability (off when `None`).
+    pub wal: Option<WalConfig>,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            shards: 1,
+            replicas: 1,
+            mode: ReplicationMode::Sync,
+            oplog_window: 1024,
+            wal: None,
+        }
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct Inner {
     /// The shard topology: replica sets plus the routing epoch. Taken
@@ -137,6 +203,27 @@ pub(crate) struct Inner {
     pub(crate) reshard_lock: parking_lot::Mutex<()>,
     /// Last observed reshard progress, for `/stats`.
     pub(crate) progress: parking_lot::Mutex<ReshardProgress>,
+    /// Write-acknowledgement mode (fixed at construction).
+    pub(crate) mode: ReplicationMode,
+    /// Op-log ring capacity per shard (fixed at construction).
+    pub(crate) oplog_window: usize,
+    /// The one global sequence counter. A sequence is assigned under
+    /// the owning shard's write-order mutex *after* the leader applied
+    /// the op, so a snapshot taken under all write-order mutexes sees
+    /// no in-flight sequence: the recorded watermark is exact.
+    pub(crate) op_seq: AtomicU64,
+    /// Replica heals that rejoined by replaying the log window.
+    pub(crate) catchup_replays: AtomicU64,
+    /// Replica heals that fell back to a full shard clone.
+    pub(crate) catchup_clones: AtomicU64,
+    /// Times a writer drained a lagging follower to stop the ring
+    /// evicting an entry the follower still needed.
+    pub(crate) writer_drains: AtomicU64,
+    /// Write-ahead log (None = in-memory only).
+    pub(crate) wal: Option<WalState>,
+    /// Wake-up channel of the background drain pump (None in Sync mode,
+    /// which never leaves a follower behind).
+    pub(crate) pump: Option<Arc<PumpSignal>>,
 }
 
 /// The live shard topology: one [`ReplicaSet`] per physical shard plus
@@ -155,10 +242,10 @@ pub(crate) struct Topology {
 }
 
 impl Topology {
-    fn steady(n: usize, replicas: usize) -> Topology {
+    fn steady(n: usize, replicas: usize, window: usize) -> Topology {
         Topology {
             sets: (0..n)
-                .map(|_| Arc::new(ReplicaSet::new(replicas)))
+                .map(|_| Arc::new(ReplicaSet::new(replicas, window)))
                 .collect(),
             old_n: n,
             new_n: n,
@@ -191,7 +278,8 @@ impl Topology {
 }
 
 /// One shard's replica set: R copies of the shard behind their own
-/// reader-writer locks, plus health bits and the write serialiser.
+/// reader-writer locks, health bits, the write serialiser — and the
+/// shard's op log with per-replica applied positions.
 #[derive(Debug)]
 pub(crate) struct ReplicaSet {
     pub(crate) replicas: Vec<RwLock<ImageDatabase>>,
@@ -199,18 +287,26 @@ pub(crate) struct ReplicaSet {
     pub(crate) health: Vec<AtomicBool>,
     /// Round-robin read picker.
     pub(crate) cursor: AtomicUsize,
-    /// Serialises write fan-outs, rebuilds, and health transitions on
-    /// this shard, so a writer's view of the healthy set cannot go
-    /// stale mid-fan-out. Readers never take it. Reshard batch moves
-    /// take **all** shards' mutexes (in shard order) before moving
-    /// anything, so holding any one of them freezes the boundary.
+    /// Serialises write applications, rebuilds, background drains, and
+    /// health transitions on this shard, so a writer's view of the
+    /// healthy set cannot go stale mid-operation. Readers never take
+    /// it. Reshard batch moves take **all** shards' mutexes (in shard
+    /// order) before moving anything, so holding any one of them
+    /// freezes the boundary.
     pub(crate) write_order: parking_lot::Mutex<()>,
     /// Per-shard edit counter (incremental-snapshot key).
     pub(crate) edits: AtomicU64,
+    /// The shard's bounded op ring. Lock order: always after
+    /// `write_order`, always released before any replica lock.
+    pub(crate) log: parking_lot::Mutex<ShardLog>,
+    /// Newest sequence published to this shard's log (0 = none yet).
+    pub(crate) head: AtomicU64,
+    /// `applied[r]` — the highest sequence replica r has applied.
+    pub(crate) applied: Vec<AtomicU64>,
 }
 
 impl ReplicaSet {
-    pub(crate) fn new(replicas: usize) -> ReplicaSet {
+    pub(crate) fn new(replicas: usize, window: usize) -> ReplicaSet {
         ReplicaSet {
             replicas: (0..replicas)
                 .map(|_| RwLock::new(ImageDatabase::new()))
@@ -219,13 +315,16 @@ impl ReplicaSet {
             cursor: AtomicUsize::new(0),
             write_order: parking_lot::Mutex::new(()),
             edits: AtomicU64::new(0),
+            log: parking_lot::Mutex::new(ShardLog::new(window)),
+            head: AtomicU64::new(0),
+            applied: (0..replicas).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
     /// Round-robin pick of a healthy replica (reads route around failed
     /// copies). Falls back to the raw round-robin slot if no replica is
     /// healthy — unreachable while the last-healthy guard holds.
-    fn pick(&self) -> usize {
+    pub(crate) fn pick(&self) -> usize {
         let r = self.replicas.len();
         let start = self.cursor.fetch_add(1, Ordering::Relaxed) % r;
         (0..r)
@@ -234,8 +333,37 @@ impl ReplicaSet {
             .unwrap_or(start)
     }
 
-    /// The lowest-indexed healthy replica (the deterministic choice for
-    /// snapshots, rebuild sources, and occupancy checks).
+    /// Round-robin pick among healthy replicas within `max_lag` ops of
+    /// the shard head. Falls back to the first healthy replica (the
+    /// leader, which is always at the head) when nothing qualifies.
+    fn pick_within(&self, max_lag: u64) -> usize {
+        let r = self.replicas.len();
+        let head = self.head.load(Ordering::SeqCst);
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % r;
+        (0..r)
+            .map(|step| (start + step) % r)
+            .find(|&candidate| {
+                self.health[candidate].load(Ordering::SeqCst)
+                    && head.saturating_sub(self.applied[candidate].load(Ordering::SeqCst))
+                        <= max_lag
+            })
+            .unwrap_or_else(|| self.first_healthy())
+    }
+
+    /// The replica a search should read, given the database's mode:
+    /// plain round-robin under Sync (every healthy replica is in sync),
+    /// bounded-lag round-robin otherwise.
+    fn pick_read(&self, mode: ReplicationMode) -> usize {
+        match mode {
+            ReplicationMode::Sync => self.pick(),
+            ReplicationMode::Quorum => self.pick_within(0),
+            ReplicationMode::Async { max_lag } => self.pick_within(max_lag),
+        }
+    }
+
+    /// The lowest-indexed healthy replica (the leader: the
+    /// deterministic choice for writes, snapshots, rebuild sources, and
+    /// occupancy checks).
     pub(crate) fn first_healthy(&self) -> usize {
         (0..self.replicas.len())
             .find(|&r| self.health[r].load(Ordering::SeqCst))
@@ -248,43 +376,206 @@ impl ReplicaSet {
             .filter(|h| h.load(Ordering::SeqCst))
             .count()
     }
+}
 
-    /// Applies one mutation to every healthy replica. The caller must
-    /// hold `write_order`. The first healthy replica's verdict is the
-    /// operation's result: database mutations are deterministic, so if
-    /// it fails nothing was applied anywhere and the error propagates;
-    /// if a *later* replica then disagrees it has diverged and is taken
-    /// out of rotation rather than serve inconsistent reads.
-    fn fan_out<R>(
-        &self,
-        shard: usize,
-        op: impl Fn(&mut ImageDatabase) -> Result<R, DbError>,
-    ) -> Result<R, DbError> {
-        let mut first: Option<R> = None;
-        for (i, replica) in self.replicas.iter().enumerate() {
-            if !self.health[i].load(Ordering::SeqCst) {
+/// Drains replica `r` of `set` up to the shard head by replaying the op
+/// log in sequence order. The caller must hold the shard's
+/// `write_order` mutex (this function itself never takes it). Returns
+/// `true` when the replica reached the head; `false` when the gap is
+/// not replayable (ring wrapped or barrier in range) or an op failed to
+/// apply — in the latter case the replica has diverged and is taken out
+/// of rotation.
+pub(crate) fn drain_replica(top: &Topology, set: &ReplicaSet, shard: usize, r: usize) -> bool {
+    loop {
+        let target = set.head.load(Ordering::SeqCst);
+        if set.applied[r].load(Ordering::SeqCst) >= target {
+            return true;
+        }
+        // The log mutex is released before the replica lock (lock
+        // order: write_order → log → replica).
+        let pending = {
+            let log = set.log.lock();
+            log.collect_since(set.applied[r].load(Ordering::SeqCst))
+        };
+        let Some(pending) = pending else {
+            return false;
+        };
+        let mut guard = set.replicas[r].write();
+        let base = set.applied[r].load(Ordering::SeqCst);
+        // The boundary is frozen while the replica write lock is held.
+        let epoch = top.epoch();
+        for (seq, op) in pending {
+            if seq <= base {
                 continue;
             }
-            let mut guard = replica.write();
-            match op(&mut guard) {
-                Ok(result) => {
-                    if first.is_none() {
-                        first = Some(result);
-                    }
+            if op.apply_local(&mut guard, &epoch, shard).is_err() {
+                drop(guard);
+                set.health[r].store(false, Ordering::SeqCst);
+                return false;
+            }
+            set.applied[r].store(seq, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The background drain pump's wake-up channel: writers set `dirty` and
+/// notify after each non-Sync ack; the pump also sweeps on a timeout so
+/// a missed notify only delays, never strands, a follower.
+#[derive(Debug, Default)]
+pub(crate) struct PumpSignal {
+    dirty: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+/// The body of the `be2d-oplog-pump` thread: wait for a write (or the
+/// periodic backstop), then drain every lagging healthy replica of
+/// every shard. Exits when the database is dropped (the weak reference
+/// fails to upgrade). Each shard is swept under its own write-order
+/// mutex so health and applied positions only ever change under it.
+fn pump_loop(inner: Weak<Inner>, signal: Arc<PumpSignal>) {
+    loop {
+        {
+            let dirty = signal.dirty.lock().unwrap_or_else(|e| e.into_inner());
+            let (mut dirty, _) = signal
+                .cv
+                .wait_timeout(dirty, Duration::from_millis(20))
+                .unwrap_or_else(|e| e.into_inner());
+            *dirty = false;
+        }
+        let Some(inner) = inner.upgrade() else {
+            return;
+        };
+        let top = inner.topology.read();
+        for (shard, set) in top.sets.iter().enumerate() {
+            let _order = set.write_order.lock();
+            for r in 0..set.replicas.len() {
+                if set.health[r].load(Ordering::SeqCst)
+                    && set.applied[r].load(Ordering::SeqCst) < set.head.load(Ordering::SeqCst)
+                {
+                    drain_replica(&top, set, shard, r);
                 }
-                Err(e) if first.is_none() => return Err(e),
-                Err(_) => {
-                    drop(guard);
-                    self.health[i].store(false, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+impl Inner {
+    /// Applies one mutation through shard `shard`'s op log. The caller
+    /// must hold the shard's `write_order` mutex. The leader (first
+    /// healthy replica) applies the op authoritatively — its error is
+    /// the operation's error and nothing is logged — then the op is
+    /// sequenced, WAL-appended (in durability mode), published to the
+    /// ring, and acknowledged per the replication mode: every healthy
+    /// follower under Sync, a majority under Quorum, the leader alone
+    /// under Async. Followers always catch up by draining the log, so
+    /// every replica runs the identical mutation stream.
+    pub(crate) fn apply_logged(&self, top: &Topology, shard: usize, op: Op) -> Result<(), DbError> {
+        let set = &top.sets[shard];
+        // An async-mode leader may itself have just been promoted while
+        // lagging; bring it to the head before it takes new writes.
+        let leader = loop {
+            if set.healthy_count() == 0 {
+                return Err(DbError::Replica {
+                    reason: format!("shard {shard} has no healthy replica"),
+                });
+            }
+            let leader = set.first_healthy();
+            if drain_replica(top, set, shard, leader) {
+                break leader;
+            }
+        };
+        let op = Arc::new(op);
+        {
+            let mut guard = set.replicas[leader].write();
+            let epoch = top.epoch();
+            op.apply_local(&mut guard, &epoch, shard)?;
+        }
+        let seq = self.op_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        // A WAL append failure is reported to the caller, but the op
+        // stays in the in-memory pipeline regardless: the leader has
+        // already applied it, and dropping it from the ring would leave
+        // followers permanently diverged.
+        let wal_result = match &self.wal {
+            Some(wal) => wal.append(shard, seq, &op),
+            None => Ok(()),
+        };
+        // Never evict an entry a healthy follower still needs: drain
+        // such followers first, so "healthy ⇒ replayable gap" holds.
+        if let Some(evict_seq) = {
+            let log = set.log.lock();
+            log.eviction_candidate()
+        } {
+            for r in 0..set.replicas.len() {
+                if r != leader
+                    && set.health[r].load(Ordering::SeqCst)
+                    && set.applied[r].load(Ordering::SeqCst) < evict_seq
+                    && drain_replica(top, set, shard, r)
+                {
+                    self.writer_drains.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        set.log.lock().push(seq, Arc::clone(&op));
+        set.head.store(seq, Ordering::SeqCst);
+        set.applied[leader].store(seq, Ordering::SeqCst);
+        // Acknowledgement: how many healthy replicas must have applied
+        // the op before the write returns. When fewer healthy replicas
+        // exist than the target, every one of them acks — a quorum of
+        // the healthy set, favouring availability.
+        let target = match self.mode {
+            ReplicationMode::Sync => usize::MAX,
+            ReplicationMode::Quorum => set.replicas.len() / 2 + 1,
+            ReplicationMode::Async { .. } => 1,
+        };
+        let mut acked = 1usize;
+        if acked < target {
+            for r in 0..set.replicas.len() {
+                if r == leader || !set.health[r].load(Ordering::SeqCst) {
+                    continue;
+                }
+                if drain_replica(top, set, shard, r) {
+                    acked += 1;
+                    if acked >= target {
+                        break;
+                    }
                 }
             }
         }
         // Bumped before `write_order` is released (the caller holds it),
         // pairing counter with state for incremental snapshots.
-        self.edits.fetch_add(1, Ordering::SeqCst);
-        first.ok_or_else(|| DbError::Replica {
-            reason: format!("shard {shard} has no healthy replica"),
-        })
+        set.edits.fetch_add(1, Ordering::SeqCst);
+        if !matches!(self.mode, ReplicationMode::Sync) {
+            self.notify_pump();
+        }
+        wal_result
+    }
+
+    /// Stamps a replay fence into `set`'s log: catch-up never replays
+    /// across it and WAL recovery refuses to cross it. Every healthy
+    /// replica is marked as having applied it (callers guarantee all
+    /// healthy replicas hold identical state — they hold the shard's
+    /// write-order mutex or the topology write lock, excluding
+    /// writers). Barriers are never WAL-appended: restore re-anchors
+    /// the WAL instead, and reshard fences are meaningless across a
+    /// reboot (recovery replays into the rebooted topology directly).
+    pub(crate) fn log_barrier(&self, set: &ReplicaSet) -> u64 {
+        let seq = self.op_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        set.log.lock().push(seq, Arc::new(Op::Barrier));
+        set.head.store(seq, Ordering::SeqCst);
+        for (r, applied) in set.applied.iter().enumerate() {
+            if set.health[r].load(Ordering::SeqCst) {
+                applied.store(seq, Ordering::SeqCst);
+            }
+        }
+        seq
+    }
+
+    fn notify_pump(&self) {
+        if let Some(pump) = &self.pump {
+            let mut dirty = pump.dirty.lock().unwrap_or_else(|e| e.into_inner());
+            *dirty = true;
+            pump.cv.notify_one();
+        }
     }
 }
 
@@ -322,14 +613,42 @@ impl ReplicatedImageDatabase {
         ReplicatedImageDatabase::default()
     }
 
-    /// A database of `shards` × `replicas` (both clamped to ≥ 1).
+    /// A database of `shards` × `replicas` (both clamped to ≥ 1), in
+    /// the default configuration: synchronous replication, no WAL.
     #[must_use]
     pub fn with_topology(shards: usize, replicas: usize) -> Self {
-        let shards = shards.max(1);
-        let replicas = replicas.max(1);
-        ReplicatedImageDatabase {
+        ReplicatedImageDatabase::with_config(ReplicaConfig {
+            shards,
+            replicas,
+            ..ReplicaConfig::default()
+        })
+        .expect("in-memory sync construction is infallible")
+    }
+
+    /// Builds a database from a full [`ReplicaConfig`]: topology,
+    /// replication mode, op-log window, and optional WAL durability.
+    /// With a WAL directory set, recovery runs here — anchor snapshot
+    /// (if any) plus replay of the WAL tail, healing a torn tail — and
+    /// the recovered state is re-anchored so the next boot replays only
+    /// fresh ops. Non-Sync modes spawn the background drain pump.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL recovery errors (corrupt anchor, unreplayable
+    /// ops, I/O) and pump-thread spawn failures. In-memory Sync
+    /// construction is infallible.
+    pub fn with_config(config: ReplicaConfig) -> Result<Self, DbError> {
+        let shards = config.shards.max(1);
+        let replicas = config.replicas.max(1);
+        let window = config.oplog_window.max(1);
+        let pump_signal = if matches!(config.mode, ReplicationMode::Sync) {
+            None
+        } else {
+            Some(Arc::new(PumpSignal::default()))
+        };
+        let db = ReplicatedImageDatabase {
             inner: Arc::new(Inner {
-                topology: RwLock::new(Topology::steady(shards, replicas)),
+                topology: RwLock::new(Topology::steady(shards, replicas, window)),
                 next_id: AtomicUsize::new(0),
                 instance: fresh_snapshot_id(),
                 planner_skipped: AtomicU64::new(0),
@@ -337,8 +656,35 @@ impl ReplicatedImageDatabase {
                 search_gate: RwLock::new(()),
                 reshard_lock: parking_lot::Mutex::new(()),
                 progress: parking_lot::Mutex::new(ReshardProgress::default()),
+                mode: config.mode,
+                oplog_window: window,
+                op_seq: AtomicU64::new(0),
+                catchup_replays: AtomicU64::new(0),
+                catchup_clones: AtomicU64::new(0),
+                writer_drains: AtomicU64::new(0),
+                wal: config.wal.map(WalState::new),
+                pump: pump_signal.clone(),
             }),
+        };
+        if db.inner.wal.is_some() {
+            db.recover_wal()?;
         }
+        if let Some(signal) = pump_signal {
+            std::thread::Builder::new()
+                .name("be2d-oplog-pump".into())
+                .spawn({
+                    let weak = Arc::downgrade(&db.inner);
+                    move || pump_loop(weak, signal)
+                })
+                .map_err(DbError::Io)?;
+        }
+        Ok(db)
+    }
+
+    /// The configured write-acknowledgement mode.
+    #[must_use]
+    pub fn replication_mode(&self) -> ReplicationMode {
+        self.inner.mode
     }
 
     /// Number of shards the database routes to (the **target** topology
@@ -369,8 +715,8 @@ impl ReplicatedImageDatabase {
     }
 
     /// Total live records (counted on each shard's first healthy
-    /// replica, under the migration gate so a mid-batch state is never
-    /// observed).
+    /// replica — the leader, which is always at the shard head — under
+    /// the migration gate so a mid-batch state is never observed).
     #[must_use]
     pub fn len(&self) -> usize {
         let top = self.inner.topology.read();
@@ -431,6 +777,69 @@ impl ReplicatedImageDatabase {
         stats
     }
 
+    /// Per-shard replication positions — head sequence, per-replica lag
+    /// and last-applied sequence — plus the catch-up counters.
+    #[must_use]
+    pub fn replication_stats(&self) -> ReplicationStats {
+        let top = self.inner.topology.read();
+        ReplicationStats {
+            mode: self.inner.mode,
+            shards: top
+                .sets
+                .iter()
+                .map(|set| {
+                    let head = set.head.load(Ordering::SeqCst);
+                    ShardReplication {
+                        head_seq: head,
+                        replicas: (0..set.replicas.len())
+                            .map(|r| {
+                                let applied = set.applied[r].load(Ordering::SeqCst);
+                                ReplicaLag {
+                                    last_applied_seq: applied,
+                                    lag: head.saturating_sub(applied),
+                                    healthy: set.health[r].load(Ordering::SeqCst),
+                                }
+                            })
+                            .collect(),
+                    }
+                })
+                .collect(),
+            catchup_replays: self.inner.catchup_replays.load(Ordering::Relaxed),
+            catchup_clones: self.inner.catchup_clones.load(Ordering::Relaxed),
+            writer_drains: self.inner.writer_drains.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Op-log state: window, newest sequence, ring occupancy, and WAL
+    /// counters when durability mode is on.
+    #[must_use]
+    pub fn oplog_stats(&self) -> OplogStats {
+        let top = self.inner.topology.read();
+        OplogStats {
+            window: self.inner.oplog_window,
+            last_seq: self.inner.op_seq.load(Ordering::SeqCst),
+            entries: top.sets.iter().map(|set| set.log.lock().len()).sum(),
+            wal: self.inner.wal.as_ref().map(WalState::stats),
+        }
+    }
+
+    /// Blocks until every healthy replica of every shard has applied
+    /// every acknowledged write (lag 0 everywhere). A no-op under Sync;
+    /// under Quorum/Async it drains what the background pump hasn't
+    /// reached yet — tests and benchmarks use it as a deterministic
+    /// settle point.
+    pub fn flush_replication(&self) {
+        let top = self.inner.topology.read();
+        for (shard, set) in top.sets.iter().enumerate() {
+            let _order = set.write_order.lock();
+            for r in 0..set.replicas.len() {
+                if set.health[r].load(Ordering::SeqCst) {
+                    drain_replica(&top, set, shard, r);
+                }
+            }
+        }
+    }
+
     /// Indexes a scene (Algorithm-1 conversion outside all locks).
     ///
     /// # Errors
@@ -440,8 +849,9 @@ impl ReplicatedImageDatabase {
         self.insert_symbolic(name, SymbolicImage::from_scene(scene))
     }
 
-    /// Stores a pre-converted symbolic picture in every healthy replica
-    /// of the owning shard.
+    /// Stores a pre-converted symbolic picture through the owning
+    /// shard's op log (leader first, followers per the replication
+    /// mode).
     ///
     /// # Errors
     ///
@@ -476,9 +886,15 @@ impl ReplicatedImageDatabase {
                 {
                     continue 'fresh_id;
                 }
-                set.fan_out(shard, |db| {
-                    db.insert_symbolic_with_id(local, name, symbolic.clone())
-                })?;
+                self.inner.apply_logged(
+                    &top,
+                    shard,
+                    Op::Insert {
+                        id: id.index(),
+                        name: name.to_string(),
+                        symbolic: symbolic.clone(),
+                    },
+                )?;
                 return Ok(id);
             }
         }
@@ -488,12 +904,9 @@ impl ReplicatedImageDatabase {
     }
 
     /// Routes a mutation to the owning shard under its write-order
-    /// mutex, re-validating the route against reshard batches.
-    fn routed_write<R>(
-        &self,
-        id: RecordId,
-        op: impl Fn(&mut ImageDatabase, RecordId) -> Result<R, DbError>,
-    ) -> Result<R, DbError> {
+    /// mutex, re-validating the route against reshard batches, and
+    /// applies it through the shard's op log.
+    fn routed_write(&self, id: RecordId, op: Op) -> Result<(), DbError> {
         let top = self.inner.topology.read();
         loop {
             let (shard, local) = top.route(id);
@@ -504,31 +917,37 @@ impl ReplicatedImageDatabase {
             if top.route(id) != (shard, local) {
                 continue;
             }
-            return set
-                .fan_out(shard, |db| op(db, local))
+            return self
+                .inner
+                .apply_logged(&top, shard, op)
                 .map_err(|e| globalise_error(e, id));
         }
     }
 
-    /// Removes a record from every healthy replica of its owning shard.
+    /// Removes a record through its owning shard's op log.
     ///
     /// # Errors
     ///
     /// Returns [`DbError::UnknownRecord`] (with the global id) for dead
     /// or unassigned ids.
     pub fn remove(&self, id: RecordId) -> Result<(), DbError> {
-        self.routed_write(id, |db, local| db.remove(local).map(|_| ()))
+        self.routed_write(id, Op::Remove { id: id.index() })
     }
 
     /// Looks a record up on one healthy replica, returning a clone with
-    /// its **global** id.
+    /// its **global** id. Under Quorum/Async the lookup reads the
+    /// leader (read-your-writes); under Sync it round-robins.
     #[must_use]
     pub fn get(&self, id: RecordId) -> Option<ImageRecord> {
         let top = self.inner.topology.read();
         loop {
             let (shard, local) = top.route(id);
             let set = &top.sets[shard];
-            let guard = set.replicas[set.pick()].read();
+            let replica = match self.inner.mode {
+                ReplicationMode::Sync => set.pick(),
+                _ => set.first_healthy(),
+            };
+            let guard = set.replicas[replica].read();
             // The boundary only moves under *all* replica write locks,
             // so holding this read lock freezes it; a stale route means
             // a batch moved the record between routing and locking.
@@ -543,18 +962,25 @@ impl ReplicatedImageDatabase {
         }
     }
 
-    /// Incremental §3.2 object insertion, fanned out to every healthy
-    /// replica of the owning shard.
+    /// Incremental §3.2 object insertion through the owning shard's op
+    /// log.
     ///
     /// # Errors
     ///
     /// Propagates the underlying error; the record is unchanged on error.
     pub fn add_object(&self, id: RecordId, class: &ObjectClass, mbr: Rect) -> Result<(), DbError> {
-        self.routed_write(id, |db, local| db.add_object(local, class, mbr))
+        self.routed_write(
+            id,
+            Op::AddObject {
+                id: id.index(),
+                class: class.clone(),
+                mbr,
+            },
+        )
     }
 
-    /// Incremental §3.2 object removal, fanned out to every healthy
-    /// replica of the owning shard.
+    /// Incremental §3.2 object removal through the owning shard's op
+    /// log.
     ///
     /// # Errors
     ///
@@ -565,11 +991,19 @@ impl ReplicatedImageDatabase {
         class: &ObjectClass,
         mbr: Rect,
     ) -> Result<(), DbError> {
-        self.routed_write(id, |db, local| db.remove_object(local, class, mbr))
+        self.routed_write(
+            id,
+            Op::RemoveObject {
+                id: id.index(),
+                class: class.clone(),
+                mbr,
+            },
+        )
     }
 
     /// Scatter-gather ranked search over **one chosen replica per
-    /// shard** (round-robin among healthy copies), merged with the same
+    /// shard** (round-robin among healthy, in-sync copies — replicas
+    /// beyond the mode's lag bound are skipped), merged with the same
     /// top-k heap the sharded database uses. The scatter planner skips
     /// shards whose class postings provably cannot contribute (exact
     /// inverted-index candidates only).
@@ -587,10 +1021,13 @@ impl ReplicatedImageDatabase {
         // (exclusive holder) either completed before this search or
         // waits for it — never interleaves.
         let _gate = self.inner.search_gate.read();
+        let mode = self.inner.mode;
         let n = top.sets.len();
         if n == 1 {
             let set = &top.sets[0];
-            return set.replicas[set.pick()].read().search(query, options);
+            return set.replicas[set.pick_read(mode)]
+                .read()
+                .search(query, options);
         }
         // Frozen for the whole scatter: the boundary only moves under
         // the exclusive gate.
@@ -604,7 +1041,7 @@ impl ReplicatedImageDatabase {
             self.inner.next_id.load(Ordering::Relaxed),
             |shard| {
                 let set = &topology.sets[shard];
-                let guard = set.replicas[set.pick()].read();
+                let guard = set.replicas[set.pick_read(mode)].read();
                 if shard_cannot_contribute(&guard, &query_classes, options) {
                     planner_skipped.fetch_add(1, Ordering::Relaxed);
                     return Vec::new();
@@ -649,8 +1086,9 @@ impl ReplicatedImageDatabase {
     }
 
     /// Takes a replica out of rotation — the fault-injection hook.
-    /// Reads and writes route around it immediately; its contents go
-    /// stale until [`rebuild_replica`](Self::rebuild_replica).
+    /// Reads and writes route around it immediately; its contents (and
+    /// its applied-sequence position) go stale until
+    /// [`rebuild_replica`](Self::rebuild_replica).
     ///
     /// # Errors
     ///
@@ -672,14 +1110,18 @@ impl ReplicatedImageDatabase {
         Ok(())
     }
 
-    /// Rebuilds a failed replica from a healthy peer and rejoins it to
-    /// rotation. The shard's write traffic pauses for the duration of
-    /// the clone (readers keep flowing on the healthy replicas), so the
-    /// rebuilt copy is exactly up to date the moment it rejoins — a
-    /// rebuild during an online reshard clones the peer's current
-    /// mixed-layout state, so the rejoined copy is on the new topology
-    /// exactly as far as the migration has progressed.
-    /// Rebuilding an already-healthy replica is a no-op.
+    /// Heals a failed replica and rejoins it to rotation. When the
+    /// replica's gap still fits the shard's op-log window — no eviction
+    /// or barrier crossed its position — the missed ops are **replayed
+    /// in place** (`catchup_replays`), which is proportional to the gap,
+    /// not the shard. Otherwise the replica falls back to cloning a
+    /// healthy peer (`catchup_clones`), exactly as before the op log
+    /// existed. The shard's write traffic pauses for the duration
+    /// (readers keep flowing on the healthy replicas), so the rebuilt
+    /// copy is exactly up to date the moment it rejoins — a rebuild
+    /// during an online reshard catches up to the peer's current
+    /// mixed-layout state. Rebuilding an already-healthy replica is a
+    /// no-op.
     ///
     /// # Errors
     ///
@@ -691,27 +1133,75 @@ impl ReplicatedImageDatabase {
         if set.health[replica].load(Ordering::SeqCst) {
             return Ok(());
         }
-        let source = set.first_healthy();
+        // Fast path: replay the gap from the ring.
+        let pending = {
+            let log = set.log.lock();
+            log.collect_since(set.applied[replica].load(Ordering::SeqCst))
+        };
+        if let Some(pending) = pending {
+            let replayed = {
+                let mut guard = set.replicas[replica].write();
+                let epoch = top.epoch();
+                pending.into_iter().try_for_each(|(seq, op)| {
+                    op.apply_local(&mut guard, &epoch, shard)?;
+                    set.applied[replica].store(seq, Ordering::SeqCst);
+                    Ok::<(), DbError>(())
+                })
+            };
+            if replayed.is_ok() {
+                set.health[replica].store(true, Ordering::SeqCst);
+                self.inner.catchup_replays.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            // A replay failure means the stale state diverged from what
+            // the log assumed; fall through to the clone path, which
+            // overwrites it wholesale.
+        }
+        // Clone fallback. The source must be at the shard head first:
+        // an async-mode leader may itself have been promoted while
+        // lagging.
+        let source = loop {
+            if set.healthy_count() == 0 {
+                return Err(DbError::Replica {
+                    reason: format!("shard {shard} has no healthy replica"),
+                });
+            }
+            let source = set.first_healthy();
+            if drain_replica(&top, set, shard, source) {
+                break source;
+            }
+        };
         let rebuilt = set.replicas[source].read().clone();
         *set.replicas[replica].write() = rebuilt;
+        set.applied[replica].store(set.head.load(Ordering::SeqCst), Ordering::SeqCst);
         set.health[replica].store(true, Ordering::SeqCst);
+        self.inner.catchup_clones.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Saves a consistent, incremental sharded snapshot (one file per
-    /// physical shard, cloned from each shard's first healthy replica)
-    /// in the exact format of
+    /// physical shard, cloned from each shard's leader after draining
+    /// it to the shard head) in the exact format of
     /// [`ShardedImageDatabase::save_snapshot`](crate::ShardedImageDatabase::save_snapshot)
     /// — the two deployments' snapshots are interchangeable. Write
     /// traffic pauses for the duration of the clone so the snapshot is
     /// one global state; readers keep flowing. A snapshot taken during
-    /// an online reshard records the routing epoch (manifest v3), so it
-    /// restores exactly.
+    /// an online reshard records the routing epoch, and every snapshot
+    /// records the op-log positions (manifest v4), so it restores
+    /// exactly and anchors WAL recovery.
     ///
     /// # Errors
     ///
     /// Propagates [`DbError`] from serialisation or file I/O.
     pub fn save_snapshot(&self, path: &Path) -> Result<usize, DbError> {
+        self.save_snapshot_with_floor(path)
+            .map(|(records, _)| records)
+    }
+
+    /// `save_snapshot`, also returning the snapshot's exact sequence
+    /// watermark: every op with a sequence at or below it is contained
+    /// in the snapshot, every later op is not.
+    fn save_snapshot_with_floor(&self, path: &Path) -> Result<(usize, u64), DbError> {
         let _io = self.inner.snapshot_io.lock();
         let top = self.inner.topology.read();
         // Parsed before any lock, so deciding what to skip costs no
@@ -722,8 +1212,21 @@ impl ReplicatedImageDatabase {
         } else {
             PreviousSnapshot::none()
         };
-        let payload = {
+        let (payload, floor) = {
             let _orders: Vec<_> = top.sets.iter().map(|set| set.write_order.lock()).collect();
+            // Under Quorum/Async the leader to be cloned may itself lag
+            // (freshly promoted); drain every leader to its head so the
+            // snapshot holds *all* acknowledged writes and the recorded
+            // watermark is exact.
+            for (shard, set) in top.sets.iter().enumerate() {
+                while !drain_replica(&top, set, shard, set.first_healthy()) {
+                    if set.healthy_count() == 0 {
+                        return Err(DbError::Replica {
+                            reason: format!("shard {shard} has no healthy replica"),
+                        });
+                    }
+                }
+            }
             let guards: Vec<_> = top
                 .sets
                 .iter()
@@ -744,7 +1247,10 @@ impl ReplicatedImageDatabase {
                     (!previous.reusable(path, shard, edits[shard])).then(|| (**guard).clone())
                 })
                 .collect();
-            SnapshotPayload {
+            // Exact because sequences are only assigned under a
+            // write-order mutex, all of which are held here.
+            let floor = self.inner.op_seq.load(Ordering::SeqCst);
+            let payload = SnapshotPayload {
                 records: guards.iter().map(|g| g.len()).sum(),
                 shards,
                 next_id: self.inner.next_id.load(Ordering::SeqCst),
@@ -752,25 +1258,146 @@ impl ReplicatedImageDatabase {
                 writer: self.inner.instance,
                 // Frozen while all write-order mutexes are held.
                 epoch: top.epoch(),
-            }
+                log_heads: top
+                    .sets
+                    .iter()
+                    .map(|set| set.head.load(Ordering::SeqCst))
+                    .collect(),
+                wal_seq: floor,
+            };
+            (payload, floor)
         };
-        save_snapshot_at(path, payload, &previous)
+        save_snapshot_at(path, payload, &previous).map(|records| (records, floor))
     }
 
-    /// Restores from a sharded manifest (v1, v2 or v3 — mid-reshard
-    /// snapshots included) or a plain [`ImageDatabase::save`] file,
-    /// replacing the contents of **every replica** — which also heals
-    /// all failed replicas, since each now holds the same freshly
-    /// restored state. Records are re-routed when the snapshot's
-    /// topology differs from this database's; ids are preserved either
-    /// way.
+    /// Takes a fresh WAL anchor snapshot and truncates every shard's
+    /// on-disk log below its watermark, bounding the next recovery's
+    /// replay to ops newer than this call. Returns the record count of
+    /// the anchor. Safe to call while serving: ops sequenced after the
+    /// anchor have sequences above the floor and survive truncation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Persist`] when WAL durability mode is off;
+    /// propagates snapshot and file I/O errors.
+    pub fn checkpoint_wal(&self) -> Result<usize, DbError> {
+        let Some(wal) = &self.inner.wal else {
+            return Err(DbError::Persist {
+                reason: "WAL durability mode is not enabled".into(),
+            });
+        };
+        let anchor = WalState::anchor_path(&wal.config.dir);
+        let (records, floor) = self.save_snapshot_with_floor(&anchor)?;
+        for (shard, _path) in wal_shard_files(&wal.config.dir)? {
+            wal.writer(shard).lock().truncate_below(floor)?;
+            wal.truncations.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(records)
+    }
+
+    /// Boot-time WAL recovery: load the anchor snapshot (if any), then
+    /// replay every complete WAL record above its watermark into all
+    /// replicas, healing torn tails on disk. Runs before the database
+    /// is shared, so plain write locks suffice. Finishes by re-anchoring
+    /// so the next boot replays only fresh ops.
+    fn recover_wal(&self) -> Result<(), DbError> {
+        let wal = self
+            .inner
+            .wal
+            .as_ref()
+            .expect("recover_wal requires WAL mode");
+        let dir = wal.config.dir.clone();
+        // First boot on a fresh directory: the anchor written below
+        // needs the directory to exist.
+        std::fs::create_dir_all(&dir)?;
+        let anchor = WalState::anchor_path(&dir);
+        let floor = wal_floor_of(&anchor);
+        {
+            let top = self.inner.topology.read();
+            if anchor.exists() {
+                let saved = load_snapshot_at(&anchor)?;
+                let next_id = saved.next_id;
+                let rebuilt = reroute_shards(saved, top.sets.len())?;
+                let required = heal_next_id(&rebuilt, next_id);
+                for (set, db) in top.sets.iter().zip(&rebuilt) {
+                    for replica in &set.replicas {
+                        *replica.write() = db.clone();
+                    }
+                    set.edits.fetch_add(1, Ordering::SeqCst);
+                }
+                self.inner.next_id.fetch_max(required, Ordering::SeqCst);
+            }
+            let mut records: Vec<WalRecord> = Vec::new();
+            let mut healed = 0u64;
+            for (_shard, path) in wal_shard_files(&dir)? {
+                let (mut tail, truncated) = load_wal_file(&path, true)?;
+                if truncated {
+                    healed += 1;
+                }
+                records.append(&mut tail);
+            }
+            wal.healed_tails.fetch_add(healed, Ordering::Relaxed);
+            // One global sequence order across all shards' files.
+            records.sort_by_key(|r| r.seq);
+            let mut max_seq = floor;
+            let mut replayed = 0u64;
+            let epoch = top.epoch();
+            for record in records {
+                max_seq = max_seq.max(record.seq);
+                if record.seq <= floor {
+                    // Already contained in the anchor snapshot.
+                    continue;
+                }
+                if record.op.is_barrier() {
+                    // By design barriers are never WAL-appended; one
+                    // past the anchor means the files predate a restore
+                    // that never re-anchored. Refuse rather than replay
+                    // across a fence.
+                    return Err(DbError::Persist {
+                        reason: "WAL contains a replay barrier past the anchor; \
+                                 restore from an explicit snapshot instead"
+                            .into(),
+                    });
+                }
+                let id = record.op.global_id().expect("non-barrier ops carry an id");
+                let (shard, _) = epoch.route(id);
+                let set = &top.sets[shard];
+                for replica in &set.replicas {
+                    record.op.apply_local(&mut replica.write(), &epoch, shard)?;
+                }
+                if matches!(&record.op, Op::Insert { .. }) {
+                    self.inner.next_id.fetch_max(id + 1, Ordering::SeqCst);
+                }
+                set.edits.fetch_add(1, Ordering::SeqCst);
+                replayed += 1;
+            }
+            wal.recovered.store(replayed, Ordering::Relaxed);
+            // Sequences restart above everything ever written, keeping
+            // file order strictly increasing across reboots.
+            self.inner.op_seq.fetch_max(max_seq, Ordering::SeqCst);
+        }
+        self.checkpoint_wal()?;
+        Ok(())
+    }
+
+    /// Restores from a sharded manifest (v1–v4 — mid-reshard snapshots
+    /// included) or a plain [`ImageDatabase::save`] file, replacing the
+    /// contents of **every replica** — which also heals all failed
+    /// replicas, since each now holds the same freshly restored state.
+    /// Records are re-routed when the snapshot's topology differs from
+    /// this database's; ids are preserved either way. A restore stamps
+    /// a barrier into every shard's op log (a pre-restore gap can never
+    /// be replayed across it) and, in WAL mode, re-anchors the on-disk
+    /// log to the restored state.
     ///
     /// # Errors
     ///
     /// Returns [`DbError::Replica`] while an online reshard is running
     /// (the two would fight over the topology), [`DbError::Persist`]
     /// for malformed or inconsistent snapshot files, and propagates I/O
-    /// errors. On error the in-memory database is untouched.
+    /// errors. On error the in-memory database is untouched — except
+    /// for WAL re-anchoring errors, which surface after the in-memory
+    /// restore already applied.
     pub fn restore_from(&self, path: &Path) -> Result<usize, DbError> {
         // A restore replaces the full corpus under a steady topology;
         // it must never interleave with a reshard's migration sweep
@@ -825,7 +1452,7 @@ impl ReplicatedImageDatabase {
             .iter()
             .map(|set| set.replicas.iter().map(RwLock::write).collect())
             .collect();
-        for ((set, replica_guards), db) in top.sets.iter().zip(guards.iter_mut()).zip(rebuilt) {
+        for ((set, replica_guards), db) in top.sets.iter().zip(guards.iter_mut()).zip(&rebuilt) {
             for guard in replica_guards.iter_mut() {
                 **guard = db.clone();
             }
@@ -837,6 +1464,45 @@ impl ReplicatedImageDatabase {
         // `fetch_max`, never `store` — see the sharded database's
         // restore for the insert-racing-restore argument.
         self.inner.next_id.fetch_max(required, Ordering::SeqCst);
+        // Fence every shard's log: all replicas now hold identical
+        // restored state (all healthy, so the barrier marks each as
+        // applied) and nothing logged before this point may ever be
+        // replayed into it.
+        let barrier_seqs: Vec<u64> = top
+            .sets
+            .iter()
+            .map(|set| self.inner.log_barrier(set))
+            .collect();
+        if let Some(wal) = &self.inner.wal {
+            // Re-anchor the WAL to the restored state while every lock
+            // is still held (no append can interleave): write the
+            // anchor snapshot directly — `snapshot_io` is already ours
+            // — then drop all on-disk records at or below the new
+            // floor. A crash before the anchor lands recovers the
+            // pre-restore state (the restore never acknowledged); a
+            // crash after it finds only records the floor skips.
+            let floor = self.inner.op_seq.load(Ordering::SeqCst);
+            let payload = SnapshotPayload {
+                records,
+                shards: rebuilt.into_iter().map(Some).collect(),
+                next_id: self.inner.next_id.load(Ordering::SeqCst),
+                edits: top
+                    .sets
+                    .iter()
+                    .map(|set| set.edits.load(Ordering::SeqCst))
+                    .collect(),
+                writer: self.inner.instance,
+                epoch: top.epoch(),
+                log_heads: barrier_seqs,
+                wal_seq: floor,
+            };
+            let anchor = WalState::anchor_path(&wal.config.dir);
+            save_snapshot_at(&anchor, payload, &PreviousSnapshot::none())?;
+            for (shard, _path) in wal_shard_files(&wal.config.dir)? {
+                wal.writer(shard).lock().truncate_below(floor)?;
+                wal.truncations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         Ok(records)
     }
 
@@ -998,7 +1664,7 @@ mod tests {
         );
         assert!(db.with_replica_read(0, 0, |d| d.get(RecordId(0)).is_none()));
 
-        // Rebuild clones the healthy peer bit-for-bit and rejoins.
+        // Rebuild catches the replica up bit-for-bit and rejoins it.
         db.rebuild_replica(0, 1).unwrap();
         let a = db.with_replica_read(0, 0, Clone::clone);
         let b = db.with_replica_read(0, 1, Clone::clone);
@@ -1009,6 +1675,84 @@ mod tests {
         db.rebuild_replica(0, 1).unwrap();
         assert!(db.fail_replica(9, 0).is_err());
         assert!(db.rebuild_replica(0, 9).is_err());
+    }
+
+    #[test]
+    fn heal_within_window_replays_instead_of_cloning() {
+        let db = filled(1, 2, 6);
+        db.fail_replica(0, 1).unwrap();
+        db.insert_scene("late", &scene(9)).unwrap();
+        db.remove(RecordId(2)).unwrap();
+        db.rebuild_replica(0, 1).unwrap();
+        let stats = db.replication_stats();
+        assert_eq!(stats.catchup_replays, 1, "gap fits the window: replay");
+        assert_eq!(stats.catchup_clones, 0);
+        let a = db.with_replica_read(0, 0, Clone::clone);
+        let b = db.with_replica_read(0, 1, Clone::clone);
+        assert_eq!(a, b, "replayed replica matches the leader exactly");
+        assert_eq!(stats.shards[0].replicas[1].lag, 0);
+    }
+
+    #[test]
+    fn heal_past_window_falls_back_to_clone() {
+        let db = ReplicatedImageDatabase::with_config(ReplicaConfig {
+            shards: 1,
+            replicas: 2,
+            oplog_window: 2,
+            ..ReplicaConfig::default()
+        })
+        .unwrap();
+        for i in 0..4 {
+            db.insert_scene(&format!("img{i}"), &scene(i)).unwrap();
+        }
+        db.fail_replica(0, 1).unwrap();
+        for i in 0..5 {
+            db.insert_scene(&format!("late{i}"), &scene(i)).unwrap();
+        }
+        db.rebuild_replica(0, 1).unwrap();
+        let stats = db.replication_stats();
+        assert_eq!(stats.catchup_replays, 0, "ring wrapped: clone");
+        assert_eq!(stats.catchup_clones, 1);
+        assert_eq!(db.with_replica_read(0, 1, ImageDatabase::len), 9);
+        assert_eq!(stats.shards[0].replicas[1].lag, 0);
+    }
+
+    #[test]
+    fn async_and_quorum_rank_bit_identically() {
+        let sync = filled(2, 3, 20);
+        let query = scene(5);
+        let expect = sync.search_scene(&query, &QueryOptions::default());
+        assert!(!expect.is_empty());
+        for mode in [
+            ReplicationMode::Quorum,
+            ReplicationMode::Async { max_lag: 4 },
+        ] {
+            let db = ReplicatedImageDatabase::with_config(ReplicaConfig {
+                shards: 2,
+                replicas: 3,
+                mode,
+                ..ReplicaConfig::default()
+            })
+            .unwrap();
+            for i in 0..20 {
+                db.insert_scene(&format!("img{i}"), &scene(i % 40)).unwrap();
+            }
+            db.flush_replication();
+            let hits = db.search_scene(&query, &QueryOptions::default());
+            assert_eq!(hits.len(), expect.len(), "{mode:?}");
+            for (a, b) in expect.iter().zip(&hits) {
+                assert_eq!(a.id, b.id, "{mode:?}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "{mode:?}");
+            }
+            let stats = db.replication_stats();
+            assert_eq!(stats.mode, mode);
+            for shard in &stats.shards {
+                for replica in &shard.replicas {
+                    assert_eq!(replica.lag, 0, "flushed replicas sit at the head");
+                }
+            }
+            assert_eq!(db.get(RecordId(0)).unwrap().name, "img0");
+        }
     }
 
     #[test]
@@ -1071,6 +1815,30 @@ mod tests {
     }
 
     #[test]
+    fn restore_fences_replay_for_pre_restore_gaps() {
+        let dir = std::env::temp_dir().join(format!("be2d_replica_fence_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let db = filled(1, 2, 5);
+        db.save_snapshot(&path).unwrap();
+        db.fail_replica(0, 1).unwrap();
+        db.insert_scene("post-fail", &scene(3)).unwrap();
+        // The restore heals replica 1 wholesale and stamps a barrier;
+        // a later fail + heal replays only post-restore ops.
+        db.restore_from(&path).unwrap();
+        assert!(db.replica_health().iter().flatten().all(|&h| h));
+        db.fail_replica(0, 1).unwrap();
+        db.insert_scene("post-restore", &scene(4)).unwrap();
+        db.rebuild_replica(0, 1).unwrap();
+        let stats = db.replication_stats();
+        assert_eq!(stats.catchup_replays, 1);
+        let a = db.with_replica_read(0, 0, Clone::clone);
+        let b = db.with_replica_read(0, 1, Clone::clone);
+        assert_eq!(a, b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn round_robin_spreads_reads() {
         let db = filled(1, 3, 6);
         // Consecutive picks rotate over the healthy replicas.
@@ -1081,6 +1849,22 @@ mod tests {
         set.health[1].store(false, Ordering::SeqCst);
         let picks: Vec<usize> = (0..4).map(|_| set.pick()).collect();
         assert!(picks.iter().all(|&p| p != 1), "failed replica skipped");
+    }
+
+    #[test]
+    fn lagging_replicas_are_skipped_by_bounded_reads() {
+        let db = filled(1, 3, 4);
+        let top = db.inner.topology.read();
+        let set = &top.sets[0];
+        // Pretend replica 2 lags 3 ops behind the head.
+        let head = set.head.load(Ordering::SeqCst);
+        set.applied[2].store(head - 3, Ordering::SeqCst);
+        for _ in 0..6 {
+            assert_ne!(set.pick_within(0), 2, "strict reads skip the laggard");
+            assert_ne!(set.pick_within(2), 2, "lag 3 exceeds the bound of 2");
+        }
+        let picks: Vec<usize> = (0..6).map(|_| set.pick_within(3)).collect();
+        assert!(picks.contains(&2), "lag within the bound rejoins rotation");
     }
 
     #[test]
@@ -1100,5 +1884,12 @@ mod tests {
         assert_eq!(other.shard_count(), 2);
         assert!(!other.resharding());
         assert!(ReplicatedImageDatabase::with_topology(0, 0).shard_count() == 1);
+
+        let oplog = other.oplog_stats();
+        assert_eq!(oplog.window, 1024);
+        assert_eq!(oplog.last_seq, 1);
+        assert_eq!(oplog.entries, 1);
+        assert!(oplog.wal.is_none());
+        assert_eq!(other.replication_mode(), ReplicationMode::Sync);
     }
 }

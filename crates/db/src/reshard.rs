@@ -195,7 +195,8 @@ impl Resharder {
                 }
                 let replicas = top.sets[0].replicas.len();
                 while top.sets.len() < to {
-                    top.sets.push(Arc::new(ReplicaSet::new(replicas)));
+                    top.sets
+                        .push(Arc::new(ReplicaSet::new(replicas, inner.oplog_window)));
                 }
                 let ceiling = inner.next_id.load(Ordering::SeqCst);
                 // Growth sweeps ids ascending from 0; shrink descending
@@ -205,6 +206,15 @@ impl Resharder {
                 top.boundary.store(start, Ordering::SeqCst);
                 top.old_n = from;
                 top.new_n = to;
+                // Fence every shard's op log at the epoch change
+                // (defence in depth — install itself re-routes no
+                // existing id — skipped on resume, where the original
+                // install already fenced). Writers are excluded: they
+                // need the topology read lock this block holds
+                // exclusively.
+                for set in &top.sets {
+                    inner.log_barrier(set);
+                }
                 ReshardProgress {
                     active: true,
                     from,
@@ -292,6 +302,40 @@ impl Resharder {
             .map(|set| set.replicas.iter().map(|r| r.write()).collect())
             .collect();
 
+        // Before anything moves, bring every healthy lagging replica to
+        // its shard head through the already-held write guards (Quorum/
+        // Async followers the pump has not reached yet). The barrier
+        // stamped after the moves marks every healthy replica applied;
+        // draining first keeps that truthful and preserves the
+        // "healthy ⇒ replayable gap" invariant. A healthy replica whose
+        // gap turns out unreplayable has diverged from the invariant and
+        // leaves rotation defensively.
+        let pre_epoch = top.epoch();
+        for (shard, set) in top.sets.iter().enumerate() {
+            for (replica, guard) in locks[shard].iter_mut().enumerate() {
+                if !set.health[replica].load(Ordering::SeqCst) {
+                    continue;
+                }
+                let applied = set.applied[replica].load(Ordering::SeqCst);
+                if applied >= set.head.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let pending = set.log.lock().collect_since(applied);
+                let drained = pending.is_some_and(|pending| {
+                    pending.into_iter().all(|(seq, op)| {
+                        let ok = op.apply_local(guard, &pre_epoch, shard).is_ok();
+                        if ok {
+                            set.applied[replica].store(seq, Ordering::SeqCst);
+                        }
+                        ok
+                    })
+                });
+                if !drained {
+                    set.health[replica].store(false, Ordering::SeqCst);
+                }
+            }
+        }
+
         let boundary = top.boundary.load(Ordering::SeqCst);
         let mut moved = 0usize;
         if to_n > from_n {
@@ -336,6 +380,16 @@ impl Resharder {
             } else {
                 top.boundary.store(end, Ordering::SeqCst);
             }
+            // The boundary moved: ops logged before this batch route
+            // differently from here on, so no gap may ever be replayed
+            // across it. Fence every shard's log (all replicas were
+            // drained above and moved identically, so marking healthy
+            // replicas applied is truthful).
+            if end > boundary {
+                for set in top.sets.iter() {
+                    inner.log_barrier(set);
+                }
+            }
             Ok(BatchOutcome {
                 done: end >= ceiling,
                 swept: end - boundary,
@@ -361,6 +415,12 @@ impl Resharder {
                 // Per-id advance, for the same abort-consistency reason
                 // as the growth sweep.
                 top.boundary.store(id, Ordering::SeqCst);
+            }
+            // Same replay fence as the growth sweep.
+            if boundary > start {
+                for set in top.sets.iter() {
+                    inner.log_barrier(set);
+                }
             }
             Ok(BatchOutcome {
                 done: start == 0,

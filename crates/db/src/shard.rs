@@ -500,6 +500,8 @@ impl ShardedImageDatabase {
                 edits,
                 writer: self.inner.instance,
                 epoch: RoutingEpoch::steady(self.inner.shards.len()),
+                log_heads: vec![0; self.inner.shards.len()],
+                wal_seq: 0,
             }
         };
         save_snapshot_at(path, payload, &previous)
@@ -740,6 +742,12 @@ pub(crate) struct SnapshotPayload {
     /// database; a replicated database mid-reshard records the
     /// in-flight migration so the snapshot restores exactly.
     pub epoch: RoutingEpoch,
+    /// Per-shard op-log head sequences at clone time (all zero for the
+    /// sharded database, which has no op log).
+    pub log_heads: Vec<u64>,
+    /// The global sequence watermark: every op at or below it is
+    /// contained in this snapshot. WAL recovery replays only above it.
+    pub wal_seq: u64,
 }
 
 /// A snapshot loaded back from disk: the per-shard databases in their
@@ -786,6 +794,7 @@ impl PreviousSnapshot {
                     && m.files.len() == shard_count
                     && m.file_snapshots.len() == shard_count
                     && m.edits.len() == shard_count
+                    && m.log_heads.len() == shard_count
             });
         PreviousSnapshot { manifest }
     }
@@ -808,12 +817,14 @@ impl PreviousSnapshot {
     }
 }
 
-/// The manifest written at the snapshot path proper (version 3).
+/// The manifest written at the snapshot path proper (version 4).
 ///
 /// `shards` counts **physical** shard files; `old_shards` /
 /// `new_shards` / `boundary` persist the routing epoch, so a snapshot
 /// taken during an online reshard records exactly which layout owns
 /// each id. Steady snapshots have `old_shards == new_shards == shards`.
+/// `log_heads` / `wal_seq` persist the op-log positions, anchoring
+/// write-ahead-log recovery (see `oplog.rs`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct ShardManifest {
     format: String,
@@ -841,6 +852,12 @@ struct ShardManifest {
     /// Routing epoch: the migration watermark (see
     /// [`RoutingEpoch`](crate::epoch::RoutingEpoch)).
     boundary: usize,
+    /// Per-shard op-log head sequences at snapshot time (all zero when
+    /// the writer has no op log).
+    log_heads: Vec<u64>,
+    /// The global sequence watermark this snapshot contains; WAL
+    /// recovery replays only records above it.
+    wal_seq: u64,
 }
 
 impl ShardManifest {
@@ -850,6 +867,49 @@ impl ShardManifest {
             old_n: self.old_shards,
             new_n: self.new_shards,
             boundary: self.boundary,
+        }
+    }
+}
+
+/// The version-3 manifest (routing epoch, no op-log positions), still
+/// accepted on restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ShardManifestV3 {
+    format: String,
+    version: u32,
+    snapshot_id: u64,
+    writer: u64,
+    shards: usize,
+    next_id: usize,
+    records: usize,
+    files: Vec<String>,
+    file_snapshots: Vec<u64>,
+    edits: Vec<u64>,
+    old_shards: usize,
+    new_shards: usize,
+    boundary: usize,
+}
+
+impl ShardManifestV3 {
+    /// Lifts a v3 manifest into the v4 shape: pre-op-log snapshots
+    /// carry no replayable positions, so recovery starts from scratch.
+    fn upgrade(self) -> ShardManifest {
+        ShardManifest {
+            format: self.format,
+            version: self.version,
+            snapshot_id: self.snapshot_id,
+            writer: self.writer,
+            shards: self.shards,
+            next_id: self.next_id,
+            records: self.records,
+            file_snapshots: self.file_snapshots,
+            edits: self.edits,
+            old_shards: self.old_shards,
+            new_shards: self.new_shards,
+            boundary: self.boundary,
+            log_heads: vec![0; self.files.len()],
+            wal_seq: 0,
+            files: self.files,
         }
     }
 }
@@ -873,8 +933,8 @@ struct ShardManifestV2 {
 impl ShardManifestV2 {
     /// Lifts a v2 manifest into the v3 shape: pre-epoch snapshots were
     /// always steady.
-    fn upgrade(self) -> ShardManifest {
-        ShardManifest {
+    fn upgrade(self) -> ShardManifestV3 {
+        ShardManifestV3 {
             format: self.format,
             version: self.version,
             snapshot_id: self.snapshot_id,
@@ -926,24 +986,39 @@ impl ShardManifestV1 {
     }
 }
 
-/// Parses a manifest, accepting the current, the v2, and the v1
-/// layouts. Tried newest first: the shim deserialiser ignores unknown
-/// fields, so a newer document would also "parse" as an older version
-/// (dropping bookkeeping), while an older document fails the newer
-/// parse on its missing fields.
+/// Parses a manifest, accepting the current, the v3, the v2, and the
+/// v1 layouts. Tried newest first: the shim deserialiser ignores
+/// unknown fields, so a newer document would also "parse" as an older
+/// version (dropping bookkeeping), while an older document fails the
+/// newer parse on its missing fields.
 fn parse_manifest(text: &str) -> Option<ShardManifest> {
     serde_json::from_str::<ShardManifest>(text)
         .ok()
         .or_else(|| {
+            serde_json::from_str::<ShardManifestV3>(text)
+                .ok()
+                .map(ShardManifestV3::upgrade)
+        })
+        .or_else(|| {
             serde_json::from_str::<ShardManifestV2>(text)
                 .ok()
-                .map(ShardManifestV2::upgrade)
+                .map(|v2| v2.upgrade().upgrade())
         })
         .or_else(|| {
             serde_json::from_str::<ShardManifestV1>(text)
                 .ok()
-                .map(|v1| v1.upgrade().upgrade())
+                .map(|v1| v1.upgrade().upgrade().upgrade())
         })
+}
+
+/// The sequence watermark recorded in the manifest at `path` (0 when
+/// the file is missing or not a parseable manifest — recovery then
+/// replays the whole WAL from scratch).
+pub(crate) fn wal_floor_of(path: &Path) -> u64 {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| parse_manifest(&text))
+        .map_or(0, |m| m.wal_seq)
 }
 
 /// One per-shard snapshot file.
@@ -1008,7 +1083,7 @@ pub(crate) fn save_snapshot_at(
     }
     let manifest = ShardManifest {
         format: MANIFEST_FORMAT.to_owned(),
-        version: 3,
+        version: 4,
         snapshot_id,
         writer: payload.writer,
         shards: shard_count,
@@ -1020,6 +1095,8 @@ pub(crate) fn save_snapshot_at(
         old_shards: payload.epoch.old_n,
         new_shards: payload.epoch.new_n,
         boundary: payload.epoch.boundary,
+        log_heads: payload.log_heads,
+        wal_seq: payload.wal_seq,
     };
     let json = serde_json::to_string(&manifest).map_err(|e| DbError::Persist {
         reason: e.to_string(),
@@ -1029,8 +1106,8 @@ pub(crate) fn save_snapshot_at(
     Ok(records)
 }
 
-/// Loads a snapshot from `path`: either a sharded manifest (v1, v2 or
-/// v3) or a plain [`ImageDatabase::save`] file, returning the per-shard
+/// Loads a snapshot from `path`: either a sharded manifest (v1–v4) or
+/// a plain [`ImageDatabase::save`] file, returning the per-shard
 /// databases in their saved physical layout plus id counter and epoch.
 ///
 /// The caller must already hold its snapshot-I/O lock.

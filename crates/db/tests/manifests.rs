@@ -1,4 +1,4 @@
-//! Property tests for snapshot manifests: arbitrary v1/v2/v3 manifests
+//! Property tests for snapshot manifests: arbitrary v1–v4 manifests
 //! either round-trip exactly or are **rejected cleanly** — a failed
 //! restore never leaves a partial corpus behind, and id-counter healing
 //! is always monotonic (an insert after any successful restore can
@@ -45,6 +45,8 @@ struct ManifestFields {
     old_shards: u64,
     new_shards: u64,
     boundary: u64,
+    log_heads: Vec<u64>,
+    wal_seq: u64,
 }
 
 fn field<'v>(map: &'v [(String, Value)], key: &str) -> &'v Value {
@@ -97,6 +99,8 @@ fn parse_fields(path: &Path) -> ManifestFields {
         old_shards: num(map, "old_shards"),
         new_shards: num(map, "new_shards"),
         boundary: num(map, "boundary"),
+        log_heads: numbers("log_heads"),
+        wal_seq: num(map, "wal_seq"),
     }
 }
 
@@ -155,6 +159,23 @@ fn emit(fields: &ManifestFields, version: u8) -> String {
             fields.new_shards,
             fields.boundary,
         ),
+        4 => format!(
+            r#"{{"format":{:?},"version":4,"snapshot_id":{},"writer":{},"shards":{},"next_id":{},"records":{},"files":[{}],"file_snapshots":[{}],"edits":[{}],"old_shards":{},"new_shards":{},"boundary":{},"log_heads":[{}],"wal_seq":{}}}"#,
+            fields.format,
+            fields.snapshot_id,
+            fields.writer,
+            fields.shards,
+            fields.next_id,
+            fields.records,
+            join_files(&fields.files),
+            join_u64(&fields.file_snapshots),
+            join_u64(&fields.edits),
+            fields.old_shards,
+            fields.new_shards,
+            fields.boundary,
+            join_u64(&fields.log_heads),
+            fields.wal_seq,
+        ),
         other => panic!("no manifest version {other}"),
     }
 }
@@ -208,7 +229,7 @@ proptest! {
         removed_every in 2usize..5,
         target_shards in 1usize..5,
         replicas in 1usize..3,
-        version in 1u8..4,
+        version in 1u8..5,
         damage_index in 0usize..DAMAGES.len(),
     ) {
         let mut damage = DAMAGES[damage_index];

@@ -388,7 +388,7 @@ fn concurrent_searches_stay_consistent_through_grow_and_shrink() {
 }
 
 /// A snapshot taken mid-migration carries the routing epoch (manifest
-/// v3) and restores exactly — into replicated databases of any
+/// v4) and restores exactly — into replicated databases of any
 /// topology and into the sharded database alike.
 #[test]
 fn mid_migration_snapshot_restores_exactly() {
@@ -416,7 +416,7 @@ fn mid_migration_snapshot_restores_exactly() {
     assert!(saved_mid, "snapshot was taken mid-migration");
 
     let manifest = std::fs::read_to_string(&path).unwrap();
-    assert!(manifest.contains("\"version\":3"), "{manifest}");
+    assert!(manifest.contains("\"version\":4"), "{manifest}");
     assert!(manifest.contains("\"old_shards\":4"), "{manifest}");
     assert!(manifest.contains("\"new_shards\":6"), "{manifest}");
 

@@ -13,48 +13,71 @@ use be2d_db::{CandidateSource, DbError, Parallelism, PrefilterMode, QueryOptions
 use be2d_geometry::{ObjectClass, Rect, Scene, Transform};
 use serde::{Deserialize, Serialize, Value};
 
-/// A request-level failure: HTTP status plus a message for the error
-/// envelope.
+/// A request-level failure: HTTP status, a stable machine-readable
+/// code, and a message for the error envelope.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApiError {
     /// Response status.
     pub status: u16,
+    /// Stable error code (documented in the README API table); clients
+    /// branch on this, never on the message text.
+    pub code: &'static str,
     /// Human-readable reason.
     pub message: String,
+    /// Whether retrying the identical request may succeed (transient
+    /// I/O, overload) — `false` for semantic and not-found failures.
+    pub retryable: bool,
 }
 
 impl ApiError {
-    /// A `400 Bad Request` error.
+    /// An error with an explicit code.
     #[must_use]
-    pub fn bad(message: impl Into<String>) -> ApiError {
+    pub fn coded(
+        status: u16,
+        code: &'static str,
+        message: impl Into<String>,
+        retryable: bool,
+    ) -> ApiError {
         ApiError {
-            status: 400,
+            status,
+            code,
             message: message.into(),
+            retryable,
         }
     }
 
-    /// Maps a database error onto a status: unknown record → 404,
-    /// semantic (BE-string / sketch) failures → 422, replica-health
-    /// conflicts (bad coordinates, last healthy copy) → 409,
-    /// persistence → 500.
+    /// A `400 Bad Request` error (`code = "bad_request"`).
+    #[must_use]
+    pub fn bad(message: impl Into<String>) -> ApiError {
+        ApiError::coded(400, "bad_request", message, false)
+    }
+
+    /// Maps a database error onto a status and stable code: unknown
+    /// record → 404 `unknown_record`, semantic (BE-string / sketch)
+    /// failures → 422, replica-health conflicts (bad coordinates, last
+    /// healthy copy, no healthy leader) → 409 `replica_conflict`
+    /// (retryable — the topology may heal), persistence → 500, I/O →
+    /// 500 `io_error` (retryable).
     #[must_use]
     pub fn from_db(e: &DbError) -> ApiError {
-        let status = match e {
-            DbError::UnknownRecord { .. } => 404,
-            DbError::BeString(_) | DbError::Sketch { .. } => 422,
-            DbError::Replica { .. } => 409,
-            _ => 500,
+        let (status, code, retryable) = match e {
+            DbError::UnknownRecord { .. } => (404, "unknown_record", false),
+            DbError::BeString(_) => (422, "invalid_be_string", false),
+            DbError::Sketch { .. } => (422, "invalid_sketch", false),
+            DbError::Replica { .. } => (409, "replica_conflict", true),
+            DbError::Persist { .. } => (500, "persist_failed", false),
+            DbError::Io(_) => (500, "io_error", true),
+            // DbError is #[non_exhaustive]; future variants surface as
+            // plain internal errors until given a dedicated code.
+            _ => (500, "internal", false),
         };
-        ApiError {
-            status,
-            message: e.to_string(),
-        }
+        ApiError::coded(status, code, e.to_string(), retryable)
     }
 
     /// Renders the error as a JSON response.
     #[must_use]
     pub fn to_response(&self) -> Response {
-        Response::error(self.status, &self.message)
+        Response::error_coded(self.status, self.code, &self.message, self.retryable)
     }
 }
 
@@ -661,6 +684,156 @@ pub struct StatsResponse {
     pub reshard_total_ids: usize,
     /// Last (or current) reshard: records physically moved.
     pub reshard_moved_records: usize,
+    /// Requests fully served (any status) since boot.
+    pub requests: u64,
+    /// Searches served since boot.
+    pub searches: u64,
+    /// Images inserted since boot.
+    pub inserts: u64,
+    /// Image removals + object edits since boot.
+    pub edits: u64,
+    /// Requests answered with an error status since boot.
+    pub errors: u64,
+    /// Connections shed with 503 since boot.
+    pub shed: u64,
+    /// Worker threads serving connections.
+    pub threads: usize,
+    /// Seconds since boot.
+    pub uptime_s: f64,
+}
+
+/// Body of `GET /v1/stats`: the same facts as the legacy flat
+/// [`StatsResponse`], organised into nested sections plus the
+/// replication/oplog state the flat shape predates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsV1Response {
+    /// Live records in the database.
+    pub records: usize,
+    /// Distinct indexed object classes.
+    pub classes: usize,
+    /// Total objects across all records.
+    pub objects: usize,
+    /// Shard/replica layout.
+    pub topology: TopologySection,
+    /// Replication mode, per-replica positions, and catch-up counters.
+    pub replication: ReplicationSection,
+    /// Scatter-planner counters.
+    pub planner: PlannerSection,
+    /// Online-reshard progress.
+    pub reshard: ReshardSection,
+    /// Per-shard operation-log state (and WAL counters when enabled).
+    pub oplog: OplogSection,
+    /// HTTP service counters.
+    pub service: ServiceSection,
+}
+
+/// `/v1/stats` topology section.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologySection {
+    /// Database shards (the **target** topology mid-reshard).
+    pub shards: usize,
+    /// Replicas per shard.
+    pub replicas: usize,
+    /// Live records per shard, in shard order.
+    pub shard_records: Vec<usize>,
+    /// Live records per replica (`[shard][replica]`).
+    pub replica_records: Vec<Vec<usize>>,
+    /// Health bits per replica (`[shard][replica]`).
+    pub replica_health: Vec<Vec<bool>>,
+}
+
+/// `/v1/stats` replication section.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationSection {
+    /// Acknowledgement mode: `"sync"`, `"quorum"`, or `"async"`.
+    pub mode: String,
+    /// The read-routing lag bound (async mode only).
+    pub max_lag: Option<u64>,
+    /// Per-shard log head and per-replica positions.
+    pub shards: Vec<ShardReplicationDto>,
+    /// Replica heals served by incremental log replay.
+    pub catchup_replays: u64,
+    /// Replica heals that fell back to a full clone.
+    pub catchup_clones: u64,
+    /// Lagging-follower drains performed by writers to free log space.
+    pub writer_drains: u64,
+}
+
+/// One shard's replication positions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardReplicationDto {
+    /// Highest sequence number logged on this shard.
+    pub head_seq: u64,
+    /// Per-replica positions, in replica order.
+    pub replicas: Vec<ReplicaLagDto>,
+}
+
+/// One replica's replication position.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaLagDto {
+    /// Last op sequence this replica applied.
+    pub last_applied_seq: u64,
+    /// Ops behind the shard head.
+    pub lag: u64,
+    /// Whether the replica is in rotation.
+    pub healthy: bool,
+}
+
+/// `/v1/stats` planner section.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannerSection {
+    /// Shards the scatter planner skipped since boot.
+    pub skipped: u64,
+}
+
+/// `/v1/stats` reshard section.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReshardSection {
+    /// Whether a migration is currently sweeping.
+    pub active: bool,
+    /// Shard count migrated from.
+    pub from: usize,
+    /// Shard count migrated to.
+    pub to: usize,
+    /// Global ids swept so far.
+    pub migrated_ids: usize,
+    /// Global ids to sweep in total.
+    pub total_ids: usize,
+    /// Records physically moved.
+    pub moved_records: usize,
+}
+
+/// `/v1/stats` oplog section.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OplogSection {
+    /// Ring capacity per shard, in ops.
+    pub window: usize,
+    /// Highest sequence number issued.
+    pub last_seq: u64,
+    /// Ring entries currently held across all shards.
+    pub entries: usize,
+    /// WAL durability counters; `null` when the WAL is off.
+    pub wal: Option<WalSection>,
+}
+
+/// `/v1/stats` WAL counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalSection {
+    /// Records appended since boot.
+    pub appended: u64,
+    /// Fsync batches issued.
+    pub fsyncs: u64,
+    /// Checkpoint truncations performed.
+    pub truncations: u64,
+    /// Torn trailing records healed at recovery.
+    pub healed_tails: u64,
+    /// Ops replayed from the log at the last boot.
+    pub recovered: u64,
+}
+
+/// `/v1/stats` service section.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSection {
     /// Requests fully served (any status) since boot.
     pub requests: u64,
     /// Searches served since boot.

@@ -9,7 +9,7 @@
 //! this to learn the ephemeral port) and `be2d-server shutdown complete`
 //! after a graceful shutdown.
 
-use be2d_db::ReplicatedImageDatabase;
+use be2d_db::{ReplicatedImageDatabase, ReplicationMode};
 use be2d_server::{Server, ServerConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,6 +27,17 @@ fn usage() -> &'static str {
                           injects and repairs replica faults (default 1)\n\
        --reshard-batch N  ids swept per online-reshard batch when a\n\
                           POST /admin/reshard request names none (default 256)\n\
+       --replication MODE write acknowledgement: sync (all healthy replicas,\n\
+                          default), quorum (majority), or async[:LAG] (leader\n\
+                          only; followers drain in the background, reads stay\n\
+                          within LAG ops — default LAG 1024)\n\
+       --oplog-window N   per-shard operation-log window; healed replicas\n\
+                          whose gap fits replay just the missed ops instead\n\
+                          of cloning (default 1024)\n\
+       --wal DIR          write-ahead-log directory: append every mutation,\n\
+                          recover snapshot+replay on boot (default: off)\n\
+       --wal-fsync-every N fsync the WAL after N records; 1 = every\n\
+                          acknowledged write is on disk (default 64)\n\
        --queue N          pending-connection queue before 503 shedding (default 64)\n\
        --keep-alive N     requests served per connection (default 256)\n\
        --db PATH          load this snapshot into the database at boot\n\
@@ -35,6 +46,24 @@ fn usage() -> &'static str {
        --help             this text\n\
      \n\
      shutdown: POST /admin/shutdown\n"
+}
+
+/// Parses `--replication sync|quorum|async[:LAG]`.
+fn parse_replication(value: &str) -> Result<ReplicationMode, String> {
+    match value {
+        "sync" => Ok(ReplicationMode::Sync),
+        "quorum" => Ok(ReplicationMode::Quorum),
+        "async" => Ok(ReplicationMode::Async { max_lag: 1024 }),
+        other => match other.strip_prefix("async:") {
+            Some(lag) => lag
+                .parse()
+                .map(|max_lag| ReplicationMode::Async { max_lag })
+                .map_err(|_| format!("bad async lag {lag:?} (want async:NUMBER)")),
+            None => Err(format!(
+                "unknown replication mode {other:?} (want sync, quorum, or async[:LAG])"
+            )),
+        },
+    }
 }
 
 fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<PathBuf>), String> {
@@ -71,6 +100,22 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<PathBuf>), String
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| "--reshard-batch must be a positive number".to_owned())?;
             }
+            "--replication" => config.replication = parse_replication(&value("--replication")?)?,
+            "--oplog-window" => {
+                config.oplog_window = value("--oplog-window")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--oplog-window must be a positive number".to_owned())?;
+            }
+            "--wal" => config.wal_dir = Some(PathBuf::from(value("--wal")?)),
+            "--wal-fsync-every" => {
+                config.wal_fsync_every = value("--wal-fsync-every")?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--wal-fsync-every must be a positive number".to_owned())?;
+            }
             "--queue" => {
                 config.queue_capacity = value("--queue")?
                     .parse()
@@ -105,31 +150,35 @@ fn main() -> ExitCode {
         }
     };
 
-    let db = match &preload {
-        Some(path) => {
-            // A preload file may be a plain snapshot or a sharded
-            // manifest; restore_from handles both and re-routes records
-            // into the configured shard topology (every replica gets the
-            // restored state).
-            let db = ReplicatedImageDatabase::with_topology(config.shards, config.replicas);
-            match db.restore_from(path) {
-                Ok(records) => {
-                    eprintln!(
-                        "loaded {records} records from {} into {} shard(s) x {} replica(s)",
-                        path.display(),
-                        db.shard_count(),
-                        db.replica_count()
-                    );
-                    db
-                }
-                Err(e) => {
-                    eprintln!("error: cannot load {}: {e}", path.display());
-                    return ExitCode::FAILURE;
-                }
+    // WAL recovery (anchor snapshot + log replay) happens inside
+    // with_config, before any preload or request is served.
+    let db = match ReplicatedImageDatabase::with_config(config.replica_config()) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error: cannot open database: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &preload {
+        // A preload file may be a plain snapshot or a sharded
+        // manifest; restore_from handles both and re-routes records
+        // into the configured shard topology (every replica gets the
+        // restored state).
+        match db.restore_from(path) {
+            Ok(records) => {
+                eprintln!(
+                    "loaded {records} records from {} into {} shard(s) x {} replica(s)",
+                    path.display(),
+                    db.shard_count(),
+                    db.replica_count()
+                );
+            }
+            Err(e) => {
+                eprintln!("error: cannot load {}: {e}", path.display());
+                return ExitCode::FAILURE;
             }
         }
-        None => ReplicatedImageDatabase::with_topology(config.shards, config.replicas),
-    };
+    }
 
     let server = match Server::with_database(config, db) {
         Ok(server) => server,

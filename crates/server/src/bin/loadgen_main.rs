@@ -35,6 +35,8 @@ fn usage() -> &'static str {
                            (default 0 = immediately)\n\
        --reshard-batch B   batch-size override for the reshard request\n\
                            (default: the server's configured batch)\n\
+       --api v1|legacy     drive the versioned /v1/ paths or the deprecated\n\
+                           legacy aliases (default: legacy)\n\
        --out PATH          write the JSON report here (default BENCH_server.json)\n\
        --help              this text\n"
 }
@@ -61,7 +63,7 @@ fn parse_args(args: &[String]) -> Result<(LoadgenConfig, String), String> {
             }
             "--out" => out = value,
             "--requests" | "--connections" | "--rate" | "--mix" | "--skew" | "--seed"
-            | "--prefill" | "--reshard-to" | "--reshard-after" | "--reshard-batch" => {
+            | "--prefill" | "--reshard-to" | "--reshard-after" | "--reshard-batch" | "--api" => {
                 overrides.push((flag.clone(), value));
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -112,6 +114,13 @@ fn parse_args(args: &[String]) -> Result<(LoadgenConfig, String), String> {
                 config.reshard_batch = value
                     .parse()
                     .map_err(|_| "--reshard-batch must be a number".to_owned())?;
+            }
+            "--api" => {
+                config.api_v1 = match value.as_str() {
+                    "v1" => true,
+                    "legacy" => false,
+                    other => return Err(format!("--api must be v1 or legacy, got {other:?}")),
+                };
             }
             _ => unreachable!("filtered above"),
         }

@@ -17,6 +17,8 @@ pub struct ClientResponse {
     pub body: Vec<u8>,
     /// Whether the server announced `connection: close`.
     pub close: bool,
+    /// Response headers, names lower-cased, in wire order.
+    pub headers: Vec<(String, String)>,
 }
 
 impl ClientResponse {
@@ -24,6 +26,15 @@ impl ClientResponse {
     #[must_use]
     pub fn text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The first header with this (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -144,6 +155,7 @@ fn try_parse_response(buf: &mut Vec<u8>) -> io::Result<Option<ClientResponse>> {
         })?;
     let mut content_length = 0usize;
     let mut close = false;
+    let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -160,6 +172,7 @@ fn try_parse_response(buf: &mut Vec<u8>) -> io::Result<Option<ClientResponse>> {
         } else if name == "connection" {
             close = value.eq_ignore_ascii_case("close");
         }
+        headers.push((name, value.to_owned()));
     }
     let total = head_end + content_length;
     if buf.len() < total {
@@ -171,6 +184,7 @@ fn try_parse_response(buf: &mut Vec<u8>) -> io::Result<Option<ClientResponse>> {
         status,
         body,
         close,
+        headers,
     }))
 }
 
@@ -187,6 +201,8 @@ mod tests {
         assert_eq!(response.status, 200);
         assert_eq!(response.body, b"body");
         assert!(!response.close);
+        assert_eq!(response.header("Content-Length"), Some("4"));
+        assert_eq!(response.header("x-missing"), None);
         assert_eq!(buf, b"NEXT", "pipelined tail preserved");
     }
 

@@ -1,5 +1,6 @@
 //! Server configuration.
 
+use be2d_db::{ReplicaConfig, ReplicationMode, WalConfig};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -29,6 +30,21 @@ pub struct ServerConfig {
     /// shorter per-batch write pauses; larger ones finish the migration
     /// in fewer stop-the-world steps.
     pub reshard_batch: usize,
+    /// How writes acknowledge across replicas: every healthy replica
+    /// (`Sync`, the default), a majority (`Quorum`), or the leader
+    /// alone with followers draining in the background (`Async`).
+    pub replication: ReplicationMode,
+    /// Per-shard operation-log window in ops. A healed replica whose
+    /// gap fits the window catches up by replaying just the missed
+    /// ops; a larger gap falls back to a full clone.
+    pub oplog_window: usize,
+    /// Write-ahead-log directory; `Some` turns on crash-durable
+    /// logging (every mutation appended, recovery = anchor snapshot +
+    /// replay on boot).
+    pub wal_dir: Option<PathBuf>,
+    /// Fsync after this many WAL records (1 = every acknowledged write
+    /// is on disk before the call returns).
+    pub wal_fsync_every: u64,
     /// Connections allowed to wait for a free worker before new ones
     /// are shed with `503 Service Unavailable`.
     pub queue_capacity: usize,
@@ -65,6 +81,10 @@ impl Default for ServerConfig {
             shards: 1,
             replicas: 1,
             reshard_batch: 256,
+            replication: ReplicationMode::Sync,
+            oplog_window: 1024,
+            wal_dir: None,
+            wal_fsync_every: 64,
             queue_capacity: 64,
             read_timeout: Duration::from_secs(5),
             request_timeout: Duration::from_secs(15),
@@ -79,6 +99,23 @@ impl Default for ServerConfig {
 }
 
 impl ServerConfig {
+    /// The database topology this server config describes: shards,
+    /// replicas, replication mode, op-log window, and (when
+    /// [`wal_dir`](Self::wal_dir) is set) the write-ahead log.
+    #[must_use]
+    pub fn replica_config(&self) -> ReplicaConfig {
+        ReplicaConfig {
+            shards: self.shards,
+            replicas: self.replicas,
+            mode: self.replication,
+            oplog_window: self.oplog_window,
+            wal: self.wal_dir.clone().map(|dir| WalConfig {
+                dir,
+                fsync_every: self.wal_fsync_every,
+            }),
+        }
+    }
+
     /// The worker-thread count after resolving `threads == 0` to the
     /// host parallelism.
     #[must_use]

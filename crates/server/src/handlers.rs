@@ -2,14 +2,16 @@
 
 use crate::api::{
     json_response, parse_body, AckResponse, ApiError, InsertBody, InsertRequest, InsertResponse,
-    ObjectEdit, PathRequest, ReplicaRequest, ReplicaResponse, ReshardRequest, ReshardResponse,
-    SearchQuery, SearchRequest, SearchResponse, SketchRequest, SnapshotResponse, StatsResponse,
+    ObjectEdit, OplogSection, PathRequest, PlannerSection, ReplicaLagDto, ReplicaRequest,
+    ReplicaResponse, ReplicationSection, ReshardRequest, ReshardResponse, ReshardSection,
+    SearchQuery, SearchRequest, SearchResponse, ServiceSection, ShardReplicationDto, SketchRequest,
+    SnapshotResponse, StatsResponse, StatsV1Response, TopologySection, WalSection,
 };
-use crate::http::{Request, Response};
-use crate::router::{route, Route};
+use crate::http::{default_code, Request, Response};
+use crate::router::{resolve, Route};
 use crate::ServerConfig;
 use be2d_db::sketch::Sketch;
-use be2d_db::{QueryOptions, RecordId, ReplicatedImageDatabase, Resharder};
+use be2d_db::{QueryOptions, RecordId, ReplicatedImageDatabase, ReplicationMode, Resharder};
 use serde::Value;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -95,21 +97,33 @@ impl AppState {
     }
 }
 
-/// Serves one parsed request, updating the stats counters.
+/// Serves one parsed request, updating the stats counters. Requests on
+/// legacy unversioned paths are answered with a `deprecation: true`
+/// header (success and error alike) — the `/v1/` namespace is the
+/// current surface.
 pub fn handle(state: &AppState, request: &Request) -> Response {
-    let response = dispatch(state, request).unwrap_or_else(|e| e.to_response());
+    let resolved = resolve(request.method, &request.path);
+    let deprecated = resolved.as_ref().is_ok_and(|r| r.deprecated);
+    let response = match resolved {
+        Ok(resolved) => {
+            dispatch(state, resolved.route, request).unwrap_or_else(|e| e.to_response())
+        }
+        Err(e) => {
+            ApiError::coded(e.status(), default_code(e.status()), e.message(), false).to_response()
+        }
+    };
     state.stats.requests.fetch_add(1, Ordering::Relaxed);
     if response.status >= 400 {
         state.stats.errors.fetch_add(1, Ordering::Relaxed);
     }
-    response
+    if deprecated {
+        response.with_header("deprecation", "true")
+    } else {
+        response
+    }
 }
 
-fn dispatch(state: &AppState, request: &Request) -> Result<Response, ApiError> {
-    let route = route(request.method, &request.path).map_err(|e| ApiError {
-        status: e.status(),
-        message: e.message(),
-    })?;
+fn dispatch(state: &AppState, route: Route, request: &Request) -> Result<Response, ApiError> {
     match route {
         Route::Health => Ok(Response::json(200, "{\"status\":\"ok\"}".into())),
         Route::InsertImage => insert_image(state, &body_of(request)?),
@@ -119,6 +133,7 @@ fn dispatch(state: &AppState, request: &Request) -> Result<Response, ApiError> {
         Route::Search => search(state, &body_of(request)?),
         Route::SearchSketch => search_sketch(state, &body_of(request)?),
         Route::Stats => Ok(stats(state)),
+        Route::StatsV1 => Ok(stats_v1(state)),
         Route::Snapshot => snapshot(state, &body_of(request)?),
         Route::Restore => restore(state, &body_of(request)?),
         Route::ReplicaFail => replica_health(state, &body_of(request)?, false),
@@ -255,10 +270,12 @@ fn reshard(state: &AppState, body: &Value) -> Result<Response, ApiError> {
     // be told 202 (one would silently lose the Resharder's internal
     // lock and its migration would never run).
     if state.reshard_inflight.swap(true, Ordering::SeqCst) {
-        return Err(ApiError {
-            status: 409,
-            message: "a reshard is already in progress".into(),
-        });
+        return Err(ApiError::coded(
+            409,
+            "conflict",
+            "a reshard is already in progress",
+            true,
+        ));
     }
     let release = |response| {
         state.reshard_inflight.store(false, Ordering::SeqCst);
@@ -267,13 +284,15 @@ fn reshard(state: &AppState, body: &Value) -> Result<Response, ApiError> {
     // An aborted earlier migration (internal error; epoch still
     // mid-flight) can only be *resumed* — rerun to the same target.
     if state.db.resharding() && state.db.reshard_progress().to != req.shards {
-        return release(Err(ApiError {
-            status: 409,
-            message: format!(
+        return release(Err(ApiError::coded(
+            409,
+            "conflict",
+            format!(
                 "an aborted reshard to {} shards must be resumed first",
                 state.db.reshard_progress().to
             ),
-        }));
+            false,
+        )));
     }
     let from = state.db.shard_count();
     if req.shards == from && !state.db.resharding() {
@@ -340,6 +359,91 @@ fn stats(state: &AppState) -> Response {
             shed: state.stats.shed.load(Ordering::Relaxed),
             threads: state.threads,
             uptime_s: state.started.elapsed().as_secs_f64(),
+        },
+    )
+}
+
+/// `GET /v1/stats`: the nested sections. Every fact of the legacy flat
+/// shape appears here too, plus the replication and op-log state that
+/// the flat shape predates.
+fn stats_v1(state: &AppState) -> Response {
+    let db_stats = state.db.stats();
+    let reshard = state.db.reshard_progress();
+    let replication = state.db.replication_stats();
+    let oplog = state.db.oplog_stats();
+    let max_lag = match state.db.replication_mode() {
+        ReplicationMode::Async { max_lag } => Some(max_lag),
+        ReplicationMode::Sync | ReplicationMode::Quorum => None,
+    };
+    json_response(
+        200,
+        &StatsV1Response {
+            records: db_stats.shard_records.iter().sum(),
+            classes: db_stats.classes,
+            objects: db_stats.objects,
+            topology: TopologySection {
+                shards: state.db.shard_count(),
+                replicas: state.db.replica_count(),
+                shard_records: db_stats.shard_records,
+                replica_records: db_stats.replica_records,
+                replica_health: db_stats.replica_health,
+            },
+            replication: ReplicationSection {
+                mode: replication.mode.name().to_owned(),
+                max_lag,
+                shards: replication
+                    .shards
+                    .iter()
+                    .map(|shard| ShardReplicationDto {
+                        head_seq: shard.head_seq,
+                        replicas: shard
+                            .replicas
+                            .iter()
+                            .map(|r| ReplicaLagDto {
+                                last_applied_seq: r.last_applied_seq,
+                                lag: r.lag,
+                                healthy: r.healthy,
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+                catchup_replays: replication.catchup_replays,
+                catchup_clones: replication.catchup_clones,
+                writer_drains: replication.writer_drains,
+            },
+            planner: PlannerSection {
+                skipped: state.db.planner_skipped(),
+            },
+            reshard: ReshardSection {
+                active: reshard.active,
+                from: reshard.from,
+                to: reshard.to,
+                migrated_ids: reshard.migrated_ids,
+                total_ids: reshard.total_ids,
+                moved_records: reshard.moved_records,
+            },
+            oplog: OplogSection {
+                window: oplog.window,
+                last_seq: oplog.last_seq,
+                entries: oplog.entries,
+                wal: oplog.wal.map(|w| WalSection {
+                    appended: w.appended,
+                    fsyncs: w.fsyncs,
+                    truncations: w.truncations,
+                    healed_tails: w.healed_tails,
+                    recovered: w.recovered,
+                }),
+            },
+            service: ServiceSection {
+                requests: state.stats.requests.load(Ordering::Relaxed),
+                searches: state.stats.searches.load(Ordering::Relaxed),
+                inserts: state.stats.inserts.load(Ordering::Relaxed),
+                edits: state.stats.edits.load(Ordering::Relaxed),
+                errors: state.stats.errors.load(Ordering::Relaxed),
+                shed: state.stats.shed.load(Ordering::Relaxed),
+                threads: state.threads,
+                uptime_s: state.started.elapsed().as_secs_f64(),
+            },
         },
     )
 }

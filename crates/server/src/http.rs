@@ -325,6 +325,8 @@ pub struct Response {
     pub body: Vec<u8>,
     /// `Content-Type` of the body.
     pub content_type: &'static str,
+    /// Extra response headers (lower-case names), e.g. `deprecation`.
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -335,18 +337,40 @@ impl Response {
             status,
             body: body.into_bytes(),
             content_type: "application/json",
+            headers: Vec::new(),
         }
     }
 
-    /// A JSON error envelope: `{"error": "..."}`.
+    /// Adds one extra response header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// The unified JSON error envelope:
+    /// `{"error": {"code": "...", "message": "...", "retryable": bool}}`.
+    ///
+    /// Every error this service emits — router misses, parse failures,
+    /// handler errors, overload shedding — uses this shape, so clients
+    /// branch on the stable `code` instead of scraping messages.
+    #[must_use]
+    pub fn error_coded(status: u16, code: &str, message: &str, retryable: bool) -> Response {
+        let detail = serde::Value::Map(vec![
+            ("code".into(), serde::Value::Str(code.into())),
+            ("message".into(), serde::Value::Str(message.into())),
+            ("retryable".into(), serde::Value::Bool(retryable)),
+        ]);
+        let body = serde_json::to_string(&serde::Value::Map(vec![("error".into(), detail)]))
+            .expect("error envelope serialises");
+        Response::json(status, body)
+    }
+
+    /// An error envelope with the default code for `status` (see
+    /// [`default_code`]).
     #[must_use]
     pub fn error(status: u16, message: &str) -> Response {
-        let body = serde_json::to_string(&serde::Value::Map(vec![(
-            "error".into(),
-            serde::Value::Str(message.into()),
-        )]))
-        .expect("error envelope serialises");
-        Response::json(status, body)
+        Response::error_coded(status, default_code(status), message, status == 503)
     }
 
     /// Serialises the status line, headers and body.
@@ -355,17 +379,41 @@ impl Response {
     ///
     /// Propagates socket write errors.
     pub fn write_to(&self, out: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         out.write_all(head.as_bytes())?;
         out.write_all(&self.body)?;
         out.flush()
+    }
+}
+
+/// The stable machine-readable error code implied by a bare status.
+#[must_use]
+pub fn default_code(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        409 => "conflict",
+        413 => "payload_too_large",
+        422 => "unprocessable",
+        431 => "headers_too_large",
+        501 => "not_implemented",
+        503 => "overloaded",
+        _ => "internal",
     }
 }
 
@@ -558,12 +606,38 @@ mod tests {
         assert!(text.ends_with("{\"ok\":true}"));
 
         let mut out = Vec::new();
-        Response::error(503, "overloaded")
+        Response::error(503, "server overloaded")
             .write_to(&mut out, false)
             .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("connection: close\r\n"));
-        assert!(text.ends_with("{\"error\":\"overloaded\"}"));
+        assert!(text.ends_with(
+            "{\"error\":{\"code\":\"overloaded\",\"message\":\"server overloaded\",\"retryable\":true}}"
+        ));
+    }
+
+    #[test]
+    fn extra_headers_are_emitted() {
+        let mut out = Vec::new();
+        Response::json(200, "{}".into())
+            .with_header("deprecation", "true")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("deprecation: true\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+
+    #[test]
+    fn error_envelope_is_coded() {
+        let resp = Response::error_coded(404, "unknown_record", "no record 7", false);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert_eq!(
+            text,
+            "{\"error\":{\"code\":\"unknown_record\",\"message\":\"no record 7\",\"retryable\":false}}"
+        );
+        assert_eq!(default_code(405), "method_not_allowed");
+        assert_eq!(default_code(418), "internal");
     }
 }

@@ -30,21 +30,35 @@
 //!
 //! # Endpoints
 //!
+//! The canonical surface lives under `/v1/`. Every route is also
+//! reachable at its historical unversioned path (same handler, same
+//! body), but those aliases are deprecated: they answer with a
+//! `Deprecation: true` header and may be removed in a future major
+//! version. `GET /healthz` is infrastructure, not API, and is neither
+//! versioned nor deprecated.
+//!
 //! | method & path | body | effect |
 //! |---|---|---|
-//! | `POST /images` | `{"name", "scene"}` or `{"name", "symbolic"}` | index an image |
-//! | `DELETE /images/{id}` | — | remove an image |
-//! | `POST /images/{id}/objects` | `{"class", "mbr"}` | §3.2 incremental object insert |
-//! | `DELETE /images/{id}/objects` | `{"class", "mbr"}` | §3.2 incremental object removal |
-//! | `POST /search` | `{"scene"` or `"text", "options"?}` | ranked similarity search |
-//! | `POST /search/sketch` | `{"sketch", "options"?}` | spatial-pattern sketch search |
-//! | `GET /stats` | — | service + database statistics |
+//! | `POST /v1/images` | `{"name", "scene"}` or `{"name", "symbolic"}` | index an image |
+//! | `DELETE /v1/images/{id}` | — | remove an image |
+//! | `POST /v1/images/{id}/objects` | `{"class", "mbr"}` | §3.2 incremental object insert |
+//! | `DELETE /v1/images/{id}/objects` | `{"class", "mbr"}` | §3.2 incremental object removal |
+//! | `POST /v1/search` | `{"scene"` or `"text", "options"?}` | ranked similarity search |
+//! | `POST /v1/search/sketch` | `{"sketch", "options"?}` | spatial-pattern sketch search |
+//! | `GET /v1/stats` | — | nested statistics: topology, replication (per-replica lag), planner, reshard, op log, service |
+//! | `GET /stats` | — | legacy flat statistics shape (unchanged; still deprecated as a path) |
 //! | `GET /healthz` | — | liveness probe |
-//! | `POST /snapshot` | `{"path"?}` | crash-safe incremental snapshot to disk |
-//! | `POST /restore` | `{"path"?}` | replace the database from a snapshot |
-//! | `POST /admin/replicas/fail` | `{"shard", "replica"}` | take a replica out of rotation (fault injection) |
-//! | `POST /admin/replicas/heal` | `{"shard", "replica"}` | rebuild a failed replica from a healthy peer |
-//! | `POST /admin/shutdown` | — | graceful shutdown |
+//! | `POST /v1/snapshot` | `{"path"?}` | crash-safe incremental snapshot to disk |
+//! | `POST /v1/restore` | `{"path"?}` | replace the database from a snapshot |
+//! | `POST /v1/admin/reshard` | `{"shards", "batch"?}` | start a live migration to a new shard count |
+//! | `POST /v1/admin/replicas/fail` | `{"shard", "replica"}` | take a replica out of rotation (fault injection) |
+//! | `POST /v1/admin/replicas/heal` | `{"shard", "replica"}` | rebuild a failed replica (op-log replay, clone fallback) |
+//! | `POST /v1/admin/shutdown` | — | graceful shutdown |
+//!
+//! Errors share one envelope:
+//! `{"error":{"code":"...","message":"...","retryable":bool}}` with a
+//! stable machine-readable `code` (see `README.md` for the full code
+//! table).
 //!
 //! # Example
 //!

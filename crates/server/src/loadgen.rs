@@ -66,6 +66,9 @@ pub struct LoadgenConfig {
     /// Batch-size override sent with the reshard request (0 = server
     /// default).
     pub reshard_batch: usize,
+    /// Drive the versioned `/v1/` API surface instead of the legacy
+    /// (deprecated) paths.
+    pub api_v1: bool,
 }
 
 impl LoadgenConfig {
@@ -87,6 +90,18 @@ impl LoadgenConfig {
             reshard_to: 0,
             reshard_after: 0,
             reshard_batch: 0,
+            api_v1: false,
+        }
+    }
+
+    /// Prefixes `path` with `/v1` when the run drives the versioned
+    /// API surface.
+    #[must_use]
+    pub fn api_path(&self, path: &str) -> String {
+        if self.api_v1 {
+            format!("/v1{path}")
+        } else {
+            path.to_owned()
         }
     }
 }
@@ -263,7 +278,7 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
                 r#"{{"name":"prefill-{id}","scene":{}}}"#,
                 scene_to_json(scene)
             );
-            let response = client.request("POST", "/images", &body)?;
+            let response = client.request("POST", &config.api_path("/images"), &body)?;
             if response.status != 201 {
                 return Err(io::Error::other(format!(
                     "prefill insert failed with {}: {}",
@@ -398,7 +413,7 @@ fn run_reshard_trigger(
     };
     let fired = Instant::now();
     let accepted = client
-        .request("POST", "/admin/reshard", &body)
+        .request("POST", &config.api_path("/admin/reshard"), &body)
         .map(|response| response.status == 202 || response.status == 200)
         .unwrap_or(false);
     if !accepted {
@@ -406,6 +421,8 @@ fn run_reshard_trigger(
     }
     let deadline = Instant::now() + Duration::from_secs(120);
     while Instant::now() < deadline {
+        // Always the legacy endpoint: reshard_finished parses the flat
+        // stats shape, which /v1/stats deliberately abandoned.
         if let Ok(response) = client.request("GET", "/stats", "") {
             if response.status == 200 && reshard_finished(&response.body, config.reshard_to) {
                 return ReshardOutcome::Finished {
@@ -550,18 +567,20 @@ fn perform(
                 r#"{{"name":"lg-{index}","scene":{}}}"#,
                 scene_to_json(&scene)
             );
-            client.request("POST", "/images", &body).map(|response| {
-                let ok = response.status == 201;
-                if ok {
-                    if let Some(id) = inserted_id(&response.body) {
-                        owned.push(OwnedImage {
-                            id,
-                            added_objects: 0,
-                        });
+            client
+                .request("POST", &config.api_path("/images"), &body)
+                .map(|response| {
+                    let ok = response.status == 201;
+                    if ok {
+                        if let Some(id) = inserted_id(&response.body) {
+                            owned.push(OwnedImage {
+                                id,
+                                added_objects: 0,
+                            });
+                        }
                     }
-                }
-                ok
-            })
+                    ok
+                })
         }
         RequestKind::RemoveImage => {
             let slot = pick_owned(&config.skew, owned, rng);
@@ -569,14 +588,18 @@ fn perform(
             // oldest owned images", which swap_remove would scramble.
             let image = owned.remove(slot);
             client
-                .request("DELETE", &format!("/images/{}", image.id), "")
+                .request(
+                    "DELETE",
+                    &config.api_path(&format!("/images/{}", image.id)),
+                    "",
+                )
                 .map(|response| response.status == 200)
         }
         RequestKind::AddObject => {
             let slot = pick_owned(&config.skew, owned, rng);
             let image = &mut owned[slot];
             let body = loadgen_object_body();
-            let path = format!("/images/{}/objects", image.id);
+            let path = config.api_path(&format!("/images/{}/objects", image.id));
             client.request("POST", &path, &body).map(|response| {
                 let ok = response.status == 200;
                 if ok {
@@ -592,7 +615,7 @@ fn perform(
                 .expect("effective_kind guarantees a target");
             let image = &mut owned[slot];
             let body = loadgen_object_body();
-            let path = format!("/images/{}/objects", image.id);
+            let path = config.api_path(&format!("/images/{}/objects", image.id));
             client.request("DELETE", &path, &body).map(|response| {
                 let ok = response.status == 200;
                 if ok {
@@ -613,7 +636,7 @@ fn perform(
                 scene_to_json(&query.scene)
             );
             client
-                .request("POST", "/search", &body)
+                .request("POST", &config.api_path("/search"), &body)
                 .map(|response| response.status == 200)
         }
         RequestKind::SearchSketch => {
@@ -624,11 +647,11 @@ fn perform(
             ];
             let body = sketches[index % sketches.len()];
             client
-                .request("POST", "/search/sketch", body)
+                .request("POST", &config.api_path("/search/sketch"), body)
                 .map(|response| response.status == 200)
         }
         RequestKind::Stats => client
-            .request("GET", "/stats", "")
+            .request("GET", &config.api_path("/stats"), "")
             .map(|response| response.status == 200),
     };
     result.unwrap_or(false)

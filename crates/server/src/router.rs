@@ -1,4 +1,12 @@
 //! Route table: method + path → handler dispatch token.
+//!
+//! The API is versioned: every route lives under `/v1/...`, and the
+//! original unversioned paths remain as **deprecated aliases** that
+//! resolve to the same handlers but are answered with a
+//! `deprecation: true` header. The one shape difference is `/stats`:
+//! the legacy path keeps the original flat counter object, while
+//! `GET /v1/stats` returns the nested sections (topology, replication,
+//! planner, reshard, oplog, service).
 
 use crate::http::Method;
 use be2d_db::RecordId;
@@ -6,37 +14,51 @@ use be2d_db::RecordId;
 /// A resolved route.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Route {
-    /// `POST /images` — index a scene or symbolic image.
+    /// `POST /v1/images` — index a scene or symbolic image.
     InsertImage,
-    /// `DELETE /images/{id}` — drop a stored image.
+    /// `DELETE /v1/images/{id}` — drop a stored image.
     DeleteImage(RecordId),
-    /// `POST /images/{id}/objects` — §3.2 incremental object insert.
+    /// `POST /v1/images/{id}/objects` — §3.2 incremental object insert.
     AddObject(RecordId),
-    /// `DELETE /images/{id}/objects` — §3.2 incremental object removal.
+    /// `DELETE /v1/images/{id}/objects` — §3.2 incremental object
+    /// removal.
     RemoveObject(RecordId),
-    /// `POST /search` — ranked similarity search (scene or text query).
+    /// `POST /v1/search` — ranked similarity search (scene or text
+    /// query).
     Search,
-    /// `POST /search/sketch` — spatial-pattern sketch search.
+    /// `POST /v1/search/sketch` — spatial-pattern sketch search.
     SearchSketch,
-    /// `GET /stats` — service statistics.
+    /// `GET /stats` — the legacy flat statistics object.
     Stats,
-    /// `GET /healthz` — liveness probe.
+    /// `GET /v1/stats` — nested statistics sections.
+    StatsV1,
+    /// `GET /healthz` — liveness probe (never deprecated).
     Health,
-    /// `POST /snapshot` — persist a consistent snapshot to disk.
+    /// `POST /v1/snapshot` — persist a consistent snapshot to disk.
     Snapshot,
-    /// `POST /restore` — replace the database from a snapshot file.
+    /// `POST /v1/restore` — replace the database from a snapshot file.
     Restore,
-    /// `POST /admin/replicas/fail` — take a replica out of rotation
+    /// `POST /v1/admin/replicas/fail` — take a replica out of rotation
     /// (fault injection).
     ReplicaFail,
-    /// `POST /admin/replicas/heal` — rebuild a failed replica from a
+    /// `POST /v1/admin/replicas/heal` — rebuild a failed replica from a
     /// healthy peer and rejoin it.
     ReplicaHeal,
-    /// `POST /admin/reshard` — start an online reshard to a new shard
-    /// count (progress in `GET /stats`).
+    /// `POST /v1/admin/reshard` — start an online reshard to a new
+    /// shard count (progress in `GET /v1/stats`).
     Reshard,
-    /// `POST /admin/shutdown` — begin graceful shutdown.
+    /// `POST /v1/admin/shutdown` — begin graceful shutdown.
     Shutdown,
+}
+
+/// A route plus how the request reached it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolved {
+    /// The matched route.
+    pub route: Route,
+    /// `true` when the request used a legacy unversioned path; the
+    /// response gains a `deprecation: true` header.
+    pub deprecated: bool,
 }
 
 /// Why no route matched.
@@ -72,74 +94,173 @@ impl RouteError {
     }
 }
 
-/// Resolves a request's method + path to a [`Route`].
+/// One pattern segment in the route table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Seg {
+    /// Matches this literal segment.
+    Lit(&'static str),
+    /// Matches a numeric `{id}` segment.
+    Id,
+}
+
+/// One row of the route table.
+struct Rule {
+    method: Method,
+    pattern: &'static [Seg],
+    make: fn(Option<RecordId>) -> Route,
+}
+
+use Seg::{Id, Lit};
+
+/// The whole API surface, one row per (method, path) pair. Aliasing
+/// and versioning live in [`resolve`], not here: the table holds each
+/// route exactly once.
+const RULES: &[Rule] = &[
+    Rule {
+        method: Method::Post,
+        pattern: &[Lit("images")],
+        make: |_| Route::InsertImage,
+    },
+    Rule {
+        method: Method::Delete,
+        pattern: &[Lit("images"), Id],
+        make: |id| Route::DeleteImage(id.expect("pattern has an id")),
+    },
+    Rule {
+        method: Method::Post,
+        pattern: &[Lit("images"), Id, Lit("objects")],
+        make: |id| Route::AddObject(id.expect("pattern has an id")),
+    },
+    Rule {
+        method: Method::Delete,
+        pattern: &[Lit("images"), Id, Lit("objects")],
+        make: |id| Route::RemoveObject(id.expect("pattern has an id")),
+    },
+    Rule {
+        method: Method::Post,
+        pattern: &[Lit("search")],
+        make: |_| Route::Search,
+    },
+    Rule {
+        method: Method::Post,
+        pattern: &[Lit("search"), Lit("sketch")],
+        make: |_| Route::SearchSketch,
+    },
+    Rule {
+        method: Method::Get,
+        pattern: &[Lit("stats")],
+        make: |_| Route::Stats,
+    },
+    Rule {
+        method: Method::Get,
+        pattern: &[Lit("healthz")],
+        make: |_| Route::Health,
+    },
+    Rule {
+        method: Method::Post,
+        pattern: &[Lit("snapshot")],
+        make: |_| Route::Snapshot,
+    },
+    Rule {
+        method: Method::Post,
+        pattern: &[Lit("restore")],
+        make: |_| Route::Restore,
+    },
+    Rule {
+        method: Method::Post,
+        pattern: &[Lit("admin"), Lit("replicas"), Lit("fail")],
+        make: |_| Route::ReplicaFail,
+    },
+    Rule {
+        method: Method::Post,
+        pattern: &[Lit("admin"), Lit("replicas"), Lit("heal")],
+        make: |_| Route::ReplicaHeal,
+    },
+    Rule {
+        method: Method::Post,
+        pattern: &[Lit("admin"), Lit("reshard")],
+        make: |_| Route::Reshard,
+    },
+    Rule {
+        method: Method::Post,
+        pattern: &[Lit("admin"), Lit("shutdown")],
+        make: |_| Route::Shutdown,
+    },
+];
+
+/// Whether `pattern` matches `segments`, capturing the raw `{id}`.
+fn matches<'p>(pattern: &[Seg], segments: &[&'p str]) -> Option<Option<&'p str>> {
+    if pattern.len() != segments.len() {
+        return None;
+    }
+    let mut raw_id = None;
+    for (seg, &actual) in pattern.iter().zip(segments) {
+        match seg {
+            Lit(lit) => {
+                if *lit != actual {
+                    return None;
+                }
+            }
+            Id => raw_id = Some(actual),
+        }
+    }
+    Some(raw_id)
+}
+
+/// Resolves a request's method + path against the route table,
+/// reporting whether the legacy unversioned alias was used.
+///
+/// # Errors
+///
+/// Returns [`RouteError`] when nothing matches.
+pub fn resolve(method: Method, path: &str) -> Result<Resolved, RouteError> {
+    let mut segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let versioned = segments.first() == Some(&"v1");
+    if versioned {
+        segments.remove(0);
+    }
+
+    let mut path_known = false;
+    for rule in RULES {
+        let Some(raw_id) = matches(rule.pattern, &segments) else {
+            continue;
+        };
+        path_known = true;
+        if rule.method != method {
+            continue;
+        }
+        let id = match raw_id {
+            Some(raw) => Some(
+                raw.parse::<usize>()
+                    .map(RecordId)
+                    .map_err(|_| RouteError::BadId(raw.to_owned()))?,
+            ),
+            None => None,
+        };
+        let route = match (rule.make)(id) {
+            // The one version-dependent shape: /v1/stats nests.
+            Route::Stats if versioned => Route::StatsV1,
+            route => route,
+        };
+        // The liveness probe is infrastructure, not API surface: the
+        // unversioned /healthz stays first-class.
+        let deprecated = !versioned && route != Route::Health;
+        return Ok(Resolved { route, deprecated });
+    }
+    Err(if path_known {
+        RouteError::MethodNotAllowed
+    } else {
+        RouteError::NotFound
+    })
+}
+
+/// [`resolve`] without the version metadata.
 ///
 /// # Errors
 ///
 /// Returns [`RouteError`] when nothing matches.
 pub fn route(method: Method, path: &str) -> Result<Route, RouteError> {
-    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-    let id = |raw: &str| -> Result<RecordId, RouteError> {
-        raw.parse::<usize>()
-            .map(RecordId)
-            .map_err(|_| RouteError::BadId(raw.to_owned()))
-    };
-    match segments.as_slice() {
-        ["images"] => match method {
-            Method::Post => Ok(Route::InsertImage),
-            _ => Err(RouteError::MethodNotAllowed),
-        },
-        ["images", raw] => match method {
-            Method::Delete => Ok(Route::DeleteImage(id(raw)?)),
-            _ => Err(RouteError::MethodNotAllowed),
-        },
-        ["images", raw, "objects"] => match method {
-            Method::Post => Ok(Route::AddObject(id(raw)?)),
-            Method::Delete => Ok(Route::RemoveObject(id(raw)?)),
-            _ => Err(RouteError::MethodNotAllowed),
-        },
-        ["search"] => match method {
-            Method::Post => Ok(Route::Search),
-            _ => Err(RouteError::MethodNotAllowed),
-        },
-        ["search", "sketch"] => match method {
-            Method::Post => Ok(Route::SearchSketch),
-            _ => Err(RouteError::MethodNotAllowed),
-        },
-        ["stats"] => match method {
-            Method::Get => Ok(Route::Stats),
-            _ => Err(RouteError::MethodNotAllowed),
-        },
-        ["healthz"] => match method {
-            Method::Get => Ok(Route::Health),
-            _ => Err(RouteError::MethodNotAllowed),
-        },
-        ["snapshot"] => match method {
-            Method::Post => Ok(Route::Snapshot),
-            _ => Err(RouteError::MethodNotAllowed),
-        },
-        ["restore"] => match method {
-            Method::Post => Ok(Route::Restore),
-            _ => Err(RouteError::MethodNotAllowed),
-        },
-        ["admin", "replicas", "fail"] => match method {
-            Method::Post => Ok(Route::ReplicaFail),
-            _ => Err(RouteError::MethodNotAllowed),
-        },
-        ["admin", "replicas", "heal"] => match method {
-            Method::Post => Ok(Route::ReplicaHeal),
-            _ => Err(RouteError::MethodNotAllowed),
-        },
-        ["admin", "reshard"] => match method {
-            Method::Post => Ok(Route::Reshard),
-            _ => Err(RouteError::MethodNotAllowed),
-        },
-        ["admin", "shutdown"] => match method {
-            Method::Post => Ok(Route::Shutdown),
-            _ => Err(RouteError::MethodNotAllowed),
-        },
-        _ => Err(RouteError::NotFound),
-    }
+    resolve(method, path).map(|r| r.route)
 }
 
 #[cfg(test)]
@@ -193,13 +314,59 @@ mod tests {
     }
 
     #[test]
+    fn v1_namespace_mirrors_every_route() {
+        for (method, legacy) in [
+            (Method::Post, "/images"),
+            (Method::Delete, "/images/7"),
+            (Method::Post, "/images/3/objects"),
+            (Method::Delete, "/images/3/objects"),
+            (Method::Post, "/search"),
+            (Method::Post, "/search/sketch"),
+            (Method::Get, "/healthz"),
+            (Method::Post, "/snapshot"),
+            (Method::Post, "/restore"),
+            (Method::Post, "/admin/replicas/fail"),
+            (Method::Post, "/admin/replicas/heal"),
+            (Method::Post, "/admin/reshard"),
+            (Method::Post, "/admin/shutdown"),
+        ] {
+            let old = resolve(method, legacy).unwrap();
+            let new = resolve(method, &format!("/v1{legacy}")).unwrap();
+            assert_eq!(old.route, new.route, "{legacy}");
+            assert!(!new.deprecated, "/v1{legacy} is current");
+        }
+    }
+
+    #[test]
+    fn legacy_paths_are_deprecated_except_healthz() {
+        assert!(resolve(Method::Post, "/images").unwrap().deprecated);
+        assert!(resolve(Method::Get, "/stats").unwrap().deprecated);
+        assert!(!resolve(Method::Get, "/healthz").unwrap().deprecated);
+        assert!(!resolve(Method::Get, "/v1/healthz").unwrap().deprecated);
+    }
+
+    #[test]
+    fn stats_shape_depends_on_version() {
+        assert_eq!(route(Method::Get, "/stats"), Ok(Route::Stats));
+        assert_eq!(route(Method::Get, "/v1/stats"), Ok(Route::StatsV1));
+    }
+
+    #[test]
     fn error_mapping() {
         assert_eq!(
             route(Method::Get, "/nope").unwrap_err(),
             RouteError::NotFound
         );
         assert_eq!(
+            route(Method::Get, "/v1/nope").unwrap_err(),
+            RouteError::NotFound
+        );
+        assert_eq!(
             route(Method::Get, "/images").unwrap_err(),
+            RouteError::MethodNotAllowed
+        );
+        assert_eq!(
+            route(Method::Get, "/v1/images").unwrap_err(),
             RouteError::MethodNotAllowed
         );
         assert_eq!(

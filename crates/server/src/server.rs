@@ -57,13 +57,16 @@ impl ServerHandle {
 
 impl Server {
     /// Binds a fresh empty database of `config.shards` shards ×
-    /// `config.replicas` replicas.
+    /// `config.replicas` replicas, replicating per
+    /// `config.replication` and (when `config.wal_dir` is set)
+    /// recovering from / logging to the write-ahead log.
     ///
     /// # Errors
     ///
-    /// Propagates socket bind errors.
+    /// Propagates socket bind errors and WAL recovery failures.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
-        let db = ReplicatedImageDatabase::with_topology(config.shards, config.replicas);
+        let db = ReplicatedImageDatabase::with_config(config.replica_config())
+            .map_err(io::Error::other)?;
         Server::with_database(config, db)
     }
 

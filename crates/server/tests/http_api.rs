@@ -587,6 +587,189 @@ fn online_reshard_over_the_wire() {
     server.stop();
 }
 
+/// The versioned surface end-to-end: `/v1/` paths serve the same
+/// handlers without the deprecation header, legacy aliases answer
+/// identically but flagged, and errors share the coded envelope.
+#[test]
+fn v1_surface_and_deprecation_over_the_wire() {
+    let server = RunningServer::start(test_config());
+    let mut client = server.client();
+
+    // Insert through /v1, search through /v1: same behaviour as legacy.
+    let response = client
+        .request(
+            "POST",
+            "/v1/images",
+            &format!(r#"{{"name":"left","scene":{LEFT_SCENE}}}"#),
+        )
+        .unwrap();
+    assert_eq!(response.status, 201, "{}", response.text());
+    assert_eq!(response.header("deprecation"), None, "/v1 is canonical");
+
+    let search_body = format!(r#"{{"scene":{LEFT_SCENE},"options":{{"top_k":1}}}}"#);
+    let v1 = client.request("POST", "/v1/search", &search_body).unwrap();
+    let legacy = client.request("POST", "/search", &search_body).unwrap();
+    assert_eq!(v1.status, 200);
+    assert_eq!(v1.body, legacy.body, "same handler behind both paths");
+    assert_eq!(v1.header("deprecation"), None);
+    assert_eq!(
+        legacy.header("deprecation"),
+        Some("true"),
+        "legacy alias is flagged"
+    );
+
+    // /healthz is infrastructure: never deprecated.
+    let health = client.request("GET", "/healthz", "").unwrap();
+    assert_eq!(health.header("deprecation"), None);
+
+    // Errors carry the coded envelope on both surfaces.
+    let missing = client.request("DELETE", "/v1/images/99", "").unwrap();
+    assert_eq!(missing.status, 404);
+    let text = missing.text();
+    assert!(text.contains("\"code\":\"unknown_record\""), "{text}");
+    assert!(text.contains("\"retryable\":false"), "{text}");
+    let bad = client.request("POST", "/v1/search", "{not json").unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(bad.text().contains("\"code\":"), "{}", bad.text());
+    let unknown = client.request("GET", "/v1/nope", "").unwrap();
+    assert_eq!(unknown.status, 404);
+    assert!(
+        unknown.text().contains("\"code\":\"not_found\""),
+        "{}",
+        unknown.text()
+    );
+
+    drop(client);
+    server.stop();
+}
+
+/// `GET /v1/stats` reports the nested shape — topology, replication
+/// with per-replica lag, op log — while legacy `/stats` keeps the flat
+/// keys scripts already parse.
+#[test]
+fn stats_v1_is_nested_and_legacy_stays_flat() {
+    let server = RunningServer::start(ServerConfig {
+        shards: 2,
+        replicas: 2,
+        ..test_config()
+    });
+    let mut client = server.client();
+    for i in 0..4 {
+        let response = client
+            .request(
+                "POST",
+                "/v1/images",
+                &format!(r#"{{"name":"img-{i}","scene":{LEFT_SCENE}}}"#),
+            )
+            .unwrap();
+        assert_eq!(response.status, 201);
+    }
+
+    let v1 = client.request("GET", "/v1/stats", "").unwrap();
+    assert_eq!(v1.status, 200);
+    let text = v1.text();
+    assert!(text.contains("\"topology\":{"), "{text}");
+    assert!(text.contains("\"replication\":{"), "{text}");
+    assert!(text.contains("\"mode\":\"sync\""), "{text}");
+    assert!(text.contains("\"last_applied_seq\""), "{text}");
+    assert!(text.contains("\"lag\":0"), "{text}");
+    assert!(text.contains("\"oplog\":{"), "{text}");
+    assert!(text.contains("\"service\":{"), "{text}");
+    assert!(text.contains("\"records\":4"), "{text}");
+    assert!(
+        !text.contains("\"reshard_active\""),
+        "flat keys stay legacy-only: {text}"
+    );
+
+    let legacy = client.request("GET", "/stats", "").unwrap();
+    let text = legacy.text();
+    assert!(text.contains("\"reshard_active\":false"), "{text}");
+    assert!(text.contains("\"shards\":2"), "{text}");
+    assert!(!text.contains("\"topology\""), "{text}");
+
+    drop(client);
+    server.stop();
+}
+
+/// Async replication over the wire: writes ack at the leader, the
+/// background pump drains followers, a failed-then-healed replica
+/// catches up by op-log replay (visible in `/v1/stats`), and searches
+/// stay byte-identical throughout.
+#[test]
+fn async_replication_catchup_over_the_wire() {
+    use be2d_db::ReplicationMode;
+    let server = RunningServer::start(ServerConfig {
+        shards: 2,
+        replicas: 2,
+        replication: ReplicationMode::Async { max_lag: 64 },
+        oplog_window: 1024,
+        ..test_config()
+    });
+    let mut client = server.client();
+
+    for i in 0..6 {
+        let scene = if i % 2 == 0 { LEFT_SCENE } else { RIGHT_SCENE };
+        let response = client
+            .request(
+                "POST",
+                "/v1/images",
+                &format!(r#"{{"name":"img-{i}","scene":{scene}}}"#),
+            )
+            .unwrap();
+        assert_eq!(response.status, 201);
+    }
+    let search_body = format!(r#"{{"scene":{LEFT_SCENE},"options":{{"top_k":3}}}}"#);
+    let baseline = client
+        .request("POST", "/v1/search", &search_body)
+        .unwrap()
+        .text();
+
+    // Fail a replica, write through the gap, heal: the gap fits the
+    // op-log window, so the heal must replay, not clone.
+    let response = client
+        .request(
+            "POST",
+            "/v1/admin/replicas/fail",
+            r#"{"shard":0,"replica":1}"#,
+        )
+        .unwrap();
+    assert_eq!(response.status, 200, "{}", response.text());
+    for i in 6..12 {
+        let response = client
+            .request(
+                "POST",
+                "/v1/images",
+                &format!(r#"{{"name":"img-{i}","scene":{LEFT_SCENE}}}"#),
+            )
+            .unwrap();
+        assert_eq!(response.status, 201);
+    }
+    let response = client
+        .request(
+            "POST",
+            "/v1/admin/replicas/heal",
+            r#"{"shard":0,"replica":1}"#,
+        )
+        .unwrap();
+    assert_eq!(response.status, 200, "{}", response.text());
+
+    let stats = client.request("GET", "/v1/stats", "").unwrap().text();
+    assert!(stats.contains("\"mode\":\"async\""), "{stats}");
+    assert!(stats.contains("\"max_lag\":64"), "{stats}");
+    assert!(!stats.contains("\"catchup_replays\":0"), "{stats}");
+    assert!(stats.contains("\"catchup_clones\":0"), "{stats}");
+
+    // Everything drained: healed replica serves identical rankings.
+    for _ in 0..6 {
+        let response = client.request("POST", "/v1/search", &search_body).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.text(), baseline, "healed async search identical");
+    }
+
+    drop(client);
+    server.stop();
+}
+
 /// Keep-alive budget exhaustion closes politely; the client reconnects.
 #[test]
 fn keep_alive_budget_rolls_over() {

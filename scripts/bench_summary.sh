@@ -3,20 +3,21 @@
 # summary (CI appends the output to $GITHUB_STEP_SUMMARY so every PR
 # shows its perf trajectory). Missing files are noted, not fatal.
 #
-#   scripts/bench_summary.sh [BENCH_server.json] [BENCH_shard_scaling.json] [BENCH_replica_scaling.json] [BENCH_reshard.json]
+#   scripts/bench_summary.sh [BENCH_server.json] [BENCH_shard_scaling.json] [BENCH_replica_scaling.json] [BENCH_reshard.json] [BENCH_oplog.json]
 set -euo pipefail
 
 SERVER="${1:-BENCH_server.json}"
 SCALING="${2:-BENCH_shard_scaling.json}"
 REPLICAS="${3:-BENCH_replica_scaling.json}"
 RESHARD="${4:-BENCH_reshard.json}"
+OPLOG="${5:-BENCH_oplog.json}"
 
-python3 - "$SERVER" "$SCALING" "$REPLICAS" "$RESHARD" <<'PY'
+python3 - "$SERVER" "$SCALING" "$REPLICAS" "$RESHARD" "$OPLOG" <<'PY'
 import json
 import os
 import sys
 
-server_path, scaling_path, replica_path, reshard_path = sys.argv[1:5]
+server_path, scaling_path, replica_path, reshard_path, oplog_path = sys.argv[1:6]
 
 print("## Perf trajectory")
 print()
@@ -70,18 +71,27 @@ if os.path.exists(replica_path):
           f"{replica['readers']} readers + {replica['writers']} writers, "
           f"{replica['host_threads']} host threads)")
     print()
-    print("| replicas | searches | throughput | p50 | p95 | p99 | writes |")
-    print("|---:|---:|---:|---:|---:|---:|---:|")
+    print("| replicas | mode | searches | throughput | p50 | p95 | p99 | writes/s |")
+    print("|---:|:---|---:|---:|---:|---:|---:|---:|")
     for point in replica["sweep"]:
-        print(f"| {point['replicas']} | {point['searches']} "
+        writes_per_s = point.get("writes_per_s")
+        writes = (f"{writes_per_s:.0f}" if writes_per_s is not None
+                  else str(point["writes"]))
+        print(f"| {point['replicas']} | {point.get('mode', 'sync')} "
+              f"| {point['searches']} "
               f"| {point['throughput_qps']:.1f} q/s "
               f"| {point['p50_ms']:.2f} ms | {point['p95_ms']:.2f} ms "
-              f"| {point['p99_ms']:.2f} ms | {point['writes']} |")
+              f"| {point['p99_ms']:.2f} ms | {writes} |")
     print()
-    print(f"**3-replica vs 1-replica query throughput: "
+    print(f"**3-replica vs 1-replica query throughput (sync): "
           f"{replica['speedup_3_vs_1']:.2f}×**"
           + (" _(single-core host — replica fan-out cannot scale here)_"
              if replica.get("host_threads", 0) == 1 else ""))
+    if "async_write_speedup_vs_sync" in replica:
+        print()
+        print(f"**R=3 write throughput vs sync: "
+              f"quorum {replica['quorum_write_speedup_vs_sync']:.2f}×, "
+              f"async {replica['async_write_speedup_vs_sync']:.2f}×**")
     print()
 else:
     print(f"_no {replica_path} found_")
@@ -107,6 +117,33 @@ if os.path.exists(reshard_path):
     print()
     print("Latency *during* spans the whole live migration window; "
           "bigger batches finish faster but pause longer per step.")
+    print()
 else:
     print(f"_no {reshard_path} found_")
+    print()
+
+if os.path.exists(oplog_path):
+    with open(oplog_path) as f:
+        oplog = json.load(f)
+    catchup = oplog["catchup"]
+    print(f"### Op log ({oplog['images']} images, "
+          f"{oplog['gap']}-write catch-up gap, "
+          f"{oplog['writes']} writes per measurement)")
+    print()
+    print(f"Replica catch-up: replay {catchup['replay_ms']:.2f} ms vs "
+          f"clone {catchup['clone_ms']:.2f} ms "
+          f"(**{catchup['replay_speedup']:.1f}× faster by replay**)")
+    print()
+    print("| WAL | inserts/s |")
+    print("|:---|---:|")
+    for point in oplog["wal"]:
+        print(f"| {point['config']} | {point['inserts_per_s']:.0f} |")
+    print()
+    print("| ack mode (R=3) | p50 | p95 |")
+    print("|:---|---:|---:|")
+    for point in oplog["ack"]:
+        print(f"| {point['mode']} | {point['p50_us']:.1f} µs "
+              f"| {point['p95_us']:.1f} µs |")
+else:
+    print(f"_no {oplog_path} found_")
 PY
