@@ -54,6 +54,7 @@ mod database;
 mod epoch;
 mod error;
 mod index;
+mod metrics;
 mod oplog;
 mod query;
 mod replica;
@@ -66,6 +67,7 @@ pub mod sketch;
 pub use database::{ImageDatabase, ImageRecord, RecordId};
 pub use error::DbError;
 pub use index::ClassIndex;
+pub use metrics::{DbMetrics, QueryTrace, ShardTrace, SCATTER_POOL_SLOTS};
 pub use oplog::{
     OplogStats, ReplicaLag, ReplicationMode, ReplicationStats, ShardReplication, WalConfig,
     WalStats,

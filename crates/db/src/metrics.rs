@@ -1,0 +1,120 @@
+//! Always-on database instrumentation and per-query tracing.
+//!
+//! [`DbMetrics`] bundles the lock-free handles
+//! ([`be2d_metrics::Histogram`] / [`Counter`] / [`Gauge`]) the replicated
+//! database records into on every search and write — per-shard scatter
+//! timings, gather/merge time, oplog append and WAL fsync latency,
+//! replica picks, outstanding reads, and checkpoint duration. The server
+//! registers the same handles with its Prometheus registry, so recording
+//! here is a handful of relaxed atomic adds and never takes a lock.
+//!
+//! [`QueryTrace`] is the per-query view of the same stages: every search
+//! produces one (the cost is reading a monotonic clock a few times), and
+//! callers that set the `trace` flag get it back verbatim.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use be2d_metrics::{Counter, Gauge, Histogram, HistogramPool};
+
+/// Slots in the per-shard scatter histogram pool. Shard indices at or
+/// beyond the last slot share it (the exposition labels it `"31+"`), so
+/// live resharding past 32 shards never reallocates metric storage.
+pub const SCATTER_POOL_SLOTS: usize = 32;
+
+/// Elapsed nanoseconds since `start`, saturating at `u64::MAX`.
+pub(crate) fn elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// The database's shared metric handles. Cloning shares the underlying
+/// atomics; a [`ReplicatedImageDatabase`](crate::ReplicatedImageDatabase)
+/// creates one set at construction and exposes it via
+/// [`metrics()`](crate::ReplicatedImageDatabase::metrics).
+#[derive(Debug, Clone)]
+pub struct DbMetrics {
+    /// Per-shard scatter scan duration (index = shard, clamped to the
+    /// pool's last slot).
+    pub scatter: HistogramPool,
+    /// Gather/merge (`merge_top_k`) duration per multi-shard search.
+    pub gather: Arc<Histogram>,
+    /// End-to-end search duration (entry to exit, all stages included).
+    pub search_total: Arc<Histogram>,
+    /// Duration of one logged mutation through the op log (leader apply,
+    /// sequencing, WAL append, follower acks).
+    pub oplog_append: Arc<Histogram>,
+    /// Duration of each WAL `sync_data` call (batched appends that skip
+    /// the fsync record nothing).
+    pub wal_fsync: Arc<Histogram>,
+    /// Duration of each WAL checkpoint (anchor snapshot + truncation).
+    pub checkpoint: Arc<Histogram>,
+    /// Replica read-routing decisions taken (one per shard touched).
+    pub replica_picks: Arc<Counter>,
+    /// Reads currently holding a replica read lock.
+    pub outstanding_reads: Arc<Gauge>,
+}
+
+impl Default for DbMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DbMetrics {
+    /// Fresh, all-zero metric handles.
+    pub fn new() -> Self {
+        DbMetrics {
+            scatter: HistogramPool::new(SCATTER_POOL_SLOTS),
+            gather: Arc::new(Histogram::new()),
+            search_total: Arc::new(Histogram::new()),
+            oplog_append: Arc::new(Histogram::new()),
+            wal_fsync: Arc::new(Histogram::new()),
+            checkpoint: Arc::new(Histogram::new()),
+            replica_picks: Arc::new(Counter::new()),
+            outstanding_reads: Arc::new(Gauge::new()),
+        }
+    }
+}
+
+/// Per-stage timing breakdown of one scatter-gather search, in
+/// nanoseconds. Stages are measured disjointly inside the total, so
+/// `planner_ns + scatter_ns + gather_ns <= total_ns` always holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// Query-class extraction and epoch snapshot (the scatter plan).
+    pub planner_ns: u64,
+    /// Wall time of the whole scatter (shards may run in parallel, so
+    /// this is the max-ish envelope, not the sum of shard times).
+    pub scatter_ns: u64,
+    /// K-way merge of the per-shard ranked lists.
+    pub gather_ns: u64,
+    /// End-to-end search duration.
+    pub total_ns: u64,
+    /// One entry per shard scanned (or skipped by the planner).
+    pub shards: Vec<ShardTrace>,
+}
+
+impl QueryTrace {
+    /// Sum of the measured stages, in nanoseconds — always at most
+    /// [`total_ns`](Self::total_ns).
+    #[must_use]
+    pub fn stage_sum_ns(&self) -> u64 {
+        self.planner_ns + self.scatter_ns + self.gather_ns
+    }
+}
+
+/// One shard's slice of a [`QueryTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTrace {
+    /// Physical shard index.
+    pub shard: usize,
+    /// Replica the read picker routed this scan to.
+    pub replica: usize,
+    /// Whether the scatter planner proved the shard empty and skipped
+    /// the scan.
+    pub skipped: bool,
+    /// Hits this shard contributed before the global merge.
+    pub hits: usize,
+    /// Scan duration for this shard, in nanoseconds.
+    pub elapsed_ns: u64,
+}

@@ -374,20 +374,26 @@ impl WalWriter {
         Ok(self.file.as_mut().expect("just opened"))
     }
 
-    /// Appends one op, fsyncing when the batch fills. Returns whether
-    /// this append issued an fsync.
-    pub(crate) fn append(&mut self, seq: u64, op: &Op, fsync_every: u64) -> Result<bool, DbError> {
+    /// Appends one op, fsyncing when the batch fills. Returns how long
+    /// the fsync took when this append issued one, `None` otherwise.
+    pub(crate) fn append(
+        &mut self,
+        seq: u64,
+        op: &Op,
+        fsync_every: u64,
+    ) -> Result<Option<std::time::Duration>, DbError> {
         let line = encode_wal_line(seq, op)?;
         self.open()?;
         let file = self.file.as_mut().expect("opened above");
         file.write_all(line.as_bytes())?;
         self.since_sync += 1;
         if self.since_sync >= fsync_every.max(1) {
+            let start = std::time::Instant::now();
             file.sync_data()?;
             self.since_sync = 0;
-            return Ok(true);
+            return Ok(Some(start.elapsed()));
         }
-        Ok(false)
+        Ok(None)
     }
 
     /// Drops every record with sequence at or below `floor`, rewriting
@@ -513,15 +519,21 @@ impl WalState {
         Arc::clone(&writers[shard])
     }
 
-    /// Appends one op to `shard`'s log, bumping counters.
-    pub(crate) fn append(&self, shard: usize, seq: u64, op: &Op) -> Result<(), DbError> {
+    /// Appends one op to `shard`'s log, bumping counters. Returns the
+    /// fsync duration when this append flushed the batch to disk.
+    pub(crate) fn append(
+        &self,
+        shard: usize,
+        seq: u64,
+        op: &Op,
+    ) -> Result<Option<std::time::Duration>, DbError> {
         let writer = self.writer(shard);
         let synced = writer.lock().append(seq, op, self.config.fsync_every)?;
         self.appended.fetch_add(1, Ordering::Relaxed);
-        if synced {
+        if synced.is_some() {
             self.fsyncs.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(())
+        Ok(synced)
     }
 
     /// Current counters, for stats.

@@ -90,6 +90,7 @@
 //! [`rebuild_replica`]: ReplicatedImageDatabase::rebuild_replica
 
 use crate::epoch::RoutingEpoch;
+use crate::metrics::{elapsed_ns, DbMetrics, QueryTrace, ShardTrace};
 use crate::oplog::{
     load_wal_file, wal_shard_files, Op, OplogStats, ReplicaLag, ReplicationMode, ReplicationStats,
     ShardLog, ShardReplication, WalConfig, WalRecord, WalState,
@@ -109,6 +110,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
+use std::time::Instant;
 
 /// A cheaply clonable, thread-safe image database of N shards × R
 /// replicas whose shard count can be changed online.
@@ -224,6 +226,9 @@ pub(crate) struct Inner {
     /// Wake-up channel of the background drain pump (None in Sync mode,
     /// which never leaves a follower behind).
     pub(crate) pump: Option<Arc<PumpSignal>>,
+    /// Lock-free latency/throughput instrumentation handles, shared
+    /// with whoever exposes them (see [`DbMetrics`]).
+    pub(crate) metrics: DbMetrics,
 }
 
 /// The live shard topology: one [`ReplicaSet`] per physical shard plus
@@ -470,6 +475,7 @@ impl Inner {
     /// under Async. Followers always catch up by draining the log, so
     /// every replica runs the identical mutation stream.
     pub(crate) fn apply_logged(&self, top: &Topology, shard: usize, op: Op) -> Result<(), DbError> {
+        let start = Instant::now();
         let set = &top.sets[shard];
         // An async-mode leader may itself have just been promoted while
         // lagging; bring it to the head before it takes new writes.
@@ -496,7 +502,11 @@ impl Inner {
         // already applied it, and dropping it from the ring would leave
         // followers permanently diverged.
         let wal_result = match &self.wal {
-            Some(wal) => wal.append(shard, seq, &op),
+            Some(wal) => wal.append(shard, seq, &op).map(|fsync| {
+                if let Some(took) = fsync {
+                    self.metrics.wal_fsync.record(took);
+                }
+            }),
             None => Ok(()),
         };
         // Never evict an entry a healthy follower still needs: drain
@@ -547,6 +557,7 @@ impl Inner {
         if !matches!(self.mode, ReplicationMode::Sync) {
             self.notify_pump();
         }
+        self.metrics.oplog_append.record(start.elapsed());
         wal_result
     }
 
@@ -664,6 +675,7 @@ impl ReplicatedImageDatabase {
                 writer_drains: AtomicU64::new(0),
                 wal: config.wal.map(WalState::new),
                 pump: pump_signal.clone(),
+                metrics: DbMetrics::new(),
             }),
         };
         if db.inner.wal.is_some() {
@@ -744,6 +756,15 @@ impl ReplicatedImageDatabase {
     #[must_use]
     pub fn planner_skipped(&self) -> u64 {
         self.inner.planner_skipped.load(Ordering::Relaxed)
+    }
+
+    /// The database's lock-free metric handles (per-shard scatter
+    /// timings, gather, oplog/WAL latency, replica picks). Cloning the
+    /// returned struct shares the underlying atomics, so an exposition
+    /// layer can register them once and scrape forever.
+    #[must_use]
+    pub fn metrics(&self) -> &DbMetrics {
+        &self.inner.metrics
     }
 
     /// All statistics under one simultaneous read lock across every
@@ -1016,6 +1037,22 @@ impl ReplicatedImageDatabase {
     /// the epoch maps each shard's local slots back to global ids.
     #[must_use]
     pub fn search(&self, query: &BeString2D, options: &QueryOptions) -> Vec<SearchHit> {
+        self.search_traced(query, options).0
+    }
+
+    /// [`search`](Self::search) plus the per-stage [`QueryTrace`]. The
+    /// trace is built on every search anyway (its histograms feed
+    /// `/v1/metrics`), so the hits — and their `f64` scores, to the
+    /// bit — are identical to the untraced call: this *is* the search
+    /// path, not a parallel one.
+    #[must_use]
+    pub fn search_traced(
+        &self,
+        query: &BeString2D,
+        options: &QueryOptions,
+    ) -> (Vec<SearchHit>, QueryTrace) {
+        let total_start = Instant::now();
+        let metrics = &self.inner.metrics;
         let top = self.inner.topology.read();
         // Shared gate lease for the whole scatter: a reshard batch move
         // (exclusive holder) either completed before this search or
@@ -1025,42 +1062,104 @@ impl ReplicatedImageDatabase {
         let n = top.sets.len();
         if n == 1 {
             let set = &top.sets[0];
-            return set.replicas[set.pick_read(mode)]
-                .read()
-                .search(query, options);
+            let replica = set.pick_read(mode);
+            metrics.replica_picks.inc();
+            metrics.outstanding_reads.inc();
+            let scatter_start = Instant::now();
+            let hits = set.replicas[replica].read().search(query, options);
+            let scatter_ns = elapsed_ns(scatter_start);
+            metrics.outstanding_reads.dec();
+            metrics.scatter.get(0).record_ns(scatter_ns);
+            let total_ns = elapsed_ns(total_start);
+            metrics.search_total.record_ns(total_ns);
+            let trace = QueryTrace {
+                planner_ns: 0,
+                scatter_ns,
+                gather_ns: 0,
+                total_ns,
+                shards: vec![ShardTrace {
+                    shard: 0,
+                    replica,
+                    skipped: false,
+                    hits: hits.len(),
+                    elapsed_ns: scatter_ns,
+                }],
+            };
+            return (hits, trace);
         }
         // Frozen for the whole scatter: the boundary only moves under
         // the exclusive gate.
+        let planner_start = Instant::now();
         let epoch = top.epoch();
         let topology = &*top;
         let planner_skipped = &self.inner.planner_skipped;
         let query_classes: Vec<ObjectClass> = query.class_counts().into_keys().collect();
-        let per_shard = scatter_scan(
+        let planner_ns = elapsed_ns(planner_start);
+        let scatter_start = Instant::now();
+        let per_shard: Vec<(Vec<SearchHit>, ShardTrace)> = scatter_scan(
             n,
             // next_id is a cheap upper bound on the total record count.
             self.inner.next_id.load(Ordering::Relaxed),
             |shard| {
+                let shard_start = Instant::now();
                 let set = &topology.sets[shard];
-                let guard = set.replicas[set.pick_read(mode)].read();
-                if shard_cannot_contribute(&guard, &query_classes, options) {
+                let replica = set.pick_read(mode);
+                metrics.replica_picks.inc();
+                metrics.outstanding_reads.inc();
+                let guard = set.replicas[replica].read();
+                let (hits, skipped) = if shard_cannot_contribute(&guard, &query_classes, options) {
                     planner_skipped.fetch_add(1, Ordering::Relaxed);
-                    return Vec::new();
-                }
-                let mut hits = guard.search(query, options);
-                for hit in &mut hits {
-                    // Local-slot order maps monotonically to global-id
-                    // order under any epoch (see `epoch.rs`), so each
-                    // per-shard ranked list stays merge-ready.
-                    hit.id = RecordId(
-                        epoch
-                            .global_of(shard, hit.id.index())
-                            .expect("occupied slot resolves under the live epoch"),
-                    );
-                }
-                hits
+                    (Vec::new(), true)
+                } else {
+                    let mut hits = guard.search(query, options);
+                    for hit in &mut hits {
+                        // Local-slot order maps monotonically to
+                        // global-id order under any epoch (see
+                        // `epoch.rs`), so each per-shard ranked list
+                        // stays merge-ready.
+                        hit.id = RecordId(
+                            epoch
+                                .global_of(shard, hit.id.index())
+                                .expect("occupied slot resolves under the live epoch"),
+                        );
+                    }
+                    (hits, false)
+                };
+                drop(guard);
+                metrics.outstanding_reads.dec();
+                let shard_ns = elapsed_ns(shard_start);
+                metrics.scatter.get(shard).record_ns(shard_ns);
+                let trace = ShardTrace {
+                    shard,
+                    replica,
+                    skipped,
+                    hits: hits.len(),
+                    elapsed_ns: shard_ns,
+                };
+                (hits, trace)
             },
         );
-        merge_top_k(per_shard, options.top_k)
+        let scatter_ns = elapsed_ns(scatter_start);
+        let mut lists = Vec::with_capacity(per_shard.len());
+        let mut shards = Vec::with_capacity(per_shard.len());
+        for (hits, trace) in per_shard {
+            lists.push(hits);
+            shards.push(trace);
+        }
+        let gather_start = Instant::now();
+        let hits = merge_top_k(lists, options.top_k);
+        let gather_ns = elapsed_ns(gather_start);
+        metrics.gather.record_ns(gather_ns);
+        let total_ns = elapsed_ns(total_start);
+        metrics.search_total.record_ns(total_ns);
+        let trace = QueryTrace {
+            planner_ns,
+            scatter_ns,
+            gather_ns,
+            total_ns,
+            shards,
+        };
+        (hits, trace)
     }
 
     /// Scatter-gather search with a scene query (converted once, outside
@@ -1068,6 +1167,17 @@ impl ReplicatedImageDatabase {
     #[must_use]
     pub fn search_scene(&self, query: &Scene, options: &QueryOptions) -> Vec<SearchHit> {
         self.search(&be2d_core::convert_scene(query), options)
+    }
+
+    /// [`search_scene`](Self::search_scene) with the per-stage
+    /// [`QueryTrace`].
+    #[must_use]
+    pub fn search_scene_traced(
+        &self,
+        query: &Scene,
+        options: &QueryOptions,
+    ) -> (Vec<SearchHit>, QueryTrace) {
+        self.search_traced(&be2d_core::convert_scene(query), options)
     }
 
     /// Scatter-gather search with textual BE-strings (parsed once).
@@ -1083,6 +1193,22 @@ impl ReplicatedImageDatabase {
     ) -> Result<Vec<SearchHit>, DbError> {
         let query = BeString2D::parse(u, v).map_err(DbError::from)?;
         Ok(self.search(&query, options))
+    }
+
+    /// [`search_text`](Self::search_text) with the per-stage
+    /// [`QueryTrace`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors from the query strings.
+    pub fn search_text_traced(
+        &self,
+        u: &str,
+        v: &str,
+        options: &QueryOptions,
+    ) -> Result<(Vec<SearchHit>, QueryTrace), DbError> {
+        let query = BeString2D::parse(u, v).map_err(DbError::from)?;
+        Ok(self.search_traced(&query, options))
     }
 
     /// Takes a replica out of rotation — the fault-injection hook.
@@ -1281,6 +1407,7 @@ impl ReplicatedImageDatabase {
     /// Returns [`DbError::Persist`] when WAL durability mode is off;
     /// propagates snapshot and file I/O errors.
     pub fn checkpoint_wal(&self) -> Result<usize, DbError> {
+        let start = Instant::now();
         let Some(wal) = &self.inner.wal else {
             return Err(DbError::Persist {
                 reason: "WAL durability mode is not enabled".into(),
@@ -1292,6 +1419,7 @@ impl ReplicatedImageDatabase {
             wal.writer(shard).lock().truncate_below(floor)?;
             wal.truncations.fetch_add(1, Ordering::Relaxed);
         }
+        self.inner.metrics.checkpoint.record(start.elapsed());
         Ok(records)
     }
 

@@ -659,9 +659,10 @@ pub(crate) fn merge_top_k(lists: Vec<Vec<SearchHit>>, top_k: Option<usize>) -> V
 /// thread spawns would dominate the microsecond-scale scans, so the
 /// shards are scanned sequentially instead (results are identical
 /// either way).
-pub(crate) fn scatter_scan<F>(shards: usize, approx_records: usize, scan: F) -> Vec<Vec<SearchHit>>
+pub(crate) fn scatter_scan<T, F>(shards: usize, approx_records: usize, scan: F) -> Vec<T>
 where
-    F: Fn(usize) -> Vec<SearchHit> + Copy + Send + Sync,
+    T: Send,
+    F: Fn(usize) -> T + Copy + Send + Sync,
 {
     const SCATTER_MIN_RECORDS: usize = 64;
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());

@@ -1,0 +1,137 @@
+//! Query tracing and metrics instrumentation: traced searches must be
+//! bit-identical to untraced ones, stage timings must nest inside the
+//! measured total, and the always-on histograms must observe traffic.
+
+use be2d_db::{QueryOptions, ReplicatedImageDatabase};
+use be2d_geometry::{Scene, SceneBuilder};
+
+const CLASSES: [&str; 6] = ["A", "B", "C", "D", "F", "G"];
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> i64 {
+        i64::try_from(self.next() % n).expect("small bound")
+    }
+}
+
+fn random_scene(rng: &mut Lcg) -> Scene {
+    let objects = 2 + rng.below(4);
+    let mut builder = SceneBuilder::new(256, 256);
+    for _ in 0..objects {
+        let class = CLASSES[usize::try_from(rng.below(6)).unwrap()];
+        let xb = rng.below(200);
+        let yb = rng.below(200);
+        let w = 8 + rng.below(48);
+        let h = 8 + rng.below(48);
+        builder = builder.object(class, (xb, xb + w, yb, yb + h));
+    }
+    builder.build().expect("generated scene is valid")
+}
+
+fn populated(shards: usize, replicas: usize, n: usize) -> (ReplicatedImageDatabase, Vec<Scene>) {
+    let mut rng = Lcg(0xbe2d | 1);
+    let db = ReplicatedImageDatabase::with_topology(shards, replicas);
+    let mut scenes = Vec::with_capacity(n);
+    for i in 0..n {
+        let scene = random_scene(&mut rng);
+        db.insert_scene(&format!("img{i}"), &scene).unwrap();
+        scenes.push(scene);
+    }
+    (db, scenes)
+}
+
+/// Tracing rides the same code path as plain search, so ids, order,
+/// and scores must match to the last bit of the `f64`.
+#[test]
+fn traced_search_is_bit_identical_to_untraced() {
+    let (db, scenes) = populated(4, 2, 120);
+    let options = QueryOptions::default();
+    for scene in scenes.iter().take(25) {
+        let plain = db.search_scene(scene, &options);
+        let (traced, _) = db.search_scene_traced(scene, &options);
+        assert_eq!(plain.len(), traced.len());
+        for (a, b) in plain.iter().zip(&traced) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "scores must match bit-for-bit"
+            );
+        }
+    }
+}
+
+/// Stage timings are measured disjointly inside the total, the shard
+/// list covers the topology, and per-shard hit counts bound the merged
+/// result.
+#[test]
+fn trace_stages_nest_inside_the_total() {
+    let (db, scenes) = populated(4, 2, 120);
+    let options = QueryOptions {
+        top_k: Some(10),
+        ..QueryOptions::default()
+    };
+    for scene in scenes.iter().take(10) {
+        let (hits, trace) = db.search_scene_traced(scene, &options);
+        assert!(
+            trace.stage_sum_ns() <= trace.total_ns,
+            "stage sum {} must fit in total {}",
+            trace.stage_sum_ns(),
+            trace.total_ns
+        );
+        assert_eq!(trace.shards.len(), 4, "one entry per shard");
+        let contributed: usize = trace.shards.iter().map(|s| s.hits).sum();
+        assert!(contributed >= hits.len());
+        for shard in &trace.shards {
+            assert!(shard.replica < 2);
+            if shard.skipped {
+                assert_eq!(shard.hits, 0, "a skipped shard contributes nothing");
+            }
+        }
+    }
+}
+
+/// A single-shard topology still produces a coherent trace.
+#[test]
+fn single_shard_trace_has_one_entry() {
+    let (db, scenes) = populated(1, 1, 40);
+    let (_, trace) = db.search_scene_traced(&scenes[0], &QueryOptions::default());
+    assert_eq!(trace.shards.len(), 1);
+    assert_eq!(trace.planner_ns, 0);
+    assert_eq!(trace.gather_ns, 0);
+    assert!(trace.scatter_ns <= trace.total_ns);
+}
+
+/// The always-on histograms and counters observe every search and
+/// every logged mutation without any trace flag.
+#[test]
+fn metrics_observe_traffic() {
+    let (db, scenes) = populated(4, 2, 80);
+    let m = db.metrics();
+    assert_eq!(m.oplog_append.snapshot().count, 80, "one append per insert");
+    let before = m.search_total.snapshot().count;
+    for scene in scenes.iter().take(5) {
+        let _ = db.search_scene(scene, &QueryOptions::default());
+    }
+    let total = m.search_total.snapshot();
+    assert_eq!(total.count, before + 5);
+    assert!(total.sum_ns > 0);
+    let scatter0 = m.scatter.get(0).snapshot();
+    assert!(scatter0.count >= 5, "shard 0 scanned every search");
+    assert!(m.replica_picks.get() >= 20, "4 picks per 4-shard search");
+    assert_eq!(
+        m.outstanding_reads.get(),
+        0,
+        "reads all returned, gauge back to zero"
+    );
+}

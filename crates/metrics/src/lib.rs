@@ -1,0 +1,755 @@
+//! Dependency-free, lock-free metrics primitives with Prometheus text exposition.
+//!
+//! The crate provides four building blocks:
+//!
+//! - [`Counter`] — a monotonically increasing `u64` (one atomic add to record).
+//! - [`Gauge`] — a signed integer level that can go up and down.
+//! - [`Histogram`] — a log-bucketed latency histogram over nanoseconds with
+//!   power-of-two bucket bounds, safe for any number of concurrent writers.
+//!   Snapshots are mergeable and expose `p50`/`p95`/`p99`/`max`.
+//! - [`Registry`] — a process-wide catalogue of metric families rendered as
+//!   Prometheus text format 0.0.4 (`# HELP`/`# TYPE` pairs, `_bucket{le=...}`
+//!   cumulative buckets, `_sum`/`_count`, all durations in seconds).
+//!
+//! The hot path (recording a sample) touches only atomics — no locks, no
+//! allocation. The registry's mutex is taken only at registration time and
+//! when rendering a scrape.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of finite histogram bucket upper bounds.
+///
+/// Bounds are `1µs << i` for `i in 0..BUCKETS`, i.e. 1µs, 2µs, 4µs, ...,
+/// up to `2^25` µs ≈ 33.6s. Samples above the last finite bound land in the
+/// implicit `+Inf` overflow bucket.
+pub const BUCKETS: usize = 26;
+
+/// Finite bucket upper bounds in nanoseconds (exclusive of `+Inf`).
+const fn bounds() -> [u64; BUCKETS] {
+    let mut b = [0u64; BUCKETS];
+    let mut i = 0;
+    while i < BUCKETS {
+        b[i] = 1_000u64 << i;
+        i += 1;
+    }
+    b
+}
+
+/// The bucket upper bounds shared by every [`Histogram`], in nanoseconds.
+pub const BOUNDS_NS: [u64; BUCKETS] = bounds();
+
+const NS_PER_SEC: f64 = 1e9;
+
+/// A monotonically increasing counter. Cloning the `Arc` handle shares the
+/// underlying cell; recording is a single relaxed atomic add.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments the counter by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed integer gauge: a level that can move in both directions
+/// (queue depth, outstanding reads, pool saturation).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (which may be negative) to the gauge.
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the gauge by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrements the gauge by one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log-bucketed latency histogram over nanoseconds.
+///
+/// Bucket bounds are the shared power-of-two ladder [`BOUNDS_NS`] plus an
+/// implicit `+Inf` overflow bucket, so histograms from different sources are
+/// always mergeable bucket-for-bucket. Recording is wait-free: one atomic add
+/// for the bucket, plus count/sum/max updates.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS + 1],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS + 1],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration sample.
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one sample expressed in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        let idx = BOUNDS_NS.partition_point(|b| *b < ns);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Returns a point-in-time copy of the histogram state.
+    ///
+    /// Individual loads are relaxed, so a snapshot taken concurrently with
+    /// writers may be mid-update by at most the in-flight samples; totals are
+    /// never lost.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS + 1];
+        for (slot, bucket) in counts.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state, supporting quantile
+/// estimation and lossless merging with other snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts; the final slot is the `+Inf` overflow bucket.
+    pub counts: [u64; BUCKETS + 1],
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples in nanoseconds.
+    pub sum_ns: u64,
+    /// Largest observed sample in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the identity element for [`merge`](Self::merge)).
+    pub fn empty() -> Self {
+        Self {
+            counts: [0; BUCKETS + 1],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Merges two snapshots element-wise. Merging is commutative and
+    /// associative, so per-thread or per-shard histograms can be combined in
+    /// any order.
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut counts = self.counts;
+        for (slot, c) in counts.iter_mut().zip(other.counts.iter()) {
+            *slot += c;
+        }
+        Self {
+            counts,
+            count: self.count + other.count,
+            sum_ns: self.sum_ns + other.sum_ns,
+            max_ns: self.max_ns.max(other.max_ns),
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) in nanoseconds by linear
+    /// interpolation within the containing bucket. Returns 0 for an empty
+    /// snapshot; results are capped at the observed maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lower = if idx == 0 { 0 } else { BOUNDS_NS[idx - 1] };
+                let upper = if idx < BUCKETS {
+                    BOUNDS_NS[idx]
+                } else {
+                    self.max_ns.max(lower)
+                };
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lower as f64 + frac * (upper - lower) as f64;
+                return (est as u64).min(self.max_ns);
+            }
+            seen += c;
+        }
+        self.max_ns
+    }
+
+    /// Mean sample value in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// A fixed pool of histograms addressed by index, for per-shard series where
+/// the shard count can change at runtime (live resharding). Indices beyond
+/// the pool clamp to the final slot, which the registry labels as an
+/// overflow series (e.g. `shard="16+"`).
+#[derive(Debug, Clone)]
+pub struct HistogramPool {
+    slots: Vec<Arc<Histogram>>,
+}
+
+impl HistogramPool {
+    /// Creates a pool with `n` slots (at least one).
+    pub fn new(n: usize) -> Self {
+        Self {
+            slots: (0..n.max(1)).map(|_| Arc::new(Histogram::new())).collect(),
+        }
+    }
+
+    /// Returns the histogram for index `i`, clamping to the last slot.
+    pub fn get(&self, i: usize) -> &Arc<Histogram> {
+        &self.slots[i.min(self.slots.len() - 1)]
+    }
+
+    /// All slots in index order.
+    pub fn slots(&self) -> &[Arc<Histogram>] {
+        &self.slots
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Always false: pools have at least one slot.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The kind of a metric family, controlling its `# TYPE` line and rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Up/down level.
+    Gauge,
+    /// Log-bucketed latency histogram (rendered in seconds).
+    Histogram,
+}
+
+impl MetricKind {
+    fn type_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+type CounterFn = Box<dyn Fn() -> u64 + Send + Sync>;
+type GaugeFn = Box<dyn Fn() -> f64 + Send + Sync>;
+
+enum Series {
+    Counter(Arc<Counter>),
+    CounterFn(CounterFn),
+    Gauge(Arc<Gauge>),
+    GaugeFn(GaugeFn),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    series: Vec<(Vec<(String, String)>, Series)>,
+}
+
+/// A catalogue of metric families rendered as Prometheus text format.
+///
+/// Handles ([`Arc<Counter>`], [`Arc<Gauge>`], [`Arc<Histogram>`]) are shared
+/// between the registry and the instrumented code, so recording never goes
+/// through the registry. Callback series (`counter_fn`/`gauge_fn`) are
+/// evaluated at scrape time for values derived from existing state.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        f.debug_struct("Registry")
+            .field("families", &families.len())
+            .finish()
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn labels_to_owned(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+fn format_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Formats an `f64` the way Prometheus expects (no exponent surprises for
+/// the magnitudes we emit; trailing-zero trimming left to default Display).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: Vec<(String, String)>,
+        series: Series,
+    ) {
+        assert!(valid_name(name), "invalid metric name: {name}");
+        let mut families = self.families.lock().expect("metrics registry poisoned");
+        if let Some(f) = families.iter_mut().find(|f| f.name == name) {
+            assert!(
+                f.kind == kind,
+                "metric {name} re-registered with a different kind"
+            );
+            f.series.push((labels, series));
+        } else {
+            families.push(Family {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind,
+                series: vec![(labels, series)],
+            });
+        }
+    }
+
+    /// Creates and registers a new counter series, returning the handle.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.register_counter(name, help, labels, Arc::clone(&c));
+        c
+    }
+
+    /// Registers an existing counter handle as a series of family `name`.
+    pub fn register_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        counter: Arc<Counter>,
+    ) {
+        self.register(
+            name,
+            help,
+            MetricKind::Counter,
+            labels_to_owned(labels),
+            Series::Counter(counter),
+        );
+    }
+
+    /// Registers a counter series whose value is computed at scrape time.
+    pub fn counter_fn<F>(&self, name: &str, help: &str, labels: &[(&str, &str)], f: F)
+    where
+        F: Fn() -> u64 + Send + Sync + 'static,
+    {
+        self.register(
+            name,
+            help,
+            MetricKind::Counter,
+            labels_to_owned(labels),
+            Series::CounterFn(Box::new(f)),
+        );
+    }
+
+    /// Creates and registers a new gauge series, returning the handle.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.register(
+            name,
+            help,
+            MetricKind::Gauge,
+            labels_to_owned(labels),
+            Series::Gauge(Arc::clone(&g)),
+        );
+        g
+    }
+
+    /// Registers an existing gauge handle as a series of family `name`.
+    pub fn register_gauge(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        gauge: Arc<Gauge>,
+    ) {
+        self.register(
+            name,
+            help,
+            MetricKind::Gauge,
+            labels_to_owned(labels),
+            Series::Gauge(gauge),
+        );
+    }
+
+    /// Registers a gauge series whose value is computed at scrape time.
+    pub fn gauge_fn<F>(&self, name: &str, help: &str, labels: &[(&str, &str)], f: F)
+    where
+        F: Fn() -> f64 + Send + Sync + 'static,
+    {
+        self.register(
+            name,
+            help,
+            MetricKind::Gauge,
+            labels_to_owned(labels),
+            Series::GaugeFn(Box::new(f)),
+        );
+    }
+
+    /// Creates and registers a new histogram series, returning the handle.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new());
+        self.register_histogram(name, help, labels, Arc::clone(&h));
+        h
+    }
+
+    /// Registers an existing histogram handle as a series of family `name`.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        histogram: Arc<Histogram>,
+    ) {
+        self.register(
+            name,
+            help,
+            MetricKind::Histogram,
+            labels_to_owned(labels),
+            Series::Histogram(histogram),
+        );
+    }
+
+    /// Renders every family as Prometheus text exposition format 0.0.4.
+    ///
+    /// Durations are emitted in seconds; each family gets exactly one
+    /// `# HELP` and one `# TYPE` line followed by all its series.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        let mut out = String::with_capacity(4096);
+        for family in families.iter() {
+            out.push_str(&format!("# HELP {} {}\n", family.name, family.help));
+            out.push_str(&format!(
+                "# TYPE {} {}\n",
+                family.name,
+                family.kind.type_name()
+            ));
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            family.name,
+                            format_labels(labels),
+                            c.get()
+                        ));
+                    }
+                    Series::CounterFn(f) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            family.name,
+                            format_labels(labels),
+                            f()
+                        ));
+                    }
+                    Series::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            family.name,
+                            format_labels(labels),
+                            g.get()
+                        ));
+                    }
+                    Series::GaugeFn(f) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            family.name,
+                            format_labels(labels),
+                            fmt_f64(f())
+                        ));
+                    }
+                    Series::Histogram(h) => {
+                        render_histogram(&mut out, &family.name, labels, &h.snapshot());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    snap: &HistogramSnapshot,
+) {
+    let mut cumulative = 0u64;
+    for (idx, &c) in snap.counts.iter().enumerate() {
+        cumulative += c;
+        let le = if idx < BUCKETS {
+            fmt_f64(BOUNDS_NS[idx] as f64 / NS_PER_SEC)
+        } else {
+            "+Inf".to_string()
+        };
+        let mut with_le: Vec<(String, String)> = labels.to_vec();
+        with_le.push(("le".to_string(), le));
+        out.push_str(&format!(
+            "{}_bucket{} {}\n",
+            name,
+            format_labels(&with_le),
+            cumulative
+        ));
+    }
+    out.push_str(&format!(
+        "{}_sum{} {}\n",
+        name,
+        format_labels(labels),
+        fmt_f64(snap.sum_ns as f64 / NS_PER_SEC)
+    ));
+    out.push_str(&format!(
+        "{}_count{} {}\n",
+        name,
+        format_labels(labels),
+        snap.count
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_strictly_increasing_powers_of_two() {
+        for w in BOUNDS_NS.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+        assert_eq!(BOUNDS_NS[0], 1_000);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_bounds() {
+        // A sample exactly on a bound lands in that bound's bucket;
+        // one nanosecond above it lands in the next.
+        for (i, &b) in BOUNDS_NS.iter().enumerate() {
+            let h = Histogram::new();
+            h.record_ns(b);
+            assert_eq!(
+                h.snapshot().counts[i],
+                1,
+                "bound {b} should fall in bucket {i}"
+            );
+            let h2 = Histogram::new();
+            h2.record_ns(b + 1);
+            assert_eq!(h2.snapshot().counts[i + 1], 1);
+        }
+        // Zero lands in the first bucket; a huge sample lands in +Inf.
+        let h = Histogram::new();
+        h.record_ns(0);
+        h.record_ns(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[BUCKETS], 1);
+    }
+
+    #[test]
+    fn concurrent_writers_lose_no_samples() {
+        let h = Arc::new(Histogram::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        h.record_ns(1_000 * (t + 1) + i % 7);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, threads * per_thread);
+        assert_eq!(s.counts.iter().sum::<u64>(), threads * per_thread);
+        assert!(s.max_ns >= 1_000 * threads);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |samples: &[u64]| {
+            let h = Histogram::new();
+            for &s in samples {
+                h.record_ns(s);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[100, 5_000, 1_000_000]);
+        let b = mk(&[2_500, 2_500, 80_000_000]);
+        let c = mk(&[999, 1_000, 1_001]);
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&HistogramSnapshot::empty()), a);
+        let all = a.merge(&b).merge(&c);
+        assert_eq!(all.count, 9);
+        assert_eq!(all.max_ns, 80_000_000);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_capped_at_max() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record_ns(i * 10_000); // 10µs .. 10ms
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.50);
+        let p95 = s.quantile(0.95);
+        let p99 = s.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= s.max_ns);
+        // p50 of a uniform 10µs..10ms spread sits around 5ms, within the
+        // 2x resolution of power-of-two buckets.
+        assert!(p50 > 2_000_000 && p50 < 9_000_000, "p50={p50}");
+        assert_eq!(s.quantile(1.0), s.max_ns);
+        assert_eq!(HistogramSnapshot::empty().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn gauge_moves_both_directions() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.add(-5);
+        assert_eq!(g.get(), -4);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn pool_clamps_to_last_slot() {
+        let pool = HistogramPool::new(4);
+        pool.get(2).record_ns(500);
+        pool.get(99).record_ns(500);
+        assert_eq!(pool.get(2).snapshot().count, 1);
+        assert_eq!(pool.get(3).snapshot().count, 1);
+        assert_eq!(pool.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_are_rejected() {
+        Registry::new().counter("9bad-name", "nope", &[]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Prometheus text exposition format tests: line syntax, stable names,
+//! HELP/TYPE pairing, cumulative buckets, and label escaping.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use be2d_metrics::{Counter, Registry, BUCKETS};
+
+fn build_registry() -> Registry {
+    let registry = Registry::new();
+    let reqs = registry.counter(
+        "be2d_http_responses_total",
+        "HTTP responses by status class",
+        &[("class", "2xx")],
+    );
+    reqs.add(42);
+    registry.register_counter(
+        "be2d_http_responses_total",
+        "HTTP responses by status class",
+        &[("class", "5xx")],
+        Arc::new(Counter::new()),
+    );
+    registry.gauge_fn("be2d_uptime_seconds", "Process uptime", &[], || 12.5);
+    let h = registry.histogram(
+        "be2d_http_request_duration_seconds",
+        "Request latency",
+        &[("route", "search")],
+    );
+    h.record(Duration::from_micros(150));
+    h.record(Duration::from_millis(3));
+    registry
+}
+
+/// Every non-comment line must be `name{labels} value` with a parseable value.
+#[test]
+fn every_line_is_valid_prometheus_syntax() {
+    let text = build_registry().render();
+    assert!(text.ends_with('\n'));
+    for line in text.lines() {
+        if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("line has a value");
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in line: {line}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf",
+            "unparseable value in line: {line}"
+        );
+        if let Some(rest) = series.strip_prefix(name) {
+            if !rest.is_empty() {
+                assert!(
+                    rest.starts_with('{') && rest.ends_with('}'),
+                    "bad labels: {line}"
+                );
+                assert!(rest.contains('='), "labels without assignment: {line}");
+            }
+        }
+    }
+}
+
+/// Each family appears with exactly one HELP and one TYPE line, HELP first,
+/// and the metric names are the stable public names.
+#[test]
+fn help_type_pairs_once_per_family_with_stable_names() {
+    let text = build_registry().render();
+    for name in [
+        "be2d_http_responses_total",
+        "be2d_uptime_seconds",
+        "be2d_http_request_duration_seconds",
+    ] {
+        let help = format!("# HELP {name} ");
+        let typ = format!("# TYPE {name} ");
+        assert_eq!(
+            text.lines().filter(|l| l.starts_with(&help)).count(),
+            1,
+            "exactly one HELP for {name}"
+        );
+        assert_eq!(
+            text.lines().filter(|l| l.starts_with(&typ)).count(),
+            1,
+            "exactly one TYPE for {name}"
+        );
+        let help_idx = text.lines().position(|l| l.starts_with(&help)).unwrap();
+        let type_idx = text.lines().position(|l| l.starts_with(&typ)).unwrap();
+        assert_eq!(
+            type_idx,
+            help_idx + 1,
+            "TYPE directly follows HELP for {name}"
+        );
+    }
+    assert!(text.contains("# TYPE be2d_http_responses_total counter"));
+    assert!(text.contains("# TYPE be2d_uptime_seconds gauge"));
+    assert!(text.contains("# TYPE be2d_http_request_duration_seconds histogram"));
+}
+
+/// Histogram buckets are cumulative, end at +Inf == _count, and _sum is in
+/// seconds.
+#[test]
+fn histogram_buckets_are_cumulative_in_seconds() {
+    let text = build_registry().render();
+    let bucket_lines: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("be2d_http_request_duration_seconds_bucket"))
+        .collect();
+    assert_eq!(
+        bucket_lines.len(),
+        BUCKETS + 1,
+        "one line per bucket plus +Inf"
+    );
+    let mut prev = 0u64;
+    for line in &bucket_lines {
+        let v: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+        assert!(v >= prev, "buckets must be cumulative: {line}");
+        prev = v;
+    }
+    let inf = bucket_lines.last().unwrap();
+    assert!(inf.contains("le=\"+Inf\""));
+    assert_eq!(inf.rsplit_once(' ').unwrap().1, "2");
+    let count_line = text
+        .lines()
+        .find(|l| l.starts_with("be2d_http_request_duration_seconds_count"))
+        .unwrap();
+    assert_eq!(count_line.rsplit_once(' ').unwrap().1, "2");
+    let sum_line = text
+        .lines()
+        .find(|l| l.starts_with("be2d_http_request_duration_seconds_sum"))
+        .unwrap();
+    let sum: f64 = sum_line.rsplit_once(' ').unwrap().1.parse().unwrap();
+    assert!(
+        (sum - 0.00315).abs() < 1e-6,
+        "sum should be 150µs + 3ms in seconds, got {sum}"
+    );
+    // The le labels carry the original route label too.
+    assert!(bucket_lines[0].contains("route=\"search\""));
+}
+
+/// Label values with quotes, backslashes, and newlines are escaped.
+#[test]
+fn label_values_are_escaped() {
+    let registry = Registry::new();
+    registry
+        .counter("esc_total", "escape test", &[("v", "a\"b\\c\nd")])
+        .inc();
+    let text = registry.render();
+    assert!(text.contains("esc_total{v=\"a\\\"b\\\\c\\nd\"} 1"));
+}
+
+/// A histogram fed from many threads scrapes with consistent totals.
+#[test]
+fn concurrent_recording_scrapes_consistently() {
+    let registry = Registry::new();
+    let h = registry.histogram("conc_seconds", "concurrency test", &[]);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let h = Arc::clone(&h);
+            scope.spawn(move || {
+                for i in 0..5_000u64 {
+                    h.record_ns(1_000 + i);
+                }
+            });
+        }
+    });
+    let text = registry.render();
+    let count_line = text
+        .lines()
+        .find(|l| l.starts_with("conc_seconds_count"))
+        .unwrap();
+    assert_eq!(count_line.rsplit_once(' ').unwrap().1, "20000");
+    let inf_line = text
+        .lines()
+        .rfind(|l| l.starts_with("conc_seconds_bucket"))
+        .unwrap();
+    assert_eq!(inf_line.rsplit_once(' ').unwrap().1, "20000");
+}

@@ -9,7 +9,9 @@
 
 use crate::http::Response;
 use be2d_core::SymbolicImage;
-use be2d_db::{CandidateSource, DbError, Parallelism, PrefilterMode, QueryOptions, SearchHit};
+use be2d_db::{
+    CandidateSource, DbError, Parallelism, PrefilterMode, QueryOptions, QueryTrace, SearchHit,
+};
 use be2d_geometry::{ObjectClass, Rect, Scene, Transform};
 use serde::{Deserialize, Serialize, Value};
 
@@ -127,6 +129,16 @@ fn as_i64(v: &Value, what: &str) -> Result<i64, ApiError> {
 
 fn as_f64(v: &Value, what: &str) -> Result<f64, ApiError> {
     f64::from_value(v).map_err(|_| ApiError::bad(format!("{what} must be a number")))
+}
+
+fn as_bool(v: &Value, what: &str) -> Result<bool, ApiError> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        other => Err(ApiError::bad(format!(
+            "{what} must be a boolean, got {}",
+            other.kind()
+        ))),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -258,6 +270,9 @@ pub struct SearchRequest {
     pub query: SearchQuery,
     /// Fully resolved options (server defaults filled in).
     pub options: QueryOptions,
+    /// `"trace": true` — include the per-stage timing breakdown in the
+    /// response. Rankings are bit-identical either way.
+    pub trace: bool,
 }
 
 /// The accepted search payloads.
@@ -297,7 +312,15 @@ impl SearchRequest {
             (None, None) => return Err(ApiError::bad("missing \"scene\" or \"text\" query")),
         };
         let options = options_from_value(get(obj, "options"), defaults)?;
-        Ok(SearchRequest { query, options })
+        let trace = match get(obj, "trace") {
+            Some(v) => as_bool(v, "trace")?,
+            None => false,
+        };
+        Ok(SearchRequest {
+            query,
+            options,
+            trace,
+        })
     }
 }
 
@@ -308,6 +331,8 @@ pub struct SketchRequest {
     pub sketch: String,
     /// Fully resolved options.
     pub options: QueryOptions,
+    /// `"trace": true` — include the per-stage timing breakdown.
+    pub trace: bool,
 }
 
 impl SketchRequest {
@@ -320,7 +345,15 @@ impl SketchRequest {
         let obj = as_obj(v, "body")?;
         let sketch = as_str(required(obj, "sketch")?, "sketch")?.to_owned();
         let options = options_from_value(get(obj, "options"), defaults)?;
-        Ok(SketchRequest { sketch, options })
+        let trace = match get(obj, "trace") {
+            Some(v) => as_bool(v, "trace")?,
+            None => false,
+        };
+        Ok(SketchRequest {
+            sketch,
+            options,
+            trace,
+        })
     }
 }
 
@@ -593,6 +626,116 @@ impl SearchResponse {
                 .collect(),
         }
     }
+}
+
+/// One shard's slice of a query trace, in milliseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardTraceDto {
+    /// Physical shard index.
+    pub shard: usize,
+    /// Replica the read picker chose.
+    pub replica: usize,
+    /// Whether the planner skipped the scan entirely.
+    pub skipped: bool,
+    /// Hits the shard contributed before the merge.
+    pub hits: usize,
+    /// Scan duration in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// Per-stage timing breakdown of one search, in milliseconds. The
+/// stage sum is always at most `total_ms` (stages are measured
+/// disjointly inside the total).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceDto {
+    /// Scatter planning (query-class extraction, epoch snapshot).
+    pub planner_ms: f64,
+    /// Wall time of the whole scatter.
+    pub scatter_ms: f64,
+    /// K-way merge of per-shard rankings.
+    pub gather_ms: f64,
+    /// End-to-end search duration.
+    pub total_ms: f64,
+    /// One entry per shard.
+    pub shards: Vec<ShardTraceDto>,
+}
+
+impl TraceDto {
+    /// Converts a database [`QueryTrace`] to the wire form.
+    #[must_use]
+    pub fn from_trace(trace: &QueryTrace) -> TraceDto {
+        TraceDto {
+            planner_ms: ns_to_ms(trace.planner_ns),
+            scatter_ms: ns_to_ms(trace.scatter_ns),
+            gather_ms: ns_to_ms(trace.gather_ns),
+            total_ms: ns_to_ms(trace.total_ns),
+            shards: trace
+                .shards
+                .iter()
+                .map(|s| ShardTraceDto {
+                    shard: s.shard,
+                    replica: s.replica,
+                    skipped: s.skipped,
+                    hits: s.hits,
+                    elapsed_ms: ns_to_ms(s.elapsed_ns),
+                })
+                .collect(),
+        }
+    }
+}
+
+pub(crate) fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Body of a traced search response (`"trace": true`): the ordinary
+/// hits plus the timing breakdown. Untraced responses keep the exact
+/// legacy [`SearchResponse`] shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracedSearchResponse {
+    /// Ranked hits, best first — identical to the untraced ranking.
+    pub hits: Vec<HitDto>,
+    /// The per-stage timing breakdown.
+    pub trace: TraceDto,
+}
+
+/// One retained slow query, worst-first in the ring dump.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowQueryDto {
+    /// Query kind: `"scene"`, `"text"`, or `"sketch"`.
+    pub kind: String,
+    /// End-to-end duration in milliseconds.
+    pub total_ms: f64,
+    /// Planner stage in milliseconds.
+    pub planner_ms: f64,
+    /// Scatter stage in milliseconds.
+    pub scatter_ms: f64,
+    /// Gather stage in milliseconds.
+    pub gather_ms: f64,
+    /// Hits returned.
+    pub hits: usize,
+    /// The request's `top_k` (null = unbounded).
+    pub top_k: Option<usize>,
+    /// Server uptime when the query finished, in seconds.
+    pub at_uptime_s: f64,
+}
+
+/// Body of `GET /v1/debug/slow_queries`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowQueriesResponse {
+    /// Ring capacity (the most entries ever retained).
+    pub capacity: usize,
+    /// Retained queries, slowest first.
+    pub queries: Vec<SlowQueryDto>,
+}
+
+/// Body of `POST /v1/admin/checkpoint`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointResponse {
+    /// Records captured in the fresh WAL anchor snapshot.
+    pub records: usize,
+    /// Checkpoint duration in milliseconds.
+    pub duration_ms: f64,
 }
 
 /// Body of an insert response.

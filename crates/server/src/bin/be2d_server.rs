@@ -39,6 +39,8 @@ fn usage() -> &'static str {
        --wal-fsync-every N fsync the WAL after N records; 1 = every\n\
                           acknowledged write is on disk (default 64)\n\
        --queue N          pending-connection queue before 503 shedding (default 64)\n\
+       --slow-queries N   worst traced queries retained for\n\
+                          GET /v1/debug/slow_queries; 0 disables (default 32)\n\
        --keep-alive N     requests served per connection (default 256)\n\
        --db PATH          load this snapshot into the database at boot\n\
        --snapshot-dir DIR directory POST /snapshot and /restore are confined to (default .)\n\
@@ -120,6 +122,11 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<PathBuf>), String
                 config.queue_capacity = value("--queue")?
                     .parse()
                     .map_err(|_| "--queue must be a number".to_owned())?;
+            }
+            "--slow-queries" => {
+                config.slow_query_capacity = value("--slow-queries")?
+                    .parse()
+                    .map_err(|_| "--slow-queries must be a number".to_owned())?;
             }
             "--keep-alive" => {
                 config.keep_alive_requests = value("--keep-alive")?

@@ -37,6 +37,9 @@ fn usage() -> &'static str {
                            (default: the server's configured batch)\n\
        --api v1|legacy     drive the versioned /v1/ paths or the deprecated\n\
                            legacy aliases (default: legacy)\n\
+       --trace-sample N    every Nth search asks the server for its per-stage\n\
+                           timing breakdown, aggregated into the report\n\
+                           (default 0 = off)\n\
        --out PATH          write the JSON report here (default BENCH_server.json)\n\
        --help              this text\n"
 }
@@ -63,7 +66,8 @@ fn parse_args(args: &[String]) -> Result<(LoadgenConfig, String), String> {
             }
             "--out" => out = value,
             "--requests" | "--connections" | "--rate" | "--mix" | "--skew" | "--seed"
-            | "--prefill" | "--reshard-to" | "--reshard-after" | "--reshard-batch" | "--api" => {
+            | "--prefill" | "--reshard-to" | "--reshard-after" | "--reshard-batch" | "--api"
+            | "--trace-sample" => {
                 overrides.push((flag.clone(), value));
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -114,6 +118,11 @@ fn parse_args(args: &[String]) -> Result<(LoadgenConfig, String), String> {
                 config.reshard_batch = value
                     .parse()
                     .map_err(|_| "--reshard-batch must be a number".to_owned())?;
+            }
+            "--trace-sample" => {
+                config.trace_sample = value
+                    .parse()
+                    .map_err(|_| "--trace-sample must be a number".to_owned())?;
             }
             "--api" => {
                 config.api_v1 = match value.as_str() {

@@ -48,6 +48,9 @@ pub struct ServerConfig {
     /// Connections allowed to wait for a free worker before new ones
     /// are shed with `503 Service Unavailable`.
     pub queue_capacity: usize,
+    /// Slowest queries retained for `GET /v1/debug/slow_queries`
+    /// (0 disables the slow-query ring).
+    pub slow_query_capacity: usize,
     /// Socket read timeout: bounds both the wait for the next
     /// keep-alive request and each read while parsing one request.
     pub read_timeout: Duration,
@@ -86,6 +89,7 @@ impl Default for ServerConfig {
             wal_dir: None,
             wal_fsync_every: 64,
             queue_capacity: 64,
+            slow_query_capacity: 32,
             read_timeout: Duration::from_secs(5),
             request_timeout: Duration::from_secs(15),
             write_timeout: Duration::from_secs(5),

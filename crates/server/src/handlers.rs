@@ -1,17 +1,24 @@
 //! Request handlers: routes dispatched against the shared database.
 
 use crate::api::{
-    json_response, parse_body, AckResponse, ApiError, InsertBody, InsertRequest, InsertResponse,
-    ObjectEdit, OplogSection, PathRequest, PlannerSection, ReplicaLagDto, ReplicaRequest,
-    ReplicaResponse, ReplicationSection, ReshardRequest, ReshardResponse, ReshardSection,
-    SearchQuery, SearchRequest, SearchResponse, ServiceSection, ShardReplicationDto, SketchRequest,
-    SnapshotResponse, StatsResponse, StatsV1Response, TopologySection, WalSection,
+    json_response, ns_to_ms, parse_body, AckResponse, ApiError, CheckpointResponse, InsertBody,
+    InsertRequest, InsertResponse, ObjectEdit, OplogSection, PathRequest, PlannerSection,
+    ReplicaLagDto, ReplicaRequest, ReplicaResponse, ReplicationSection, ReshardRequest,
+    ReshardResponse, ReshardSection, SearchQuery, SearchRequest, SearchResponse, ServiceSection,
+    ShardReplicationDto, SketchRequest, SlowQueriesResponse, SlowQueryDto, SnapshotResponse,
+    StatsResponse, StatsV1Response, TopologySection, TraceDto, TracedSearchResponse, WalSection,
 };
 use crate::http::{default_code, Request, Response};
+use crate::metrics::{build_registry, HttpMetrics};
 use crate::router::{resolve, Route};
+use crate::slowlog::{SlowQueryEntry, SlowQueryLog};
 use crate::ServerConfig;
 use be2d_db::sketch::Sketch;
-use be2d_db::{QueryOptions, RecordId, ReplicatedImageDatabase, ReplicationMode, Resharder};
+use be2d_db::{
+    QueryOptions, QueryTrace, RecordId, ReplicatedImageDatabase, ReplicationMode, Resharder,
+    SearchHit,
+};
+use be2d_metrics::Registry;
 use serde::Value;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,8 +48,16 @@ pub struct AppState {
     pub db: ReplicatedImageDatabase,
     /// Immutable server configuration.
     pub config: ServerConfig,
-    /// Service counters.
-    pub stats: ServerStats,
+    /// Service counters (shared with the metric registry's scrape-time
+    /// callbacks, hence the `Arc`).
+    pub stats: Arc<ServerStats>,
+    /// The Prometheus registry behind `GET /v1/metrics`.
+    pub(crate) registry: Registry,
+    /// Request-path metric handles (per-route latency, queue pressure).
+    pub(crate) http_metrics: HttpMetrics,
+    /// Bounded ring of the slowest queries seen, for
+    /// `GET /v1/debug/slow_queries`.
+    pub(crate) slow_log: SlowQueryLog,
     /// Query options applied when a request sends none.
     pub default_options: QueryOptions,
     /// Set by `POST /admin/shutdown`; the accept loop watches it.
@@ -69,17 +84,31 @@ impl AppState {
         threads: usize,
         addr: std::net::SocketAddr,
     ) -> Arc<AppState> {
+        let started = Instant::now();
+        let stats = Arc::new(ServerStats::default());
+        let http_metrics = HttpMetrics::new();
+        let registry = build_registry(&db, &stats, &http_metrics, started);
+        let slow_log = SlowQueryLog::new(config.slow_query_capacity);
         Arc::new(AppState {
             db,
             config,
-            stats: ServerStats::default(),
+            stats,
+            registry,
+            http_metrics,
+            slow_log,
             default_options: QueryOptions::serving(),
             shutdown: AtomicBool::new(false),
             reshard_inflight: Arc::new(AtomicBool::new(false)),
             threads,
             addr,
-            started: Instant::now(),
+            started,
         })
+    }
+
+    /// Seconds since this server instance was constructed.
+    #[must_use]
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
     }
 
     /// Whether graceful shutdown has been requested.
@@ -97,13 +126,15 @@ impl AppState {
     }
 }
 
-/// Serves one parsed request, updating the stats counters. Requests on
-/// legacy unversioned paths are answered with a `deprecation: true`
-/// header (success and error alike) — the `/v1/` namespace is the
-/// current surface.
+/// Serves one parsed request, updating the stats counters and the
+/// per-route latency histogram. Requests on legacy unversioned paths
+/// are answered with a `deprecation: true` header (success and error
+/// alike) — the `/v1/` namespace is the current surface.
 pub fn handle(state: &AppState, request: &Request) -> Response {
+    let start = Instant::now();
     let resolved = resolve(request.method, &request.path);
     let deprecated = resolved.as_ref().is_ok_and(|r| r.deprecated);
+    let route = resolved.as_ref().ok().map(|r| r.route);
     let response = match resolved {
         Ok(resolved) => {
             dispatch(state, resolved.route, request).unwrap_or_else(|e| e.to_response())
@@ -116,6 +147,9 @@ pub fn handle(state: &AppState, request: &Request) -> Response {
     if response.status >= 400 {
         state.stats.errors.fetch_add(1, Ordering::Relaxed);
     }
+    state
+        .http_metrics
+        .record(route, response.status, start.elapsed());
     if deprecated {
         response.with_header("deprecation", "true")
     } else {
@@ -125,7 +159,10 @@ pub fn handle(state: &AppState, request: &Request) -> Response {
 
 fn dispatch(state: &AppState, route: Route, request: &Request) -> Result<Response, ApiError> {
     match route {
-        Route::Health => Ok(Response::json(200, "{\"status\":\"ok\"}".into())),
+        Route::Health => Ok(healthz(state)),
+        Route::Metrics => Ok(metrics(state)),
+        Route::SlowQueries => Ok(slow_queries(state)),
+        Route::Checkpoint => checkpoint(state),
         Route::InsertImage => insert_image(state, &body_of(request)?),
         Route::DeleteImage(id) => delete_image(state, id),
         Route::AddObject(id) => edit_object(state, id, &body_of(request)?, true),
@@ -148,6 +185,114 @@ fn dispatch(state: &AppState, route: Route, request: &Request) -> Result<Respons
 
 fn body_of(request: &Request) -> Result<Value, ApiError> {
     parse_body(&request.body)
+}
+
+/// `GET /healthz`: liveness plus the build version and uptime, so a
+/// probe (or a human) can tell which build answered and how long it
+/// has been alive.
+fn healthz(state: &AppState) -> Response {
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"version\":\"{}\",\"uptime_s\":{:.3}}}",
+            env!("CARGO_PKG_VERSION"),
+            state.uptime_s()
+        ),
+    )
+}
+
+/// `GET /v1/metrics`: every registered family in Prometheus text
+/// exposition format 0.0.4. Rendering reads atomics; it never blocks
+/// the request path.
+fn metrics(state: &AppState) -> Response {
+    Response {
+        status: 200,
+        body: state.registry.render().into_bytes(),
+        content_type: "text/plain; version=0.0.4",
+        headers: Vec::new(),
+    }
+}
+
+/// `GET /v1/debug/slow_queries`: the worst queries retained in the
+/// slow-query ring, slowest first.
+fn slow_queries(state: &AppState) -> Response {
+    let queries = state
+        .slow_log
+        .snapshot()
+        .iter()
+        .map(|e| SlowQueryDto {
+            kind: e.kind.to_owned(),
+            total_ms: ns_to_ms(e.total_ns),
+            planner_ms: ns_to_ms(e.planner_ns),
+            scatter_ms: ns_to_ms(e.scatter_ns),
+            gather_ms: ns_to_ms(e.gather_ns),
+            hits: e.hits,
+            top_k: e.top_k,
+            at_uptime_s: e.at_uptime_s,
+        })
+        .collect();
+    json_response(
+        200,
+        &SlowQueriesResponse {
+            capacity: state.slow_log.capacity(),
+            queries,
+        },
+    )
+}
+
+/// `POST /v1/admin/checkpoint`: WAL checkpoint over HTTP — fresh anchor
+/// snapshots plus on-disk log truncation. 500 `persist_failed` when the
+/// database runs without a WAL.
+fn checkpoint(state: &AppState) -> Result<Response, ApiError> {
+    let start = Instant::now();
+    let records = state
+        .db
+        .checkpoint_wal()
+        .map_err(|e| ApiError::from_db(&e))?;
+    Ok(json_response(
+        200,
+        &CheckpointResponse {
+            records,
+            duration_ms: start.elapsed().as_secs_f64() * 1e3,
+        },
+    ))
+}
+
+/// Offers one finished search to the slow-query ring. Cheap enough to
+/// run unconditionally: sub-floor queries cost one atomic load.
+fn offer_slow(
+    state: &AppState,
+    kind: &'static str,
+    hits: &[SearchHit],
+    options: &QueryOptions,
+    trace: &QueryTrace,
+) {
+    state.slow_log.offer(SlowQueryEntry {
+        kind,
+        total_ns: trace.total_ns,
+        planner_ns: trace.planner_ns,
+        scatter_ns: trace.scatter_ns,
+        gather_ns: trace.gather_ns,
+        hits: hits.len(),
+        top_k: options.top_k,
+        at_uptime_s: state.uptime_s(),
+    });
+}
+
+/// Builds the search response: the legacy shape by default, hits plus
+/// the per-stage breakdown when the request set `"trace": true`.
+fn search_response(hits: &[SearchHit], trace: &QueryTrace, traced: bool) -> Response {
+    if traced {
+        json_response(
+            200,
+            &TracedSearchResponse {
+                hits: SearchResponse::from_hits(hits).hits,
+                trace: TraceDto::from_trace(trace),
+            },
+        )
+    } else {
+        json_response(200, &SearchResponse::from_hits(hits))
+    }
 }
 
 fn insert_image(state: &AppState, body: &Value) -> Result<Response, ApiError> {
@@ -217,15 +362,22 @@ fn edit_object(
 
 fn search(state: &AppState, body: &Value) -> Result<Response, ApiError> {
     let req = SearchRequest::from_value(body, &state.default_options)?;
-    let hits = match &req.query {
-        SearchQuery::Scene(scene) => state.db.search_scene(scene, &req.options),
-        SearchQuery::Text { u, v } => state
-            .db
-            .search_text(u, v, &req.options)
-            .map_err(|e| ApiError::from_db(&e))?,
+    // Always the traced path: metrics and the slow-query ring see every
+    // search, and tracing is the only search implementation, so the
+    // rankings cannot depend on whether the breakdown is returned.
+    let (kind, (hits, trace)) = match &req.query {
+        SearchQuery::Scene(scene) => ("scene", state.db.search_scene_traced(scene, &req.options)),
+        SearchQuery::Text { u, v } => (
+            "text",
+            state
+                .db
+                .search_text_traced(u, v, &req.options)
+                .map_err(|e| ApiError::from_db(&e))?,
+        ),
     };
     state.stats.searches.fetch_add(1, Ordering::Relaxed);
-    Ok(json_response(200, &SearchResponse::from_hits(&hits)))
+    offer_slow(state, kind, &hits, &req.options, &trace);
+    Ok(search_response(&hits, &trace, req.trace))
 }
 
 fn search_sketch(state: &AppState, body: &Value) -> Result<Response, ApiError> {
@@ -233,9 +385,10 @@ fn search_sketch(state: &AppState, body: &Value) -> Result<Response, ApiError> {
     let scene = Sketch::parse(&req.sketch)
         .and_then(|s| s.to_scene())
         .map_err(|e| ApiError::from_db(&e))?;
-    let hits = state.db.search_scene(&scene, &req.options);
+    let (hits, trace) = state.db.search_scene_traced(&scene, &req.options);
     state.stats.searches.fetch_add(1, Ordering::Relaxed);
-    Ok(json_response(200, &SearchResponse::from_hits(&hits)))
+    offer_slow(state, "sketch", &hits, &req.options, &trace);
+    Ok(search_response(&hits, &trace, req.trace))
 }
 
 /// `POST /admin/replicas/fail` / `heal`: fault injection and recovery

@@ -43,11 +43,14 @@
 //! | `DELETE /v1/images/{id}` | — | remove an image |
 //! | `POST /v1/images/{id}/objects` | `{"class", "mbr"}` | §3.2 incremental object insert |
 //! | `DELETE /v1/images/{id}/objects` | `{"class", "mbr"}` | §3.2 incremental object removal |
-//! | `POST /v1/search` | `{"scene"` or `"text", "options"?}` | ranked similarity search |
-//! | `POST /v1/search/sketch` | `{"sketch", "options"?}` | spatial-pattern sketch search |
+//! | `POST /v1/search` | `{"scene"` or `"text", "options"?, "trace"?}` | ranked similarity search; `"trace": true` adds a per-stage timing breakdown |
+//! | `POST /v1/search/sketch` | `{"sketch", "options"?, "trace"?}` | spatial-pattern sketch search |
 //! | `GET /v1/stats` | — | nested statistics: topology, replication (per-replica lag), planner, reshard, op log, service |
 //! | `GET /stats` | — | legacy flat statistics shape (unchanged; still deprecated as a path) |
-//! | `GET /healthz` | — | liveness probe |
+//! | `GET /v1/metrics` | — | Prometheus text exposition (histograms, counters, gauges) |
+//! | `GET /v1/debug/slow_queries` | — | the worst traced queries retained in the slow-query ring |
+//! | `GET /healthz` | — | liveness probe with build version and uptime |
+//! | `POST /v1/admin/checkpoint` | — | WAL checkpoint: fresh anchor snapshot + log truncation |
 //! | `POST /v1/snapshot` | `{"path"?}` | crash-safe incremental snapshot to disk |
 //! | `POST /v1/restore` | `{"path"?}` | replace the database from a snapshot |
 //! | `POST /v1/admin/reshard` | `{"shards", "batch"?}` | start a live migration to a new shard count |
@@ -100,13 +103,17 @@ mod handlers;
 pub mod http;
 /// The load generator.
 pub mod loadgen;
+mod metrics;
 mod pool;
 /// Route resolution.
 pub mod router;
 mod server;
+/// The bounded slow-query ring behind `GET /v1/debug/slow_queries`.
+pub mod slowlog;
 
 pub use config::ServerConfig;
 pub use handlers::{AppState, ServerStats};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use pool::{RejectReason, ThreadPool};
 pub use server::{Server, ServerHandle};
+pub use slowlog::{SlowQueryEntry, SlowQueryLog};

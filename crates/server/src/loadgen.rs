@@ -69,6 +69,10 @@ pub struct LoadgenConfig {
     /// Drive the versioned `/v1/` API surface instead of the legacy
     /// (deprecated) paths.
     pub api_v1: bool,
+    /// When > 0, every Nth search request sets `"trace": true` and the
+    /// returned per-stage breakdown is folded into the report's `trace`
+    /// section (0 = no tracing).
+    pub trace_sample: usize,
 }
 
 impl LoadgenConfig {
@@ -91,6 +95,7 @@ impl LoadgenConfig {
             reshard_after: 0,
             reshard_batch: 0,
             api_v1: false,
+            trace_sample: 0,
         }
     }
 
@@ -119,6 +124,33 @@ pub struct LatencySummary {
     pub max_ms: f64,
     /// Arithmetic mean.
     pub mean_ms: f64,
+}
+
+/// Per-stage server-side timings aggregated over the traced search
+/// samples (`--trace-sample N`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStages {
+    /// Traced searches whose breakdown was parsed.
+    pub sampled: usize,
+    /// Mean planner stage (shard pruning) in ms.
+    pub planner_mean_ms: f64,
+    /// Mean scatter stage (parallel fan-out wall-clock) in ms.
+    pub scatter_mean_ms: f64,
+    /// Mean gather stage (k-way merge) in ms.
+    pub gather_mean_ms: f64,
+    /// Mean server-side search total in ms.
+    pub total_mean_ms: f64,
+    /// Worst server-side search total in ms.
+    pub total_max_ms: f64,
+}
+
+/// One parsed per-stage breakdown from a traced search response.
+#[derive(Debug, Clone, Copy)]
+struct TraceSample {
+    planner_ms: f64,
+    scatter_ms: f64,
+    gather_ms: f64,
+    total_ms: f64,
 }
 
 /// The run summary, serialised to `BENCH_server.json`.
@@ -151,6 +183,9 @@ pub struct LoadgenReport {
     pub reshard_duration_ms: f64,
     /// Requests actually performed per kind (fallbacks included).
     pub by_kind: BTreeMap<String, u64>,
+    /// Server-side per-stage timings over traced search samples
+    /// (`None` when the run sampled no traces).
+    pub trace: Option<TraceStages>,
 }
 
 impl LoadgenReport {
@@ -190,6 +225,18 @@ impl LoadgenReport {
             out.push_str(&format!(
                 "  live reshard to {} shards finished in {:.0}ms mid-run\n",
                 self.reshard_to, self.reshard_duration_ms
+            ));
+        }
+        if let Some(trace) = &self.trace {
+            out.push_str(&format!(
+                "  server stages over {} traced searches: planner {:.3}ms  \
+                 scatter {:.3}ms  gather {:.3}ms  total mean {:.3}ms / max {:.3}ms\n",
+                trace.sampled,
+                trace.planner_mean_ms,
+                trace.scatter_mean_ms,
+                trace.gather_mean_ms,
+                trace.total_mean_ms,
+                trace.total_max_ms,
             ));
         }
         for (kind, count) in &self.by_kind {
@@ -235,6 +282,7 @@ struct WorkerOutcome {
     latencies_ms: Vec<f64>,
     errors: usize,
     by_kind: BTreeMap<String, u64>,
+    traces: Vec<TraceSample>,
 }
 
 /// Runs the load against an already-listening server.
@@ -334,12 +382,14 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
     let mut latencies: Vec<f64> = Vec::with_capacity(config.requests);
     let mut errors = 0usize;
     let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
+    let mut traces: Vec<TraceSample> = Vec::new();
     for outcome in outcomes {
         latencies.extend(outcome.latencies_ms);
         errors += outcome.errors;
         for (kind, count) in outcome.by_kind {
             *by_kind.entry(kind).or_insert(0) += count;
         }
+        traces.extend(outcome.traces);
     }
     let reshard_duration_ms = match reshard_outcome {
         Some(ReshardOutcome::Finished { duration_ms }) => duration_ms,
@@ -378,6 +428,24 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
         reshard_to: config.reshard_to,
         reshard_duration_ms,
         by_kind,
+        trace: summarise_traces(&traces),
+    })
+}
+
+/// Folds the collected per-stage breakdowns into the report section.
+fn summarise_traces(traces: &[TraceSample]) -> Option<TraceStages> {
+    if traces.is_empty() {
+        return None;
+    }
+    let n = traces.len() as f64;
+    let mean = |f: fn(&TraceSample) -> f64| traces.iter().map(f).sum::<f64>() / n;
+    Some(TraceStages {
+        sampled: traces.len(),
+        planner_mean_ms: mean(|t| t.planner_ms),
+        scatter_mean_ms: mean(|t| t.scatter_ms),
+        gather_mean_ms: mean(|t| t.gather_ms),
+        total_mean_ms: mean(|t| t.total_ms),
+        total_max_ms: traces.iter().map(|t| t.total_ms).fold(0.0, f64::max),
     })
 }
 
@@ -471,6 +539,7 @@ fn run_worker(
         latencies_ms: Vec::new(),
         errors: 0,
         by_kind: BTreeMap::new(),
+        traces: Vec::new(),
     };
 
     let mut index = worker;
@@ -493,6 +562,7 @@ fn run_worker(
             queries,
             index,
             kind,
+            &mut outcome.traces,
         );
         let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
         *outcome.by_kind.entry(kind.name().to_owned()).or_insert(0) += 1;
@@ -551,6 +621,7 @@ fn effective_kind(kind: RequestKind, owned: &[OwnedImage]) -> RequestKind {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn perform(
     config: &LoadgenConfig,
     client: &mut Client,
@@ -559,6 +630,7 @@ fn perform(
     queries: &[Query],
     index: usize,
     kind: RequestKind,
+    traces: &mut Vec<TraceSample>,
 ) -> bool {
     let result = match kind {
         RequestKind::InsertImage => {
@@ -631,13 +703,26 @@ fn perform(
                 config.skew.pick(queries.len(), rng)
             };
             let query = &queries[slot];
+            // Every Nth search asks the server for its per-stage timing
+            // breakdown; the parsed stages feed the report's `trace`
+            // section. Rankings are identical either way.
+            let traced = config.trace_sample > 0 && index.is_multiple_of(config.trace_sample);
             let body = format!(
-                r#"{{"scene":{},"options":{{"top_k":10}}}}"#,
-                scene_to_json(&query.scene)
+                r#"{{"scene":{},"options":{{"top_k":10}}{}}}"#,
+                scene_to_json(&query.scene),
+                if traced { r#","trace":true"# } else { "" }
             );
             client
                 .request("POST", &config.api_path("/search"), &body)
-                .map(|response| response.status == 200)
+                .map(|response| {
+                    let ok = response.status == 200;
+                    if ok && traced {
+                        if let Some(sample) = parse_trace(&response.body) {
+                            traces.push(sample);
+                        }
+                    }
+                    ok
+                })
         }
         RequestKind::SearchSketch => {
             let sketches = [
@@ -661,6 +746,25 @@ fn perform(
 /// any generated scene, and class-distinct from the corpus alphabet.
 fn loadgen_object_body() -> String {
     r#"{"class":"LG","mbr":[0,3,0,3]}"#.to_owned()
+}
+
+/// Extracts the `"trace"` stage breakdown from a traced search
+/// response body.
+fn parse_trace(body: &[u8]) -> Option<TraceSample> {
+    let text = std::str::from_utf8(body).ok()?;
+    let value: Value = serde_json::from_str(text).ok()?;
+    let lookup = |map: &[(String, Value)], key: &str| {
+        map.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    };
+    let trace = lookup(value.as_map()?, "trace")?;
+    let trace_map = trace.as_map()?.to_vec();
+    let stage = |key: &str| lookup(&trace_map, key).and_then(|v| f64::from_value(&v).ok());
+    Some(TraceSample {
+        planner_ms: stage("planner_ms")?,
+        scatter_ms: stage("scatter_ms")?,
+        gather_ms: stage("gather_ms")?,
+        total_ms: stage("total_ms")?,
+    })
 }
 
 /// Extracts `"id"` from an insert response body.
@@ -796,15 +900,36 @@ mod tests {
             by_kind: [("search".to_owned(), 7u64), ("insert".to_owned(), 3u64)]
                 .into_iter()
                 .collect(),
+            trace: Some(TraceStages {
+                sampled: 4,
+                planner_mean_ms: 0.01,
+                scatter_mean_ms: 0.8,
+                gather_mean_ms: 0.05,
+                total_mean_ms: 0.9,
+                total_max_ms: 1.4,
+            }),
         };
         let json = report.to_json();
         assert!(json.contains("\"benchmark\":\"server\""), "{json}");
         assert!(json.contains("\"p99_ms\":3.0"), "{json}");
         assert!(json.contains("\"search\":7"), "{json}");
         assert!(json.contains("\"reshard_to\":8"), "{json}");
+        assert!(json.contains("\"sampled\":4"), "{json}");
         let summary = report.summary();
         assert!(summary.contains("closed-loop"), "{summary}");
         assert!(summary.contains("live reshard to 8 shards"), "{summary}");
+        assert!(summary.contains("4 traced searches"), "{summary}");
+    }
+
+    #[test]
+    fn parse_trace_reads_stage_breakdowns() {
+        let body = br#"{"hits":[],"trace":{"planner_ms":0.01,"scatter_ms":1.5,
+            "gather_ms":0.2,"total_ms":1.8,"shards":[]}}"#;
+        let sample = parse_trace(body).expect("parses");
+        assert!((sample.total_ms - 1.8).abs() < 1e-12);
+        assert!((sample.scatter_ms - 1.5).abs() < 1e-12);
+        assert!(parse_trace(br#"{"hits":[]}"#).is_none(), "untraced body");
+        assert!(parse_trace(b"not json").is_none());
     }
 
     #[test]

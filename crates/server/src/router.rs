@@ -34,6 +34,15 @@ pub enum Route {
     StatsV1,
     /// `GET /healthz` — liveness probe (never deprecated).
     Health,
+    /// `GET /v1/metrics` — Prometheus text exposition of every
+    /// registered metric family.
+    Metrics,
+    /// `GET /v1/debug/slow_queries` — the worst traced queries retained
+    /// in the bounded slow-query ring.
+    SlowQueries,
+    /// `POST /v1/admin/checkpoint` — WAL checkpoint: fresh anchor
+    /// snapshot plus on-disk log truncation.
+    Checkpoint,
     /// `POST /v1/snapshot` — persist a consistent snapshot to disk.
     Snapshot,
     /// `POST /v1/restore` — replace the database from a snapshot file.
@@ -155,6 +164,21 @@ const RULES: &[Rule] = &[
         method: Method::Get,
         pattern: &[Lit("healthz")],
         make: |_| Route::Health,
+    },
+    Rule {
+        method: Method::Get,
+        pattern: &[Lit("metrics")],
+        make: |_| Route::Metrics,
+    },
+    Rule {
+        method: Method::Get,
+        pattern: &[Lit("debug"), Lit("slow_queries")],
+        make: |_| Route::SlowQueries,
+    },
+    Rule {
+        method: Method::Post,
+        pattern: &[Lit("admin"), Lit("checkpoint")],
+        make: |_| Route::Checkpoint,
     },
     Rule {
         method: Method::Post,
@@ -301,6 +325,15 @@ mod tests {
             Ok(Route::ReplicaHeal)
         );
         assert_eq!(route(Method::Post, "/admin/reshard"), Ok(Route::Reshard));
+        assert_eq!(route(Method::Get, "/v1/metrics"), Ok(Route::Metrics));
+        assert_eq!(
+            route(Method::Get, "/v1/debug/slow_queries"),
+            Ok(Route::SlowQueries)
+        );
+        assert_eq!(
+            route(Method::Post, "/v1/admin/checkpoint"),
+            Ok(Route::Checkpoint)
+        );
         assert_eq!(
             route(Method::Get, "/admin/replicas/fail").unwrap_err(),
             RouteError::MethodNotAllowed
@@ -323,11 +356,14 @@ mod tests {
             (Method::Post, "/search"),
             (Method::Post, "/search/sketch"),
             (Method::Get, "/healthz"),
+            (Method::Get, "/metrics"),
+            (Method::Get, "/debug/slow_queries"),
             (Method::Post, "/snapshot"),
             (Method::Post, "/restore"),
             (Method::Post, "/admin/replicas/fail"),
             (Method::Post, "/admin/replicas/heal"),
             (Method::Post, "/admin/reshard"),
+            (Method::Post, "/admin/checkpoint"),
             (Method::Post, "/admin/shutdown"),
         ] {
             let old = resolve(method, legacy).unwrap();

@@ -140,9 +140,15 @@ impl Server {
             // The job takes ownership of the stream; keep a dup'd handle
             // so a rejected connection can still be answered 503.
             let shed_handle = stream.try_clone().ok();
+            let accepted = std::time::Instant::now();
             if self
                 .pool
-                .try_execute(move || serve_connection(&state, stream))
+                .try_execute(move || {
+                    // Time from accept to a worker picking the job up:
+                    // the queue-wait component of request latency.
+                    state.http_metrics.queue_wait.record(accepted.elapsed());
+                    serve_connection(&state, stream)
+                })
                 .is_err()
             {
                 self.state.stats.shed.fetch_add(1, Ordering::Relaxed);
@@ -152,6 +158,10 @@ impl Server {
                         .write_to(&mut stream, false);
                 }
             }
+            self.state
+                .http_metrics
+                .queue_depth
+                .set(i64::try_from(self.pool.queued()).unwrap_or(i64::MAX));
         }
         self.pool.shutdown();
         Ok(())

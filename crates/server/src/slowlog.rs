@@ -1,0 +1,160 @@
+//! Bounded slow-query ring: retains the top-k worst traced queries.
+//!
+//! Every search produces a [`QueryTrace`](be2d_db::QueryTrace); the
+//! handlers offer each one here. The fast path is a single relaxed
+//! atomic load — a query cheaper than the current floor (the fastest
+//! retained entry once the ring is full) touches no lock at all, so
+//! steady-state traffic pays nothing. Only a query slow enough to
+//! displace a retained entry takes the mutex.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One retained query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowQueryEntry {
+    /// Query kind: `"scene"`, `"text"`, or `"sketch"`.
+    pub kind: &'static str,
+    /// End-to-end duration in nanoseconds (the ranking key).
+    pub total_ns: u64,
+    /// Planner stage in nanoseconds.
+    pub planner_ns: u64,
+    /// Scatter stage in nanoseconds.
+    pub scatter_ns: u64,
+    /// Gather stage in nanoseconds.
+    pub gather_ns: u64,
+    /// Hits returned.
+    pub hits: usize,
+    /// The request's `top_k` (None = unbounded).
+    pub top_k: Option<usize>,
+    /// Server uptime when the query finished, in seconds.
+    pub at_uptime_s: f64,
+}
+
+/// A bounded ring retaining the `capacity` slowest queries seen.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    capacity: usize,
+    /// The smallest retained `total_ns` once the ring is full; 0 until
+    /// then, so everything qualifies. Updated under the mutex, read
+    /// lock-free as the admission fast path.
+    floor_ns: AtomicU64,
+    entries: Mutex<Vec<SlowQueryEntry>>,
+}
+
+impl SlowQueryLog {
+    /// A ring retaining at most `capacity` entries (0 disables it).
+    #[must_use]
+    pub fn new(capacity: usize) -> SlowQueryLog {
+        SlowQueryLog {
+            capacity,
+            floor_ns: AtomicU64::new(0),
+            entries: Mutex::new(Vec::with_capacity(capacity.min(256))),
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers one finished query. Queries at or below the current floor
+    /// return after one atomic load; qualifying queries take the mutex,
+    /// displace the fastest retained entry, and raise the floor.
+    pub fn offer(&self, entry: SlowQueryEntry) {
+        if self.capacity == 0 || entry.total_ns <= self.floor_ns.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("slow-query ring poisoned");
+        // Re-check under the lock: a concurrent offer may have raised
+        // the floor past this entry while we waited.
+        if entries.len() >= self.capacity {
+            let floor = self.floor_ns.load(Ordering::Relaxed);
+            if entry.total_ns <= floor {
+                return;
+            }
+            let (min_idx, _) = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.total_ns)
+                .expect("ring is non-empty at capacity");
+            entries.swap_remove(min_idx);
+        }
+        entries.push(entry);
+        if entries.len() >= self.capacity {
+            let new_floor = entries
+                .iter()
+                .map(|e| e.total_ns)
+                .min()
+                .expect("ring is non-empty");
+            self.floor_ns.store(new_floor, Ordering::Relaxed);
+        }
+    }
+
+    /// The retained queries, slowest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<SlowQueryEntry> {
+        let mut entries = self
+            .entries
+            .lock()
+            .expect("slow-query ring poisoned")
+            .clone();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.total_ns));
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(total_ns: u64) -> SlowQueryEntry {
+        SlowQueryEntry {
+            kind: "scene",
+            total_ns,
+            planner_ns: 0,
+            scatter_ns: total_ns / 2,
+            gather_ns: 0,
+            hits: 1,
+            top_k: Some(10),
+            at_uptime_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn retains_the_top_k_worst() {
+        let log = SlowQueryLog::new(3);
+        for total in [5, 1, 9, 3, 7, 2, 8] {
+            log.offer(entry(total));
+        }
+        let kept: Vec<u64> = log.snapshot().iter().map(|e| e.total_ns).collect();
+        assert_eq!(kept, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn zero_capacity_is_disabled() {
+        let log = SlowQueryLog::new(0);
+        log.offer(entry(100));
+        assert!(log.snapshot().is_empty());
+    }
+
+    #[test]
+    fn concurrent_offers_keep_the_global_worst() {
+        let log = std::sync::Arc::new(SlowQueryLog::new(8));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let log = std::sync::Arc::clone(&log);
+                scope.spawn(move || {
+                    for i in 0..1_000u64 {
+                        log.offer(entry(t * 1_000 + i + 1));
+                    }
+                });
+            }
+        });
+        let kept: Vec<u64> = log.snapshot().iter().map(|e| e.total_ns).collect();
+        assert_eq!(kept.len(), 8);
+        // The global worst 8 are 3993..=4000 (thread 3's tail).
+        assert_eq!(kept, (3993..=4000).rev().collect::<Vec<u64>>());
+    }
+}

@@ -270,7 +270,13 @@ fn stats_reflect_traffic_and_health_is_cheap() {
 
     let response = client.request("GET", "/healthz", "").unwrap();
     assert_eq!(response.status, 200);
-    assert_eq!(response.text(), r#"{"status":"ok"}"#);
+    let health = response.text();
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert!(
+        health.contains(&format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))),
+        "{health}"
+    );
+    assert!(health.contains("\"uptime_s\":"), "{health}");
 
     client
         .request(

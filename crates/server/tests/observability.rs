@@ -1,0 +1,354 @@
+//! End-to-end tests of the observability surface: `/v1/metrics`
+//! exposition, opt-in query tracing, the slow-query ring, and the WAL
+//! checkpoint endpoint — all over real TCP sockets.
+
+use be2d_server::client::Client;
+use be2d_server::{Server, ServerConfig, ServerHandle};
+use serde::{Deserialize, Value};
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+struct RunningServer {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    runner: Option<JoinHandle<std::io::Result<()>>>,
+}
+
+impl RunningServer {
+    fn start(config: ServerConfig) -> RunningServer {
+        let server = Server::bind(config).expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run());
+        RunningServer {
+            addr,
+            handle,
+            runner: Some(runner),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::new(self.addr, Duration::from_secs(10))
+    }
+
+    fn stop(mut self) {
+        self.handle.shutdown();
+        self.runner
+            .take()
+            .expect("still running")
+            .join()
+            .expect("server thread")
+            .expect("clean shutdown");
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        if let Some(runner) = self.runner.take() {
+            self.handle.shutdown();
+            let _ = runner.join();
+        }
+    }
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        shards: 2,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    }
+}
+
+const LEFT_SCENE: &str = r#"{"width":100,"height":100,"objects":[
+    {"class":"A","mbr":[10,30,40,60]},{"class":"B","mbr":[60,85,40,60]}]}"#;
+
+/// Looks a key up in a vendored-serde JSON map.
+fn lookup<'v>(value: &'v Value, key: &str) -> Option<&'v Value> {
+    value
+        .as_map()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+fn number(value: &Value, key: &str) -> f64 {
+    f64::from_value(lookup(value, key).unwrap_or_else(|| panic!("{key} present")))
+        .unwrap_or_else(|_| panic!("{key} is a number"))
+}
+
+fn string(value: &Value, key: &str) -> String {
+    String::from_value(lookup(value, key).unwrap_or_else(|| panic!("{key} present")))
+        .unwrap_or_else(|_| panic!("{key} is a string"))
+}
+
+fn insert_corpus(client: &mut Client, n: usize) {
+    for i in 0..n {
+        let response = client
+            .request(
+                "POST",
+                "/v1/images",
+                &format!(r#"{{"name":"img-{i}","scene":{LEFT_SCENE}}}"#),
+            )
+            .unwrap();
+        assert_eq!(response.status, 201, "{}", response.text());
+    }
+}
+
+/// `"trace": true` returns a per-stage breakdown whose stages nest
+/// inside the total — and the hit list is byte-identical to the
+/// untraced response, so tracing cannot perturb rankings.
+#[test]
+fn traced_search_breaks_down_stages_without_changing_rankings() {
+    let server = RunningServer::start(test_config());
+    let mut client = server.client();
+    insert_corpus(&mut client, 12);
+
+    let untraced = client
+        .request(
+            "POST",
+            "/v1/search",
+            &format!(r#"{{"scene":{LEFT_SCENE},"options":{{"top_k":5}}}}"#),
+        )
+        .unwrap();
+    assert_eq!(untraced.status, 200);
+    let traced = client
+        .request(
+            "POST",
+            "/v1/search",
+            &format!(r#"{{"scene":{LEFT_SCENE},"options":{{"top_k":5}},"trace":true}}"#),
+        )
+        .unwrap();
+    assert_eq!(traced.status, 200);
+
+    // Byte-identical hits: the traced body is the untraced body with a
+    // `"trace"` object appended — scores serialise from the same bits.
+    let untraced_text = untraced.text();
+    let hits_prefix = untraced_text
+        .strip_suffix('}')
+        .expect("untraced body is a JSON object");
+    let traced_text = traced.text();
+    assert!(
+        traced_text.starts_with(hits_prefix),
+        "hit lists differ:\n  untraced: {untraced_text}\n  traced:   {traced_text}"
+    );
+
+    let body: Value = serde_json::from_str(&traced_text).unwrap();
+    let trace = lookup(&body, "trace").expect("trace section");
+    let planner = number(trace, "planner_ms");
+    let scatter = number(trace, "scatter_ms");
+    let gather = number(trace, "gather_ms");
+    let total = number(trace, "total_ms");
+    assert!(planner >= 0.0 && scatter >= 0.0 && gather >= 0.0);
+    assert!(
+        planner + scatter + gather <= total + 1e-9,
+        "stages exceed the total: {planner} + {scatter} + {gather} > {total}"
+    );
+    let shards = lookup(trace, "shards")
+        .and_then(Value::as_seq)
+        .expect("per-shard entries");
+    assert_eq!(shards.len(), 2, "one entry per shard");
+
+    // An untraced body never carries the breakdown.
+    assert!(!untraced_text.contains("\"trace\""), "{untraced_text}");
+
+    drop(client);
+    server.stop();
+}
+
+/// `/v1/metrics` serves valid Prometheus text: versioned content type,
+/// HELP/TYPE pairs, per-route and per-shard histograms with non-zero
+/// counts after traffic, and cumulative `+Inf` buckets.
+#[test]
+fn metrics_exposition_covers_request_and_scatter_histograms() {
+    let server = RunningServer::start(test_config());
+    let mut client = server.client();
+    insert_corpus(&mut client, 8);
+    for _ in 0..5 {
+        let response = client
+            .request(
+                "POST",
+                "/v1/search",
+                &format!(r#"{{"scene":{LEFT_SCENE}}}"#),
+            )
+            .unwrap();
+        assert_eq!(response.status, 200);
+    }
+
+    let response = client.request("GET", "/v1/metrics", "").unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    let text = response.text();
+
+    // Line-level syntax: every line is a comment or `name{...} value`.
+    for line in text.lines() {
+        assert!(
+            line.starts_with("# ") || line.split_whitespace().count() == 2,
+            "bad exposition line: {line:?}"
+        );
+    }
+
+    // The headline families, with traffic actually recorded.
+    for family in [
+        "be2d_http_request_duration_seconds",
+        "be2d_http_responses_total",
+        "be2d_db_scatter_duration_seconds",
+        "be2d_db_search_duration_seconds",
+        "be2d_db_gather_duration_seconds",
+        "be2d_uptime_seconds",
+        "be2d_build_info",
+    ] {
+        assert!(text.contains(&format!("# HELP {family} ")), "{family} HELP");
+        assert!(text.contains(&format!("# TYPE {family} ")), "{family} TYPE");
+    }
+    let count_of = |needle: &str| {
+        text.lines()
+            .find(|l| l.starts_with(needle))
+            .unwrap_or_else(|| panic!("{needle} line missing"))
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse::<f64>()
+            .unwrap()
+    };
+    assert!(
+        count_of("be2d_http_request_duration_seconds_count{route=\"search\"}") >= 5.0,
+        "per-route request histogram saw the searches"
+    );
+    assert!(
+        count_of("be2d_db_scatter_duration_seconds_count{shard=\"0\"}") >= 5.0
+            && count_of("be2d_db_scatter_duration_seconds_count{shard=\"1\"}") >= 5.0,
+        "per-shard scatter histograms saw the searches"
+    );
+    assert!(
+        text.contains("be2d_db_scatter_duration_seconds_bucket{shard=\"0\",le=\"+Inf\"}"),
+        "+Inf bucket present"
+    );
+
+    drop(client);
+    server.stop();
+}
+
+/// The slow-query ring retains the configured number of worst queries
+/// under concurrent load, and `/v1/debug/slow_queries` reports them
+/// slowest-first.
+#[test]
+fn slow_query_ring_retains_worst_under_concurrent_load() {
+    let server = RunningServer::start(ServerConfig {
+        slow_query_capacity: 4,
+        ..test_config()
+    });
+    let mut client = server.client();
+    insert_corpus(&mut client, 16);
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let mut worker = server.client();
+            scope.spawn(move || {
+                for _ in 0..25 {
+                    let response = worker
+                        .request(
+                            "POST",
+                            "/v1/search",
+                            &format!(r#"{{"scene":{LEFT_SCENE}}}"#),
+                        )
+                        .unwrap();
+                    assert_eq!(response.status, 200);
+                }
+            });
+        }
+    });
+
+    let response = client.request("GET", "/v1/debug/slow_queries", "").unwrap();
+    assert_eq!(response.status, 200);
+    let body: Value = serde_json::from_str(&response.text()).unwrap();
+    assert!((number(&body, "capacity") - 4.0).abs() < f64::EPSILON);
+    let queries = lookup(&body, "queries")
+        .and_then(Value::as_seq)
+        .expect("queries array");
+    assert_eq!(queries.len(), 4, "ring full after 100 searches");
+    let totals: Vec<f64> = queries.iter().map(|q| number(q, "total_ms")).collect();
+    for pair in totals.windows(2) {
+        assert!(pair[0] >= pair[1], "not slowest-first: {totals:?}");
+    }
+    for query in queries {
+        assert!(number(query, "total_ms") > 0.0);
+        let stages =
+            number(query, "planner_ms") + number(query, "scatter_ms") + number(query, "gather_ms");
+        assert!(stages <= number(query, "total_ms") + 1e-9);
+        assert_eq!(string(query, "kind"), "scene");
+    }
+
+    drop(client);
+    server.stop();
+}
+
+/// `POST /v1/admin/checkpoint` truncates the WAL over HTTP; without a
+/// WAL it fails with the persistence error envelope.
+#[test]
+fn checkpoint_endpoint_works_with_wal_and_fails_without() {
+    // No WAL configured: 500 with the error envelope.
+    let server = RunningServer::start(test_config());
+    let mut client = server.client();
+    let response = client.request("POST", "/v1/admin/checkpoint", "").unwrap();
+    assert_eq!(response.status, 500, "{}", response.text());
+    assert!(response.text().contains("\"error\""), "{}", response.text());
+    drop(client);
+    server.stop();
+
+    // WAL on: 200 with the records written and the duration.
+    let dir = std::env::temp_dir().join(format!("be2d_obs_ckpt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let server = RunningServer::start(ServerConfig {
+        wal_dir: Some(dir.clone()),
+        ..test_config()
+    });
+    let mut client = server.client();
+    insert_corpus(&mut client, 6);
+    let response = client.request("POST", "/v1/admin/checkpoint", "").unwrap();
+    assert_eq!(response.status, 200, "{}", response.text());
+    let body: Value = serde_json::from_str(&response.text()).unwrap();
+    assert!((number(&body, "records") - 6.0).abs() < f64::EPSILON);
+    assert!(number(&body, "duration_ms") >= 0.0);
+
+    // The checkpoint shows up in the metrics.
+    let response = client.request("GET", "/v1/metrics", "").unwrap();
+    let text = response.text();
+    let count = text
+        .lines()
+        .find(|l| l.starts_with("be2d_db_checkpoint_duration_seconds_count"))
+        .expect("checkpoint histogram")
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse::<f64>()
+        .unwrap();
+    // At least the HTTP checkpoint; WAL boot-time recovery may have
+    // recorded one of its own as well.
+    assert!(count >= 1.0, "checkpoint count {count}");
+
+    drop(client);
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The health probe reports liveness plus build version and uptime.
+#[test]
+fn healthz_reports_version_and_uptime() {
+    let server = RunningServer::start(test_config());
+    let mut client = server.client();
+    let response = client.request("GET", "/healthz", "").unwrap();
+    assert_eq!(response.status, 200);
+    let body: Value = serde_json::from_str(&response.text()).unwrap();
+    assert_eq!(string(&body, "status"), "ok");
+    assert_eq!(string(&body, "version"), env!("CARGO_PKG_VERSION"));
+    assert!(number(&body, "uptime_s") >= 0.0);
+    drop(client);
+    server.stop();
+}

@@ -35,6 +35,19 @@ if os.path.exists(server_path):
           f"| {lat['p50_ms']:.2f} ms | {lat['p95_ms']:.2f} ms "
           f"| {lat['p99_ms']:.2f} ms | `{report['mix']}` |")
     print()
+    trace = report.get("trace")
+    if trace:
+        print(f"Server-side stage timings over {trace['sampled']} traced "
+              "searches (means; scatter = parallel fan-out wall-clock):")
+        print()
+        print("| planner | scatter | gather | total mean | total max |")
+        print("|---:|---:|---:|---:|---:|")
+        print(f"| {trace['planner_mean_ms']:.3f} ms "
+              f"| {trace['scatter_mean_ms']:.3f} ms "
+              f"| {trace['gather_mean_ms']:.3f} ms "
+              f"| {trace['total_mean_ms']:.3f} ms "
+              f"| {trace['total_max_ms']:.3f} ms |")
+        print()
 else:
     print(f"_no {server_path} found_")
     print()

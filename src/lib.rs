@@ -12,6 +12,7 @@
 //! | [`imaging`] | synthetic raster rendering + connected-component MBR extraction |
 //! | [`workload`] | seeded corpora, query derivation with ground truth, retrieval metrics |
 //! | [`db`] | the image database: indexing, incremental edits, ranked transform-invariant search, persistence |
+//! | [`metrics`] | dependency-free observability primitives: counters, gauges, histograms, Prometheus exposition |
 //! | [`server`] | the HTTP/1.1 retrieval service and its load generator |
 //!
 //! The most common entry points are re-exported at the crate root.
@@ -41,6 +42,7 @@ pub use be2d_core as core;
 pub use be2d_db as db;
 pub use be2d_geometry as geometry;
 pub use be2d_imaging as imaging;
+pub use be2d_metrics as metrics;
 pub use be2d_server as server;
 pub use be2d_strings2d as strings2d;
 pub use be2d_workload as workload;
