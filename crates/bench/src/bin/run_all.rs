@@ -22,6 +22,7 @@ fn main() {
         "exp_ablation",
         "exp_lcs_gap",
         "exp_noise",
+        "exp_twostage",
     ] {
         println!("\n################ {name} ################\n");
         let status = Command::new(dir.join(name))

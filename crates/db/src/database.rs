@@ -1,13 +1,15 @@
 //! The image database proper.
 
 use crate::{
-    CandidateSource, ClassIndex, ClassSignature, DbError, PrefilterMode, QueryOptions, SearchHit,
+    CandidateSource, ClassIndex, ClassSignature, DbError, PrefilterMode, QueryOptions, QuerySketch,
+    ScoreSketch, SearchHit,
 };
 use be2d_core::{similarity_with, transformed, BeString2D, Similarity, SymbolicImage};
 use be2d_geometry::{ObjectClass, Rect, Scene, Transform};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Stable identifier of a record in one database.
 ///
@@ -31,7 +33,7 @@ impl fmt::Display for RecordId {
 }
 
 /// One stored image: its symbolic picture plus retrieval metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImageRecord {
     /// Stable id.
     pub id: RecordId,
@@ -41,6 +43,10 @@ pub struct ImageRecord {
     pub symbolic: SymbolicImage,
     /// Class signature for prefiltering.
     pub signature: ClassSignature,
+    /// Score-bound sketch for two-stage retrieval. Derived from
+    /// `symbolic` and refreshed by every §3.2 edit alongside the
+    /// signature.
+    pub sketch: ScoreSketch,
 }
 
 impl ImageRecord {
@@ -52,8 +58,105 @@ impl ImageRecord {
             .collect()
     }
 
+    /// Recomputes the derived retrieval metadata — class signature and
+    /// score-bound sketch — from the symbolic picture.
     fn refresh_signature(&mut self) {
         self.signature = ClassSignature::from_classes(self.classes().iter());
+        self.sketch = ScoreSketch::of(&self.symbolic.to_be_string_2d());
+    }
+}
+
+// Hand-written serde: the sketch field is *optional* on restore, so
+// snapshots written before it existed (manifest v1–v4, plain JSON
+// saves) still load — an absent, stale-versioned, or malformed sketch
+// is recomputed from the symbolic picture, which is always correct
+// because the sketch is derived data.
+impl Serialize for ImageRecord {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("id".to_owned(), self.id.to_value()),
+            ("name".to_owned(), self.name.to_value()),
+            ("symbolic".to_owned(), self.symbolic.to_value()),
+            ("signature".to_owned(), self.signature.to_value()),
+            ("sketch".to_owned(), self.sketch.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ImageRecord {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let Value::Map(entries) = v else {
+            return Err(serde::Error::expected("ImageRecord", "map"));
+        };
+        let symbolic =
+            SymbolicImage::from_value(serde::get_field(entries, "ImageRecord", "symbolic")?)?;
+        let sketch = entries
+            .iter()
+            .find(|(k, _)| k == "sketch")
+            .and_then(|(_, v)| ScoreSketch::from_value(v).ok())
+            .unwrap_or_else(|| ScoreSketch::of(&symbolic.to_be_string_2d()));
+        Ok(ImageRecord {
+            id: RecordId::from_value(serde::get_field(entries, "ImageRecord", "id")?)?,
+            name: String::from_value(serde::get_field(entries, "ImageRecord", "name")?)?,
+            symbolic,
+            signature: ClassSignature::from_value(serde::get_field(
+                entries,
+                "ImageRecord",
+                "signature",
+            )?)?,
+            sketch,
+        })
+    }
+}
+
+/// Scoring-effort accounting of one search, for metrics and traces:
+/// how many candidates survived the prefilter, how many were exactly
+/// scored, and how many two-stage retrieval pruned by bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Candidates surviving the prefilter (stage-1 input).
+    pub candidates: usize,
+    /// Candidates exactly scored (stage-2 survivors).
+    pub scored: usize,
+    /// Candidates skipped because their admissible bound proved they
+    /// cannot enter the result (always 0 without
+    /// [`two_stage`](crate::QueryOptions::two_stage)).
+    pub bound_pruned: usize,
+}
+
+/// A monotone score floor shared across shards during one scatter.
+///
+/// Every shard that has gathered `top_k` retained hits publishes its
+/// k-th exact score; since the *global* k-th score is at least the
+/// maximum published value, any shard may stop scoring once every
+/// remaining candidate's bound falls strictly below the shared floor —
+/// the skipped candidates are provably outside the merged top-k.
+///
+/// Scores are non-negative, so their `f64` bit patterns order
+/// monotonically and a relaxed `fetch_max` suffices (no lock on the
+/// search path).
+#[derive(Debug, Default)]
+pub struct ScoreThreshold(AtomicU64);
+
+impl ScoreThreshold {
+    /// A fresh threshold admitting everything.
+    #[must_use]
+    pub fn new() -> Self {
+        ScoreThreshold(AtomicU64::new(0.0f64.to_bits()))
+    }
+
+    /// Raises the floor to `score` if it is higher. Non-finite or
+    /// negative scores are ignored (they never witness a top-k).
+    pub fn raise(&self, score: f64) {
+        if score > 0.0 && score.is_finite() {
+            self.0.fetch_max(score.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The current floor.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
 
@@ -164,6 +267,7 @@ impl ImageDatabase {
             name: name.to_owned(),
             symbolic,
             signature: ClassSignature::default(),
+            sketch: ScoreSketch::default(),
         };
         record.refresh_signature();
         self.index.insert_record(id, record.classes());
@@ -286,9 +390,29 @@ impl ImageDatabase {
     /// modified-LCS similarity for each transform in
     /// `options.transforms`; results are ranked by score (ties broken by
     /// id for determinism), floored at `min_score` and truncated to
-    /// `top_k`.
+    /// `top_k`. With [`two_stage`](QueryOptions::two_stage) set, exact
+    /// scoring runs bound-ranked in frontier batches and stops early —
+    /// the results are bit-identical either way.
     #[must_use]
     pub fn search(&self, query: &BeString2D, options: &QueryOptions) -> Vec<SearchHit> {
+        self.search_bounded(query, options, None).0
+    }
+
+    /// [`search`](Self::search) plus its [`SearchStats`], with an
+    /// optional cross-shard [`ScoreThreshold`].
+    ///
+    /// The threshold lets a scatter-gather caller propagate the best
+    /// k-th exact score seen by *any* shard into every other shard's
+    /// two-stage early-exit check; it never changes the merged top-k
+    /// (skipped candidates are provably below the global k-th score).
+    /// Passing `None` keeps the search self-contained.
+    #[must_use]
+    pub fn search_bounded(
+        &self,
+        query: &BeString2D,
+        options: &QueryOptions,
+        threshold: Option<&ScoreThreshold>,
+    ) -> (Vec<SearchHit>, SearchStats) {
         // Pre-transform the query once per transform (strings are small;
         // candidates are many).
         type QueryVariants = Vec<(Transform, BeString2D)>;
@@ -326,6 +450,10 @@ impl ImageDatabase {
                 })
                 .collect(),
         };
+        let mut stats = SearchStats {
+            candidates: candidates.len(),
+            ..SearchStats::default()
+        };
 
         let score_one = |record: &ImageRecord| -> SearchHit {
             let target = record.symbolic.to_be_string_2d();
@@ -343,25 +471,51 @@ impl ImageDatabase {
             }
         };
 
-        let mut hits: Vec<SearchHit> = if options.parallel.enabled_for(candidates.len()) {
-            let threads = std::thread::available_parallelism()
-                .map_or(1, |n| n.get())
-                .min(16);
-            let chunk = candidates.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = candidates
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move || part.iter().map(|r| score_one(r)).collect::<Vec<_>>())
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("scorer panicked"))
-                    .collect()
-            })
-        } else {
-            candidates.into_iter().map(score_one).collect()
+        // Exact scoring of one batch, reusing the parallelism policy
+        // per batch (the whole candidate set IS the batch in the
+        // exhaustive path).
+        let score_batch = |batch: &[&ImageRecord]| -> Vec<SearchHit> {
+            if options.parallel.enabled_for(batch.len()) {
+                let threads = std::thread::available_parallelism()
+                    .map_or(1, |n| n.get())
+                    .min(16);
+                let chunk = batch.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = batch
+                        .chunks(chunk)
+                        .map(|part| {
+                            scope.spawn(move || {
+                                part.iter().map(|r| score_one(r)).collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("scorer panicked"))
+                        .collect()
+                })
+            } else {
+                batch.iter().map(|r| score_one(r)).collect()
+            }
+        };
+
+        let mut hits: Vec<SearchHit> = match options.two_stage {
+            Some(ts) => {
+                let qsketch = QuerySketch::of_variants(query_variants.iter().map(|(_, q)| q));
+                two_stage_scan(
+                    &qsketch,
+                    candidates,
+                    options,
+                    ts.frontier.max(1),
+                    threshold,
+                    &score_batch,
+                    &mut stats,
+                )
+            }
+            None => {
+                stats.scored = candidates.len();
+                score_batch(&candidates)
+            }
         };
 
         hits.retain(|h| h.score >= options.min_score);
@@ -369,7 +523,7 @@ impl ImageDatabase {
         if let Some(k) = options.top_k {
             hits.truncate(k);
         }
-        hits
+        (hits, stats)
     }
 
     /// Serialises the database to JSON.
@@ -416,6 +570,113 @@ impl ImageDatabase {
     /// Propagates I/O and deserialisation errors.
     pub fn load(path: &Path) -> Result<Self, DbError> {
         Self::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+/// Stage 1 + frontier loop of two-stage retrieval.
+///
+/// Candidates are ranked by their admissible score bound (descending,
+/// ids ascending for determinism) and exactly scored in
+/// `frontier`-sized batches. Before each batch the loop checks whether
+/// the next (= highest remaining) bound falls **strictly** below
+/// either the local k-th retained exact score or the shared
+/// cross-shard floor; strict comparison is what preserves the
+/// bit-identical id tie-break — a candidate whose bound *equals* the
+/// k-th score could still tie it exactly and win on the smaller id.
+fn two_stage_scan<'db>(
+    qsketch: &QuerySketch,
+    candidates: Vec<&'db ImageRecord>,
+    options: &QueryOptions,
+    frontier: usize,
+    threshold: Option<&ScoreThreshold>,
+    score_batch: &dyn Fn(&[&'db ImageRecord]) -> Vec<SearchHit>,
+    stats: &mut SearchStats,
+) -> Vec<SearchHit> {
+    // Stage 1: bound every candidate; drop the ones that provably
+    // cannot reach the score floor (strict: a bound equal to the floor
+    // may still be attained exactly).
+    let mut ranked: Vec<(f64, &ImageRecord)> = candidates
+        .into_iter()
+        .filter_map(|record| {
+            let bound = qsketch.bound(&record.sketch, &options.config);
+            if bound.admits(options.min_score) {
+                Some((bound.value(), record))
+            } else {
+                stats.bound_pruned += 1;
+                None
+            }
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.id.cmp(&b.1.id)));
+
+    if options.top_k == Some(0) {
+        // Nothing can be returned; skip all exact scoring.
+        stats.bound_pruned += ranked.len();
+        return Vec::new();
+    }
+
+    // The k best retained exact scores so far, as a min-heap (peek =
+    // current k-th score).
+    let mut kth_heap: std::collections::BinaryHeap<std::cmp::Reverse<OrderedScore>> =
+        std::collections::BinaryHeap::new();
+    let mut hits = Vec::new();
+    let mut at = 0;
+    while at < ranked.len() {
+        let next_bound = ranked[at].0;
+        let local_stop = options.top_k.is_some_and(|k| {
+            kth_heap.len() == k
+                && kth_heap
+                    .peek()
+                    .is_some_and(|std::cmp::Reverse(kth)| kth.0 > next_bound)
+        });
+        let shared_stop = threshold.is_some_and(|t| t.get() > next_bound);
+        if local_stop || shared_stop {
+            stats.bound_pruned += ranked.len() - at;
+            break;
+        }
+        let end = (at + frontier).min(ranked.len());
+        let batch: Vec<&ImageRecord> = ranked[at..end].iter().map(|&(_, r)| r).collect();
+        let batch_hits = score_batch(&batch);
+        stats.scored += batch_hits.len();
+        if let Some(k) = options.top_k {
+            for hit in &batch_hits {
+                if hit.score >= options.min_score {
+                    kth_heap.push(std::cmp::Reverse(OrderedScore(hit.score)));
+                    if kth_heap.len() > k {
+                        kth_heap.pop();
+                    }
+                }
+            }
+            // Publish the local k-th score: it witnesses k retained
+            // hits at or above it, globally valid as a floor.
+            if let (Some(shared), true) = (threshold, kth_heap.len() == k) {
+                if let Some(std::cmp::Reverse(kth)) = kth_heap.peek() {
+                    shared.raise(kth.0);
+                }
+            }
+        }
+        hits.extend(batch_hits);
+        at = end;
+    }
+    hits
+}
+
+/// `f64` score with total order, for the two-stage k-th-score heap.
+/// Scores are never NaN (they are ratios of non-negative integers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedScore(f64);
+
+impl Eq for OrderedScore {}
+
+impl PartialOrd for OrderedScore {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedScore {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -661,6 +922,22 @@ mod tests {
             .unwrap();
         let after = db.search_scene(&q, &QueryOptions::default());
         assert!(after.iter().any(|h| h.id == a));
+        // The score sketch tracks §3.2 edits in lock-step: after every
+        // add/remove it must equal a fresh sketch of the live BE-string.
+        let record = db.get(a).unwrap();
+        assert_eq!(
+            record.sketch,
+            ScoreSketch::of(&record.symbolic.to_be_string_2d()),
+            "sketch stale after add_object"
+        );
+        db.remove_object(a, &ObjectClass::new("X"), Rect::new(0, 9, 0, 9).unwrap())
+            .unwrap();
+        let record = db.get(a).unwrap();
+        assert_eq!(
+            record.sketch,
+            ScoreSketch::of(&record.symbolic.to_be_string_2d()),
+            "sketch stale after remove_object"
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! * [`ImageDatabase`] — insert/remove images, add/drop single objects in
 //!   place (§3.2), ranked [`search`](ImageDatabase::search);
 //! * [`QueryOptions`] — top-k, score floor, candidate prefiltering by
-//!   64-bit class signatures, D4 transform set, parallel scan;
+//!   64-bit class signatures, D4 transform set, parallel scan, and
+//!   two-stage retrieval (rank by admissible [`ScoreBound`], exact-score
+//!   a frontier, stop early — bit-identical results);
 //! * [`SearchHit`] — per-result score, best transform and the full
 //!   per-axis similarity breakdown;
 //! * [`ShardedImageDatabase`] — N independently locked shards with
@@ -64,7 +66,7 @@ mod signature;
 /// Spatial-pattern sketches: textual queries compiled to scenes.
 pub mod sketch;
 
-pub use database::{ImageDatabase, ImageRecord, RecordId};
+pub use database::{ImageDatabase, ImageRecord, RecordId, ScoreThreshold, SearchStats};
 pub use error::DbError;
 pub use index::ClassIndex;
 pub use metrics::{DbMetrics, QueryTrace, ShardTrace, SCATTER_POOL_SLOTS};
@@ -72,8 +74,8 @@ pub use oplog::{
     OplogStats, ReplicaLag, ReplicationMode, ReplicationStats, ShardReplication, WalConfig,
     WalStats,
 };
-pub use query::{CandidateSource, Parallelism, PrefilterMode, QueryOptions, SearchHit};
+pub use query::{CandidateSource, Parallelism, PrefilterMode, QueryOptions, SearchHit, TwoStage};
 pub use replica::{ReplicaConfig, ReplicaStats, ReplicatedImageDatabase};
 pub use reshard::{ReshardProgress, Resharder};
 pub use shard::{ShardStats, ShardedImageDatabase};
-pub use signature::ClassSignature;
+pub use signature::{ClassSignature, QuerySketch, ScoreBound, ScoreSketch, SKETCH_BUCKETS};

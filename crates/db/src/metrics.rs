@@ -52,6 +52,12 @@ pub struct DbMetrics {
     pub replica_picks: Arc<Counter>,
     /// Reads currently holding a replica read lock.
     pub outstanding_reads: Arc<Gauge>,
+    /// Candidates exactly scored (stage-2 survivors of two-stage
+    /// retrieval; every scored candidate in exhaustive mode).
+    pub stage2_scored: Arc<Counter>,
+    /// Candidates two-stage retrieval skipped because their admissible
+    /// score bound proved they cannot enter the result.
+    pub bound_pruned: Arc<Counter>,
 }
 
 impl Default for DbMetrics {
@@ -72,6 +78,8 @@ impl DbMetrics {
             checkpoint: Arc::new(Histogram::new()),
             replica_picks: Arc::new(Counter::new()),
             outstanding_reads: Arc::new(Gauge::new()),
+            stage2_scored: Arc::new(Counter::new()),
+            bound_pruned: Arc::new(Counter::new()),
         }
     }
 }
@@ -115,6 +123,10 @@ pub struct ShardTrace {
     pub skipped: bool,
     /// Hits this shard contributed before the global merge.
     pub hits: usize,
+    /// Candidates this shard exactly scored (stage-2 survivors).
+    pub scored: usize,
+    /// Candidates this shard's two-stage scan pruned by bound.
+    pub bound_pruned: usize,
     /// Scan duration for this shard, in nanoseconds.
     pub elapsed_ns: u64,
 }

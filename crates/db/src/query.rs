@@ -121,6 +121,47 @@ impl fmt::Display for Parallelism {
     }
 }
 
+/// Configuration of two-stage retrieval: rank candidates by an
+/// admissible score bound ([`QuerySketch`](crate::QuerySketch)), run
+/// exact §3 scoring in `frontier`-sized batches from the best bound
+/// down, and stop once the k-th exact score strictly dominates every
+/// remaining bound.
+///
+/// Because the bound is admissible, the results — ids, scores,
+/// tie-breaks — are bit-identical to the exhaustive scan; only the
+/// number of exact scoring calls changes. See
+/// [`QueryOptions::two_stage`] for a worked example and
+/// `docs/ARCHITECTURE.md` for where the stage sits in the query
+/// lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TwoStage {
+    /// Candidates exactly scored per batch. Smaller frontiers
+    /// terminate earlier but synchronise more often; zero is treated
+    /// as one.
+    pub frontier: usize,
+}
+
+impl TwoStage {
+    /// Default frontier batch size: large enough to amortise a batch's
+    /// bookkeeping, small enough that selective queries stop after one
+    /// or two batches.
+    pub const DEFAULT_FRONTIER: usize = 64;
+}
+
+impl Default for TwoStage {
+    fn default() -> Self {
+        TwoStage {
+            frontier: TwoStage::DEFAULT_FRONTIER,
+        }
+    }
+}
+
+impl fmt::Display for TwoStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frontier={}", self.frontier)
+    }
+}
+
 /// Parameters of one similarity search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryOptions {
@@ -140,6 +181,41 @@ pub struct QueryOptions {
     pub candidates: CandidateSource,
     /// Scan record chunks on multiple threads (see [`Parallelism`]).
     pub parallel: Parallelism,
+    /// Two-stage retrieval: rank candidates by an admissible score
+    /// bound and exact-score only a frontier (`None` = score every
+    /// candidate). Results are bit-identical either way.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use be2d_db::{ImageDatabase, QueryOptions};
+    /// use be2d_geometry::SceneBuilder;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut db = ImageDatabase::new();
+    /// for i in 0..50i64 {
+    ///     let scene = SceneBuilder::new(100, 100)
+    ///         .object("A", (i % 7, i % 7 + 20, 0, 30))
+    ///         .object("B", (40, 90, i % 11 + 5, i % 11 + 40))
+    ///         .build()?;
+    ///     db.insert_scene(&format!("img{i}"), &scene)?;
+    /// }
+    /// let query = SceneBuilder::new(100, 100)
+    ///     .object("A", (3, 23, 0, 30))
+    ///     .object("B", (40, 90, 10, 45))
+    ///     .build()?;
+    /// let exhaustive = db.search_scene(&query, &QueryOptions::default());
+    /// let two_stage = db.search_scene(&query, &QueryOptions::default().with_two_stage(16));
+    /// // The admissible bound makes the rankings bit-identical:
+    /// assert_eq!(exhaustive.len(), two_stage.len());
+    /// for (a, b) in exhaustive.iter().zip(&two_stage) {
+    ///     assert_eq!(a.id, b.id);
+    ///     assert_eq!(a.score.to_bits(), b.score.to_bits());
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub two_stage: Option<TwoStage>,
 }
 
 impl Default for QueryOptions {
@@ -152,6 +228,7 @@ impl Default for QueryOptions {
             prefilter: PrefilterMode::default(),
             candidates: CandidateSource::default(),
             parallel: Parallelism::Off,
+            two_stage: None,
         }
     }
 }
@@ -184,6 +261,14 @@ impl QueryOptions {
             parallel: Parallelism::Auto,
             ..QueryOptions::default()
         }
+    }
+
+    /// Returns a copy with two-stage retrieval enabled at the given
+    /// frontier batch size (see [`TwoStage`]; zero is treated as one).
+    #[must_use]
+    pub fn with_two_stage(mut self, frontier: usize) -> Self {
+        self.two_stage = Some(TwoStage { frontier });
+        self
     }
 }
 

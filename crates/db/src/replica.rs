@@ -1066,10 +1066,14 @@ impl ReplicatedImageDatabase {
             metrics.replica_picks.inc();
             metrics.outstanding_reads.inc();
             let scatter_start = Instant::now();
-            let hits = set.replicas[replica].read().search(query, options);
+            let (hits, stats) = set.replicas[replica]
+                .read()
+                .search_bounded(query, options, None);
             let scatter_ns = elapsed_ns(scatter_start);
             metrics.outstanding_reads.dec();
             metrics.scatter.get(0).record_ns(scatter_ns);
+            metrics.stage2_scored.add(stats.scored as u64);
+            metrics.bound_pruned.add(stats.bound_pruned as u64);
             let total_ns = elapsed_ns(total_start);
             metrics.search_total.record_ns(total_ns);
             let trace = QueryTrace {
@@ -1082,6 +1086,8 @@ impl ReplicatedImageDatabase {
                     replica,
                     skipped: false,
                     hits: hits.len(),
+                    scored: stats.scored,
+                    bound_pruned: stats.bound_pruned,
                     elapsed_ns: scatter_ns,
                 }],
             };
@@ -1094,6 +1100,12 @@ impl ReplicatedImageDatabase {
         let topology = &*top;
         let planner_skipped = &self.inner.planner_skipped;
         let query_classes: Vec<ObjectClass> = query.class_counts().into_keys().collect();
+        // With two-stage pruning on and a top-k bound, shards share a
+        // monotone score floor: each publishes its k-th exact score,
+        // letting the others stop scoring candidates whose bounds fall
+        // below it — the merged top-k is unchanged.
+        let threshold = (options.two_stage.is_some() && options.top_k.is_some())
+            .then(crate::ScoreThreshold::new);
         let planner_ns = elapsed_ns(planner_start);
         let scatter_start = Instant::now();
         let per_shard: Vec<(Vec<SearchHit>, ShardTrace)> = scatter_scan(
@@ -1107,33 +1119,39 @@ impl ReplicatedImageDatabase {
                 metrics.replica_picks.inc();
                 metrics.outstanding_reads.inc();
                 let guard = set.replicas[replica].read();
-                let (hits, skipped) = if shard_cannot_contribute(&guard, &query_classes, options) {
-                    planner_skipped.fetch_add(1, Ordering::Relaxed);
-                    (Vec::new(), true)
-                } else {
-                    let mut hits = guard.search(query, options);
-                    for hit in &mut hits {
-                        // Local-slot order maps monotonically to
-                        // global-id order under any epoch (see
-                        // `epoch.rs`), so each per-shard ranked list
-                        // stays merge-ready.
-                        hit.id = RecordId(
-                            epoch
-                                .global_of(shard, hit.id.index())
-                                .expect("occupied slot resolves under the live epoch"),
-                        );
-                    }
-                    (hits, false)
-                };
+                let (hits, skipped, stats) =
+                    if shard_cannot_contribute(&guard, &query_classes, options) {
+                        planner_skipped.fetch_add(1, Ordering::Relaxed);
+                        (Vec::new(), true, crate::SearchStats::default())
+                    } else {
+                        let (mut hits, stats) =
+                            guard.search_bounded(query, options, threshold.as_ref());
+                        for hit in &mut hits {
+                            // Local-slot order maps monotonically to
+                            // global-id order under any epoch (see
+                            // `epoch.rs`), so each per-shard ranked list
+                            // stays merge-ready.
+                            hit.id = RecordId(
+                                epoch
+                                    .global_of(shard, hit.id.index())
+                                    .expect("occupied slot resolves under the live epoch"),
+                            );
+                        }
+                        (hits, false, stats)
+                    };
                 drop(guard);
                 metrics.outstanding_reads.dec();
                 let shard_ns = elapsed_ns(shard_start);
                 metrics.scatter.get(shard).record_ns(shard_ns);
+                metrics.stage2_scored.add(stats.scored as u64);
+                metrics.bound_pruned.add(stats.bound_pruned as u64);
                 let trace = ShardTrace {
                     shard,
                     replica,
                     skipped,
                     hits: hits.len(),
+                    scored: stats.scored,
+                    bound_pruned: stats.bound_pruned,
                     elapsed_ns: shard_ns,
                 };
                 (hits, trace)

@@ -354,6 +354,12 @@ impl ShardedImageDatabase {
     ///
     /// Ranking — ids, scores, and tie-breaks — is bit-identical to a
     /// single-shard [`ImageDatabase::search`] over the same records.
+    ///
+    /// With [`two_stage`](crate::QueryOptions::two_stage) set, the
+    /// shards share a [`ScoreThreshold`](crate::ScoreThreshold): each
+    /// shard publishes its k-th exact score as it scans, so a shard
+    /// whose remaining bounds fall below another shard's k-th score
+    /// stops scoring early — without changing the merged top-k.
     #[must_use]
     pub fn search(&self, query: &BeString2D, options: &QueryOptions) -> Vec<SearchHit> {
         let n = self.inner.shards.len();
@@ -362,6 +368,10 @@ impl ShardedImageDatabase {
             return self.inner.shards[0].read().search(query, options);
         }
         let query_classes: Vec<ObjectClass> = query.class_counts().into_keys().collect();
+        // A shared score floor only helps (and is only valid) when
+        // two-stage pruning is on and a top-k bounds the result.
+        let threshold = (options.two_stage.is_some() && options.top_k.is_some())
+            .then(crate::ScoreThreshold::new);
         let per_shard = scatter_scan(
             n,
             // next_id is a cheap upper bound on the total record count.
@@ -372,7 +382,7 @@ impl ShardedImageDatabase {
                     self.inner.planner_skipped.fetch_add(1, Ordering::Relaxed);
                     return Vec::new();
                 }
-                let mut hits = guard.search(query, options);
+                let (mut hits, _stats) = guard.search_bounded(query, options, threshold.as_ref());
                 // Local slot l in shard s is global id l·N + s; the map
                 // is monotonic, so each list stays sorted.
                 for hit in &mut hits {

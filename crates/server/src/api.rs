@@ -11,6 +11,7 @@ use crate::http::Response;
 use be2d_core::SymbolicImage;
 use be2d_db::{
     CandidateSource, DbError, Parallelism, PrefilterMode, QueryOptions, QueryTrace, SearchHit,
+    TwoStage,
 };
 use be2d_geometry::{ObjectClass, Rect, Scene, Transform};
 use serde::{Deserialize, Serialize, Value};
@@ -471,7 +472,10 @@ impl ReshardRequest {
 /// Every field is optional:
 /// `{"top_k": 5, "min_score": 0.2, "prefilter": "any-class",
 ///   "candidates": "class-index", "transforms": "paper-set",
-///   "parallel": "auto"}`.
+///   "parallel": "auto", "two_stage": 64}`.
+///
+/// `two_stage` accepts `true` (default frontier), an integer frontier
+/// size (`>= 1`), or `null`/`false` to force exhaustive scoring.
 ///
 /// # Errors
 ///
@@ -542,6 +546,19 @@ pub fn options_from_value(
                 }
             }
             "transforms" => options.transforms = transforms_from_value(value)?,
+            "two_stage" => {
+                options.two_stage = match value {
+                    Value::Null | Value::Bool(false) => None,
+                    Value::Bool(true) => Some(TwoStage::default()),
+                    v => {
+                        let frontier = usize::try_from(as_i64(v, "options.two_stage")?)
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| ApiError::bad("options.two_stage must be >= 1"))?;
+                        Some(TwoStage { frontier })
+                    }
+                }
+            }
             other => {
                 return Err(ApiError::bad(format!("unknown option {other:?}")));
             }
@@ -639,6 +656,10 @@ pub struct ShardTraceDto {
     pub skipped: bool,
     /// Hits the shard contributed before the merge.
     pub hits: usize,
+    /// Candidates the shard exactly scored (stage-2 survivors).
+    pub scored: usize,
+    /// Candidates two-stage retrieval pruned by admissible bound.
+    pub bound_pruned: usize,
     /// Scan duration in milliseconds.
     pub elapsed_ms: f64,
 }
@@ -677,6 +698,8 @@ impl TraceDto {
                     replica: s.replica,
                     skipped: s.skipped,
                     hits: s.hits,
+                    scored: s.scored,
+                    bound_pruned: s.bound_pruned,
                     elapsed_ms: ns_to_ms(s.elapsed_ns),
                 })
                 .collect(),

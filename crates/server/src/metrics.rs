@@ -228,6 +228,18 @@ pub(crate) fn build_registry(
         &[],
         Arc::clone(&m.outstanding_reads),
     );
+    registry.register_counter(
+        "be2d_db_stage2_scored_total",
+        "Candidates exactly scored (stage-2 survivors of two-stage retrieval)",
+        &[],
+        Arc::clone(&m.stage2_scored),
+    );
+    registry.register_counter(
+        "be2d_db_bound_pruned_total",
+        "Candidates skipped because their admissible score bound excluded them",
+        &[],
+        Arc::clone(&m.bound_pruned),
+    );
     let planner_db = db.clone();
     registry.counter_fn(
         "be2d_db_planner_skipped_total",

@@ -3,7 +3,7 @@
 # summary (CI appends the output to $GITHUB_STEP_SUMMARY so every PR
 # shows its perf trajectory). Missing files are noted, not fatal.
 #
-#   scripts/bench_summary.sh [BENCH_server.json] [BENCH_shard_scaling.json] [BENCH_replica_scaling.json] [BENCH_reshard.json] [BENCH_oplog.json]
+#   scripts/bench_summary.sh [BENCH_server.json] [BENCH_shard_scaling.json] [BENCH_replica_scaling.json] [BENCH_reshard.json] [BENCH_oplog.json] [BENCH_twostage.json]
 set -euo pipefail
 
 SERVER="${1:-BENCH_server.json}"
@@ -11,13 +11,15 @@ SCALING="${2:-BENCH_shard_scaling.json}"
 REPLICAS="${3:-BENCH_replica_scaling.json}"
 RESHARD="${4:-BENCH_reshard.json}"
 OPLOG="${5:-BENCH_oplog.json}"
+TWOSTAGE="${6:-BENCH_twostage.json}"
 
-python3 - "$SERVER" "$SCALING" "$REPLICAS" "$RESHARD" "$OPLOG" <<'PY'
+python3 - "$SERVER" "$SCALING" "$REPLICAS" "$RESHARD" "$OPLOG" "$TWOSTAGE" <<'PY'
 import json
 import os
 import sys
 
-server_path, scaling_path, replica_path, reshard_path, oplog_path = sys.argv[1:6]
+(server_path, scaling_path, replica_path, reshard_path, oplog_path,
+ twostage_path) = sys.argv[1:7]
 
 print("## Perf trajectory")
 print()
@@ -157,6 +159,28 @@ if os.path.exists(oplog_path):
     for point in oplog["ack"]:
         print(f"| {point['mode']} | {point['p50_us']:.1f} µs "
               f"| {point['p95_us']:.1f} µs |")
+    print()
 else:
     print(f"_no {oplog_path} found_")
+    print()
+
+if os.path.exists(twostage_path):
+    with open(twostage_path) as f:
+        twostage = json.load(f)
+    print(f"### Two-stage retrieval "
+          f"(frontier {twostage['frontier']}, top-{twostage['top_k']}, "
+          f"{twostage['queries']} queries per size; rankings asserted "
+          "bit-identical to exhaustive)")
+    print()
+    print("| images | candidates | exactly scored | scored frac "
+          "| exhaustive p50 | staged p50 | speedup |")
+    print("|---:|---:|---:|---:|---:|---:|---:|")
+    for point in twostage["sweep"]:
+        print(f"| {point['images']} | {point['candidates']} "
+              f"| {point['scored']} | {point['scored_fraction']:.2f} "
+              f"| {point['exhaustive_p50_us'] / 1000:.2f} ms "
+              f"| {point['staged_p50_us'] / 1000:.2f} ms "
+              f"| {point['speedup_p50']:.2f}× |")
+else:
+    print(f"_no {twostage_path} found_")
 PY

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Verifies every intra-repo markdown link resolves: for each tracked
+# *.md file, every relative link target (anchor stripped) must exist on
+# disk. External links (http/https/mailto) are ignored. CI runs this in
+# the docs step; a broken link fails the build.
+#
+#   scripts/check_links.sh
+set -euo pipefail
+
+cd "$(git rev-parse --show-toplevel)"
+
+git ls-files '*.md' | python3 - <<'PY'
+import os
+import re
+import sys
+
+# Inline markdown links [text](target) — skips images' extra ! cheaply
+# since the target rules are identical, and tolerates titles
+# [text](target "title").
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Fenced code blocks are stripped so example snippets never count.
+FENCE = re.compile(r"^(```|~~~)")
+
+broken = []
+for path in (line.strip() for line in sys.stdin if line.strip()):
+    with open(path, encoding="utf-8") as f:
+        lines = f.readlines()
+    in_fence = False
+    for number, line in enumerate(lines, 1):
+        if FENCE.match(line.lstrip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target.split("#")[0])
+            )
+            if not os.path.exists(resolved):
+                broken.append(f"{path}:{number}: broken link -> {target}")
+
+if broken:
+    print("\n".join(broken))
+    print(f"\n{len(broken)} broken intra-repo link(s)", file=sys.stderr)
+    sys.exit(1)
+print("all intra-repo markdown links resolve")
+PY

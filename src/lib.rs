@@ -54,6 +54,6 @@ pub use be2d_core::{
 };
 pub use be2d_db::{
     ImageDatabase, QueryOptions, ReplicatedImageDatabase, Resharder, SearchHit,
-    ShardedImageDatabase,
+    ShardedImageDatabase, TwoStage,
 };
 pub use be2d_geometry::{ObjectClass, Rect, Scene, SceneBuilder, Transform};
