@@ -1,0 +1,298 @@
+//! A bounded, sequence-numbered journal of structured cluster events.
+//!
+//! Metrics answer "how much"; the journal answers "what happened right
+//! before that". Every state transition worth a page — a replica
+//! failing or healing, a reshard starting or finishing, a WAL
+//! checkpoint, an SLO burn, an advisor recommendation — is recorded as
+//! a typed [`Event`] with a monotonically increasing sequence number
+//! and a wall-clock timestamp, in a fixed-capacity ring that evicts
+//! oldest-first. Readers poll incrementally with
+//! [`EventJournal::since`]: remember the last sequence seen, ask for
+//! everything after it.
+//!
+//! Recording takes one short mutex; the emission sites already hold
+//! their subsystem's coarser locks (a shard's write-order mutex, the
+//! reshard lock), so the journal adds no new ordering concerns.
+
+use std::collections::VecDeque;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default ring capacity used by
+/// [`ReplicatedImageDatabase`](crate::ReplicatedImageDatabase).
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// What happened, with the structured payload of each transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A replica was taken out of rotation (fault injection or admin).
+    ReplicaFailed {
+        /// Physical shard index.
+        shard: usize,
+        /// Replica index within the shard.
+        replica: usize,
+    },
+    /// A failed replica was rebuilt and rejoined rotation.
+    ReplicaHealed {
+        /// Physical shard index.
+        shard: usize,
+        /// Replica index within the shard.
+        replica: usize,
+        /// `"replay"` when the op-log gap fit the window, `"clone"`
+        /// when it fell back to copying a healthy peer.
+        method: &'static str,
+    },
+    /// An online reshard installed its migration epoch.
+    ReshardStarted {
+        /// Shard count before the migration.
+        from: usize,
+        /// Target shard count.
+        to: usize,
+    },
+    /// An online reshard finalised (epoch steady again).
+    ReshardFinished {
+        /// Shard count before the migration.
+        from: usize,
+        /// Shard count after the migration.
+        to: usize,
+        /// Records moved between shards.
+        moved_records: usize,
+        /// Stop-the-world batches the sweep took.
+        batches: u64,
+    },
+    /// A WAL checkpoint anchored a snapshot and truncated the log.
+    WalCheckpoint {
+        /// Records in the anchor snapshot.
+        records: usize,
+    },
+    /// A rolling-window SLO signal crossed its configured target.
+    SloBurn {
+        /// Which signal burned (`"latency_p99"`, `"availability"`).
+        signal: String,
+        /// Human-readable observation vs target.
+        detail: String,
+    },
+    /// The dry-run advisor would have issued an admin call.
+    AdvisorRecommendation {
+        /// The exact admin call (`"reshard"`, `"rebuild_replica"`).
+        action: String,
+        /// Machine-readable target, e.g. `"shards=8"` or
+        /// `"shard=1,replica=0"`.
+        target: String,
+        /// Why the advisor decided this.
+        reason: String,
+    },
+}
+
+impl EventKind {
+    /// Stable machine-readable name of the event type (the `type`
+    /// field of the HTTP representation).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::ReplicaFailed { .. } => "replica_failed",
+            EventKind::ReplicaHealed { .. } => "replica_healed",
+            EventKind::ReshardStarted { .. } => "reshard_started",
+            EventKind::ReshardFinished { .. } => "reshard_finished",
+            EventKind::WalCheckpoint { .. } => "wal_checkpoint",
+            EventKind::SloBurn { .. } => "slo_burn",
+            EventKind::AdvisorRecommendation { .. } => "advisor_recommendation",
+        }
+    }
+}
+
+/// One journal entry: a sequence number (monotonic across the whole
+/// journal, never reused, survives eviction), a wall-clock timestamp,
+/// and the typed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Position in the journal; strictly increasing with admission
+    /// order, starting at 1.
+    pub seq: u64,
+    /// Milliseconds since the Unix epoch at admission.
+    pub unix_ms: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[derive(Debug, Default)]
+struct JournalState {
+    next_seq: u64,
+    ring: VecDeque<Event>,
+}
+
+/// The bounded event ring. Cheap to record into (one short lock),
+/// cheap to poll (copies only the suffix past the caller's cursor).
+#[derive(Debug)]
+pub struct EventJournal {
+    capacity: usize,
+    state: parking_lot::Mutex<JournalState>,
+}
+
+impl Default for EventJournal {
+    fn default() -> Self {
+        EventJournal::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventJournal {
+    /// A journal retaining the `capacity` (clamped to ≥ 1) most recent
+    /// events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventJournal {
+            capacity: capacity.max(1),
+            state: parking_lot::Mutex::new(JournalState::default()),
+        }
+    }
+
+    /// Admits an event: assigns the next sequence number, timestamps
+    /// it, and evicts the oldest entry if the ring is full. Returns
+    /// the assigned sequence.
+    pub fn record(&self, kind: EventKind) -> u64 {
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+            .unwrap_or(0);
+        let mut state = self.state.lock();
+        state.next_seq += 1;
+        let seq = state.next_seq;
+        if state.ring.len() == self.capacity {
+            state.ring.pop_front();
+        }
+        state.ring.push_back(Event { seq, unix_ms, kind });
+        seq
+    }
+
+    /// Every retained event with a sequence strictly greater than
+    /// `seq`, oldest first, plus the journal's latest assigned
+    /// sequence (the cursor for the next poll). `since(0)` returns the
+    /// whole ring.
+    #[must_use]
+    pub fn since(&self, seq: u64) -> (Vec<Event>, u64) {
+        let state = self.state.lock();
+        let events = state.ring.iter().filter(|e| e.seq > seq).cloned().collect();
+        (events, state.next_seq)
+    }
+
+    /// The latest assigned sequence (0 before any event).
+    #[must_use]
+    pub fn last_seq(&self) -> u64 {
+        self.state.lock().next_seq
+    }
+
+    /// The ring's capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fail(shard: usize, replica: usize) -> EventKind {
+        EventKind::ReplicaFailed { shard, replica }
+    }
+
+    #[test]
+    fn sequences_start_at_one_and_increase() {
+        let j = EventJournal::with_capacity(8);
+        assert_eq!(j.last_seq(), 0);
+        assert_eq!(j.record(fail(0, 0)), 1);
+        assert_eq!(j.record(fail(0, 1)), 2);
+        let (events, last) = j.since(0);
+        assert_eq!(last, 2);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 1);
+        assert_eq!(events[1].seq, 2);
+    }
+
+    #[test]
+    fn since_cursor_returns_only_the_suffix() {
+        let j = EventJournal::with_capacity(8);
+        for i in 0..5 {
+            j.record(fail(i, 0));
+        }
+        let (events, last) = j.since(3);
+        assert_eq!(last, 5);
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4, 5]);
+        let (none, last) = j.since(5);
+        assert!(none.is_empty());
+        assert_eq!(last, 5);
+    }
+
+    #[test]
+    fn wraparound_keeps_sequences_monotonic_and_evicts_oldest() {
+        let j = EventJournal::with_capacity(4);
+        for i in 0..10 {
+            j.record(fail(i, 0));
+        }
+        let (events, last) = j.since(0);
+        assert_eq!(last, 10);
+        assert_eq!(events.len(), 4, "ring holds only the newest capacity");
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![7, 8, 9, 10]
+        );
+        assert!(
+            events.windows(2).all(|w| w[0].seq < w[1].seq),
+            "strictly increasing across eviction"
+        );
+    }
+
+    #[test]
+    fn concurrent_recorders_never_reuse_a_sequence() {
+        use std::sync::Arc;
+        let j = Arc::new(EventJournal::with_capacity(16));
+        let threads = 4;
+        let per_thread = 500;
+        let mut seqs: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let j = Arc::clone(&j);
+                    scope.spawn(move || {
+                        (0..per_thread)
+                            .map(|_| j.record(fail(t, 0)))
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        seqs.sort_unstable();
+        let expected: Vec<u64> = (1..=(threads * per_thread) as u64).collect();
+        assert_eq!(seqs, expected, "every sequence assigned exactly once");
+        // Only the newest 16 survive, still sorted and contiguous.
+        let (events, last) = j.since(0);
+        assert_eq!(last, (threads * per_thread) as u64);
+        assert_eq!(events.len(), 16);
+        assert!(events.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+    }
+
+    #[test]
+    fn event_names_are_stable() {
+        assert_eq!(fail(0, 0).name(), "replica_failed");
+        assert_eq!(
+            EventKind::ReplicaHealed {
+                shard: 0,
+                replica: 1,
+                method: "replay"
+            }
+            .name(),
+            "replica_healed"
+        );
+        assert_eq!(
+            EventKind::AdvisorRecommendation {
+                action: "reshard".into(),
+                target: "shards=8".into(),
+                reason: "imbalance".into()
+            }
+            .name(),
+            "advisor_recommendation"
+        );
+    }
+}

@@ -23,6 +23,10 @@
 //!   shards in bounded batches while the database keeps serving, with
 //!   rankings bit-identical throughout (progress in
 //!   [`ReshardProgress`]);
+//! * [`EventJournal`] — a bounded, sequence-numbered ring of typed
+//!   cluster events ([`EventKind`]): replica fail/heal, reshard
+//!   start/finish, WAL checkpoints, SLO burns, advisor
+//!   recommendations — polled incrementally by cursor;
 //! * JSON persistence ([`ImageDatabase::to_json`] /
 //!   [`ImageDatabase::from_json`]).
 //!
@@ -55,6 +59,7 @@
 mod database;
 mod epoch;
 mod error;
+mod events;
 mod index;
 mod metrics;
 mod oplog;
@@ -68,6 +73,7 @@ pub mod sketch;
 
 pub use database::{ImageDatabase, ImageRecord, RecordId, ScoreThreshold, SearchStats};
 pub use error::DbError;
+pub use events::{Event, EventJournal, EventKind, DEFAULT_EVENT_CAPACITY};
 pub use index::ClassIndex;
 pub use metrics::{DbMetrics, QueryTrace, ShardTrace, SCATTER_POOL_SLOTS};
 pub use oplog::{

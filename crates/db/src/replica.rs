@@ -90,6 +90,7 @@
 //! [`rebuild_replica`]: ReplicatedImageDatabase::rebuild_replica
 
 use crate::epoch::RoutingEpoch;
+use crate::events::{EventJournal, EventKind};
 use crate::metrics::{elapsed_ns, DbMetrics, QueryTrace, ShardTrace};
 use crate::oplog::{
     load_wal_file, wal_shard_files, Op, OplogStats, ReplicaLag, ReplicationMode, ReplicationStats,
@@ -229,6 +230,9 @@ pub(crate) struct Inner {
     /// Lock-free latency/throughput instrumentation handles, shared
     /// with whoever exposes them (see [`DbMetrics`]).
     pub(crate) metrics: DbMetrics,
+    /// Bounded ring of typed cluster events (replica fail/heal,
+    /// reshard start/finish, WAL checkpoints, …), polled by cursor.
+    pub(crate) events: EventJournal,
 }
 
 /// The live shard topology: one [`ReplicaSet`] per physical shard plus
@@ -676,6 +680,7 @@ impl ReplicatedImageDatabase {
                 wal: config.wal.map(WalState::new),
                 pump: pump_signal.clone(),
                 metrics: DbMetrics::new(),
+                events: EventJournal::default(),
             }),
         };
         if db.inner.wal.is_some() {
@@ -765,6 +770,16 @@ impl ReplicatedImageDatabase {
     #[must_use]
     pub fn metrics(&self) -> &DbMetrics {
         &self.inner.metrics
+    }
+
+    /// The database's event journal: replica fail/heal, reshard
+    /// start/finish, and WAL checkpoints are recorded here as they
+    /// happen; embedders (the server's health engine) append their own
+    /// events — SLO burns, advisor recommendations — to the same ring
+    /// so one cursor covers everything.
+    #[must_use]
+    pub fn events(&self) -> &EventJournal {
+        &self.inner.events
     }
 
     /// All statistics under one simultaneous read lock across every
@@ -1251,6 +1266,9 @@ impl ReplicatedImageDatabase {
             });
         }
         set.health[replica].store(false, Ordering::SeqCst);
+        self.inner
+            .events
+            .record(EventKind::ReplicaFailed { shard, replica });
         Ok(())
     }
 
@@ -1295,6 +1313,11 @@ impl ReplicatedImageDatabase {
             if replayed.is_ok() {
                 set.health[replica].store(true, Ordering::SeqCst);
                 self.inner.catchup_replays.fetch_add(1, Ordering::Relaxed);
+                self.inner.events.record(EventKind::ReplicaHealed {
+                    shard,
+                    replica,
+                    method: "replay",
+                });
                 return Ok(());
             }
             // A replay failure means the stale state diverged from what
@@ -1320,6 +1343,11 @@ impl ReplicatedImageDatabase {
         set.applied[replica].store(set.head.load(Ordering::SeqCst), Ordering::SeqCst);
         set.health[replica].store(true, Ordering::SeqCst);
         self.inner.catchup_clones.fetch_add(1, Ordering::Relaxed);
+        self.inner.events.record(EventKind::ReplicaHealed {
+            shard,
+            replica,
+            method: "clone",
+        });
         Ok(())
     }
 
@@ -1438,6 +1466,9 @@ impl ReplicatedImageDatabase {
             wal.truncations.fetch_add(1, Ordering::Relaxed);
         }
         self.inner.metrics.checkpoint.record(start.elapsed());
+        self.inner
+            .events
+            .record(EventKind::WalCheckpoint { records });
         Ok(records)
     }
 
@@ -1821,6 +1852,52 @@ mod tests {
         db.rebuild_replica(0, 1).unwrap();
         assert!(db.fail_replica(9, 0).is_err());
         assert!(db.rebuild_replica(0, 9).is_err());
+    }
+
+    #[test]
+    fn journal_records_fail_heal_and_reshard_in_order() {
+        let db = filled(2, 2, 6);
+        assert_eq!(db.events().last_seq(), 0, "quiet cluster, empty journal");
+        db.fail_replica(0, 1).unwrap();
+        db.insert_scene("late", &scene(8)).unwrap();
+        db.rebuild_replica(0, 1).unwrap();
+        crate::Resharder::new(&db).run(4).unwrap();
+        let (events, last) = db.events().since(0);
+        let names: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "replica_failed",
+                "replica_healed",
+                "reshard_started",
+                "reshard_finished"
+            ]
+        );
+        assert_eq!(last, 4);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(matches!(
+            events[0].kind,
+            EventKind::ReplicaFailed {
+                shard: 0,
+                replica: 1
+            }
+        ));
+        assert!(matches!(
+            events[1].kind,
+            EventKind::ReplicaHealed {
+                shard: 0,
+                replica: 1,
+                method: "replay"
+            }
+        ));
+        assert!(matches!(
+            events[3].kind,
+            EventKind::ReshardFinished { from: 2, to: 4, .. }
+        ));
+        // Incremental polling from the remembered cursor.
+        let (tail, _) = db.events().since(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].kind.name(), "reshard_started");
     }
 
     #[test]

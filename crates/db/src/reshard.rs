@@ -30,6 +30,7 @@
 //! database at every point of the migration
 //! (`crates/db/tests/reshard.rs`).
 
+use crate::events::EventKind;
 use crate::replica::ReplicaSet;
 use crate::{DbError, ImageDatabase, RecordId, ReplicatedImageDatabase};
 use std::sync::atomic::Ordering;
@@ -230,6 +231,10 @@ impl Resharder {
             *inner.progress.lock() = progress.clone();
             progress
         };
+        inner.events.record(EventKind::ReshardStarted {
+            from: progress.from,
+            to: progress.to,
+        });
 
         // Sweep in bounded batches until the watermark covers all ids.
         //
@@ -280,6 +285,12 @@ impl Resharder {
         }
         progress.active = false;
         *inner.progress.lock() = progress.clone();
+        inner.events.record(EventKind::ReshardFinished {
+            from: progress.from,
+            to: progress.to,
+            moved_records: progress.moved_records,
+            batches: progress.batches,
+        });
         checkpoint(&progress);
         Ok(progress)
     }

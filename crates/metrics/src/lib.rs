@@ -10,6 +10,10 @@
 //! - [`Registry`] — a process-wide catalogue of metric families rendered as
 //!   Prometheus text format 0.0.4 (`# HELP`/`# TYPE` pairs, `_bucket{le=...}`
 //!   cumulative buckets, `_sum`/`_count`, all durations in seconds).
+//! - [`WindowedHistogram`] / [`WindowedCounter`] — rolling-window views of
+//!   the same primitives: a ring of per-epoch slots rotated by a coarse
+//!   tick, answering "p95 / rate over the last k epochs" instead of
+//!   process-lifetime totals.
 //!
 //! The hot path (recording a sample) touches only atomics — no locks, no
 //! allocation. The registry's mutex is taken only at registration time and
@@ -17,6 +21,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod window;
+
+pub use window::{WindowedCounter, WindowedHistogram};
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -156,6 +164,19 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Zeroes every cell. Not atomic as a whole: a sample recorded
+    /// concurrently with a reset may be partially erased, which is why
+    /// the only caller is window rotation, where the slot being reset
+    /// is by protocol not the one being recorded into.
+    pub(crate) fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
     }
 
     /// Returns a point-in-time copy of the histogram state.

@@ -1,0 +1,340 @@
+//! The dry-run autopilot advisor.
+//!
+//! Each tick of the background health loop feeds an
+//! [`AdvisorEngine`] the current windowed signals; when a condition
+//! holds for [`hysteresis`](AdvisorEngine) consecutive ticks the
+//! engine emits a [`Recommendation`] naming the exact admin call an
+//! operator (or a future actuating mode) would issue — and then holds
+//! its tongue about that signal for a cooldown, so an oscillating
+//! condition pages once, not once per tick.
+//!
+//! The engine is deliberately pure clockwork: no time source, no
+//! database handle, no I/O. The server owns the tick cadence and the
+//! signal gathering; the engine only decides *whether the evidence is
+//! sustained enough to speak*. That makes hysteresis and cooldown
+//! directly unit-testable with synthetic tick streams.
+//!
+//! In `dry-run` mode (the only actuating-adjacent mode that exists)
+//! recommendations are recorded as `advisor_recommendation` events in
+//! the database's [`EventJournal`](be2d_db::EventJournal) and nothing
+//! else happens: no admin call is issued, and search rankings remain
+//! bit-identical to a server running with the advisor off.
+
+use crate::health::Verdict;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Whether the advisor loop runs, and what it is allowed to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvisorMode {
+    /// No advisor loop at all.
+    Off,
+    /// Evaluate signals and journal recommendations; never act.
+    DryRun,
+}
+
+impl AdvisorMode {
+    /// Parses the `--advisor` flag value.
+    pub fn parse(s: &str) -> Result<AdvisorMode, String> {
+        match s {
+            "off" => Ok(AdvisorMode::Off),
+            "dry-run" => Ok(AdvisorMode::DryRun),
+            other => Err(format!("invalid advisor mode '{other}' (off|dry-run)")),
+        }
+    }
+
+    /// Stable name for display.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AdvisorMode::Off => "off",
+            AdvisorMode::DryRun => "dry-run",
+        }
+    }
+}
+
+/// One admin call the advisor would issue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recommendation {
+    /// The admin verb (`"rebuild_replica"`, `"reshard"`).
+    pub action: String,
+    /// Machine-readable target (`"shard=1,replica=0"`, `"shards=8"`).
+    pub target: String,
+    /// The sustained evidence behind it.
+    pub reason: String,
+}
+
+/// A snapshot of the signals the advisor reasons over, gathered by the
+/// server each tick.
+#[derive(Debug, Clone)]
+pub struct AdvisorSignals {
+    /// Per-shard replica health bits
+    /// (`db.replica_health()`).
+    pub replica_health: Vec<Vec<bool>>,
+    /// Records per physical shard.
+    pub shard_records: Vec<usize>,
+    /// Whether a reshard is already in flight (suppresses reshard
+    /// advice).
+    pub resharding: bool,
+    /// The 1-minute SLO verdict.
+    pub slo: Verdict,
+}
+
+/// Records moved per shard before imbalance advice is worth the cost
+/// of a migration.
+pub const MIN_IMBALANCE_RECORDS: usize = 128;
+
+/// Sustained-signal detector with per-signal hysteresis and cooldown.
+///
+/// Time is counted in ticks: a signal must hold for `hysteresis`
+/// *consecutive* observations to fire, and once fired its key is
+/// silenced for `cooldown_ticks`. Distinct signals (each failed
+/// replica, the shared reshard condition) track independently.
+#[derive(Debug)]
+pub struct AdvisorEngine {
+    hysteresis: u64,
+    cooldown_ticks: u64,
+    tick: u64,
+    /// Consecutive ticks each key's condition has held.
+    streaks: HashMap<String, u64>,
+    /// Tick at which each key last fired.
+    fired: HashMap<String, u64>,
+}
+
+impl AdvisorEngine {
+    /// An engine requiring `hysteresis` consecutive ticks (clamped to
+    /// ≥ 1) and silencing each fired signal for `cooldown` expressed in
+    /// tick units of `tick_interval`.
+    #[must_use]
+    pub fn new(hysteresis: u64, cooldown: Duration, tick_interval: Duration) -> AdvisorEngine {
+        let interval_ms = tick_interval.as_millis().max(1);
+        let cooldown_ticks = cooldown.as_millis().div_ceil(interval_ms).max(1);
+        AdvisorEngine {
+            hysteresis: hysteresis.max(1),
+            cooldown_ticks: cooldown_ticks.min(u128::from(u64::MAX)) as u64,
+            tick: 0,
+            streaks: HashMap::new(),
+            fired: HashMap::new(),
+        }
+    }
+
+    /// Advances one tick and returns the recommendations whose
+    /// conditions just crossed the hysteresis threshold outside their
+    /// cooldown.
+    pub fn observe(&mut self, signals: &AdvisorSignals) -> Vec<Recommendation> {
+        self.tick += 1;
+        let mut active: Vec<(String, Recommendation)> = Vec::new();
+
+        for (shard, replicas) in signals.replica_health.iter().enumerate() {
+            for (replica, healthy) in replicas.iter().enumerate() {
+                if !healthy {
+                    active.push((
+                        format!("heal:{shard}/{replica}"),
+                        Recommendation {
+                            action: "rebuild_replica".into(),
+                            target: format!("shard={shard},replica={replica}"),
+                            reason: format!(
+                                "replica shard={shard} replica={replica} out of rotation"
+                            ),
+                        },
+                    ));
+                }
+            }
+        }
+
+        if let Some(rec) = reshard_condition(signals) {
+            active.push(("reshard".into(), rec));
+        }
+
+        // Streaks of conditions that stopped holding reset to zero —
+        // hysteresis means *consecutive* ticks.
+        self.streaks
+            .retain(|key, _| active.iter().any(|(k, _)| k == key));
+
+        let mut out = Vec::new();
+        for (key, rec) in active {
+            let streak = self.streaks.entry(key.clone()).or_insert(0);
+            *streak += 1;
+            if *streak < self.hysteresis {
+                continue;
+            }
+            let silenced = self
+                .fired
+                .get(&key)
+                .is_some_and(|&at| self.tick - at < self.cooldown_ticks);
+            if silenced {
+                continue;
+            }
+            self.fired.insert(key, self.tick);
+            out.push(rec);
+        }
+        out
+    }
+}
+
+/// The reshard condition: the fullest shard holds at least
+/// [`MIN_IMBALANCE_RECORDS`] records and more than twice the mean of
+/// the *other* shards (comparing against the overall mean could never
+/// fire at two shards, where the mean is at least half the max by
+/// construction), or the SLO is burning under material load — and no
+/// migration is already running. Recommends doubling the shard count
+/// (the same growth step the reshard tests exercise).
+fn reshard_condition(signals: &AdvisorSignals) -> Option<Recommendation> {
+    if signals.resharding || signals.shard_records.is_empty() {
+        return None;
+    }
+    let total: usize = signals.shard_records.iter().sum();
+    let max = signals.shard_records.iter().copied().max().unwrap_or(0);
+    let shards = signals.shard_records.len();
+    let others_mean = if shards > 1 {
+        (total - max) as f64 / (shards - 1) as f64
+    } else {
+        f64::INFINITY
+    };
+    let imbalanced = max >= MIN_IMBALANCE_RECORDS && (max as f64) > 2.0 * others_mean;
+    let burning = signals.slo >= Verdict::Degraded && total >= MIN_IMBALANCE_RECORDS;
+    if imbalanced {
+        Some(Recommendation {
+            action: "reshard".into(),
+            target: format!("shards={}", shards * 2),
+            reason: format!(
+                "shard imbalance max={max} others_mean={others_mean:.1} over {shards} shards"
+            ),
+        })
+    } else if burning {
+        Some(Recommendation {
+            action: "reshard".into(),
+            target: format!("shards={}", shards * 2),
+            reason: format!("sustained slo burn with {total} records over {shards} shards"),
+        })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(hysteresis: u64, cooldown_ticks: u64) -> AdvisorEngine {
+        AdvisorEngine::new(
+            hysteresis,
+            Duration::from_millis(cooldown_ticks * 100),
+            Duration::from_millis(100),
+        )
+    }
+
+    fn healthy() -> AdvisorSignals {
+        AdvisorSignals {
+            replica_health: vec![vec![true, true], vec![true, true]],
+            shard_records: vec![10, 10],
+            resharding: false,
+            slo: Verdict::Ok,
+        }
+    }
+
+    fn one_failed() -> AdvisorSignals {
+        let mut s = healthy();
+        s.replica_health[1][0] = false;
+        s
+    }
+
+    #[test]
+    fn hysteresis_requires_consecutive_ticks() {
+        let mut e = engine(3, 100);
+        assert!(e.observe(&one_failed()).is_empty(), "tick 1: streak 1");
+        assert!(e.observe(&one_failed()).is_empty(), "tick 2: streak 2");
+        let recs = e.observe(&one_failed());
+        assert_eq!(recs.len(), 1, "tick 3 crosses hysteresis");
+        assert_eq!(recs[0].action, "rebuild_replica");
+        assert_eq!(recs[0].target, "shard=1,replica=0");
+    }
+
+    #[test]
+    fn interruption_resets_the_streak() {
+        let mut e = engine(3, 100);
+        e.observe(&one_failed());
+        e.observe(&one_failed());
+        assert!(e.observe(&healthy()).is_empty(), "condition cleared");
+        assert!(e.observe(&one_failed()).is_empty(), "streak restarted at 1");
+        assert!(e.observe(&one_failed()).is_empty());
+        assert_eq!(e.observe(&one_failed()).len(), 1);
+    }
+
+    #[test]
+    fn oscillating_signal_fires_at_most_once_per_cooldown() {
+        let mut e = engine(1, 10);
+        let mut fired = 0;
+        // 20 ticks of a signal flapping every tick but always observed
+        // as failing at observation time.
+        for _ in 0..20 {
+            fired += e.observe(&one_failed()).len();
+        }
+        assert_eq!(fired, 2, "tick 1 and tick 11 only");
+    }
+
+    #[test]
+    fn signal_refires_after_cooldown_expires() {
+        let mut e = engine(2, 5);
+        e.observe(&one_failed());
+        assert_eq!(e.observe(&one_failed()).len(), 1, "fires at tick 2");
+        for _ in 0..4 {
+            assert!(e.observe(&one_failed()).is_empty(), "cooldown holds");
+        }
+        assert_eq!(e.observe(&one_failed()).len(), 1, "refires at tick 7");
+    }
+
+    #[test]
+    fn independent_signals_have_independent_cooldowns() {
+        let mut e = engine(1, 100);
+        let mut two_failed = one_failed();
+        let first = e.observe(&two_failed);
+        assert_eq!(first.len(), 1);
+        // A second replica fails later: it fires on its own schedule.
+        two_failed.replica_health[0][1] = false;
+        let second = e.observe(&two_failed);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].target, "shard=0,replica=1");
+    }
+
+    #[test]
+    fn reshard_advice_needs_material_imbalance_and_no_migration() {
+        let mut signals = healthy();
+        signals.shard_records = vec![300, 20];
+        let rec = reshard_condition(&signals).expect("imbalance fires");
+        assert_eq!(rec.action, "reshard");
+        assert_eq!(rec.target, "shards=4");
+
+        signals.resharding = true;
+        assert!(
+            reshard_condition(&signals).is_none(),
+            "in-flight migration suppresses advice"
+        );
+
+        signals.resharding = false;
+        signals.shard_records = vec![60, 20];
+        assert!(
+            reshard_condition(&signals).is_none(),
+            "small shards are not worth migrating"
+        );
+    }
+
+    #[test]
+    fn sustained_slo_burn_also_recommends_resharding() {
+        let mut signals = healthy();
+        signals.shard_records = vec![100, 100];
+        signals.slo = Verdict::Degraded;
+        let rec = reshard_condition(&signals).expect("burn fires");
+        assert_eq!(rec.target, "shards=4");
+        signals.slo = Verdict::Ok;
+        assert!(reshard_condition(&signals).is_none());
+    }
+
+    #[test]
+    fn mode_parses_and_round_trips() {
+        assert_eq!(AdvisorMode::parse("off").unwrap(), AdvisorMode::Off);
+        assert_eq!(AdvisorMode::parse("dry-run").unwrap(), AdvisorMode::DryRun);
+        assert!(AdvisorMode::parse("on").is_err());
+        assert_eq!(AdvisorMode::DryRun.as_str(), "dry-run");
+    }
+}

@@ -891,6 +891,8 @@ pub struct StatsV1Response {
     pub oplog: OplogSection,
     /// HTTP service counters.
     pub service: ServiceSection,
+    /// Rolling request windows (10s / 1m / 5m).
+    pub windows: WindowsSection,
 }
 
 /// `/v1/stats` topology section.
@@ -1016,6 +1018,168 @@ pub struct ServiceSection {
     pub threads: usize,
     /// Seconds since boot.
     pub uptime_s: f64,
+}
+
+/// `/v1/stats` rolling-window section: the same request stream as the
+/// lifetime counters, but aggregated over the last 10 seconds, 1
+/// minute, and 5 minutes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowsSection {
+    /// The last 10 seconds.
+    pub last_10s: WindowStatsDto,
+    /// The last minute.
+    pub last_1m: WindowStatsDto,
+    /// The last 5 minutes.
+    pub last_5m: WindowStatsDto,
+}
+
+/// One rolling window's aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowStatsDto {
+    /// Requests served in the window.
+    pub requests: u64,
+    /// Mean requests per second over the window.
+    pub rate_rps: f64,
+    /// Responses with status ≥ 500 in the window.
+    pub errors_5xx: u64,
+    /// `errors_5xx / requests` (0 when idle).
+    pub error_ratio: f64,
+    /// Median request latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile request latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile request latency in milliseconds.
+    pub p99_ms: f64,
+    /// Slowest request in the window, in milliseconds.
+    pub max_ms: f64,
+}
+
+impl WindowStatsDto {
+    /// Converts one window summary into wire shape (nanoseconds →
+    /// milliseconds).
+    pub(crate) fn from_summary(s: &crate::health::WindowSummary) -> WindowStatsDto {
+        WindowStatsDto {
+            requests: s.requests,
+            rate_rps: s.rate_rps,
+            errors_5xx: s.errors_5xx,
+            error_ratio: s.error_ratio,
+            p50_ms: s.latency.quantile(0.50) as f64 / 1e6,
+            p95_ms: s.latency.quantile(0.95) as f64 / 1e6,
+            p99_ms: s.latency.quantile(0.99) as f64 / 1e6,
+            max_ms: s.latency.max_ns as f64 / 1e6,
+        }
+    }
+}
+
+/// Body of `GET /v1/health`: the worst-verdict rollup plus every
+/// subsystem's verdict and reason.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// `"ok"`, `"degraded"`, or `"critical"` — the worst subsystem.
+    pub status: String,
+    /// Per-subsystem breakdown, in stable order.
+    pub subsystems: Vec<SubsystemDto>,
+}
+
+/// One subsystem's verdict in `GET /v1/health`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubsystemDto {
+    /// Stable subsystem name.
+    pub name: String,
+    /// `"ok"`, `"degraded"`, or `"critical"`.
+    pub verdict: String,
+    /// Machine-readable reason.
+    pub reason: String,
+}
+
+impl HealthResponse {
+    /// Converts the health engine's report into wire shape.
+    pub(crate) fn from_report(report: &crate::health::HealthReport) -> HealthResponse {
+        HealthResponse {
+            status: report.status.as_str().into(),
+            subsystems: report
+                .subsystems
+                .iter()
+                .map(|s| SubsystemDto {
+                    name: s.name.into(),
+                    verdict: s.verdict.as_str().into(),
+                    reason: s.reason.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Builds the `GET /v1/debug/events` body as a [`Value`] tree: the
+/// event payloads are heterogeneous per type, which the shim's derived
+/// serialiser cannot express as one struct.
+pub(crate) fn events_value(events: &[be2d_db::Event], last_seq: u64, capacity: usize) -> Value {
+    use be2d_db::EventKind;
+    let items: Vec<Value> = events
+        .iter()
+        .map(|e| {
+            let payload = match &e.kind {
+                EventKind::ReplicaFailed { shard, replica } => vec![
+                    ("shard".to_owned(), Value::Int(*shard as i128)),
+                    ("replica".to_owned(), Value::Int(*replica as i128)),
+                ],
+                EventKind::ReplicaHealed {
+                    shard,
+                    replica,
+                    method,
+                } => vec![
+                    ("shard".to_owned(), Value::Int(*shard as i128)),
+                    ("replica".to_owned(), Value::Int(*replica as i128)),
+                    ("method".to_owned(), Value::Str((*method).to_owned())),
+                ],
+                EventKind::ReshardStarted { from, to } => vec![
+                    ("from".to_owned(), Value::Int(*from as i128)),
+                    ("to".to_owned(), Value::Int(*to as i128)),
+                ],
+                EventKind::ReshardFinished {
+                    from,
+                    to,
+                    moved_records,
+                    batches,
+                } => vec![
+                    ("from".to_owned(), Value::Int(*from as i128)),
+                    ("to".to_owned(), Value::Int(*to as i128)),
+                    (
+                        "moved_records".to_owned(),
+                        Value::Int(*moved_records as i128),
+                    ),
+                    ("batches".to_owned(), Value::Int(i128::from(*batches))),
+                ],
+                EventKind::WalCheckpoint { records } => {
+                    vec![("records".to_owned(), Value::Int(*records as i128))]
+                }
+                EventKind::SloBurn { signal, detail } => vec![
+                    ("signal".to_owned(), Value::Str(signal.clone())),
+                    ("detail".to_owned(), Value::Str(detail.clone())),
+                ],
+                EventKind::AdvisorRecommendation {
+                    action,
+                    target,
+                    reason,
+                } => vec![
+                    ("action".to_owned(), Value::Str(action.clone())),
+                    ("target".to_owned(), Value::Str(target.clone())),
+                    ("reason".to_owned(), Value::Str(reason.clone())),
+                ],
+            };
+            Value::Map(vec![
+                ("seq".to_owned(), Value::Int(i128::from(e.seq))),
+                ("unix_ms".to_owned(), Value::Int(i128::from(e.unix_ms))),
+                ("type".to_owned(), Value::Str(e.kind.name().to_owned())),
+                ("payload".to_owned(), Value::Map(payload)),
+            ])
+        })
+        .collect();
+    Value::Map(vec![
+        ("last_seq".to_owned(), Value::Int(i128::from(last_seq))),
+        ("capacity".to_owned(), Value::Int(capacity as i128)),
+        ("events".to_owned(), Value::Seq(items)),
+    ])
 }
 
 /// Serialises any response DTO as a JSON [`Response`].

@@ -10,9 +10,10 @@
 //! after a graceful shutdown.
 
 use be2d_db::{ReplicatedImageDatabase, ReplicationMode};
-use be2d_server::{Server, ServerConfig};
+use be2d_server::{AdvisorMode, Server, ServerConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> &'static str {
     "be2d-server — HTTP retrieval service over the BE-string image database\n\
@@ -45,6 +46,16 @@ fn usage() -> &'static str {
        --db PATH          load this snapshot into the database at boot\n\
        --snapshot-dir DIR directory POST /snapshot and /restore are confined to (default .)\n\
        --snapshot NAME    default file name inside the snapshot dir\n\
+       --advisor MODE     autopilot advisor: off (default) or dry-run\n\
+                          (evaluate windowed signals, journal the admin calls\n\
+                          it would issue as advisor_recommendation events,\n\
+                          never act)\n\
+       --advisor-tick-ms N      interval between advisor evaluations (default 1000)\n\
+       --advisor-cooldown-ms N  silence per fired advisor signal (default 30000)\n\
+       --slo-p99-ms N     rolling 1-minute p99 latency target for the slo\n\
+                          verdict in GET /v1/health (default 250)\n\
+       --slo-availability F     availability target in [0,1]; the 5xx error\n\
+                          budget is 1-F of windowed requests (default 0.99)\n\
        --help             this text\n\
      \n\
      shutdown: POST /admin/shutdown\n"
@@ -132,6 +143,37 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<PathBuf>), String
                 config.keep_alive_requests = value("--keep-alive")?
                     .parse()
                     .map_err(|_| "--keep-alive must be a number".to_owned())?;
+            }
+            "--advisor" => config.advisor = AdvisorMode::parse(&value("--advisor")?)?,
+            "--advisor-tick-ms" => {
+                config.advisor_tick = value("--advisor-tick-ms")?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .map(Duration::from_millis)
+                    .ok_or_else(|| "--advisor-tick-ms must be a positive number".to_owned())?;
+            }
+            "--advisor-cooldown-ms" => {
+                config.advisor_cooldown = value("--advisor-cooldown-ms")?
+                    .parse::<u64>()
+                    .ok()
+                    .map(Duration::from_millis)
+                    .ok_or_else(|| "--advisor-cooldown-ms must be a number".to_owned())?;
+            }
+            "--slo-p99-ms" => {
+                config.slo_p99 = value("--slo-p99-ms")?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .map(Duration::from_millis)
+                    .ok_or_else(|| "--slo-p99-ms must be a positive number".to_owned())?;
+            }
+            "--slo-availability" => {
+                config.slo_availability = value("--slo-availability")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|f| (0.0..=1.0).contains(f))
+                    .ok_or_else(|| "--slo-availability must be in [0,1]".to_owned())?;
             }
             "--db" => preload = Some(PathBuf::from(value("--db")?)),
             "--snapshot-dir" => config.snapshot_dir = PathBuf::from(value("--snapshot-dir")?),

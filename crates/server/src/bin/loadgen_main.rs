@@ -40,6 +40,9 @@ fn usage() -> &'static str {
        --trace-sample N    every Nth search asks the server for its per-stage\n\
                            timing breakdown, aggregated into the report\n\
                            (default 0 = off)\n\
+       --scrape-metrics    scrape GET /v1/metrics before and after the timed\n\
+                           run and fold the counter deltas (requests by status\n\
+                           class, bound pruning, planner skips) into the report\n\
        --out PATH          write the JSON report here (default BENCH_server.json)\n\
        --help              this text\n"
 }
@@ -48,10 +51,16 @@ fn parse_args(args: &[String]) -> Result<(LoadgenConfig, String), String> {
     let mut addr: Option<SocketAddr> = None;
     let mut out = "BENCH_server.json".to_owned();
     let mut overrides: Vec<(String, String)> = Vec::new();
+    let mut scrape_metrics = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         if flag == "--help" || flag == "-h" {
             return Err(String::new());
+        }
+        // Boolean flag: no value follows.
+        if flag == "--scrape-metrics" {
+            scrape_metrics = true;
+            continue;
         }
         let value = it
             .next()
@@ -75,6 +84,7 @@ fn parse_args(args: &[String]) -> Result<(LoadgenConfig, String), String> {
     }
     let addr = addr.ok_or_else(|| "--addr is required".to_owned())?;
     let mut config = LoadgenConfig::new(addr);
+    config.scrape_metrics = scrape_metrics;
     for (flag, value) in overrides {
         match flag.as_str() {
             "--requests" => {

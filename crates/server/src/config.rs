@@ -1,5 +1,6 @@
 //! Server configuration.
 
+use crate::advisor::AdvisorMode;
 use be2d_db::{ReplicaConfig, ReplicationMode, WalConfig};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -8,7 +9,7 @@ use std::time::Duration;
 ///
 /// The defaults are sized for an interactive service on a developer
 /// machine; the CLI (`be2d-server --help`) exposes every field.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port (printed at boot).
     pub addr: String,
@@ -74,6 +75,23 @@ pub struct ServerConfig {
     /// Default file name (inside [`snapshot_dir`](Self::snapshot_dir))
     /// when a snapshot/restore body names none.
     pub snapshot_file: String,
+    /// The autopilot advisor: `Off` (default) runs no advisor loop;
+    /// `DryRun` evaluates windowed signals each
+    /// [`advisor_tick`](Self::advisor_tick) and journals
+    /// `advisor_recommendation` events without ever issuing an admin
+    /// call.
+    pub advisor: AdvisorMode,
+    /// Interval between advisor evaluations.
+    pub advisor_tick: Duration,
+    /// Silence per fired advisor signal: an oscillating condition
+    /// produces at most one recommendation per cooldown.
+    pub advisor_cooldown: Duration,
+    /// SLO latency target: the rolling 1-minute p99 above this counts
+    /// as a burn in `GET /v1/health`.
+    pub slo_p99: Duration,
+    /// SLO availability target in [0, 1]; the 5xx error budget is
+    /// `1 - slo_availability` of windowed requests.
+    pub slo_availability: f64,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +116,11 @@ impl Default for ServerConfig {
             max_body_bytes: 8 * 1024 * 1024,
             snapshot_dir: PathBuf::from("."),
             snapshot_file: "be2d-snapshot.json".into(),
+            advisor: AdvisorMode::Off,
+            advisor_tick: Duration::from_secs(1),
+            advisor_cooldown: Duration::from_secs(30),
+            slo_p99: Duration::from_millis(250),
+            slo_availability: 0.99,
         }
     }
 }
@@ -145,6 +168,9 @@ mod tests {
         assert!(c.queue_capacity > 0);
         assert!(c.reshard_batch > 0);
         assert!(c.max_head_bytes < c.max_body_bytes);
+        assert_eq!(c.advisor, AdvisorMode::Off);
+        assert!(c.slo_availability > 0.9 && c.slo_availability < 1.0);
+        assert!(c.advisor_cooldown >= c.advisor_tick);
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! Request handlers: routes dispatched against the shared database.
 
 use crate::api::{
-    json_response, ns_to_ms, parse_body, AckResponse, ApiError, CheckpointResponse, InsertBody,
-    InsertRequest, InsertResponse, ObjectEdit, OplogSection, PathRequest, PlannerSection,
-    ReplicaLagDto, ReplicaRequest, ReplicaResponse, ReplicationSection, ReshardRequest,
-    ReshardResponse, ReshardSection, SearchQuery, SearchRequest, SearchResponse, ServiceSection,
-    ShardReplicationDto, SketchRequest, SlowQueriesResponse, SlowQueryDto, SnapshotResponse,
-    StatsResponse, StatsV1Response, TopologySection, TraceDto, TracedSearchResponse, WalSection,
+    events_value, json_response, ns_to_ms, parse_body, AckResponse, ApiError, CheckpointResponse,
+    HealthResponse, InsertBody, InsertRequest, InsertResponse, ObjectEdit, OplogSection,
+    PathRequest, PlannerSection, ReplicaLagDto, ReplicaRequest, ReplicaResponse,
+    ReplicationSection, ReshardRequest, ReshardResponse, ReshardSection, SearchQuery,
+    SearchRequest, SearchResponse, ServiceSection, ShardReplicationDto, SketchRequest,
+    SlowQueriesResponse, SlowQueryDto, SnapshotResponse, StatsResponse, StatsV1Response,
+    TopologySection, TraceDto, TracedSearchResponse, WalSection, WindowStatsDto, WindowsSection,
 };
+use crate::health::{evaluate, replica_verdict, ServerWindows, Verdict, W10S, W1M, W5M};
 use crate::http::{default_code, Request, Response};
 use crate::metrics::{build_registry, HttpMetrics};
 use crate::router::{resolve, Route};
@@ -58,6 +60,10 @@ pub struct AppState {
     /// Bounded ring of the slowest queries seen, for
     /// `GET /v1/debug/slow_queries`.
     pub(crate) slow_log: SlowQueryLog,
+    /// Rolling request windows behind `/v1/health` and the `windows`
+    /// stats section, rotated by the background health ticker (shared
+    /// with it, hence the `Arc`).
+    pub windows: Arc<ServerWindows>,
     /// Query options applied when a request sends none.
     pub default_options: QueryOptions,
     /// Set by `POST /admin/shutdown`; the accept loop watches it.
@@ -96,6 +102,7 @@ impl AppState {
             registry,
             http_metrics,
             slow_log,
+            windows: Arc::new(ServerWindows::new()),
             default_options: QueryOptions::serving(),
             shutdown: AtomicBool::new(false),
             reshard_inflight: Arc::new(AtomicBool::new(false)),
@@ -150,6 +157,7 @@ pub fn handle(state: &AppState, request: &Request) -> Response {
     state
         .http_metrics
         .record(route, response.status, start.elapsed());
+    state.windows.observe(response.status, start.elapsed());
     if deprecated {
         response.with_header("deprecation", "true")
     } else {
@@ -159,9 +167,11 @@ pub fn handle(state: &AppState, request: &Request) -> Response {
 
 fn dispatch(state: &AppState, route: Route, request: &Request) -> Result<Response, ApiError> {
     match route {
-        Route::Health => Ok(healthz(state)),
+        Route::Health => healthz(state),
+        Route::HealthReport => Ok(health_report(state)),
         Route::Metrics => Ok(metrics(state)),
         Route::SlowQueries => Ok(slow_queries(state)),
+        Route::DebugEvents => debug_events(state, request),
         Route::Checkpoint => checkpoint(state),
         Route::InsertImage => insert_image(state, &body_of(request)?),
         Route::DeleteImage(id) => delete_image(state, id),
@@ -187,18 +197,61 @@ fn body_of(request: &Request) -> Result<Value, ApiError> {
     parse_body(&request.body)
 }
 
-/// `GET /healthz`: liveness plus the build version and uptime, so a
-/// probe (or a human) can tell which build answered and how long it
-/// has been alive.
-fn healthz(state: &AppState) -> Response {
-    Response::json(
+/// `GET /healthz`: the load-balancer contract. 200 while every shard
+/// can serve (status `"ok"`, or `"degraded"` on partial replica loss),
+/// 503 with the unified error envelope (`code = "no_healthy_replica"`,
+/// retryable) the moment any shard has **zero** healthy replicas —
+/// that shard can only answer errors, so this node must leave
+/// rotation. The body keeps the build version and uptime so a probe
+/// (or a human) can tell which build answered and how long it has been
+/// alive.
+fn healthz(state: &AppState) -> Result<Response, ApiError> {
+    let (verdict, reason) = replica_verdict(&state.db.replica_health());
+    if verdict == Verdict::Critical {
+        return Err(ApiError::coded(503, "no_healthy_replica", reason, true));
+    }
+    let status = if verdict == Verdict::Ok {
+        "ok"
+    } else {
+        "degraded"
+    };
+    Ok(Response::json(
         200,
         format!(
-            "{{\"status\":\"ok\",\"version\":\"{}\",\"uptime_s\":{:.3}}}",
+            "{{\"status\":\"{status}\",\"version\":\"{}\",\"uptime_s\":{:.3}}}",
             env!("CARGO_PKG_VERSION"),
             state.uptime_s()
         ),
-    )
+    ))
+}
+
+/// `GET /v1/health`: the full health report — per-subsystem verdicts
+/// (shards, replicas, replication lag, WAL, SLO burn over the rolling
+/// 1-minute window) rolled up to the worst verdict. Always 200: this
+/// endpoint is the diagnosis, `/healthz` is the routing decision.
+fn health_report(state: &AppState) -> Response {
+    let report = evaluate(&state.db, &state.windows, &state.config);
+    json_response(200, &HealthResponse::from_report(&report))
+}
+
+/// `GET /v1/debug/events[?since={seq}]`: the structured event journal.
+/// `since` returns only events with a greater sequence; the response's
+/// `last_seq` is the cursor for the next poll.
+fn debug_events(state: &AppState, request: &Request) -> Result<Response, ApiError> {
+    let mut since = 0u64;
+    for pair in request.query.split('&').filter(|p| !p.is_empty()) {
+        if let Some(raw) = pair.strip_prefix("since=") {
+            since = raw
+                .parse::<u64>()
+                .map_err(|_| ApiError::bad(format!("invalid since cursor {raw:?}")))?;
+        }
+    }
+    let journal = state.db.events();
+    let (events, last_seq) = journal.since(since);
+    Ok(json_response(
+        200,
+        &events_value(&events, last_seq, journal.capacity()),
+    ))
 }
 
 /// `GET /v1/metrics`: every registered family in Prometheus text
@@ -597,6 +650,11 @@ fn stats_v1(state: &AppState) -> Response {
                 threads: state.threads,
                 uptime_s: state.started.elapsed().as_secs_f64(),
             },
+            windows: WindowsSection {
+                last_10s: WindowStatsDto::from_summary(&state.windows.summary(W10S)),
+                last_1m: WindowStatsDto::from_summary(&state.windows.summary(W1M)),
+                last_5m: WindowStatsDto::from_summary(&state.windows.summary(W5M)),
+            },
         },
     )
 }
@@ -886,6 +944,105 @@ mod tests {
         let resp = handle(&state, &request(Method::Post, "/admin/shutdown", ""));
         assert_eq!(resp.status, 200);
         assert!(state.shutting_down());
+    }
+
+    #[test]
+    fn healthz_reports_degraded_on_partial_replica_loss() {
+        let state = state();
+        let resp = handle(&state, &request(Method::Get, "/healthz", ""));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"version\""), "{body}");
+        assert!(body.contains("\"uptime_s\""), "{body}");
+
+        state.db.fail_replica(0, 1).unwrap();
+        let resp = handle(&state, &request(Method::Get, "/healthz", ""));
+        assert_eq!(resp.status, 200, "partial loss still serves");
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+
+        state.db.rebuild_replica(0, 1).unwrap();
+        let resp = handle(&state, &request(Method::Get, "/healthz", ""));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+    }
+
+    #[test]
+    fn health_endpoint_rolls_up_subsystem_verdicts() {
+        let state = state();
+        let resp = handle(&state, &request(Method::Get, "/v1/health", ""));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        for name in ["shards", "replicas", "replication", "wal", "slo"] {
+            assert!(body.contains(&format!("\"name\":\"{name}\"")), "{body}");
+        }
+
+        state.db.fail_replica(1, 0).unwrap();
+        let resp = handle(&state, &request(Method::Get, "/v1/health", ""));
+        assert_eq!(resp.status, 200, "diagnosis endpoint never 503s");
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+        assert!(body.contains("failed_replicas=1"), "{body}");
+    }
+
+    #[test]
+    fn debug_events_serves_the_journal_with_a_cursor() {
+        let state = state();
+        handle(
+            &state,
+            &request(
+                Method::Post,
+                "/images",
+                &format!(r#"{{"name":"seed","scene":{SCENE_AB}}}"#),
+            ),
+        );
+        state.db.fail_replica(0, 1).unwrap();
+        state.db.rebuild_replica(0, 1).unwrap();
+
+        let resp = handle(&state, &request(Method::Get, "/v1/debug/events", ""));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"type\":\"replica_failed\""), "{body}");
+        assert!(body.contains("\"type\":\"replica_healed\""), "{body}");
+        assert!(body.contains("\"last_seq\":2"), "{body}");
+        assert!(body.contains("\"method\":\"replay\""), "{body}");
+
+        // The cursor skips already-seen events.
+        let mut req = request(Method::Get, "/v1/debug/events", "");
+        req.query = "since=1".into();
+        let resp = handle(&state, &req);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(!body.contains("replica_failed"), "{body}");
+        assert!(body.contains("replica_healed"), "{body}");
+
+        // A cursor past the head yields an empty list, same last_seq.
+        req.query = "since=99".into();
+        let resp = handle(&state, &req);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"events\":[]"), "{body}");
+        assert!(body.contains("\"last_seq\":2"), "{body}");
+
+        // A malformed cursor is a 400.
+        req.query = "since=xyz".into();
+        assert_eq!(handle(&state, &req).status, 400);
+    }
+
+    #[test]
+    fn stats_v1_includes_rolling_windows() {
+        let state = state();
+        let resp = handle(&state, &request(Method::Get, "/v1/stats", ""));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"windows\""), "{body}");
+        assert!(body.contains("\"last_10s\""), "{body}");
+        assert!(body.contains("\"last_5m\""), "{body}");
+        // Windows record after dispatch, so a response reports the
+        // requests served before it: the second scrape sees the first.
+        let resp = handle(&state, &request(Method::Get, "/v1/stats", ""));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"requests\":1"), "{body}");
     }
 
     #[test]

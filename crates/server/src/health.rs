@@ -1,0 +1,432 @@
+//! The health engine: rolling request windows, per-subsystem verdicts,
+//! and the `/v1/health` rollup.
+//!
+//! Lifetime counters cannot answer "is the service healthy *now*", so
+//! the server keeps [`ServerWindows`] — rolling 1-second epochs of
+//! request latency, volume, and 5xx counts, rotated by the background
+//! health ticker — and evaluates them (plus the database's replica,
+//! replication-lag, reshard, and WAL state) into one
+//! [`HealthReport`]: a per-subsystem [`Verdict`] with a
+//! machine-readable reason, rolled up to the worst verdict overall.
+//!
+//! The split between `/healthz` and `/v1/health` is deliberate:
+//! `/healthz` is the load-balancer contract (can this node serve at
+//! all — 503 only when a shard has **zero** healthy replicas), while
+//! `/v1/health` is the operator/advisor view with the full breakdown.
+
+use crate::config::ServerConfig;
+use be2d_db::ReplicatedImageDatabase;
+use be2d_metrics::{HistogramSnapshot, WindowedCounter, WindowedHistogram};
+use std::time::Duration;
+
+/// Length of one rolling-window epoch.
+pub const WINDOW_EPOCH: Duration = Duration::from_secs(1);
+/// Epoch slots kept per window ring (`WINDOW_SLOTS × WINDOW_EPOCH` =
+/// the longest answerable window, 5 minutes).
+pub const WINDOW_SLOTS: usize = 300;
+/// Epochs in the 10-second window.
+pub const W10S: usize = 10;
+/// Epochs in the 1-minute window.
+pub const W1M: usize = 60;
+/// Epochs in the 5-minute window.
+pub const W5M: usize = 300;
+/// Requests a window must contain before its SLO verdict counts — an
+/// idle service is healthy, not in breach.
+pub const SLO_MIN_SAMPLES: u64 = 20;
+
+/// The server's rolling request windows: latency, volume, and 5xx
+/// counts over the last [`WINDOW_SLOTS`] seconds. Recording rides the
+/// same code path as the cumulative HTTP metrics; the background
+/// health ticker rotates all three rings once per [`WINDOW_EPOCH`].
+#[derive(Debug)]
+pub struct ServerWindows {
+    latency: WindowedHistogram,
+    requests: WindowedCounter,
+    errors_5xx: WindowedCounter,
+}
+
+impl Default for ServerWindows {
+    fn default() -> Self {
+        ServerWindows::new()
+    }
+}
+
+impl ServerWindows {
+    /// Fresh, empty windows.
+    #[must_use]
+    pub fn new() -> ServerWindows {
+        ServerWindows {
+            latency: WindowedHistogram::new(WINDOW_SLOTS, WINDOW_EPOCH),
+            requests: WindowedCounter::new(WINDOW_SLOTS, WINDOW_EPOCH),
+            errors_5xx: WindowedCounter::new(WINDOW_SLOTS, WINDOW_EPOCH),
+        }
+    }
+
+    /// Records one served request into the current epoch.
+    pub fn observe(&self, status: u16, elapsed: Duration) {
+        self.latency.record(elapsed);
+        self.requests.inc();
+        if status >= 500 {
+            self.errors_5xx.inc();
+        }
+    }
+
+    /// Rotates all rings by one epoch (called by the health ticker).
+    pub fn tick(&self) {
+        self.latency.tick();
+        self.requests.tick();
+        self.errors_5xx.tick();
+    }
+
+    /// One window's aggregate view over the most recent `epochs`.
+    #[must_use]
+    pub fn summary(&self, epochs: usize) -> WindowSummary {
+        let snap = self.latency.window(epochs);
+        let requests = self.requests.window(epochs);
+        let errors_5xx = self.errors_5xx.window(epochs);
+        WindowSummary {
+            requests,
+            rate_rps: self.requests.rate_per_sec(epochs),
+            errors_5xx,
+            error_ratio: if requests == 0 {
+                0.0
+            } else {
+                errors_5xx as f64 / requests as f64
+            },
+            latency: snap,
+        }
+    }
+}
+
+/// Aggregates of one rolling window: request volume and rate, 5xx
+/// counts and ratio, and the latency distribution.
+#[derive(Debug, Clone)]
+pub struct WindowSummary {
+    /// Requests served in the window.
+    pub requests: u64,
+    /// Mean requests per second over the window.
+    pub rate_rps: f64,
+    /// Responses with status ≥ 500 in the window.
+    pub errors_5xx: u64,
+    /// `errors_5xx / requests` (0 when idle).
+    pub error_ratio: f64,
+    /// The window's merged latency distribution.
+    pub latency: HistogramSnapshot,
+}
+
+/// A subsystem's (or the whole service's) health state, ordered by
+/// severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Operating normally.
+    Ok,
+    /// Serving correctly but impaired (partial replica loss, SLO burn,
+    /// migration in flight).
+    Degraded,
+    /// Unable to serve some or all requests correctly.
+    Critical,
+}
+
+impl Verdict {
+    /// Stable lowercase name (`"ok"`, `"degraded"`, `"critical"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Degraded => "degraded",
+            Verdict::Critical => "critical",
+        }
+    }
+}
+
+/// One subsystem's verdict and why.
+#[derive(Debug, Clone)]
+pub struct Subsystem {
+    /// Stable subsystem name (`"shards"`, `"replicas"`,
+    /// `"replication"`, `"wal"`, `"slo"`).
+    pub name: &'static str,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Machine-readable reason (stable `key=value` phrases).
+    pub reason: String,
+}
+
+/// The `/v1/health` rollup: every subsystem plus the worst verdict.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// The worst subsystem verdict.
+    pub status: Verdict,
+    /// Per-subsystem breakdown, in stable order.
+    pub subsystems: Vec<Subsystem>,
+}
+
+/// Replica-health verdict from the raw health bits: [`Verdict::Ok`]
+/// when every replica is healthy, [`Verdict::Degraded`] on partial
+/// loss, [`Verdict::Critical`] when any shard has **zero** healthy
+/// replicas (that shard can only answer errors). Also the `/healthz`
+/// 503 decision.
+#[must_use]
+pub fn replica_verdict(health: &[Vec<bool>]) -> (Verdict, String) {
+    let mut failed = 0usize;
+    let mut total = 0usize;
+    let mut dead_shards: Vec<usize> = Vec::new();
+    for (shard, replicas) in health.iter().enumerate() {
+        total += replicas.len();
+        let healthy = replicas.iter().filter(|&&h| h).count();
+        failed += replicas.len() - healthy;
+        if healthy == 0 {
+            dead_shards.push(shard);
+        }
+    }
+    if !dead_shards.is_empty() {
+        let shards = dead_shards
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        return (
+            Verdict::Critical,
+            format!("no_healthy_replica shards={shards}"),
+        );
+    }
+    if failed > 0 {
+        return (
+            Verdict::Degraded,
+            format!("failed_replicas={failed} of={total}"),
+        );
+    }
+    (Verdict::Ok, format!("replicas={total}"))
+}
+
+/// Replication-lag verdict: worst healthy-replica lag against the
+/// op-log window. Past half the window a heal is at risk of falling
+/// back to a full clone (degraded); at or past the full window it
+/// certainly will (critical for the subsystem, though serving
+/// continues).
+#[must_use]
+pub fn lag_verdict(max_lag: u64, oplog_window: usize) -> (Verdict, String) {
+    let window = oplog_window.max(1) as u64;
+    let verdict = if max_lag >= window {
+        Verdict::Critical
+    } else if max_lag > window / 2 {
+        Verdict::Degraded
+    } else {
+        Verdict::Ok
+    };
+    (verdict, format!("max_lag={max_lag} window={window}"))
+}
+
+/// SLO verdict over one window against the configured targets:
+/// latency p99 above target or a 5xx ratio above the error budget is
+/// a burn (degraded); a 5xx ratio ten times the budget (or past 50%)
+/// is critical. Windows with fewer than [`SLO_MIN_SAMPLES`] requests
+/// are always `ok` — an idle service is not in breach.
+#[must_use]
+pub fn slo_verdict(
+    summary: &WindowSummary,
+    p99_target: Duration,
+    availability: f64,
+) -> (Verdict, String) {
+    if summary.requests < SLO_MIN_SAMPLES {
+        return (
+            Verdict::Ok,
+            format!("samples={} min={SLO_MIN_SAMPLES}", summary.requests),
+        );
+    }
+    let p99 = summary.latency.quantile(0.99);
+    let target_ns = p99_target.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let budget = (1.0 - availability.clamp(0.0, 1.0)).max(1e-9);
+    let burn = summary.error_ratio / budget;
+    let p99_ms = p99 as f64 / 1e6;
+    let target_ms = target_ns as f64 / 1e6;
+    let detail = format!(
+        "p99_ms={p99_ms:.2} target_ms={target_ms:.2} error_ratio={:.4} budget={budget:.4}",
+        summary.error_ratio
+    );
+    if burn >= 10.0 || summary.error_ratio >= 0.5 {
+        (Verdict::Critical, detail)
+    } else if burn > 1.0 || p99 > target_ns {
+        (Verdict::Degraded, detail)
+    } else {
+        (Verdict::Ok, detail)
+    }
+}
+
+/// Evaluates every subsystem against the database and the rolling
+/// windows, rolling up to the worst verdict. The 1-minute window
+/// drives the SLO verdict: long enough to smooth bursts, short enough
+/// that a real burn surfaces while it is still happening.
+#[must_use]
+pub fn evaluate(
+    db: &ReplicatedImageDatabase,
+    windows: &ServerWindows,
+    config: &ServerConfig,
+) -> HealthReport {
+    let reshard = db.reshard_progress();
+    let shards = if reshard.active {
+        Subsystem {
+            name: "shards",
+            verdict: Verdict::Degraded,
+            reason: format!(
+                "resharding from={} to={} migrated_ids={} total_ids={}",
+                reshard.from, reshard.to, reshard.migrated_ids, reshard.total_ids
+            ),
+        }
+    } else {
+        Subsystem {
+            name: "shards",
+            verdict: Verdict::Ok,
+            reason: format!("shards={}", db.shard_count()),
+        }
+    };
+
+    let (verdict, reason) = replica_verdict(&db.replica_health());
+    let replicas = Subsystem {
+        name: "replicas",
+        verdict,
+        reason,
+    };
+
+    let replication_stats = db.replication_stats();
+    let max_lag = replication_stats
+        .shards
+        .iter()
+        .flat_map(|s| s.replicas.iter())
+        .filter(|r| r.healthy)
+        .map(|r| r.lag)
+        .max()
+        .unwrap_or(0);
+    let (verdict, reason) = lag_verdict(max_lag, config.oplog_window);
+    let replication = Subsystem {
+        name: "replication",
+        verdict,
+        reason,
+    };
+
+    let wal = match db.oplog_stats().wal {
+        Some(w) => Subsystem {
+            name: "wal",
+            verdict: Verdict::Ok,
+            reason: format!(
+                "appended={} fsyncs={} truncations={}",
+                w.appended, w.fsyncs, w.truncations
+            ),
+        },
+        None => Subsystem {
+            name: "wal",
+            verdict: Verdict::Ok,
+            reason: "disabled".into(),
+        },
+    };
+
+    let (verdict, reason) = slo_verdict(
+        &windows.summary(W1M),
+        config.slo_p99,
+        config.slo_availability,
+    );
+    let slo = Subsystem {
+        name: "slo",
+        verdict,
+        reason,
+    };
+
+    let subsystems = vec![shards, replicas, replication, wal, slo];
+    let status = subsystems
+        .iter()
+        .map(|s| s.verdict)
+        .max()
+        .unwrap_or(Verdict::Ok);
+    HealthReport { status, subsystems }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_verdicts_cover_all_three_states() {
+        let (v, r) = replica_verdict(&[vec![true, true], vec![true, true]]);
+        assert_eq!(v, Verdict::Ok);
+        assert!(r.contains("replicas=4"), "{r}");
+
+        let (v, r) = replica_verdict(&[vec![true, false], vec![true, true]]);
+        assert_eq!(v, Verdict::Degraded);
+        assert!(r.contains("failed_replicas=1"), "{r}");
+
+        let (v, r) = replica_verdict(&[vec![true, true], vec![false, false]]);
+        assert_eq!(v, Verdict::Critical);
+        assert!(r.contains("no_healthy_replica"), "{r}");
+        assert!(r.contains("shards=1"), "{r}");
+    }
+
+    #[test]
+    fn lag_verdict_scales_with_the_window() {
+        assert_eq!(lag_verdict(0, 1024).0, Verdict::Ok);
+        assert_eq!(lag_verdict(512, 1024).0, Verdict::Ok);
+        assert_eq!(lag_verdict(513, 1024).0, Verdict::Degraded);
+        assert_eq!(lag_verdict(1024, 1024).0, Verdict::Critical);
+    }
+
+    #[test]
+    fn slo_verdict_needs_samples_and_tracks_targets() {
+        let windows = ServerWindows::new();
+        let ok = Duration::from_millis(250);
+        // Idle: always ok.
+        let (v, r) = slo_verdict(&windows.summary(W1M), ok, 0.99);
+        assert_eq!(v, Verdict::Ok);
+        assert!(r.contains("samples=0"), "{r}");
+
+        // Fast and clean: ok.
+        for _ in 0..100 {
+            windows.observe(200, Duration::from_millis(1));
+        }
+        assert_eq!(slo_verdict(&windows.summary(W1M), ok, 0.99).0, Verdict::Ok);
+
+        // Slow: latency burn.
+        let slow = ServerWindows::new();
+        for _ in 0..100 {
+            slow.observe(200, Duration::from_millis(900));
+        }
+        assert_eq!(
+            slo_verdict(&slow.summary(W1M), ok, 0.99).0,
+            Verdict::Degraded
+        );
+
+        // Mostly 5xx: critical availability burn.
+        let down = ServerWindows::new();
+        for i in 0..100 {
+            down.observe(if i % 2 == 0 { 500 } else { 200 }, Duration::from_millis(1));
+        }
+        assert_eq!(
+            slo_verdict(&down.summary(W1M), ok, 0.99).0,
+            Verdict::Critical
+        );
+    }
+
+    #[test]
+    fn window_summaries_rotate_with_ticks() {
+        let w = ServerWindows::new();
+        for _ in 0..30 {
+            w.observe(200, Duration::from_millis(2));
+        }
+        w.observe(503, Duration::from_millis(1));
+        let s = w.summary(W10S);
+        assert_eq!(s.requests, 31);
+        assert_eq!(s.errors_5xx, 1);
+        assert!(s.error_ratio > 0.0);
+        assert_eq!(s.latency.count, 31);
+        // Rotate the whole 10s window away; the 5m window still sees it.
+        for _ in 0..W10S {
+            w.tick();
+        }
+        assert_eq!(w.summary(W10S).requests, 0);
+        assert_eq!(w.summary(W5M).requests, 31);
+    }
+
+    #[test]
+    fn verdicts_order_by_severity() {
+        assert!(Verdict::Ok < Verdict::Degraded);
+        assert!(Verdict::Degraded < Verdict::Critical);
+        assert_eq!(Verdict::Critical.as_str(), "critical");
+    }
+}

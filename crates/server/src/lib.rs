@@ -23,6 +23,9 @@
 //!   limits, pipelining-safe) and response writer;
 //! * [`router`] / [`api`] / the handler layer — the endpoint table, the
 //!   JSON request/response vocabulary, and their wiring to `be2d-db`;
+//! * [`health`] / [`advisor`] — rolling SLO windows, per-subsystem
+//!   verdicts behind `GET /v1/health`, and the dry-run autopilot that
+//!   journals the admin calls it *would* issue (never acting);
 //! * [`client`] — a small blocking HTTP client (loadgen + tests);
 //! * [`loadgen`] — the load generator: `be2d-workload` scenes/queries,
 //!   a seeded [`RequestMix`](be2d_workload::RequestMix) schedule,
@@ -48,8 +51,10 @@
 //! | `GET /v1/stats` | — | nested statistics: topology, replication (per-replica lag), planner, reshard, op log, service |
 //! | `GET /stats` | — | legacy flat statistics shape (unchanged; still deprecated as a path) |
 //! | `GET /v1/metrics` | — | Prometheus text exposition (histograms, counters, gauges) |
+//! | `GET /v1/health` | — | per-subsystem health verdicts (shards, replicas, replication lag, WAL, SLO burn) rolled up to `ok`/`degraded`/`critical` |
 //! | `GET /v1/debug/slow_queries` | — | the worst traced queries retained in the slow-query ring |
-//! | `GET /healthz` | — | liveness probe with build version and uptime |
+//! | `GET /v1/debug/events` | — | the structured event journal (`?since={seq}` cursor): replica fail/heal, reshard start/finish, WAL checkpoints, SLO burns, advisor recommendations |
+//! | `GET /healthz` | — | load-balancer probe: 200 while every shard can serve (`ok`/`degraded`), 503 when any shard has zero healthy replicas |
 //! | `POST /v1/admin/checkpoint` | — | WAL checkpoint: fresh anchor snapshot + log truncation |
 //! | `POST /v1/snapshot` | `{"path"?}` | crash-safe incremental snapshot to disk |
 //! | `POST /v1/restore` | `{"path"?}` | replace the database from a snapshot |
@@ -94,11 +99,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// The dry-run autopilot advisor.
+pub mod advisor;
 pub mod api;
 /// Blocking HTTP client for tests and the load generator.
 pub mod client;
 mod config;
 mod handlers;
+/// Rolling SLO windows and per-subsystem health verdicts.
+pub mod health;
 /// HTTP/1.1 wire handling.
 pub mod http;
 /// The load generator.
@@ -111,8 +120,10 @@ mod server;
 /// The bounded slow-query ring behind `GET /v1/debug/slow_queries`.
 pub mod slowlog;
 
+pub use advisor::{AdvisorEngine, AdvisorMode, AdvisorSignals, Recommendation};
 pub use config::ServerConfig;
 pub use handlers::{AppState, ServerStats};
+pub use health::{HealthReport, ServerWindows, Subsystem, Verdict};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use pool::{RejectReason, ThreadPool};
 pub use server::{Server, ServerHandle};

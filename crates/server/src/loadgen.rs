@@ -73,6 +73,11 @@ pub struct LoadgenConfig {
     /// returned per-stage breakdown is folded into the report's `trace`
     /// section (0 = no tracing).
     pub trace_sample: usize,
+    /// Scrape `GET /v1/metrics` at the start and end of the timed run
+    /// and fold the counter deltas (requests by status class, bound
+    /// pruning, planner skips) into the report's `metrics_delta`
+    /// section.
+    pub scrape_metrics: bool,
 }
 
 impl LoadgenConfig {
@@ -96,6 +101,7 @@ impl LoadgenConfig {
             reshard_batch: 0,
             api_v1: false,
             trace_sample: 0,
+            scrape_metrics: false,
         }
     }
 
@@ -186,6 +192,28 @@ pub struct LoadgenReport {
     /// Server-side per-stage timings over traced search samples
     /// (`None` when the run sampled no traces).
     pub trace: Option<TraceStages>,
+    /// Server-side counter deltas over the timed run, from scraping
+    /// `GET /v1/metrics` at start and end (`--scrape-metrics`; `None`
+    /// when the run did not scrape or a scrape failed).
+    pub metrics_delta: Option<MetricsDelta>,
+}
+
+/// Server-counter movement over one timed run: the difference between
+/// a `GET /v1/metrics` scrape at run start and one at run end.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsDelta {
+    /// Requests the server fully served during the run.
+    pub requests: u64,
+    /// 2xx responses during the run.
+    pub responses_2xx: u64,
+    /// 4xx responses during the run.
+    pub responses_4xx: u64,
+    /// 5xx responses during the run.
+    pub responses_5xx: u64,
+    /// Candidates two-stage retrieval pruned by score bound.
+    pub bound_pruned: u64,
+    /// Shards the scatter planner proved empty and skipped.
+    pub planner_skipped: u64,
 }
 
 impl LoadgenReport {
@@ -237,6 +265,18 @@ impl LoadgenReport {
                 trace.gather_mean_ms,
                 trace.total_mean_ms,
                 trace.total_max_ms,
+            ));
+        }
+        if let Some(delta) = &self.metrics_delta {
+            out.push_str(&format!(
+                "  server counters over the run: requests {}  2xx {}  4xx {}  \
+                 5xx {}  bound_pruned {}  planner_skips {}\n",
+                delta.requests,
+                delta.responses_2xx,
+                delta.responses_4xx,
+                delta.responses_5xx,
+                delta.bound_pruned,
+                delta.planner_skipped,
             ));
         }
         for (kind, count) in &self.by_kind {
@@ -337,6 +377,13 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
         }
     }
 
+    // Counter scrape at run start: everything the prefill did is
+    // excluded from the delta.
+    let metrics_before = config
+        .scrape_metrics
+        .then(|| scrape_metrics(config))
+        .flatten();
+
     // One deterministic op schedule, sliced round-robin across workers.
     let schedule = {
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x517c);
@@ -378,6 +425,8 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
         (outcomes, reshard_outcome)
     });
     let elapsed = started.elapsed();
+    let metrics_delta = metrics_before
+        .and_then(|before| scrape_metrics(config).map(|after| after.delta_since(&before)));
 
     let mut latencies: Vec<f64> = Vec::with_capacity(config.requests);
     let mut errors = 0usize;
@@ -429,7 +478,79 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
         reshard_duration_ms,
         by_kind,
         trace: summarise_traces(&traces),
+        metrics_delta,
     })
+}
+
+/// One scrape's worth of the counters the delta report tracks.
+#[derive(Debug, Clone, Copy, Default)]
+struct MetricsSnapshot {
+    requests: u64,
+    responses_2xx: u64,
+    responses_4xx: u64,
+    responses_5xx: u64,
+    bound_pruned: u64,
+    planner_skipped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counter movement since `before` (saturating: a restarted server
+    /// between scrapes yields zeros, not garbage).
+    fn delta_since(&self, before: &MetricsSnapshot) -> MetricsDelta {
+        MetricsDelta {
+            requests: self.requests.saturating_sub(before.requests),
+            responses_2xx: self.responses_2xx.saturating_sub(before.responses_2xx),
+            responses_4xx: self.responses_4xx.saturating_sub(before.responses_4xx),
+            responses_5xx: self.responses_5xx.saturating_sub(before.responses_5xx),
+            bound_pruned: self.bound_pruned.saturating_sub(before.bound_pruned),
+            planner_skipped: self.planner_skipped.saturating_sub(before.planner_skipped),
+        }
+    }
+}
+
+/// Scrapes `GET /v1/metrics` once; `None` on any transport or parse
+/// failure (a failed scrape degrades the report, never the run).
+fn scrape_metrics(config: &LoadgenConfig) -> Option<MetricsSnapshot> {
+    let mut client = Client::new(config.addr, config.timeout);
+    let response = client.request("GET", "/v1/metrics", "").ok()?;
+    if response.status != 200 {
+        return None;
+    }
+    Some(parse_metrics_snapshot(&response.text()))
+}
+
+/// Pulls the tracked counter samples out of one Prometheus text
+/// exposition body.
+fn parse_metrics_snapshot(text: &str) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(v) = value.parse::<u64>() else {
+            continue;
+        };
+        match key {
+            "be2d_http_requests_total" => snap.requests = v,
+            "be2d_db_bound_pruned_total" => snap.bound_pruned = v,
+            "be2d_db_planner_skipped_total" => snap.planner_skipped = v,
+            k if k.starts_with("be2d_http_responses_total") => {
+                if k.contains("class=\"2xx\"") {
+                    snap.responses_2xx = v;
+                } else if k.contains("class=\"4xx\"") {
+                    snap.responses_4xx = v;
+                } else if k.contains("class=\"5xx\"") {
+                    snap.responses_5xx = v;
+                }
+            }
+            _ => {}
+        }
+    }
+    snap
 }
 
 /// Folds the collected per-stage breakdowns into the report section.
@@ -908,6 +1029,14 @@ mod tests {
                 total_mean_ms: 0.9,
                 total_max_ms: 1.4,
             }),
+            metrics_delta: Some(MetricsDelta {
+                requests: 12,
+                responses_2xx: 10,
+                responses_4xx: 1,
+                responses_5xx: 0,
+                bound_pruned: 42,
+                planner_skipped: 5,
+            }),
         };
         let json = report.to_json();
         assert!(json.contains("\"benchmark\":\"server\""), "{json}");
@@ -915,10 +1044,54 @@ mod tests {
         assert!(json.contains("\"search\":7"), "{json}");
         assert!(json.contains("\"reshard_to\":8"), "{json}");
         assert!(json.contains("\"sampled\":4"), "{json}");
+        assert!(json.contains("\"bound_pruned\":42"), "{json}");
         let summary = report.summary();
         assert!(summary.contains("closed-loop"), "{summary}");
         assert!(summary.contains("live reshard to 8 shards"), "{summary}");
         assert!(summary.contains("4 traced searches"), "{summary}");
+        assert!(
+            summary.contains("server counters over the run"),
+            "{summary}"
+        );
+        assert!(summary.contains("bound_pruned 42"), "{summary}");
+    }
+
+    #[test]
+    fn metrics_snapshot_parses_prometheus_exposition() {
+        let text = "\
+# HELP be2d_http_requests_total Requests accepted.\n\
+# TYPE be2d_http_requests_total counter\n\
+be2d_http_requests_total 120\n\
+be2d_http_responses_total{class=\"2xx\"} 100\n\
+be2d_http_responses_total{class=\"4xx\"} 15\n\
+be2d_http_responses_total{class=\"5xx\"} 5\n\
+be2d_db_bound_pruned_total 900\n\
+be2d_db_planner_skipped_total 7\n\
+be2d_http_request_seconds_bucket{le=\"0.001\"} 80\n\
+garbage line without value\n";
+        let snap = parse_metrics_snapshot(text);
+        assert_eq!(snap.requests, 120);
+        assert_eq!(snap.responses_2xx, 100);
+        assert_eq!(snap.responses_4xx, 15);
+        assert_eq!(snap.responses_5xx, 5);
+        assert_eq!(snap.bound_pruned, 900);
+        assert_eq!(snap.planner_skipped, 7);
+
+        let before = MetricsSnapshot {
+            requests: 100,
+            responses_2xx: 90,
+            responses_4xx: 20, // counter went "backwards": saturates to 0
+            responses_5xx: 1,
+            bound_pruned: 400,
+            planner_skipped: 7,
+        };
+        let delta = snap.delta_since(&before);
+        assert_eq!(delta.requests, 20);
+        assert_eq!(delta.responses_2xx, 10);
+        assert_eq!(delta.responses_4xx, 0);
+        assert_eq!(delta.responses_5xx, 4);
+        assert_eq!(delta.bound_pruned, 500);
+        assert_eq!(delta.planner_skipped, 0);
     }
 
     #[test]

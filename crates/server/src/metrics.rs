@@ -17,7 +17,7 @@ use be2d_metrics::{Counter, Gauge, Histogram, Registry};
 
 /// Stable `route` label values, one per [`Route`] variant plus the
 /// `"unmatched"` bucket for 404/405/400-id requests.
-pub(crate) const ROUTE_LABELS: [&str; 19] = [
+pub(crate) const ROUTE_LABELS: [&str; 21] = [
     "insert_image",
     "delete_image",
     "add_object",
@@ -27,8 +27,10 @@ pub(crate) const ROUTE_LABELS: [&str; 19] = [
     "stats",
     "stats_v1",
     "healthz",
+    "health",
     "metrics",
     "slow_queries",
+    "debug_events",
     "checkpoint",
     "snapshot",
     "restore",
@@ -52,16 +54,18 @@ fn route_index(route: Option<Route>) -> usize {
         Some(Route::Stats) => 6,
         Some(Route::StatsV1) => 7,
         Some(Route::Health) => 8,
-        Some(Route::Metrics) => 9,
-        Some(Route::SlowQueries) => 10,
-        Some(Route::Checkpoint) => 11,
-        Some(Route::Snapshot) => 12,
-        Some(Route::Restore) => 13,
-        Some(Route::ReplicaFail) => 14,
-        Some(Route::ReplicaHeal) => 15,
-        Some(Route::Reshard) => 16,
-        Some(Route::Shutdown) => 17,
-        None => 18,
+        Some(Route::HealthReport) => 9,
+        Some(Route::Metrics) => 10,
+        Some(Route::SlowQueries) => 11,
+        Some(Route::DebugEvents) => 12,
+        Some(Route::Checkpoint) => 13,
+        Some(Route::Snapshot) => 14,
+        Some(Route::Restore) => 15,
+        Some(Route::ReplicaFail) => 16,
+        Some(Route::ReplicaHeal) => 17,
+        Some(Route::Reshard) => 18,
+        Some(Route::Shutdown) => 19,
+        None => 20,
     }
 }
 

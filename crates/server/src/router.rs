@@ -34,6 +34,12 @@ pub enum Route {
     StatsV1,
     /// `GET /healthz` — liveness probe (never deprecated).
     Health,
+    /// `GET /v1/health` — the full health report: per-subsystem
+    /// verdicts plus the worst-verdict rollup.
+    HealthReport,
+    /// `GET /v1/debug/events` — the structured event journal, polled
+    /// incrementally with `?since={seq}`.
+    DebugEvents,
     /// `GET /v1/metrics` — Prometheus text exposition of every
     /// registered metric family.
     Metrics,
@@ -167,8 +173,18 @@ const RULES: &[Rule] = &[
     },
     Rule {
         method: Method::Get,
+        pattern: &[Lit("health")],
+        make: |_| Route::HealthReport,
+    },
+    Rule {
+        method: Method::Get,
         pattern: &[Lit("metrics")],
         make: |_| Route::Metrics,
+    },
+    Rule {
+        method: Method::Get,
+        pattern: &[Lit("debug"), Lit("events")],
+        make: |_| Route::DebugEvents,
     },
     Rule {
         method: Method::Get,
@@ -326,6 +342,11 @@ mod tests {
         );
         assert_eq!(route(Method::Post, "/admin/reshard"), Ok(Route::Reshard));
         assert_eq!(route(Method::Get, "/v1/metrics"), Ok(Route::Metrics));
+        assert_eq!(route(Method::Get, "/v1/health"), Ok(Route::HealthReport));
+        assert_eq!(
+            route(Method::Get, "/v1/debug/events"),
+            Ok(Route::DebugEvents)
+        );
         assert_eq!(
             route(Method::Get, "/v1/debug/slow_queries"),
             Ok(Route::SlowQueries)
@@ -356,8 +377,10 @@ mod tests {
             (Method::Post, "/search"),
             (Method::Post, "/search/sketch"),
             (Method::Get, "/healthz"),
+            (Method::Get, "/health"),
             (Method::Get, "/metrics"),
             (Method::Get, "/debug/slow_queries"),
+            (Method::Get, "/debug/events"),
             (Method::Post, "/snapshot"),
             (Method::Post, "/restore"),
             (Method::Post, "/admin/replicas/fail"),

@@ -1,15 +1,18 @@
 //! The server proper: accept loop, connection lifecycle, graceful
 //! shutdown.
 
+use crate::advisor::{AdvisorEngine, AdvisorMode, AdvisorSignals};
 use crate::handlers::{handle, AppState};
+use crate::health::{slo_verdict, Verdict, W1M, WINDOW_EPOCH};
 use crate::http::{read_request, ParseLimits, Response};
 use crate::pool::ThreadPool;
 use crate::ServerConfig;
-use be2d_db::ReplicatedImageDatabase;
+use be2d_db::{EventKind, ReplicatedImageDatabase};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
 /// A bound, not-yet-running HTTP service over one
 /// [`ReplicatedImageDatabase`].
@@ -82,6 +85,7 @@ impl Server {
         let threads = config.effective_threads();
         let pool = ThreadPool::new(threads, config.queue_capacity);
         let state = AppState::new(db, config, threads, addr);
+        spawn_health_ticker(&state);
         Ok(Server {
             listener,
             state,
@@ -166,6 +170,84 @@ impl Server {
         self.pool.shutdown();
         Ok(())
     }
+}
+
+/// Spawns the `be2d-health` background thread: rotates the rolling
+/// request windows once per [`WINDOW_EPOCH`], journals `slo_burn`
+/// events on ok→burn transitions of the 1-minute SLO verdict, and —
+/// when the advisor is in dry-run mode — evaluates the windowed
+/// signals each `advisor_tick`, journaling the admin calls it *would*
+/// issue. The thread holds only a [`Weak`] reference: it exits within
+/// one poll interval of the server state being dropped or shutdown
+/// being requested, and it never issues an admin call itself.
+fn spawn_health_ticker(state: &Arc<AppState>) {
+    let weak: Weak<AppState> = Arc::downgrade(state);
+    let config = state.config.clone();
+    // Hysteresis of 2: a condition must survive two consecutive
+    // advisor ticks before it is worth a journal entry.
+    let mut engine = AdvisorEngine::new(2, config.advisor_cooldown, config.advisor_tick);
+    let poll = config
+        .advisor_tick
+        .min(Duration::from_millis(250))
+        .max(Duration::from_millis(10));
+    let _ = std::thread::Builder::new()
+        .name("be2d-health".into())
+        .spawn(move || {
+            let mut last_window = Instant::now();
+            let mut last_advisor = Instant::now();
+            let mut slo_burning = false;
+            loop {
+                std::thread::sleep(poll);
+                let Some(state) = weak.upgrade() else { return };
+                if state.shutting_down() {
+                    return;
+                }
+                if last_window.elapsed() >= WINDOW_EPOCH {
+                    last_window = Instant::now();
+                    state.windows.tick();
+                    let summary = state.windows.summary(W1M);
+                    let (verdict, detail) =
+                        slo_verdict(&summary, config.slo_p99, config.slo_availability);
+                    let burning = verdict >= Verdict::Degraded;
+                    if burning && !slo_burning {
+                        let budget = (1.0 - config.slo_availability.clamp(0.0, 1.0)).max(1e-9);
+                        let signal = if summary.error_ratio > budget {
+                            "availability"
+                        } else {
+                            "latency_p99"
+                        };
+                        state.db.events().record(EventKind::SloBurn {
+                            signal: signal.into(),
+                            detail,
+                        });
+                    }
+                    slo_burning = burning;
+                }
+                if config.advisor == AdvisorMode::DryRun
+                    && last_advisor.elapsed() >= config.advisor_tick
+                {
+                    last_advisor = Instant::now();
+                    let (slo, _) = slo_verdict(
+                        &state.windows.summary(W1M),
+                        config.slo_p99,
+                        config.slo_availability,
+                    );
+                    let signals = AdvisorSignals {
+                        replica_health: state.db.replica_health(),
+                        shard_records: state.db.stats().shard_records,
+                        resharding: state.db.resharding(),
+                        slo,
+                    };
+                    for rec in engine.observe(&signals) {
+                        state.db.events().record(EventKind::AdvisorRecommendation {
+                            action: rec.action,
+                            target: rec.target,
+                            reason: rec.reason,
+                        });
+                    }
+                }
+            }
+        });
 }
 
 /// Serves one connection: keep-alive request loop with limits and
@@ -259,6 +341,99 @@ mod tests {
 
         handle.shutdown();
         runner.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn dry_run_advisor_journals_recommendations_without_acting() {
+        let server = Server::bind(ServerConfig {
+            shards: 2,
+            replicas: 2,
+            advisor: AdvisorMode::DryRun,
+            advisor_tick: Duration::from_millis(20),
+            advisor_cooldown: Duration::from_millis(500),
+            ..test_config()
+        })
+        .unwrap();
+        let db = server.database();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run());
+
+        db.fail_replica(0, 1).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (events, _) = db.events().since(0);
+            if events.iter().any(|e| {
+                matches!(
+                    &e.kind,
+                    EventKind::AdvisorRecommendation { action, target, .. }
+                        if action == "rebuild_replica" && target == "shard=0,replica=1"
+                )
+            }) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "advisor never recommended a heal"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Dry run means dry: the journal has the recommendation but the
+        // replica is still out of rotation — nothing acted on it.
+        assert!(!db.replica_health()[0][1], "advisor must not heal");
+
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn rankings_are_bit_identical_with_and_without_the_advisor() {
+        use crate::client::Client;
+
+        let scene = |i: usize| {
+            format!(
+                r#"{{"width":100,"height":100,"objects":[
+                    {{"class":"A","mbr":[{0},{1},10,40]}},
+                    {{"class":"B","mbr":[50,90,{0},{1}]}}]}}"#,
+                5 + i * 7,
+                40 + i * 5
+            )
+        };
+        let mut bodies: Vec<Vec<u8>> = Vec::new();
+        for mode in [AdvisorMode::Off, AdvisorMode::DryRun] {
+            let server = Server::bind(ServerConfig {
+                shards: 2,
+                replicas: 2,
+                advisor: mode,
+                advisor_tick: Duration::from_millis(10),
+                advisor_cooldown: Duration::from_millis(50),
+                ..test_config()
+            })
+            .unwrap();
+            let addr = server.local_addr();
+            let handle = server.handle();
+            let runner = std::thread::spawn(move || server.run());
+
+            let mut client = Client::new(addr, Duration::from_secs(5));
+            for i in 0..8 {
+                let body = format!(r#"{{"name":"img-{i}","scene":{}}}"#, scene(i));
+                assert_eq!(
+                    client.request("POST", "/v1/images", &body).unwrap().status,
+                    201
+                );
+            }
+            // Give the dry-run advisor a few ticks to prove it leaves
+            // the database alone.
+            std::thread::sleep(Duration::from_millis(60));
+            let query = format!(r#"{{"scene":{},"options":{{"top_k":null}}}}"#, scene(3));
+            let resp = client.request("POST", "/v1/search", &query).unwrap();
+            assert_eq!(resp.status, 200);
+            bodies.push(resp.body);
+
+            handle.shutdown();
+            runner.join().unwrap().unwrap();
+        }
+        // Byte-for-byte equal responses: every score's f64 bits match.
+        assert_eq!(bodies[0], bodies[1]);
     }
 
     #[test]

@@ -37,6 +37,17 @@ if os.path.exists(server_path):
           f"| {lat['p50_ms']:.2f} ms | {lat['p95_ms']:.2f} ms "
           f"| {lat['p99_ms']:.2f} ms | `{report['mix']}` |")
     print()
+    delta = report.get("metrics_delta")
+    if delta:
+        print("Server counter movement over the run "
+              "(`/v1/metrics` scraped at start and end):")
+        print()
+        print("| requests | 2xx | 4xx | 5xx | bound pruned | planner skips |")
+        print("|---:|---:|---:|---:|---:|---:|")
+        print(f"| {delta['requests']} | {delta['responses_2xx']} "
+              f"| {delta['responses_4xx']} | {delta['responses_5xx']} "
+              f"| {delta['bound_pruned']} | {delta['planner_skipped']} |")
+        print()
     trace = report.get("trace")
     if trace:
         print(f"Server-side stage timings over {trace['sampled']} traced "
