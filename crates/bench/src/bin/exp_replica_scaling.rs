@@ -28,7 +28,9 @@
 //! the numbers honestly.
 
 use be2d_bench::standard_config;
-use be2d_db::{Parallelism, QueryOptions, ReplicaConfig, ReplicatedImageDatabase, ReplicationMode};
+use be2d_db::{
+    Parallelism, PlannerMode, QueryOptions, ReplicaConfig, ReplicatedImageDatabase, ReplicationMode,
+};
 use be2d_workload::metrics::percentile;
 use be2d_workload::{derive_queries, Corpus, CorpusConfig, QueryKind, SceneConfig};
 use std::io::Write as _;
@@ -186,6 +188,7 @@ fn run_point(
         replicas,
         mode,
         oplog_window: 4096,
+        planner: PlannerMode::default(),
         wal: None,
     })
     .expect("in-memory topology always opens");
@@ -204,7 +207,7 @@ fn run_point(
 
     // Warm-up outside the timed window.
     for query in queries.iter().take(4) {
-        std::hint::black_box(db.search_scene(&query.scene, &options));
+        std::hint::black_box(db.search_scene(&query.scene, &options).expect("search"));
     }
 
     let scenes: Vec<_> = corpus.iter().map(|(_, scene)| scene).collect();
@@ -223,7 +226,9 @@ fn run_point(
                     while !stop.load(Ordering::Relaxed) {
                         let query = &queries[i % queries.len()];
                         let t0 = Instant::now();
-                        std::hint::black_box(db.search_scene(&query.scene, options));
+                        std::hint::black_box(
+                            db.search_scene(&query.scene, options).expect("search"),
+                        );
                         latencies.push(t0.elapsed().as_secs_f64() * 1e3);
                         i += 1;
                     }

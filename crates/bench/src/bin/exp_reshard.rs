@@ -167,7 +167,7 @@ fn run_point(config: &Config, corpus: &Corpus, batch: usize) -> SweepPoint {
         ..QueryOptions::serving()
     };
     for query in queries.iter().take(4) {
-        std::hint::black_box(db.search_scene(&query.scene, &options));
+        std::hint::black_box(db.search_scene(&query.scene, &options).expect("search"));
     }
 
     let scenes: Vec<_> = corpus.iter().map(|(_, scene)| scene).collect();
@@ -191,7 +191,9 @@ fn run_point(config: &Config, corpus: &Corpus, batch: usize) -> SweepPoint {
                         }
                         let query = &queries[i % queries.len()];
                         let t0 = Instant::now();
-                        std::hint::black_box(db.search_scene(&query.scene, options));
+                        std::hint::black_box(
+                            db.search_scene(&query.scene, options).expect("search"),
+                        );
                         out.per_phase[tag].push(t0.elapsed().as_secs_f64() * 1e3);
                         i += 1;
                     }

@@ -1,8 +1,8 @@
 //! The image database proper.
 
 use crate::{
-    CandidateSource, ClassIndex, ClassSignature, DbError, PrefilterMode, QueryOptions, QuerySketch,
-    ScoreSketch, SearchHit,
+    CandidateSource, CandidateStrategy, ClassIndex, ClassSignature, DbError, PrefilterMode,
+    QueryOptions, QuerySketch, ScoreSketch, SearchHit,
 };
 use be2d_core::{similarity_with, transformed, BeString2D, Similarity, SymbolicImage};
 use be2d_geometry::{ObjectClass, Rect, Scene, Transform};
@@ -413,6 +413,28 @@ impl ImageDatabase {
         options: &QueryOptions,
         threshold: Option<&ScoreThreshold>,
     ) -> (Vec<SearchHit>, SearchStats) {
+        self.search_planned(query, options, threshold, CandidateStrategy::IndexWalk)
+    }
+
+    /// [`search_bounded`](Self::search_bounded) with an explicit
+    /// [`CandidateStrategy`] — how the inverted-index candidate set is
+    /// walked when the [`CandidateSource::ClassIndex`] path applies.
+    ///
+    /// The strategy never changes *which* records are candidates, only
+    /// how they are produced: `IndexWalk` materialises the posting
+    /// union/intersection, `DenseScan` iterates the corpus and keeps
+    /// records whose exact posting membership passes the prefilter.
+    /// Both yield the identical set, so hits — scores, ids, tie-breaks —
+    /// and [`SearchStats`] are bit-identical across strategies. The
+    /// scatter planner picks per shard from measured selectivity.
+    #[must_use]
+    pub fn search_planned(
+        &self,
+        query: &BeString2D,
+        options: &QueryOptions,
+        threshold: Option<&ScoreThreshold>,
+        strategy: CandidateStrategy,
+    ) -> (Vec<SearchHit>, SearchStats) {
         // Pre-transform the query once per transform (strings are small;
         // candidates are many).
         type QueryVariants = Vec<(Transform, BeString2D)>;
@@ -434,12 +456,31 @@ impl ImageDatabase {
             (CandidateSource::ClassIndex, prefilter)
                 if prefilter != PrefilterMode::None && !query_classes.is_empty() =>
             {
-                let ids = match prefilter {
-                    PrefilterMode::AnyClass => self.index.candidates_any(&query_classes),
-                    PrefilterMode::AllClasses => self.index.candidates_all(&query_classes),
-                    PrefilterMode::None => unreachable!("guarded above"),
-                };
-                ids.into_iter().filter_map(|id| self.get(id)).collect()
+                match strategy {
+                    CandidateStrategy::IndexWalk => {
+                        let ids = match prefilter {
+                            PrefilterMode::AnyClass => self.index.candidates_any(&query_classes),
+                            PrefilterMode::AllClasses => self.index.candidates_all(&query_classes),
+                            PrefilterMode::None => unreachable!("guarded above"),
+                        };
+                        ids.into_iter().filter_map(|id| self.get(id)).collect()
+                    }
+                    // Exact posting membership per record — the same set
+                    // the posting walk materialises, without building the
+                    // near-corpus-sized id union first.
+                    CandidateStrategy::DenseScan => self
+                        .iter()
+                        .filter(|r| match prefilter {
+                            PrefilterMode::AnyClass => {
+                                query_classes.iter().any(|c| self.index.contains(c, r.id))
+                            }
+                            PrefilterMode::AllClasses => {
+                                query_classes.iter().all(|c| self.index.contains(c, r.id))
+                            }
+                            PrefilterMode::None => unreachable!("guarded above"),
+                        })
+                        .collect(),
+                }
             }
             _ => self
                 .iter()

@@ -129,6 +129,16 @@ impl ClassIndex {
     pub fn postings_len(&self, class: &ObjectClass) -> usize {
         self.postings.get(class).map_or(0, BTreeSet::len)
     }
+
+    /// Whether `id` appears in `class`'s posting list — the exact
+    /// per-record membership probe the planner's dense-scan candidate
+    /// strategy filters with (no signature hash collisions).
+    #[must_use]
+    pub fn contains(&self, class: &ObjectClass, id: RecordId) -> bool {
+        self.postings
+            .get(class)
+            .is_some_and(|ids| ids.contains(&id))
+    }
 }
 
 #[cfg(test)]

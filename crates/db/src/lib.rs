@@ -80,8 +80,11 @@ pub use oplog::{
     OplogStats, ReplicaLag, ReplicationMode, ReplicationStats, ShardReplication, WalConfig,
     WalStats,
 };
-pub use query::{CandidateSource, Parallelism, PrefilterMode, QueryOptions, SearchHit, TwoStage};
-pub use replica::{ReplicaConfig, ReplicaStats, ReplicatedImageDatabase};
+pub use query::{
+    CandidateSource, CandidateStrategy, Parallelism, PrefilterMode, QueryOptions, SearchHit,
+    TwoStage,
+};
+pub use replica::{PlannerMode, ReplicaConfig, ReplicaStats, ReplicatedImageDatabase};
 pub use reshard::{ReshardProgress, Resharder};
 pub use shard::{ShardStats, ShardedImageDatabase};
 pub use signature::{ClassSignature, QuerySketch, ScoreBound, ScoreSketch, SKETCH_BUCKETS};

@@ -15,6 +15,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::CandidateStrategy;
 use be2d_metrics::{Counter, Gauge, Histogram, HistogramPool};
 
 /// Slots in the per-shard scatter histogram pool. Shard indices at or
@@ -50,8 +51,18 @@ pub struct DbMetrics {
     pub checkpoint: Arc<Histogram>,
     /// Replica read-routing decisions taken (one per shard touched).
     pub replica_picks: Arc<Counter>,
+    /// Bounded-lag reads that found no in-sync follower and fell back
+    /// to the leader — a sustained rise means followers cannot keep up
+    /// with the configured lag bound.
+    pub replica_fallback_reads: Arc<Counter>,
     /// Reads currently holding a replica read lock.
     pub outstanding_reads: Arc<Gauge>,
+    /// Multi-shard searches planner v2 ran with a selectivity-ordered
+    /// scatter (first wave sequenced, remainder riding its threshold).
+    pub planner_ordered_scatters: Arc<Counter>,
+    /// Per-shard scans where planner v2 chose the dense-scan candidate
+    /// strategy over the posting walk.
+    pub planner_dense_scans: Arc<Counter>,
     /// Candidates exactly scored (stage-2 survivors of two-stage
     /// retrieval; every scored candidate in exhaustive mode).
     pub stage2_scored: Arc<Counter>,
@@ -77,7 +88,10 @@ impl DbMetrics {
             wal_fsync: Arc::new(Histogram::new()),
             checkpoint: Arc::new(Histogram::new()),
             replica_picks: Arc::new(Counter::new()),
+            replica_fallback_reads: Arc::new(Counter::new()),
             outstanding_reads: Arc::new(Gauge::new()),
+            planner_ordered_scatters: Arc::new(Counter::new()),
+            planner_dense_scans: Arc::new(Counter::new()),
             stage2_scored: Arc::new(Counter::new()),
             bound_pruned: Arc::new(Counter::new()),
         }
@@ -98,7 +112,14 @@ pub struct QueryTrace {
     pub gather_ns: u64,
     /// End-to-end search duration.
     pub total_ns: u64,
-    /// One entry per shard scanned (or skipped by the planner).
+    /// Whether planner v2 ordered this scatter by per-shard selectivity
+    /// (sequencing the most selective shard first). `false` for naive
+    /// index-order scatters, single-shard searches, and searches whose
+    /// options engage no cross-shard threshold.
+    pub ordered: bool,
+    /// One entry per shard scanned (or skipped by the planner), in
+    /// shard-index order regardless of the visit order (each entry's
+    /// [`order`](ShardTrace::order) records its position in the plan).
     pub shards: Vec<ShardTrace>,
 }
 
@@ -118,6 +139,21 @@ pub struct ShardTrace {
     pub shard: usize,
     /// Replica the read picker routed this scan to.
     pub replica: usize,
+    /// This shard's position in the planner's visit order (0 = scanned
+    /// first). Equal to `shard` under the naive index-order scatter.
+    pub order: usize,
+    /// Whether this shard formed the sequenced first wave of an ordered
+    /// scatter — its k-th exact score seeds the cross-shard threshold
+    /// before the remaining shards run.
+    pub first_wave: bool,
+    /// Candidate strategy the planner executed on this shard (only ever
+    /// [`CandidateStrategy::DenseScan`] when planner v2 measured the
+    /// shard's postings as covering most of it).
+    pub strategy: CandidateStrategy,
+    /// The planner's candidate-count estimate for this shard (posting
+    /// sizes under the query's prefilter; record count when the options
+    /// bypass the inverted index). 0 for skipped shards.
+    pub est_candidates: usize,
     /// Whether the scatter planner proved the shard empty and skipped
     /// the scan.
     pub skipped: bool,

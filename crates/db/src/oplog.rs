@@ -264,6 +264,10 @@ pub struct ReplicationStats {
     /// Times a writer drained a lagging follower to stop the ring
     /// evicting an entry the follower still needed.
     pub writer_drains: u64,
+    /// Bounded-lag reads that found no in-sync follower and fell back
+    /// to the leader (see
+    /// [`DbMetrics::replica_fallback_reads`](crate::DbMetrics)).
+    pub fallback_reads: u64,
 }
 
 /// Write-ahead-log counters (all zero unless WAL mode is on).

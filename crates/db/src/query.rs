@@ -56,6 +56,44 @@ impl fmt::Display for CandidateSource {
     }
 }
 
+/// How one shard *executes* its candidate generation — the per-shard
+/// decision planner v2 takes from measured selectivity. Every strategy
+/// produces the **same candidate set** for the same
+/// [`CandidateSource`]/[`PrefilterMode`] pair (that is what keeps
+/// rankings bit-identical); they differ only in how the set is walked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CandidateStrategy {
+    /// Materialise candidate ids from the inverted-index posting lists
+    /// (union or intersection), then fetch each record — sub-linear when
+    /// the query classes are selective. Default, and the only strategy
+    /// the scan-based [`CandidateSource::Scan`] path can report.
+    #[default]
+    IndexWalk,
+    /// Iterate every record in id order and keep the ones whose exact
+    /// posting membership passes the prefilter — cheaper than building
+    /// a near-corpus-sized id union when the postings cover most of the
+    /// shard. Same exact candidate set as [`IndexWalk`](Self::IndexWalk).
+    DenseScan,
+}
+
+impl CandidateStrategy {
+    /// Stable lower-case label (`"index-walk"` / `"dense-scan"`), used
+    /// by traces and the server DTOs.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CandidateStrategy::IndexWalk => "index-walk",
+            CandidateStrategy::DenseScan => "dense-scan",
+        }
+    }
+}
+
+impl fmt::Display for CandidateStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Whether candidate scoring runs on multiple threads.
 ///
 /// The scan chunks the candidate set across scoped threads (see

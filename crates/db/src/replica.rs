@@ -99,10 +99,12 @@ use crate::oplog::{
 use crate::reshard::ReshardProgress;
 use crate::shard::{
     fresh_snapshot_id, heal_next_id, load_snapshot_at, merge_top_k, reroute_shards,
-    save_snapshot_at, scatter_scan, shard_cannot_contribute, wal_floor_of, PreviousSnapshot,
+    save_snapshot_at, scatter_scan_list, shard_cannot_contribute, wal_floor_of, PreviousSnapshot,
     SnapshotPayload,
 };
-use crate::{DbError, ImageDatabase, ImageRecord, QueryOptions, RecordId, SearchHit};
+use crate::{
+    CandidateStrategy, DbError, ImageDatabase, ImageRecord, QueryOptions, RecordId, SearchHit,
+};
 use be2d_core::{BeString2D, SymbolicImage};
 use be2d_geometry::{ObjectClass, Rect, Scene};
 use parking_lot::RwLock;
@@ -138,7 +140,7 @@ use std::time::Instant;
 ///
 /// // Fail one copy of the owning shard: reads route around it.
 /// db.fail_replica(0, 1)?;
-/// assert_eq!(db.search_scene(&scene, &QueryOptions::default())[0].id, id);
+/// assert_eq!(db.search_scene(&scene, &QueryOptions::default())?[0].id, id);
 ///
 /// // Rebuild it from the healthy peer and rejoin rotation.
 /// db.rebuild_replica(0, 1)?;
@@ -168,6 +170,8 @@ pub struct ReplicaConfig {
     pub oplog_window: usize,
     /// Write-ahead-log durability (off when `None`).
     pub wal: Option<WalConfig>,
+    /// Scatter-planning policy (see [`PlannerMode`]).
+    pub planner: PlannerMode,
 }
 
 impl Default for ReplicaConfig {
@@ -178,6 +182,35 @@ impl Default for ReplicaConfig {
             mode: ReplicationMode::Sync,
             oplog_window: 1024,
             wal: None,
+            planner: PlannerMode::V2,
+        }
+    }
+}
+
+/// How the scatter is planned. Both modes return bit-identical
+/// rankings — the planner only reorders *when* shards run and *how*
+/// each one walks its candidate set, never *what* it scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlannerMode {
+    /// Visit shards in index order and materialise every inverted-index
+    /// candidate set by posting walk — the pre-planner-v2 behaviour,
+    /// kept for A/B benchmarking (`--planner naive`).
+    Naive,
+    /// Planner v2 (default): order the scatter by per-shard selectivity
+    /// estimated from posting sizes, sequence the most selective shard
+    /// first so the cross-shard [`ScoreThreshold`](crate::ScoreThreshold)
+    /// tightens before the expensive shards run, and choose each shard's
+    /// [`CandidateStrategy`](crate::CandidateStrategy) from the same
+    /// estimate.
+    #[default]
+    V2,
+}
+
+impl std::fmt::Display for PlannerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlannerMode::Naive => f.write_str("naive"),
+            PlannerMode::V2 => f.write_str("v2"),
         }
     }
 }
@@ -208,6 +241,8 @@ pub(crate) struct Inner {
     pub(crate) progress: parking_lot::Mutex<ReshardProgress>,
     /// Write-acknowledgement mode (fixed at construction).
     pub(crate) mode: ReplicationMode,
+    /// Scatter-planning policy (fixed at construction).
+    pub(crate) planner: PlannerMode,
     /// Op-log ring capacity per shard (fixed at construction).
     pub(crate) oplog_window: usize,
     /// The one global sequence counter. A sequence is assigned under
@@ -294,8 +329,14 @@ pub(crate) struct ReplicaSet {
     pub(crate) replicas: Vec<RwLock<ImageDatabase>>,
     /// `health[r]` — whether replica r is in rotation.
     pub(crate) health: Vec<AtomicBool>,
-    /// Round-robin read picker.
+    /// Tie-rotation cursor of the read picker (ex round-robin cursor):
+    /// when outstanding-read counts tie, consecutive picks still rotate
+    /// deterministically instead of herding onto one replica.
     pub(crate) cursor: AtomicUsize,
+    /// `outstanding[r]` — reads currently holding replica r's read lock
+    /// (the per-replica split of the global `outstanding_reads` gauge).
+    /// The least-outstanding picker routes on it.
+    pub(crate) outstanding: Vec<AtomicUsize>,
     /// Serialises write applications, rebuilds, background drains, and
     /// health transitions on this shard, so a writer's view of the
     /// healthy set cannot go stale mid-operation. Readers never take
@@ -322,6 +363,7 @@ impl ReplicaSet {
                 .collect(),
             health: (0..replicas).map(|_| AtomicBool::new(true)).collect(),
             cursor: AtomicUsize::new(0),
+            outstanding: (0..replicas).map(|_| AtomicUsize::new(0)).collect(),
             write_order: parking_lot::Mutex::new(()),
             edits: AtomicU64::new(0),
             log: parking_lot::Mutex::new(ShardLog::new(window)),
@@ -330,53 +372,111 @@ impl ReplicaSet {
         }
     }
 
-    /// Round-robin pick of a healthy replica (reads route around failed
-    /// copies). Falls back to the raw round-robin slot if no replica is
-    /// healthy — unreachable while the last-healthy guard holds.
-    pub(crate) fn pick(&self) -> usize {
-        let r = self.replicas.len();
-        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % r;
-        (0..r)
-            .map(|step| (start + step) % r)
-            .find(|&candidate| self.health[candidate].load(Ordering::SeqCst))
-            .unwrap_or(start)
+    /// Least-outstanding pick among the (non-empty) eligible replicas.
+    ///
+    /// The replica with the fewest in-flight reads wins; on ties the
+    /// picker falls back to **power-of-two-choices**: the rotation
+    /// cursor nominates two of the tied replicas, their live counts are
+    /// re-sampled, and the less loaded one is taken (the first on a
+    /// re-tie, so an idle set still rotates `0, 1, 2, 0, …` — no
+    /// herding, deterministic spread).
+    fn pick_among(&self, eligible: &[usize]) -> usize {
+        let min = eligible
+            .iter()
+            .map(|&r| self.outstanding[r].load(Ordering::Relaxed))
+            .min()
+            .expect("pick_among requires a non-empty eligible set");
+        let tied: Vec<usize> = eligible
+            .iter()
+            .copied()
+            .filter(|&r| self.outstanding[r].load(Ordering::Relaxed) <= min)
+            .collect();
+        match tied.as_slice() {
+            [] => eligible[0], // counts moved under us; any eligible replica is valid
+            [only] => *only,
+            _ => {
+                let c = self.cursor.fetch_add(1, Ordering::Relaxed);
+                let a = tied[c % tied.len()];
+                let b = tied[(c + 1) % tied.len()];
+                // Two choices, freshest counts win: loads may have moved
+                // since the tie was computed.
+                if self.outstanding[b].load(Ordering::Relaxed)
+                    < self.outstanding[a].load(Ordering::Relaxed)
+                {
+                    b
+                } else {
+                    a
+                }
+            }
+        }
     }
 
-    /// Round-robin pick among healthy replicas within `max_lag` ops of
-    /// the shard head. Falls back to the first healthy replica (the
-    /// leader, which is always at the head) when nothing qualifies.
-    fn pick_within(&self, max_lag: u64) -> usize {
-        let r = self.replicas.len();
+    /// Least-outstanding pick of a healthy replica (reads route around
+    /// failed copies). `None` when every replica is marked failed — a
+    /// mid-race state the last-healthy guard makes rare but a diverged
+    /// drain can still reach; callers surface it as
+    /// [`DbError::Replica`] instead of serving a failed copy.
+    pub(crate) fn pick(&self) -> Option<usize> {
+        let healthy: Vec<usize> = (0..self.replicas.len())
+            .filter(|&r| self.health[r].load(Ordering::SeqCst))
+            .collect();
+        if healthy.is_empty() {
+            return None;
+        }
+        Some(self.pick_among(&healthy))
+    }
+
+    /// Least-outstanding pick among healthy replicas within `max_lag`
+    /// ops of the shard head. When no follower qualifies the read falls
+    /// back to the leader (always at the head) and bumps `fallback` so
+    /// fallback storms are diagnosable; `None` only when every replica
+    /// is failed.
+    fn pick_within(&self, max_lag: u64, fallback: &be2d_metrics::Counter) -> Option<usize> {
         let head = self.head.load(Ordering::SeqCst);
-        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % r;
-        (0..r)
-            .map(|step| (start + step) % r)
-            .find(|&candidate| {
-                self.health[candidate].load(Ordering::SeqCst)
-                    && head.saturating_sub(self.applied[candidate].load(Ordering::SeqCst))
-                        <= max_lag
+        let in_sync: Vec<usize> = (0..self.replicas.len())
+            .filter(|&r| {
+                self.health[r].load(Ordering::SeqCst)
+                    && head.saturating_sub(self.applied[r].load(Ordering::SeqCst)) <= max_lag
             })
-            .unwrap_or_else(|| self.first_healthy())
+            .collect();
+        if !in_sync.is_empty() {
+            return Some(self.pick_among(&in_sync));
+        }
+        let leader = self.first_healthy()?;
+        fallback.inc();
+        Some(leader)
     }
 
     /// The replica a search should read, given the database's mode:
-    /// plain round-robin under Sync (every healthy replica is in sync),
-    /// bounded-lag round-robin otherwise.
-    fn pick_read(&self, mode: ReplicationMode) -> usize {
+    /// least-outstanding over all healthy replicas under Sync (every
+    /// healthy replica is in sync), bounded-lag otherwise. `None` when
+    /// the shard has no healthy replica at all.
+    fn pick_read(&self, mode: ReplicationMode, metrics: &DbMetrics) -> Option<usize> {
         match mode {
             ReplicationMode::Sync => self.pick(),
-            ReplicationMode::Quorum => self.pick_within(0),
-            ReplicationMode::Async { max_lag } => self.pick_within(max_lag),
+            ReplicationMode::Quorum => self.pick_within(0, &metrics.replica_fallback_reads),
+            ReplicationMode::Async { max_lag } => {
+                self.pick_within(max_lag, &metrics.replica_fallback_reads)
+            }
         }
     }
 
     /// The lowest-indexed healthy replica (the leader: the
     /// deterministic choice for writes, snapshots, rebuild sources, and
-    /// occupancy checks).
-    pub(crate) fn first_healthy(&self) -> usize {
-        (0..self.replicas.len())
-            .find(|&r| self.health[r].load(Ordering::SeqCst))
-            .unwrap_or(0)
+    /// occupancy checks). `None` when every replica is marked failed —
+    /// never silently replica 0.
+    pub(crate) fn first_healthy(&self) -> Option<usize> {
+        (0..self.replicas.len()).find(|&r| self.health[r].load(Ordering::SeqCst))
+    }
+
+    /// Marks one read in flight on replica `r` (pairs with
+    /// [`end_read`](Self::end_read)); the picker routes on these counts.
+    fn begin_read(&self, r: usize) {
+        self.outstanding[r].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn end_read(&self, r: usize) {
+        self.outstanding[r].fetch_sub(1, Ordering::Relaxed);
     }
 
     fn healthy_count(&self) -> usize {
@@ -384,6 +484,13 @@ impl ReplicaSet {
             .iter()
             .filter(|h| h.load(Ordering::SeqCst))
             .count()
+    }
+
+    /// The no-healthy-replica error every picker caller surfaces.
+    pub(crate) fn no_healthy(shard: usize) -> DbError {
+        DbError::Replica {
+            reason: format!("shard {shard} has no healthy replica"),
+        }
     }
 }
 
@@ -484,12 +591,9 @@ impl Inner {
         // An async-mode leader may itself have just been promoted while
         // lagging; bring it to the head before it takes new writes.
         let leader = loop {
-            if set.healthy_count() == 0 {
-                return Err(DbError::Replica {
-                    reason: format!("shard {shard} has no healthy replica"),
-                });
-            }
-            let leader = set.first_healthy();
+            let Some(leader) = set.first_healthy() else {
+                return Err(ReplicaSet::no_healthy(shard));
+            };
             if drain_replica(top, set, shard, leader) {
                 break leader;
             }
@@ -672,6 +776,7 @@ impl ReplicatedImageDatabase {
                 reshard_lock: parking_lot::Mutex::new(()),
                 progress: parking_lot::Mutex::new(ReshardProgress::default()),
                 mode: config.mode,
+                planner: config.planner,
                 oplog_window: window,
                 op_seq: AtomicU64::new(0),
                 catchup_replays: AtomicU64::new(0),
@@ -702,6 +807,12 @@ impl ReplicatedImageDatabase {
     #[must_use]
     pub fn replication_mode(&self) -> ReplicationMode {
         self.inner.mode
+    }
+
+    /// The configured scatter-planning policy.
+    #[must_use]
+    pub fn planner_mode(&self) -> PlannerMode {
+        self.inner.planner
     }
 
     /// Number of shards the database routes to (the **target** topology
@@ -740,7 +851,10 @@ impl ReplicatedImageDatabase {
         let _gate = self.inner.search_gate.read();
         top.sets
             .iter()
-            .map(|set| set.replicas[set.first_healthy()].read().len())
+            // Diagnostics tolerate the all-failed race: replica 0's
+            // (possibly stale) count is reported rather than erroring —
+            // no failed copy ever *serves* through this path.
+            .map(|set| set.replicas[set.first_healthy().unwrap_or(0)].read().len())
             .sum()
     }
 
@@ -801,7 +915,8 @@ impl ReplicatedImageDatabase {
             objects: 0,
         };
         for (set, replica_guards) in top.sets.iter().zip(&guards) {
-            let primary = &replica_guards[set.first_healthy()];
+            // Same stale-tolerant rule as `len()`: stats never serve data.
+            let primary = &replica_guards[set.first_healthy().unwrap_or(0)];
             classes.extend(primary.class_index().classes().cloned());
             stats.objects += primary.object_count();
             stats.shard_records.push(primary.len());
@@ -843,6 +958,7 @@ impl ReplicatedImageDatabase {
             catchup_replays: self.inner.catchup_replays.load(Ordering::Relaxed),
             catchup_clones: self.inner.catchup_clones.load(Ordering::Relaxed),
             writer_drains: self.inner.writer_drains.load(Ordering::Relaxed),
+            fallback_reads: self.inner.metrics.replica_fallback_reads.get(),
         }
     }
 
@@ -915,11 +1031,10 @@ impl ReplicatedImageDatabase {
                 if top.route(id) != (shard, local) {
                     continue;
                 }
-                if set.replicas[set.first_healthy()]
-                    .read()
-                    .get(local)
-                    .is_some()
-                {
+                let Some(leader) = set.first_healthy() else {
+                    return Err(ReplicaSet::no_healthy(shard));
+                };
+                if set.replicas[leader].read().get(local).is_some() {
                     continue 'fresh_id;
                 }
                 self.inner.apply_logged(
@@ -972,9 +1087,14 @@ impl ReplicatedImageDatabase {
 
     /// Looks a record up on one healthy replica, returning a clone with
     /// its **global** id. Under Quorum/Async the lookup reads the
-    /// leader (read-your-writes); under Sync it round-robins.
-    #[must_use]
-    pub fn get(&self, id: RecordId) -> Option<ImageRecord> {
+    /// leader (read-your-writes); under Sync the least-outstanding
+    /// picker chooses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Replica`] (retryable) when the owning shard
+    /// has no healthy replica at all — a failed copy is never served.
+    pub fn get(&self, id: RecordId) -> Result<Option<ImageRecord>, DbError> {
         let top = self.inner.topology.read();
         loop {
             let (shard, local) = top.route(id);
@@ -982,19 +1102,25 @@ impl ReplicatedImageDatabase {
             let replica = match self.inner.mode {
                 ReplicationMode::Sync => set.pick(),
                 _ => set.first_healthy(),
-            };
+            }
+            .ok_or_else(|| ReplicaSet::no_healthy(shard))?;
+            set.begin_read(replica);
             let guard = set.replicas[replica].read();
             // The boundary only moves under *all* replica write locks,
             // so holding this read lock freezes it; a stale route means
             // a batch moved the record between routing and locking.
             if top.route(id) != (shard, local) {
+                drop(guard);
+                set.end_read(replica);
                 continue;
             }
             let record = guard.get(local).cloned();
-            return record.map(|mut r| {
+            drop(guard);
+            set.end_read(replica);
+            return Ok(record.map(|mut r| {
                 r.id = id;
                 r
-            });
+            }));
         }
     }
 
@@ -1038,21 +1164,37 @@ impl ReplicatedImageDatabase {
     }
 
     /// Scatter-gather ranked search over **one chosen replica per
-    /// shard** (round-robin among healthy, in-sync copies — replicas
-    /// beyond the mode's lag bound are skipped), merged with the same
-    /// top-k heap the sharded database uses. The scatter planner skips
-    /// shards whose class postings provably cannot contribute (exact
-    /// inverted-index candidates only).
+    /// shard** (least-outstanding among healthy, in-sync copies —
+    /// replicas beyond the mode's lag bound are skipped), merged with
+    /// the same top-k heap the sharded database uses. The scatter
+    /// planner skips shards whose class postings provably cannot
+    /// contribute (exact inverted-index candidates only); under
+    /// [`PlannerMode::V2`] it additionally orders the scatter by
+    /// per-shard selectivity — the most selective shard runs first and
+    /// seeds the cross-shard score threshold — and picks each shard's
+    /// [`CandidateStrategy`](crate::CandidateStrategy) from the same
+    /// estimate.
     ///
     /// Ranking — ids, scores, and tie-breaks — is bit-identical to an
     /// unreplicated [`ShardedImageDatabase`](crate::ShardedImageDatabase)
-    /// (and to a single [`ImageDatabase`]) over the same records, **even
-    /// while an online reshard is migrating records**: the whole scatter
-    /// holds the migration gate, so batch moves are atomic to it, and
-    /// the epoch maps each shard's local slots back to global ids.
-    #[must_use]
-    pub fn search(&self, query: &BeString2D, options: &QueryOptions) -> Vec<SearchHit> {
-        self.search_traced(query, options).0
+    /// (and to a single [`ImageDatabase`]) over the same records, in
+    /// **either planner mode**, **even while an online reshard is
+    /// migrating records**: the whole scatter holds the migration gate,
+    /// so batch moves are atomic to it, and the epoch maps each shard's
+    /// local slots back to global ids. Threshold pruning is admissible
+    /// whatever order shards publish into it, so reordering the scatter
+    /// never changes the merged top-k.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Replica`] (retryable) when any touched shard
+    /// has no healthy replica at all — a failed copy is never served.
+    pub fn search(
+        &self,
+        query: &BeString2D,
+        options: &QueryOptions,
+    ) -> Result<Vec<SearchHit>, DbError> {
+        self.search_traced(query, options).map(|(hits, _)| hits)
     }
 
     /// [`search`](Self::search) plus the per-stage [`QueryTrace`]. The
@@ -1060,12 +1202,16 @@ impl ReplicatedImageDatabase {
     /// `/v1/metrics`), so the hits — and their `f64` scores, to the
     /// bit — are identical to the untraced call: this *is* the search
     /// path, not a parallel one.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Replica`] (retryable) when any touched shard
+    /// has no healthy replica at all.
     pub fn search_traced(
         &self,
         query: &BeString2D,
         options: &QueryOptions,
-    ) -> (Vec<SearchHit>, QueryTrace) {
+    ) -> Result<(Vec<SearchHit>, QueryTrace), DbError> {
         let total_start = Instant::now();
         let metrics = &self.inner.metrics;
         let top = self.inner.topology.read();
@@ -1077,14 +1223,18 @@ impl ReplicatedImageDatabase {
         let n = top.sets.len();
         if n == 1 {
             let set = &top.sets[0];
-            let replica = set.pick_read(mode);
+            let replica = set
+                .pick_read(mode, metrics)
+                .ok_or_else(|| ReplicaSet::no_healthy(0))?;
             metrics.replica_picks.inc();
             metrics.outstanding_reads.inc();
+            set.begin_read(replica);
             let scatter_start = Instant::now();
             let (hits, stats) = set.replicas[replica]
                 .read()
                 .search_bounded(query, options, None);
             let scatter_ns = elapsed_ns(scatter_start);
+            set.end_read(replica);
             metrics.outstanding_reads.dec();
             metrics.scatter.get(0).record_ns(scatter_ns);
             metrics.stage2_scored.add(stats.scored as u64);
@@ -1096,9 +1246,14 @@ impl ReplicatedImageDatabase {
                 scatter_ns,
                 gather_ns: 0,
                 total_ns,
+                ordered: false,
                 shards: vec![ShardTrace {
                     shard: 0,
                     replica,
+                    order: 0,
+                    first_wave: false,
+                    strategy: CandidateStrategy::IndexWalk,
+                    est_candidates: stats.candidates,
                     skipped: false,
                     hits: hits.len(),
                     scored: stats.scored,
@@ -1106,7 +1261,7 @@ impl ReplicatedImageDatabase {
                     elapsed_ns: scatter_ns,
                 }],
             };
-            return (hits, trace);
+            return Ok((hits, trace));
         }
         // Frozen for the whole scatter: the boundary only moves under
         // the exclusive gate.
@@ -1121,64 +1276,168 @@ impl ReplicatedImageDatabase {
         // below it — the merged top-k is unchanged.
         let threshold = (options.two_stage.is_some() && options.top_k.is_some())
             .then(crate::ScoreThreshold::new);
+        // Planner v2: estimate each shard's candidate count from its
+        // posting sizes (a brief leader read lock; the estimate may go
+        // stale the moment it is read — it only steers order and
+        // strategy, never what gets scored) and choose the candidate
+        // strategy. The inverted-index path applies exactly when
+        // `search_planned` would take it.
+        let index_path = options.candidates == crate::CandidateSource::ClassIndex
+            && options.prefilter != crate::PrefilterMode::None
+            && !query_classes.is_empty();
+        let v2 = self.inner.planner == PlannerMode::V2;
+        let mut est_of = vec![0usize; n];
+        let mut strategy_of = vec![CandidateStrategy::IndexWalk; n];
+        if v2 {
+            for shard in 0..n {
+                let set = &topology.sets[shard];
+                let Some(leader) = set.first_healthy() else {
+                    return Err(ReplicaSet::no_healthy(shard));
+                };
+                let guard = set.replicas[leader].read();
+                let len = guard.len();
+                let est = if index_path {
+                    let index = guard.class_index();
+                    match options.prefilter {
+                        // Intersection size is at most the smallest posting.
+                        crate::PrefilterMode::AllClasses => query_classes
+                            .iter()
+                            .map(|c| index.postings_len(c))
+                            .min()
+                            .unwrap_or(0),
+                        // Union size is at most the posting sum (and the
+                        // shard itself).
+                        crate::PrefilterMode::AnyClass => query_classes
+                            .iter()
+                            .map(|c| index.postings_len(c))
+                            .sum::<usize>()
+                            .min(len),
+                        crate::PrefilterMode::None => unreachable!("index_path excludes None"),
+                    }
+                } else {
+                    len
+                };
+                est_of[shard] = est;
+                // Postings covering most of the shard make the posting
+                // walk's near-corpus-sized id union slower than one
+                // dense pass with exact membership probes.
+                if index_path && len > 0 && est.saturating_mul(2) >= len {
+                    strategy_of[shard] = CandidateStrategy::DenseScan;
+                }
+            }
+        }
+        // Visit order: most selective first, so the sequenced first
+        // wave raises the shared threshold as early (and as high) as
+        // possible. Ordering only pays when a threshold exists to
+        // tighten — without one it would serialise a shard for nothing.
+        let ordered = v2 && threshold.is_some();
+        let mut visit: Vec<usize> = (0..n).collect();
+        if ordered {
+            visit.sort_by_key(|&shard| (est_of[shard], shard));
+            // The sequenced first wave only pays if it can produce a
+            // k-th exact score to seed the threshold: a shard with
+            // fewer than k candidates seeds nothing and would be pure
+            // serialisation. Promote the smallest shard that can fill
+            // k; when none can, the minimum-estimate order stands.
+            if let Some(k) = options.top_k {
+                if let Some(pos) = visit.iter().position(|&shard| est_of[shard] >= k) {
+                    let seed = visit.remove(pos);
+                    visit.insert(0, seed);
+                }
+            }
+            metrics.planner_ordered_scatters.inc();
+        }
+        let mut order_of = vec![0usize; n];
+        for (position, &shard) in visit.iter().enumerate() {
+            order_of[shard] = position;
+        }
         let planner_ns = elapsed_ns(planner_start);
         let scatter_start = Instant::now();
-        let per_shard: Vec<(Vec<SearchHit>, ShardTrace)> = scatter_scan(
-            n,
-            // next_id is a cheap upper bound on the total record count.
-            self.inner.next_id.load(Ordering::Relaxed),
-            |shard| {
-                let shard_start = Instant::now();
-                let set = &topology.sets[shard];
-                let replica = set.pick_read(mode);
-                metrics.replica_picks.inc();
-                metrics.outstanding_reads.inc();
-                let guard = set.replicas[replica].read();
-                let (hits, skipped, stats) =
-                    if shard_cannot_contribute(&guard, &query_classes, options) {
-                        planner_skipped.fetch_add(1, Ordering::Relaxed);
-                        (Vec::new(), true, crate::SearchStats::default())
-                    } else {
-                        let (mut hits, stats) =
-                            guard.search_bounded(query, options, threshold.as_ref());
-                        for hit in &mut hits {
-                            // Local-slot order maps monotonically to
-                            // global-id order under any epoch (see
-                            // `epoch.rs`), so each per-shard ranked list
-                            // stays merge-ready.
-                            hit.id = RecordId(
-                                epoch
-                                    .global_of(shard, hit.id.index())
-                                    .expect("occupied slot resolves under the live epoch"),
-                            );
-                        }
-                        (hits, false, stats)
-                    };
-                drop(guard);
-                metrics.outstanding_reads.dec();
-                let shard_ns = elapsed_ns(shard_start);
-                metrics.scatter.get(shard).record_ns(shard_ns);
-                metrics.stage2_scored.add(stats.scored as u64);
-                metrics.bound_pruned.add(stats.bound_pruned as u64);
-                let trace = ShardTrace {
-                    shard,
-                    replica,
-                    skipped,
-                    hits: hits.len(),
-                    scored: stats.scored,
-                    bound_pruned: stats.bound_pruned,
-                    elapsed_ns: shard_ns,
-                };
-                (hits, trace)
-            },
-        );
+        let est_of = &est_of;
+        let strategy_of = &strategy_of;
+        let order_of = &order_of;
+        let scan = |shard: usize| -> Result<(Vec<SearchHit>, ShardTrace), DbError> {
+            let shard_start = Instant::now();
+            let set = &topology.sets[shard];
+            let replica = set
+                .pick_read(mode, metrics)
+                .ok_or_else(|| ReplicaSet::no_healthy(shard))?;
+            metrics.replica_picks.inc();
+            metrics.outstanding_reads.inc();
+            set.begin_read(replica);
+            let guard = set.replicas[replica].read();
+            let (hits, skipped, stats) = if shard_cannot_contribute(&guard, &query_classes, options)
+            {
+                planner_skipped.fetch_add(1, Ordering::Relaxed);
+                (Vec::new(), true, crate::SearchStats::default())
+            } else {
+                let strategy = strategy_of[shard];
+                if strategy == CandidateStrategy::DenseScan {
+                    metrics.planner_dense_scans.inc();
+                }
+                let (mut hits, stats) =
+                    guard.search_planned(query, options, threshold.as_ref(), strategy);
+                for hit in &mut hits {
+                    // Local-slot order maps monotonically to
+                    // global-id order under any epoch (see
+                    // `epoch.rs`), so each per-shard ranked list
+                    // stays merge-ready.
+                    hit.id = RecordId(
+                        epoch
+                            .global_of(shard, hit.id.index())
+                            .expect("occupied slot resolves under the live epoch"),
+                    );
+                }
+                (hits, false, stats)
+            };
+            drop(guard);
+            set.end_read(replica);
+            metrics.outstanding_reads.dec();
+            let shard_ns = elapsed_ns(shard_start);
+            metrics.scatter.get(shard).record_ns(shard_ns);
+            metrics.stage2_scored.add(stats.scored as u64);
+            metrics.bound_pruned.add(stats.bound_pruned as u64);
+            let trace = ShardTrace {
+                shard,
+                replica,
+                order: order_of[shard],
+                first_wave: ordered && order_of[shard] == 0,
+                strategy: strategy_of[shard],
+                est_candidates: est_of[shard],
+                skipped,
+                hits: hits.len(),
+                scored: stats.scored,
+                bound_pruned: stats.bound_pruned,
+                elapsed_ns: shard_ns,
+            };
+            Ok((hits, trace))
+        };
+        // next_id is a cheap upper bound on the total record count.
+        let approx_records = self.inner.next_id.load(Ordering::Relaxed);
+        let per_shard: Vec<Result<(Vec<SearchHit>, ShardTrace), DbError>> = if ordered {
+            // Sequence the first wave: the most selective shard's k-th
+            // exact score lands in the shared threshold before any other
+            // shard starts scoring, so the expensive shards ride a
+            // tightened bound from their first frontier batch.
+            let (first, rest) = visit.split_first().expect("multi-shard scatter");
+            let mut results = Vec::with_capacity(n);
+            results.push(scan(*first));
+            results.extend(scatter_scan_list(rest, approx_records, scan));
+            results
+        } else {
+            scatter_scan_list(&visit, approx_records, scan)
+        };
         let scatter_ns = elapsed_ns(scatter_start);
         let mut lists = Vec::with_capacity(per_shard.len());
         let mut shards = Vec::with_capacity(per_shard.len());
-        for (hits, trace) in per_shard {
+        for result in per_shard {
+            let (hits, trace) = result?;
             lists.push(hits);
             shards.push(trace);
         }
+        // Per-shard entries are reported in shard order whatever order
+        // the planner visited them in (`order` keeps the plan visible).
+        shards.sort_by_key(|t| t.shard);
         let gather_start = Instant::now();
         let hits = merge_top_k(lists, options.top_k);
         let gather_ns = elapsed_ns(gather_start);
@@ -1190,26 +1449,39 @@ impl ReplicatedImageDatabase {
             scatter_ns,
             gather_ns,
             total_ns,
+            ordered,
             shards,
         };
-        (hits, trace)
+        Ok((hits, trace))
     }
 
     /// Scatter-gather search with a scene query (converted once, outside
     /// all locks).
-    #[must_use]
-    pub fn search_scene(&self, query: &Scene, options: &QueryOptions) -> Vec<SearchHit> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Replica`] (retryable) when any touched shard
+    /// has no healthy replica at all.
+    pub fn search_scene(
+        &self,
+        query: &Scene,
+        options: &QueryOptions,
+    ) -> Result<Vec<SearchHit>, DbError> {
         self.search(&be2d_core::convert_scene(query), options)
     }
 
     /// [`search_scene`](Self::search_scene) with the per-stage
     /// [`QueryTrace`].
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Replica`] (retryable) when any touched shard
+    /// has no healthy replica at all.
     pub fn search_scene_traced(
         &self,
         query: &Scene,
         options: &QueryOptions,
-    ) -> (Vec<SearchHit>, QueryTrace) {
+    ) -> Result<(Vec<SearchHit>, QueryTrace), DbError> {
         self.search_traced(&be2d_core::convert_scene(query), options)
     }
 
@@ -1217,7 +1489,8 @@ impl ReplicatedImageDatabase {
     ///
     /// # Errors
     ///
-    /// Propagates parse errors from the query strings.
+    /// Propagates parse errors from the query strings and
+    /// [`DbError::Replica`] from the scatter.
     pub fn search_text(
         &self,
         u: &str,
@@ -1225,7 +1498,7 @@ impl ReplicatedImageDatabase {
         options: &QueryOptions,
     ) -> Result<Vec<SearchHit>, DbError> {
         let query = BeString2D::parse(u, v).map_err(DbError::from)?;
-        Ok(self.search(&query, options))
+        self.search(&query, options)
     }
 
     /// [`search_text`](Self::search_text) with the per-stage
@@ -1233,7 +1506,8 @@ impl ReplicatedImageDatabase {
     ///
     /// # Errors
     ///
-    /// Propagates parse errors from the query strings.
+    /// Propagates parse errors from the query strings and
+    /// [`DbError::Replica`] from the scatter.
     pub fn search_text_traced(
         &self,
         u: &str,
@@ -1241,7 +1515,7 @@ impl ReplicatedImageDatabase {
         options: &QueryOptions,
     ) -> Result<(Vec<SearchHit>, QueryTrace), DbError> {
         let query = BeString2D::parse(u, v).map_err(DbError::from)?;
-        Ok(self.search_traced(&query, options))
+        self.search_traced(&query, options)
     }
 
     /// Takes a replica out of rotation — the fault-injection hook.
@@ -1328,12 +1602,9 @@ impl ReplicatedImageDatabase {
         // an async-mode leader may itself have been promoted while
         // lagging.
         let source = loop {
-            if set.healthy_count() == 0 {
-                return Err(DbError::Replica {
-                    reason: format!("shard {shard} has no healthy replica"),
-                });
-            }
-            let source = set.first_healthy();
+            let Some(source) = set.first_healthy() else {
+                return Err(ReplicaSet::no_healthy(shard));
+            };
             if drain_replica(&top, set, shard, source) {
                 break source;
             }
@@ -1390,19 +1661,23 @@ impl ReplicatedImageDatabase {
             // (freshly promoted); drain every leader to its head so the
             // snapshot holds *all* acknowledged writes and the recorded
             // watermark is exact.
+            let mut leaders = Vec::with_capacity(top.sets.len());
             for (shard, set) in top.sets.iter().enumerate() {
-                while !drain_replica(&top, set, shard, set.first_healthy()) {
-                    if set.healthy_count() == 0 {
-                        return Err(DbError::Replica {
-                            reason: format!("shard {shard} has no healthy replica"),
-                        });
+                let leader = loop {
+                    let Some(leader) = set.first_healthy() else {
+                        return Err(ReplicaSet::no_healthy(shard));
+                    };
+                    if drain_replica(&top, set, shard, leader) {
+                        break leader;
                     }
-                }
+                };
+                leaders.push(leader);
             }
             let guards: Vec<_> = top
                 .sets
                 .iter()
-                .map(|set| set.replicas[set.first_healthy()].read())
+                .zip(&leaders)
+                .map(|(set, &leader)| set.replicas[leader].read())
                 .collect();
             let edits: Vec<u64> = top
                 .sets
@@ -1793,7 +2068,14 @@ mod tests {
             assert_eq!(objects.object_count(), 3, "replica {replica}");
         }
         db.remove_object(RecordId(1), &class, mbr).unwrap();
-        assert_eq!(db.get(RecordId(1)).unwrap().symbolic.object_count(), 2);
+        assert_eq!(
+            db.get(RecordId(1))
+                .unwrap()
+                .unwrap()
+                .symbolic
+                .object_count(),
+            2
+        );
         assert!(db
             .add_object(RecordId(77), &class, mbr)
             .is_err_and(|e| matches!(e, DbError::UnknownRecord { id: 77 })));
@@ -1803,13 +2085,13 @@ mod tests {
     fn reads_route_around_failed_replicas() {
         let db = filled(2, 2, 12);
         let query = scene(3);
-        let before = db.search_scene(&query, &QueryOptions::default());
+        let before = db.search_scene(&query, &QueryOptions::default()).unwrap();
 
         db.fail_replica(0, 0).unwrap();
         db.fail_replica(1, 1).unwrap();
         // Every read still answers, from the surviving copies.
         for _ in 0..8 {
-            let hits = db.search_scene(&query, &QueryOptions::default());
+            let hits = db.search_scene(&query, &QueryOptions::default()).unwrap();
             assert_eq!(hits.len(), before.len());
             for (a, b) in before.iter().zip(&hits) {
                 assert_eq!(a.id, b.id);
@@ -1817,7 +2099,7 @@ mod tests {
             }
         }
         assert_eq!(db.len(), 12);
-        assert!(db.get(RecordId(5)).is_some());
+        assert!(db.get(RecordId(5)).unwrap().is_some());
 
         // The last healthy copy of a shard cannot be failed.
         let err = db.fail_replica(0, 1).unwrap_err();
@@ -1944,7 +2226,7 @@ mod tests {
     fn async_and_quorum_rank_bit_identically() {
         let sync = filled(2, 3, 20);
         let query = scene(5);
-        let expect = sync.search_scene(&query, &QueryOptions::default());
+        let expect = sync.search_scene(&query, &QueryOptions::default()).unwrap();
         assert!(!expect.is_empty());
         for mode in [
             ReplicationMode::Quorum,
@@ -1961,7 +2243,7 @@ mod tests {
                 db.insert_scene(&format!("img{i}"), &scene(i % 40)).unwrap();
             }
             db.flush_replication();
-            let hits = db.search_scene(&query, &QueryOptions::default());
+            let hits = db.search_scene(&query, &QueryOptions::default()).unwrap();
             assert_eq!(hits.len(), expect.len(), "{mode:?}");
             for (a, b) in expect.iter().zip(&hits) {
                 assert_eq!(a.id, b.id, "{mode:?}");
@@ -1974,7 +2256,7 @@ mod tests {
                     assert_eq!(replica.lag, 0, "flushed replicas sit at the head");
                 }
             }
-            assert_eq!(db.get(RecordId(0)).unwrap().name, "img0");
+            assert_eq!(db.get(RecordId(0)).unwrap().unwrap().name, "img0");
         }
     }
 
@@ -1999,7 +2281,7 @@ mod tests {
         let sharded_hits = sharded.search_scene(&query, &QueryOptions::default());
         for replicas in [1usize, 2, 3] {
             let db = filled(3, replicas, 30);
-            let hits = db.search_scene(&query, &QueryOptions::default());
+            let hits = db.search_scene(&query, &QueryOptions::default()).unwrap();
             assert_eq!(hits.len(), expect.len());
             for ((a, b), c) in expect.iter().zip(&hits).zip(&sharded_hits) {
                 assert_eq!(a.id, b.id, "{replicas} replicas");
@@ -2025,8 +2307,8 @@ mod tests {
         back.fail_replica(0, 1).unwrap();
         assert_eq!(back.restore_from(&path).unwrap(), 8);
         assert!(back.replica_health().iter().flatten().all(|&h| h));
-        assert!(back.get(RecordId(4)).is_none());
-        assert_eq!(back.get(RecordId(7)).unwrap().name, "img7");
+        assert!(back.get(RecordId(4)).unwrap().is_none());
+        assert_eq!(back.get(RecordId(7)).unwrap().unwrap().name, "img7");
         assert_eq!(back.insert_scene("next", &scene(1)).unwrap(), RecordId(9));
 
         // The snapshot format is interchangeable with the sharded
@@ -2062,16 +2344,59 @@ mod tests {
     }
 
     #[test]
-    fn round_robin_spreads_reads() {
+    fn idle_picker_rotates_and_routes_around_failures() {
         let db = filled(1, 3, 6);
-        // Consecutive picks rotate over the healthy replicas.
+        // With no reads in flight every replica ties at zero
+        // outstanding, so consecutive picks rotate deterministically.
         let top = db.inner.topology.read();
         let set = &top.sets[0];
-        let picks: Vec<usize> = (0..6).map(|_| set.pick()).collect();
+        let picks: Vec<usize> = (0..6).map(|_| set.pick().unwrap()).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
         set.health[1].store(false, Ordering::SeqCst);
-        let picks: Vec<usize> = (0..4).map(|_| set.pick()).collect();
+        let picks: Vec<usize> = (0..4).map(|_| set.pick().unwrap()).collect();
         assert!(picks.iter().all(|&p| p != 1), "failed replica skipped");
+    }
+
+    #[test]
+    fn picker_prefers_least_outstanding_replica() {
+        let db = filled(1, 3, 6);
+        let top = db.inner.topology.read();
+        let set = &top.sets[0];
+        // Replicas 0 and 2 are busy; every pick lands on idle replica 1.
+        set.begin_read(0);
+        set.begin_read(0);
+        set.begin_read(2);
+        for _ in 0..6 {
+            assert_eq!(set.pick().unwrap(), 1, "least-outstanding replica wins");
+        }
+        // Once replica 1 is the busiest, picks spread over the tied rest.
+        set.begin_read(1);
+        set.begin_read(1);
+        set.begin_read(1);
+        set.end_read(0);
+        set.end_read(0);
+        set.end_read(2);
+        let picks: Vec<usize> = (0..6).map(|_| set.pick().unwrap()).collect();
+        assert!(picks.iter().all(|&p| p != 1), "busiest replica avoided");
+        assert!(picks.contains(&0) && picks.contains(&2), "ties rotate");
+    }
+
+    #[test]
+    fn all_failed_pick_returns_none_not_a_failed_copy() {
+        let db = filled(1, 2, 4);
+        let top = db.inner.topology.read();
+        let set = &top.sets[0];
+        // Force the all-failed mid-race state (normally reachable only
+        // through a diverged drain; the last-healthy guard blocks the
+        // admin path).
+        for health in &set.health {
+            health.store(false, Ordering::SeqCst);
+        }
+        assert_eq!(set.pick(), None);
+        assert_eq!(set.first_healthy(), None);
+        let fallback = be2d_metrics::Counter::new();
+        assert_eq!(set.pick_within(0, &fallback), None);
+        assert_eq!(fallback.get(), 0, "no leader to fall back to");
     }
 
     #[test]
@@ -2079,15 +2404,33 @@ mod tests {
         let db = filled(1, 3, 4);
         let top = db.inner.topology.read();
         let set = &top.sets[0];
+        let fallback = be2d_metrics::Counter::new();
         // Pretend replica 2 lags 3 ops behind the head.
         let head = set.head.load(Ordering::SeqCst);
         set.applied[2].store(head - 3, Ordering::SeqCst);
         for _ in 0..6 {
-            assert_ne!(set.pick_within(0), 2, "strict reads skip the laggard");
-            assert_ne!(set.pick_within(2), 2, "lag 3 exceeds the bound of 2");
+            assert_ne!(
+                set.pick_within(0, &fallback).unwrap(),
+                2,
+                "strict reads skip the laggard"
+            );
+            assert_ne!(
+                set.pick_within(2, &fallback).unwrap(),
+                2,
+                "lag 3 exceeds the bound of 2"
+            );
         }
-        let picks: Vec<usize> = (0..6).map(|_| set.pick_within(3)).collect();
+        let picks: Vec<usize> = (0..6)
+            .map(|_| set.pick_within(3, &fallback).unwrap())
+            .collect();
         assert!(picks.contains(&2), "lag within the bound rejoins rotation");
+        assert_eq!(fallback.get(), 0, "an in-sync follower always existed");
+        // Now every follower lags past the bound: the read falls back to
+        // the leader and the fallback counter records it.
+        set.applied[1].store(head - 3, Ordering::SeqCst);
+        set.applied[0].store(head - 3, Ordering::SeqCst);
+        assert_eq!(set.pick_within(0, &fallback), Some(0), "leader fallback");
+        assert_eq!(fallback.get(), 1, "fallback is counted, not silent");
     }
 
     #[test]

@@ -674,14 +674,27 @@ where
     T: Send,
     F: Fn(usize) -> T + Copy + Send + Sync,
 {
+    let order: Vec<usize> = (0..shards).collect();
+    scatter_scan_list(&order, approx_records, scan)
+}
+
+/// [`scatter_scan`] over an explicit shard list — the planner's ordered
+/// scatter dispatches the post-first-wave remainder through this.
+/// Results come back in `shards` order.
+pub(crate) fn scatter_scan_list<T, F>(shards: &[usize], approx_records: usize, scan: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Copy + Send + Sync,
+{
     const SCATTER_MIN_RECORDS: usize = 64;
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     if cores == 1 || approx_records < SCATTER_MIN_RECORDS {
-        (0..shards).map(scan).collect()
+        shards.iter().map(|&shard| scan(shard)).collect()
     } else {
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..shards)
-                .map(|shard| scope.spawn(move || scan(shard)))
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|&shard| scope.spawn(move || scan(shard)))
                 .collect();
             handles
                 .into_iter()

@@ -286,7 +286,7 @@ proptest! {
                 prop_assert_eq!(restored, live.len());
                 prop_assert_eq!(target.len(), live.len());
                 for &i in &live {
-                    let record = target.get(RecordId(i));
+                    let record = target.get(RecordId(i)).unwrap();
                     prop_assert!(record.is_some(), "record {} lost", i);
                     prop_assert_eq!(record.unwrap().name, format!("img-{i}"));
                 }
@@ -302,7 +302,7 @@ proptest! {
                 if damage == Damage::None {
                     prop_assert!(next.index() >= records.max(3), "{:?}", next);
                 }
-                prop_assert!(target.get(next).is_some());
+                prop_assert!(target.get(next).unwrap().is_some());
             }
             Err(e) => {
                 prop_assert!(!expect_ok, "valid manifest rejected: {e}");
@@ -310,7 +310,7 @@ proptest! {
                 // is exactly as it was.
                 prop_assert_eq!(target.len(), 3, "partial restore after {}", e);
                 for i in 0..3usize {
-                    let record = target.get(RecordId(i));
+                    let record = target.get(RecordId(i)).unwrap();
                     prop_assert!(record.is_some());
                     prop_assert_eq!(record.unwrap().name, format!("busy-{i}"));
                 }

@@ -5,7 +5,8 @@
 //! recovered corpus must rank bit-identically to one built live.
 
 use be2d_db::{
-    QueryOptions, RecordId, ReplicaConfig, ReplicatedImageDatabase, ReplicationMode, WalConfig,
+    PlannerMode, QueryOptions, RecordId, ReplicaConfig, ReplicatedImageDatabase, ReplicationMode,
+    WalConfig,
 };
 use be2d_geometry::{ObjectClass, Rect, Scene, SceneBuilder};
 use std::io::Write;
@@ -37,6 +38,7 @@ fn wal_config(shards: usize, dir: &Path, fsync_every: u64) -> ReplicaConfig {
         replicas: 1,
         mode: ReplicationMode::Sync,
         oplog_window: 256,
+        planner: PlannerMode::default(),
         wal: Some(WalConfig {
             dir: dir.to_path_buf(),
             fsync_every,
@@ -75,16 +77,19 @@ fn reboot_replays_every_acknowledged_write() {
 
     let back = ReplicatedImageDatabase::with_config(wal_config(2, &dir, 1)).unwrap();
     assert_eq!(back.len(), 11);
-    assert!(back.get(RecordId(5)).is_none());
+    assert!(back.get(RecordId(5)).unwrap().is_none());
     for i in (0..12).filter(|&i| i != 5) {
-        assert_eq!(back.get(RecordId(i)).unwrap().name, format!("img-{i}"));
+        assert_eq!(
+            back.get(RecordId(i)).unwrap().unwrap().name,
+            format!("img-{i}")
+        );
     }
     assert!(back.oplog_stats().wal.expect("wal on").recovered >= 14);
 
     let options = QueryOptions::default();
     for probe in 0..12 {
-        let a = reference.search_scene(&scene(probe), &options);
-        let b = back.search_scene(&scene(probe), &options);
+        let a = reference.search_scene(&scene(probe), &options).unwrap();
+        let b = back.search_scene(&scene(probe), &options).unwrap();
         assert_eq!(a.len(), b.len(), "probe {probe}");
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.id, y.id, "probe {probe}");
@@ -121,7 +126,10 @@ fn torn_tail_is_healed_and_prefix_replays() {
     let back = ReplicatedImageDatabase::with_config(wal_config(1, &dir, 1)).unwrap();
     assert_eq!(back.len(), 6);
     for i in 0..6 {
-        assert_eq!(back.get(RecordId(i)).unwrap().name, format!("img-{i}"));
+        assert_eq!(
+            back.get(RecordId(i)).unwrap().unwrap().name,
+            format!("img-{i}")
+        );
     }
     let wal_stats = back.oplog_stats().wal.expect("wal on");
     assert_eq!(wal_stats.healed_tails, 1);
@@ -158,7 +166,10 @@ fn checkpoint_bounds_replay_to_the_tail() {
     let back = ReplicatedImageDatabase::with_config(wal_config(2, &dir, 1)).unwrap();
     assert_eq!(back.len(), 13);
     for i in 0..13 {
-        assert_eq!(back.get(RecordId(i)).unwrap().name, format!("img-{i}"));
+        assert_eq!(
+            back.get(RecordId(i)).unwrap().unwrap().name,
+            format!("img-{i}")
+        );
     }
     // Exactly the three post-checkpoint inserts replayed; the first ten
     // came from the anchor snapshot.
@@ -178,6 +189,7 @@ fn async_mode_with_wal_survives_reboot() {
             replicas: 2,
             mode: ReplicationMode::Async { max_lag: 8 },
             oplog_window: 256,
+            planner: PlannerMode::default(),
             wal: Some(WalConfig {
                 dir: dir.clone(),
                 fsync_every: 1,
@@ -202,6 +214,7 @@ fn async_mode_with_wal_survives_reboot() {
         replicas: 2,
         mode: ReplicationMode::Async { max_lag: 8 },
         oplog_window: 256,
+        planner: PlannerMode::default(),
         wal: Some(WalConfig {
             dir: dir.clone(),
             fsync_every: 4,
@@ -210,7 +223,10 @@ fn async_mode_with_wal_survives_reboot() {
     .unwrap();
     assert_eq!(back.len(), 9);
     for i in 0..9 {
-        assert_eq!(back.get(RecordId(i)).unwrap().name, format!("img-{i}"));
+        assert_eq!(
+            back.get(RecordId(i)).unwrap().unwrap().name,
+            format!("img-{i}")
+        );
     }
     std::fs::remove_dir_all(&dir).ok();
 }

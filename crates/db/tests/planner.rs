@@ -6,7 +6,8 @@
 //! provable skips, never a racy one.
 
 use be2d_db::{
-    CandidateSource, PrefilterMode, QueryOptions, RecordId, ReplicatedImageDatabase, Resharder,
+    CandidateSource, CandidateStrategy, PlannerMode, PrefilterMode, QueryOptions, RecordId,
+    ReplicaConfig, ReplicatedImageDatabase, ReplicationMode, Resharder,
 };
 use be2d_geometry::{ObjectClass, Rect, Scene, SceneBuilder};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -47,25 +48,25 @@ fn planner_skipped_tracks_posting_changes_exactly() {
     let options = all_classes_options();
 
     // No Q anywhere: all four shards are provably empty for the query.
-    assert!(db.search_scene(&query, &options).is_empty());
+    assert!(db.search_scene(&query, &options).unwrap().is_empty());
     assert_eq!(db.planner_skipped(), 4);
 
     // Q lands on record 0 → shard 0: exactly three shards skippable.
     db.add_object(RecordId(0), &q, mbr).unwrap();
-    let hits = db.search_scene(&query, &options);
+    let hits = db.search_scene(&query, &options).unwrap();
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].id, RecordId(0));
     assert_eq!(db.planner_skipped(), 4 + 3);
 
     // A second Q on record 5 → shard 1: two shards skippable.
     db.add_object(RecordId(5), &q, mbr).unwrap();
-    assert_eq!(db.search_scene(&query, &options).len(), 2);
+    assert_eq!(db.search_scene(&query, &options).unwrap().len(), 2);
     assert_eq!(db.planner_skipped(), 4 + 3 + 2);
 
     // Removing the §3.2 objects restores full pruning.
     db.remove_object(RecordId(0), &q, mbr).unwrap();
     db.remove_object(RecordId(5), &q, mbr).unwrap();
-    assert!(db.search_scene(&query, &options).is_empty());
+    assert!(db.search_scene(&query, &options).unwrap().is_empty());
     assert_eq!(db.planner_skipped(), 4 + 3 + 2 + 4);
 
     // Scan-mode candidates are never pruned.
@@ -73,7 +74,7 @@ fn planner_skipped_tracks_posting_changes_exactly() {
         candidates: CandidateSource::Scan,
         ..all_classes_options()
     };
-    let _ = db.search_scene(&query, &scan);
+    let _ = db.search_scene(&query, &scan).unwrap();
     assert_eq!(db.planner_skipped(), 13, "scan mode must not skip");
 }
 
@@ -140,9 +141,9 @@ fn concurrent_edits_never_prune_a_contributing_shard() {
             let (all, any) = (&all, &any);
             scope.spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
-                    let hits = db.search_scene(a_query, all);
+                    let hits = db.search_scene(a_query, all).unwrap();
                     assert_eq!(hits.len(), 24, "an A-record vanished mid-toggle");
-                    let hits = db.search_scene(aq_query, any);
+                    let hits = db.search_scene(aq_query, any).unwrap();
                     assert!(
                         hits.iter().any(|h| h.id == toggled),
                         "the toggled record was pruned out of an any-class union"
@@ -182,6 +183,396 @@ fn concurrent_edits_never_prune_a_contributing_shard() {
         .build()
         .unwrap();
     let before = db.planner_skipped();
-    assert!(db.search_scene(&q_query, &all).is_empty());
+    assert!(db.search_scene(&q_query, &all).unwrap().is_empty());
     assert_eq!(db.planner_skipped(), before + 7);
+}
+
+// ---------------------------------------------------------------------
+// Planner v2: the selectivity-ordered scatter, per-shard candidate
+// strategy, and least-outstanding replica picker must be pure execution
+// optimisations — every ranking stays bit-identical to the naive
+// index-order scatter, whatever the topology, mid-reshard, and with
+// replicas failed.
+// ---------------------------------------------------------------------
+
+fn with_planner(shards: usize, replicas: usize, planner: PlannerMode) -> ReplicatedImageDatabase {
+    ReplicatedImageDatabase::with_config(ReplicaConfig {
+        shards,
+        replicas,
+        mode: ReplicationMode::Sync,
+        oplog_window: 512,
+        planner,
+        wal: None,
+    })
+    .expect("in-memory topology always opens")
+}
+
+/// A skewed corpus: every record carries the hot class `H`, a minority
+/// carry the rare class `R`, and positions vary so scores differ. The
+/// skew is what gives planner v2 something to order and a dense-scan
+/// opportunity (H's posting covers each shard).
+fn skewed_scene(i: i64) -> Scene {
+    let x = (i * 7) % 80;
+    let y = (i * 13) % 70;
+    let mut b = SceneBuilder::new(200, 200)
+        .object("H", (x, x + 12, y, y + 10))
+        .object("B", ((i * 3) % 60 + 20, (i * 3) % 60 + 40, 100, 130));
+    if i % 7 == 0 {
+        b = b.object("R", (x + 2, x + 6, y + 2, y + 6));
+    }
+    b.build().unwrap()
+}
+
+fn fill_skewed(db: &ReplicatedImageDatabase, n: i64) {
+    for i in 0..n {
+        db.insert_scene(&format!("img-{i}"), &skewed_scene(i))
+            .unwrap();
+    }
+}
+
+/// Queries hitting the rare class (high selectivity), the hot class
+/// (dense postings), both, and a class the corpus lacks.
+fn planner_queries() -> Vec<Scene> {
+    let rare = SceneBuilder::new(200, 200)
+        .object("R", (2, 6, 2, 6))
+        .build()
+        .unwrap();
+    let hot = SceneBuilder::new(200, 200)
+        .object("H", (0, 12, 0, 10))
+        .build()
+        .unwrap();
+    let both = SceneBuilder::new(200, 200)
+        .object("H", (7, 19, 13, 23))
+        .object("R", (9, 13, 15, 19))
+        .build()
+        .unwrap();
+    let absent = SceneBuilder::new(200, 200)
+        .object("Z", (0, 5, 0, 5))
+        .build()
+        .unwrap();
+    vec![rare, hot, both, absent]
+}
+
+/// The option battery: every combination the planner treats
+/// differently — index walk vs scan candidates, any/all prefilter,
+/// exhaustive vs two-stage, unbounded vs top-k.
+fn option_battery() -> Vec<(&'static str, QueryOptions)> {
+    let index_all = QueryOptions {
+        prefilter: PrefilterMode::AllClasses,
+        candidates: CandidateSource::ClassIndex,
+        top_k: None,
+        ..QueryOptions::default()
+    };
+    vec![
+        ("default", QueryOptions::default()),
+        ("index-all", index_all.clone()),
+        (
+            "index-any-topk",
+            QueryOptions {
+                prefilter: PrefilterMode::AnyClass,
+                top_k: Some(10),
+                ..index_all.clone()
+            },
+        ),
+        (
+            "index-all-two-stage",
+            QueryOptions {
+                top_k: Some(8),
+                ..index_all.clone()
+            }
+            .with_two_stage(4),
+        ),
+        (
+            "scan-all-two-stage",
+            QueryOptions {
+                candidates: CandidateSource::Scan,
+                top_k: Some(6),
+                ..index_all.clone()
+            }
+            .with_two_stage(8),
+        ),
+        ("serving", QueryOptions::serving()),
+    ]
+}
+
+fn assert_identical(naive: &ReplicatedImageDatabase, v2: &ReplicatedImageDatabase, when: &str) {
+    for (label, options) in option_battery() {
+        for (qi, query) in planner_queries().iter().enumerate() {
+            let expect = naive.search_scene(query, &options).unwrap();
+            let got = v2.search_scene(query, &options).unwrap();
+            assert_eq!(expect.len(), got.len(), "{when}: {label} q{qi} length");
+            for (rank, (a, b)) in expect.iter().zip(&got).enumerate() {
+                assert_eq!(a.id, b.id, "{when}: {label} q{qi} rank {rank}");
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "{when}: {label} q{qi} rank {rank} score bits"
+                );
+            }
+        }
+    }
+}
+
+/// The headline invariant: across topologies, with and without failed
+/// replicas, planner v2 returns bit-identical rankings to the naive
+/// scatter for the whole option battery.
+#[test]
+fn v2_rankings_bit_identical_to_naive_across_topologies() {
+    for (shards, replicas) in [(1usize, 1usize), (2, 2), (4, 1), (3, 3), (5, 2)] {
+        let naive = with_planner(shards, replicas, PlannerMode::Naive);
+        let v2 = with_planner(shards, replicas, PlannerMode::V2);
+        fill_skewed(&naive, 56);
+        fill_skewed(&v2, 56);
+        assert_identical(&naive, &v2, &format!("{shards}x{replicas}"));
+
+        if replicas > 1 {
+            for shard in 0..shards {
+                naive.fail_replica(shard, shard % replicas).unwrap();
+                v2.fail_replica(shard, (shard + 1) % replicas).unwrap();
+            }
+            assert_identical(&naive, &v2, &format!("{shards}x{replicas} degraded"));
+        }
+    }
+}
+
+/// Mid-reshard identity: while the v2 database migrates 4 → 7 shards,
+/// every checkpoint's rankings still match a naive database that never
+/// resharded — and the quiesced end state matches too.
+#[test]
+fn v2_stays_bit_identical_mid_reshard() {
+    let naive = with_planner(4, 2, PlannerMode::Naive);
+    let v2 = with_planner(4, 2, PlannerMode::V2);
+    fill_skewed(&naive, 48);
+    fill_skewed(&v2, 48);
+
+    let mut checkpoints = 0;
+    Resharder::new(&v2)
+        .batch_ids(5)
+        .run_with_checkpoints(7, |_| {
+            assert_identical(&naive, &v2, "mid-reshard checkpoint");
+            checkpoints += 1;
+        })
+        .unwrap();
+    assert!(checkpoints >= 5, "reshard actually checkpointed");
+    assert_eq!(v2.shard_count(), 7);
+    assert_identical(&naive, &v2, "after reshard");
+}
+
+/// The ordered scatter engages exactly when a cross-shard threshold
+/// exists, and the trace exposes the plan: a permutation of visit
+/// positions, one sequenced first wave on the most selective shard,
+/// and selectivity estimates. Naive mode reports an unordered plan.
+#[test]
+fn ordered_scatter_engages_and_traces_the_plan() {
+    let v2 = with_planner(4, 1, PlannerMode::V2);
+    fill_skewed(&v2, 48);
+    let query = &planner_queries()[2]; // H + R: selectivity differs per shard
+    let staged = QueryOptions {
+        prefilter: PrefilterMode::AllClasses,
+        candidates: CandidateSource::ClassIndex,
+        top_k: Some(5),
+        ..QueryOptions::default()
+    }
+    .with_two_stage(4);
+
+    let before = v2.metrics().planner_ordered_scatters.get();
+    let (_, trace) = v2.search_scene_traced(query, &staged).unwrap();
+    assert!(trace.ordered, "threshold present => ordered scatter");
+    assert_eq!(v2.metrics().planner_ordered_scatters.get(), before + 1);
+
+    // Trace entries stay in shard order; their `order` fields form a
+    // permutation and exactly one shard is the sequenced first wave —
+    // the one the planner estimated most selective.
+    let shards: Vec<usize> = trace.shards.iter().map(|s| s.shard).collect();
+    assert_eq!(shards, vec![0, 1, 2, 3]);
+    let mut orders: Vec<usize> = trace.shards.iter().map(|s| s.order).collect();
+    orders.sort_unstable();
+    assert_eq!(orders, vec![0, 1, 2, 3]);
+    let first: Vec<&_> = trace.shards.iter().filter(|s| s.first_wave).collect();
+    assert_eq!(first.len(), 1, "exactly one sequenced first wave");
+    assert_eq!(first[0].order, 0, "the first wave is visited first");
+    // The first wave is the smallest shard that can still fill top-k
+    // (seed a k-th score); with no such shard, the global minimum.
+    let k = 5;
+    let seed_est = trace
+        .shards
+        .iter()
+        .map(|s| s.est_candidates)
+        .filter(|&est| est >= k)
+        .min()
+        .or_else(|| trace.shards.iter().map(|s| s.est_candidates).min())
+        .unwrap();
+    assert_eq!(
+        first[0].est_candidates, seed_est,
+        "first wave = most selective shard that can seed the threshold"
+    );
+
+    // No threshold (exhaustive search) => nothing to tighten, no
+    // ordering; and naive mode never orders even with a threshold.
+    let (_, trace) = v2
+        .search_scene_traced(query, &option_battery()[1].1)
+        .unwrap();
+    assert!(!trace.ordered, "no threshold => no ordered scatter");
+
+    let naive = with_planner(4, 1, PlannerMode::Naive);
+    fill_skewed(&naive, 48);
+    let (_, trace) = naive.search_scene_traced(query, &staged).unwrap();
+    assert!(!trace.ordered);
+    for s in &trace.shards {
+        assert_eq!(s.order, s.shard, "naive visits in index order");
+        assert!(!s.first_wave);
+        assert_eq!(s.strategy, CandidateStrategy::IndexWalk);
+    }
+}
+
+/// Selectivity-driven strategy: a hot-class query (postings covering
+/// the shard) runs as a dense scan, a rare-class query walks the
+/// postings — and both answer bit-identically to naive mode.
+#[test]
+fn dense_scan_strategy_engages_on_dense_postings_only() {
+    let v2 = with_planner(3, 1, PlannerMode::V2);
+    fill_skewed(&v2, 42);
+    let options = QueryOptions {
+        prefilter: PrefilterMode::AllClasses,
+        candidates: CandidateSource::ClassIndex,
+        top_k: Some(10),
+        ..QueryOptions::default()
+    };
+
+    // Hot class: every record in every shard carries H, so the planner
+    // must choose the dense scan everywhere.
+    let before = v2.metrics().planner_dense_scans.get();
+    let (_, trace) = v2
+        .search_scene_traced(&planner_queries()[1], &options)
+        .unwrap();
+    for s in &trace.shards {
+        assert_eq!(
+            s.strategy,
+            CandidateStrategy::DenseScan,
+            "shard {}",
+            s.shard
+        );
+    }
+    assert_eq!(v2.metrics().planner_dense_scans.get(), before + 3);
+
+    // Rare class: sparse postings walk the index.
+    let (_, trace) = v2
+        .search_scene_traced(&planner_queries()[0], &options)
+        .unwrap();
+    for s in &trace.shards {
+        if !s.skipped {
+            assert_eq!(
+                s.strategy,
+                CandidateStrategy::IndexWalk,
+                "shard {}",
+                s.shard
+            );
+        }
+    }
+}
+
+/// Satellite: bounded-lag reads under `async` replication during a
+/// live reshard. A read acknowledged at the leader must be visible to
+/// the very next search — if the picker ever served a follower beyond
+/// the lag bound, the freshly inserted record would vanish. Once
+/// drained, picks spread across the in-sync copies, and admin fault
+/// injection can never fail a shard's last copy out from under reads.
+#[test]
+fn async_bounded_reads_stay_exact_during_live_reshard() {
+    let db = ReplicatedImageDatabase::with_config(ReplicaConfig {
+        shards: 3,
+        replicas: 3,
+        mode: ReplicationMode::Async { max_lag: 0 },
+        oplog_window: 512,
+        planner: PlannerMode::V2,
+        wal: None,
+    })
+    .unwrap();
+    fill_skewed(&db, 30);
+
+    let options = QueryOptions {
+        prefilter: PrefilterMode::AllClasses,
+        candidates: CandidateSource::ClassIndex,
+        top_k: None,
+        ..QueryOptions::default()
+    };
+    let probe = SceneBuilder::new(200, 200)
+        .object("P", (0, 8, 0, 8))
+        .build()
+        .unwrap();
+
+    let inserted = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let db2 = db.clone();
+        let (inserted_ref, stop_ref) = (&inserted, &stop);
+        let (probe_ref, options_ref) = (&probe, &options);
+        let reader = scope.spawn(move || {
+            let mut rounds = 0usize;
+            while !stop_ref.load(Ordering::Relaxed) {
+                // Every acked P-record must be in the result: a read
+                // routed to a follower lagging past the bound would
+                // miss the newest ones.
+                let floor = inserted_ref.load(Ordering::Acquire);
+                let hits = db2.search_scene(probe_ref, options_ref).unwrap();
+                assert!(
+                    hits.len() >= floor,
+                    "bounded read lost acked writes: {} < {floor}",
+                    hits.len()
+                );
+                rounds += 1;
+            }
+            rounds
+        });
+
+        // Writer keeps appending probe records while the reshard runs.
+        for i in 0..40 {
+            db.insert_scene(&format!("probe-{i}"), &probe).unwrap();
+            inserted.fetch_add(1, Ordering::Release);
+            if i == 10 {
+                Resharder::new(&db).batch_ids(7).run(5).unwrap();
+            }
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::SeqCst);
+        assert!(reader.join().unwrap() > 0, "reader actually raced");
+    });
+    assert_eq!(db.shard_count(), 5);
+
+    // Quiesced and drained: every copy is in-sync, and the idle picker
+    // rotates reads across them rather than pinning one replica. A
+    // follower failed out of rotation here would betray a reshard step
+    // that stamped (or moved) a lagging copy without draining it first.
+    db.flush_replication();
+    for (shard, rep) in db.replication_stats().shards.iter().enumerate() {
+        for (r, lag) in rep.replicas.iter().enumerate() {
+            assert!(lag.healthy, "shard {shard} replica {r} fell out: {lag:?}");
+            assert_eq!(lag.lag, 0, "shard {shard} replica {r} lagging: {lag:?}");
+        }
+    }
+    let mut used: Vec<std::collections::HashSet<usize>> = vec![Default::default(); 5];
+    for _ in 0..12 {
+        let (_, trace) = db.search_scene_traced(&probe, &options).unwrap();
+        for s in &trace.shards {
+            used[s.shard].insert(s.replica);
+        }
+    }
+    for (shard, replicas) in used.iter().enumerate() {
+        if !replicas.is_empty() {
+            assert!(
+                replicas.len() >= 2,
+                "shard {shard} pinned replica {replicas:?} while idle; stats: {:?}",
+                db.replication_stats()
+            );
+        }
+    }
+
+    // The all-failed race is a drain-divergence unit concern (covered
+    // in replica.rs); through the admin surface the last healthy copy
+    // is explicitly unfailable, so reads always have a replica left.
+    db.fail_replica(0, 0).unwrap();
+    db.fail_replica(0, 1).unwrap();
+    let err = db.fail_replica(0, 2).unwrap_err();
+    assert!(err.to_string().contains("last healthy"), "{err}");
+    assert!(!db.search_scene(&probe, &options).unwrap().is_empty());
 }

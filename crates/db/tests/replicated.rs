@@ -135,7 +135,7 @@ fn replicated_ranking_is_bit_identical_to_unreplicated() {
         for (label, options) in option_variants() {
             for (qi, query) in queries.iter().enumerate() {
                 let expect = single.search_scene(query, &options);
-                let got = replicated.search_scene(query, &options);
+                let got = replicated.search_scene(query, &options).unwrap();
                 assert_eq!(
                     expect.len(),
                     got.len(),
@@ -175,7 +175,7 @@ fn ranking_is_identical_with_replicas_failed() {
     for round in 0..4 {
         for query in &queries {
             let expect = single.search_scene(query, &options);
-            let got = replicated.search_scene(query, &options);
+            let got = replicated.search_scene(query, &options).unwrap();
             assert_eq!(expect.len(), got.len(), "round {round}");
             for (a, b) in expect.iter().zip(&got) {
                 assert_eq!(a.id, b.id);
@@ -211,7 +211,9 @@ fn replica_loss_under_concurrent_writes() {
             readers.push(scope.spawn(move || {
                 let mut total = 0usize;
                 for round in 0..40 {
-                    let hits = db.search_scene(&queries[(reader + round) % queries.len()], options);
+                    let hits = db
+                        .search_scene(&queries[(reader + round) % queries.len()], options)
+                        .unwrap();
                     assert!(hits.len() <= 20);
                     let mut seen = std::collections::HashSet::new();
                     for window in hits.windows(2) {
@@ -314,7 +316,7 @@ fn rebuild_then_rejoin_is_consistent() {
     };
     for query in corpus(0x77, 6) {
         let expect = single.search_scene(&query, &options);
-        let got = replicated.search_scene(&query, &options);
+        let got = replicated.search_scene(&query, &options).unwrap();
         assert_eq!(expect.len(), got.len());
         for (a, b) in expect.iter().zip(&got) {
             assert_eq!(a.id, b.id);

@@ -56,7 +56,7 @@ fn query_battery() -> Vec<(Scene, QueryOptions)> {
 fn assert_bit_identical(reference: &ImageDatabase, db: &ReplicatedImageDatabase, when: &str) {
     for (i, (query, options)) in query_battery().iter().enumerate() {
         let expect = reference.search_scene(query, options);
-        let hits = db.search_scene(query, options);
+        let hits = db.search_scene(query, options).unwrap();
         assert_eq!(expect.len(), hits.len(), "{when}: query {i} length");
         for (rank, (a, b)) in expect.iter().zip(&hits).enumerate() {
             assert_eq!(a.id, b.id, "{when}: query {i} rank {rank}");
@@ -229,7 +229,7 @@ fn mid_migration_rankings_match_reference_under_concurrent_writes() {
     // Quiesced end state: still bit-identical, and still serving.
     assert_bit_identical(&reference.lock().unwrap(), &db, "after both reshards");
     let next = db.insert_scene("post", &varied_scene(5)).unwrap();
-    assert!(db.get(next).is_some());
+    assert!(db.get(next).unwrap().is_some());
 }
 
 /// Fault-injection satellite: one replica per shard dies mid-reshard,
@@ -292,7 +292,9 @@ fn replica_killed_mid_reshard_heals_onto_new_topology() {
         db.fail_replica(shard, 0).unwrap();
         db.fail_replica(shard, 2).unwrap();
     }
-    let hits = db.search_scene(&varied_scene(4), &QueryOptions::default());
+    let hits = db
+        .search_scene(&varied_scene(4), &QueryOptions::default())
+        .unwrap();
     assert!(!hits.is_empty());
 }
 
@@ -318,7 +320,9 @@ fn concurrent_searches_stay_consistent_through_grow_and_shrink() {
                 let options = QueryOptions::default();
                 let mut i = reader;
                 while !stop.load(Ordering::Relaxed) {
-                    let hits = db.search_scene(&varied_scene((i % 30) as i64), &options);
+                    let hits = db
+                        .search_scene(&varied_scene((i % 30) as i64), &options)
+                        .unwrap();
                     let mut seen = std::collections::HashSet::new();
                     for window in hits.windows(2) {
                         let ordered = window[0].score > window[1].score
@@ -380,7 +384,7 @@ fn concurrent_searches_stay_consistent_through_grow_and_shrink() {
     // All seed records survived the round trip.
     for i in 0..90 {
         assert_eq!(
-            db.get(RecordId(i)).unwrap().name,
+            db.get(RecordId(i)).unwrap().unwrap().name,
             format!("seed-{i}"),
             "seed record {i}"
         );
@@ -426,7 +430,7 @@ fn mid_migration_snapshot_restores_exactly() {
         let back = ReplicatedImageDatabase::with_topology(shards, replicas);
         assert_eq!(back.restore_from(&path).unwrap(), 49, "{shards}x{replicas}");
         for i in 0..50usize {
-            match (i, back.get(RecordId(i))) {
+            match (i, back.get(RecordId(i)).unwrap()) {
                 (17, found) => assert!(found.is_none()),
                 (_, Some(record)) => assert_eq!(record.name, format!("seed-{i}")),
                 (_, None) => panic!("record {i} lost restoring into {shards}x{replicas}"),

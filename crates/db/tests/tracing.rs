@@ -57,8 +57,8 @@ fn traced_search_is_bit_identical_to_untraced() {
     let (db, scenes) = populated(4, 2, 120);
     let options = QueryOptions::default();
     for scene in scenes.iter().take(25) {
-        let plain = db.search_scene(scene, &options);
-        let (traced, _) = db.search_scene_traced(scene, &options);
+        let plain = db.search_scene(scene, &options).unwrap();
+        let (traced, _) = db.search_scene_traced(scene, &options).unwrap();
         assert_eq!(plain.len(), traced.len());
         for (a, b) in plain.iter().zip(&traced) {
             assert_eq!(a.id, b.id);
@@ -82,7 +82,7 @@ fn trace_stages_nest_inside_the_total() {
         ..QueryOptions::default()
     };
     for scene in scenes.iter().take(10) {
-        let (hits, trace) = db.search_scene_traced(scene, &options);
+        let (hits, trace) = db.search_scene_traced(scene, &options).unwrap();
         assert!(
             trace.stage_sum_ns() <= trace.total_ns,
             "stage sum {} must fit in total {}",
@@ -105,7 +105,9 @@ fn trace_stages_nest_inside_the_total() {
 #[test]
 fn single_shard_trace_has_one_entry() {
     let (db, scenes) = populated(1, 1, 40);
-    let (_, trace) = db.search_scene_traced(&scenes[0], &QueryOptions::default());
+    let (_, trace) = db
+        .search_scene_traced(&scenes[0], &QueryOptions::default())
+        .unwrap();
     assert_eq!(trace.shards.len(), 1);
     assert_eq!(trace.planner_ns, 0);
     assert_eq!(trace.gather_ns, 0);
@@ -121,7 +123,7 @@ fn metrics_observe_traffic() {
     assert_eq!(m.oplog_append.snapshot().count, 80, "one append per insert");
     let before = m.search_total.snapshot().count;
     for scene in scenes.iter().take(5) {
-        let _ = db.search_scene(scene, &QueryOptions::default());
+        let _ = db.search_scene(scene, &QueryOptions::default()).unwrap();
     }
     let total = m.search_total.snapshot();
     assert_eq!(total.count, before + 5);

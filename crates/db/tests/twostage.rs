@@ -192,7 +192,7 @@ fn replicated_database_matches_exhaustive_even_with_failed_replicas() {
         db.insert_scene(&name, &scene).unwrap();
     }
     assert_two_stage_equivalent(
-        |q, o| db.search_scene(q, o),
+        |q, o| db.search_scene(q, o).unwrap(),
         &battery_queries(),
         "replicated-3x2",
     );
@@ -201,7 +201,7 @@ fn replicated_database_matches_exhaustive_even_with_failed_replicas() {
         db.fail_replica(shard, (shard + 1) % 2).unwrap();
     }
     assert_two_stage_equivalent(
-        |q, o| db.search_scene(q, o),
+        |q, o| db.search_scene(q, o).unwrap(),
         &battery_queries(),
         "replicated-3x2-degraded",
     );
@@ -249,8 +249,10 @@ fn equivalence_survives_incremental_edits() {
             ..QueryOptions::default()
         };
         for (qi, query) in queries.iter().enumerate() {
-            let exhaustive = db.search_scene(query, &options);
-            let staged = db.search_scene(query, &options.clone().with_two_stage(4));
+            let exhaustive = db.search_scene(query, &options).unwrap();
+            let staged = db
+                .search_scene(query, &options.clone().with_two_stage(4))
+                .unwrap();
             assert_hits_identical(&exhaustive, &staged, &format!("edit step {step} q{qi}"));
         }
     }
@@ -275,8 +277,10 @@ fn equivalence_holds_at_every_reshard_checkpoint() {
             .batch_ids(batch)
             .run_with_checkpoints(target, |_| {
                 for (qi, query) in queries.iter().enumerate() {
-                    let exhaustive = db.search_scene(query, &options);
-                    let staged = db.search_scene(query, &options.clone().with_two_stage(8));
+                    let exhaustive = db.search_scene(query, &options).unwrap();
+                    let staged = db
+                        .search_scene(query, &options.clone().with_two_stage(8))
+                        .unwrap();
                     assert_hits_identical(
                         &exhaustive,
                         &staged,
@@ -350,7 +354,7 @@ fn traces_carry_stage_counts_across_shards() {
         ..QueryOptions::default()
     }
     .with_two_stage(8);
-    let (hits, trace) = db.search_scene_traced(&query, &options);
+    let (hits, trace) = db.search_scene_traced(&query, &options).unwrap();
     assert_eq!(hits.len(), 4);
     let scored: usize = trace.shards.iter().map(|s| s.scored).sum();
     let pruned: usize = trace.shards.iter().map(|s| s.bound_pruned).sum();
@@ -366,6 +370,7 @@ fn traces_carry_stage_counts_across_shards() {
             ..QueryOptions::default()
         },
     );
+    let exhaustive = exhaustive.unwrap();
     assert_hits_identical(&exhaustive, &hits, "traced scatter");
 
     let m = db.metrics();

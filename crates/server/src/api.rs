@@ -652,6 +652,17 @@ pub struct ShardTraceDto {
     pub shard: usize,
     /// Replica the read picker chose.
     pub replica: usize,
+    /// Position in the planner's visit order (0 = scanned first;
+    /// equal to `shard` under the naive index-order scatter).
+    pub order: usize,
+    /// Whether this shard formed the sequenced first wave of a
+    /// selectivity-ordered scatter.
+    pub first_wave: bool,
+    /// Candidate strategy executed on this shard: `"index-walk"` or
+    /// `"dense-scan"`.
+    pub strategy: String,
+    /// The planner's candidate-count estimate for this shard.
+    pub est_candidates: usize,
     /// Whether the planner skipped the scan entirely.
     pub skipped: bool,
     /// Hits the shard contributed before the merge.
@@ -677,7 +688,11 @@ pub struct TraceDto {
     pub gather_ms: f64,
     /// End-to-end search duration.
     pub total_ms: f64,
-    /// One entry per shard.
+    /// Whether planner v2 ordered this scatter by per-shard
+    /// selectivity (sequencing the most selective shard first).
+    pub ordered: bool,
+    /// One entry per shard, in shard-index order (each entry's
+    /// `order` field records its position in the plan).
     pub shards: Vec<ShardTraceDto>,
 }
 
@@ -690,12 +705,17 @@ impl TraceDto {
             scatter_ms: ns_to_ms(trace.scatter_ns),
             gather_ms: ns_to_ms(trace.gather_ns),
             total_ms: ns_to_ms(trace.total_ns),
+            ordered: trace.ordered,
             shards: trace
                 .shards
                 .iter()
                 .map(|s| ShardTraceDto {
                     shard: s.shard,
                     replica: s.replica,
+                    order: s.order,
+                    first_wave: s.first_wave,
+                    strategy: s.strategy.to_string(),
+                    est_candidates: s.est_candidates,
                     skipped: s.skipped,
                     hits: s.hits,
                     scored: s.scored,
@@ -925,6 +945,11 @@ pub struct ReplicationSection {
     pub catchup_clones: u64,
     /// Lagging-follower drains performed by writers to free log space.
     pub writer_drains: u64,
+    /// Bounded-lag reads that found no in-sync follower and silently
+    /// fell back to the leader. A sustained rise under async
+    /// replication means followers cannot keep up with the configured
+    /// lag bound.
+    pub fallback_reads: u64,
 }
 
 /// One shard's replication positions.
@@ -950,8 +975,15 @@ pub struct ReplicaLagDto {
 /// `/v1/stats` planner section.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PlannerSection {
+    /// The scatter planner in effect: `"v2"` or `"naive"`.
+    pub mode: String,
     /// Shards the scatter planner skipped since boot.
     pub skipped: u64,
+    /// Multi-shard searches run with a selectivity-ordered scatter.
+    pub ordered_scatters: u64,
+    /// Per-shard scans where the planner chose the dense-scan
+    /// candidate strategy over the posting walk.
+    pub dense_scans: u64,
 }
 
 /// `/v1/stats` reshard section.

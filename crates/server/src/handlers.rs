@@ -419,7 +419,13 @@ fn search(state: &AppState, body: &Value) -> Result<Response, ApiError> {
     // search, and tracing is the only search implementation, so the
     // rankings cannot depend on whether the breakdown is returned.
     let (kind, (hits, trace)) = match &req.query {
-        SearchQuery::Scene(scene) => ("scene", state.db.search_scene_traced(scene, &req.options)),
+        SearchQuery::Scene(scene) => (
+            "scene",
+            state
+                .db
+                .search_scene_traced(scene, &req.options)
+                .map_err(|e| ApiError::from_db(&e))?,
+        ),
         SearchQuery::Text { u, v } => (
             "text",
             state
@@ -438,7 +444,10 @@ fn search_sketch(state: &AppState, body: &Value) -> Result<Response, ApiError> {
     let scene = Sketch::parse(&req.sketch)
         .and_then(|s| s.to_scene())
         .map_err(|e| ApiError::from_db(&e))?;
-    let (hits, trace) = state.db.search_scene_traced(&scene, &req.options);
+    let (hits, trace) = state
+        .db
+        .search_scene_traced(&scene, &req.options)
+        .map_err(|e| ApiError::from_db(&e))?;
     state.stats.searches.fetch_add(1, Ordering::Relaxed);
     offer_slow(state, "sketch", &hits, &req.options, &trace);
     Ok(search_response(&hits, &trace, req.trace))
@@ -616,9 +625,13 @@ fn stats_v1(state: &AppState) -> Response {
                 catchup_replays: replication.catchup_replays,
                 catchup_clones: replication.catchup_clones,
                 writer_drains: replication.writer_drains,
+                fallback_reads: replication.fallback_reads,
             },
             planner: PlannerSection {
+                mode: state.db.planner_mode().to_string(),
                 skipped: state.db.planner_skipped(),
+                ordered_scatters: state.db.metrics().planner_ordered_scatters.get(),
+                dense_scans: state.db.metrics().planner_dense_scans.get(),
             },
             reshard: ReshardSection {
                 active: reshard.active,

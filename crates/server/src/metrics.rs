@@ -233,6 +233,24 @@ pub(crate) fn build_registry(
         Arc::clone(&m.outstanding_reads),
     );
     registry.register_counter(
+        "be2d_db_replica_fallback_reads_total",
+        "Bounded-lag reads that found no in-sync follower and fell back to the leader",
+        &[],
+        Arc::clone(&m.replica_fallback_reads),
+    );
+    registry.register_counter(
+        "be2d_db_planner_ordered_scatters_total",
+        "Multi-shard searches run with a selectivity-ordered scatter",
+        &[],
+        Arc::clone(&m.planner_ordered_scatters),
+    );
+    registry.register_counter(
+        "be2d_db_planner_dense_scans_total",
+        "Per-shard scans where planner v2 chose the dense-scan candidate strategy",
+        &[],
+        Arc::clone(&m.planner_dense_scans),
+    );
+    registry.register_counter(
         "be2d_db_stage2_scored_total",
         "Candidates exactly scored (stage-2 survivors of two-stage retrieval)",
         &[],

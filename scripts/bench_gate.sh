@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
-# Perf regression gate: compares a fresh loadgen report against the
-# committed baseline and fails when the service got meaningfully slower.
+# Perf regression gate: compares a fresh bench report against the
+# committed baseline and fails when the measured build got meaningfully
+# slower.
 #
 #   scripts/bench_gate.sh BENCH_server.json bench/baseline.json
+#   scripts/bench_gate.sh BENCH_twostage.json bench/baseline_twostage.json
+#   scripts/bench_gate.sh BENCH_oplog.json bench/baseline_oplog.json
+#   scripts/bench_gate.sh BENCH_planner.json bench/baseline_planner.json
 #
-# Thresholds are deliberately generous to tolerate shared-runner noise:
-#   - throughput may drop at most 25% below the baseline
-#   - p95 latency may rise at most 50% above the baseline
+# The report schema is picked from the fresh file's "benchmark" field
+# (absent = the server loadgen report). Each schema contributes
+# higher-is-better ("floor") and lower-is-better ("ceiling") metrics;
+# thresholds are deliberately generous to tolerate shared-runner noise:
+#   - floor metrics may drop at most 25% below the baseline
+#   - ceiling metrics may rise at most 50% above the baseline
 #
-# Re-baselining: the committed bench/baseline.json is a conservative
+# Re-baselining: each committed bench/baseline*.json is a conservative
 # floor (seeded well below a dev-box run so a cold CI runner passes).
-# After a deliberate perf change, download the BENCH_server artifact
+# After a deliberate perf change, download the matching BENCH artifact
 # from a green `bench-report` CI run on main and commit it:
 #
 #   cp BENCH_server.json bench/baseline.json   # then commit the change
@@ -48,28 +55,68 @@ with open(fresh_path) as f:
 with open(base_path) as f:
     base = json.load(f)
 
-fresh_rps = fresh["throughput_rps"]
-base_rps = base["throughput_rps"]
-fresh_p95 = fresh["latency_ms"]["p95_ms"]
-base_p95 = base["latency_ms"]["p95_ms"]
+schema = fresh.get("benchmark", "server")
+if schema != base.get("benchmark", "server"):
+    print(f"::error::bench gate: fresh report is {schema!r} but baseline "
+          f"is {base.get('benchmark', 'server')!r}")
+    sys.exit(1)
 
-rps_floor = base_rps * (1.0 - max_drop)
-p95_ceiling = base_p95 * (1.0 + max_rise)
 
-print(f"throughput: fresh {fresh_rps:.1f} req/s vs baseline {base_rps:.1f} "
-      f"(floor {rps_floor:.1f}, max drop {max_drop:.0%})")
-print(f"p95 latency: fresh {fresh_p95:.2f} ms vs baseline {base_p95:.2f} "
-      f"(ceiling {p95_ceiling:.2f}, max rise {max_rise:.0%})")
+def metrics(report):
+    """(name, kind, value) triples for the report's schema.
+
+    kind "floor" = higher is better (gated at baseline * (1 - drop)),
+    kind "ceiling" = lower is better (gated at baseline * (1 + rise)).
+    """
+    if schema == "server":
+        return [
+            ("throughput", "floor", report["throughput_rps"], "req/s"),
+            ("p95 latency", "ceiling", report["latency_ms"]["p95_ms"], "ms"),
+        ]
+    if schema == "twostage":
+        last = report["sweep"][-1]
+        return [
+            ("staged speedup (largest corpus)", "floor",
+             last["speedup_p50"], "x"),
+            ("staged p95 (largest corpus)", "ceiling",
+             last["staged_p95_us"], "us"),
+        ]
+    if schema == "oplog":
+        sync = next(p for p in report["ack"] if p["mode"] == "sync")
+        return [
+            ("catch-up replay speedup", "floor",
+             report["catchup"]["replay_speedup"], "x"),
+            ("sync ack p95", "ceiling", sync["p95_us"], "us"),
+        ]
+    if schema == "planner":
+        return [
+            ("v2 p95 speedup over naive", "floor",
+             report["speedup_p95"], "x"),
+            ("v2 p95 latency", "ceiling", report["v2"]["p95_us"], "us"),
+        ]
+    print(f"::error::bench gate: unknown benchmark schema {schema!r}")
+    sys.exit(1)
+
 
 failures = []
-if fresh_rps < rps_floor:
-    failures.append(
-        f"throughput regressed: {fresh_rps:.1f} req/s is more than "
-        f"{max_drop:.0%} below the baseline {base_rps:.1f} req/s")
-if fresh_p95 > p95_ceiling:
-    failures.append(
-        f"p95 latency regressed: {fresh_p95:.2f} ms is more than "
-        f"{max_rise:.0%} above the baseline {base_p95:.2f} ms")
+for (name, kind, fresh_value, unit), (_, _, base_value, _) in zip(
+        metrics(fresh), metrics(base)):
+    if kind == "floor":
+        limit = base_value * (1.0 - max_drop)
+        print(f"{name}: fresh {fresh_value:.2f} {unit} vs baseline "
+              f"{base_value:.2f} (floor {limit:.2f}, max drop {max_drop:.0%})")
+        if fresh_value < limit:
+            failures.append(
+                f"{name} regressed: {fresh_value:.2f} {unit} is more than "
+                f"{max_drop:.0%} below the baseline {base_value:.2f} {unit}")
+    else:
+        limit = base_value * (1.0 + max_rise)
+        print(f"{name}: fresh {fresh_value:.2f} {unit} vs baseline "
+              f"{base_value:.2f} (ceiling {limit:.2f}, max rise {max_rise:.0%})")
+        if fresh_value > limit:
+            failures.append(
+                f"{name} regressed: {fresh_value:.2f} {unit} is more than "
+                f"{max_rise:.0%} above the baseline {base_value:.2f} {unit}")
 if fresh.get("errors", 0) > 0:
     failures.append(f"loadgen reported {fresh['errors']} failed requests")
 

@@ -25,7 +25,7 @@ done
 if [ ${#REPORTS[@]} -eq 0 ]; then
     REPORTS=(BENCH_server.json BENCH_shard_scaling.json \
              BENCH_replica_scaling.json BENCH_reshard.json \
-             BENCH_oplog.json BENCH_twostage.json)
+             BENCH_oplog.json BENCH_twostage.json BENCH_planner.json)
 fi
 
 COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
@@ -73,6 +73,14 @@ def summarise(report):
         return {
             "kind": "replica_scaling",
             "speedup_3_vs_1": round(report["speedup_3_vs_1"], 3),
+        }
+    if report.get("benchmark") == "planner":
+        return {
+            "kind": "planner",
+            "speedup_p95": round(report["speedup_p95"], 3),
+            "v2_p95_us": round(report["v2"]["p95_us"], 1),
+            "v2_scored": report["v2"]["scored"],
+            "naive_scored": report["naive"]["scored"],
         }
     if "catchup" in report:
         return {

@@ -3,7 +3,7 @@
 # summary (CI appends the output to $GITHUB_STEP_SUMMARY so every PR
 # shows its perf trajectory). Missing files are noted, not fatal.
 #
-#   scripts/bench_summary.sh [BENCH_server.json] [BENCH_shard_scaling.json] [BENCH_replica_scaling.json] [BENCH_reshard.json] [BENCH_oplog.json] [BENCH_twostage.json]
+#   scripts/bench_summary.sh [BENCH_server.json] [BENCH_shard_scaling.json] [BENCH_replica_scaling.json] [BENCH_reshard.json] [BENCH_oplog.json] [BENCH_twostage.json] [BENCH_planner.json]
 set -euo pipefail
 
 SERVER="${1:-BENCH_server.json}"
@@ -12,14 +12,15 @@ REPLICAS="${3:-BENCH_replica_scaling.json}"
 RESHARD="${4:-BENCH_reshard.json}"
 OPLOG="${5:-BENCH_oplog.json}"
 TWOSTAGE="${6:-BENCH_twostage.json}"
+PLANNER="${7:-BENCH_planner.json}"
 
-python3 - "$SERVER" "$SCALING" "$REPLICAS" "$RESHARD" "$OPLOG" "$TWOSTAGE" <<'PY'
+python3 - "$SERVER" "$SCALING" "$REPLICAS" "$RESHARD" "$OPLOG" "$TWOSTAGE" "$PLANNER" <<'PY'
 import json
 import os
 import sys
 
 (server_path, scaling_path, replica_path, reshard_path, oplog_path,
- twostage_path) = sys.argv[1:7]
+ twostage_path, planner_path) = sys.argv[1:8]
 
 print("## Perf trajectory")
 print()
@@ -192,6 +193,32 @@ if os.path.exists(twostage_path):
               f"| {point['exhaustive_p50_us'] / 1000:.2f} ms "
               f"| {point['staged_p50_us'] / 1000:.2f} ms "
               f"| {point['speedup_p50']:.2f}× |")
+    print()
 else:
     print(f"_no {twostage_path} found_")
+    print()
+
+if os.path.exists(planner_path):
+    with open(planner_path) as f:
+        planner = json.load(f)
+    print(f"### Planner v2 under hot-shard skew "
+          f"({planner['images']} images over {planner['shards']} shards "
+          f"× {planner['replicas']} replicas, top-{planner['top_k']}, "
+          f"frontier {planner['frontier']}; rankings asserted "
+          "bit-identical to naive)")
+    print()
+    print("| mode | p50 | p95 | concurrent p95 | exactly scored |")
+    print("|:---|---:|---:|---:|---:|")
+    for tag in ("naive", "v2"):
+        mode = planner[tag]
+        print(f"| {tag} | {mode['p50_us'] / 1000:.2f} ms "
+              f"| {mode['p95_us'] / 1000:.2f} ms "
+              f"| {mode['concurrent_p95_us'] / 1000:.2f} ms "
+              f"| {mode['scored']} |")
+    print()
+    print(f"**v2 vs naive: p50 {planner['speedup_p50']:.2f}×, "
+          f"p95 {planner['speedup_p95']:.2f}×, "
+          f"concurrent p95 {planner['concurrent_speedup_p95']:.2f}×**")
+else:
+    print(f"_no {planner_path} found_")
 PY
